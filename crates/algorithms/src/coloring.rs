@@ -1,0 +1,226 @@
+//! Anonymous greedy (Δ+1)-vertex coloring — the conflict workload behind the
+//! conflict managers of Gradinariu–Tixeuil (ICDCS 2007), reference \[14\] of
+//! the paper and the origin of its transformer construction.
+//!
+//! Each process holds a color `c_p ∈ [0, Δ_p]`:
+//!
+//! ```text
+//! A1 :: ∃q ∈ Neig_p: c_q = c_p → c_p ← min { c : ∀q ∈ Neig_p, c_q ≠ c }
+//! ```
+//!
+//! A move never creates a new conflict (the chosen color is absent from the
+//! whole neighbourhood), so under the *central* daemon the number of
+//! monochromatic edges strictly decreases and the algorithm is
+//! deterministically **self**-stabilizing. Under the distributed or
+//! synchronous daemon, two adjacent same-colored processes with identical
+//! neighbourhood views pick the same new color and can clash forever — the
+//! algorithm is only **weak**-stabilizing there, and `Trans` turns it into
+//! the probabilistic solution of \[14\].
+
+use stab_core::{ActionId, ActionMask, Algorithm, Configuration, Legitimacy, Outcomes, View};
+use stab_graph::{Graph, GraphError, NodeId, PortId};
+
+/// Greedy local recoloring with the palette `[0, Δ_p]` at each process.
+#[derive(Debug, Clone)]
+pub struct GreedyColoring {
+    g: Graph,
+}
+
+impl GreedyColoring {
+    /// Instantiates greedy coloring on any connected graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NotConnected`] if `g` is not connected (the
+    /// paper's systems always are).
+    pub fn new(g: &Graph) -> Result<Self, GraphError> {
+        if !g.is_connected() {
+            return Err(GraphError::NotConnected);
+        }
+        Ok(GreedyColoring { g: g.clone() })
+    }
+
+    /// Number of monochromatic (conflict) edges — the potential function
+    /// that proves central-daemon termination.
+    pub fn conflict_edges(&self, cfg: &Configuration<u8>) -> usize {
+        self.g
+            .edges()
+            .filter(|&(u, v)| cfg.get(u) == cfg.get(v))
+            .count()
+    }
+
+    /// Legitimacy: proper coloring (no conflict edge).
+    pub fn legitimacy(&self) -> ProperColoring {
+        ProperColoring { alg: self.clone() }
+    }
+
+    fn min_free_color<V: View<u8>>(view: &V) -> u8 {
+        // Palette size Δ_p + 1 always contains a free color.
+        let mut used = [false; 256];
+        for i in 0..view.degree() {
+            used[*view.neighbor(PortId::new(i)) as usize] = true;
+        }
+        (0u8..=view.degree() as u8)
+            .find(|&c| !used[c as usize])
+            .expect("a palette of Δ+1 colors always has a free one")
+    }
+}
+
+impl Algorithm for GreedyColoring {
+    type State = u8;
+
+    fn graph(&self) -> &Graph {
+        &self.g
+    }
+
+    fn name(&self) -> String {
+        format!("greedy-coloring(N={}, Δ={})", self.g.n(), self.g.max_degree())
+    }
+
+    fn state_space(&self, node: NodeId) -> Vec<u8> {
+        (0..=self.g.degree(node) as u8).collect()
+    }
+
+    fn enabled_actions<V: View<u8>>(&self, view: &V) -> ActionMask {
+        let me = *view.me();
+        let conflict = (0..view.degree()).any(|i| *view.neighbor(PortId::new(i)) == me);
+        ActionMask::when(conflict, ActionId::A1)
+    }
+
+    fn apply<V: View<u8>>(&self, view: &V, _action: ActionId) -> Outcomes<u8> {
+        Outcomes::certain(Self::min_free_color(view))
+    }
+}
+
+/// No monochromatic edge.
+#[derive(Debug, Clone)]
+pub struct ProperColoring {
+    alg: GreedyColoring,
+}
+
+impl Legitimacy<u8> for ProperColoring {
+    fn name(&self) -> String {
+        "proper-coloring".into()
+    }
+
+    fn is_legitimate(&self, cfg: &Configuration<u8>) -> bool {
+        self.alg.conflict_edges(cfg) == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stab_core::{semantics, Activation, SpaceIndexer};
+    use stab_graph::builders;
+
+    fn on(g: &Graph) -> GreedyColoring {
+        GreedyColoring::new(g).unwrap()
+    }
+
+    #[test]
+    fn rejects_disconnected_graphs() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert!(GreedyColoring::new(&g).is_err());
+    }
+
+    #[test]
+    fn proper_coloring_is_terminal_and_legitimate() {
+        let a = on(&builders::path(4));
+        let cfg = Configuration::from_vec(vec![0, 1, 0, 1]);
+        assert!(a.is_terminal(&cfg));
+        assert!(a.legitimacy().is_legitimate(&cfg));
+    }
+
+    /// Terminal ⟺ properly colored, exhaustively on a triangle and a path.
+    #[test]
+    fn terminal_iff_proper() {
+        for g in [builders::complete(3), builders::path(4), builders::star(4)] {
+            let a = on(&g);
+            let spec = a.legitimacy();
+            let ix = SpaceIndexer::new(&a, 1 << 22).unwrap();
+            for cfg in ix.iter() {
+                assert_eq!(a.is_terminal(&cfg), spec.is_legitimate(&cfg), "{cfg:?} on {g:?}");
+            }
+        }
+    }
+
+    /// A single move never increases the number of conflict edges, and
+    /// strictly decreases it (central-daemon potential argument), checked
+    /// exhaustively on small graphs.
+    #[test]
+    fn single_moves_strictly_decrease_conflicts() {
+        for g in [builders::complete(3), builders::ring(4), builders::path(5)] {
+            let a = on(&g);
+            let ix = SpaceIndexer::new(&a, 1 << 22).unwrap();
+            for cfg in ix.iter() {
+                let before = a.conflict_edges(&cfg);
+                for v in a.enabled_nodes(&cfg) {
+                    let next =
+                        semantics::deterministic_successor(&a, &cfg, &Activation::singleton(v));
+                    let after = a.conflict_edges(&next);
+                    assert!(after < before, "conflicts {before} -> {after} at {cfg:?}, {v}");
+                }
+            }
+        }
+    }
+
+    /// Simultaneous moves of two adjacent twins can preserve the conflict:
+    /// the symmetric failure mode that makes the algorithm only
+    /// weak-stabilizing under the distributed daemon.
+    #[test]
+    fn synchronous_twin_conflict_persists() {
+        let g = builders::path(2);
+        let a = on(&g);
+        let cfg = Configuration::from_vec(vec![0u8, 0]);
+        // Both processes see the same neighbourhood and pick color 1.
+        let act = Activation::new(vec![NodeId::new(0), NodeId::new(1)]);
+        let next = semantics::deterministic_successor(&a, &cfg, &act);
+        assert_eq!(next.states(), &[1, 1]);
+        assert_eq!(a.conflict_edges(&next), 1, "conflict survives the joint move");
+        // And it oscillates: the next joint move returns to (0,0).
+        let back = semantics::deterministic_successor(&a, &next, &act);
+        assert_eq!(back.states(), &[0, 0]);
+    }
+
+    #[test]
+    fn min_free_color_skips_neighbor_colors() {
+        let g = builders::star(4);
+        let a = on(&g);
+        // Hub conflicts with leaf colored 0; leaves use 0, 1, 2.
+        let cfg = Configuration::from_vec(vec![0, 0, 1, 2]);
+        let next = semantics::deterministic_successor(
+            &a,
+            &cfg,
+            &Activation::singleton(NodeId::new(0)),
+        );
+        assert_eq!(*next.get(NodeId::new(0)), 3, "hub picks the first free color");
+    }
+
+    /// Every sequential execution terminates within #conflicts moves.
+    #[test]
+    fn sequential_termination_bound() {
+        let g = builders::ring(5);
+        let a = on(&g);
+        let ix = SpaceIndexer::new(&a, 1 << 22).unwrap();
+        for idx in (0..ix.total()).step_by(7) {
+            let mut cfg = ix.decode(idx);
+            let budget = a.conflict_edges(&cfg);
+            let mut moves = 0usize;
+            while let Some(&v) = a.enabled_nodes(&cfg).first() {
+                cfg = semantics::deterministic_successor(&a, &cfg, &Activation::singleton(v));
+                moves += 1;
+            }
+            assert!(moves <= budget, "{moves} moves > {budget} conflicts");
+            assert!(a.legitimacy().is_legitimate(&cfg));
+        }
+    }
+
+    #[test]
+    fn palette_is_local_degree_plus_one() {
+        let g = builders::star(5);
+        let a = on(&g);
+        assert_eq!(a.state_space(NodeId::new(0)).len(), 5); // hub: Δ=4
+        assert_eq!(a.state_space(NodeId::new(1)).len(), 2); // leaf: Δ=1
+    }
+}

@@ -1,0 +1,133 @@
+//! A synthetic two-process gadget separating **weakly fair** from
+//! **strongly fair** convergence — the one adjacent pair in the paper's
+//! fairness hierarchy that none of its named algorithms separates.
+//!
+//! * `P0` holds `s0 ∈ {0,1}`, is enabled while `s1 = 0`, and toggles `s0`;
+//! * `P1` holds `s1 ∈ {0,1}`, is enabled only at `(s0, s1) = (0, 0)`, and
+//!   sets `s1 ← 1` (the specification: `s1 = 1`, closed and terminal).
+//!
+//! The illegitimate region is the toggle cycle `(0,0) ↔ (1,0)`. `P1` is
+//! enabled at `(0,0)` only — never *continuously* — so a weakly fair
+//! scheduler may starve it forever, while a strongly fair one must
+//! eventually schedule it (it is enabled infinitely often), which converges
+//! immediately. Together with Algorithm 1 (strongly-fair ⊊ Gouda,
+//! Theorem 6) and Algorithm 3 (unfair ⊊ weakly-fair on its central-daemon
+//! relative), the zoo then witnesses strictness of *every* step of the
+//! hierarchy:
+//!
+//! ```text
+//! unfair  ⊊  weakly fair  ⊊  strongly fair  ⊊  Gouda  =  randomized (Thm 7)
+//! ```
+
+use stab_core::{ActionId, ActionMask, Algorithm, Configuration, Legitimacy, Outcomes, View};
+use stab_graph::{builders, Graph, NodeId, PortId};
+
+/// The weak-vs-strong fairness separation gadget.
+#[derive(Debug, Clone)]
+pub struct FairnessGadget {
+    g: Graph,
+}
+
+impl FairnessGadget {
+    /// Instantiates the gadget on its fixed two-process network.
+    pub fn new() -> Self {
+        FairnessGadget { g: builders::path(2) }
+    }
+
+    /// Legitimacy: `P1` has finished (`s1 = 1`).
+    pub fn legitimacy(&self) -> Finished {
+        Finished
+    }
+}
+
+impl Default for FairnessGadget {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Algorithm for FairnessGadget {
+    type State = u8;
+
+    fn graph(&self) -> &Graph {
+        &self.g
+    }
+
+    fn name(&self) -> String {
+        "fairness-gadget".into()
+    }
+
+    fn state_space(&self, _node: NodeId) -> Vec<u8> {
+        vec![0, 1]
+    }
+
+    fn enabled_actions<V: View<u8>>(&self, v: &V) -> ActionMask {
+        let other = *v.neighbor(PortId::new(0));
+        if v.node() == NodeId::new(0) {
+            ActionMask::when(other == 0, ActionId::A1)
+        } else {
+            ActionMask::when(*v.me() == 0 && other == 0, ActionId::A1)
+        }
+    }
+
+    fn apply<V: View<u8>>(&self, v: &V, _a: ActionId) -> Outcomes<u8> {
+        if v.node() == NodeId::new(0) {
+            Outcomes::certain(1 - *v.me())
+        } else {
+            Outcomes::certain(1)
+        }
+    }
+}
+
+/// `s1 = 1`.
+#[derive(Debug, Clone, Copy)]
+pub struct Finished;
+
+impl Legitimacy<u8> for Finished {
+    fn name(&self) -> String {
+        "p1-finished".into()
+    }
+
+    fn is_legitimate(&self, cfg: &Configuration<u8>) -> bool {
+        *cfg.get(NodeId::new(1)) == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stab_core::{semantics, Activation};
+
+    #[test]
+    fn enabled_sets_follow_the_design() {
+        let a = FairnessGadget::new();
+        let x = Configuration::from_vec(vec![0, 0]);
+        assert_eq!(a.enabled_nodes(&x), vec![NodeId::new(0), NodeId::new(1)]);
+        let y = Configuration::from_vec(vec![1, 0]);
+        assert_eq!(a.enabled_nodes(&y), vec![NodeId::new(0)]);
+        for done in [Configuration::from_vec(vec![0, 1]), Configuration::from_vec(vec![1, 1])] {
+            assert!(a.is_terminal(&done));
+            assert!(a.legitimacy().is_legitimate(&done));
+        }
+    }
+
+    #[test]
+    fn toggle_cycle_exists() {
+        let a = FairnessGadget::new();
+        let x = Configuration::from_vec(vec![0, 0]);
+        let y = semantics::deterministic_successor(&a, &x, &Activation::singleton(NodeId::new(0)));
+        assert_eq!(y.states(), &[1, 0]);
+        let back =
+            semantics::deterministic_successor(&a, &y, &Activation::singleton(NodeId::new(0)));
+        assert_eq!(back, x);
+    }
+
+    #[test]
+    fn p1_move_converges() {
+        let a = FairnessGadget::new();
+        let x = Configuration::from_vec(vec![0, 0]);
+        let done =
+            semantics::deterministic_successor(&a, &x, &Activation::singleton(NodeId::new(1)));
+        assert!(a.legitimacy().is_legitimate(&done));
+    }
+}

@@ -1,0 +1,358 @@
+//! The `log N`-bit leader election of §3.2: center finding composed with a
+//! one-bit tie-breaker.
+//!
+//! The paper's first leader-election solution runs the center-finding
+//! algorithm of \[4\] and then distinguishes a leader among the (one or two,
+//! by Property 1) centers: a unique center is the leader outright; two
+//! neighbouring centers `p, q` use an additional boolean `B` — if
+//! `B_p ≠ B_q` the center with `B = true` is the leader, otherwise *both*
+//! are enabled to flip their bit, so one of them flipping alone breaks the
+//! tie (weak stabilization: the tie can also be re-created forever if both
+//! always flip together).
+//!
+//! State: `(h, B)` with `h` the center-finding height (`log N` bits) and `B`
+//! the tie-breaking bit. Actions:
+//!
+//! ```text
+//! AH :: h ≠ target(p)                                  → h ← target(p)
+//! AB :: h = target(p) ∧ Center(p) ∧ (∃q ∈ Neig_p: h_q = h_p ∧ B_q = B_p)
+//!                                                      → B ← ¬B
+//! ```
+//!
+//! At the h-fixpoint of a tree, the only equal-`h` adjacent pair is the
+//! center pair (validated exhaustively in `centers.rs`), so `AB` implements
+//! exactly the paper's tie-break.
+
+use stab_core::{ActionId, ActionMask, Algorithm, Configuration, Legitimacy, Outcomes, View};
+use stab_graph::{Graph, GraphError, NodeId, PortId};
+
+use crate::centers::CenterFinding;
+
+/// The composite local state of the center-based leader election.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct HB {
+    /// Center-finding height.
+    pub h: u8,
+    /// Tie-breaking bit.
+    pub b: bool,
+}
+
+impl HB {
+    /// Pairs a height with a tie-break bit.
+    pub fn new(h: u8, b: bool) -> Self {
+        HB { h, b }
+    }
+}
+
+/// A [`View`] adapter exposing only the `h` layer to the center-finding
+/// substrate.
+struct HView<'a, V> {
+    inner: &'a V,
+    cache: [u8; 0],
+}
+
+impl<'a, V: View<HB>> HView<'a, V> {
+    fn new(inner: &'a V) -> Self {
+        HView { inner, cache: [] }
+    }
+}
+
+impl<V: View<HB>> View<u8> for HView<'_, V> {
+    fn node(&self) -> NodeId {
+        self.inner.node()
+    }
+
+    fn degree(&self) -> usize {
+        self.inner.degree()
+    }
+
+    fn me(&self) -> &u8 {
+        let _ = &self.cache;
+        &self.inner.me().h
+    }
+
+    fn neighbor(&self, port: PortId) -> &u8 {
+        &self.inner.neighbor(port).h
+    }
+}
+
+/// Center-based leader election on an anonymous tree.
+#[derive(Debug, Clone)]
+pub struct CenterLeader {
+    g: Graph,
+    centers: CenterFinding,
+}
+
+impl CenterLeader {
+    /// Instantiates the election on a tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NotATree`] if `g` is not a tree.
+    pub fn on_tree(g: &Graph) -> Result<Self, GraphError> {
+        Ok(CenterLeader { g: g.clone(), centers: CenterFinding::on_tree(g)? })
+    }
+
+    /// The center-finding substrate.
+    pub fn substrate(&self) -> &CenterFinding {
+        &self.centers
+    }
+
+    /// Whether the viewed process is a leader: it satisfies `Center` and
+    /// wins the tie-break against every equal-`h` neighbour.
+    pub fn is_leader_view<V: View<HB>>(&self, view: &V) -> bool {
+        let hv = HView::new(view);
+        if !self.centers.is_center(&hv) {
+            return false;
+        }
+        let me = view.me();
+        (0..view.degree()).all(|i| {
+            let q = view.neighbor(PortId::new(i));
+            q.h != me.h || (me.b && !q.b)
+        })
+    }
+
+    /// The leaders of `cfg`.
+    pub fn leaders(&self, cfg: &Configuration<HB>) -> Vec<NodeId> {
+        self.g
+            .nodes()
+            .filter(|&v| self.is_leader_view(&self.view(cfg, v)))
+            .collect()
+    }
+
+    /// Legitimacy: terminal configuration with exactly one leader, who is a
+    /// true center of the tree.
+    pub fn legitimacy(&self) -> UniqueCenterLeader {
+        UniqueCenterLeader { alg: self.clone() }
+    }
+}
+
+impl Algorithm for CenterLeader {
+    type State = HB;
+
+    fn graph(&self) -> &Graph {
+        &self.g
+    }
+
+    fn name(&self) -> String {
+        format!("center-leader(N={}, Δ={})", self.g.n(), self.g.max_degree())
+    }
+
+    fn state_space(&self, _node: NodeId) -> Vec<HB> {
+        let mut out = Vec::new();
+        for h in 0..=self.centers.bound() {
+            out.push(HB::new(h, false));
+            out.push(HB::new(h, true));
+        }
+        out
+    }
+
+    fn enabled_actions<V: View<HB>>(&self, view: &V) -> ActionMask {
+        let hv = HView::new(view);
+        let target = self.centers.target(&hv);
+        let me = view.me();
+        if me.h != target {
+            return ActionMask::single(ActionId::A1);
+        }
+        // h is stable here; tie-break applies only to centers facing an
+        // equal-h neighbour with the same bit.
+        let tied = self.centers.is_center(&hv)
+            && (0..view.degree()).any(|i| {
+                let q = view.neighbor(PortId::new(i));
+                q.h == me.h && q.b == me.b
+            });
+        ActionMask::when(tied, ActionId::A2)
+    }
+
+    fn apply<V: View<HB>>(&self, view: &V, action: ActionId) -> Outcomes<HB> {
+        let me = view.me();
+        match action {
+            ActionId::A1 => {
+                let target = self.centers.target(&HView::new(view));
+                Outcomes::certain(HB::new(target, me.b))
+            }
+            ActionId::A2 => Outcomes::certain(HB::new(me.h, !me.b)),
+            other => unreachable!("center-leader has no action {other}"),
+        }
+    }
+}
+
+/// Legitimacy: terminal with a unique leader who is a true tree center.
+#[derive(Debug, Clone)]
+pub struct UniqueCenterLeader {
+    alg: CenterLeader,
+}
+
+impl Legitimacy<HB> for UniqueCenterLeader {
+    fn name(&self) -> String {
+        "unique-center-leader".into()
+    }
+
+    fn is_legitimate(&self, cfg: &Configuration<HB>) -> bool {
+        if !self.alg.is_terminal(cfg) {
+            return false;
+        }
+        let leaders = self.alg.leaders(cfg);
+        leaders.len() == 1
+            && stab_graph::metrics::tree_centers(&self.alg.g).contains(&leaders[0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stab_core::{semantics, Activation, SpaceIndexer};
+    use stab_graph::{builders, metrics, trees};
+
+    fn cl(g: &Graph) -> CenterLeader {
+        CenterLeader::on_tree(g).unwrap()
+    }
+
+    fn lift(h: &[u8], b: &[bool]) -> Configuration<HB> {
+        Configuration::from_vec(h.iter().zip(b).map(|(&h, &b)| HB::new(h, b)).collect())
+    }
+
+    #[test]
+    fn rejects_non_trees() {
+        assert!(CenterLeader::on_tree(&builders::ring(4)).is_err());
+    }
+
+    #[test]
+    fn unique_center_is_leader_regardless_of_bits() {
+        let g = builders::path(5);
+        let a = cl(&g);
+        let fix = a.substrate().fixpoint();
+        for bits in 0..32u32 {
+            let b: Vec<bool> = (0..5).map(|i| bits & (1 << i) != 0).collect();
+            let cfg = lift(fix.states(), &b);
+            assert_eq!(a.leaders(&cfg), vec![NodeId::new(2)]);
+            assert!(a.is_terminal(&cfg), "unique-center trees never tie-break");
+            assert!(a.legitimacy().is_legitimate(&cfg));
+        }
+    }
+
+    #[test]
+    fn two_centers_tie_break() {
+        let g = builders::path(4);
+        let a = cl(&g);
+        let fix = a.substrate().fixpoint();
+        assert_eq!(fix.states(), &[0, 1, 1, 0]);
+        // Equal bits: both centers enabled to flip, nobody is leader yet.
+        let tied = lift(fix.states(), &[false, true, true, false]);
+        assert!(a.leaders(&tied).is_empty());
+        assert_eq!(
+            a.enabled_nodes(&tied),
+            vec![NodeId::new(1), NodeId::new(2)]
+        );
+        // One flips alone: a unique leader emerges and the system is
+        // terminal (the paper's "possible in one step").
+        let next = semantics::deterministic_successor(
+            &a,
+            &tied,
+            &Activation::singleton(NodeId::new(1)),
+        );
+        assert_eq!(a.leaders(&next), vec![NodeId::new(2)]);
+        assert!(a.is_terminal(&next));
+        assert!(a.legitimacy().is_legitimate(&next));
+        // Both flip together: still tied — the Figure-3-style oscillation.
+        let both = semantics::deterministic_successor(
+            &a,
+            &tied,
+            &Activation::new(vec![NodeId::new(1), NodeId::new(2)]),
+        );
+        assert!(a.leaders(&both).is_empty());
+        assert!(!both.states()[1].b);
+        assert!(!both.states()[2].b);
+    }
+
+    /// Terminal ⟺ legitimate on small trees (the analogue of Lemma 10 for
+    /// the composed algorithm).
+    #[test]
+    fn terminal_iff_unique_leader() {
+        for g in [builders::path(4), builders::star(4), builders::path(3)] {
+            let a = cl(&g);
+            let spec = a.legitimacy();
+            let ix = SpaceIndexer::new(&a, 1 << 22).unwrap();
+            for cfg in ix.iter() {
+                assert_eq!(
+                    a.is_terminal(&cfg),
+                    spec.is_legitimate(&cfg),
+                    "mismatch at {cfg:?} on {g:?}"
+                );
+            }
+        }
+    }
+
+    /// Possible convergence witness: from any configuration, the *phased*
+    /// sequential schedule — stabilize the h layer first, then break the
+    /// tie with single flips — reaches a terminal configuration with a
+    /// unique center leader, on all labelled trees with up to 5 nodes
+    /// (exhaustive over configurations too). A greedy schedule that mixes
+    /// tie-break flips into the height phase can livelock, which is exactly
+    /// why the algorithm is weak- and not self-stabilizing.
+    #[test]
+    fn sequential_convergence_on_all_small_trees() {
+        use stab_core::ActionId;
+        for n in 2..=5usize {
+            for g in trees::all_labelled_trees(n) {
+                let a = cl(&g);
+                let spec = a.legitimacy();
+                let ix = SpaceIndexer::new(&a, 1 << 22).unwrap();
+                for cfg0 in ix.iter() {
+                    let mut cfg = cfg0.clone();
+                    let mut moves = 0usize;
+                    // Phase 1: drive every height to its target.
+                    while let Some(v) = g
+                        .nodes()
+                        .find(|&v| a.selected_action(&cfg, v) == Some(ActionId::A1))
+                    {
+                        cfg = semantics::deterministic_successor(
+                            &a,
+                            &cfg,
+                            &Activation::singleton(v),
+                        );
+                        moves += 1;
+                        assert!(
+                            moves <= 10 * ix.total() as usize,
+                            "h phase stuck from {cfg0:?} on {g:?}"
+                        );
+                    }
+                    // Phase 2: at the h fixpoint at most one flip breaks the
+                    // center tie.
+                    let mut flips = 0usize;
+                    while let Some(&v) = a.enabled_nodes(&cfg).first() {
+                        cfg = semantics::deterministic_successor(
+                            &a,
+                            &cfg,
+                            &Activation::singleton(v),
+                        );
+                        flips += 1;
+                        assert!(flips <= 2, "tie break did not settle on {g:?} from {cfg0:?}");
+                    }
+                    assert!(spec.is_legitimate(&cfg), "bad terminal {cfg:?} from {cfg0:?} on {g:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn leader_is_always_a_center_at_terminal() {
+        let g = builders::figure2_tree();
+        let a = cl(&g);
+        let fix = a.substrate().fixpoint();
+        let centers = metrics::tree_centers(&g);
+        assert_eq!(centers.len(), 2);
+        let b: Vec<bool> = (0..8).map(|i| i == centers[0].index()).collect();
+        let cfg = lift(fix.states(), &b);
+        assert_eq!(a.leaders(&cfg), vec![centers[0]]);
+        assert!(a.legitimacy().is_legitimate(&cfg));
+    }
+
+    #[test]
+    fn memory_is_log_n_bits() {
+        // State space size is 2 * (bound + 1) = O(N), i.e. log N + 1 bits.
+        let g = builders::path(9);
+        let a = cl(&g);
+        assert_eq!(a.state_space(NodeId::new(0)).len(), 2 * (4 + 1));
+    }
+}

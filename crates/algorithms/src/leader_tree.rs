@@ -1,0 +1,465 @@
+//! **Algorithm 2** of the paper: `log Δ`-bit parent-pointer leader election
+//! on anonymous trees (§3.2).
+//!
+//! Each process `p` maintains `Par_p ∈ Neig_p ∪ {⊥}`; it considers itself
+//! the leader iff `Par_p = ⊥`. With
+//! `Children_p = {q ∈ Neig_p : Par_q = p}`, the actions are
+//!
+//! ```text
+//! A1 :: Par_p ≠ ⊥ ∧ |Children_p| = |Neig_p|            → Par_p ← ⊥
+//! A2 :: Par_p ≠ ⊥ ∧ Neig_p \ (Children_p ∪ {Par_p}) ≠ ∅ → Par_p ← (Par_p + 1) mod Δ_p
+//! A3 :: Par_p = ⊥ ∧ |Children_p| < |Neig_p|            → Par_p ← min≺(Neig_p \ Children_p)
+//! ```
+//!
+//! Theorem 4: deterministically weak-stabilizing under the distributed
+//! strongly fair scheduler. Figure 3: *not* self-stabilizing — under the
+//! synchronous scheduler two mutually-pointing pairs oscillate forever.
+//! Lemma 10: the terminal configurations are exactly the legitimate set
+//! `LC` (one leader, all parent paths rooted at it).
+//!
+//! This module also carries the exact initial configurations and schedules
+//! of the paper's Figures 2 and 3, reconstructed from the narrative of §3.2
+//! (see [`figure2_initial`] and [`figure3_initial`]).
+
+use stab_core::{ActionId, ActionMask, Algorithm, Configuration, Legitimacy, Outcomes, View};
+use stab_graph::{builders, Graph, GraphError, NodeId, PortId};
+
+/// The parent-pointer state: `None` encodes `⊥` (self-elected leader),
+/// `Some(port)` points at a neighbour by local port.
+pub type Par = Option<PortId>;
+
+/// Algorithm 2: parent-pointer leader election on an anonymous tree.
+#[derive(Debug, Clone)]
+pub struct ParentLeader {
+    g: Graph,
+    /// `rev_port[p][i]`: the port of the neighbour behind `p`'s port `i`
+    /// that points back at `p`. Constant topology data, permitted by the
+    /// model (processes know how their registers are wired).
+    rev_port: Vec<Vec<PortId>>,
+}
+
+impl ParentLeader {
+    /// Instantiates Algorithm 2 on a tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NotATree`] if `g` is not a tree.
+    pub fn on_tree(g: &Graph) -> Result<Self, GraphError> {
+        if !g.is_tree() {
+            return Err(GraphError::NotATree);
+        }
+        let rev_port = g
+            .nodes()
+            .map(|p| {
+                g.neighbors(p)
+                    .iter()
+                    .map(|&q| g.port_of(q, p).expect("neighbour relation is symmetric"))
+                    .collect()
+            })
+            .collect();
+        Ok(ParentLeader { g: g.clone(), rev_port })
+    }
+
+    /// Whether the neighbour behind `port` of the viewed process points back
+    /// at it (`q ∈ Children_p`).
+    fn is_child<V: View<Par>>(&self, view: &V, port: PortId) -> bool {
+        *view.neighbor(port) == Some(self.rev_port[view.node().index()][port.index()])
+    }
+
+    /// `|Children_p|` as seen from `view`.
+    fn children_count<V: View<Par>>(&self, view: &V) -> usize {
+        (0..view.degree())
+            .filter(|&i| self.is_child(view, PortId::new(i)))
+            .count()
+    }
+
+    /// Whether `node` satisfies `isLeader` (`Par = ⊥`) in `cfg`.
+    pub fn is_leader(&self, cfg: &Configuration<Par>, node: NodeId) -> bool {
+        cfg.get(node).is_none()
+    }
+
+    /// `Root(p)` (Notation 1): the initial extremity of the maximal parent
+    /// path of `p` — follow parent pointers until a `⊥`-process or a
+    /// mutually-pointing pair is reached.
+    pub fn root(&self, cfg: &Configuration<Par>, node: NodeId) -> NodeId {
+        let mut cur = node;
+        // A parent walk on a tree revisits a node only through a mutual
+        // pair, which the stop condition catches, so n steps suffice.
+        for _ in 0..=self.g.n() {
+            let Some(port) = *cfg.get(cur) else {
+                return cur;
+            };
+            let next = self.g.neighbor(cur, port);
+            // Stop condition of Definition 12: Par(Par(p0)) = p0.
+            if *cfg.get(next) == Some(self.rev_port[cur.index()][port.index()]) {
+                return next;
+            }
+            cur = next;
+        }
+        unreachable!("parent walks on trees terminate within n steps")
+    }
+
+    /// The legitimacy predicate `LC` (Definition 13): exactly one process
+    /// with `Par = ⊥` and every other process rooted at it.
+    pub fn legitimacy(&self) -> RootedAtLeader {
+        RootedAtLeader { alg: self.clone() }
+    }
+}
+
+impl Algorithm for ParentLeader {
+    type State = Par;
+
+    fn graph(&self) -> &Graph {
+        &self.g
+    }
+
+    fn name(&self) -> String {
+        format!("parent-leader(N={}, Δ={})", self.g.n(), self.g.max_degree())
+    }
+
+    fn state_space(&self, node: NodeId) -> Vec<Par> {
+        let mut space: Vec<Par> = vec![None];
+        space.extend((0..self.g.degree(node)).map(|i| Some(PortId::new(i))));
+        space
+    }
+
+    fn enabled_actions<V: View<Par>>(&self, view: &V) -> ActionMask {
+        let degree = view.degree();
+        let children = self.children_count(view);
+        match *view.me() {
+            Some(par) => {
+                let all_children = children == degree;
+                // Neig \ (Children ∪ {Par}) ≠ ∅: some port that is neither
+                // the parent nor a child.
+                let stray = (0..degree).any(|i| {
+                    let port = PortId::new(i);
+                    port != par && !self.is_child(view, port)
+                });
+                ActionMask::when(all_children, ActionId::A1)
+                    .union(ActionMask::when(stray, ActionId::A2))
+            }
+            None => ActionMask::when(children < degree, ActionId::A3),
+        }
+    }
+
+    fn apply<V: View<Par>>(&self, view: &V, action: ActionId) -> Outcomes<Par> {
+        match action {
+            ActionId::A1 => Outcomes::certain(None),
+            ActionId::A2 => {
+                let par = view.me().expect("A2 requires Par ≠ ⊥");
+                Outcomes::certain(Some(par.next_mod(view.degree())))
+            }
+            ActionId::A3 => {
+                let port = (0..view.degree())
+                    .map(PortId::new)
+                    .find(|&i| !self.is_child(view, i))
+                    .expect("A3 requires a non-child neighbour");
+                Outcomes::certain(Some(port))
+            }
+            other => unreachable!("Algorithm 2 has no action {other}"),
+        }
+    }
+}
+
+/// `LC` (Definition 13): one leader, everyone rooted at it.
+#[derive(Debug, Clone)]
+pub struct RootedAtLeader {
+    alg: ParentLeader,
+}
+
+impl Legitimacy<Par> for RootedAtLeader {
+    fn name(&self) -> String {
+        "unique-rooted-leader".into()
+    }
+
+    fn is_legitimate(&self, cfg: &Configuration<Par>) -> bool {
+        let mut leader = None;
+        for (v, s) in cfg.iter() {
+            if s.is_none() {
+                if leader.is_some() {
+                    return false;
+                }
+                leader = Some(v);
+            }
+        }
+        let Some(leader) = leader else {
+            return false;
+        };
+        self.alg
+            .g
+            .nodes()
+            .all(|q| self.alg.root(cfg, q) == leader)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Paper figures.
+// ---------------------------------------------------------------------
+
+/// The initial configuration `(i)` of the paper's Figure 2 on
+/// [`builders::figure2_tree`]: `Par` = P1↦P5, P2↦P7, P3↦P2, P4↦P5, P5↦P1,
+/// P6↦P8, P7↦P2, P8↦P6 (encoded as local ports).
+///
+/// In this configuration A1 is enabled exactly at {P1, P2, P7, P8}, A2
+/// exactly at {P3, P5, P6}, and P4 is stable — the labels of the figure.
+pub fn figure2_initial() -> Configuration<Par> {
+    // Ports: see `builders::figure2_tree` for the adjacency. Targets above
+    // translated into port indexes of each node's sorted neighbour list.
+    Configuration::from_vec(vec![
+        Some(PortId::new(0)), // P1 -> P5 (only neighbour)
+        Some(PortId::new(1)), // P2 -> P7 (neighbours P3, P7)
+        Some(PortId::new(0)), // P3 -> P2 (neighbours P2, P5)
+        Some(PortId::new(0)), // P4 -> P5 (only neighbour)
+        Some(PortId::new(0)), // P5 -> P1 (neighbours P1, P3, P4, P6)
+        Some(PortId::new(1)), // P6 -> P8 (neighbours P5, P8)
+        Some(PortId::new(0)), // P7 -> P2 (only neighbour)
+        Some(PortId::new(0)), // P8 -> P6 (only neighbour)
+    ])
+}
+
+/// The mover sets of Figure 2's four steps
+/// (i)→(ii)→(iii)→(iv)→(v): {P6,P8}, {P2,P8}, {P3,P5}, {P2,P5}.
+pub fn figure2_schedule() -> Vec<Vec<NodeId>> {
+    vec![
+        vec![NodeId::new(5), NodeId::new(7)],
+        vec![NodeId::new(1), NodeId::new(7)],
+        vec![NodeId::new(2), NodeId::new(4)],
+        vec![NodeId::new(1), NodeId::new(4)],
+    ]
+}
+
+/// The 4-chain and initial configuration `(i)` of Figure 3: two
+/// mutually-pointing pairs (P1↔P2, P3↔P4), which the synchronous scheduler
+/// drives through a period-2 oscillation forever.
+pub fn figure3_initial() -> (Graph, Configuration<Par>) {
+    let g = builders::path(4);
+    let cfg = Configuration::from_vec(vec![
+        Some(PortId::new(0)), // P1 -> P2
+        Some(PortId::new(0)), // P2 -> P1 (neighbours P1, P3)
+        Some(PortId::new(1)), // P3 -> P4 (neighbours P2, P4)
+        Some(PortId::new(0)), // P4 -> P3
+    ]);
+    (g, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stab_core::{semantics, Activation, SpaceIndexer};
+
+    fn pl(g: &Graph) -> ParentLeader {
+        ParentLeader::on_tree(g).unwrap()
+    }
+
+    fn cfg_ports(ports: &[Option<usize>]) -> Configuration<Par> {
+        Configuration::from_vec(ports.iter().map(|p| p.map(PortId::new)).collect())
+    }
+
+    #[test]
+    fn rejects_non_trees() {
+        assert!(ParentLeader::on_tree(&builders::ring(4)).is_err());
+    }
+
+    #[test]
+    fn state_space_sizes_are_degree_plus_one() {
+        let g = builders::star(4);
+        let a = pl(&g);
+        assert_eq!(a.state_space(NodeId::new(0)).len(), 4); // hub: ⊥ + 3 ports
+        assert_eq!(a.state_space(NodeId::new(1)).len(), 2); // leaf: ⊥ + 1 port
+    }
+
+    #[test]
+    fn figure2_initial_enabled_sets_match_paper() {
+        let g = builders::figure2_tree();
+        let a = pl(&g);
+        let cfg = figure2_initial();
+        // A1 at P1, P2, P7, P8 (indexes 0, 1, 6, 7).
+        for i in [0usize, 1, 6, 7] {
+            assert_eq!(
+                a.selected_action(&cfg, NodeId::new(i)),
+                Some(ActionId::A1),
+                "P{} must have A1 enabled",
+                i + 1
+            );
+        }
+        // A2 at P3, P5, P6 (indexes 2, 4, 5).
+        for i in [2usize, 4, 5] {
+            assert_eq!(
+                a.selected_action(&cfg, NodeId::new(i)),
+                Some(ActionId::A2),
+                "P{} must have A2 enabled",
+                i + 1
+            );
+        }
+        // P4 (index 3) is stable.
+        assert!(!a.is_enabled(&cfg, NodeId::new(3)));
+    }
+
+    #[test]
+    fn figure2_schedule_reaches_terminal_with_leader_p5() {
+        let g = builders::figure2_tree();
+        let a = pl(&g);
+        let spec = a.legitimacy();
+        let mut cfg = figure2_initial();
+        assert!(!spec.is_legitimate(&cfg));
+        for movers in figure2_schedule() {
+            cfg = semantics::deterministic_successor(&a, &cfg, &Activation::new(movers));
+        }
+        assert!(a.is_terminal(&cfg), "configuration (v) must be terminal");
+        assert!(spec.is_legitimate(&cfg));
+        // The elected leader is P5 (index 4).
+        assert!(a.is_leader(&cfg, NodeId::new(4)));
+        for q in g.nodes() {
+            assert_eq!(a.root(&cfg, q), NodeId::new(4));
+        }
+    }
+
+    #[test]
+    fn figure2_intermediate_narrative_holds() {
+        let g = builders::figure2_tree();
+        let a = pl(&g);
+        let mut cfg = figure2_initial();
+        let schedule = figure2_schedule();
+        // (ii): unique leader P8 with no child, enabled for A3.
+        cfg = semantics::deterministic_successor(&a, &cfg, &Activation::new(schedule[0].clone()));
+        let leaders: Vec<NodeId> = g.nodes().filter(|&v| a.is_leader(&cfg, v)).collect();
+        assert_eq!(leaders, vec![NodeId::new(7)]);
+        assert_eq!(a.selected_action(&cfg, NodeId::new(7)), Some(ActionId::A3));
+        // (iii): unique leader P2; only P1 (A1), P3 (A2), P5 (A2) enabled.
+        cfg = semantics::deterministic_successor(&a, &cfg, &Activation::new(schedule[1].clone()));
+        let leaders: Vec<NodeId> = g.nodes().filter(|&v| a.is_leader(&cfg, v)).collect();
+        assert_eq!(leaders, vec![NodeId::new(1)]);
+        assert_eq!(a.enabled_nodes(&cfg), vec![NodeId::new(0), NodeId::new(2), NodeId::new(4)]);
+        assert_eq!(a.selected_action(&cfg, NodeId::new(0)), Some(ActionId::A1));
+        assert_eq!(a.selected_action(&cfg, NodeId::new(2)), Some(ActionId::A2));
+        assert_eq!(a.selected_action(&cfg, NodeId::new(4)), Some(ActionId::A2));
+        // (iv): A1 enabled at P5, A3 at P2, A2 at P3.
+        cfg = semantics::deterministic_successor(&a, &cfg, &Activation::new(schedule[2].clone()));
+        assert_eq!(a.selected_action(&cfg, NodeId::new(4)), Some(ActionId::A1));
+        assert_eq!(a.selected_action(&cfg, NodeId::new(1)), Some(ActionId::A3));
+        assert_eq!(a.selected_action(&cfg, NodeId::new(2)), Some(ActionId::A2));
+    }
+
+    /// Figure 3: the synchronous execution from two mutually-pointing pairs
+    /// has period 2 and never converges.
+    #[test]
+    fn figure3_synchronous_oscillation() {
+        let (g, cfg0) = figure3_initial();
+        let a = pl(&g);
+        let dist1 = semantics::synchronous_step(&a, &cfg0).expect("not terminal");
+        assert_eq!(dist1.len(), 1, "deterministic synchronous step");
+        let cfg1 = dist1.into_iter().next().unwrap().1;
+        assert_ne!(cfg0, cfg1);
+        let dist2 = semantics::synchronous_step(&a, &cfg1).expect("not terminal");
+        let cfg2 = dist2.into_iter().next().unwrap().1;
+        assert_eq!(cfg0, cfg2, "period-2 oscillation");
+    }
+
+    /// Lemma 10: a configuration is terminal iff it satisfies LC.
+    /// Checked exhaustively on the 4-chain and a 5-node star.
+    #[test]
+    fn lemma10_terminal_iff_lc() {
+        for g in [builders::path(4), builders::star(5), builders::path(5)] {
+            let a = pl(&g);
+            let spec = a.legitimacy();
+            let ix = SpaceIndexer::new(&a, 1 << 22).unwrap();
+            for cfg in ix.iter() {
+                assert_eq!(
+                    a.is_terminal(&cfg),
+                    spec.is_legitimate(&cfg),
+                    "Lemma 10 violated at {cfg:?} on {g:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn root_handles_mutual_pairs() {
+        let g = builders::path(4);
+        let a = pl(&g);
+        let (_, cfg) = figure3_initial();
+        // P1 and P2 point at each other: roots per Definition 12.
+        assert_eq!(a.root(&cfg, NodeId::new(0)), NodeId::new(1));
+        assert_eq!(a.root(&cfg, NodeId::new(1)), NodeId::new(0));
+        assert_eq!(a.root(&cfg, NodeId::new(2)), NodeId::new(3));
+        assert_eq!(a.root(&cfg, NodeId::new(3)), NodeId::new(2));
+    }
+
+    #[test]
+    fn root_follows_chains_to_bottom() {
+        let g = builders::path(4);
+        let a = pl(&g);
+        // Everyone points left; P1 is the leader.
+        let cfg = cfg_ports(&[None, Some(0), Some(0), Some(0)]);
+        for q in g.nodes() {
+            assert_eq!(a.root(&cfg, q), NodeId::new(0));
+        }
+        assert!(a.legitimacy().is_legitimate(&cfg));
+    }
+
+    #[test]
+    fn two_leaders_are_illegitimate() {
+        let g = builders::path(4);
+        let a = pl(&g);
+        let cfg = cfg_ports(&[None, Some(0), Some(1), None]);
+        assert!(!a.legitimacy().is_legitimate(&cfg));
+        let cfg = cfg_ports(&[Some(0), Some(0), Some(0), Some(0)]);
+        assert!(!a.legitimacy().is_legitimate(&cfg), "no leader at all");
+    }
+
+    #[test]
+    fn a2_requires_a_stray_neighbor() {
+        let g = builders::star(4);
+        let a = pl(&g);
+        // Hub points at leaf 3 (port 2), leaves 1 and 2 are its children:
+        // every neighbour is parent-or-child, so A2 stays disabled — the
+        // paper's guard Neig \ (Children ∪ {Par}) ≠ ∅ fails.
+        let cfg = cfg_ports(&[Some(2), Some(0), Some(0), None]);
+        assert_eq!(a.selected_action(&cfg, NodeId::new(0)), None);
+    }
+
+    #[test]
+    fn a2_increments_parent_pointer_mod_degree() {
+        let g = builders::star(4);
+        let a = pl(&g);
+        // Hub points at port 2 (leaf 3); leaf 2 is a stray (⊥, not a
+        // child): A2 applies, wrapping the pointer 2 -> 0.
+        let cfg = cfg_ports(&[Some(2), Some(0), None, None]);
+        assert_eq!(a.selected_action(&cfg, NodeId::new(0)), Some(ActionId::A2));
+        let next = semantics::deterministic_successor(
+            &a,
+            &cfg,
+            &Activation::singleton(NodeId::new(0)),
+        );
+        assert_eq!(*next.get(NodeId::new(0)), Some(PortId::new(0)));
+    }
+
+    #[test]
+    fn a3_picks_lowest_non_child_port() {
+        let g = builders::star(4);
+        let a = pl(&g);
+        // Hub is leader; leaf 1 points at hub (child), leaves 2 and 3 are ⊥.
+        let cfg = cfg_ports(&[None, Some(0), None, None]);
+        assert_eq!(a.selected_action(&cfg, NodeId::new(0)), Some(ActionId::A3));
+        let next = semantics::deterministic_successor(
+            &a,
+            &cfg,
+            &Activation::singleton(NodeId::new(0)),
+        );
+        // Ports of the hub: 0 -> leaf1 (child), 1 -> leaf2, 2 -> leaf3.
+        assert_eq!(*next.get(NodeId::new(0)), Some(PortId::new(1)));
+    }
+
+    #[test]
+    fn guards_are_mutually_exclusive_everywhere_small() {
+        let g = builders::path(4);
+        let a = pl(&g);
+        let ix = SpaceIndexer::new(&a, 1 << 22).unwrap();
+        for cfg in ix.iter() {
+            for v in g.nodes() {
+                let mask = a.enabled_actions(&a.view(&cfg, v));
+                assert!(mask.len() <= 1, "overlapping guards at {v} in {cfg:?}");
+            }
+        }
+    }
+}

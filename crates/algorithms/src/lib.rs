@@ -1,0 +1,60 @@
+//! The algorithm zoo of the *Weak vs. Self vs. Probabilistic Stabilization*
+//! reproduction.
+//!
+//! ## The paper's algorithms
+//!
+//! * [`token_ring::TokenCirculation`] — **Algorithm 1** (§3.1): deterministic
+//!   weak-stabilizing token circulation on anonymous unidirectional rings,
+//!   `dt ∈ [0, m_N)` with `m_N` the smallest non-divisor of `N`
+//!   (Beauquier–Gradinariu–Johnen counters). Weak-stabilizing under the
+//!   distributed strongly fair scheduler (Theorem 2); *not* deterministic
+//!   self-stabilizing (Herman/Angluin impossibility; Theorem 6's
+//!   counterexample lives here).
+//! * [`leader_tree::ParentLeader`] — **Algorithm 2** (§3.2): `log Δ`-bit
+//!   parent-pointer leader election on anonymous trees, weak-stabilizing
+//!   under the distributed strongly fair scheduler (Theorem 4), oscillating
+//!   forever under the synchronous one (Figure 3).
+//! * [`centers::CenterFinding`] + [`leader_centers::CenterLeader`] — the
+//!   `log N`-bit solution of §3.2: a self-stabilizing tree-center-finding
+//!   substrate in the style of Bruell–Ghosh–Karaata–Pemmaraju composed with a
+//!   one-bit tie-breaker between two adjacent centers.
+//! * [`two_process::TwoProcessToggle`] — **Algorithm 3** (§4): the
+//!   two-process boolean system whose convergence *requires* a synchronous
+//!   step, motivating why `Trans` keeps simultaneous moves possible.
+//!
+//! ## Baselines
+//!
+//! * [`dijkstra::DijkstraRing`] — Dijkstra's K-state token ring (rooted,
+//!   non-anonymous): the classic *deterministically self-stabilizing*
+//!   comparator.
+//! * [`herman::HermanRing`] — Herman's synchronous probabilistic token ring
+//!   (odd rings): the classic *probabilistically self-stabilizing*
+//!   comparator.
+//! * [`coloring::GreedyColoring`] — anonymous greedy (Δ+1)-coloring: self-
+//!   stabilizing under the central scheduler, weak-stabilizing only under
+//!   distributed/synchronous ones; its transformed version is the
+//!   conflict-manager construction of Gradinariu–Tixeuil that §4 builds on.
+//!
+//! All algorithms implement [`stab_core::Algorithm`] and expose a
+//! `legitimacy()` specification, so every tool in the workspace (checker,
+//! Markov engine, simulator) applies to each uniformly.
+
+pub mod centers;
+pub mod coloring;
+pub mod dijkstra;
+pub mod gadget;
+pub mod herman;
+pub mod leader_centers;
+pub mod leader_tree;
+pub mod token_ring;
+pub mod two_process;
+
+pub use centers::CenterFinding;
+pub use coloring::GreedyColoring;
+pub use dijkstra::DijkstraRing;
+pub use gadget::FairnessGadget;
+pub use herman::HermanRing;
+pub use leader_centers::CenterLeader;
+pub use leader_tree::ParentLeader;
+pub use token_ring::TokenCirculation;
+pub use two_process::TwoProcessToggle;

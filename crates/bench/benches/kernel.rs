@@ -1,0 +1,71 @@
+//! B1 — kernel micro-benchmarks: guard evaluation, step semantics,
+//! scheduler sampling, and the overhead `Trans(·)` adds per operation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use stab_algorithms::TokenCirculation;
+use stab_core::{semantics, Activation, Algorithm, Configuration, Daemon, Transformed};
+use stab_graph::{builders, NodeId};
+
+fn bench_guards(c: &mut Criterion) {
+    let mut group = c.benchmark_group("guards");
+    group.sample_size(60);
+    let ring = builders::ring(64);
+    let raw = TokenCirculation::on_ring(&ring).unwrap();
+    let cfg = Configuration::from_vec(vec![0u8; 64]);
+    group.bench_function("token_ring/enabled_nodes/N=64", |b| {
+        b.iter(|| black_box(raw.enabled_nodes(black_box(&cfg))))
+    });
+    let trans = Transformed::new(TokenCirculation::on_ring(&ring).unwrap());
+    let tcfg = Transformed::<TokenCirculation>::lift(&cfg, false);
+    group.bench_function("transformed/enabled_nodes/N=64", |b| {
+        b.iter(|| black_box(trans.enabled_nodes(black_box(&tcfg))))
+    });
+    group.finish();
+}
+
+fn bench_steps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("step_semantics");
+    group.sample_size(60);
+    let ring = builders::ring(64);
+    let raw = TokenCirculation::on_ring(&ring).unwrap();
+    let cfg = Configuration::from_vec(vec![0u8; 64]);
+    let enabled = raw.enabled_nodes(&cfg);
+    let act = Activation::new(enabled.clone());
+    group.bench_function("deterministic_successor/N=64", |b| {
+        b.iter(|| black_box(semantics::deterministic_successor(&raw, black_box(&cfg), &act)))
+    });
+    let trans = Transformed::new(TokenCirculation::on_ring(&ring).unwrap());
+    let tcfg = Transformed::<TokenCirculation>::lift(&cfg, false);
+    // A single-process probabilistic step (product branching stays tiny).
+    let single = Activation::singleton(enabled[0]);
+    group.bench_function("successor_distribution/transformed/1-mover", |b| {
+        b.iter(|| black_box(semantics::successor_distribution(&trans, black_box(&tcfg), &single)))
+    });
+    group.finish();
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler_sampling");
+    group.sample_size(60);
+    let ring = builders::ring(64);
+    let enabled: Vec<NodeId> = ring.nodes().collect();
+    for daemon in [Daemon::Central, Daemon::Distributed, Daemon::Synchronous, Daemon::LocallyCentral]
+    {
+        group.bench_with_input(
+            BenchmarkId::new("sample", daemon.name()),
+            &daemon,
+            |b, &daemon| {
+                let mut rng = StdRng::seed_from_u64(7);
+                b.iter(|| black_box(daemon.sample(&ring, black_box(&enabled), &mut rng)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_guards, bench_steps, bench_schedulers);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! B2 — simulation throughput: full stabilization runs per second for the
+//! transformed paper algorithms and the baselines, serial vs parallel
+//! batches.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use stab_algorithms::{DijkstraRing, HermanRing, TokenCirculation};
+use stab_core::{Daemon, ProjectedLegitimacy, Transformed};
+use stab_graph::builders;
+use stab_sim::montecarlo::{estimate, BatchSettings};
+use stab_sim::{init, run_once};
+
+fn bench_single_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("run_once");
+    group.sample_size(30);
+    for n in [16usize, 32] {
+        let alg = Transformed::new(TokenCirculation::on_ring(&builders::ring(n)).unwrap());
+        let spec = ProjectedLegitimacy::new(
+            TokenCirculation::on_ring(&builders::ring(n)).unwrap().legitimacy(),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("trans_token/central", n),
+            &n,
+            |b, _| {
+                let mut rng = StdRng::seed_from_u64(1);
+                b.iter(|| {
+                    let cfg = init::uniform_random(&alg, &mut rng);
+                    black_box(run_once(&alg, Daemon::Central, &spec, &cfg, &mut rng, 10_000_000))
+                })
+            },
+        );
+    }
+    let herman = HermanRing::on_ring(&builders::ring(41)).unwrap();
+    let hspec = herman.legitimacy();
+    group.bench_function("herman/synchronous/N=41", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| {
+            let cfg = init::uniform_random(&herman, &mut rng);
+            black_box(run_once(&herman, Daemon::Synchronous, &hspec, &cfg, &mut rng, 10_000_000))
+        })
+    });
+    let dijkstra = DijkstraRing::on_ring(&builders::ring(32)).unwrap();
+    let dspec = dijkstra.legitimacy();
+    group.bench_function("dijkstra/central/N=32", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| {
+            let cfg = init::uniform_random(&dijkstra, &mut rng);
+            black_box(run_once(&dijkstra, Daemon::Central, &dspec, &cfg, &mut rng, 10_000_000))
+        })
+    });
+    group.finish();
+}
+
+fn bench_batches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("montecarlo_batch");
+    group.sample_size(10);
+    let alg = Transformed::new(TokenCirculation::on_ring(&builders::ring(16)).unwrap());
+    let spec = ProjectedLegitimacy::new(
+        TokenCirculation::on_ring(&builders::ring(16)).unwrap().legitimacy(),
+    );
+    for threads in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("trans_token_N16_100runs/threads", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    black_box(estimate(
+                        &alg,
+                        Daemon::Central,
+                        &spec,
+                        &BatchSettings { runs: 100, max_steps: 10_000_000, seed: 5, threads },
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_runs, bench_batches);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! B3 — checker scaling: full stabilization analysis (closure + weak +
+//! four fairness verdicts + probabilistic) as the configuration space
+//! grows, and the symmetry (Theorem 3) analysis.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use stab_algorithms::{ParentLeader, TokenCirculation};
+use stab_checker::symmetry::{check_synchronous_symmetry, state_maps, symmetric_path4};
+use stab_checker::analyze;
+use stab_core::Daemon;
+use stab_graph::builders;
+
+fn bench_analyze(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analyze");
+    group.sample_size(10);
+    for n in [4usize, 5, 6] {
+        let alg = TokenCirculation::on_ring(&builders::ring(n)).unwrap();
+        let spec = alg.legitimacy();
+        group.bench_with_input(
+            BenchmarkId::new("token_ring/distributed", n),
+            &n,
+            |b, _| b.iter(|| black_box(analyze(&alg, Daemon::Distributed, &spec, 1 << 22).unwrap())),
+        );
+    }
+    let g = builders::figure2_tree();
+    let alg = ParentLeader::on_tree(&g).unwrap();
+    let spec = alg.legitimacy();
+    group.bench_function("parent_leader/figure2_tree/distributed", |b| {
+        b.iter(|| black_box(analyze(&alg, Daemon::Distributed, &spec, 1 << 22).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_symmetry(c: &mut Criterion) {
+    let mut group = c.benchmark_group("symmetry");
+    group.sample_size(20);
+    let (g, mirror) = symmetric_path4();
+    let alg = ParentLeader::on_tree(&g).unwrap();
+    let spec = alg.legitimacy();
+    group.bench_function("theorem3/parent_leader/path4", |b| {
+        b.iter(|| {
+            black_box(
+                check_synchronous_symmetry(&alg, &spec, &mirror, state_maps::parent_port(), 1 << 20)
+                    .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_analyze, bench_symmetry);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! **E10 — the memory claims of §3**: Algorithm 1 needs `log m_N` bits per
+//! process (`m_N` = smallest non-divisor of `N`, proven minimal in \[3\]);
+//! Algorithm 2 needs `log Δ` bits; the center-based election needs `log N`
+//! bits. This binary tabulates the three budgets across network sizes.
+
+use stab_bench::Table;
+use stab_graph::ring::smallest_non_divisor;
+
+fn bits(x: u64) -> u32 {
+    // Bits to store a value in [0, x): ceil(log2(x)).
+    (64 - (x - 1).leading_zeros() as u64).max(1) as u32
+}
+
+fn main() {
+    println!("# E10 — per-process memory budgets of the paper's algorithms");
+    println!();
+    let mut t = Table::new(vec![
+        "N", "m_N", "Alg 1: log m_N bits", "Alg 2 (ring Δ=2): log(Δ+1) bits",
+        "centers: log N bits",
+    ]);
+    for n in [3u64, 4, 5, 6, 7, 8, 12, 16, 24, 60, 120, 420, 840, 1024] {
+        let m = smallest_non_divisor(n);
+        t.row(vec![
+            n.to_string(),
+            m.to_string(),
+            bits(m).to_string(),
+            bits(3).to_string(),
+            bits(n).to_string(),
+        ]);
+    }
+    print!("{}", t.to_markdown());
+    println!();
+    println!("`m_N` grows only at highly divisible N (m_840 = 9): Algorithm 1's counter");
+    println!("stays 2–4 bits for every N ≤ 1024 while the center-based election pays");
+    println!("the full log N — the space separation the paper highlights, with [3]");
+    println!("proving log m_N minimal for probabilistic token circulation.");
+}

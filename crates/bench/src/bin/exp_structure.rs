@@ -1,0 +1,82 @@
+//! **E11 — state-space anatomy**: why the zoo members land in different
+//! stabilization classes, seen through the SCC census of the reachable
+//! illegitimate region.
+//!
+//! Reading the table:
+//! * `recurrent = 0` — the illegitimate region is acyclic: the system is
+//!   deterministically self-stabilizing under every fairness level
+//!   (Dijkstra);
+//! * `recurrent > 0, closed = 0` — traps exist but all have exits: the
+//!   weak-stabilization signature (Algorithms 1–3, coloring under the
+//!   distributed scheduler);
+//! * `closed > 0` (or deadlocks) — some region never reaches `L`: not even
+//!   probabilistic convergence (the toggle under the central scheduler).
+
+use stab_algorithms::{
+    DijkstraRing, FairnessGadget, GreedyColoring, ParentLeader, TokenCirculation,
+    TwoProcessToggle,
+};
+use stab_bench::Table;
+use stab_checker::{scc_summary, ExploredSpace};
+use stab_core::{Algorithm, Daemon, Legitimacy, LocalState};
+use stab_graph::builders;
+
+const CAP: u64 = 1 << 22;
+
+fn census<A, L>(table: &mut Table, alg: &A, daemon: Daemon, spec: &L)
+where
+    A: Algorithm,
+    A::State: LocalState,
+    L: Legitimacy<A::State>,
+{
+    let space = ExploredSpace::explore(alg, daemon, spec, CAP).expect("explore");
+    let s = scc_summary(&space);
+    table.row(vec![
+        alg.name(),
+        daemon.to_string(),
+        s.illegitimate_reachable.to_string(),
+        s.components.to_string(),
+        s.recurrent_components.to_string(),
+        s.largest_recurrent.to_string(),
+        s.closed_components.to_string(),
+        s.deadlocks.to_string(),
+    ]);
+}
+
+fn main() {
+    println!("# E11 — SCC census of the reachable illegitimate region");
+    println!();
+    let mut t = Table::new(vec![
+        "system", "scheduler", "illegit. configs", "SCCs", "recurrent", "largest recurrent",
+        "closed", "deadlocks",
+    ]);
+
+    let dij = DijkstraRing::on_ring(&builders::ring(4)).unwrap();
+    census(&mut t, &dij, Daemon::Central, &dij.legitimacy());
+    census(&mut t, &dij, Daemon::Distributed, &dij.legitimacy());
+
+    let tc = TokenCirculation::on_ring(&builders::ring(6)).unwrap();
+    census(&mut t, &tc, Daemon::Central, &tc.legitimacy());
+    census(&mut t, &tc, Daemon::Distributed, &tc.legitimacy());
+
+    let pl = ParentLeader::on_tree(&builders::figure2_tree()).unwrap();
+    census(&mut t, &pl, Daemon::Distributed, &pl.legitimacy());
+
+    let toggle = TwoProcessToggle::new();
+    census(&mut t, &toggle, Daemon::Central, &toggle.legitimacy());
+    census(&mut t, &toggle, Daemon::Distributed, &toggle.legitimacy());
+
+    let gadget = FairnessGadget::new();
+    census(&mut t, &gadget, Daemon::Central, &gadget.legitimacy());
+
+    let col = GreedyColoring::new(&builders::path(4)).unwrap();
+    census(&mut t, &col, Daemon::Central, &col.legitimacy());
+    census(&mut t, &col, Daemon::Distributed, &col.legitimacy());
+
+    print!("{}", t.to_markdown());
+    println!();
+    println!("Anatomy confirms the classes: Dijkstra's and central-daemon coloring's");
+    println!("illegitimate regions are acyclic (self-stabilizing everywhere); the");
+    println!("weak-only systems keep recurrent-but-open traps; the central-daemon");
+    println!("toggle owns a closed trap — the probabilistic failure witness.");
+}

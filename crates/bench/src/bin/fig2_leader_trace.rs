@@ -1,0 +1,73 @@
+//! **E2 — Figure 2 of the paper**: the possible-convergence execution of
+//! Algorithm 2 on the 8-process tree, replayed with the exact initial
+//! configuration and mover schedule reconstructed from §3.2's narrative
+//! (see `stab_graph::builders::figure2_tree`).
+//!
+//! Output mirrors the figure: five configurations (i)–(v), each process
+//! annotated with its parent pointer and its enabled action, asterisked
+//! when it moves in the next step.
+
+use stab_algorithms::leader_tree::{figure2_initial, figure2_schedule, ParentLeader};
+use stab_core::{semantics, Activation, Algorithm, Configuration, Legitimacy};
+use stab_graph::{builders, NodeId};
+
+type Par = Option<stab_graph::PortId>;
+
+fn render(
+    alg: &ParentLeader,
+    cfg: &Configuration<Par>,
+    movers: Option<&[NodeId]>,
+) -> String {
+    let g = alg.graph();
+    let mut lines = Vec::new();
+    for v in g.nodes() {
+        let target = match cfg.get(v) {
+            None => "⊥".to_string(),
+            Some(port) => format!("P{}", g.neighbor(v, *port).index() + 1),
+        };
+        let action = match alg.selected_action(cfg, v) {
+            None => "stable".to_string(),
+            Some(a) => {
+                let star = movers.is_some_and(|m| m.contains(&v));
+                format!("{a}{}", if star { "*" } else { "" })
+            }
+        };
+        lines.push(format!("  P{}: Par={target:<3} [{action}]", v.index() + 1));
+    }
+    lines.join("\n")
+}
+
+fn main() {
+    let g = builders::figure2_tree();
+    let alg = ParentLeader::on_tree(&g).unwrap();
+    let spec = alg.legitimacy();
+    println!("# E2 / Figure 2 — Algorithm 2 possible convergence on the 8-process tree");
+    println!();
+    println!("Tree edges: P1–P5, P2–P3, P2–P7, P3–P5, P4–P5, P5–P6, P6–P8");
+    println!();
+
+    let mut cfg = figure2_initial();
+    let schedule = figure2_schedule();
+    let labels = ["(i)", "(ii)", "(iii)", "(iv)", "(v)"];
+    for (k, label) in labels.iter().enumerate() {
+        let movers = schedule.get(k).map(|m| m.as_slice());
+        println!("{label}");
+        println!("{}", render(&alg, &cfg, movers));
+        if let Some(m) = movers {
+            let names: Vec<String> = m.iter().map(|v| format!("P{}", v.index() + 1)).collect();
+            println!("  --> step: {} move", names.join(", "));
+            cfg = semantics::deterministic_successor(&alg, &cfg, &Activation::new(m.to_vec()));
+        }
+        println!();
+    }
+    assert!(alg.is_terminal(&cfg), "(v) is terminal");
+    assert!(spec.is_legitimate(&cfg), "(v) satisfies LC");
+    let leader = g
+        .nodes()
+        .find(|&v| alg.is_leader(&cfg, v))
+        .expect("unique leader");
+    println!(
+        "terminal configuration (v): leader = P{}, all parent paths rooted at it ✓",
+        leader.index() + 1
+    );
+}

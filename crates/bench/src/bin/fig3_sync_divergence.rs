@@ -1,0 +1,65 @@
+//! **E3 — Figure 3 of the paper**: the synchronous execution of Algorithm 2
+//! on the 4-chain that never converges — two mutually-pointing pairs swap
+//! between two configurations forever, witnessing that Algorithm 2 is
+//! weak- but not self-stabilizing.
+
+use stab_algorithms::leader_tree::{figure3_initial, ParentLeader};
+use stab_core::{semantics, Algorithm, Configuration};
+
+type Par = Option<stab_graph::PortId>;
+
+fn render(alg: &ParentLeader, cfg: &Configuration<Par>) -> String {
+    let g = alg.graph();
+    let cells: Vec<String> = g
+        .nodes()
+        .map(|v| match cfg.get(v) {
+            None => format!("P{}→⊥", v.index() + 1),
+            Some(port) => {
+                format!("P{}→P{}", v.index() + 1, g.neighbor(v, *port).index() + 1)
+            }
+        })
+        .collect();
+    cells.join("  ")
+}
+
+fn main() {
+    let (g, cfg0) = figure3_initial();
+    let alg = ParentLeader::on_tree(&g).unwrap();
+    println!("# E3 / Figure 3 — synchronous non-convergence of Algorithm 2 on the 4-chain");
+    println!();
+
+    let mut seen = vec![cfg0.clone()];
+    let mut cfg = cfg0.clone();
+    let period = loop {
+        let dist = semantics::synchronous_step(&alg, &cfg).expect("never terminal");
+        assert_eq!(dist.len(), 1, "deterministic synchronous step");
+        cfg = dist.into_iter().next().unwrap().1;
+        if let Some(at) = seen.iter().position(|c| c == &cfg) {
+            break seen.len() - at;
+        }
+        seen.push(cfg.clone());
+        assert!(seen.len() < 100, "cycle must appear quickly");
+    };
+
+    for (i, c) in seen.iter().enumerate() {
+        let enabled: Vec<String> = alg
+            .enabled_nodes(c)
+            .iter()
+            .map(|v| {
+                format!(
+                    "P{}:{}",
+                    v.index() + 1,
+                    alg.selected_action(c, *v).expect("enabled")
+                )
+            })
+            .collect();
+        println!("({})  {}    enabled: {}", i + 1, render(&alg, c), enabled.join(" "));
+        println!("      --synchronous step-->");
+    }
+    println!("(1)  …repeats…");
+    println!();
+    println!(
+        "synchronous execution cycles with period {period}; no configuration is ever legitimate ✓"
+    );
+    assert_eq!(period, 2, "Figure 3 oscillates between two configurations");
+}

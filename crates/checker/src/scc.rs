@@ -1,0 +1,197 @@
+//! Strongly connected components over configuration subgraphs, and the
+//! fairness-filtered fair-cycle searches built on them.
+
+use stab_core::LocalState;
+
+use crate::space::ExploredSpace;
+
+/// Iterative Tarjan SCC over the subgraph induced by `alive`. Returns the
+/// components (each a list of configuration ids); single nodes without a
+/// self-loop are included as singleton components.
+pub fn sccs<S: LocalState>(space: &ExploredSpace<S>, alive: &[bool]) -> Vec<Vec<u32>> {
+    let n = space.total() as usize;
+    debug_assert_eq!(alive.len(), n);
+    let mut index = vec![u32::MAX; n];
+    let mut low = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut next_index = 0u32;
+    let mut out: Vec<Vec<u32>> = Vec::new();
+
+    // Explicit DFS stack: (node, edge cursor).
+    let mut call: Vec<(u32, usize)> = Vec::new();
+    for start in 0..n as u32 {
+        if !alive[start as usize] || index[start as usize] != u32::MAX {
+            continue;
+        }
+        call.push((start, 0));
+        index[start as usize] = next_index;
+        low[start as usize] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start as usize] = true;
+        while let Some(&(v, cursor)) = call.last() {
+            let edges = space.edges(v);
+            if cursor < edges.len() {
+                call.last_mut().expect("non-empty").1 += 1;
+                let w = edges[cursor].to;
+                if !alive[w as usize] {
+                    continue;
+                }
+                if index[w as usize] == u32::MAX {
+                    index[w as usize] = next_index;
+                    low[w as usize] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w as usize] = true;
+                    call.push((w, 0));
+                } else if on_stack[w as usize] {
+                    low[v as usize] = low[v as usize].min(index[w as usize]);
+                }
+                continue;
+            }
+            // v finished.
+            call.pop();
+            if let Some(&(parent, _)) = call.last() {
+                low[parent as usize] = low[parent as usize].min(low[v as usize]);
+            }
+            if low[v as usize] == index[v as usize] {
+                let mut comp = Vec::new();
+                loop {
+                    let w = stack.pop().expect("tarjan stack underflow");
+                    on_stack[w as usize] = false;
+                    comp.push(w);
+                    if w == v {
+                        break;
+                    }
+                }
+                out.push(comp);
+            }
+        }
+    }
+    out
+}
+
+/// Whether a component contains at least one internal edge (including
+/// self-loops) — i.e. supports an infinite execution.
+pub fn has_internal_edge<S: LocalState>(
+    space: &ExploredSpace<S>,
+    comp: &[u32],
+    alive: &[bool],
+) -> bool {
+    let in_comp = membership(space.total(), comp);
+    comp.iter().any(|&v| {
+        space
+            .edges(v)
+            .iter()
+            .any(|e| alive[e.to as usize] && in_comp[e.to as usize])
+    })
+}
+
+/// Membership mask of a component.
+pub fn membership(total: u32, comp: &[u32]) -> Vec<bool> {
+    let mut mask = vec![false; total as usize];
+    for &v in comp {
+        mask[v as usize] = true;
+    }
+    mask
+}
+
+/// Extracts some cycle within a component (used for lasso display): walks
+/// internal edges from `start` until a repeat.
+pub fn some_cycle<S: LocalState>(
+    space: &ExploredSpace<S>,
+    comp: &[u32],
+    alive: &[bool],
+) -> Vec<u32> {
+    let in_comp = membership(space.total(), comp);
+    let start = comp
+        .iter()
+        .copied()
+        .find(|&v| {
+            space
+                .edges(v)
+                .iter()
+                .any(|e| alive[e.to as usize] && in_comp[e.to as usize])
+        })
+        .expect("component has an internal edge");
+    let mut seen_at = std::collections::HashMap::new();
+    let mut path = vec![start];
+    seen_at.insert(start, 0usize);
+    let mut cur = start;
+    loop {
+        let next = space
+            .edges(cur)
+            .iter()
+            .find(|e| alive[e.to as usize] && in_comp[e.to as usize])
+            .expect("strongly connected component keeps internal edges")
+            .to;
+        if let Some(&i) = seen_at.get(&next) {
+            return path[i..].to_vec();
+        }
+        seen_at.insert(next, path.len());
+        path.push(next);
+        cur = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stab_algorithms::TwoProcessToggle;
+    use stab_core::{Configuration, Daemon};
+
+    fn toggle_space() -> ExploredSpace<bool> {
+        let a = TwoProcessToggle::new();
+        let spec = a.legitimacy();
+        ExploredSpace::explore(&a, Daemon::Central, &spec, 1 << 10).unwrap()
+    }
+
+    #[test]
+    fn central_toggle_has_one_nontrivial_scc() {
+        // Under the central daemon: (F,F) <-> (T,F) and (F,F) <-> (F,T)
+        // form one SCC; (T,T) is a terminal singleton.
+        let space = toggle_space();
+        let alive = vec![true; space.total() as usize];
+        let comps = sccs(&space, &alive);
+        assert_eq!(comps.len(), 2);
+        let big = comps.iter().find(|c| c.len() == 3).expect("3-config SCC");
+        assert!(has_internal_edge(&space, big, &alive));
+        let single = comps.iter().find(|c| c.len() == 1).unwrap();
+        assert!(!has_internal_edge(&space, single, &alive));
+        let tt = space.id_of(&Configuration::from_vec(vec![true, true]));
+        assert_eq!(single[0], tt);
+    }
+
+    #[test]
+    fn filtering_splits_components() {
+        let space = toggle_space();
+        let mut alive = vec![true; space.total() as usize];
+        // Remove (F,F): the remaining illegitimate configurations cannot
+        // reach each other.
+        let ff = space.id_of(&Configuration::from_vec(vec![false, false]));
+        alive[ff as usize] = false;
+        let comps = sccs(&space, &alive);
+        assert_eq!(comps.len(), 3);
+        assert!(comps.iter().all(|c| !has_internal_edge(&space, c, &alive)));
+    }
+
+    #[test]
+    fn some_cycle_returns_a_loop() {
+        let space = toggle_space();
+        let alive = vec![true; space.total() as usize];
+        let comps = sccs(&space, &alive);
+        let big = comps.iter().find(|c| c.len() == 3).unwrap();
+        let cycle = some_cycle(&space, big, &alive);
+        assert!(cycle.len() >= 2);
+        // The cycle's successive elements are connected by edges.
+        for i in 0..cycle.len() {
+            let from = cycle[i];
+            let to = cycle[(i + 1) % cycle.len()];
+            assert!(
+                space.edges(from).iter().any(|e| e.to == to),
+                "cycle edge {from}->{to} missing"
+            );
+        }
+    }
+}

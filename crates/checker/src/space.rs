@@ -1,0 +1,312 @@
+//! Exhaustive exploration of a finite system under a daemon: the labelled
+//! transition graph over the *full* configuration space (`I = C` unless the
+//! algorithm restricts its initial set).
+
+use stab_core::{semantics, Algorithm, Configuration, CoreError, Daemon, Legitimacy, SpaceIndexer};
+use stab_graph::NodeId;
+
+/// One possibilistic transition: `to` is reachable in one step by activating
+/// the processes in the `movers` bitmask (bit `i` = process `Pi`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    /// Successor configuration id.
+    pub to: u32,
+    /// Bitmask of activated processes.
+    pub movers: u64,
+}
+
+/// The fully explored transition system of `(algorithm, daemon)` with
+/// legitimacy labels: the object all convergence analyses run on.
+#[derive(Debug)]
+pub struct ExploredSpace<S> {
+    indexer: SpaceIndexer<S>,
+    daemon: Daemon,
+    edges: Vec<Vec<Edge>>,
+    /// Bitmask of enabled processes per configuration.
+    enabled: Vec<u64>,
+    legit: Vec<bool>,
+    initial: Vec<bool>,
+    deterministic: bool,
+}
+
+impl<S: stab_core::LocalState> ExploredSpace<S> {
+    /// Explores the full configuration space of `alg` under `daemon`,
+    /// labelling configurations with `spec`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoreError::StateSpaceTooLarge`] (space bigger than
+    /// `cap`) and [`CoreError::TooManyEnabled`] (distributed-daemon
+    /// enumeration past 20 simultaneously enabled processes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network has more than 64 processes (bitmask encoding);
+    /// exhaustive checking far below that limit is already intractable.
+    pub fn explore<A, L>(
+        alg: &A,
+        daemon: Daemon,
+        spec: &L,
+        cap: u64,
+    ) -> Result<Self, CoreError>
+    where
+        A: Algorithm<State = S>,
+        L: Legitimacy<S>,
+    {
+        assert!(alg.n() <= 64, "bitmask encoding supports at most 64 processes");
+        let indexer = SpaceIndexer::new(alg, cap)?;
+        let total = indexer.total();
+        assert!(total <= u32::MAX as u64, "configuration ids must fit in u32");
+        let mut edges: Vec<Vec<Edge>> = Vec::with_capacity(total as usize);
+        let mut enabled_masks: Vec<u64> = Vec::with_capacity(total as usize);
+        let mut legit: Vec<bool> = Vec::with_capacity(total as usize);
+        let mut initial: Vec<bool> = Vec::with_capacity(total as usize);
+        let mut deterministic = true;
+        for id in 0..total {
+            let cfg = indexer.decode(id);
+            legit.push(spec.is_legitimate(&cfg));
+            initial.push(alg.is_initial(&cfg));
+            if deterministic && !semantics::is_deterministic_at(alg, &cfg) {
+                deterministic = false;
+            }
+            let enabled = alg.enabled_nodes(&cfg);
+            enabled_masks.push(node_mask(&enabled));
+            let mut out = Vec::new();
+            for (activation, dist) in semantics::all_steps(alg, daemon, &cfg)? {
+                let movers = node_mask(activation.nodes());
+                for (_, next) in dist {
+                    out.push(Edge { to: indexer.encode(&next) as u32, movers });
+                }
+            }
+            out.sort_unstable_by_key(|e| (e.to, e.movers));
+            out.dedup();
+            edges.push(out);
+        }
+        Ok(ExploredSpace {
+            indexer,
+            daemon,
+            edges,
+            enabled: enabled_masks,
+            legit,
+            initial,
+            deterministic,
+        })
+    }
+
+    /// Number of configurations.
+    pub fn total(&self) -> u32 {
+        self.indexer.total() as u32
+    }
+
+    /// The daemon the space was explored under.
+    pub fn daemon(&self) -> Daemon {
+        self.daemon
+    }
+
+    /// Whether the algorithm was deterministic on every configuration
+    /// (mutually exclusive guards and singleton outcomes).
+    pub fn deterministic(&self) -> bool {
+        self.deterministic
+    }
+
+    /// Outgoing edges of configuration `id`.
+    pub fn edges(&self, id: u32) -> &[Edge] {
+        &self.edges[id as usize]
+    }
+
+    /// Bitmask of processes enabled in configuration `id`.
+    pub fn enabled_mask(&self, id: u32) -> u64 {
+        self.enabled[id as usize]
+    }
+
+    /// Whether configuration `id` is legitimate.
+    pub fn is_legit(&self, id: u32) -> bool {
+        self.legit[id as usize]
+    }
+
+    /// Whether configuration `id` is an admissible initial configuration.
+    pub fn is_initial(&self, id: u32) -> bool {
+        self.initial[id as usize]
+    }
+
+    /// Whether configuration `id` is terminal (no enabled process).
+    pub fn is_terminal(&self, id: u32) -> bool {
+        self.enabled[id as usize] == 0
+    }
+
+    /// Number of legitimate configurations.
+    pub fn legit_count(&self) -> u64 {
+        self.legit.iter().filter(|&&b| b).count() as u64
+    }
+
+    /// Decodes a configuration id for display.
+    pub fn render(&self, id: u32) -> String {
+        format!("{:?}", self.indexer.decode(id as u64))
+    }
+
+    /// Decodes a configuration id.
+    pub fn config(&self, id: u32) -> Configuration<S> {
+        self.indexer.decode(id as u64)
+    }
+
+    /// Encodes a configuration into its id.
+    pub fn id_of(&self, cfg: &Configuration<S>) -> u32 {
+        self.indexer.encode(cfg) as u32
+    }
+
+    /// Forward-reachable set from the initial configurations.
+    pub fn reachable_from_initial(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.total() as usize];
+        let mut stack: Vec<u32> = (0..self.total())
+            .filter(|&id| self.is_initial(id))
+            .collect();
+        for &id in &stack {
+            seen[id as usize] = true;
+        }
+        while let Some(id) = stack.pop() {
+            for e in self.edges(id) {
+                if !seen[e.to as usize] {
+                    seen[e.to as usize] = true;
+                    stack.push(e.to);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Backward-reachable set from the legitimate configurations
+    /// (configurations with *some* execution into `L`).
+    pub fn can_reach_legit(&self) -> Vec<bool> {
+        let mut preds: Vec<Vec<u32>> = vec![Vec::new(); self.total() as usize];
+        for id in 0..self.total() {
+            for e in self.edges(id) {
+                preds[e.to as usize].push(id);
+            }
+        }
+        let mut seen = vec![false; self.total() as usize];
+        let mut stack: Vec<u32> = (0..self.total()).filter(|&id| self.is_legit(id)).collect();
+        for &id in &stack {
+            seen[id as usize] = true;
+        }
+        while let Some(id) = stack.pop() {
+            for &p in &preds[id as usize] {
+                if !seen[p as usize] {
+                    seen[p as usize] = true;
+                    stack.push(p);
+                }
+            }
+        }
+        seen
+    }
+
+    /// A shortest edge path from some configuration satisfying `start` to
+    /// some configuration satisfying `goal`, as a list of configuration ids
+    /// (BFS). Used for counterexample stems.
+    pub fn path(
+        &self,
+        start: impl Fn(u32) -> bool,
+        goal: impl Fn(u32) -> bool,
+    ) -> Option<Vec<u32>> {
+        use std::collections::VecDeque;
+        let mut parent: Vec<u32> = vec![u32::MAX; self.total() as usize];
+        let mut queue = VecDeque::new();
+        for id in 0..self.total() {
+            if start(id) {
+                parent[id as usize] = id;
+                if goal(id) {
+                    return Some(vec![id]);
+                }
+                queue.push_back(id);
+            }
+        }
+        while let Some(id) = queue.pop_front() {
+            for e in self.edges(id) {
+                if parent[e.to as usize] == u32::MAX {
+                    parent[e.to as usize] = id;
+                    if goal(e.to) {
+                        let mut path = vec![e.to];
+                        let mut cur = e.to;
+                        while parent[cur as usize] != cur {
+                            cur = parent[cur as usize];
+                            path.push(cur);
+                        }
+                        path.reverse();
+                        return Some(path);
+                    }
+                    queue.push_back(e.to);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Bitmask of a sorted node list.
+pub(crate) fn node_mask(nodes: &[NodeId]) -> u64 {
+    nodes.iter().fold(0u64, |m, v| m | (1u64 << v.index()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stab_algorithms::{TokenCirculation, TwoProcessToggle};
+    use stab_graph::builders;
+
+    #[test]
+    fn explores_two_process_toggle_under_distributed() {
+        let a = TwoProcessToggle::new();
+        let spec = a.legitimacy();
+        let space = ExploredSpace::explore(&a, Daemon::Distributed, &spec, 1 << 10).unwrap();
+        assert_eq!(space.total(), 4);
+        assert!(space.deterministic());
+        assert_eq!(space.legit_count(), 1);
+        // (T,T) is terminal; (F,F) has 3 activations.
+        let tt = space.id_of(&stab_core::Configuration::from_vec(vec![true, true]));
+        assert!(space.is_terminal(tt));
+        let ff = space.id_of(&stab_core::Configuration::from_vec(vec![false, false]));
+        assert_eq!(space.edges(ff).len(), 3);
+        assert_eq!(space.enabled_mask(ff), 0b11);
+    }
+
+    #[test]
+    fn synchronous_daemon_gives_single_edge_per_config() {
+        let a = TwoProcessToggle::new();
+        let spec = a.legitimacy();
+        let space = ExploredSpace::explore(&a, Daemon::Synchronous, &spec, 1 << 10).unwrap();
+        for id in 0..space.total() {
+            assert!(space.edges(id).len() <= 1, "deterministic synchronous step");
+        }
+    }
+
+    #[test]
+    fn reachability_sets_are_consistent() {
+        let a = TokenCirculation::on_ring(&builders::ring(4)).unwrap();
+        let spec = a.legitimacy();
+        let space = ExploredSpace::explore(&a, Daemon::Central, &spec, 1 << 20).unwrap();
+        // I = C: everything is reachable.
+        assert!(space.reachable_from_initial().iter().all(|&b| b));
+        // Algorithm 1 is weak-stabilizing: everything can reach L.
+        assert!(space.can_reach_legit().iter().all(|&b| b));
+    }
+
+    #[test]
+    fn path_finds_short_convergence_route() {
+        let a = TwoProcessToggle::new();
+        let spec = a.legitimacy();
+        let space = ExploredSpace::explore(&a, Daemon::Distributed, &spec, 1 << 10).unwrap();
+        let ff = space.id_of(&stab_core::Configuration::from_vec(vec![false, false]));
+        let path = space
+            .path(|id| id == ff, |id| space.is_legit(id))
+            .expect("path to L exists");
+        assert_eq!(path.len(), 2, "(F,F) -> (T,T) in one synchronous move");
+    }
+
+    #[test]
+    fn render_shows_configuration() {
+        let a = TwoProcessToggle::new();
+        let spec = a.legitimacy();
+        let space = ExploredSpace::explore(&a, Daemon::Central, &spec, 1 << 10).unwrap();
+        let id = space.id_of(&stab_core::Configuration::from_vec(vec![true, false]));
+        assert_eq!(space.render(id), "⟨true, false⟩");
+    }
+}

@@ -1,0 +1,122 @@
+//! State-space structure census: how the illegitimate region decomposes
+//! into strongly connected components.
+//!
+//! The census explains *why* systems land in different stabilization
+//! classes: deterministically self-stabilizing systems have an acyclic
+//! illegitimate region (no recurrent component at all), weak-only systems
+//! have recurrent components that some fairness notion can escape, and
+//! non-converging systems have *closed* (bottom) components — the paper's
+//! Gouda/probabilistic failure witnesses.
+
+use stab_core::LocalState;
+
+use crate::scc;
+use crate::space::ExploredSpace;
+
+/// Census of the illegitimate region's SCC structure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SccSummary {
+    /// Number of configurations outside `L` reachable from the initial set.
+    pub illegitimate_reachable: u64,
+    /// Number of SCCs in that region.
+    pub components: u64,
+    /// SCCs with an internal edge (recurrent: support an infinite
+    /// execution avoiding `L`).
+    pub recurrent_components: u64,
+    /// Size of the largest recurrent component.
+    pub largest_recurrent: u64,
+    /// Recurrent components that are *closed* (no edge leaves them):
+    /// non-zero exactly when Gouda/probabilistic convergence fails.
+    pub closed_components: u64,
+    /// Reachable terminal configurations outside `L` (deadlocks).
+    pub deadlocks: u64,
+}
+
+/// Computes the census over the reachable illegitimate subgraph.
+pub fn scc_summary<S: LocalState>(space: &ExploredSpace<S>) -> SccSummary {
+    let reachable = space.reachable_from_initial();
+    let alive: Vec<bool> = (0..space.total() as usize)
+        .map(|i| reachable[i] && !space.is_legit(i as u32))
+        .collect();
+    let illegitimate_reachable = alive.iter().filter(|&&b| b).count() as u64;
+    let comps = scc::sccs(space, &alive);
+    let mut recurrent = 0u64;
+    let mut largest = 0u64;
+    let mut closed = 0u64;
+    for comp in &comps {
+        if !scc::has_internal_edge(space, comp, &alive) {
+            continue;
+        }
+        recurrent += 1;
+        largest = largest.max(comp.len() as u64);
+        let in_comp = scc::membership(space.total(), comp);
+        let is_closed = comp
+            .iter()
+            .all(|&v| space.edges(v).iter().all(|e| in_comp[e.to as usize]));
+        if is_closed {
+            closed += 1;
+        }
+    }
+    let deadlocks = (0..space.total())
+        .filter(|&id| {
+            reachable[id as usize] && !space.is_legit(id) && space.is_terminal(id)
+        })
+        .count() as u64;
+    SccSummary {
+        illegitimate_reachable,
+        components: comps.len() as u64,
+        recurrent_components: recurrent,
+        largest_recurrent: largest,
+        closed_components: closed,
+        deadlocks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stab_algorithms::{DijkstraRing, TokenCirculation, TwoProcessToggle};
+    use stab_core::Daemon;
+    use stab_graph::builders;
+
+    #[test]
+    fn dijkstra_illegitimate_region_is_acyclic() {
+        // Deterministic self-stabilization under every fairness level
+        // means no recurrent component survives outside L.
+        let alg = DijkstraRing::on_ring(&builders::ring(4)).unwrap();
+        let space =
+            ExploredSpace::explore(&alg, Daemon::Central, &alg.legitimacy(), 1 << 22).unwrap();
+        let s = scc_summary(&space);
+        assert_eq!(s.recurrent_components, 0, "{s:?}");
+        assert_eq!(s.closed_components, 0);
+        assert_eq!(s.deadlocks, 0);
+        assert!(s.illegitimate_reachable > 0);
+    }
+
+    #[test]
+    fn token_ring_has_recurrent_but_open_components() {
+        // Weak-but-not-self: recurrent traps exist (the multi-token
+        // cycles), but none is closed — every trap has an exit, which is
+        // exactly possible convergence.
+        let alg = TokenCirculation::on_ring(&builders::ring(5)).unwrap();
+        let space =
+            ExploredSpace::explore(&alg, Daemon::Distributed, &alg.legitimacy(), 1 << 22)
+                .unwrap();
+        let s = scc_summary(&space);
+        assert!(s.recurrent_components > 0, "{s:?}");
+        assert_eq!(s.closed_components, 0, "weak stabilization = no closed trap");
+        assert_eq!(s.deadlocks, 0);
+    }
+
+    #[test]
+    fn toggle_under_central_has_a_closed_trap() {
+        // Not even weak-stabilizing: the illegitimate region is one closed
+        // recurrent component.
+        let alg = TwoProcessToggle::new();
+        let space =
+            ExploredSpace::explore(&alg, Daemon::Central, &alg.legitimacy(), 1 << 10).unwrap();
+        let s = scc_summary(&space);
+        assert_eq!(s.closed_components, 1, "{s:?}");
+        assert_eq!(s.largest_recurrent, 3);
+    }
+}

@@ -1,0 +1,148 @@
+//! Verdicts and counterexample witnesses.
+
+use std::fmt;
+
+/// The outcome of one property check: holds, or fails with a witness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Verdict {
+    holds: bool,
+    witness: Option<Witness>,
+}
+
+impl Verdict {
+    /// A passing verdict.
+    pub fn pass() -> Self {
+        Verdict { holds: true, witness: None }
+    }
+
+    /// A failing verdict with its witness.
+    pub fn fail(witness: Witness) -> Self {
+        Verdict { holds: false, witness: Some(witness) }
+    }
+
+    /// Whether the property holds.
+    pub fn holds(&self) -> bool {
+        self.holds
+    }
+
+    /// The counterexample, when the property fails.
+    pub fn witness(&self) -> Option<&Witness> {
+        self.witness.as_ref()
+    }
+
+    /// `"✓"` / `"✗"` cell for report tables.
+    pub fn mark(&self) -> &'static str {
+        if self.holds {
+            "✓"
+        } else {
+            "✗"
+        }
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.witness {
+            None => write!(f, "holds"),
+            Some(w) => write!(f, "fails: {w}"),
+        }
+    }
+}
+
+/// Why a property fails. Configurations are rendered eagerly so reports stay
+/// independent of the algorithm's state type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Witness {
+    /// Closure violation: a step leaves the legitimate set.
+    EscapesLegitimate {
+        /// Legitimate source configuration.
+        from: String,
+        /// Illegitimate successor.
+        to: String,
+    },
+    /// Weak-convergence violation: an initial configuration with no
+    /// execution into `L`.
+    NoPathToLegitimate {
+        /// The trapped configuration.
+        config: String,
+    },
+    /// A reachable terminal configuration outside `L` (maximal finite
+    /// execution that never satisfies the specification).
+    DeadlockOutsideLegitimate {
+        /// The deadlocked configuration.
+        config: String,
+    },
+    /// A reachable fairness-compatible infinite execution avoiding `L`:
+    /// a stem from an initial configuration into a strongly connected
+    /// component satisfying the fairness condition, plus a cycle inside it.
+    Lasso {
+        /// Path from an initial configuration to the recurrent component.
+        stem: Vec<String>,
+        /// A cycle within the component (the component as a whole satisfies
+        /// the fairness condition; the displayed cycle is one of its loops).
+        cycle: Vec<String>,
+    },
+}
+
+impl fmt::Display for Witness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Witness::EscapesLegitimate { from, to } => {
+                write!(f, "closure violated: {from} ↦ {to}")
+            }
+            Witness::NoPathToLegitimate { config } => {
+                write!(f, "no execution from {config} reaches L")
+            }
+            Witness::DeadlockOutsideLegitimate { config } => {
+                write!(f, "terminal illegitimate configuration {config}")
+            }
+            Witness::Lasso { stem, cycle } => {
+                write!(
+                    f,
+                    "lasso: stem of {} steps into a fair cycle of length {} [",
+                    stem.len().saturating_sub(1),
+                    cycle.len()
+                )?;
+                for (i, c) in cycle.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " → ")?;
+                    }
+                    write!(f, "{c}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pass_and_fail_shape() {
+        let p = Verdict::pass();
+        assert!(p.holds());
+        assert!(p.witness().is_none());
+        assert_eq!(p.mark(), "✓");
+        let fail = Verdict::fail(Witness::NoPathToLegitimate { config: "⟨0⟩".into() });
+        assert!(!fail.holds());
+        assert_eq!(fail.mark(), "✗");
+        assert!(fail.to_string().contains("no execution"));
+    }
+
+    #[test]
+    fn witness_display() {
+        let w = Witness::EscapesLegitimate { from: "a".into(), to: "b".into() };
+        assert_eq!(w.to_string(), "closure violated: a ↦ b");
+        let w = Witness::DeadlockOutsideLegitimate { config: "c".into() };
+        assert!(w.to_string().contains("terminal illegitimate"));
+        let w = Witness::Lasso {
+            stem: vec!["s0".into(), "s1".into()],
+            cycle: vec!["c0".into(), "c1".into()],
+        };
+        let s = w.to_string();
+        assert!(s.contains("stem of 1 steps"));
+        assert!(s.contains("c0 → c1"));
+    }
+}

@@ -1,0 +1,84 @@
+//! The weak-vs-strong fairness separation, proved by the checker on
+//! [`stab_algorithms::FairnessGadget`] — and with it, strictness of every
+//! step of the paper's fairness hierarchy across the zoo.
+
+use stab_algorithms::{FairnessGadget, TokenCirculation, TwoProcessToggle};
+use stab_checker::analyze;
+use stab_core::{Daemon, Fairness};
+use stab_graph::builders;
+
+#[test]
+fn separates_weak_from_strong_fairness() {
+    let alg = FairnessGadget::new();
+    for daemon in [Daemon::Central, Daemon::Distributed] {
+        let r = analyze(&alg, daemon, &alg.legitimacy(), 1 << 10).unwrap();
+        assert!(r.closure.holds());
+        assert!(r.weak.holds());
+        assert!(!r.self_under(Fairness::Unfair).holds(), "{daemon}");
+        assert!(
+            !r.self_under(Fairness::WeaklyFair).holds(),
+            "weak fairness admits the starving toggle under {daemon}"
+        );
+        assert!(
+            r.self_under(Fairness::StronglyFair).holds(),
+            "strong fairness forces P1's move under {daemon}"
+        );
+        assert!(r.self_under(Fairness::Gouda).holds());
+        assert!(r.probabilistic.holds());
+    }
+}
+
+#[test]
+fn synchronous_run_converges_immediately() {
+    // Under the synchronous daemon both processes move at (0,0): P1
+    // finishes in the first step from X, and from Y the toggle leads to X.
+    let alg = FairnessGadget::new();
+    let r = analyze(&alg, Daemon::Synchronous, &alg.legitimacy(), 1 << 10).unwrap();
+    assert!(r.self_under(Fairness::Unfair).holds());
+}
+
+#[test]
+fn weakly_fair_witness_is_the_toggle_cycle() {
+    let alg = FairnessGadget::new();
+    let r = analyze(&alg, Daemon::Central, &alg.legitimacy(), 1 << 10).unwrap();
+    let w = r.self_under(Fairness::WeaklyFair).witness().expect("lasso");
+    let text = w.to_string();
+    assert!(text.contains("⟨0, 0⟩") || text.contains("⟨1, 0⟩"), "{text}");
+}
+
+/// Every step of the hierarchy `unfair ⊊ weakly-fair ⊊ strongly-fair ⊊
+/// Gouda` is strict, witnessed inside the zoo:
+///
+/// * unfair vs weakly fair — the center-leader star (checked in the
+///   theorem 4 integration suite) and, here, the gadget (unfair ✗, and the
+///   toggle cycle is also weakly fair, so the *pair* below separates);
+/// * weakly fair vs strongly fair — the gadget;
+/// * strongly fair vs Gouda — Algorithm 1 on the 6-ring (Theorem 6).
+#[test]
+fn full_hierarchy_strictness() {
+    // weakly-fair ✗ / strongly-fair ✓ :
+    let gadget = FairnessGadget::new();
+    let g = analyze(&gadget, Daemon::Central, &gadget.legitimacy(), 1 << 10).unwrap();
+    assert!(!g.self_under(Fairness::WeaklyFair).holds());
+    assert!(g.self_under(Fairness::StronglyFair).holds());
+
+    // strongly-fair ✗ / Gouda ✓ :
+    let tc = TokenCirculation::on_ring(&builders::ring(6)).unwrap();
+    let t = analyze(&tc, Daemon::Distributed, &tc.legitimacy(), 1 << 22).unwrap();
+    assert!(!t.self_under(Fairness::StronglyFair).holds());
+    assert!(t.self_under(Fairness::Gouda).holds());
+
+    // unfair ✗ / weakly-fair ✓ : Dijkstra-style examples are all-pass;
+    // the center-leader star from the integration suite fills this slot.
+    // Here we confirm at least that unfair is the weakest level on the
+    // toggle (everything fails) and the hierarchy is monotone everywhere.
+    let toggle = TwoProcessToggle::new();
+    let r = analyze(&toggle, Daemon::Distributed, &toggle.legitimacy(), 1 << 10).unwrap();
+    let ladder: Vec<bool> = Fairness::ALL
+        .iter()
+        .map(|&f| r.self_under(f).holds())
+        .collect();
+    for w in ladder.windows(2) {
+        assert!(!w[0] || w[1]);
+    }
+}

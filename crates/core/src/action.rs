@@ -1,0 +1,244 @@
+//! Action labels and sets of simultaneously enabled actions.
+//!
+//! The paper's local algorithms are small: Algorithm 2 has three actions
+//! (`A1`, `A2`, `A3`), every other algorithm in the reproduction has one or
+//! two. [`ActionId`] names an action by index, and [`ActionMask`] is a
+//! zero-allocation set of up to eight actions, which is the result type of
+//! guard evaluation.
+
+use std::fmt;
+
+/// The label of a guarded action, `A1 .. A8` (stored zero-based).
+///
+/// ```
+/// use stab_core::ActionId;
+/// assert_eq!(ActionId::A1.index(), 0);
+/// assert_eq!(format!("{}", ActionId::A3), "A3");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ActionId(u8);
+
+impl ActionId {
+    /// The first action label (paper notation `A1`).
+    pub const A1: ActionId = ActionId(0);
+    /// The second action label.
+    pub const A2: ActionId = ActionId(1);
+    /// The third action label.
+    pub const A3: ActionId = ActionId(2);
+    /// The fourth action label.
+    pub const A4: ActionId = ActionId(3);
+
+    /// Maximum number of distinct actions per algorithm.
+    pub const MAX_ACTIONS: usize = 8;
+
+    /// Creates an action label from a zero-based index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 8`.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        assert!(index < Self::MAX_ACTIONS, "at most 8 actions are supported");
+        ActionId(index as u8)
+    }
+
+    /// Zero-based index of the action.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ActionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "A{}", self.0 + 1)
+    }
+}
+
+impl fmt::Display for ActionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "A{}", self.0 + 1)
+    }
+}
+
+/// A set of action labels, as returned by guard evaluation.
+///
+/// An empty mask means the process is *disabled*; a non-empty mask means the
+/// process is *enabled* and [`ActionMask::selected`] gives the action a
+/// scheduled process executes. When several guards hold simultaneously the
+/// lowest-labelled action has priority — the paper's algorithms have mutually
+/// exclusive guards, so the priority rule never fires for them (the
+/// `stab-checker` crate audits this).
+///
+/// ```
+/// use stab_core::{ActionId, ActionMask};
+/// let m = ActionMask::empty().with(ActionId::A2).with(ActionId::A1);
+/// assert!(m.contains(ActionId::A1));
+/// assert_eq!(m.selected(), Some(ActionId::A1));
+/// assert_eq!(m.iter().collect::<Vec<_>>(), vec![ActionId::A1, ActionId::A2]);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct ActionMask(u8);
+
+impl ActionMask {
+    /// The empty mask: process disabled.
+    #[inline]
+    pub fn empty() -> Self {
+        ActionMask(0)
+    }
+
+    /// A mask containing a single action.
+    #[inline]
+    pub fn single(action: ActionId) -> Self {
+        ActionMask(1 << action.0)
+    }
+
+    /// Returns this mask with `action` added (builder style).
+    #[inline]
+    #[must_use]
+    pub fn with(self, action: ActionId) -> Self {
+        ActionMask(self.0 | (1 << action.0))
+    }
+
+    /// A mask built from `condition`: `single(action)` if it holds, empty
+    /// otherwise. Guards read naturally with this:
+    /// `ActionMask::when(token, ActionId::A1)`.
+    #[inline]
+    pub fn when(condition: bool, action: ActionId) -> Self {
+        if condition {
+            Self::single(action)
+        } else {
+            Self::empty()
+        }
+    }
+
+    /// Whether no action is enabled.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Whether `action` is in the mask.
+    #[inline]
+    pub fn contains(self, action: ActionId) -> bool {
+        self.0 & (1 << action.0) != 0
+    }
+
+    /// Number of enabled actions.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// The action a scheduled process executes: the lowest-labelled enabled
+    /// action, or `None` when disabled.
+    #[inline]
+    pub fn selected(self) -> Option<ActionId> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(ActionId(self.0.trailing_zeros() as u8))
+        }
+    }
+
+    /// Union of two masks.
+    #[inline]
+    #[must_use]
+    pub fn union(self, other: ActionMask) -> ActionMask {
+        ActionMask(self.0 | other.0)
+    }
+
+    /// Iterator over the enabled actions in ascending label order.
+    pub fn iter(self) -> impl Iterator<Item = ActionId> {
+        (0..8u8)
+            .filter(move |i| self.0 & (1 << i) != 0)
+            .map(ActionId)
+    }
+}
+
+impl fmt::Debug for ActionMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, a) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<ActionId> for ActionMask {
+    fn from_iter<I: IntoIterator<Item = ActionId>>(iter: I) -> Self {
+        iter.into_iter()
+            .fold(ActionMask::empty(), ActionMask::with)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_constants_are_sequential() {
+        assert_eq!(ActionId::A1, ActionId::new(0));
+        assert_eq!(ActionId::A2, ActionId::new(1));
+        assert_eq!(ActionId::A3, ActionId::new(2));
+        assert_eq!(ActionId::A4, ActionId::new(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 8 actions")]
+    fn action_id_range_checked() {
+        let _ = ActionId::new(8);
+    }
+
+    #[test]
+    fn empty_mask_has_no_selection() {
+        let m = ActionMask::empty();
+        assert!(m.is_empty());
+        assert_eq!(m.len(), 0);
+        assert_eq!(m.selected(), None);
+        assert_eq!(m.iter().count(), 0);
+    }
+
+    #[test]
+    fn selection_priority_is_lowest_label() {
+        let m = ActionMask::single(ActionId::A3).with(ActionId::A2);
+        assert_eq!(m.selected(), Some(ActionId::A2));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn when_builds_conditionally() {
+        assert!(ActionMask::when(false, ActionId::A1).is_empty());
+        assert!(ActionMask::when(true, ActionId::A1).contains(ActionId::A1));
+    }
+
+    #[test]
+    fn union_and_from_iterator() {
+        let a = ActionMask::single(ActionId::A1);
+        let b = ActionMask::single(ActionId::A4);
+        let u = a.union(b);
+        assert_eq!(u.iter().collect::<Vec<_>>(), vec![ActionId::A1, ActionId::A4]);
+        let collected: ActionMask = vec![ActionId::A4, ActionId::A1].into_iter().collect();
+        assert_eq!(collected, u);
+    }
+
+    #[test]
+    fn debug_format() {
+        let m = ActionMask::single(ActionId::A1).with(ActionId::A3);
+        assert_eq!(format!("{m:?}"), "{A1,A3}");
+    }
+
+    #[test]
+    fn all_eight_actions_fit() {
+        let mut m = ActionMask::empty();
+        for i in 0..8 {
+            m = m.with(ActionId::new(i));
+        }
+        assert_eq!(m.len(), 8);
+        assert_eq!(m.selected(), Some(ActionId::A1));
+    }
+}

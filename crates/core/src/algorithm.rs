@@ -1,0 +1,249 @@
+//! The [`Algorithm`] trait: a distributed algorithm as a finite set of
+//! guarded actions executed by anonymous processes.
+
+use std::fmt;
+use std::hash::Hash;
+
+use stab_graph::{Graph, NodeId};
+
+use crate::action::{ActionId, ActionMask};
+use crate::config::Configuration;
+use crate::outcome::Outcomes;
+use crate::view::{ConfigView, View};
+
+/// Bounds every local state type must satisfy: value semantics plus the
+/// `Eq + Ord + Hash` structure the checkers index state spaces with.
+pub trait LocalState: Clone + Eq + Ord + Hash + fmt::Debug {}
+
+impl<T: Clone + Eq + Ord + Hash + fmt::Debug> LocalState for T {}
+
+/// A distributed algorithm instantiated on a concrete network.
+///
+/// An implementation owns its [`Graph`] and any per-node *constants* (ring
+/// orientation, root flag, …); the mutable state lives in
+/// [`Configuration`]s. Guards ([`Algorithm::enabled_actions`]) and statements
+/// ([`Algorithm::apply`]) access state exclusively through a [`View`],
+/// which restricts them to the process's own state and its neighbours' — the
+/// locality discipline of the paper's shared-register model.
+///
+/// Determinism is a property, not a subtype: an algorithm is *deterministic*
+/// when every action's [`Outcomes`] is a singleton (and guards are mutually
+/// exclusive). The `stab-checker` crate audits this; the transformer
+/// ([`crate::Transformed`]) produces genuinely probabilistic algorithms.
+pub trait Algorithm {
+    /// Per-process local state (the values of the process's variables).
+    type State: LocalState;
+
+    /// The communication graph the algorithm runs on.
+    fn graph(&self) -> &Graph;
+
+    /// Human-readable name, e.g. `"token-circulation(N=6, m=4)"`.
+    fn name(&self) -> String;
+
+    /// The finite domain of `node`'s state (used to enumerate configuration
+    /// spaces; §2: communication uses a *finite* number of shared variables).
+    fn state_space(&self, node: NodeId) -> Vec<Self::State>;
+
+    /// Guard evaluation: the set of actions enabled at the viewed process.
+    fn enabled_actions<V: View<Self::State>>(&self, view: &V) -> ActionMask;
+
+    /// Statement execution: the distribution over the process's next state
+    /// when it executes `action`.
+    ///
+    /// Implementations may assume `action` is enabled in `view`; callers
+    /// (the semantics layer) only pass enabled actions.
+    fn apply<V: View<Self::State>>(&self, view: &V, action: ActionId) -> Outcomes<Self::State>;
+
+    /// Whether `cfg` is an admissible initial configuration. Defaults to
+    /// `true` (`I = C`, the premise of Definitions 1–3); k-stabilization
+    /// style restrictions override this.
+    fn is_initial(&self, cfg: &Configuration<Self::State>) -> bool {
+        let _ = cfg;
+        true
+    }
+
+    /// Whether the algorithm contains P-variables (random assignments).
+    /// Purely descriptive; the checkers derive ground truth from
+    /// [`Outcomes`].
+    fn is_probabilistic(&self) -> bool {
+        false
+    }
+
+    // ------------------------------------------------------------------
+    // Provided conveniences.
+    // ------------------------------------------------------------------
+
+    /// Number of processes `N`.
+    fn n(&self) -> usize {
+        self.graph().n()
+    }
+
+    /// The view of `node` within `cfg`.
+    fn view<'a>(
+        &'a self,
+        cfg: &'a Configuration<Self::State>,
+        node: NodeId,
+    ) -> ConfigView<'a, Self::State> {
+        ConfigView::new(self.graph(), cfg, node)
+    }
+
+    /// Whether `node` is enabled in `cfg` (at least one guard holds).
+    fn is_enabled(&self, cfg: &Configuration<Self::State>, node: NodeId) -> bool {
+        !self.enabled_actions(&self.view(cfg, node)).is_empty()
+    }
+
+    /// The action `node` executes when scheduled: the lowest-labelled
+    /// enabled action (`None` when disabled).
+    fn selected_action(
+        &self,
+        cfg: &Configuration<Self::State>,
+        node: NodeId,
+    ) -> Option<ActionId> {
+        self.enabled_actions(&self.view(cfg, node)).selected()
+    }
+
+    /// All enabled processes of `cfg` in ascending order
+    /// (`Enabled(γ)` in the paper).
+    fn enabled_nodes(&self, cfg: &Configuration<Self::State>) -> Vec<NodeId> {
+        self.graph()
+            .nodes()
+            .filter(|&v| self.is_enabled(cfg, v))
+            .collect()
+    }
+
+    /// Whether `cfg` is terminal: no process is enabled.
+    fn is_terminal(&self, cfg: &Configuration<Self::State>) -> bool {
+        self.graph().nodes().all(|v| !self.is_enabled(cfg, v))
+    }
+}
+
+/// Blanket implementation so `&A` is an algorithm wherever `A` is; lets
+/// harness code borrow algorithms without cloning them.
+impl<A: Algorithm + ?Sized> Algorithm for &A {
+    type State = A::State;
+
+    fn graph(&self) -> &Graph {
+        (**self).graph()
+    }
+
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn state_space(&self, node: NodeId) -> Vec<Self::State> {
+        (**self).state_space(node)
+    }
+
+    fn enabled_actions<V: View<Self::State>>(&self, view: &V) -> ActionMask {
+        (**self).enabled_actions(view)
+    }
+
+    fn apply<V: View<Self::State>>(&self, view: &V, action: ActionId) -> Outcomes<Self::State> {
+        (**self).apply(view, action)
+    }
+
+    fn is_initial(&self, cfg: &Configuration<Self::State>) -> bool {
+        (**self).is_initial(cfg)
+    }
+
+    fn is_probabilistic(&self) -> bool {
+        (**self).is_probabilistic()
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    //! A tiny concrete algorithm used by unit tests across this crate:
+    //! binary "infection" — a process with state 0 becomes 1 when some
+    //! neighbour is 1 (deterministic); legitimate = all 1.
+
+    use super::*;
+
+    #[derive(Debug, Clone)]
+    pub struct Infection {
+        pub g: Graph,
+    }
+
+    impl Algorithm for Infection {
+        type State = u8;
+
+        fn graph(&self) -> &Graph {
+            &self.g
+        }
+
+        fn name(&self) -> String {
+            "infection".into()
+        }
+
+        fn state_space(&self, _node: NodeId) -> Vec<u8> {
+            vec![0, 1]
+        }
+
+        fn enabled_actions<V: View<u8>>(&self, view: &V) -> ActionMask {
+            let infected_neighbor = view.count_neighbors(|&s| s == 1) > 0;
+            ActionMask::when(*view.me() == 0 && infected_neighbor, ActionId::A1)
+        }
+
+        fn apply<V: View<u8>>(&self, _view: &V, _action: ActionId) -> Outcomes<u8> {
+            Outcomes::certain(1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_support::Infection;
+    use super::*;
+    use stab_graph::builders;
+
+    fn alg() -> Infection {
+        Infection { g: builders::path(4) }
+    }
+
+    #[test]
+    fn enabled_nodes_are_uninfected_with_infected_neighbor() {
+        let a = alg();
+        let cfg = Configuration::from_vec(vec![1, 0, 0, 0]);
+        assert_eq!(a.enabled_nodes(&cfg), vec![NodeId::new(1)]);
+        assert!(a.is_enabled(&cfg, NodeId::new(1)));
+        assert!(!a.is_enabled(&cfg, NodeId::new(0)));
+        assert!(!a.is_enabled(&cfg, NodeId::new(3)));
+    }
+
+    #[test]
+    fn selected_action_is_a1() {
+        let a = alg();
+        let cfg = Configuration::from_vec(vec![1, 0, 0, 0]);
+        assert_eq!(a.selected_action(&cfg, NodeId::new(1)), Some(ActionId::A1));
+        assert_eq!(a.selected_action(&cfg, NodeId::new(2)), None);
+    }
+
+    #[test]
+    fn all_infected_is_terminal() {
+        let a = alg();
+        assert!(a.is_terminal(&Configuration::from_vec(vec![1, 1, 1, 1])));
+        assert!(!a.is_terminal(&Configuration::from_vec(vec![1, 0, 1, 1])));
+        // All-zero is also terminal for infection: nobody can start it.
+        assert!(a.is_terminal(&Configuration::from_vec(vec![0, 0, 0, 0])));
+    }
+
+    #[test]
+    fn reference_impl_delegates() {
+        let a = alg();
+        let r: &Infection = &a;
+        assert_eq!(r.name(), "infection");
+        assert_eq!(Algorithm::n(&r), 4);
+        let cfg = Configuration::from_vec(vec![0, 1, 0, 0]);
+        assert_eq!(
+            r.enabled_nodes(&cfg),
+            vec![NodeId::new(0), NodeId::new(2)]
+        );
+    }
+
+    #[test]
+    fn default_is_initial_accepts_everything() {
+        let a = alg();
+        assert!(a.is_initial(&Configuration::from_vec(vec![0, 0, 0, 0])));
+        assert!(!a.is_probabilistic());
+    }
+}

@@ -1,0 +1,210 @@
+//! Configurations: an instance of the state of every process (§2 of the
+//! paper).
+
+use std::fmt;
+
+use stab_graph::NodeId;
+
+/// A configuration of the system: one local state per process, indexed by
+/// [`NodeId`].
+///
+/// Configurations are immutable values; updates go through
+/// [`Configuration::with_state`] (copy-on-write of a fresh configuration) or
+/// [`Configuration::set`] on an owned, mutable configuration. They implement
+/// `Eq + Hash + Ord` so checkers and Markov builders can index state spaces
+/// with them.
+///
+/// ```
+/// use stab_core::Configuration;
+/// use stab_graph::NodeId;
+///
+/// let c = Configuration::from_vec(vec![0u8, 1, 2]);
+/// assert_eq!(c.len(), 3);
+/// assert_eq!(*c.get(NodeId::new(1)), 1);
+/// let c2 = c.with_state(NodeId::new(1), 9);
+/// assert_eq!(*c2.get(NodeId::new(1)), 9);
+/// assert_eq!(*c.get(NodeId::new(1)), 1, "original unchanged");
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Configuration<S> {
+    states: Box<[S]>,
+}
+
+impl<S> Configuration<S> {
+    /// Builds a configuration from a vector of per-process states
+    /// (index `i` is the state of process `Pi`).
+    pub fn from_vec(states: Vec<S>) -> Self {
+        Configuration { states: states.into_boxed_slice() }
+    }
+
+    /// Number of processes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether the configuration has no processes (never the case for
+    /// configurations of real systems; present for completeness).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// The state of process `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[inline]
+    pub fn get(&self, node: NodeId) -> &S {
+        &self.states[node.index()]
+    }
+
+    /// Overwrites the state of process `node` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[inline]
+    pub fn set(&mut self, node: NodeId, state: S) {
+        self.states[node.index()] = state;
+    }
+
+    /// Iterator over `(NodeId, &S)` pairs in process order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &S)> {
+        self.states
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (NodeId::new(i), s))
+    }
+
+    /// The per-process states as a slice.
+    #[inline]
+    pub fn states(&self) -> &[S] {
+        &self.states
+    }
+
+    /// Maps every state through `f`, yielding a configuration of a different
+    /// state type (used for projections, e.g. dropping the transformer's
+    /// coin).
+    pub fn map<T>(&self, f: impl FnMut(&S) -> T) -> Configuration<T> {
+        Configuration::from_vec(self.states.iter().map(f).collect())
+    }
+}
+
+impl<S: Clone> Configuration<S> {
+    /// Returns a copy of this configuration with the state of `node`
+    /// replaced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn with_state(&self, node: NodeId, state: S) -> Self {
+        let mut next = self.clone();
+        next.set(node, state);
+        next
+    }
+}
+
+impl<S: fmt::Debug> fmt::Debug for Configuration<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, s) in self.states.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{s:?}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+impl<S> FromIterator<S> for Configuration<S> {
+    fn from_iter<I: IntoIterator<Item = S>>(iter: I) -> Self {
+        Configuration::from_vec(iter.into_iter().collect())
+    }
+}
+
+impl<S> From<Vec<S>> for Configuration<S> {
+    fn from(states: Vec<S>) -> Self {
+        Configuration::from_vec(states)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let c: Configuration<u8> = vec![3, 1, 4].into();
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_empty());
+        assert_eq!(*c.get(NodeId::new(0)), 3);
+        assert_eq!(c.states(), &[3, 1, 4]);
+    }
+
+    #[test]
+    fn set_mutates_in_place() {
+        let mut c = Configuration::from_vec(vec![0, 0]);
+        c.set(NodeId::new(1), 7);
+        assert_eq!(*c.get(NodeId::new(1)), 7);
+    }
+
+    #[test]
+    fn with_state_leaves_original_untouched() {
+        let a = Configuration::from_vec(vec![false, false]);
+        let b = a.with_state(NodeId::new(0), true);
+        assert_ne!(a, b);
+        assert!(!*a.get(NodeId::new(0)));
+        assert!(*b.get(NodeId::new(0)));
+    }
+
+    #[test]
+    fn iter_yields_node_ids_in_order() {
+        let c = Configuration::from_vec(vec!['a', 'b']);
+        let pairs: Vec<_> = c.iter().collect();
+        assert_eq!(pairs, vec![(NodeId::new(0), &'a'), (NodeId::new(1), &'b')]);
+    }
+
+    #[test]
+    fn map_projects_states() {
+        let c = Configuration::from_vec(vec![(1u8, true), (2, false)]);
+        let projected = c.map(|&(v, _)| v);
+        assert_eq!(projected.states(), &[1, 2]);
+    }
+
+    #[test]
+    fn equality_and_hash_are_structural() {
+        use std::collections::HashSet;
+        let a = Configuration::from_vec(vec![1, 2, 3]);
+        let b = Configuration::from_vec(vec![1, 2, 3]);
+        let c = Configuration::from_vec(vec![3, 2, 1]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let mut set = HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&b));
+        assert!(!set.contains(&c));
+    }
+
+    #[test]
+    fn debug_uses_angle_brackets() {
+        let c = Configuration::from_vec(vec![1, 2]);
+        assert_eq!(format!("{c:?}"), "⟨1, 2⟩");
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let c: Configuration<usize> = (0..4).collect();
+        assert_eq!(c.states(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_access_panics() {
+        let c = Configuration::from_vec(vec![0u8]);
+        let _ = c.get(NodeId::new(5));
+    }
+}

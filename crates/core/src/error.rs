@@ -1,0 +1,71 @@
+//! Error type for the kernel's fallible operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by state-space enumeration and scheduler enumeration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// The full configuration space exceeds the requested cap; exhaustive
+    /// analyses must fall back to sampling.
+    StateSpaceTooLarge {
+        /// Number of configurations (saturating).
+        total: u128,
+        /// The cap that was exceeded.
+        cap: u64,
+    },
+    /// Enumerating all activations of the distributed daemon would produce
+    /// `2^k − 1` subsets for `k` enabled processes; `k` exceeded the cap.
+    TooManyEnabled {
+        /// Number of enabled processes.
+        enabled: usize,
+        /// Maximum supported for enumeration.
+        cap: usize,
+    },
+    /// A node has an empty state space, so no configuration exists.
+    EmptyStateSpace {
+        /// The node with no states.
+        node: usize,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::StateSpaceTooLarge { total, cap } => write!(
+                f,
+                "configuration space has {total} states, exceeding the cap of {cap}"
+            ),
+            CoreError::TooManyEnabled { enabled, cap } => write!(
+                f,
+                "cannot enumerate distributed activations for {enabled} enabled processes (cap {cap})"
+            ),
+            CoreError::EmptyStateSpace { node } => {
+                write!(f, "node {node} has an empty state space")
+            }
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_key_numbers() {
+        let e = CoreError::StateSpaceTooLarge { total: 1 << 40, cap: 1 << 20 };
+        assert!(e.to_string().contains("1099511627776"));
+        let e = CoreError::TooManyEnabled { enabled: 30, cap: 20 };
+        assert!(e.to_string().contains("30"));
+        let e = CoreError::EmptyStateSpace { node: 2 };
+        assert!(e.to_string().contains("node 2"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn check<E: std::error::Error + Send + Sync + 'static>() {}
+        check::<CoreError>();
+    }
+}

@@ -1,0 +1,179 @@
+//! Execution traces: recorded prefixes of executions, used for figure
+//! regeneration and counterexample display.
+
+use std::fmt;
+
+use crate::config::Configuration;
+use crate::scheduler::Activation;
+
+/// A finite execution prefix `γ0 →(act1) γ1 →(act2) … γk`.
+///
+/// Invariant: `configs.len() == activations.len() + 1`.
+///
+/// ```
+/// use stab_core::{Activation, Configuration, Trace};
+/// use stab_graph::NodeId;
+///
+/// let mut t = Trace::new(Configuration::from_vec(vec![0u8, 1]));
+/// t.push(Activation::singleton(NodeId::new(0)), Configuration::from_vec(vec![2, 1]));
+/// assert_eq!(t.steps(), 1);
+/// assert_eq!(t.last().states(), &[2, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace<S> {
+    configs: Vec<Configuration<S>>,
+    activations: Vec<Activation>,
+}
+
+impl<S> Trace<S> {
+    /// A trace consisting of the initial configuration only.
+    pub fn new(initial: Configuration<S>) -> Self {
+        Trace { configs: vec![initial], activations: Vec::new() }
+    }
+
+    /// Appends a step: `activation` fired and produced `next`.
+    pub fn push(&mut self, activation: Activation, next: Configuration<S>) {
+        self.activations.push(activation);
+        self.configs.push(next);
+    }
+
+    /// Number of steps (= transitions) recorded.
+    pub fn steps(&self) -> usize {
+        self.activations.len()
+    }
+
+    /// The `i`-th configuration (`0` = initial).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > steps()`.
+    pub fn config(&self, i: usize) -> &Configuration<S> {
+        &self.configs[i]
+    }
+
+    /// The activation that produced configuration `i + 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= steps()`.
+    pub fn activation(&self, i: usize) -> &Activation {
+        &self.activations[i]
+    }
+
+    /// The initial configuration.
+    pub fn first(&self) -> &Configuration<S> {
+        &self.configs[0]
+    }
+
+    /// The final configuration.
+    pub fn last(&self) -> &Configuration<S> {
+        self.configs.last().expect("traces hold at least one configuration")
+    }
+
+    /// All configurations, initial first.
+    pub fn configs(&self) -> &[Configuration<S>] {
+        &self.configs
+    }
+
+    /// Index of the first configuration satisfying `pred` (e.g. the first
+    /// legitimate configuration — the stabilization point), if any.
+    pub fn first_index_where(
+        &self,
+        pred: impl FnMut(&Configuration<S>) -> bool,
+    ) -> Option<usize> {
+        self.configs.iter().position(pred)
+    }
+
+    /// Renders the trace with a custom per-configuration formatter, one
+    /// configuration per block, interleaved with the activations. This is
+    /// how the experiment binaries regenerate the paper's Figures 1–3.
+    pub fn render(&self, mut fmt_config: impl FnMut(&Configuration<S>) -> String) -> String {
+        let mut out = String::new();
+        for (i, c) in self.configs.iter().enumerate() {
+            if i > 0 {
+                out.push_str(&format!("  --[{}]-->\n", self.activations[i - 1]));
+            }
+            out.push_str(&format!("({}) {}\n", roman(i), fmt_config(c)));
+        }
+        out
+    }
+}
+
+impl<S: fmt::Debug> fmt::Display for Trace<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render(|c| format!("{c:?}")))
+    }
+}
+
+/// Lower-case roman numerals for figure-style configuration labels
+/// ((i), (ii), …), falling back to decimal beyond 20.
+fn roman(i: usize) -> String {
+    const NUMERALS: [&str; 21] = [
+        "i", "ii", "iii", "iv", "v", "vi", "vii", "viii", "ix", "x", "xi", "xii", "xiii",
+        "xiv", "xv", "xvi", "xvii", "xviii", "xix", "xx", "xxi",
+    ];
+    NUMERALS.get(i).map(|s| s.to_string()).unwrap_or_else(|| format!("{}", i + 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stab_graph::NodeId;
+
+    fn sample_trace() -> Trace<u8> {
+        let mut t = Trace::new(Configuration::from_vec(vec![0, 0]));
+        t.push(
+            Activation::singleton(NodeId::new(0)),
+            Configuration::from_vec(vec![1, 0]),
+        );
+        t.push(
+            Activation::singleton(NodeId::new(1)),
+            Configuration::from_vec(vec![1, 1]),
+        );
+        t
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let t = sample_trace();
+        assert_eq!(t.steps(), 2);
+        assert_eq!(t.first().states(), &[0, 0]);
+        assert_eq!(t.last().states(), &[1, 1]);
+        assert_eq!(t.config(1).states(), &[1, 0]);
+        assert_eq!(t.activation(0).nodes(), &[NodeId::new(0)]);
+        assert_eq!(t.configs().len(), 3);
+    }
+
+    #[test]
+    fn first_index_where_finds_stabilization_point() {
+        let t = sample_trace();
+        assert_eq!(t.first_index_where(|c| c.states() == [1, 1]), Some(2));
+        assert_eq!(t.first_index_where(|c| c.states() == [9, 9]), None);
+        assert_eq!(t.first_index_where(|_| true), Some(0));
+    }
+
+    #[test]
+    fn render_labels_configs_with_roman_numerals() {
+        let t = sample_trace();
+        let s = t.render(|c| format!("{:?}", c.states()));
+        assert!(s.contains("(i) [0, 0]"));
+        assert!(s.contains("--[{P0}]-->"));
+        assert!(s.contains("(ii) [1, 0]"));
+        assert!(s.contains("(iii) [1, 1]"));
+    }
+
+    #[test]
+    fn roman_numerals() {
+        assert_eq!(roman(0), "i");
+        assert_eq!(roman(4), "v");
+        assert_eq!(roman(8), "ix");
+        assert_eq!(roman(30), "31");
+    }
+
+    #[test]
+    fn display_uses_debug_formatter() {
+        let t = sample_trace();
+        let shown = format!("{t}");
+        assert!(shown.contains("⟨1, 1⟩"));
+    }
+}

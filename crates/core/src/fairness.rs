@@ -1,0 +1,114 @@
+//! Fairness assumptions over executions (§2 and §4 of the paper).
+
+use std::fmt;
+
+/// The fairness assumption constraining infinite executions.
+///
+/// Ordered from weakest to strongest *as a constraint on the scheduler*
+/// (every Gouda-fair execution is strongly fair, every strongly fair
+/// execution is weakly fair, every execution is unfair-admissible):
+///
+/// * [`Fairness::Unfair`] — the paper's *proper* scheduler: no constraint
+///   beyond progress (some enabled process moves each step; a process can be
+///   starved forever unless it is the only enabled one, which progress
+///   already forces).
+/// * [`Fairness::WeaklyFair`] — every *continuously* enabled process is
+///   eventually activated.
+/// * [`Fairness::StronglyFair`] — every process enabled *infinitely often*
+///   is activated infinitely often.
+/// * [`Fairness::Gouda`] — Gouda's strong fairness (Theorem 5): for every
+///   transition `γ ↦ γ'`, if `γ` occurs infinitely often then the transition
+///   `γ ↦ γ'` occurs infinitely often. Theorem 6 of the paper shows this is
+///   *strictly* stronger than [`Fairness::StronglyFair`]; Theorem 7 shows it
+///   is equivalent to probability-1 convergence under the randomized
+///   scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Fairness {
+    /// No fairness constraint (the paper's "proper" scheduler).
+    Unfair,
+    /// Continuously enabled processes are eventually activated.
+    WeaklyFair,
+    /// Infinitely-often enabled processes are activated infinitely often.
+    StronglyFair,
+    /// Gouda's strong fairness over transitions.
+    Gouda,
+}
+
+impl Fairness {
+    /// All fairness levels, weakest constraint first.
+    pub const ALL: [Fairness; 4] = [
+        Fairness::Unfair,
+        Fairness::WeaklyFair,
+        Fairness::StronglyFair,
+        Fairness::Gouda,
+    ];
+
+    /// Short stable name for tables and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Fairness::Unfair => "unfair",
+            Fairness::WeaklyFair => "weakly-fair",
+            Fairness::StronglyFair => "strongly-fair",
+            Fairness::Gouda => "gouda",
+        }
+    }
+
+    /// Whether every `self`-fair execution is also `weaker`-fair: the
+    /// inclusion order of the execution sets.
+    ///
+    /// ```
+    /// use stab_core::Fairness;
+    /// assert!(Fairness::Gouda.refines(Fairness::StronglyFair));
+    /// assert!(Fairness::StronglyFair.refines(Fairness::WeaklyFair));
+    /// assert!(!Fairness::WeaklyFair.refines(Fairness::StronglyFair));
+    /// ```
+    pub fn refines(self, weaker: Fairness) -> bool {
+        self >= weaker
+    }
+}
+
+impl fmt::Display for Fairness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_strength() {
+        assert!(Fairness::Unfair < Fairness::WeaklyFair);
+        assert!(Fairness::WeaklyFair < Fairness::StronglyFair);
+        assert!(Fairness::StronglyFair < Fairness::Gouda);
+    }
+
+    #[test]
+    fn refinement_is_reflexive_and_transitive() {
+        for a in Fairness::ALL {
+            assert!(a.refines(a));
+            for b in Fairness::ALL {
+                for c in Fairness::ALL {
+                    if a.refines(b) && b.refines(c) {
+                        assert!(a.refines(c));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn everyone_refines_unfair() {
+        for f in Fairness::ALL {
+            assert!(f.refines(Fairness::Unfair));
+        }
+    }
+
+    #[test]
+    fn names_are_stable() {
+        let names: Vec<&str> = Fairness::ALL.iter().map(|f| f.name()).collect();
+        assert_eq!(names, vec!["unfair", "weakly-fair", "strongly-fair", "gouda"]);
+        assert_eq!(Fairness::Gouda.to_string(), "gouda");
+    }
+}

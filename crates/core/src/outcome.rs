@@ -1,0 +1,264 @@
+//! Finite probability distributions over successor states.
+//!
+//! The paper distinguishes *D-variables* (deterministically assigned) from
+//! *P-variables* (randomly assigned via `Rand`). [`Outcomes`] represents the
+//! result of executing one action: a finite distribution over the process's
+//! next local state. Deterministic actions yield a singleton; the
+//! transformer's coin toss yields a two-point distribution.
+
+use std::fmt;
+
+use rand::Rng;
+
+/// Tolerance for validating that probabilities sum to one.
+const PROB_EPS: f64 = 1e-9;
+
+/// A finite probability distribution over successor local states, produced
+/// by executing a single action of a single process.
+///
+/// Probabilities are strictly positive and sum to 1 (validated on
+/// construction, duplicates merged).
+///
+/// ```
+/// use stab_core::Outcomes;
+/// let o = Outcomes::fair_coin(0u8, 1u8);
+/// assert_eq!(o.entries().len(), 2);
+/// assert!(!o.is_certain());
+/// assert_eq!(Outcomes::certain(5u8).entries(), &[(1.0, 5u8)]);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Outcomes<S> {
+    entries: Vec<(f64, S)>,
+}
+
+impl<S: PartialEq> Outcomes<S> {
+    /// A deterministic outcome: the next state with probability 1.
+    pub fn certain(state: S) -> Self {
+        Outcomes { entries: vec![(1.0, state)] }
+    }
+
+    /// A fair coin: each state with probability ½, as in the paper's
+    /// transformer `B ← Rand(true, false)`. If both states are equal the
+    /// distribution collapses to a certain outcome.
+    pub fn fair_coin(heads: S, tails: S) -> Self {
+        Self::biased_coin(0.5, heads, tails)
+    }
+
+    /// A biased coin: `heads` with probability `p_heads`, `tails` with
+    /// probability `1 − p_heads`. Used by the coin-bias ablation study.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p_heads` is not strictly between 0 and 1.
+    pub fn biased_coin(p_heads: f64, heads: S, tails: S) -> Self {
+        assert!(
+            p_heads > 0.0 && p_heads < 1.0,
+            "coin bias must lie strictly between 0 and 1, got {p_heads}"
+        );
+        if heads == tails {
+            return Self::certain(heads);
+        }
+        Outcomes { entries: vec![(p_heads, heads), (1.0 - p_heads, tails)] }
+    }
+
+    /// A distribution from explicit weights.
+    ///
+    /// Entries with equal states are merged; all probabilities must be
+    /// strictly positive and sum to 1 within `1e-9`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty list, non-positive weights, or weights that do not
+    /// sum to 1.
+    pub fn weighted(entries: Vec<(f64, S)>) -> Self {
+        assert!(!entries.is_empty(), "a distribution needs at least one outcome");
+        let mut merged: Vec<(f64, S)> = Vec::with_capacity(entries.len());
+        for (p, s) in entries {
+            assert!(p > 0.0, "outcome probabilities must be strictly positive, got {p}");
+            match merged.iter_mut().find(|(_, t)| *t == s) {
+                Some((q, _)) => *q += p,
+                None => merged.push((p, s)),
+            }
+        }
+        let total: f64 = merged.iter().map(|(p, _)| p).sum();
+        assert!(
+            (total - 1.0).abs() < PROB_EPS,
+            "outcome probabilities must sum to 1, got {total}"
+        );
+        Outcomes { entries: merged }
+    }
+
+    /// A uniform distribution over the given states (duplicates merged).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states` is empty.
+    pub fn uniform(states: Vec<S>) -> Self {
+        assert!(!states.is_empty(), "a distribution needs at least one outcome");
+        let p = 1.0 / states.len() as f64;
+        Self::weighted(states.into_iter().map(|s| (p, s)).collect())
+    }
+}
+
+impl<S> Outcomes<S> {
+    /// The `(probability, state)` entries; probabilities are positive and
+    /// sum to 1.
+    #[inline]
+    pub fn entries(&self) -> &[(f64, S)] {
+        &self.entries
+    }
+
+    /// Whether this outcome is deterministic (a single entry).
+    #[inline]
+    pub fn is_certain(&self) -> bool {
+        self.entries.len() == 1
+    }
+
+    /// Consumes the distribution, returning its entries.
+    pub fn into_entries(self) -> Vec<(f64, S)> {
+        self.entries
+    }
+
+    /// The unique state of a deterministic outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outcome is probabilistic.
+    pub fn into_certain(mut self) -> S {
+        assert!(
+            self.entries.len() == 1,
+            "into_certain on a probabilistic outcome with {} entries",
+            self.entries.len()
+        );
+        self.entries.pop().expect("non-empty by construction").1
+    }
+
+    /// Maps every state through `f`, keeping probabilities. Used by the
+    /// transformer to pair inner outcomes with coin values.
+    pub fn map<T>(self, f: impl FnMut(S) -> T) -> Outcomes<T> {
+        let mut f = f;
+        Outcomes {
+            entries: self.entries.into_iter().map(|(p, s)| (p, f(s))).collect(),
+        }
+    }
+
+    /// Samples a state according to the distribution.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> &S {
+        if self.entries.len() == 1 {
+            return &self.entries[0].1;
+        }
+        let x: f64 = rng.random();
+        let mut acc = 0.0;
+        for (p, s) in &self.entries {
+            acc += p;
+            if x < acc {
+                return s;
+            }
+        }
+        // Floating-point slack: fall back to the last entry.
+        &self.entries[self.entries.len() - 1].1
+    }
+}
+
+impl<S: fmt::Debug> fmt::Debug for Outcomes<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Outcomes[")?;
+        for (i, (p, s)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p:.3}↦{s:?}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn certain_is_singleton() {
+        let o = Outcomes::certain(42u8);
+        assert!(o.is_certain());
+        assert_eq!(o.entries(), &[(1.0, 42)]);
+        assert_eq!(o.into_certain(), 42);
+    }
+
+    #[test]
+    fn fair_coin_halves() {
+        let o = Outcomes::fair_coin(true, false);
+        assert_eq!(o.entries().len(), 2);
+        assert!((o.entries()[0].0 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coin_with_equal_sides_collapses() {
+        let o = Outcomes::fair_coin(7u8, 7u8);
+        assert!(o.is_certain());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly between 0 and 1")]
+    fn degenerate_bias_rejected() {
+        let _ = Outcomes::biased_coin(1.0, 1u8, 0u8);
+    }
+
+    #[test]
+    fn weighted_merges_duplicates() {
+        let o = Outcomes::weighted(vec![(0.25, 'x'), (0.5, 'y'), (0.25, 'x')]);
+        assert_eq!(o.entries().len(), 2);
+        let px = o
+            .entries()
+            .iter()
+            .find(|(_, s)| *s == 'x')
+            .map(|(p, _)| *p)
+            .unwrap();
+        assert!((px - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn weighted_validates_total() {
+        let _ = Outcomes::weighted(vec![(0.3, 1u8), (0.3, 2u8)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly positive")]
+    fn weighted_rejects_zero_probability() {
+        let _ = Outcomes::weighted(vec![(0.0, 1u8), (1.0, 2u8)]);
+    }
+
+    #[test]
+    fn uniform_distributes_evenly() {
+        let o = Outcomes::uniform(vec![1u8, 2, 3, 4]);
+        assert_eq!(o.entries().len(), 4);
+        for (p, _) in o.entries() {
+            assert!((p - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn map_preserves_probabilities() {
+        let o = Outcomes::fair_coin(1u8, 2u8).map(|s| s * 10);
+        let states: Vec<u8> = o.entries().iter().map(|(_, s)| *s).collect();
+        assert_eq!(states, vec![10, 20]);
+    }
+
+    #[test]
+    #[should_panic(expected = "probabilistic outcome")]
+    fn into_certain_rejects_probabilistic() {
+        let _ = Outcomes::fair_coin(0u8, 1u8).into_certain();
+    }
+
+    #[test]
+    fn sampling_matches_distribution_roughly() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let o = Outcomes::biased_coin(0.8, 1u8, 0u8);
+        let n = 20_000;
+        let ones: usize = (0..n).filter(|_| *o.sample(&mut rng) == 1).count();
+        let freq = ones as f64 / n as f64;
+        assert!((freq - 0.8).abs() < 0.02, "sampled frequency {freq}");
+    }
+}

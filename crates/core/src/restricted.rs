@@ -1,0 +1,132 @@
+//! Initial-set restriction: the k-stabilization hook.
+//!
+//! §1 of the paper recalls k-stabilization (Beauquier–Genolini–Kutten):
+//! prohibiting some configurations from being initial — assuming at most
+//! `k` faults — lets systems solve problems that are impossible in the
+//! full self-stabilizing setting. [`Restricted`] wraps any algorithm with
+//! an initial-configuration predicate; the checker then quantifies weak
+//! and certain convergence over the restricted initial set and the
+//! configurations reachable from it (note that executions may *leave* the
+//! initial set — only the start is constrained).
+
+use stab_graph::{Graph, NodeId};
+
+use crate::action::{ActionId, ActionMask};
+use crate::algorithm::Algorithm;
+use crate::config::Configuration;
+use crate::outcome::Outcomes;
+use crate::view::View;
+
+/// An algorithm with a restricted set of admissible initial configurations.
+///
+/// The guards, statements and state spaces are unchanged; only
+/// [`Algorithm::is_initial`] is narrowed, which the checker and the Markov
+/// engine honour when quantifying convergence ("starting from any *initial*
+/// configuration…").
+#[derive(Debug, Clone)]
+pub struct Restricted<A, F> {
+    inner: A,
+    initial: F,
+    label: String,
+}
+
+impl<A: Algorithm, F: Fn(&Configuration<A::State>) -> bool> Restricted<A, F> {
+    /// Restricts `inner` to initial configurations satisfying `initial`
+    /// (in conjunction with the inner algorithm's own restriction, if any).
+    /// `label` names the restriction in reports, e.g. `"≤2 tokens"`.
+    pub fn new(inner: A, label: impl Into<String>, initial: F) -> Self {
+        Restricted { inner, initial, label: label.into() }
+    }
+
+    /// The wrapped algorithm.
+    pub fn inner(&self) -> &A {
+        &self.inner
+    }
+}
+
+impl<A, F> Algorithm for Restricted<A, F>
+where
+    A: Algorithm,
+    F: Fn(&Configuration<A::State>) -> bool,
+{
+    type State = A::State;
+
+    fn graph(&self) -> &Graph {
+        self.inner.graph()
+    }
+
+    fn name(&self) -> String {
+        format!("{} | I: {}", self.inner.name(), self.label)
+    }
+
+    fn state_space(&self, node: NodeId) -> Vec<Self::State> {
+        self.inner.state_space(node)
+    }
+
+    fn enabled_actions<V: View<Self::State>>(&self, view: &V) -> ActionMask {
+        self.inner.enabled_actions(view)
+    }
+
+    fn apply<V: View<Self::State>>(&self, view: &V, action: ActionId) -> Outcomes<Self::State> {
+        self.inner.apply(view, action)
+    }
+
+    fn is_initial(&self, cfg: &Configuration<Self::State>) -> bool {
+        self.inner.is_initial(cfg) && (self.initial)(cfg)
+    }
+
+    fn is_probabilistic(&self) -> bool {
+        self.inner.is_probabilistic()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::test_support::Infection;
+    use stab_graph::builders;
+
+    fn base() -> Infection {
+        Infection { g: builders::path(3) }
+    }
+
+    #[test]
+    fn restriction_narrows_initial_set() {
+        let r = Restricted::new(base(), "some ones", |c: &Configuration<u8>| {
+            c.states().contains(&1)
+        });
+        assert!(r.is_initial(&Configuration::from_vec(vec![1, 0, 0])));
+        assert!(!r.is_initial(&Configuration::from_vec(vec![0, 0, 0])));
+    }
+
+    #[test]
+    fn behaviour_is_unchanged() {
+        let b = base();
+        let r = Restricted::new(base(), "anything", |_: &Configuration<u8>| true);
+        let cfg = Configuration::from_vec(vec![1, 0, 0]);
+        assert_eq!(r.enabled_nodes(&cfg), b.enabled_nodes(&cfg));
+        assert_eq!(r.state_space(NodeId::new(0)), b.state_space(NodeId::new(0)));
+        assert_eq!(r.n(), 3);
+        assert!(!r.is_probabilistic());
+    }
+
+    #[test]
+    fn name_mentions_restriction() {
+        let r = Restricted::new(base(), "≤1 fault", |_: &Configuration<u8>| true);
+        assert_eq!(r.name(), "infection | I: ≤1 fault");
+        assert_eq!(r.inner().name(), "infection");
+    }
+
+    #[test]
+    fn restrictions_compose() {
+        let inner = Restricted::new(base(), "has-one", |c: &Configuration<u8>| {
+            c.states().contains(&1)
+        });
+        let outer = Restricted::new(inner, "first-zero", |c: &Configuration<u8>| {
+            c.states()[0] == 0
+        });
+        assert!(outer.is_initial(&Configuration::from_vec(vec![0, 1, 0])));
+        assert!(!outer.is_initial(&Configuration::from_vec(vec![1, 1, 0])), "violates outer");
+        assert!(!outer.is_initial(&Configuration::from_vec(vec![0, 0, 0])), "violates inner");
+    }
+}

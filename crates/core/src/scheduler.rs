@@ -1,0 +1,420 @@
+//! Schedulers (daemons): who moves at each step.
+//!
+//! A scheduler picks a non-empty subset of the enabled processes to execute
+//! simultaneously (§2 of the paper). This module provides the four daemons
+//! of the self-stabilization literature used by the paper:
+//!
+//! * [`Daemon::Central`] — exactly one enabled process per step (Dijkstra);
+//! * [`Daemon::Distributed`] — any non-empty subset (Burns–Gouda–Miller);
+//! * [`Daemon::Synchronous`] — every enabled process, every step (Herman);
+//! * [`Daemon::LocallyCentral`] — any non-empty subset containing no two
+//!   neighbours (a common intermediate daemon, used by ablation studies).
+//!
+//! Each daemon exists in two forms: **enumerated** ([`Daemon::activations`])
+//! for exhaustive model checking, and **randomized** ([`Daemon::sample`]) —
+//! the uniform choice of Definition 6 (Dasgupta–Ghosh–Xiao) that Theorem 7
+//! proves equivalent to Gouda's strong fairness.
+
+use std::fmt;
+
+use rand::Rng;
+use stab_graph::{Graph, NodeId};
+
+use crate::error::CoreError;
+
+/// Maximum number of enabled processes for which the distributed daemon's
+/// `2^k − 1` activations are enumerated.
+pub const DISTRIBUTED_ENUM_CAP: usize = 20;
+
+/// A non-empty set of processes activated in one step, sorted ascending.
+///
+/// ```
+/// use stab_core::Activation;
+/// use stab_graph::NodeId;
+/// let a = Activation::new(vec![NodeId::new(2), NodeId::new(0)]);
+/// assert_eq!(a.len(), 2);
+/// assert!(a.contains(NodeId::new(0)));
+/// assert_eq!(format!("{a}"), "{P0,P2}");
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Activation {
+    nodes: Box<[NodeId]>,
+}
+
+impl Activation {
+    /// Creates an activation from a set of nodes (sorted and deduplicated).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is empty: the paper's steps always activate at
+    /// least one process.
+    pub fn new(mut nodes: Vec<NodeId>) -> Self {
+        assert!(!nodes.is_empty(), "an activation must contain at least one process");
+        nodes.sort_unstable();
+        nodes.dedup();
+        Activation { nodes: nodes.into_boxed_slice() }
+    }
+
+    /// An activation of a single process (central daemon steps).
+    pub fn singleton(node: NodeId) -> Self {
+        Activation { nodes: vec![node].into_boxed_slice() }
+    }
+
+    /// The activated processes in ascending order.
+    #[inline]
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Number of activated processes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Activations are never empty; provided for clippy-completeness.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether `node` is activated.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.nodes.binary_search(&node).is_ok()
+    }
+}
+
+impl fmt::Debug for Activation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Activation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, v) in self.nodes.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// The scheduler family: how many (and which) enabled processes may move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Daemon {
+    /// Exactly one enabled process moves per step.
+    Central,
+    /// Any non-empty subset of enabled processes moves per step.
+    Distributed,
+    /// Every enabled process moves, every step.
+    Synchronous,
+    /// Any non-empty subset of pairwise non-adjacent enabled processes.
+    LocallyCentral,
+}
+
+impl Daemon {
+    /// All four daemons, for sweep-style experiments.
+    pub const ALL: [Daemon; 4] = [
+        Daemon::Central,
+        Daemon::Distributed,
+        Daemon::Synchronous,
+        Daemon::LocallyCentral,
+    ];
+
+    /// Short stable name for tables and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Daemon::Central => "central",
+            Daemon::Distributed => "distributed",
+            Daemon::Synchronous => "synchronous",
+            Daemon::LocallyCentral => "locally-central",
+        }
+    }
+
+    /// Enumerates every activation this daemon allows given the enabled set.
+    ///
+    /// Returns an empty vector when `enabled` is empty (terminal
+    /// configuration — no step exists).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::TooManyEnabled`] if the distributed or locally-central
+    /// daemon would enumerate more than `2^DISTRIBUTED_ENUM_CAP` subsets.
+    pub fn activations(
+        self,
+        graph: &Graph,
+        enabled: &[NodeId],
+    ) -> Result<Vec<Activation>, CoreError> {
+        if enabled.is_empty() {
+            return Ok(Vec::new());
+        }
+        match self {
+            Daemon::Central => Ok(enabled.iter().map(|&v| Activation::singleton(v)).collect()),
+            Daemon::Synchronous => Ok(vec![Activation::new(enabled.to_vec())]),
+            Daemon::Distributed => {
+                Self::subsets(enabled, |_| true)
+            }
+            Daemon::LocallyCentral => {
+                Self::subsets(enabled, |nodes| is_independent(graph, nodes))
+            }
+        }
+    }
+
+    fn subsets(
+        enabled: &[NodeId],
+        keep: impl Fn(&[NodeId]) -> bool,
+    ) -> Result<Vec<Activation>, CoreError> {
+        let k = enabled.len();
+        if k > DISTRIBUTED_ENUM_CAP {
+            return Err(CoreError::TooManyEnabled { enabled: k, cap: DISTRIBUTED_ENUM_CAP });
+        }
+        let mut out = Vec::with_capacity((1usize << k) - 1);
+        for mask in 1u32..(1u32 << k) {
+            let nodes: Vec<NodeId> = (0..k)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| enabled[i])
+                .collect();
+            if keep(&nodes) {
+                out.push(Activation::new(nodes));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Samples an activation according to the **randomized scheduler** of
+    /// Definition 6: uniformly among the activations this daemon allows.
+    ///
+    /// Central, distributed and synchronous sampling is exactly uniform and
+    /// allocation-light even for thousands of enabled processes. The
+    /// locally-central daemon uses rejection sampling with a singleton
+    /// fallback after 64 failures (every allowed activation keeps strictly
+    /// positive probability, which is all the probabilistic convergence
+    /// arguments require).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `enabled` is empty: terminal configurations have no steps.
+    pub fn sample<R: Rng + ?Sized>(
+        self,
+        graph: &Graph,
+        enabled: &[NodeId],
+        rng: &mut R,
+    ) -> Activation {
+        assert!(!enabled.is_empty(), "cannot schedule in a terminal configuration");
+        match self {
+            Daemon::Central => {
+                let i = rng.random_range(0..enabled.len());
+                Activation::singleton(enabled[i])
+            }
+            Daemon::Synchronous => Activation::new(enabled.to_vec()),
+            Daemon::Distributed => loop {
+                let nodes: Vec<NodeId> = enabled
+                    .iter()
+                    .copied()
+                    .filter(|_| rng.random::<bool>())
+                    .collect();
+                if !nodes.is_empty() {
+                    return Activation::new(nodes);
+                }
+            },
+            Daemon::LocallyCentral => {
+                for _ in 0..64 {
+                    let nodes: Vec<NodeId> = enabled
+                        .iter()
+                        .copied()
+                        .filter(|_| rng.random::<bool>())
+                        .collect();
+                    if !nodes.is_empty() && is_independent(graph, &nodes) {
+                        return Activation::new(nodes);
+                    }
+                }
+                let i = rng.random_range(0..enabled.len());
+                Activation::singleton(enabled[i])
+            }
+        }
+    }
+
+    /// Number of activations the daemon allows for `k` enabled processes
+    /// (locally-central depends on the graph, so it is counted by
+    /// enumeration there).
+    pub fn activation_count(self, graph: &Graph, enabled: &[NodeId]) -> u128 {
+        let k = enabled.len() as u32;
+        if k == 0 {
+            return 0;
+        }
+        match self {
+            Daemon::Central => k as u128,
+            Daemon::Synchronous => 1,
+            Daemon::Distributed => (1u128 << k) - 1,
+            Daemon::LocallyCentral => self
+                .activations(graph, enabled)
+                .map(|v| v.len() as u128)
+                .unwrap_or(0),
+        }
+    }
+}
+
+impl fmt::Display for Daemon {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Whether no two of `nodes` are adjacent in `graph`.
+fn is_independent(graph: &Graph, nodes: &[NodeId]) -> bool {
+    for (i, &a) in nodes.iter().enumerate() {
+        for &b in &nodes[i + 1..] {
+            if graph.are_adjacent(a, b) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use stab_graph::builders;
+    use std::collections::HashSet;
+
+    fn nodes(ids: &[usize]) -> Vec<NodeId> {
+        ids.iter().map(|&i| NodeId::new(i)).collect()
+    }
+
+    #[test]
+    fn activation_sorts_and_dedups() {
+        let a = Activation::new(nodes(&[3, 1, 3, 2]));
+        assert_eq!(a.nodes(), &nodes(&[1, 2, 3])[..]);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one process")]
+    fn empty_activation_rejected() {
+        let _ = Activation::new(Vec::new());
+    }
+
+    #[test]
+    fn central_daemon_enumerates_singletons() {
+        let g = builders::path(4);
+        let acts = Daemon::Central.activations(&g, &nodes(&[0, 2])).unwrap();
+        assert_eq!(acts.len(), 2);
+        assert!(acts.iter().all(|a| a.len() == 1));
+    }
+
+    #[test]
+    fn synchronous_daemon_has_single_choice() {
+        let g = builders::path(4);
+        let acts = Daemon::Synchronous.activations(&g, &nodes(&[0, 1, 3])).unwrap();
+        assert_eq!(acts.len(), 1);
+        assert_eq!(acts[0].nodes(), &nodes(&[0, 1, 3])[..]);
+    }
+
+    #[test]
+    fn distributed_daemon_enumerates_all_nonempty_subsets() {
+        let g = builders::path(5);
+        let acts = Daemon::Distributed.activations(&g, &nodes(&[0, 1, 2])).unwrap();
+        assert_eq!(acts.len(), 7); // 2^3 - 1
+        let unique: HashSet<_> = acts.iter().cloned().collect();
+        assert_eq!(unique.len(), 7);
+    }
+
+    #[test]
+    fn locally_central_excludes_adjacent_pairs() {
+        let g = builders::path(3);
+        // Nodes 0 and 1 are adjacent; 0 and 2 are not.
+        let acts = Daemon::LocallyCentral.activations(&g, &nodes(&[0, 1, 2])).unwrap();
+        // Allowed: {0}, {1}, {2}, {0,2}. Forbidden: {0,1}, {1,2}, {0,1,2}.
+        assert_eq!(acts.len(), 4);
+        assert!(acts.contains(&Activation::new(nodes(&[0, 2]))));
+        assert!(!acts.contains(&Activation::new(nodes(&[0, 1]))));
+    }
+
+    #[test]
+    fn empty_enabled_set_has_no_activations() {
+        let g = builders::path(3);
+        for d in Daemon::ALL {
+            assert!(d.activations(&g, &[]).unwrap().is_empty());
+            assert_eq!(d.activation_count(&g, &[]), 0);
+        }
+    }
+
+    #[test]
+    fn distributed_enumeration_cap() {
+        let g = builders::ring(30);
+        let enabled: Vec<NodeId> = g.nodes().collect();
+        let err = Daemon::Distributed.activations(&g, &enabled).unwrap_err();
+        assert_eq!(err, CoreError::TooManyEnabled { enabled: 30, cap: DISTRIBUTED_ENUM_CAP });
+    }
+
+    #[test]
+    fn activation_counts_match_enumeration() {
+        let g = builders::ring(5);
+        let enabled = nodes(&[0, 1, 3]);
+        for d in Daemon::ALL {
+            let count = d.activation_count(&g, &enabled);
+            let enumerated = d.activations(&g, &enabled).unwrap().len() as u128;
+            assert_eq!(count, enumerated, "daemon {d}");
+        }
+    }
+
+    #[test]
+    fn sampling_respects_daemon_shape() {
+        let g = builders::ring(6);
+        let enabled = nodes(&[0, 2, 4]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(Daemon::Central.sample(&g, &enabled, &mut rng).len(), 1);
+            assert_eq!(Daemon::Synchronous.sample(&g, &enabled, &mut rng).len(), 3);
+            let d = Daemon::Distributed.sample(&g, &enabled, &mut rng);
+            assert!(!d.nodes().is_empty() && d.len() <= 3);
+            let lc = Daemon::LocallyCentral.sample(&g, &enabled, &mut rng);
+            assert!(is_independent(&g, lc.nodes()));
+        }
+    }
+
+    #[test]
+    fn distributed_sampling_is_roughly_uniform() {
+        // 3 enabled processes -> 7 subsets, each with probability 1/7.
+        let g = builders::path(6);
+        let enabled = nodes(&[0, 2, 4]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let mut counts: std::collections::HashMap<Activation, usize> = Default::default();
+        let trials = 14_000;
+        for _ in 0..trials {
+            *counts
+                .entry(Daemon::Distributed.sample(&g, &enabled, &mut rng))
+                .or_default() += 1;
+        }
+        assert_eq!(counts.len(), 7);
+        for (act, c) in &counts {
+            let freq = *c as f64 / trials as f64;
+            assert!(
+                (freq - 1.0 / 7.0).abs() < 0.02,
+                "activation {act} frequency {freq}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "terminal configuration")]
+    fn sampling_empty_enabled_panics() {
+        let g = builders::path(3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let _ = Daemon::Central.sample(&g, &[], &mut rng);
+    }
+
+    #[test]
+    fn daemon_names_are_stable() {
+        assert_eq!(Daemon::Central.to_string(), "central");
+        assert_eq!(Daemon::Distributed.to_string(), "distributed");
+        assert_eq!(Daemon::Synchronous.to_string(), "synchronous");
+        assert_eq!(Daemon::LocallyCentral.to_string(), "locally-central");
+    }
+}

@@ -1,0 +1,214 @@
+//! Perfect indexing of finite configuration spaces.
+//!
+//! The paper's systems have a finite number of configurations (the premise
+//! of Theorems 5, 7, 8 and 9). [`SpaceIndexer`] bijects the full
+//! configuration space `C = Π_v state_space(v)` onto `0..total` via
+//! mixed-radix encoding, giving the checker and the Markov engine dense
+//! `u64` state identifiers without hashing.
+
+use stab_graph::NodeId;
+
+use crate::algorithm::Algorithm;
+use crate::config::Configuration;
+use crate::error::CoreError;
+use crate::LocalState;
+
+/// A mixed-radix bijection between configurations and `0..total()`.
+///
+/// Node `v`'s state is digit `v` (sorted state list as digit alphabet);
+/// digit weights grow from node 0 upward.
+#[derive(Debug, Clone)]
+pub struct SpaceIndexer<S> {
+    /// Sorted state alphabet per node.
+    per_node: Vec<Vec<S>>,
+    /// `weights[v]` = product of alphabet sizes of nodes `< v`.
+    weights: Vec<u64>,
+    total: u64,
+}
+
+impl<S: LocalState> SpaceIndexer<S> {
+    /// Builds the indexer for `alg`'s full configuration space, refusing
+    /// spaces larger than `cap`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::EmptyStateSpace`] if some node has no states;
+    /// [`CoreError::StateSpaceTooLarge`] if `Π |state_space(v)| > cap`.
+    pub fn new<A: Algorithm<State = S>>(alg: &A, cap: u64) -> Result<Self, CoreError> {
+        let n = alg.n();
+        let mut per_node = Vec::with_capacity(n);
+        let mut weights = Vec::with_capacity(n);
+        let mut total: u128 = 1;
+        for v in 0..n {
+            let mut states = alg.state_space(NodeId::new(v));
+            if states.is_empty() {
+                return Err(CoreError::EmptyStateSpace { node: v });
+            }
+            states.sort();
+            states.dedup();
+            weights.push(total as u64); // valid while total <= cap <= u64::MAX
+            total = total.saturating_mul(states.len() as u128);
+            if total > cap as u128 {
+                return Err(CoreError::StateSpaceTooLarge { total, cap });
+            }
+            per_node.push(states);
+        }
+        Ok(SpaceIndexer { per_node, weights, total: total as u64 })
+    }
+
+    /// Number of configurations in the space.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of processes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.per_node.len()
+    }
+
+    /// The sorted state alphabet of `node`.
+    pub fn states_of(&self, node: NodeId) -> &[S] {
+        &self.per_node[node.index()]
+    }
+
+    /// The dense index of `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` has the wrong size or contains a state outside the
+    /// node's declared state space.
+    pub fn encode(&self, cfg: &Configuration<S>) -> u64 {
+        assert_eq!(cfg.len(), self.n(), "configuration size mismatch");
+        let mut idx = 0u64;
+        for (v, s) in cfg.iter() {
+            let alphabet = &self.per_node[v.index()];
+            let digit = alphabet
+                .binary_search(s)
+                .unwrap_or_else(|_| panic!("state {s:?} of {v} not in declared state space"));
+            idx += digit as u64 * self.weights[v.index()];
+        }
+        idx
+    }
+
+    /// The configuration with dense index `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= total()`.
+    pub fn decode(&self, idx: u64) -> Configuration<S> {
+        assert!(idx < self.total, "index {idx} out of range (total {})", self.total);
+        let mut rest = idx;
+        let states: Vec<S> = self
+            .per_node
+            .iter()
+            .map(|alphabet| {
+                let digit = (rest % alphabet.len() as u64) as usize;
+                rest /= alphabet.len() as u64;
+                alphabet[digit].clone()
+            })
+            .collect();
+        Configuration::from_vec(states)
+    }
+
+    /// Iterator over the entire configuration space in index order.
+    pub fn iter(&self) -> impl Iterator<Item = Configuration<S>> + '_ {
+        (0..self.total).map(|i| self.decode(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::{ActionId, ActionMask};
+    use crate::outcome::Outcomes;
+    use crate::view::View;
+    use stab_graph::{builders, Graph};
+
+    /// Test algorithm with per-node state-space sizes 2, 3, 2.
+    struct Mixed {
+        g: Graph,
+    }
+
+    impl Algorithm for Mixed {
+        type State = u8;
+
+        fn graph(&self) -> &Graph {
+            &self.g
+        }
+
+        fn name(&self) -> String {
+            "mixed".into()
+        }
+
+        fn state_space(&self, node: NodeId) -> Vec<u8> {
+            if node.index() == 1 {
+                vec![0, 1, 2]
+            } else {
+                vec![0, 1]
+            }
+        }
+
+        fn enabled_actions<V: View<u8>>(&self, _v: &V) -> ActionMask {
+            ActionMask::empty()
+        }
+
+        fn apply<V: View<u8>>(&self, _v: &V, _a: ActionId) -> Outcomes<u8> {
+            unreachable!("never enabled")
+        }
+    }
+
+    fn indexer() -> SpaceIndexer<u8> {
+        SpaceIndexer::new(&Mixed { g: builders::path(3) }, 1 << 20).unwrap()
+    }
+
+    #[test]
+    fn total_is_product_of_alphabets() {
+        assert_eq!(indexer().total(), 12);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let ix = indexer();
+        for i in 0..ix.total() {
+            let cfg = ix.decode(i);
+            assert_eq!(ix.encode(&cfg), i);
+        }
+    }
+
+    #[test]
+    fn iter_visits_every_configuration_once() {
+        let ix = indexer();
+        let all: Vec<_> = ix.iter().collect();
+        assert_eq!(all.len(), 12);
+        let unique: std::collections::HashSet<_> = all.iter().cloned().collect();
+        assert_eq!(unique.len(), 12);
+    }
+
+    #[test]
+    fn states_of_returns_sorted_alphabet() {
+        let ix = indexer();
+        assert_eq!(ix.states_of(NodeId::new(1)), &[0, 1, 2]);
+        assert_eq!(ix.states_of(NodeId::new(0)), &[0, 1]);
+    }
+
+    #[test]
+    fn cap_is_enforced() {
+        let err = SpaceIndexer::new(&Mixed { g: builders::path(3) }, 10).unwrap_err();
+        assert!(matches!(err, CoreError::StateSpaceTooLarge { total: 12, cap: 10 }));
+    }
+
+    #[test]
+    #[should_panic(expected = "not in declared state space")]
+    fn encoding_foreign_state_panics() {
+        let ix = indexer();
+        let _ = ix.encode(&Configuration::from_vec(vec![0, 9, 0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn decoding_out_of_range_panics() {
+        let _ = indexer().decode(12);
+    }
+}

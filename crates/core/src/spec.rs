@@ -1,0 +1,100 @@
+//! Specifications as legitimate-configuration predicates.
+//!
+//! The paper's Definitions 1–3 all have the same shape: a set `L ⊆ C` of
+//! *legitimate* configurations such that (closure) executions from `L` keep
+//! satisfying the specification and (convergence, in three strengths)
+//! executions reach `L`. [`Legitimacy`] is the `L` part; the `stab-checker`
+//! crate decides closure and the three convergence properties against it.
+
+use crate::config::Configuration;
+
+/// A legitimate-configuration predicate: the set `L` of Definitions 1–3.
+pub trait Legitimacy<S> {
+    /// Name of the specification, e.g. `"single-token"`.
+    fn name(&self) -> String;
+
+    /// Whether `cfg` is legitimate.
+    fn is_legitimate(&self, cfg: &Configuration<S>) -> bool;
+}
+
+/// Blanket implementation for references.
+impl<S, L: Legitimacy<S> + ?Sized> Legitimacy<S> for &L {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn is_legitimate(&self, cfg: &Configuration<S>) -> bool {
+        (**self).is_legitimate(cfg)
+    }
+}
+
+/// Blanket implementation for boxed (possibly type-erased) specifications.
+impl<S, L: Legitimacy<S> + ?Sized> Legitimacy<S> for Box<L> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn is_legitimate(&self, cfg: &Configuration<S>) -> bool {
+        (**self).is_legitimate(cfg)
+    }
+}
+
+/// A [`Legitimacy`] built from a closure — convenient for tests and ad-hoc
+/// experiments.
+///
+/// ```
+/// use stab_core::{Configuration, Legitimacy, Predicate};
+/// let all_ones = Predicate::new("all-ones", |c: &Configuration<u8>| {
+///     c.states().iter().all(|&s| s == 1)
+/// });
+/// assert!(all_ones.is_legitimate(&Configuration::from_vec(vec![1, 1])));
+/// assert!(!all_ones.is_legitimate(&Configuration::from_vec(vec![1, 0])));
+/// assert_eq!(all_ones.name(), "all-ones");
+/// ```
+pub struct Predicate<S, F = fn(&Configuration<S>) -> bool>
+where
+    F: Fn(&Configuration<S>) -> bool,
+{
+    name: String,
+    f: F,
+    _marker: std::marker::PhantomData<fn(&Configuration<S>)>,
+}
+
+impl<S, F: Fn(&Configuration<S>) -> bool> Predicate<S, F> {
+    /// Wraps `f` as a named legitimacy predicate.
+    pub fn new(name: impl Into<String>, f: F) -> Self {
+        Predicate { name: name.into(), f, _marker: std::marker::PhantomData }
+    }
+}
+
+impl<S, F: Fn(&Configuration<S>) -> bool> Legitimacy<S> for Predicate<S, F> {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn is_legitimate(&self, cfg: &Configuration<S>) -> bool {
+        (self.f)(cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicate_delegates_to_closure() {
+        let even_sum = Predicate::new("even-sum", |c: &Configuration<u32>| {
+            c.states().iter().sum::<u32>() % 2 == 0
+        });
+        assert!(even_sum.is_legitimate(&Configuration::from_vec(vec![1, 1])));
+        assert!(!even_sum.is_legitimate(&Configuration::from_vec(vec![1, 2])));
+    }
+
+    #[test]
+    fn references_are_legitimacies() {
+        let p = Predicate::new("t", |_c: &Configuration<u8>| true);
+        let r = &p;
+        assert_eq!(r.name(), "t");
+        assert!(r.is_legitimate(&Configuration::from_vec(vec![0])));
+    }
+}

@@ -1,0 +1,166 @@
+//! Local views: the only state access a guarded action gets.
+//!
+//! In the paper's model, the guard of an action at process `p` is a boolean
+//! expression involving *some variables of `p` and its neighbours*, and the
+//! statement updates *variables of `p`* only. The [`View`] trait makes this
+//! locality a compile-time property: algorithm code receives a view exposing
+//! exactly its own state, its degree and its neighbours' states by port —
+//! nothing else.
+
+use stab_graph::{Graph, NodeId, PortId};
+
+use crate::config::Configuration;
+
+/// Read access to a process's local neighbourhood: its own state, its degree
+/// and its neighbours' states indexed by local port.
+///
+/// Implementations exist for plain configurations ([`ConfigView`]) and for
+/// the transformer's projected view
+/// ([`crate::transformer::ProjectedView`]), which lets an inner algorithm
+/// read through the coin wrapper without copying states.
+pub trait View<S> {
+    /// The process under evaluation. Anonymous algorithms may use this only
+    /// as an opaque key into per-node constants (e.g. a ring orientation);
+    /// branching on its numeric value would break anonymity.
+    fn node(&self) -> NodeId;
+
+    /// Degree `Δ_p` of the process.
+    fn degree(&self) -> usize;
+
+    /// The process's own state.
+    fn me(&self) -> &S;
+
+    /// The state of the neighbour behind local `port`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port >= degree()`.
+    fn neighbor(&self, port: PortId) -> &S;
+
+    /// Number of neighbours whose state satisfies `pred` (a recurring
+    /// pattern: `|Children_p|` in Algorithm 2, token tests, etc.).
+    fn count_neighbors(&self, mut pred: impl FnMut(&S) -> bool) -> usize
+    where
+        Self: Sized,
+    {
+        (0..self.degree())
+            .filter(|&p| pred(self.neighbor(PortId::new(p))))
+            .count()
+    }
+
+    /// The lowest port whose neighbour state satisfies `pred`
+    /// (the `min≺p` selector of Algorithm 2's Action A3).
+    fn first_port_where(&self, mut pred: impl FnMut(&S) -> bool) -> Option<PortId>
+    where
+        Self: Sized,
+    {
+        (0..self.degree())
+            .map(PortId::new)
+            .find(|&p| pred(self.neighbor(p)))
+    }
+}
+
+/// The canonical [`View`] over a [`Configuration`]: zero-copy references into
+/// the configuration's state slice.
+#[derive(Debug, Clone, Copy)]
+pub struct ConfigView<'a, S> {
+    graph: &'a Graph,
+    cfg: &'a Configuration<S>,
+    node: NodeId,
+}
+
+impl<'a, S> ConfigView<'a, S> {
+    /// Creates the view of `node` within `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration size differs from the graph size or
+    /// `node` is out of range.
+    pub fn new(graph: &'a Graph, cfg: &'a Configuration<S>, node: NodeId) -> Self {
+        assert_eq!(
+            graph.n(),
+            cfg.len(),
+            "configuration size must match graph size"
+        );
+        assert!(node.index() < graph.n(), "node out of range");
+        ConfigView { graph, cfg, node }
+    }
+}
+
+impl<S> View<S> for ConfigView<'_, S> {
+    #[inline]
+    fn node(&self) -> NodeId {
+        self.node
+    }
+
+    #[inline]
+    fn degree(&self) -> usize {
+        self.graph.degree(self.node)
+    }
+
+    #[inline]
+    fn me(&self) -> &S {
+        self.cfg.get(self.node)
+    }
+
+    #[inline]
+    fn neighbor(&self, port: PortId) -> &S {
+        self.cfg.get(self.graph.neighbor(self.node, port))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stab_graph::builders;
+
+    fn setup() -> (Graph, Configuration<u8>) {
+        (builders::path(4), Configuration::from_vec(vec![10, 11, 12, 13]))
+    }
+
+    #[test]
+    fn view_exposes_me_and_neighbors() {
+        let (g, cfg) = setup();
+        let v = ConfigView::new(&g, &cfg, NodeId::new(1));
+        assert_eq!(v.node(), NodeId::new(1));
+        assert_eq!(v.degree(), 2);
+        assert_eq!(*v.me(), 11);
+        assert_eq!(*v.neighbor(PortId::new(0)), 10);
+        assert_eq!(*v.neighbor(PortId::new(1)), 12);
+    }
+
+    #[test]
+    fn count_neighbors_counts_matching_states() {
+        let (g, cfg) = setup();
+        let v = ConfigView::new(&g, &cfg, NodeId::new(1));
+        assert_eq!(v.count_neighbors(|&s| s >= 12), 1);
+        assert_eq!(v.count_neighbors(|_| true), 2);
+        assert_eq!(v.count_neighbors(|_| false), 0);
+    }
+
+    #[test]
+    fn first_port_where_finds_lowest_port() {
+        let (g, cfg) = setup();
+        let v = ConfigView::new(&g, &cfg, NodeId::new(2));
+        // Node 2's ports: 0 -> node 1 (11), 1 -> node 3 (13).
+        assert_eq!(v.first_port_where(|&s| s % 2 == 1), Some(PortId::new(0)));
+        assert_eq!(v.first_port_where(|&s| s == 13), Some(PortId::new(1)));
+        assert_eq!(v.first_port_where(|&s| s > 100), None);
+    }
+
+    #[test]
+    fn leaf_view_has_single_port() {
+        let (g, cfg) = setup();
+        let v = ConfigView::new(&g, &cfg, NodeId::new(0));
+        assert_eq!(v.degree(), 1);
+        assert_eq!(*v.neighbor(PortId::new(0)), 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "configuration size must match")]
+    fn size_mismatch_panics() {
+        let g = builders::path(3);
+        let cfg = Configuration::from_vec(vec![0u8; 4]);
+        let _ = ConfigView::new(&g, &cfg, NodeId::new(0));
+    }
+}

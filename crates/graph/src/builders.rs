@@ -1,0 +1,241 @@
+//! Constructors for the graph families used across the paper's examples and
+//! the evaluation: rings, paths, stars, complete graphs, balanced trees,
+//! caterpillars, random trees and exhaustive tree enumeration.
+
+use rand::Rng;
+
+use crate::graph::Graph;
+
+/// The unidirectional-ring topology of §3.1 (`N >= 3` nodes `0..n` with node
+/// `i` adjacent to `i±1 mod n`).
+///
+/// # Panics
+///
+/// Panics if `n < 3`; a simple graph has no 1- or 2-cycles.
+///
+/// ```
+/// let g = stab_graph::builders::ring(6);
+/// assert!(g.is_ring());
+/// ```
+pub fn ring(n: usize) -> Graph {
+    assert!(n >= 3, "a ring needs at least 3 nodes, got {n}");
+    let edges: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+    Graph::from_edges(n, &edges).expect("ring edges are valid by construction")
+}
+
+/// A path (chain) `0 − 1 − … − (n−1)`, the tree used in Theorem 3's
+/// four-process impossibility argument and Figure 3.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn path(n: usize) -> Graph {
+    assert!(n >= 1, "a path needs at least 1 node");
+    let edges: Vec<(usize, usize)> = (1..n).map(|i| (i - 1, i)).collect();
+    Graph::from_edges(n, &edges).expect("path edges are valid by construction")
+}
+
+/// A star: node 0 is the hub adjacent to all `n − 1` others.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn star(n: usize) -> Graph {
+    assert!(n >= 1, "a star needs at least 1 node");
+    let edges: Vec<(usize, usize)> = (1..n).map(|i| (0, i)).collect();
+    Graph::from_edges(n, &edges).expect("star edges are valid by construction")
+}
+
+/// The complete graph `K_n`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn complete(n: usize) -> Graph {
+    assert!(n >= 1, "a complete graph needs at least 1 node");
+    let mut edges = Vec::with_capacity(n * (n - 1) / 2);
+    for a in 0..n {
+        for b in (a + 1)..n {
+            edges.push((a, b));
+        }
+    }
+    Graph::from_edges(n, &edges).expect("complete-graph edges are valid by construction")
+}
+
+/// A balanced binary tree with `n` nodes filled level by level
+/// (node `i` is adjacent to `2i + 1` and `2i + 2` when those exist).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn binary_tree(n: usize) -> Graph {
+    assert!(n >= 1, "a binary tree needs at least 1 node");
+    let mut edges = Vec::new();
+    for i in 0..n {
+        for child in [2 * i + 1, 2 * i + 2] {
+            if child < n {
+                edges.push((i, child));
+            }
+        }
+    }
+    Graph::from_edges(n, &edges).expect("binary-tree edges are valid by construction")
+}
+
+/// A caterpillar: a spine path of `spine` nodes, with `legs` leaves attached
+/// to every spine node. Caterpillars exercise high-degree internal nodes in
+/// the tree algorithms.
+///
+/// # Panics
+///
+/// Panics if `spine == 0`.
+pub fn caterpillar(spine: usize, legs: usize) -> Graph {
+    assert!(spine >= 1, "a caterpillar needs at least 1 spine node");
+    let n = spine + spine * legs;
+    let mut edges = Vec::new();
+    for i in 1..spine {
+        edges.push((i - 1, i));
+    }
+    let mut next = spine;
+    for s in 0..spine {
+        for _ in 0..legs {
+            edges.push((s, next));
+            next += 1;
+        }
+    }
+    Graph::from_edges(n, &edges).expect("caterpillar edges are valid by construction")
+}
+
+/// The 8-node tree of the paper's Figure 2, reconstructed from the narrative
+/// constraints of §3.2 (which actions are enabled at which process in each of
+/// the five depicted configurations, and the `(Par + 1) mod Δ` port
+/// arithmetic of Action A2):
+///
+/// ```text
+/// P7 — P2 — P3 — P5 — P6 — P8
+///               / | \
+///             P1 P4  (P6)
+/// ```
+///
+/// Edges: P1–P5, P2–P3, P2–P7, P3–P5, P4–P5, P5–P6, P6–P8 (paper's `P{i}` is
+/// node `i − 1`). With the initial configuration `Par`: P1↦P5, P2↦P7, P3↦P2,
+/// P4↦P5, P5↦P1, P6↦P8, P7↦P2, P8↦P6, this is the unique tree for which the
+/// figure's enabled-action labels hold exactly: A1 at {P1, P2, P7, P8},
+/// A2 at {P3, P5, P6}, and P4 stable.
+pub fn figure2_tree() -> Graph {
+    Graph::from_edges(8, &[(0, 4), (1, 2), (1, 6), (2, 4), (3, 4), (4, 5), (5, 7)])
+        .expect("figure 2 tree is valid by construction")
+}
+
+/// A uniformly random labelled tree on `n` nodes, drawn via a random Prüfer
+/// sequence (uniform over the `n^(n−2)` labelled trees by Cayley's formula).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn random_tree<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Graph {
+    assert!(n >= 1, "a random tree needs at least 1 node");
+    if n == 1 {
+        return Graph::from_edges(1, &[]).expect("single node graph");
+    }
+    if n == 2 {
+        return Graph::from_edges(2, &[(0, 1)]).expect("two node tree");
+    }
+    let seq: Vec<usize> = (0..n - 2).map(|_| rng.random_range(0..n)).collect();
+    crate::trees::tree_from_pruefer(&seq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ring_shape() {
+        for n in 3..10 {
+            let g = ring(n);
+            assert!(g.is_ring(), "ring({n}) must be a ring");
+            assert_eq!(g.edge_count(), n);
+            assert_eq!(metrics::diameter(&g), n / 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 nodes")]
+    fn ring_too_small_panics() {
+        let _ = ring(2);
+    }
+
+    #[test]
+    fn path_shape() {
+        let g = path(5);
+        assert!(g.is_tree());
+        assert_eq!(g.leaves().len(), 2);
+        assert_eq!(metrics::diameter(&g), 4);
+        assert!(path(1).is_tree());
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(6);
+        assert!(g.is_tree());
+        assert_eq!(g.max_degree(), 5);
+        assert_eq!(metrics::diameter(&g), 2);
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = complete(5);
+        assert_eq!(g.edge_count(), 10);
+        assert_eq!(metrics::diameter(&g), 1);
+        assert!(complete(1).is_tree());
+    }
+
+    #[test]
+    fn binary_tree_shape() {
+        let g = binary_tree(7);
+        assert!(g.is_tree());
+        assert_eq!(g.max_degree(), 3);
+        assert_eq!(g.leaves().len(), 4);
+    }
+
+    #[test]
+    fn caterpillar_shape() {
+        let g = caterpillar(3, 2);
+        assert!(g.is_tree());
+        assert_eq!(g.n(), 9);
+        // Spine interior node has 2 spine neighbours + 2 legs.
+        assert_eq!(g.max_degree(), 4);
+    }
+
+    #[test]
+    fn figure2_tree_matches_paper() {
+        let g = figure2_tree();
+        assert!(g.is_tree());
+        assert_eq!(g.n(), 8);
+        // P5 (index 4) is the hub of the figure with neighbours P1, P3, P4, P6.
+        assert_eq!(g.degree(crate::NodeId::new(4)), 4);
+        // Leaves are P1, P4, P7, P8 (indices 0, 3, 6, 7).
+        let leaves: Vec<usize> = g.leaves().iter().map(|v| v.index()).collect();
+        assert_eq!(leaves, vec![0, 3, 6, 7]);
+        // Port arithmetic the trace relies on: P5's port 0 is P1, port 1 is P3.
+        use crate::{NodeId, PortId};
+        assert_eq!(g.neighbor(NodeId::new(4), PortId::new(0)), NodeId::new(0));
+        assert_eq!(g.neighbor(NodeId::new(4), PortId::new(1)), NodeId::new(2));
+        // Centers are P3 and P5 (adjacent), consistent with Property 1.
+        assert_eq!(
+            metrics::tree_centers(&g),
+            vec![NodeId::new(2), NodeId::new(4)]
+        );
+    }
+
+    #[test]
+    fn random_tree_is_tree() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        for n in 1..20 {
+            let g = random_tree(n, &mut rng);
+            assert!(g.is_tree(), "random_tree({n}) must be a tree");
+            assert_eq!(g.n(), n);
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Error type for graph construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while constructing or validating graphs.
+///
+/// ```
+/// use stab_graph::{Graph, GraphError};
+/// // A self-loop is rejected: paper graphs have edges between *distinct* nodes.
+/// let err = Graph::from_edges(2, &[(0, 0)]).unwrap_err();
+/// assert!(matches!(err, GraphError::SelfLoop { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge references a node index `>= n`.
+    NodeOutOfRange {
+        /// Offending node index.
+        node: usize,
+        /// Number of nodes in the graph.
+        n: usize,
+    },
+    /// An edge connects a node to itself; the paper's edges are pairs of
+    /// distinct nodes.
+    SelfLoop {
+        /// The node with the self-loop.
+        node: usize,
+    },
+    /// The same undirected edge was given twice.
+    DuplicateEdge {
+        /// First endpoint.
+        a: usize,
+        /// Second endpoint.
+        b: usize,
+    },
+    /// The graph must have at least one node.
+    Empty,
+    /// The operation requires a connected graph.
+    NotConnected,
+    /// The operation requires a tree (connected and acyclic).
+    NotATree,
+    /// The operation requires a ring (cycle graph).
+    NotARing,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, n } => {
+                write!(f, "edge references node {node} but the graph has {n} nodes")
+            }
+            GraphError::SelfLoop { node } => {
+                write!(f, "self-loop at node {node} is not allowed")
+            }
+            GraphError::DuplicateEdge { a, b } => {
+                write!(f, "duplicate edge between {a} and {b}")
+            }
+            GraphError::Empty => write!(f, "graph must contain at least one node"),
+            GraphError::NotConnected => write!(f, "graph is not connected"),
+            GraphError::NotATree => write!(f, "graph is not a tree"),
+            GraphError::NotARing => write!(f, "graph is not a ring"),
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(GraphError, &str)> = vec![
+            (
+                GraphError::NodeOutOfRange { node: 9, n: 4 },
+                "edge references node 9 but the graph has 4 nodes",
+            ),
+            (GraphError::SelfLoop { node: 2 }, "self-loop at node 2 is not allowed"),
+            (
+                GraphError::DuplicateEdge { a: 1, b: 2 },
+                "duplicate edge between 1 and 2",
+            ),
+            (GraphError::Empty, "graph must contain at least one node"),
+            (GraphError::NotConnected, "graph is not connected"),
+            (GraphError::NotATree, "graph is not a tree"),
+            (GraphError::NotARing, "graph is not a ring"),
+        ];
+        for (err, msg) in cases {
+            assert_eq!(err.to_string(), msg);
+        }
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<GraphError>();
+    }
+}

@@ -1,0 +1,314 @@
+//! The undirected communication graph with per-node port numbering.
+
+use crate::error::GraphError;
+use crate::ids::{NodeId, PortId};
+
+/// An undirected connected-or-not graph `G = (V, E)` with a *stable port
+/// numbering*: each node sees its neighbours through local ports
+/// `0..degree`, ordered by ascending neighbour index.
+///
+/// This is the communication structure of the paper's §2: processes share
+/// registers with neighbours and can only distinguish them via local indexes.
+/// The deterministic port order keeps executions reproducible and gives
+/// anonymous algorithms exactly the information the model allows (degree and
+/// port-local state), nothing more.
+///
+/// ```
+/// use stab_graph::{Graph, NodeId, PortId};
+/// let g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+/// assert_eq!(g.n(), 3);
+/// assert_eq!(g.degree(NodeId::new(1)), 2);
+/// // Node 1's port 0 points at node 0, port 1 at node 2.
+/// assert_eq!(g.neighbor(NodeId::new(1), PortId::new(1)), NodeId::new(2));
+/// assert_eq!(g.port_of(NodeId::new(1), NodeId::new(2)), Some(PortId::new(1)));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Graph {
+    /// `adj[v]` lists the neighbours of `v` in ascending index order;
+    /// position within the list is the port number.
+    adj: Vec<Vec<NodeId>>,
+    /// Edge list with `a < b`, sorted, for iteration and equality.
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl Graph {
+    /// Builds a graph on `n` nodes from an undirected edge list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Empty`] if `n == 0`,
+    /// [`GraphError::NodeOutOfRange`] if an endpoint is `>= n`,
+    /// [`GraphError::SelfLoop`] for edges `(v, v)` and
+    /// [`GraphError::DuplicateEdge`] if an undirected edge appears twice.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Result<Self, GraphError> {
+        if n == 0 {
+            return Err(GraphError::Empty);
+        }
+        let mut normalized: Vec<(usize, usize)> = Vec::with_capacity(edges.len());
+        for &(a, b) in edges {
+            if a >= n {
+                return Err(GraphError::NodeOutOfRange { node: a, n });
+            }
+            if b >= n {
+                return Err(GraphError::NodeOutOfRange { node: b, n });
+            }
+            if a == b {
+                return Err(GraphError::SelfLoop { node: a });
+            }
+            normalized.push((a.min(b), a.max(b)));
+        }
+        normalized.sort_unstable();
+        for w in normalized.windows(2) {
+            if w[0] == w[1] {
+                return Err(GraphError::DuplicateEdge { a: w[0].0, b: w[0].1 });
+            }
+        }
+        let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for &(a, b) in &normalized {
+            adj[a].push(NodeId::new(b));
+            adj[b].push(NodeId::new(a));
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+        }
+        let edges = normalized
+            .into_iter()
+            .map(|(a, b)| (NodeId::new(a), NodeId::new(b)))
+            .collect();
+        Ok(Graph { adj, edges })
+    }
+
+    /// Number of nodes `N`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of undirected edges `|E|`.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Iterator over all node identifiers `P0..P(n-1)`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.n()).map(NodeId::new)
+    }
+
+    /// Iterator over the undirected edges, each reported once with the lower
+    /// index first.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// Degree `Δ_v` of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adj[v.index()].len()
+    }
+
+    /// The graph degree `Δ = max_v Δ_v`.
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Neighbours of `v` in port order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.adj[v.index()]
+    }
+
+    /// The neighbour of `v` reached through local `port`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` or `port` is out of range.
+    #[inline]
+    pub fn neighbor(&self, v: NodeId, port: PortId) -> NodeId {
+        self.adj[v.index()][port.index()]
+    }
+
+    /// The local port of `v` that leads to `u`, or `None` if `u` is not a
+    /// neighbour of `v`.
+    pub fn port_of(&self, v: NodeId, u: NodeId) -> Option<PortId> {
+        self.adj[v.index()]
+            .binary_search(&u)
+            .ok()
+            .map(PortId::new)
+    }
+
+    /// Whether `u` and `v` are neighbours.
+    pub fn are_adjacent(&self, u: NodeId, v: NodeId) -> bool {
+        u != v && self.port_of(u, v).is_some()
+    }
+
+    /// Whether the graph is connected (every graph in the paper is).
+    pub fn is_connected(&self) -> bool {
+        if self.n() == 0 {
+            return false;
+        }
+        let mut seen = vec![false; self.n()];
+        let mut stack = vec![NodeId::new(0)];
+        seen[0] = true;
+        let mut count = 1usize;
+        while let Some(v) = stack.pop() {
+            for &u in self.neighbors(v) {
+                if !seen[u.index()] {
+                    seen[u.index()] = true;
+                    count += 1;
+                    stack.push(u);
+                }
+            }
+        }
+        count == self.n()
+    }
+
+    /// Whether the graph is a tree: connected and acyclic
+    /// (`|E| = N − 1` and connected).
+    pub fn is_tree(&self) -> bool {
+        self.edge_count() + 1 == self.n() && self.is_connected()
+    }
+
+    /// Whether the graph is a ring: connected with every degree exactly 2.
+    /// Rings require `N >= 3` (an edge is not a cycle in a simple graph).
+    pub fn is_ring(&self) -> bool {
+        self.n() >= 3
+            && self.nodes().all(|v| self.degree(v) == 2)
+            && self.is_connected()
+    }
+
+    /// Leaves of the graph: nodes of degree 1 (the paper's tree leaves).
+    pub fn leaves(&self) -> Vec<NodeId> {
+        self.nodes().filter(|&v| self.degree(v) == 1).collect()
+    }
+
+    /// Internal nodes: degree strictly greater than 1.
+    pub fn internal_nodes(&self) -> Vec<NodeId> {
+        self.nodes().filter(|&v| self.degree(v) > 1).collect()
+    }
+}
+
+impl std::fmt::Debug for Graph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Graph(n={}, edges=[", self.n())?;
+        for (i, (a, b)) in self.edges().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}-{b}")?;
+        }
+        write!(f, "])")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path4() -> Graph {
+        Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn from_edges_validates_range() {
+        assert_eq!(
+            Graph::from_edges(2, &[(0, 5)]).unwrap_err(),
+            GraphError::NodeOutOfRange { node: 5, n: 2 }
+        );
+    }
+
+    #[test]
+    fn from_edges_rejects_duplicates_in_any_orientation() {
+        assert_eq!(
+            Graph::from_edges(3, &[(0, 1), (1, 0)]).unwrap_err(),
+            GraphError::DuplicateEdge { a: 0, b: 1 }
+        );
+    }
+
+    #[test]
+    fn from_edges_rejects_empty() {
+        assert_eq!(Graph::from_edges(0, &[]).unwrap_err(), GraphError::Empty);
+    }
+
+    #[test]
+    fn ports_are_sorted_by_neighbor_index() {
+        let g = Graph::from_edges(4, &[(2, 0), (2, 3), (2, 1)]).unwrap();
+        let v = NodeId::new(2);
+        assert_eq!(
+            g.neighbors(v),
+            &[NodeId::new(0), NodeId::new(1), NodeId::new(3)]
+        );
+        assert_eq!(g.neighbor(v, PortId::new(0)), NodeId::new(0));
+        assert_eq!(g.neighbor(v, PortId::new(2)), NodeId::new(3));
+        assert_eq!(g.port_of(v, NodeId::new(1)), Some(PortId::new(1)));
+        assert_eq!(g.port_of(v, NodeId::new(2)), None);
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        let g = path4();
+        for (a, b) in g.edges() {
+            assert!(g.are_adjacent(a, b));
+            assert!(g.are_adjacent(b, a));
+            let pa = g.port_of(a, b).unwrap();
+            let pb = g.port_of(b, a).unwrap();
+            assert_eq!(g.neighbor(a, pa), b);
+            assert_eq!(g.neighbor(b, pb), a);
+        }
+    }
+
+    #[test]
+    fn connectivity_detection() {
+        assert!(path4().is_connected());
+        let disconnected = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert!(!disconnected.is_connected());
+    }
+
+    #[test]
+    fn tree_detection() {
+        assert!(path4().is_tree());
+        let cycle = Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]).unwrap();
+        assert!(!cycle.is_tree());
+        let forest = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert!(!forest.is_tree());
+        let single = Graph::from_edges(1, &[]).unwrap();
+        assert!(single.is_tree());
+    }
+
+    #[test]
+    fn ring_detection() {
+        let cycle = Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]).unwrap();
+        assert!(cycle.is_ring());
+        assert!(!path4().is_ring());
+        // Two disjoint triangles: all degree 2 but not connected.
+        let two = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]).unwrap();
+        assert!(!two.is_ring());
+    }
+
+    #[test]
+    fn leaves_and_internal_nodes_partition_tree() {
+        let g = path4();
+        assert_eq!(g.leaves(), vec![NodeId::new(0), NodeId::new(3)]);
+        assert_eq!(g.internal_nodes(), vec![NodeId::new(1), NodeId::new(2)]);
+    }
+
+    #[test]
+    fn max_degree_of_star() {
+        let star = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]).unwrap();
+        assert_eq!(star.max_degree(), 4);
+    }
+
+    #[test]
+    fn debug_output_lists_edges() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        assert_eq!(format!("{g:?}"), "Graph(n=3, edges=[P0-P1, P1-P2])");
+    }
+}

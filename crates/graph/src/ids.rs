@@ -1,0 +1,153 @@
+//! Strongly-typed identifiers for nodes and local ports.
+//!
+//! Anonymous processes cannot address each other globally; in the paper each
+//! process `p` distinguishes its neighbours only through local indexes stored
+//! in `Neig_p = {0, …, Δ_p − 1}`. [`NodeId`] is the *analyst's* name for a
+//! process (used by the simulator, checker and display code — never by
+//! algorithm logic in a way that would break anonymity), while [`PortId`] is
+//! the local index a process itself is allowed to use.
+
+use std::fmt;
+
+/// Global index of a process in a network, assigned by the analyst.
+///
+/// Algorithms in this workspace only receive `NodeId` as an opaque handle to
+/// look up local information (degree, neighbour states by port); anonymous
+/// algorithms must not branch on its numeric value.
+///
+/// ```
+/// use stab_graph::NodeId;
+/// let p = NodeId::new(3);
+/// assert_eq!(p.index(), 3);
+/// assert_eq!(format!("{p}"), "P3");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node identifier from a dense index.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index exceeds u32"))
+    }
+
+    /// Returns the dense index of this node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(index: usize) -> Self {
+        NodeId::new(index)
+    }
+}
+
+/// Local port index in `0..degree(p)`: the only neighbour-naming mechanism
+/// available to an anonymous process.
+///
+/// ```
+/// use stab_graph::PortId;
+/// let q = PortId::new(1);
+/// assert_eq!(q.index(), 1);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PortId(u16);
+
+impl PortId {
+    /// Creates a port identifier from a local index.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        PortId(u16::try_from(index).expect("port index exceeds u16"))
+    }
+
+    /// Returns the local index of this port.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The next port modulo `degree`, as used by Action `A2` of Algorithm 2
+    /// (`Par_p ← (Par_p + 1) mod Δ_p`).
+    #[inline]
+    pub fn next_mod(self, degree: usize) -> PortId {
+        debug_assert!(degree > 0, "next_mod on a node without neighbours");
+        PortId::new((self.index() + 1) % degree)
+    }
+}
+
+impl fmt::Debug for PortId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "port{}", self.0)
+    }
+}
+
+impl fmt::Display for PortId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<usize> for PortId {
+    fn from(index: usize) -> Self {
+        PortId::new(index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_round_trip() {
+        for i in [0usize, 1, 7, 4095] {
+            assert_eq!(NodeId::new(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn node_id_display_and_debug_match() {
+        let p = NodeId::new(12);
+        assert_eq!(format!("{p}"), "P12");
+        assert_eq!(format!("{p:?}"), "P12");
+    }
+
+    #[test]
+    fn node_id_ordering_follows_indices() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert_eq!(NodeId::new(5), NodeId::from(5));
+    }
+
+    #[test]
+    fn port_id_round_trip() {
+        for i in [0usize, 1, 3, 65000] {
+            assert_eq!(PortId::new(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn port_next_mod_wraps() {
+        assert_eq!(PortId::new(0).next_mod(3), PortId::new(1));
+        assert_eq!(PortId::new(2).next_mod(3), PortId::new(0));
+        assert_eq!(PortId::new(0).next_mod(1), PortId::new(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "node index exceeds u32")]
+    fn node_id_overflow_panics() {
+        let _ = NodeId::new(usize::MAX);
+    }
+}

@@ -1,0 +1,44 @@
+//! Graph substrate for the *Weak vs. Self vs. Probabilistic Stabilization*
+//! reproduction.
+//!
+//! The paper (Devismes–Tixeuil–Yamashita, ICDCS 2008) models a distributed
+//! system as an undirected connected graph of anonymous processes that can
+//! only refer to their neighbours through *local port indexes*
+//! `0..degree`. This crate provides:
+//!
+//! * [`Graph`] — an undirected graph with a stable port numbering per node,
+//!   which is the only naming mechanism anonymous algorithms may use;
+//! * [`builders`] — rings, paths, stars, caterpillars, complete graphs,
+//!   balanced trees, random trees (Prüfer), and exhaustive enumeration of all
+//!   labelled trees of a given size;
+//! * [`metrics`] — BFS distances, eccentricity, diameter, radius and graph
+//!   centers (Property 1 of the paper: a tree has one center or two adjacent
+//!   centers);
+//! * [`ring`] — ring orientations (the constant `Pred` pointers of §3.1) and
+//!   `m_N`, the smallest integer that does not divide `N`, which governs the
+//!   counter domain of Algorithm 1.
+//!
+//! # Example
+//!
+//! ```
+//! use stab_graph::{builders, metrics, ring};
+//!
+//! let g = builders::ring(6);
+//! assert!(g.is_ring());
+//! assert_eq!(metrics::diameter(&g), 3);
+//! // Figure 1 of the paper: N = 6 so the counter domain is m_N = 4.
+//! assert_eq!(ring::smallest_non_divisor(6), 4);
+//! ```
+
+pub mod builders;
+pub mod error;
+pub mod graph;
+pub mod ids;
+pub mod metrics;
+pub mod ring;
+pub mod trees;
+
+pub use error::GraphError;
+pub use graph::Graph;
+pub use ids::{NodeId, PortId};
+pub use ring::RingOrientation;

@@ -1,0 +1,262 @@
+//! Ring orientation and the counter modulus `m_N` of Algorithm 1.
+//!
+//! §3.1 of the paper equips a ring with a *consistent direction* via constant
+//! local pointers `Pred`: process `q` is the predecessor of `p` iff `p` is
+//! not the predecessor of `q`. [`RingOrientation`] stores, for each node, the
+//! local port leading to its predecessor (and successor), which is exactly
+//! the constant input of Algorithm 1.
+
+use crate::error::GraphError;
+use crate::graph::Graph;
+use crate::ids::{NodeId, PortId};
+
+/// The smallest integer `>= 2` that does not divide `n`: the counter domain
+/// bound `m_N` of Algorithm 1 (`dt_p ∈ [0 .. m_N − 1]`).
+///
+/// The memory requirement of Algorithm 1 is `log m_N` bits per process,
+/// which \[3\] proves minimal for probabilistic self-stabilizing token
+/// circulation under a distributed scheduler.
+///
+/// # Panics
+///
+/// Panics if `n == 0` (no ring has zero processes).
+///
+/// ```
+/// use stab_graph::ring::smallest_non_divisor;
+/// assert_eq!(smallest_non_divisor(6), 4); // Figure 1: N = 6, m_N = 4
+/// assert_eq!(smallest_non_divisor(5), 2);
+/// assert_eq!(smallest_non_divisor(12), 5);
+/// ```
+pub fn smallest_non_divisor(n: u64) -> u64 {
+    assert!(n >= 1, "smallest_non_divisor requires n >= 1");
+    let mut m = 2u64;
+    while n.is_multiple_of(m) {
+        m += 1;
+    }
+    m
+}
+
+/// A consistent direction on a ring graph: every node knows the local port of
+/// its predecessor and successor.
+///
+/// ```
+/// use stab_graph::{builders, RingOrientation, NodeId};
+/// let g = builders::ring(5);
+/// let o = RingOrientation::canonical(&g).unwrap();
+/// // Following successors visits every node once and returns to the start.
+/// let mut v = NodeId::new(0);
+/// for _ in 0..5 { v = o.successor(&g, v); }
+/// assert_eq!(v, NodeId::new(0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RingOrientation {
+    /// `pred_port[v]` is the local port of `v` pointing at its predecessor.
+    pred_port: Vec<PortId>,
+    /// `succ_port[v]` is the local port of `v` pointing at its successor.
+    succ_port: Vec<PortId>,
+}
+
+impl RingOrientation {
+    /// Builds the canonical orientation of a ring graph where the successor
+    /// of node 0 is its lowest-index neighbour, and the direction is then
+    /// propagated consistently around the ring.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NotARing`] if `g` is not a ring.
+    pub fn canonical(g: &Graph) -> Result<Self, GraphError> {
+        if !g.is_ring() {
+            return Err(GraphError::NotARing);
+        }
+        let n = g.n();
+        let mut order = Vec::with_capacity(n);
+        let start = NodeId::new(0);
+        let mut prev = start;
+        let mut cur = g.neighbors(start)[0];
+        order.push(start);
+        while cur != start {
+            order.push(cur);
+            let next = g
+                .neighbors(cur)
+                .iter()
+                .copied()
+                .find(|&u| u != prev)
+                .expect("ring nodes have two distinct neighbours");
+            prev = cur;
+            cur = next;
+        }
+        Self::from_cycle_order(g, &order)
+    }
+
+    /// Builds an orientation from an explicit cyclic order of the nodes:
+    /// `order[i + 1 mod n]` is the successor of `order[i]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NotARing`] if `g` is not a ring or the order
+    /// does not traverse its edges.
+    pub fn from_cycle_order(g: &Graph, order: &[NodeId]) -> Result<Self, GraphError> {
+        if !g.is_ring() || order.len() != g.n() {
+            return Err(GraphError::NotARing);
+        }
+        let n = g.n();
+        let mut pred_port = vec![PortId::new(0); n];
+        let mut succ_port = vec![PortId::new(0); n];
+        let mut seen = vec![false; n];
+        for i in 0..n {
+            let v = order[i];
+            if seen[v.index()] {
+                return Err(GraphError::NotARing);
+            }
+            seen[v.index()] = true;
+            let succ = order[(i + 1) % n];
+            let pred = order[(i + n - 1) % n];
+            succ_port[v.index()] = g.port_of(v, succ).ok_or(GraphError::NotARing)?;
+            pred_port[v.index()] = g.port_of(v, pred).ok_or(GraphError::NotARing)?;
+        }
+        Ok(RingOrientation { pred_port, succ_port })
+    }
+
+    /// Number of nodes on the ring.
+    pub fn n(&self) -> usize {
+        self.pred_port.len()
+    }
+
+    /// The local port of `v` pointing at its predecessor (`Pred_v`).
+    #[inline]
+    pub fn pred_port(&self, v: NodeId) -> PortId {
+        self.pred_port[v.index()]
+    }
+
+    /// The local port of `v` pointing at its successor.
+    #[inline]
+    pub fn succ_port(&self, v: NodeId) -> PortId {
+        self.succ_port[v.index()]
+    }
+
+    /// The predecessor process of `v`.
+    #[inline]
+    pub fn predecessor(&self, g: &Graph, v: NodeId) -> NodeId {
+        g.neighbor(v, self.pred_port(v))
+    }
+
+    /// The successor process of `v`.
+    #[inline]
+    pub fn successor(&self, g: &Graph, v: NodeId) -> NodeId {
+        g.neighbor(v, self.succ_port(v))
+    }
+
+    /// Nodes in successor order starting from node 0 — useful for rendering
+    /// Figure-1-style traces.
+    pub fn cycle_order(&self, g: &Graph) -> Vec<NodeId> {
+        let mut order = Vec::with_capacity(self.n());
+        let mut v = NodeId::new(0);
+        for _ in 0..self.n() {
+            order.push(v);
+            v = self.successor(g, v);
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+
+    #[test]
+    fn smallest_non_divisor_table() {
+        // (N, m_N) pairs; note m_N = 2 for every odd N.
+        let expected = [
+            (1u64, 2u64),
+            (2, 3),
+            (3, 2),
+            (4, 3),
+            (5, 2),
+            (6, 4),
+            (7, 2),
+            (8, 3),
+            (9, 2),
+            (10, 3),
+            (12, 5),
+            (24, 5),
+            (60, 7),
+            (420, 8),
+            (840, 9),
+        ];
+        for (n, m) in expected {
+            assert_eq!(smallest_non_divisor(n), m, "m_N for N={n}");
+        }
+    }
+
+    #[test]
+    fn smallest_non_divisor_never_divides() {
+        for n in 1u64..500 {
+            let m = smallest_non_divisor(n);
+            assert!(n % m != 0);
+            for k in 2..m {
+                assert_eq!(n % k, 0, "all smaller values divide N");
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_orientation_is_consistent() {
+        for n in [3usize, 4, 5, 6, 9] {
+            let g = builders::ring(n);
+            let o = RingOrientation::canonical(&g).unwrap();
+            for v in g.nodes() {
+                let s = o.successor(&g, v);
+                let p = o.predecessor(&g, v);
+                // Paper: q is the predecessor of p iff p is not the
+                // predecessor of q — i.e. pred/succ are inverse relations.
+                assert_eq!(o.predecessor(&g, s), v);
+                assert_eq!(o.successor(&g, p), v);
+                assert_ne!(s, p, "on rings with n >= 3 succ != pred");
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_order_visits_all_nodes() {
+        let g = builders::ring(7);
+        let o = RingOrientation::canonical(&g).unwrap();
+        let order = o.cycle_order(&g);
+        assert_eq!(order.len(), 7);
+        let mut sorted: Vec<_> = order.iter().map(|v| v.index()).collect();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn orientation_rejects_non_ring() {
+        let g = builders::path(4);
+        assert_eq!(
+            RingOrientation::canonical(&g).unwrap_err(),
+            GraphError::NotARing
+        );
+    }
+
+    #[test]
+    fn from_cycle_order_rejects_bad_order() {
+        let g = builders::ring(4);
+        // Not a traversal of the ring's edges (0 and 2 are not adjacent).
+        let bad = [NodeId::new(0), NodeId::new(2), NodeId::new(1), NodeId::new(3)];
+        assert!(RingOrientation::from_cycle_order(&g, &bad).is_err());
+        // Repeated node.
+        let dup = [NodeId::new(0), NodeId::new(1), NodeId::new(0), NodeId::new(3)];
+        assert!(RingOrientation::from_cycle_order(&g, &dup).is_err());
+    }
+
+    #[test]
+    fn reversed_order_swaps_pred_and_succ() {
+        let g = builders::ring(5);
+        let o = RingOrientation::canonical(&g).unwrap();
+        let mut rev = o.cycle_order(&g);
+        rev.reverse();
+        let o2 = RingOrientation::from_cycle_order(&g, &rev).unwrap();
+        for v in g.nodes() {
+            assert_eq!(o.successor(&g, v), o2.predecessor(&g, v));
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests for the graph substrate.
+//!
+//! Random trees are generated through Prüfer sequences, which makes the
+//! sampling uniform over all labelled trees (Cayley). The properties mirror
+//! the facts the paper relies on: Property 1 (tree centers), metric
+//! inequalities, and the structural identities of ring orientations.
+
+use proptest::prelude::*;
+use stab_graph::{builders, metrics, ring, trees, Graph, NodeId};
+
+/// Strategy: a Prüfer sequence for a tree on `n` nodes, 2 <= n <= 24.
+fn pruefer_strategy() -> impl Strategy<Value = Vec<usize>> {
+    (2usize..=24).prop_flat_map(|n| {
+        proptest::collection::vec(0..n, n.saturating_sub(2)..=n.saturating_sub(2))
+    })
+}
+
+proptest! {
+    #[test]
+    fn random_trees_are_trees(seq in pruefer_strategy()) {
+        let g = trees::tree_from_pruefer(&seq);
+        prop_assert!(g.is_tree());
+        prop_assert_eq!(g.n(), seq.len() + 2);
+        prop_assert_eq!(g.edge_count(), seq.len() + 1);
+    }
+
+    #[test]
+    fn pruefer_round_trip(seq in pruefer_strategy()) {
+        let g = trees::tree_from_pruefer(&seq);
+        let seq2 = trees::pruefer_from_tree(&g);
+        prop_assert_eq!(seq, seq2);
+    }
+
+    /// Property 1 of the paper: a tree has a unique center or two
+    /// neighbouring centers; also the leaf-pruning and BFS computations
+    /// agree.
+    #[test]
+    fn property1_tree_centers(seq in pruefer_strategy()) {
+        let g = trees::tree_from_pruefer(&seq);
+        let pruned = metrics::tree_centers(&g);
+        let bfs = metrics::centers(&g);
+        prop_assert_eq!(&pruned, &bfs);
+        match pruned.len() {
+            1 => {}
+            2 => prop_assert!(g.are_adjacent(pruned[0], pruned[1])),
+            k => prop_assert!(false, "a tree cannot have {} centers", k),
+        }
+    }
+
+    /// Tree centers have eccentricity exactly ceil(D / 2).
+    #[test]
+    fn tree_radius_is_half_diameter(seq in pruefer_strategy()) {
+        let g = trees::tree_from_pruefer(&seq);
+        let d = metrics::diameter(&g);
+        prop_assert_eq!(metrics::radius(&g), d.div_ceil(2));
+    }
+
+    /// Triangle inequality on BFS distances of random trees.
+    #[test]
+    fn triangle_inequality(seq in pruefer_strategy(), a in 0usize..24, b in 0usize..24, c in 0usize..24) {
+        let g = trees::tree_from_pruefer(&seq);
+        let n = g.n();
+        let (a, b, c) = (NodeId::new(a % n), NodeId::new(b % n), NodeId::new(c % n));
+        let dab = metrics::distance(&g, a, b);
+        let dbc = metrics::distance(&g, b, c);
+        let dac = metrics::distance(&g, a, c);
+        prop_assert!(dac <= dab + dbc);
+    }
+
+    /// Distances are symmetric.
+    #[test]
+    fn distance_symmetric(seq in pruefer_strategy(), a in 0usize..24, b in 0usize..24) {
+        let g = trees::tree_from_pruefer(&seq);
+        let n = g.n();
+        let (a, b) = (NodeId::new(a % n), NodeId::new(b % n));
+        prop_assert_eq!(metrics::distance(&g, a, b), metrics::distance(&g, b, a));
+    }
+
+    /// Ring orientations: pred and succ are mutually inverse and the cycle
+    /// order is a Hamiltonian traversal.
+    #[test]
+    fn ring_orientation_laws(n in 3usize..40) {
+        let g = builders::ring(n);
+        let o = ring::RingOrientation::canonical(&g).unwrap();
+        for v in g.nodes() {
+            prop_assert_eq!(o.predecessor(&g, o.successor(&g, v)), v);
+            prop_assert_eq!(o.successor(&g, o.predecessor(&g, v)), v);
+        }
+        let order = o.cycle_order(&g);
+        let mut seen: Vec<usize> = order.iter().map(|v| v.index()).collect();
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..n).collect::<Vec<_>>());
+    }
+
+    /// m_N: no k in 2..m_N fails to divide N, and m_N does not divide N.
+    #[test]
+    fn smallest_non_divisor_is_minimal(n in 1u64..100_000) {
+        let m = ring::smallest_non_divisor(n);
+        prop_assert!(n % m != 0);
+        for k in 2..m {
+            prop_assert_eq!(n % k, 0);
+        }
+    }
+
+    /// Handshake lemma on arbitrary graphs built from random edge sets.
+    #[test]
+    fn handshake_lemma(n in 1usize..12, edge_bits in proptest::collection::vec(any::<bool>(), 0..66)) {
+        let mut edges = Vec::new();
+        let mut k = 0usize;
+        'outer: for a in 0..n {
+            for b in (a + 1)..n {
+                if k >= edge_bits.len() { break 'outer; }
+                if edge_bits[k] {
+                    edges.push((a, b));
+                }
+                k += 1;
+            }
+        }
+        let g = Graph::from_edges(n, &edges).unwrap();
+        let degree_sum: usize = g.nodes().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(degree_sum, 2 * g.edge_count());
+    }
+}

@@ -1,0 +1,253 @@
+//! Building the absorbing Markov chain of a stabilizing system under a
+//! randomized scheduler.
+
+use std::collections::HashMap;
+
+use stab_core::{semantics, Algorithm, Configuration, Daemon, Legitimacy, LocalState, SpaceIndexer};
+
+use crate::error::MarkovError;
+
+/// The absorbing chain: transient states are the illegitimate
+/// configurations, the legitimate set `L` is lumped into one absorbing
+/// state (sound because `L` is closed under the strong closure property).
+///
+/// Transition probabilities implement Definition 6: the scheduler draws an
+/// activation *uniformly* among those the daemon allows, then the activated
+/// processes' outcome distributions multiply.
+#[derive(Debug)]
+pub struct AbsorbingChain<S> {
+    indexer: SpaceIndexer<S>,
+    daemon: Daemon,
+    /// Transient-state index per configuration id (`u32::MAX` = legitimate).
+    transient_of: Vec<u32>,
+    /// Configuration id per transient index.
+    config_of: Vec<u64>,
+    /// Sparse `Q` rows over transient indices.
+    rows: Vec<Vec<(u32, f64)>>,
+    /// One-step absorption probability per transient state.
+    absorb: Vec<f64>,
+    /// Expected number of process activations in one step from each
+    /// transient state (the *moves* reward of the quantitative study).
+    step_moves: Vec<f64>,
+}
+
+impl<S: LocalState> AbsorbingChain<S> {
+    /// Builds the chain for `alg` under the randomized form of `daemon`,
+    /// over the full configuration space.
+    ///
+    /// # Errors
+    ///
+    /// Propagates enumeration errors ([`MarkovError::Core`]).
+    pub fn build<A, L>(
+        alg: &A,
+        daemon: Daemon,
+        spec: &L,
+        cap: u64,
+    ) -> Result<Self, MarkovError>
+    where
+        A: Algorithm<State = S>,
+        L: Legitimacy<S>,
+    {
+        let indexer = SpaceIndexer::new(alg, cap)?;
+        let total = indexer.total();
+        let mut transient_of = vec![u32::MAX; total as usize];
+        let mut config_of = Vec::new();
+        for id in 0..total {
+            let cfg = indexer.decode(id);
+            if !spec.is_legitimate(&cfg) {
+                transient_of[id as usize] = config_of.len() as u32;
+                config_of.push(id);
+            }
+        }
+        let mut rows = Vec::with_capacity(config_of.len());
+        let mut absorb = Vec::with_capacity(config_of.len());
+        let mut step_moves = Vec::with_capacity(config_of.len());
+        for &id in &config_of {
+            let cfg = indexer.decode(id);
+            let steps = semantics::all_steps(alg, daemon, &cfg)?;
+            let mut row: HashMap<u32, f64> = HashMap::new();
+            let mut absorbed = 0.0;
+            if steps.is_empty() {
+                // Terminal illegitimate configuration: stays put forever.
+                rows.push(vec![(transient_of[id as usize], 1.0)]);
+                absorb.push(0.0);
+                step_moves.push(0.0);
+                continue;
+            }
+            let act_prob = 1.0 / steps.len() as f64;
+            let mut moves = 0.0;
+            for (activation, dist) in steps {
+                moves += act_prob * activation.len() as f64;
+                for (p, next) in dist {
+                    let next_id = indexer.encode(&next);
+                    let t = transient_of[next_id as usize];
+                    if t == u32::MAX {
+                        absorbed += act_prob * p;
+                    } else {
+                        *row.entry(t).or_insert(0.0) += act_prob * p;
+                    }
+                }
+            }
+            let mut row: Vec<(u32, f64)> = row.into_iter().collect();
+            row.sort_unstable_by_key(|&(j, _)| j);
+            rows.push(row);
+            absorb.push(absorbed);
+            step_moves.push(moves);
+        }
+        Ok(AbsorbingChain { indexer, daemon, transient_of, config_of, rows, absorb, step_moves })
+    }
+
+    /// Number of transient (illegitimate) states.
+    pub fn n_transient(&self) -> usize {
+        self.config_of.len()
+    }
+
+    /// Total number of configurations (transient + legitimate).
+    pub fn n_configs(&self) -> u64 {
+        self.indexer.total()
+    }
+
+    /// The daemon the chain was built under.
+    pub fn daemon(&self) -> Daemon {
+        self.daemon
+    }
+
+    /// The sparse `Q` rows (transient-to-transient probabilities).
+    pub fn rows(&self) -> &[Vec<(u32, f64)>] {
+        &self.rows
+    }
+
+    /// One-step absorption probabilities.
+    pub fn absorb(&self) -> &[f64] {
+        &self.absorb
+    }
+
+    /// Expected process activations per step, per transient state
+    /// (the reward vector of [`AbsorbingChain::expected_moves`]).
+    pub fn step_moves(&self) -> &[f64] {
+        &self.step_moves
+    }
+
+    /// The transient index of `cfg`, or `None` if it is legitimate.
+    pub fn transient_index(&self, cfg: &Configuration<S>) -> Option<usize> {
+        let t = self.transient_of[self.indexer.encode(cfg) as usize];
+        (t != u32::MAX).then_some(t as usize)
+    }
+
+    /// Renders the configuration behind a transient index.
+    pub fn render(&self, transient: usize) -> String {
+        format!("{:?}", self.indexer.decode(self.config_of[transient]))
+    }
+
+    /// Verifies row stochasticity: every transient row plus its absorption
+    /// mass sums to 1 (within `1e-9`).
+    pub fn validate_stochastic(&self) -> bool {
+        self.rows.iter().zip(&self.absorb).all(|(row, a)| {
+            let total: f64 = row.iter().map(|(_, p)| p).sum::<f64>() + a;
+            (total - 1.0).abs() < 1e-9
+        })
+    }
+
+    /// Whether every transient state reaches absorption with probability 1
+    /// (graph reachability towards `L` over positive-probability edges) —
+    /// the precondition for finite expected hitting times.
+    pub fn almost_surely_absorbing(&self) -> Result<(), MarkovError> {
+        let n = self.n_transient();
+        // Backward BFS from "absorbing" over reversed positive edges.
+        let mut preds: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut frontier: Vec<u32> = Vec::new();
+        let mut can = vec![false; n];
+        for (i, row) in self.rows.iter().enumerate() {
+            if self.absorb[i] > 0.0 {
+                can[i] = true;
+                frontier.push(i as u32);
+            }
+            for &(j, _) in row {
+                preds[j as usize].push(i as u32);
+            }
+        }
+        while let Some(i) = frontier.pop() {
+            for &p in &preds[i as usize] {
+                if !can[p as usize] {
+                    can[p as usize] = true;
+                    frontier.push(p);
+                }
+            }
+        }
+        match can.iter().position(|&b| !b) {
+            None => Ok(()),
+            Some(i) => Err(MarkovError::NotAbsorbing { config: self.render(i) }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stab_algorithms::{HermanRing, TokenCirculation, TwoProcessToggle};
+    use stab_core::{ProjectedLegitimacy, Transformed};
+    use stab_graph::builders;
+
+    #[test]
+    fn toggle_under_distributed_daemon() {
+        let a = TwoProcessToggle::new();
+        let chain =
+            AbsorbingChain::build(&a, Daemon::Distributed, &a.legitimacy(), 1 << 12).unwrap();
+        assert_eq!(chain.n_configs(), 4);
+        assert_eq!(chain.n_transient(), 3);
+        assert!(chain.validate_stochastic());
+        assert!(chain.almost_surely_absorbing().is_ok());
+        // From (F,F): 3 equiprobable activations; only {P0,P1} absorbs.
+        let ff = chain
+            .transient_index(&Configuration::from_vec(vec![false, false]))
+            .unwrap();
+        assert!((chain.absorb()[ff] - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn toggle_under_central_daemon_is_not_absorbing() {
+        let a = TwoProcessToggle::new();
+        let chain = AbsorbingChain::build(&a, Daemon::Central, &a.legitimacy(), 1 << 12).unwrap();
+        assert!(matches!(
+            chain.almost_surely_absorbing(),
+            Err(MarkovError::NotAbsorbing { .. })
+        ));
+    }
+
+    #[test]
+    fn transformed_toggle_under_synchronous_is_absorbing() {
+        let a = Transformed::new(TwoProcessToggle::new());
+        let spec = ProjectedLegitimacy::new(TwoProcessToggle::new().legitimacy());
+        let chain = AbsorbingChain::build(&a, Daemon::Synchronous, &spec, 1 << 12).unwrap();
+        // 16 coined configurations, 4 of which project to (T,T).
+        assert_eq!(chain.n_configs(), 16);
+        assert_eq!(chain.n_transient(), 12);
+        assert!(chain.validate_stochastic());
+        assert!(chain.almost_surely_absorbing().is_ok(), "Theorem 8");
+    }
+
+    #[test]
+    fn herman_synchronous_chain() {
+        let a = HermanRing::on_ring(&builders::ring(3)).unwrap();
+        let chain =
+            AbsorbingChain::build(&a, Daemon::Synchronous, &a.legitimacy(), 1 << 12).unwrap();
+        assert_eq!(chain.n_configs(), 8);
+        // Legitimate: exactly one token = 6 configurations (3 positions × 2
+        // bit patterns each); transient: the two uniform configurations.
+        assert_eq!(chain.n_transient(), 2);
+        assert!(chain.validate_stochastic());
+        assert!(chain.almost_surely_absorbing().is_ok());
+    }
+
+    #[test]
+    fn token_ring_under_central_daemon() {
+        let a = TokenCirculation::on_ring(&builders::ring(4)).unwrap();
+        let chain = AbsorbingChain::build(&a, Daemon::Central, &a.legitimacy(), 1 << 20).unwrap();
+        assert_eq!(chain.n_configs(), 81); // m=3, N=4
+        assert!(chain.validate_stochastic());
+        assert!(chain.almost_surely_absorbing().is_ok());
+        // Legitimate configurations are not transient.
+        let legit = a.legitimate_config(stab_graph::NodeId::new(0));
+        assert!(chain.transient_index(&legit).is_none());
+    }
+}

@@ -1,0 +1,77 @@
+//! Error type for Markov-chain construction and solving.
+
+use std::error::Error;
+use std::fmt;
+
+use stab_core::CoreError;
+
+/// Errors from chain construction and hitting-time computation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MarkovError {
+    /// State-space or scheduler enumeration failed.
+    Core(CoreError),
+    /// Some configuration cannot reach the legitimate set, so absorption is
+    /// not almost sure and expected times are infinite — the system is not
+    /// probabilistically self-stabilizing (Definition 2 fails).
+    NotAbsorbing {
+        /// A configuration with absorption probability < 1.
+        config: String,
+    },
+    /// The iterative solver failed to reach the residual tolerance.
+    SolverDiverged {
+        /// Iterations performed.
+        iterations: usize,
+        /// Final residual.
+        residual: f64,
+    },
+    /// The dense solver hit a (numerically) singular pivot.
+    Singular,
+}
+
+impl fmt::Display for MarkovError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MarkovError::Core(e) => write!(f, "{e}"),
+            MarkovError::NotAbsorbing { config } => write!(
+                f,
+                "absorption is not almost sure: {config} cannot reach the legitimate set"
+            ),
+            MarkovError::SolverDiverged { iterations, residual } => write!(
+                f,
+                "iterative solver did not converge after {iterations} iterations (residual {residual:.3e})"
+            ),
+            MarkovError::Singular => write!(f, "singular linear system"),
+        }
+    }
+}
+
+impl Error for MarkovError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MarkovError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for MarkovError {
+    fn from(e: CoreError) -> Self {
+        MarkovError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = MarkovError::NotAbsorbing { config: "⟨0⟩".into() };
+        assert!(e.to_string().contains("not almost sure"));
+        let e = MarkovError::SolverDiverged { iterations: 10, residual: 0.5 };
+        assert!(e.to_string().contains("10 iterations"));
+        assert!(MarkovError::Singular.to_string().contains("singular"));
+        let e: MarkovError = CoreError::EmptyStateSpace { node: 0 }.into();
+        assert!(e.to_string().contains("empty state space"));
+    }
+}

@@ -1,0 +1,386 @@
+//! Expected hitting times and hitting-time distributions.
+
+use stab_core::{Configuration, LocalState};
+
+use crate::chain::AbsorbingChain;
+use crate::error::MarkovError;
+use crate::linalg;
+
+/// Above this many transient states the sparse Gauss–Seidel solver replaces
+/// dense Gaussian elimination.
+const DENSE_LIMIT: usize = 600;
+
+/// Residual tolerance of the iterative solver.
+const TOL: f64 = 1e-12;
+
+/// Per-configuration expected stabilization times `t = (I − Q)⁻¹ 1`.
+#[derive(Debug, Clone)]
+pub struct HittingTimes {
+    times: Vec<f64>,
+}
+
+impl HittingTimes {
+    /// Expected steps from the transient state with the given index.
+    pub fn of_transient(&self, idx: usize) -> f64 {
+        self.times[idx]
+    }
+
+    /// The worst-case expected stabilization time over all configurations
+    /// (legitimate ones contribute 0).
+    pub fn worst_case(&self) -> f64 {
+        self.times.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// The transient index attaining the worst case, if any transient state
+    /// exists.
+    pub fn worst_index(&self) -> Option<usize> {
+        (0..self.times.len()).max_by(|&i, &j| self.times[i].total_cmp(&self.times[j]))
+    }
+
+    /// The average expected stabilization time over a *uniformly random
+    /// initial configuration* of the full space with `total` configurations
+    /// (legitimate configurations count 0 steps).
+    pub fn average_uniform(&self, total: u64) -> f64 {
+        assert!(total as usize >= self.times.len(), "total below transient count");
+        self.times.iter().sum::<f64>() / total as f64
+    }
+
+    /// All transient expected times.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.times
+    }
+}
+
+impl<S: LocalState> AbsorbingChain<S> {
+    /// Solves `(I − Q) t = 1` for the expected stabilization times.
+    ///
+    /// # Errors
+    ///
+    /// [`MarkovError::NotAbsorbing`] if some configuration cannot reach
+    /// `L` (infinite expected time); solver errors otherwise.
+    pub fn expected_steps(&self) -> Result<HittingTimes, MarkovError> {
+        self.almost_surely_absorbing()?;
+        let n = self.n_transient();
+        if n == 0 {
+            return Ok(HittingTimes { times: Vec::new() });
+        }
+        let b = vec![1.0; n];
+        let times = if n <= DENSE_LIMIT {
+            let mut a = vec![vec![0.0; n]; n];
+            for (i, row) in self.rows().iter().enumerate() {
+                a[i][i] = 1.0;
+                for &(j, q) in row {
+                    a[i][j as usize] -= q;
+                }
+            }
+            linalg::solve_dense(a, b)?
+        } else {
+            linalg::gauss_seidel(self.rows(), &b, TOL, 1_000_000)?
+        };
+        Ok(HittingTimes { times })
+    }
+
+    /// The expected stabilization time from a specific configuration
+    /// (0 when legitimate).
+    pub fn expected_from(
+        &self,
+        times: &HittingTimes,
+        cfg: &Configuration<S>,
+    ) -> f64 {
+        match self.transient_index(cfg) {
+            None => 0.0,
+            Some(i) => times.of_transient(i),
+        }
+    }
+
+    /// Solves the reward equation `(I − Q) x = r` for an arbitrary
+    /// per-step reward vector `r` over the transient states: `x(γ)` is the
+    /// expected accumulated reward before absorption.
+    ///
+    /// # Errors
+    ///
+    /// [`MarkovError::NotAbsorbing`] when absorption is not almost sure;
+    /// solver errors otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reward` has the wrong length.
+    pub fn expected_reward(&self, reward: &[f64]) -> Result<HittingTimes, MarkovError> {
+        assert_eq!(reward.len(), self.n_transient(), "reward length mismatch");
+        self.almost_surely_absorbing()?;
+        let n = self.n_transient();
+        if n == 0 {
+            return Ok(HittingTimes { times: Vec::new() });
+        }
+        let b = reward.to_vec();
+        let times = if n <= DENSE_LIMIT {
+            let mut a = vec![vec![0.0; n]; n];
+            for (i, row) in self.rows().iter().enumerate() {
+                a[i][i] = 1.0;
+                for &(j, q) in row {
+                    a[i][j as usize] -= q;
+                }
+            }
+            linalg::solve_dense(a, b)?
+        } else {
+            linalg::gauss_seidel(self.rows(), &b, TOL, 1_000_000)?
+        };
+        Ok(HittingTimes { times })
+    }
+
+    /// Exact expected number of process activations (*moves*) before
+    /// stabilization: the reward solve with the per-step expected
+    /// activation sizes. Under the central daemon this equals
+    /// [`AbsorbingChain::expected_steps`]; under the synchronous daemon it
+    /// counts total work.
+    ///
+    /// # Errors
+    ///
+    /// As for [`AbsorbingChain::expected_reward`].
+    pub fn expected_moves(&self) -> Result<HittingTimes, MarkovError> {
+        self.expected_reward(self.step_moves())
+    }
+
+    /// Absorption probabilities per transient state, `a = (I − Q)⁻¹ r`
+    /// with `r` the one-step absorption vector. For probabilistically
+    /// self-stabilizing systems this is the all-ones vector — a numeric
+    /// re-verification of Theorems 8–9.
+    ///
+    /// # Errors
+    ///
+    /// Solver errors only; this does not require almost-sure absorption.
+    pub fn absorption_probabilities(&self) -> Result<Vec<f64>, MarkovError> {
+        let n = self.n_transient();
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        let b = self.absorb().to_vec();
+        if n <= DENSE_LIMIT {
+            let mut a = vec![vec![0.0; n]; n];
+            for (i, row) in self.rows().iter().enumerate() {
+                a[i][i] = 1.0;
+                for &(j, q) in row {
+                    a[i][j as usize] -= q;
+                }
+            }
+            linalg::solve_dense(a, b)
+        } else {
+            linalg::gauss_seidel(self.rows(), &b, TOL, 1_000_000)
+        }
+    }
+
+    /// The CDF of the stabilization time from the uniform initial
+    /// distribution: `cdf[k] = P(stabilized within k steps)`, for
+    /// `k = 0..=horizon`.
+    pub fn hitting_cdf_uniform(&self, horizon: usize) -> Vec<f64> {
+        let n = self.n_transient();
+        let total = self.n_configs() as f64;
+        // Initially the legitimate mass is already absorbed.
+        let mut absorbed = (total - n as f64) / total;
+        let mut mass = vec![1.0 / total; n];
+        let mut cdf = Vec::with_capacity(horizon + 1);
+        cdf.push(absorbed);
+        for _ in 0..horizon {
+            let mut next = vec![0.0; n];
+            for (i, row) in self.rows().iter().enumerate() {
+                let m = mass[i];
+                if m == 0.0 {
+                    continue;
+                }
+                absorbed += m * self.absorb()[i];
+                for &(j, q) in row {
+                    next[j as usize] += m * q;
+                }
+            }
+            mass = next;
+            cdf.push(absorbed);
+        }
+        cdf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stab_algorithms::{DijkstraRing, HermanRing, TokenCirculation, TwoProcessToggle};
+    use stab_core::{Daemon, ProjectedLegitimacy, Transformed};
+    use stab_graph::builders;
+
+    /// Trans(Algorithm 3) under the synchronous daemon, solved by hand on
+    /// the projection chain: from (F,F) both processes toss, giving (T,T)
+    /// with ¼ (absorbed), a half-raised state with ½, and (F,F) again with
+    /// ¼; from a half-raised state only one process is enabled, lowering
+    /// with ½ back to (F,F) or staying. The equations
+    /// `t_ff = 1 + ½·t_h + ¼·t_ff` and `t_h = 1 + ½·t_h + ½·t_ff`
+    /// solve to `t_h = 2 + t_ff`, hence `t_ff = 8` and `t_h = 10`.
+    #[test]
+    fn transformed_toggle_exact_times() {
+        let a = Transformed::new(TwoProcessToggle::new());
+        let spec = ProjectedLegitimacy::new(TwoProcessToggle::new().legitimacy());
+        let chain = AbsorbingChain::build(&a, Daemon::Synchronous, &spec, 1 << 12).unwrap();
+        let times = chain.expected_steps().unwrap();
+        // From any coined configuration projecting to (F,F):
+        let ff = Transformed::<TwoProcessToggle>::lift(
+            &Configuration::from_vec(vec![false, false]),
+            false,
+        );
+        let t = chain.expected_from(&times, &ff);
+        assert!((t - 8.0).abs() < 1e-9, "expected 8, got {t}");
+        let half = Transformed::<TwoProcessToggle>::lift(
+            &Configuration::from_vec(vec![true, false]),
+            false,
+        );
+        let th = chain.expected_from(&times, &half);
+        assert!((th - 10.0).abs() < 1e-9, "expected 10, got {th}");
+    }
+
+    /// Theorems 8–9 numerically: absorption probability 1 under the
+    /// synchronous and the distributed randomized scheduler. The *central*
+    /// randomized scheduler is deliberately excluded — and asserted to
+    /// fail — because Algorithm 3 needs a simultaneous move, which no
+    /// central scheduler (randomized or not) can provide. This is exactly
+    /// why the paper's transformer keeps synchronous steps possible.
+    #[test]
+    fn absorption_probabilities_are_one_for_transformed_systems() {
+        let a = Transformed::new(TwoProcessToggle::new());
+        let spec = ProjectedLegitimacy::new(TwoProcessToggle::new().legitimacy());
+        for daemon in [Daemon::Synchronous, Daemon::Distributed] {
+            let chain = AbsorbingChain::build(&a, daemon, &spec, 1 << 12).unwrap();
+            let probs = chain.absorption_probabilities().unwrap();
+            for (i, p) in probs.iter().enumerate() {
+                assert!(
+                    (p - 1.0).abs() < 1e-9,
+                    "absorption {p} from {} under {daemon}",
+                    chain.render(i)
+                );
+            }
+        }
+        let central = AbsorbingChain::build(&a, Daemon::Central, &spec, 1 << 12).unwrap();
+        let probs = central.absorption_probabilities().unwrap();
+        assert!(
+            probs.iter().any(|p| *p < 1e-9),
+            "the central scheduler cannot converge Algorithm 3, even transformed"
+        );
+    }
+
+    #[test]
+    fn herman3_expected_times_are_finite_and_positive() {
+        let a = HermanRing::on_ring(&builders::ring(3)).unwrap();
+        let chain =
+            AbsorbingChain::build(&a, Daemon::Synchronous, &a.legitimacy(), 1 << 12).unwrap();
+        let times = chain.expected_steps().unwrap();
+        // The two transient states are the uniform configurations, where
+        // all three tokens coexist; each process flips a fair coin, and the
+        // step absorbs unless the outcome is uniform again (prob 2/8):
+        // t = 1 + (2/8)·t  =>  t = 4/3.
+        for i in 0..chain.n_transient() {
+            let t = times.of_transient(i);
+            assert!((t - 4.0 / 3.0).abs() < 1e-9, "expected 4/3, got {t}");
+        }
+    }
+
+    #[test]
+    fn dijkstra_central_times_match_dense_and_sparse() {
+        let a = DijkstraRing::on_ring(&builders::ring(4)).unwrap();
+        let chain = AbsorbingChain::build(&a, Daemon::Central, &a.legitimacy(), 1 << 20).unwrap();
+        let times = chain.expected_steps().unwrap();
+        // Cross-validate dense against Gauss–Seidel on the same rows.
+        let n = chain.n_transient();
+        let gs = linalg::gauss_seidel(chain.rows(), &vec![1.0; n], 1e-12, 1_000_000).unwrap();
+        for (i, g) in gs.iter().enumerate() {
+            assert!((times.of_transient(i) - g).abs() < 1e-7);
+        }
+        assert!(times.worst_case() > 0.0);
+        assert!(times.average_uniform(chain.n_configs()) <= times.worst_case());
+    }
+
+    #[test]
+    fn token_ring_transformed_times_decrease_toward_legitimacy() {
+        let base = TokenCirculation::on_ring(&builders::ring(3)).unwrap();
+        let spec = ProjectedLegitimacy::new(base.legitimacy());
+        let a = Transformed::new(TokenCirculation::on_ring(&builders::ring(3)).unwrap());
+        let chain = AbsorbingChain::build(&a, Daemon::Distributed, &spec, 1 << 20).unwrap();
+        let times = chain.expected_steps().unwrap();
+        assert!(times.worst_case().is_finite());
+        assert!(times.worst_case() > 0.0);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_approaches_one() {
+        let a = Transformed::new(TwoProcessToggle::new());
+        let spec = ProjectedLegitimacy::new(TwoProcessToggle::new().legitimacy());
+        let chain = AbsorbingChain::build(&a, Daemon::Synchronous, &spec, 1 << 12).unwrap();
+        let cdf = chain.hitting_cdf_uniform(200);
+        for w in cdf.windows(2) {
+            assert!(w[1] >= w[0] - 1e-12, "CDF must be monotone");
+        }
+        assert!(cdf[0] > 0.0, "legitimate initial mass is absorbed at time 0");
+        assert!((cdf.last().unwrap() - 1.0).abs() < 1e-6, "mass absorbs eventually");
+    }
+
+    #[test]
+    fn non_absorbing_chain_reports_error() {
+        let a = TwoProcessToggle::new();
+        let chain = AbsorbingChain::build(&a, Daemon::Central, &a.legitimacy(), 1 << 12).unwrap();
+        assert!(matches!(
+            chain.expected_steps(),
+            Err(MarkovError::NotAbsorbing { .. })
+        ));
+    }
+
+    #[test]
+    fn expected_moves_equal_steps_under_central_daemon() {
+        // Central daemon: exactly one move per step, so the two solves
+        // coincide state by state.
+        let a = TokenCirculation::on_ring(&builders::ring(4)).unwrap();
+        let chain = AbsorbingChain::build(&a, Daemon::Central, &a.legitimacy(), 1 << 20).unwrap();
+        let steps = chain.expected_steps().unwrap();
+        let moves = chain.expected_moves().unwrap();
+        for i in 0..chain.n_transient() {
+            assert!((steps.of_transient(i) - moves.of_transient(i)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn expected_moves_exceed_steps_under_synchronous_daemon() {
+        let a = Transformed::new(TwoProcessToggle::new());
+        let spec = ProjectedLegitimacy::new(TwoProcessToggle::new().legitimacy());
+        let chain = AbsorbingChain::build(&a, Daemon::Synchronous, &spec, 1 << 12).unwrap();
+        let steps = chain.expected_steps().unwrap();
+        let moves = chain.expected_moves().unwrap();
+        for i in 0..chain.n_transient() {
+            assert!(moves.of_transient(i) >= steps.of_transient(i) - 1e-9);
+        }
+        assert!(moves.worst_case() > steps.worst_case());
+    }
+
+    #[test]
+    fn unit_reward_recovers_expected_steps() {
+        let a = HermanRing::on_ring(&builders::ring(5)).unwrap();
+        let chain =
+            AbsorbingChain::build(&a, Daemon::Synchronous, &a.legitimacy(), 1 << 12).unwrap();
+        let steps = chain.expected_steps().unwrap();
+        let unit = chain.expected_reward(&vec![1.0; chain.n_transient()]).unwrap();
+        for i in 0..chain.n_transient() {
+            assert!((steps.of_transient(i) - unit.of_transient(i)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "reward length mismatch")]
+    fn reward_length_checked() {
+        let a = TwoProcessToggle::new();
+        let chain =
+            AbsorbingChain::build(&a, Daemon::Distributed, &a.legitimacy(), 1 << 12).unwrap();
+        let _ = chain.expected_reward(&[1.0]);
+    }
+
+    #[test]
+    fn worst_index_points_at_worst_case() {
+        let a = TokenCirculation::on_ring(&builders::ring(4)).unwrap();
+        let chain = AbsorbingChain::build(&a, Daemon::Central, &a.legitimacy(), 1 << 20).unwrap();
+        let times = chain.expected_steps().unwrap();
+        let worst = times.worst_index().unwrap();
+        assert!((times.of_transient(worst) - times.worst_case()).abs() < 1e-12);
+    }
+}

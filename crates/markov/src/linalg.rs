@@ -1,0 +1,190 @@
+//! Linear solvers for the fundamental-matrix equation `(I − Q) x = b`:
+//! dense Gaussian elimination with partial pivoting for small systems, and
+//! sparse Gauss–Seidel for large ones (convergent because `Q` is
+//! substochastic with almost-sure absorption).
+
+use crate::error::MarkovError;
+
+/// Solves the dense system `A x = b` by Gaussian elimination with partial
+/// pivoting, consuming the inputs.
+///
+/// # Errors
+///
+/// [`MarkovError::Singular`] on a vanishing pivot.
+// Indexed loops: the elimination reads row `col` while writing row `row`,
+// which iterator adapters cannot express without `split_at_mut` noise.
+#[allow(clippy::needless_range_loop)]
+pub fn solve_dense(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>, MarkovError> {
+    let n = a.len();
+    assert!(a.iter().all(|row| row.len() == n), "matrix must be square");
+    assert_eq!(b.len(), n, "dimension mismatch");
+    for col in 0..n {
+        // Partial pivot.
+        let pivot = (col..n)
+            .max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))
+            .expect("non-empty range");
+        if a[pivot][col].abs() < 1e-300 {
+            return Err(MarkovError::Singular);
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        let inv = 1.0 / a[col][col];
+        for row in col + 1..n {
+            let factor = a[row][col] * inv;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in row + 1..n {
+            acc -= a[row][k] * x[k];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Ok(x)
+}
+
+/// Solves `(I − Q) x = b` by Gauss–Seidel iteration, where `rows[i]` holds
+/// the sparse entries `(j, Q_ij)` of the substochastic matrix `Q`.
+///
+/// The iteration `x_i ← b_i + Σ_j Q_ij x_j` converges whenever every state
+/// eventually absorbs (spectral radius of `Q` below 1).
+///
+/// # Errors
+///
+/// [`MarkovError::SolverDiverged`] if the max-update falls below `tol`
+/// within `max_iter` sweeps.
+pub fn gauss_seidel(
+    rows: &[Vec<(u32, f64)>],
+    b: &[f64],
+    tol: f64,
+    max_iter: usize,
+) -> Result<Vec<f64>, MarkovError> {
+    let n = rows.len();
+    assert_eq!(b.len(), n, "dimension mismatch");
+    let mut x = b.to_vec();
+    let mut residual = f64::INFINITY;
+    for _ in 0..max_iter {
+        residual = 0.0;
+        for i in 0..n {
+            let mut acc = b[i];
+            let mut diag = 0.0;
+            for &(j, q) in &rows[i] {
+                if j as usize == i {
+                    diag += q;
+                } else {
+                    acc += q * x[j as usize];
+                }
+            }
+            // Self-loop mass folds into the diagonal: (1 − Q_ii) x_i = acc.
+            let denom = 1.0 - diag;
+            if denom.abs() < 1e-300 {
+                // A transient state that never leaves itself: hitting times
+                // diverge (callers rule this out via absorption checks).
+                return Err(MarkovError::SolverDiverged {
+                    iterations: 0,
+                    residual: f64::INFINITY,
+                });
+            }
+            let next = acc / denom;
+            residual = residual.max((next - x[i]).abs());
+            x[i] = next;
+        }
+        if residual < tol {
+            return Ok(x);
+        }
+    }
+    Err(MarkovError::SolverDiverged { iterations: max_iter, residual })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_solves_identity() {
+        let a = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let x = solve_dense(a, vec![3.0, 4.0]).unwrap();
+        assert_eq!(x, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn dense_solves_2x2() {
+        // [2 1; 1 3] x = [5; 10] -> x = [1; 3]
+        let a = vec![vec![2.0, 1.0], vec![1.0, 3.0]];
+        let x = solve_dense(a, vec![5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dense_needs_pivoting() {
+        // Zero on the initial diagonal; pivoting must handle it.
+        let a = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        let x = solve_dense(a, vec![7.0, 9.0]).unwrap();
+        assert!((x[0] - 9.0).abs() < 1e-12);
+        assert!((x[1] - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dense_detects_singular() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        assert_eq!(solve_dense(a, vec![1.0, 2.0]).unwrap_err(), MarkovError::Singular);
+    }
+
+    #[test]
+    fn gauss_seidel_geometric_chain() {
+        // Single transient state with self-loop 1/2: (1 - 1/2) t = 1 -> t=2.
+        let rows = vec![vec![(0u32, 0.5)]];
+        let x = gauss_seidel(&rows, &[1.0], 1e-12, 10_000).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gauss_seidel_matches_dense_on_random_chain() {
+        // A 4-state substochastic matrix with leakage.
+        let rows = vec![
+            vec![(1u32, 0.5), (2, 0.25)],
+            vec![(0u32, 0.3), (3, 0.3)],
+            vec![(2u32, 0.6), (0, 0.2)],
+            vec![(1u32, 0.9)],
+        ];
+        let b = vec![1.0; 4];
+        let gs = gauss_seidel(&rows, &b, 1e-13, 100_000).unwrap();
+        // Dense version of (I - Q).
+        let mut a = vec![vec![0.0; 4]; 4];
+        for (i, row) in rows.iter().enumerate() {
+            a[i][i] += 1.0;
+            for &(j, q) in row {
+                a[i][j as usize] -= q;
+            }
+        }
+        let dense = solve_dense(a, b).unwrap();
+        for i in 0..4 {
+            assert!((gs[i] - dense[i]).abs() < 1e-8, "state {i}: {} vs {}", gs[i], dense[i]);
+        }
+    }
+
+    #[test]
+    fn gauss_seidel_reports_divergence() {
+        // Stochastic row with no leakage anywhere: no absorption, the
+        // iteration cannot settle.
+        let rows = vec![vec![(0u32, 1.0)]];
+        let err = gauss_seidel(&rows, &[1.0], 1e-12, 50).unwrap_err();
+        assert!(matches!(err, MarkovError::SolverDiverged { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dimension_mismatch_panics() {
+        let _ = gauss_seidel(&[vec![]], &[1.0, 2.0], 1e-9, 10);
+    }
+}

@@ -1,0 +1,91 @@
+//! Initial-configuration samplers.
+
+use rand::Rng;
+use stab_core::{Algorithm, Configuration};
+use stab_graph::NodeId;
+
+/// Samples a configuration uniformly from the full configuration space
+/// (every process state drawn uniformly from its state space) — the
+/// "arbitrary initial configuration" of the stabilization definitions.
+pub fn uniform_random<A, R>(alg: &A, rng: &mut R) -> Configuration<A::State>
+where
+    A: Algorithm,
+    R: Rng + ?Sized,
+{
+    let states = (0..alg.n())
+        .map(|v| {
+            let space = alg.state_space(NodeId::new(v));
+            assert!(!space.is_empty(), "node {v} has an empty state space");
+            space[rng.random_range(0..space.len())].clone()
+        })
+        .collect();
+    Configuration::from_vec(states)
+}
+
+/// Samples uniformly but rejects configurations accepted by `reject`
+/// (e.g. already-legitimate ones, for conditional estimates). Gives up and
+/// returns the last sample after 10 000 rejections.
+pub fn uniform_random_where<A, R>(
+    alg: &A,
+    rng: &mut R,
+    mut reject: impl FnMut(&Configuration<A::State>) -> bool,
+) -> Configuration<A::State>
+where
+    A: Algorithm,
+    R: Rng + ?Sized,
+{
+    let mut cfg = uniform_random(alg, rng);
+    for _ in 0..10_000 {
+        if !reject(&cfg) {
+            break;
+        }
+        cfg = uniform_random(alg, rng);
+    }
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use stab_algorithms::TokenCirculation;
+    use stab_graph::builders;
+
+    #[test]
+    fn uniform_samples_stay_in_state_space() {
+        let a = TokenCirculation::on_ring(&builders::ring(6)).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let cfg = uniform_random(&a, &mut rng);
+            assert_eq!(cfg.len(), 6);
+            for (_, &s) in cfg.iter() {
+                assert!(s < a.modulus());
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_hits_every_state_value() {
+        let a = TokenCirculation::on_ring(&builders::ring(3)).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            let cfg = uniform_random(&a, &mut rng);
+            seen.insert(cfg);
+        }
+        // m=2, N=3: only 8 configurations; 200 draws see them all.
+        assert_eq!(seen.len(), 8);
+    }
+
+    #[test]
+    fn rejection_sampler_avoids_rejected_set() {
+        let a = TokenCirculation::on_ring(&builders::ring(4)).unwrap();
+        let spec = a.legitimacy();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        use stab_core::Legitimacy;
+        for _ in 0..50 {
+            let cfg = uniform_random_where(&a, &mut rng, |c| spec.is_legitimate(c));
+            assert!(!spec.is_legitimate(&cfg));
+        }
+    }
+}

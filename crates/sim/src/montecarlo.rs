@@ -1,0 +1,256 @@
+//! Batched, parallel, deterministic Monte-Carlo estimation.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use stab_core::{Algorithm, Daemon, Legitimacy};
+
+use crate::init;
+use crate::run::run_once;
+use crate::stats::{Accumulator, Estimate};
+
+/// Batch parameters.
+#[derive(Debug, Clone)]
+pub struct BatchSettings {
+    /// Number of runs.
+    pub runs: u64,
+    /// Per-run step budget; runs exceeding it count as failures.
+    pub max_steps: u64,
+    /// Base seed; the batch is deterministic in (settings, algorithm).
+    pub seed: u64,
+    /// Worker threads (1 = sequential).
+    pub threads: usize,
+}
+
+impl Default for BatchSettings {
+    fn default() -> Self {
+        BatchSettings { runs: 1_000, max_steps: 1_000_000, seed: 0xC0FFEE, threads: 1 }
+    }
+}
+
+/// Aggregated batch outcome. Estimates cover *converged* runs only;
+/// `failures` counts budget exhaustions (or illegitimate deadlocks).
+#[derive(Debug, Clone)]
+pub struct BatchResult {
+    /// Steps-to-stabilization estimate.
+    pub steps: Estimate,
+    /// Moves (total activations) estimate.
+    pub moves: Estimate,
+    /// Rounds estimate.
+    pub rounds: Estimate,
+    /// Runs that did not converge within the budget.
+    pub failures: u64,
+    /// Total runs.
+    pub runs: u64,
+}
+
+/// Runs `settings.runs` independent simulations from uniformly random
+/// initial configurations and aggregates their costs.
+///
+/// Parallel and deterministic: run `i` always uses the RNG stream
+/// `seed ⊕ i`, whatever the thread count.
+pub fn estimate<A, L>(
+    alg: &A,
+    daemon: Daemon,
+    spec: &L,
+    settings: &BatchSettings,
+) -> BatchResult
+where
+    A: Algorithm + Sync,
+    L: Legitimacy<A::State> + Sync,
+{
+    estimate_with(alg, daemon, spec, settings, |alg, rng| init::uniform_random(alg, rng))
+}
+
+/// Like [`estimate`], but with a custom initial-configuration sampler
+/// (e.g. worst-case starts, or conditioned on illegitimacy).
+pub fn estimate_with<A, L, F>(
+    alg: &A,
+    daemon: Daemon,
+    spec: &L,
+    settings: &BatchSettings,
+    make_initial: F,
+) -> BatchResult
+where
+    A: Algorithm + Sync,
+    L: Legitimacy<A::State> + Sync,
+    F: Fn(&A, &mut StdRng) -> stab_core::Configuration<A::State> + Sync,
+{
+    assert!(settings.runs > 0, "at least one run required");
+    let threads = settings.threads.max(1);
+    let chunk = settings.runs.div_ceil(threads as u64);
+    let mut partials: Vec<(Accumulator, Accumulator, Accumulator, u64)> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..threads as u64 {
+            let lo = t * chunk;
+            let hi = ((t + 1) * chunk).min(settings.runs);
+            if lo >= hi {
+                break;
+            }
+            let make_initial = &make_initial;
+            handles.push(scope.spawn(move || {
+                let mut steps = Accumulator::new();
+                let mut moves = Accumulator::new();
+                let mut rounds = Accumulator::new();
+                let mut failures = 0u64;
+                for i in lo..hi {
+                    let mut rng = StdRng::seed_from_u64(settings.seed ^ (i.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+                    let initial = make_initial(alg, &mut rng);
+                    let r = run_once(alg, daemon, spec, &initial, &mut rng, settings.max_steps);
+                    if r.converged {
+                        steps.push(r.steps as f64);
+                        moves.push(r.moves as f64);
+                        rounds.push(r.rounds as f64);
+                    } else {
+                        failures += 1;
+                    }
+                }
+                (steps, moves, rounds, failures)
+            }));
+        }
+        for h in handles {
+            partials.push(h.join().expect("simulation worker panicked"));
+        }
+    });
+    let mut steps = Accumulator::new();
+    let mut moves = Accumulator::new();
+    let mut rounds = Accumulator::new();
+    let mut failures = 0u64;
+    for (s, m, r, f) in &partials {
+        steps.merge(s);
+        moves.merge(m);
+        rounds.merge(r);
+        failures += f;
+    }
+    assert!(
+        steps.count() > 0,
+        "no run converged; raise max_steps or check the system is probabilistically self-stabilizing"
+    );
+    BatchResult {
+        steps: steps.estimate(),
+        moves: moves.estimate(),
+        rounds: rounds.estimate(),
+        failures,
+        runs: settings.runs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stab_algorithms::{HermanRing, TokenCirculation, TwoProcessToggle};
+    use stab_core::{ProjectedLegitimacy, Transformed};
+    use stab_graph::builders;
+    use stab_markov::AbsorbingChain;
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let alg = Transformed::new(TwoProcessToggle::new());
+        let spec = ProjectedLegitimacy::new(TwoProcessToggle::new().legitimacy());
+        let base = BatchSettings { runs: 400, max_steps: 100_000, seed: 11, threads: 1 };
+        let seq = estimate(&alg, Daemon::Synchronous, &spec, &base);
+        let par = estimate(
+            &alg,
+            Daemon::Synchronous,
+            &spec,
+            &BatchSettings { threads: 4, ..base },
+        );
+        assert_eq!(seq.failures, par.failures);
+        assert!((seq.steps.mean - par.steps.mean).abs() < 1e-9);
+        assert!((seq.rounds.mean - par.rounds.mean).abs() < 1e-9);
+    }
+
+    /// Cross-validation of the two halves of the quantitative study: the
+    /// Monte-Carlo estimate of the uniform-initial expected stabilization
+    /// time must cover the exact Markov value.
+    #[test]
+    fn monte_carlo_matches_exact_markov() {
+        let alg = Transformed::new(TwoProcessToggle::new());
+        let spec = ProjectedLegitimacy::new(TwoProcessToggle::new().legitimacy());
+        let chain = AbsorbingChain::build(&alg, Daemon::Synchronous, &spec, 1 << 12).unwrap();
+        let exact = chain
+            .expected_steps()
+            .unwrap()
+            .average_uniform(chain.n_configs());
+        let batch = estimate(
+            &alg,
+            Daemon::Synchronous,
+            &spec,
+            &BatchSettings { runs: 20_000, max_steps: 100_000, seed: 123, threads: 4 },
+        );
+        assert_eq!(batch.failures, 0);
+        assert!(
+            batch.steps.covers(exact, 3.0),
+            "exact {exact} outside CI {} ± {}",
+            batch.steps.mean,
+            batch.steps.ci95()
+        );
+    }
+
+    #[test]
+    fn token_ring_trans_converges_under_distributed() {
+        let base = TokenCirculation::on_ring(&builders::ring(8)).unwrap();
+        let spec = ProjectedLegitimacy::new(base.legitimacy());
+        let alg = Transformed::new(TokenCirculation::on_ring(&builders::ring(8)).unwrap());
+        let batch = estimate(
+            &alg,
+            Daemon::Distributed,
+            &spec,
+            &BatchSettings { runs: 300, max_steps: 1_000_000, seed: 5, threads: 4 },
+        );
+        assert_eq!(batch.failures, 0, "Theorem 9: probability-1 convergence");
+        assert!(batch.steps.mean > 0.0);
+        assert!(batch.moves.mean >= batch.steps.mean);
+        assert!(batch.rounds.mean <= batch.steps.mean + 1.0);
+    }
+
+    #[test]
+    fn herman_scaling_sanity() {
+        // Expected convergence time grows with ring size.
+        let mut means = Vec::new();
+        for n in [5usize, 11] {
+            let alg = HermanRing::on_ring(&builders::ring(n)).unwrap();
+            let spec = alg.legitimacy();
+            let batch = estimate(
+                &alg,
+                Daemon::Synchronous,
+                &spec,
+                &BatchSettings { runs: 400, max_steps: 1_000_000, seed: 9, threads: 4 },
+            );
+            assert_eq!(batch.failures, 0);
+            means.push(batch.steps.mean);
+        }
+        assert!(means[1] > means[0], "Herman time grows with N: {means:?}");
+    }
+
+    #[test]
+    fn custom_initial_sampler_is_used() {
+        let alg = TokenCirculation::on_ring(&builders::ring(5)).unwrap();
+        let spec = alg.legitimacy();
+        // Start from a legitimate configuration: zero steps always.
+        let batch = estimate_with(
+            &alg,
+            Daemon::Central,
+            &spec,
+            &BatchSettings { runs: 50, max_steps: 10, seed: 1, threads: 2 },
+            |a, _| a.legitimate_config(stab_graph::NodeId::new(0)),
+        );
+        assert_eq!(batch.failures, 0);
+        assert_eq!(batch.steps.mean, 0.0);
+        assert_eq!(batch.steps.max, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one run")]
+    fn zero_runs_rejected() {
+        let alg = TwoProcessToggle::new();
+        let spec = alg.legitimacy();
+        let _ = estimate(
+            &alg,
+            Daemon::Synchronous,
+            &spec,
+            &BatchSettings { runs: 0, ..Default::default() },
+        );
+    }
+}

@@ -1,0 +1,186 @@
+//! Streaming statistics (Welford) and confidence intervals.
+
+/// Streaming mean/variance accumulator (Welford's algorithm), mergeable
+/// across threads.
+#[derive(Debug, Clone, Default)]
+pub struct Accumulator {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Accumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Accumulator { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another accumulator (parallel reduction), order-insensitive
+    /// up to floating-point rounding.
+    pub fn merge(&mut self, other: &Accumulator) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Finalizes into an [`Estimate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no observation was added.
+    pub fn estimate(&self) -> Estimate {
+        assert!(self.n > 0, "no observations");
+        let variance = if self.n > 1 { self.m2 / (self.n - 1) as f64 } else { 0.0 };
+        let std_err = (variance / self.n as f64).sqrt();
+        Estimate {
+            mean: self.mean,
+            std_dev: variance.sqrt(),
+            std_err,
+            n: self.n,
+            min: self.min,
+            max: self.max,
+        }
+    }
+}
+
+/// A point estimate with spread, as reported in the experiment tables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Estimate {
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1).
+    pub std_dev: f64,
+    /// Standard error of the mean.
+    pub std_err: f64,
+    /// Sample size.
+    pub n: u64,
+    /// Minimum observation.
+    pub min: f64,
+    /// Maximum observation.
+    pub max: f64,
+}
+
+impl Estimate {
+    /// Half-width of the normal-approximation 95% confidence interval.
+    pub fn ci95(&self) -> f64 {
+        1.96 * self.std_err
+    }
+
+    /// Whether `value` lies within the 95% confidence interval, widened by
+    /// `slack` multiples of the half-width (cross-validation against exact
+    /// Markov numbers uses slack 2–3 to keep false failures rare).
+    pub fn covers(&self, value: f64, slack: f64) -> bool {
+        (value - self.mean).abs() <= self.ci95() * slack.max(1.0)
+    }
+}
+
+impl std::fmt::Display for Estimate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.3} ± {:.3} (n={})", self.mean, self.ci95(), self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_match_direct_computation() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut acc = Accumulator::new();
+        for &x in &xs {
+            acc.push(x);
+        }
+        let e = acc.estimate();
+        assert!((e.mean - 5.0).abs() < 1e-12);
+        // Sample variance with n-1 = 32/7.
+        assert!((e.std_dev * e.std_dev - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(e.n, 8);
+        assert_eq!(e.min, 2.0);
+        assert_eq!(e.max, 9.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64) * 0.37).collect();
+        let mut whole = Accumulator::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut left = Accumulator::new();
+        let mut right = Accumulator::new();
+        for &x in &xs[..37] {
+            left.push(x);
+        }
+        for &x in &xs[37..] {
+            right.push(x);
+        }
+        left.merge(&right);
+        let a = whole.estimate();
+        let b = left.estimate();
+        assert!((a.mean - b.mean).abs() < 1e-9);
+        assert!((a.std_dev - b.std_dev).abs() < 1e-9);
+        assert_eq!(a.n, b.n);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut acc = Accumulator::new();
+        acc.push(1.0);
+        acc.push(3.0);
+        let before = acc.estimate();
+        acc.merge(&Accumulator::new());
+        assert_eq!(acc.estimate(), before);
+        let mut empty = Accumulator::new();
+        empty.merge(&acc);
+        assert_eq!(empty.estimate(), before);
+    }
+
+    #[test]
+    fn ci_and_coverage() {
+        let mut acc = Accumulator::new();
+        for i in 0..1000 {
+            acc.push((i % 10) as f64);
+        }
+        let e = acc.estimate();
+        assert!(e.covers(4.5, 1.0));
+        assert!(!e.covers(40.0, 3.0));
+        assert!(e.to_string().contains("n=1000"));
+    }
+
+    #[test]
+    #[should_panic(expected = "no observations")]
+    fn empty_estimate_panics() {
+        let _ = Accumulator::new().estimate();
+    }
+}

@@ -1,0 +1,62 @@
+//! # weak-stabilization
+//!
+//! A full reproduction of **“Weak vs. Self vs. Probabilistic
+//! Stabilization”** (Stéphane Devismes, Sébastien Tixeuil, Masafumi
+//! Yamashita; ICDCS 2008 / INRIA RR-6366) as a Rust workspace:
+//!
+//! * [`graph`] — topology substrate (rings, trees, ports, centers, `m_N`);
+//! * [`core`] — the guarded-command kernel: configurations, local views,
+//!   daemons, fairness, step semantics and the `Trans(A)` transformer;
+//! * [`algorithms`] — the paper's Algorithms 1–3, the center-based leader
+//!   election, and classic baselines (Dijkstra's K-state ring, Herman's
+//!   probabilistic ring, greedy coloring);
+//! * [`checker`] — explicit-state verification of weak / self /
+//!   probabilistic stabilization under unfair, weakly fair, strongly fair
+//!   and Gouda-fair schedulers;
+//! * [`markov`] — exact expected stabilization times via absorbing Markov
+//!   chains (the quantitative study the paper lists as future work);
+//! * [`sim`] — seeded Monte-Carlo simulation with confidence intervals.
+//!
+//! This facade crate re-exports all sub-crates under one name, and hosts the
+//! runnable examples (`examples/`) and cross-crate integration tests
+//! (`tests/`).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use weak_stabilization::prelude::*;
+//!
+//! // Algorithm 1 of the paper on the ring of Figure 1 (N = 6, m_N = 4).
+//! let ring = stab_graph::builders::ring(6);
+//! let alg = stab_algorithms::token_ring::TokenCirculation::on_ring(&ring).unwrap();
+//! let spec = alg.legitimacy();
+//!
+//! // It is weak-stabilizing but not self-stabilizing under the
+//! // distributed strongly fair scheduler (Theorem 2 + Theorem 6).
+//! let report = stab_checker::analyze(&alg, Daemon::Distributed, &spec, 1 << 22).unwrap();
+//! assert!(report.closure.holds());
+//! assert!(report.weak.holds());
+//! assert!(!report.self_under(Fairness::StronglyFair).holds());
+//! assert!(report.self_under(Fairness::Gouda).holds());
+//! assert!(report.probabilistic.holds());
+//! ```
+
+pub use stab_algorithms as algorithms;
+pub use stab_checker as checker;
+pub use stab_core as core;
+pub use stab_graph as graph;
+pub use stab_markov as markov;
+pub use stab_sim as sim;
+
+/// Convenient single-import surface for examples and downstream users.
+pub mod prelude {
+    pub use stab_algorithms;
+    pub use stab_checker;
+    pub use stab_core::{
+        ActionId, ActionMask, Activation, Algorithm, Configuration, Daemon, Fairness,
+        Legitimacy, Outcomes, Trace, Transformed, View,
+    };
+    pub use stab_graph::{self, builders, Graph, NodeId, PortId};
+    pub use stab_markov;
+    pub use stab_sim;
+}

@@ -1,0 +1,74 @@
+//! Theorem 1: under a synchronous scheduler, a deterministic algorithm is
+//! weak-stabilizing iff it is self-stabilizing — because determinism +
+//! synchrony leave a unique execution per initial configuration.
+//!
+//! Checked across the whole zoo, covering both polarity cases (systems
+//! where both verdicts hold, and systems where both fail).
+
+use weak_stabilization::prelude::*;
+
+use stab_algorithms::{
+    CenterFinding, DijkstraRing, GreedyColoring, ParentLeader, TokenCirculation, TwoProcessToggle,
+};
+use stab_checker::theorems::theorem1;
+
+const CAP: u64 = 1 << 22;
+
+#[test]
+fn token_circulation_rings() {
+    for n in 3..=6usize {
+        let alg = TokenCirculation::on_ring(&builders::ring(n)).unwrap();
+        let t = theorem1(&alg, &alg.legitimacy(), CAP).unwrap();
+        assert!(t.holds(), "Theorem 1 violated on the {n}-ring");
+    }
+}
+
+#[test]
+fn tree_algorithms() {
+    for g in [builders::path(4), builders::star(4), builders::figure2_tree()] {
+        let alg = ParentLeader::on_tree(&g).unwrap();
+        let t = theorem1(&alg, &alg.legitimacy(), CAP).unwrap();
+        assert!(t.holds(), "Theorem 1 violated for Algorithm 2 on {g:?}");
+
+        let cf = CenterFinding::on_tree(&g).unwrap();
+        let t = theorem1(&cf, &cf.legitimacy(), CAP).unwrap();
+        assert!(t.holds(), "Theorem 1 violated for center finding on {g:?}");
+    }
+}
+
+#[test]
+fn both_polarities_appear() {
+    // Toggle: unique synchronous run converges -> weak = self = true.
+    let toggle = TwoProcessToggle::new();
+    let t = theorem1(&toggle, &toggle.legitimacy(), CAP).unwrap();
+    assert!(t.holds());
+    assert!(t.report.weak.holds());
+    assert!(t.report.self_unfair.holds());
+
+    // Coloring on the even chain: symmetry kills the unique synchronous
+    // run from twin configurations -> weak = self = false.
+    let col = GreedyColoring::new(&builders::path(4)).unwrap();
+    let t = theorem1(&col, &col.legitimacy(), CAP).unwrap();
+    assert!(t.holds());
+    assert!(!t.report.weak.holds());
+    assert!(!t.report.self_unfair.holds());
+
+    // Dijkstra under synchronous: deterministic, rooted — converges.
+    let dij = DijkstraRing::on_ring(&builders::ring(4)).unwrap();
+    let t = theorem1(&dij, &dij.legitimacy(), CAP).unwrap();
+    assert!(t.holds());
+    assert!(t.report.weak.holds());
+}
+
+#[test]
+fn synchronous_runs_are_unique_for_deterministic_systems() {
+    // The structural fact behind Theorem 1: at most one synchronous
+    // successor per configuration.
+    let alg = TokenCirculation::on_ring(&builders::ring(5)).unwrap();
+    let ix = stab_core::SpaceIndexer::new(&alg, CAP).unwrap();
+    for cfg in ix.iter() {
+        if let Some(dist) = stab_core::semantics::synchronous_step(&alg, &cfg) {
+            assert_eq!(dist.len(), 1, "two synchronous successors of {cfg:?}");
+        }
+    }
+}
