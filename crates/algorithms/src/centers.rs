@@ -49,7 +49,10 @@ impl CenterFinding {
             return Err(GraphError::NotATree);
         }
         let bound = height_bound(g.n());
-        Ok(CenterFinding { g: g.clone(), bound })
+        Ok(CenterFinding {
+            g: g.clone(),
+            bound,
+        })
     }
 
     /// The clamp bound on `h` values.
@@ -114,7 +117,10 @@ impl CenterFinding {
     /// Legitimacy: the configuration is the fixpoint (equivalently terminal)
     /// and the `Center` predicate marks exactly the true graph centers.
     pub fn legitimacy(&self) -> CentersCorrect {
-        CentersCorrect { alg: self.clone(), expected: metrics::tree_centers(&self.g) }
+        CentersCorrect {
+            alg: self.clone(),
+            expected: metrics::tree_centers(&self.g),
+        }
     }
 }
 
@@ -234,7 +240,11 @@ mod tests {
     /// fixpoint.
     #[test]
     fn converges_under_sequential_schedules() {
-        for g in [builders::path(4), builders::star(5), builders::binary_tree(6)] {
+        for g in [
+            builders::path(4),
+            builders::star(5),
+            builders::binary_tree(6),
+        ] {
             let a = cf(&g);
             let fix = a.fixpoint();
             let ix = stab_core::SpaceIndexer::new(&a, 1 << 22).unwrap();

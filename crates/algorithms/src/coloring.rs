@@ -74,7 +74,11 @@ impl Algorithm for GreedyColoring {
     }
 
     fn name(&self) -> String {
-        format!("greedy-coloring(N={}, Δ={})", self.g.n(), self.g.max_degree())
+        format!(
+            "greedy-coloring(N={}, Δ={})",
+            self.g.n(),
+            self.g.max_degree()
+        )
     }
 
     fn state_space(&self, node: NodeId) -> Vec<u8> {
@@ -140,7 +144,11 @@ mod tests {
             let spec = a.legitimacy();
             let ix = SpaceIndexer::new(&a, 1 << 22).unwrap();
             for cfg in ix.iter() {
-                assert_eq!(a.is_terminal(&cfg), spec.is_legitimate(&cfg), "{cfg:?} on {g:?}");
+                assert_eq!(
+                    a.is_terminal(&cfg),
+                    spec.is_legitimate(&cfg),
+                    "{cfg:?} on {g:?}"
+                );
             }
         }
     }
@@ -159,7 +167,10 @@ mod tests {
                     let next =
                         semantics::deterministic_successor(&a, &cfg, &Activation::singleton(v));
                     let after = a.conflict_edges(&next);
-                    assert!(after < before, "conflicts {before} -> {after} at {cfg:?}, {v}");
+                    assert!(
+                        after < before,
+                        "conflicts {before} -> {after} at {cfg:?}, {v}"
+                    );
                 }
             }
         }
@@ -177,7 +188,11 @@ mod tests {
         let act = Activation::new(vec![NodeId::new(0), NodeId::new(1)]);
         let next = semantics::deterministic_successor(&a, &cfg, &act);
         assert_eq!(next.states(), &[1, 1]);
-        assert_eq!(a.conflict_edges(&next), 1, "conflict survives the joint move");
+        assert_eq!(
+            a.conflict_edges(&next),
+            1,
+            "conflict survives the joint move"
+        );
         // And it oscillates: the next joint move returns to (0,0).
         let back = semantics::deterministic_successor(&a, &next, &act);
         assert_eq!(back.states(), &[0, 0]);
@@ -189,12 +204,13 @@ mod tests {
         let a = on(&g);
         // Hub conflicts with leaf colored 0; leaves use 0, 1, 2.
         let cfg = Configuration::from_vec(vec![0, 0, 1, 2]);
-        let next = semantics::deterministic_successor(
-            &a,
-            &cfg,
-            &Activation::singleton(NodeId::new(0)),
+        let next =
+            semantics::deterministic_successor(&a, &cfg, &Activation::singleton(NodeId::new(0)));
+        assert_eq!(
+            *next.get(NodeId::new(0)),
+            3,
+            "hub picks the first free color"
         );
-        assert_eq!(*next.get(NodeId::new(0)), 3, "hub picks the first free color");
     }
 
     /// Every sequential execution terminates within #conflicts moves.

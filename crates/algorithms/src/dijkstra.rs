@@ -52,7 +52,12 @@ impl DijkstraRing {
     pub fn with_k(g: &Graph, k: u8) -> Result<Self, GraphError> {
         assert!(k > 0, "K must be positive");
         let orient = RingOrientation::canonical(g)?;
-        Ok(DijkstraRing { g: g.clone(), orient, k, root: NodeId::new(0) })
+        Ok(DijkstraRing {
+            g: g.clone(),
+            orient,
+            k,
+            root: NodeId::new(0),
+        })
     }
 
     /// The state modulus `K`.

@@ -31,7 +31,9 @@ pub struct FairnessGadget {
 impl FairnessGadget {
     /// Instantiates the gadget on its fixed two-process network.
     pub fn new() -> Self {
-        FairnessGadget { g: builders::path(2) }
+        FairnessGadget {
+            g: builders::path(2),
+        }
     }
 
     /// Legitimacy: `P1` has finished (`s1 = 1`).
@@ -105,7 +107,10 @@ mod tests {
         assert_eq!(a.enabled_nodes(&x), vec![NodeId::new(0), NodeId::new(1)]);
         let y = Configuration::from_vec(vec![1, 0]);
         assert_eq!(a.enabled_nodes(&y), vec![NodeId::new(0)]);
-        for done in [Configuration::from_vec(vec![0, 1]), Configuration::from_vec(vec![1, 1])] {
+        for done in [
+            Configuration::from_vec(vec![0, 1]),
+            Configuration::from_vec(vec![1, 1]),
+        ] {
             assert!(a.is_terminal(&done));
             assert!(a.legitimacy().is_legitimate(&done));
         }

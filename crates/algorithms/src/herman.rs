@@ -38,7 +38,10 @@ impl HermanRing {
             return Err(GraphError::NotARing);
         }
         let orient = RingOrientation::canonical(g)?;
-        Ok(HermanRing { g: g.clone(), orient })
+        Ok(HermanRing {
+            g: g.clone(),
+            orient,
+        })
     }
 
     /// Whether `node` holds a token (`x_p = x_Pred(p)`).
@@ -124,9 +127,9 @@ impl Legitimacy<bool> for SingleHermanToken {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::SeedableRng;
     use stab_core::{semantics, Daemon, SpaceIndexer};
     use stab_graph::builders;
-    use rand::SeedableRng;
 
     fn alg(n: usize) -> HermanRing {
         HermanRing::on_ring(&builders::ring(n)).unwrap()

@@ -90,7 +90,10 @@ impl CenterLeader {
     ///
     /// Returns [`GraphError::NotATree`] if `g` is not a tree.
     pub fn on_tree(g: &Graph) -> Result<Self, GraphError> {
-        Ok(CenterLeader { g: g.clone(), centers: CenterFinding::on_tree(g)? })
+        Ok(CenterLeader {
+            g: g.clone(),
+            centers: CenterFinding::on_tree(g)?,
+        })
     }
 
     /// The center-finding substrate.
@@ -193,8 +196,7 @@ impl Legitimacy<HB> for UniqueCenterLeader {
             return false;
         }
         let leaders = self.alg.leaders(cfg);
-        leaders.len() == 1
-            && stab_graph::metrics::tree_centers(&self.alg.g).contains(&leaders[0])
+        leaders.len() == 1 && stab_graph::metrics::tree_centers(&self.alg.g).contains(&leaders[0])
     }
 }
 
@@ -240,17 +242,11 @@ mod tests {
         // Equal bits: both centers enabled to flip, nobody is leader yet.
         let tied = lift(fix.states(), &[false, true, true, false]);
         assert!(a.leaders(&tied).is_empty());
-        assert_eq!(
-            a.enabled_nodes(&tied),
-            vec![NodeId::new(1), NodeId::new(2)]
-        );
+        assert_eq!(a.enabled_nodes(&tied), vec![NodeId::new(1), NodeId::new(2)]);
         // One flips alone: a unique leader emerges and the system is
         // terminal (the paper's "possible in one step").
-        let next = semantics::deterministic_successor(
-            &a,
-            &tied,
-            &Activation::singleton(NodeId::new(1)),
-        );
+        let next =
+            semantics::deterministic_successor(&a, &tied, &Activation::singleton(NodeId::new(1)));
         assert_eq!(a.leaders(&next), vec![NodeId::new(2)]);
         assert!(a.is_terminal(&next));
         assert!(a.legitimacy().is_legitimate(&next));
@@ -306,11 +302,8 @@ mod tests {
                         .nodes()
                         .find(|&v| a.selected_action(&cfg, v) == Some(ActionId::A1))
                     {
-                        cfg = semantics::deterministic_successor(
-                            &a,
-                            &cfg,
-                            &Activation::singleton(v),
-                        );
+                        cfg =
+                            semantics::deterministic_successor(&a, &cfg, &Activation::singleton(v));
                         moves += 1;
                         assert!(
                             moves <= 10 * ix.total() as usize,
@@ -321,15 +314,18 @@ mod tests {
                     // center tie.
                     let mut flips = 0usize;
                     while let Some(&v) = a.enabled_nodes(&cfg).first() {
-                        cfg = semantics::deterministic_successor(
-                            &a,
-                            &cfg,
-                            &Activation::singleton(v),
-                        );
+                        cfg =
+                            semantics::deterministic_successor(&a, &cfg, &Activation::singleton(v));
                         flips += 1;
-                        assert!(flips <= 2, "tie break did not settle on {g:?} from {cfg0:?}");
+                        assert!(
+                            flips <= 2,
+                            "tie break did not settle on {g:?} from {cfg0:?}"
+                        );
                     }
-                    assert!(spec.is_legitimate(&cfg), "bad terminal {cfg:?} from {cfg0:?} on {g:?}");
+                    assert!(
+                        spec.is_legitimate(&cfg),
+                        "bad terminal {cfg:?} from {cfg0:?} on {g:?}"
+                    );
                 }
             }
         }

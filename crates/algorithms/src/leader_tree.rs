@@ -57,7 +57,10 @@ impl ParentLeader {
                     .collect()
             })
             .collect();
-        Ok(ParentLeader { g: g.clone(), rev_port })
+        Ok(ParentLeader {
+            g: g.clone(),
+            rev_port,
+        })
     }
 
     /// Whether the neighbour behind `port` of the viewed process points back
@@ -185,10 +188,7 @@ impl Legitimacy<Par> for RootedAtLeader {
         let Some(leader) = leader else {
             return false;
         };
-        self.alg
-            .g
-            .nodes()
-            .all(|q| self.alg.root(cfg, q) == leader)
+        self.alg.g.nodes().all(|q| self.alg.root(cfg, q) == leader)
     }
 }
 
@@ -329,7 +329,10 @@ mod tests {
         cfg = semantics::deterministic_successor(&a, &cfg, &Activation::new(schedule[1].clone()));
         let leaders: Vec<NodeId> = g.nodes().filter(|&v| a.is_leader(&cfg, v)).collect();
         assert_eq!(leaders, vec![NodeId::new(1)]);
-        assert_eq!(a.enabled_nodes(&cfg), vec![NodeId::new(0), NodeId::new(2), NodeId::new(4)]);
+        assert_eq!(
+            a.enabled_nodes(&cfg),
+            vec![NodeId::new(0), NodeId::new(2), NodeId::new(4)]
+        );
         assert_eq!(a.selected_action(&cfg, NodeId::new(0)), Some(ActionId::A1));
         assert_eq!(a.selected_action(&cfg, NodeId::new(2)), Some(ActionId::A2));
         assert_eq!(a.selected_action(&cfg, NodeId::new(4)), Some(ActionId::A2));
@@ -426,11 +429,8 @@ mod tests {
         // child): A2 applies, wrapping the pointer 2 -> 0.
         let cfg = cfg_ports(&[Some(2), Some(0), None, None]);
         assert_eq!(a.selected_action(&cfg, NodeId::new(0)), Some(ActionId::A2));
-        let next = semantics::deterministic_successor(
-            &a,
-            &cfg,
-            &Activation::singleton(NodeId::new(0)),
-        );
+        let next =
+            semantics::deterministic_successor(&a, &cfg, &Activation::singleton(NodeId::new(0)));
         assert_eq!(*next.get(NodeId::new(0)), Some(PortId::new(0)));
     }
 
@@ -441,11 +441,8 @@ mod tests {
         // Hub is leader; leaf 1 points at hub (child), leaves 2 and 3 are ⊥.
         let cfg = cfg_ports(&[None, Some(0), None, None]);
         assert_eq!(a.selected_action(&cfg, NodeId::new(0)), Some(ActionId::A3));
-        let next = semantics::deterministic_successor(
-            &a,
-            &cfg,
-            &Activation::singleton(NodeId::new(0)),
-        );
+        let next =
+            semantics::deterministic_successor(&a, &cfg, &Activation::singleton(NodeId::new(0)));
         // Ports of the hub: 0 -> leaf1 (child), 1 -> leaf2, 2 -> leaf3.
         assert_eq!(*next.get(NodeId::new(0)), Some(PortId::new(1)));
     }

@@ -206,11 +206,7 @@ mod tests {
             let cfg = a.legitimate_config(holder);
             assert!(spec.is_legitimate(&cfg));
             assert_eq!(a.enabled_nodes(&cfg), vec![holder]);
-            let next = semantics::deterministic_successor(
-                &a,
-                &cfg,
-                &Activation::singleton(holder),
-            );
+            let next = semantics::deterministic_successor(&a, &cfg, &Activation::singleton(holder));
             assert!(spec.is_legitimate(&next));
             let succ = a.orientation().successor(a.graph(), holder);
             assert_eq!(a.token_holders(&next), vec![succ]);
@@ -302,11 +298,7 @@ mod tests {
         assert_eq!(holders.len(), 2, "setup must have two tokens: {holders:?}");
         // Alternate: move the first holder, then the second; both moves keep
         // exactly two tokens.
-        let mid = semantics::deterministic_successor(
-            &a,
-            &cfg,
-            &Activation::singleton(holders[0]),
-        );
+        let mid = semantics::deterministic_successor(&a, &cfg, &Activation::singleton(holders[0]));
         assert_eq!(a.token_holders(&mid).len(), 2);
         let holders_mid = a.token_holders(&mid);
         let other = holders_mid

@@ -28,7 +28,9 @@ pub struct TwoProcessToggle {
 impl TwoProcessToggle {
     /// Instantiates the toggle on the unique two-process network.
     pub fn new() -> Self {
-        TwoProcessToggle { g: builders::path(2) }
+        TwoProcessToggle {
+            g: builders::path(2),
+        }
     }
 
     /// Legitimacy: both booleans true.

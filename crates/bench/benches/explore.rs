@@ -1,0 +1,62 @@
+//! B5 — transition-engine micro-benchmarks: CSR exploration, analysis and
+//! chain construction throughput on the tracked instances. The recorded
+//! cross-PR numbers live in `BENCH_explore.json` (see `exp_explore`); this
+//! bench is for interactive profiling of the same paths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use stab_algorithms::{HermanRing, TokenCirculation};
+use stab_checker::{analyze, ExploredSpace};
+use stab_core::Daemon;
+use stab_graph::builders;
+use stab_markov::AbsorbingChain;
+
+const CAP: u64 = 1 << 26;
+
+fn bench_explore(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_explore");
+    group.sample_size(20);
+    for n in [5usize, 6, 7] {
+        let alg = TokenCirculation::on_ring(&builders::ring(n)).unwrap();
+        let spec = alg.legitimacy();
+        group.bench_with_input(BenchmarkId::new("token_ring/distributed", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(ExploredSpace::explore(&alg, Daemon::Distributed, &spec, CAP).unwrap())
+            })
+        });
+    }
+    let herman = HermanRing::on_ring(&builders::ring(9)).unwrap();
+    let hspec = herman.legitimacy();
+    group.bench_function("herman/N=9/synchronous", |b| {
+        b.iter(|| {
+            black_box(ExploredSpace::explore(&herman, Daemon::Synchronous, &hspec, CAP).unwrap())
+        })
+    });
+    group.finish();
+}
+
+fn bench_analyze(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_analyze");
+    group.sample_size(10);
+    let alg = TokenCirculation::on_ring(&builders::ring(6)).unwrap();
+    let spec = alg.legitimacy();
+    group.bench_function("token_ring/N=6/distributed", |b| {
+        b.iter(|| black_box(analyze(&alg, Daemon::Distributed, &spec, CAP).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_chain");
+    group.sample_size(10);
+    let alg = TokenCirculation::on_ring(&builders::ring(6)).unwrap();
+    let spec = alg.legitimacy();
+    group.bench_function("token_ring/N=6/distributed", |b| {
+        b.iter(|| black_box(AbsorbingChain::build(&alg, Daemon::Distributed, &spec, CAP).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_explore, bench_analyze, bench_chain);
+criterion_main!(benches);

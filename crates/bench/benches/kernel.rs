@@ -36,14 +36,26 @@ fn bench_steps(c: &mut Criterion) {
     let enabled = raw.enabled_nodes(&cfg);
     let act = Activation::new(enabled.clone());
     group.bench_function("deterministic_successor/N=64", |b| {
-        b.iter(|| black_box(semantics::deterministic_successor(&raw, black_box(&cfg), &act)))
+        b.iter(|| {
+            black_box(semantics::deterministic_successor(
+                &raw,
+                black_box(&cfg),
+                &act,
+            ))
+        })
     });
     let trans = Transformed::new(TokenCirculation::on_ring(&ring).unwrap());
     let tcfg = Transformed::<TokenCirculation>::lift(&cfg, false);
     // A single-process probabilistic step (product branching stays tiny).
     let single = Activation::singleton(enabled[0]);
     group.bench_function("successor_distribution/transformed/1-mover", |b| {
-        b.iter(|| black_box(semantics::successor_distribution(&trans, black_box(&tcfg), &single)))
+        b.iter(|| {
+            black_box(semantics::successor_distribution(
+                &trans,
+                black_box(&tcfg),
+                &single,
+            ))
+        })
     });
     group.finish();
 }
@@ -53,8 +65,12 @@ fn bench_schedulers(c: &mut Criterion) {
     group.sample_size(60);
     let ring = builders::ring(64);
     let enabled: Vec<NodeId> = ring.nodes().collect();
-    for daemon in [Daemon::Central, Daemon::Distributed, Daemon::Synchronous, Daemon::LocallyCentral]
-    {
+    for daemon in [
+        Daemon::Central,
+        Daemon::Distributed,
+        Daemon::Synchronous,
+        Daemon::LocallyCentral,
+    ] {
         group.bench_with_input(
             BenchmarkId::new("sample", daemon.name()),
             &daemon,

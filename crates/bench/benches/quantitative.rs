@@ -15,7 +15,9 @@ fn bench_chain_build(c: &mut Criterion) {
     for n in [4usize, 5] {
         let alg = Transformed::new(TokenCirculation::on_ring(&builders::ring(n)).unwrap());
         let spec = ProjectedLegitimacy::new(
-            TokenCirculation::on_ring(&builders::ring(n)).unwrap().legitimacy(),
+            TokenCirculation::on_ring(&builders::ring(n))
+                .unwrap()
+                .legitimacy(),
         );
         group.bench_with_input(BenchmarkId::new("trans_token/central", n), &n, |b, _| {
             b.iter(|| {
@@ -34,7 +36,14 @@ fn bench_solvers(c: &mut Criterion) {
     let chain = AbsorbingChain::build(&alg, Daemon::Central, &alg.legitimacy(), 1 << 22).unwrap();
     let n = chain.n_transient();
     group.bench_function("gauss_seidel/dijkstra_N5", |b| {
-        b.iter(|| black_box(linalg::gauss_seidel(chain.rows(), &vec![1.0; n], 1e-12, 1_000_000)))
+        b.iter(|| {
+            black_box(linalg::gauss_seidel(
+                chain.q(),
+                &vec![1.0; n],
+                1e-12,
+                1_000_000,
+            ))
+        })
     });
     // Dense solve on the N=4 chain (216 transient states).
     let alg4 = DijkstraRing::on_ring(&builders::ring(4)).unwrap();
@@ -44,7 +53,7 @@ fn bench_solvers(c: &mut Criterion) {
     group.bench_function("dense_elimination/dijkstra_N4", |b| {
         b.iter(|| {
             let mut a = vec![vec![0.0; m]; m];
-            for (i, row) in chain4.rows().iter().enumerate() {
+            for (i, row) in chain4.q().rows().enumerate() {
                 a[i][i] = 1.0;
                 for &(j, q) in row {
                     a[i][j as usize] -= q;

@@ -19,19 +19,24 @@ fn bench_single_runs(c: &mut Criterion) {
     for n in [16usize, 32] {
         let alg = Transformed::new(TokenCirculation::on_ring(&builders::ring(n)).unwrap());
         let spec = ProjectedLegitimacy::new(
-            TokenCirculation::on_ring(&builders::ring(n)).unwrap().legitimacy(),
+            TokenCirculation::on_ring(&builders::ring(n))
+                .unwrap()
+                .legitimacy(),
         );
-        group.bench_with_input(
-            BenchmarkId::new("trans_token/central", n),
-            &n,
-            |b, _| {
-                let mut rng = StdRng::seed_from_u64(1);
-                b.iter(|| {
-                    let cfg = init::uniform_random(&alg, &mut rng);
-                    black_box(run_once(&alg, Daemon::Central, &spec, &cfg, &mut rng, 10_000_000))
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("trans_token/central", n), &n, |b, _| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| {
+                let cfg = init::uniform_random(&alg, &mut rng);
+                black_box(run_once(
+                    &alg,
+                    Daemon::Central,
+                    &spec,
+                    &cfg,
+                    &mut rng,
+                    10_000_000,
+                ))
+            })
+        });
     }
     let herman = HermanRing::on_ring(&builders::ring(41)).unwrap();
     let hspec = herman.legitimacy();
@@ -39,7 +44,14 @@ fn bench_single_runs(c: &mut Criterion) {
         let mut rng = StdRng::seed_from_u64(2);
         b.iter(|| {
             let cfg = init::uniform_random(&herman, &mut rng);
-            black_box(run_once(&herman, Daemon::Synchronous, &hspec, &cfg, &mut rng, 10_000_000))
+            black_box(run_once(
+                &herman,
+                Daemon::Synchronous,
+                &hspec,
+                &cfg,
+                &mut rng,
+                10_000_000,
+            ))
         })
     });
     let dijkstra = DijkstraRing::on_ring(&builders::ring(32)).unwrap();
@@ -48,7 +60,14 @@ fn bench_single_runs(c: &mut Criterion) {
         let mut rng = StdRng::seed_from_u64(3);
         b.iter(|| {
             let cfg = init::uniform_random(&dijkstra, &mut rng);
-            black_box(run_once(&dijkstra, Daemon::Central, &dspec, &cfg, &mut rng, 10_000_000))
+            black_box(run_once(
+                &dijkstra,
+                Daemon::Central,
+                &dspec,
+                &cfg,
+                &mut rng,
+                10_000_000,
+            ))
         })
     });
     group.finish();
@@ -59,7 +78,9 @@ fn bench_batches(c: &mut Criterion) {
     group.sample_size(10);
     let alg = Transformed::new(TokenCirculation::on_ring(&builders::ring(16)).unwrap());
     let spec = ProjectedLegitimacy::new(
-        TokenCirculation::on_ring(&builders::ring(16)).unwrap().legitimacy(),
+        TokenCirculation::on_ring(&builders::ring(16))
+            .unwrap()
+            .legitimacy(),
     );
     for threads in [1usize, 4] {
         group.bench_with_input(
@@ -71,7 +92,12 @@ fn bench_batches(c: &mut Criterion) {
                         &alg,
                         Daemon::Central,
                         &spec,
-                        &BatchSettings { runs: 100, max_steps: 10_000_000, seed: 5, threads },
+                        &BatchSettings {
+                            runs: 100,
+                            max_steps: 10_000_000,
+                            seed: 5,
+                            threads,
+                        },
                     ))
                 })
             },

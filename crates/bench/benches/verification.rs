@@ -6,8 +6,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use stab_algorithms::{ParentLeader, TokenCirculation};
-use stab_checker::symmetry::{check_synchronous_symmetry, state_maps, symmetric_path4};
 use stab_checker::analyze;
+use stab_checker::symmetry::{check_synchronous_symmetry, state_maps, symmetric_path4};
 use stab_core::Daemon;
 use stab_graph::builders;
 
@@ -17,11 +17,9 @@ fn bench_analyze(c: &mut Criterion) {
     for n in [4usize, 5, 6] {
         let alg = TokenCirculation::on_ring(&builders::ring(n)).unwrap();
         let spec = alg.legitimacy();
-        group.bench_with_input(
-            BenchmarkId::new("token_ring/distributed", n),
-            &n,
-            |b, _| b.iter(|| black_box(analyze(&alg, Daemon::Distributed, &spec, 1 << 22).unwrap())),
-        );
+        group.bench_with_input(BenchmarkId::new("token_ring/distributed", n), &n, |b, _| {
+            b.iter(|| black_box(analyze(&alg, Daemon::Distributed, &spec, 1 << 22).unwrap()))
+        });
     }
     let g = builders::figure2_tree();
     let alg = ParentLeader::on_tree(&g).unwrap();
@@ -41,8 +39,14 @@ fn bench_symmetry(c: &mut Criterion) {
     group.bench_function("theorem3/parent_leader/path4", |b| {
         b.iter(|| {
             black_box(
-                check_synchronous_symmetry(&alg, &spec, &mirror, state_maps::parent_port(), 1 << 20)
-                    .unwrap(),
+                check_synchronous_symmetry(
+                    &alg,
+                    &spec,
+                    &mirror,
+                    state_maps::parent_port(),
+                    1 << 20,
+                )
+                .unwrap(),
             )
         })
     });

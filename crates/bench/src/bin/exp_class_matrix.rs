@@ -43,7 +43,11 @@ fn main() {
     }
 
     // Algorithm 2 on the 4-chain, the 4-star and the Figure 2 tree.
-    for g in [builders::path(4), builders::star(4), builders::figure2_tree()] {
+    for g in [
+        builders::path(4),
+        builders::star(4),
+        builders::figure2_tree(),
+    ] {
         let alg = ParentLeader::on_tree(&g).unwrap();
         let spec = alg.legitimacy();
         for d in daemons {
@@ -59,19 +63,28 @@ fn main() {
     }
     let clead = CenterLeader::on_tree(&g).unwrap();
     for d in daemons {
-        push(&mut rows, analyze(&clead, d, &clead.legitimacy(), CAP).unwrap());
+        push(
+            &mut rows,
+            analyze(&clead, d, &clead.legitimacy(), CAP).unwrap(),
+        );
     }
 
     // Algorithm 3.
     let toggle = TwoProcessToggle::new();
     for d in daemons {
-        push(&mut rows, analyze(&toggle, d, &toggle.legitimacy(), CAP).unwrap());
+        push(
+            &mut rows,
+            analyze(&toggle, d, &toggle.legitimacy(), CAP).unwrap(),
+        );
     }
 
     // The weak-vs-strong fairness separation gadget.
     let gadget = FairnessGadget::new();
     for d in daemons {
-        push(&mut rows, analyze(&gadget, d, &gadget.legitimacy(), CAP).unwrap());
+        push(
+            &mut rows,
+            analyze(&gadget, d, &gadget.legitimacy(), CAP).unwrap(),
+        );
     }
 
     // Baselines: Dijkstra, Herman, coloring.
@@ -85,8 +98,14 @@ fn main() {
     for n in [3usize, 5] {
         let alg = HermanRing::on_ring(&builders::ring(n)).unwrap();
         let spec = alg.legitimacy();
-        push(&mut rows, analyze(&alg, Daemon::Synchronous, &spec, CAP).unwrap());
-        push(&mut rows, analyze(&alg, Daemon::Distributed, &spec, CAP).unwrap());
+        push(
+            &mut rows,
+            analyze(&alg, Daemon::Synchronous, &spec, CAP).unwrap(),
+        );
+        push(
+            &mut rows,
+            analyze(&alg, Daemon::Distributed, &spec, CAP).unwrap(),
+        );
     }
     for g in [builders::path(3), builders::path(4), builders::ring(4)] {
         let alg = GreedyColoring::new(&g).unwrap();
@@ -100,7 +119,9 @@ fn main() {
     for n in [3usize, 4] {
         let alg = Transformed::new(TokenCirculation::on_ring(&builders::ring(n)).unwrap());
         let spec = ProjectedLegitimacy::new(
-            TokenCirculation::on_ring(&builders::ring(n)).unwrap().legitimacy(),
+            TokenCirculation::on_ring(&builders::ring(n))
+                .unwrap()
+                .legitimacy(),
         );
         for d in [Daemon::Distributed, Daemon::Synchronous] {
             push(&mut rows, analyze(&alg, d, &spec, CAP).unwrap());
@@ -112,17 +133,32 @@ fn main() {
         push(&mut rows, analyze(&talg, d, &tspec, CAP).unwrap());
     }
     let calg = Transformed::new(GreedyColoring::new(&builders::path(4)).unwrap());
-    let cspec = ProjectedLegitimacy::new(GreedyColoring::new(&builders::path(4)).unwrap().legitimacy());
+    let cspec = ProjectedLegitimacy::new(
+        GreedyColoring::new(&builders::path(4))
+            .unwrap()
+            .legitimacy(),
+    );
     for d in [Daemon::Distributed, Daemon::Synchronous] {
         push(&mut rows, analyze(&calg, d, &cspec, CAP).unwrap());
     }
 
     // Print the matrix.
-    println!("# E4 — stabilization-class matrix (exhaustive, {} rows)", rows.len());
+    println!(
+        "# E4 — stabilization-class matrix (exhaustive, {} rows)",
+        rows.len()
+    );
     println!();
     let mut table = Table::new(vec![
-        "algorithm", "daemon", "states", "closure", "weak", "self(unfair)", "self(weakly)",
-        "self(strongly)", "self(Gouda)", "prob(randomized)",
+        "algorithm",
+        "daemon",
+        "states",
+        "closure",
+        "weak",
+        "self(unfair)",
+        "self(weakly)",
+        "self(strongly)",
+        "self(Gouda)",
+        "prob(randomized)",
     ]);
     for r in &rows {
         table.row(vec![
@@ -147,7 +183,8 @@ fn main() {
     // Theorem 7 on every row: Gouda ≡ probabilistic.
     checks.push((
         "Theorem 7: self(Gouda) == prob(randomized) on all rows",
-        rows.iter().all(|r| r.self_gouda.holds() == r.probabilistic.holds()),
+        rows.iter()
+            .all(|r| r.self_gouda.holds() == r.probabilistic.holds()),
     ));
     // Theorem 5 corollary: weak ⇒ Gouda-self for closed specs (finite).
     checks.push((
@@ -167,7 +204,9 @@ fn main() {
     checks.push((
         "Theorems 2+6: Algorithm 1 weak ✓ / self(strongly-fair) ✗ under distributed",
         rows.iter()
-            .filter(|r| r.algorithm.starts_with("token-circulation") && r.daemon == Daemon::Distributed)
+            .filter(|r| {
+                r.algorithm.starts_with("token-circulation") && r.daemon == Daemon::Distributed
+            })
             .all(|r| r.is_weak_stabilizing() && !r.self_under(Fairness::StronglyFair).holds()),
     ));
     // Theorem 4 on Algorithm 2 (distributed rows).
@@ -213,15 +252,13 @@ fn main() {
     checks.push((
         "Hierarchy: unfair ✗ / weakly-fair ✓ exists",
         rows.iter().any(|r| {
-            !r.self_under(Fairness::Unfair).holds()
-                && r.self_under(Fairness::WeaklyFair).holds()
+            !r.self_under(Fairness::Unfair).holds() && r.self_under(Fairness::WeaklyFair).holds()
         }),
     ));
     checks.push((
         "Hierarchy: strongly-fair ✗ / Gouda ✓ exists (Theorem 6)",
         rows.iter().any(|r| {
-            !r.self_under(Fairness::StronglyFair).holds()
-                && r.self_under(Fairness::Gouda).holds()
+            !r.self_under(Fairness::StronglyFair).holds() && r.self_under(Fairness::Gouda).holds()
         }),
     ));
     // Coloring: self under central, weak-only under distributed.
@@ -247,5 +284,9 @@ fn main() {
     }
     assert!(all_ok, "a machine-checked paper claim failed");
     println!();
-    println!("all {} claims PASS across {} matrix rows", checks.len(), rows.len());
+    println!(
+        "all {} claims PASS across {} matrix rows",
+        checks.len(),
+        rows.len()
+    );
 }

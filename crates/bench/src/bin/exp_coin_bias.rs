@@ -44,45 +44,77 @@ fn main() {
     let mut table = Table::new(vec!["system", "scheduler", "p(heads)", "worst", "avg"]);
 
     // Trans(Algorithm 3) under the synchronous scheduler.
-    let toggle_best = sweep("Trans(two-process-toggle)", Daemon::Synchronous, &mut table, |p| {
-        let alg = Transformed::with_bias(TwoProcessToggle::new(), p);
-        let spec = ProjectedLegitimacy::new(TwoProcessToggle::new().legitimacy());
-        let chain = AbsorbingChain::build(&alg, Daemon::Synchronous, &spec, CAP).unwrap();
-        let t = chain.expected_steps().unwrap();
-        (t.worst_case(), t.average_uniform(chain.n_configs()))
-    });
+    let toggle_best = sweep(
+        "Trans(two-process-toggle)",
+        Daemon::Synchronous,
+        &mut table,
+        |p| {
+            let alg = Transformed::with_bias(TwoProcessToggle::new(), p);
+            let spec = ProjectedLegitimacy::new(TwoProcessToggle::new().legitimacy());
+            let chain = AbsorbingChain::build(&alg, Daemon::Synchronous, &spec, CAP).unwrap();
+            let t = chain.expected_steps().unwrap();
+            (t.worst_case(), t.average_uniform(chain.n_configs()))
+        },
+    );
 
     // Trans(Algorithm 1) on the 4-ring under the synchronous scheduler.
-    let token_best = sweep("Trans(token-circulation N=4)", Daemon::Synchronous, &mut table, |p| {
-        let alg =
-            Transformed::with_bias(TokenCirculation::on_ring(&builders::ring(4)).unwrap(), p);
-        let spec = ProjectedLegitimacy::new(
-            TokenCirculation::on_ring(&builders::ring(4)).unwrap().legitimacy(),
-        );
-        let chain = AbsorbingChain::build(&alg, Daemon::Synchronous, &spec, CAP).unwrap();
-        let t = chain.expected_steps().unwrap();
-        (t.worst_case(), t.average_uniform(chain.n_configs()))
-    });
+    let token_best = sweep(
+        "Trans(token-circulation N=4)",
+        Daemon::Synchronous,
+        &mut table,
+        |p| {
+            let alg =
+                Transformed::with_bias(TokenCirculation::on_ring(&builders::ring(4)).unwrap(), p);
+            let spec = ProjectedLegitimacy::new(
+                TokenCirculation::on_ring(&builders::ring(4))
+                    .unwrap()
+                    .legitimacy(),
+            );
+            let chain = AbsorbingChain::build(&alg, Daemon::Synchronous, &spec, CAP).unwrap();
+            let t = chain.expected_steps().unwrap();
+            (t.worst_case(), t.average_uniform(chain.n_configs()))
+        },
+    );
 
     // Trans(coloring) on the 2-chain (the twin-conflict core) under the
     // synchronous scheduler: symmetric conflicts need the coin to
     // *disagree*, so intermediate p is forced.
-    let twins_best = sweep("Trans(coloring twins)", Daemon::Synchronous, &mut table, |p| {
-        let alg = Transformed::with_bias(GreedyColoring::new(&builders::path(2)).unwrap(), p);
-        let spec =
-            ProjectedLegitimacy::new(GreedyColoring::new(&builders::path(2)).unwrap().legitimacy());
-        let chain = AbsorbingChain::build(&alg, Daemon::Synchronous, &spec, CAP).unwrap();
-        let t = chain.expected_steps().unwrap();
-        (t.worst_case(), t.average_uniform(chain.n_configs()))
-    });
+    let twins_best = sweep(
+        "Trans(coloring twins)",
+        Daemon::Synchronous,
+        &mut table,
+        |p| {
+            let alg = Transformed::with_bias(GreedyColoring::new(&builders::path(2)).unwrap(), p);
+            let spec = ProjectedLegitimacy::new(
+                GreedyColoring::new(&builders::path(2))
+                    .unwrap()
+                    .legitimacy(),
+            );
+            let chain = AbsorbingChain::build(&alg, Daemon::Synchronous, &spec, CAP).unwrap();
+            let t = chain.expected_steps().unwrap();
+            (t.worst_case(), t.average_uniform(chain.n_configs()))
+        },
+    );
 
     print!("{}", table.to_markdown());
     println!();
     println!("## Optima (worst-case criterion)");
     println!();
-    println!("- Trans(Algorithm 3): best p = {:.2} (worst {});", toggle_best.1, fmt3(toggle_best.0));
-    println!("- Trans(Algorithm 1, N=4): best p = {:.2} (worst {});", token_best.1, fmt3(token_best.0));
-    println!("- Trans(coloring twins): best p = {:.2} (worst {}).", twins_best.1, fmt3(twins_best.0));
+    println!(
+        "- Trans(Algorithm 3): best p = {:.2} (worst {});",
+        toggle_best.1,
+        fmt3(toggle_best.0)
+    );
+    println!(
+        "- Trans(Algorithm 1, N=4): best p = {:.2} (worst {});",
+        token_best.1,
+        fmt3(token_best.0)
+    );
+    println!(
+        "- Trans(coloring twins): best p = {:.2} (worst {}).",
+        twins_best.1,
+        fmt3(twins_best.0)
+    );
     println!();
     println!("Reading: Algorithm 3 wants *high* p (it needs joint heads);");
     println!("symmetric conflicts want p near ½ (the coin is the tie-breaker);");

@@ -19,9 +19,9 @@ const CAP: u64 = 1 << 22;
 
 fn row<A, L>(table: &mut Table, alg: &A, daemon: Daemon, spec: &L)
 where
-    A: Algorithm,
-    A::State: LocalState,
-    L: Legitimacy<A::State>,
+    A: Algorithm + Sync,
+    A::State: LocalState + Sync,
+    L: Legitimacy<A::State> + Sync,
 {
     let chain = AbsorbingChain::build(alg, daemon, spec, CAP).expect("chain build");
     let min_absorb = chain
@@ -55,14 +55,22 @@ fn main() {
     println!();
 
     let mut t = Table::new(vec![
-        "system", "scheduler", "configs", "transient", "worst", "avg", "min P(absorb)",
+        "system",
+        "scheduler",
+        "configs",
+        "transient",
+        "worst",
+        "avg",
+        "min P(absorb)",
     ]);
 
     // Trans(Algorithm 1) across ring sizes and schedulers.
     for n in 3..=6usize {
         let mk = || Transformed::new(TokenCirculation::on_ring(&builders::ring(n)).unwrap());
         let spec = ProjectedLegitimacy::new(
-            TokenCirculation::on_ring(&builders::ring(n)).unwrap().legitimacy(),
+            TokenCirculation::on_ring(&builders::ring(n))
+                .unwrap()
+                .legitimacy(),
         );
         row(&mut t, &mk(), Daemon::Central, &spec);
         row(&mut t, &mk(), Daemon::Synchronous, &spec);
@@ -72,8 +80,11 @@ fn main() {
     }
 
     // Trans(Algorithm 2) on small trees.
-    for (g, _) in [(builders::path(3), "path3"), (builders::path(4), "path4"), (builders::star(4), "star4")]
-    {
+    for (g, _) in [
+        (builders::path(3), "path3"),
+        (builders::path(4), "path4"),
+        (builders::star(4), "star4"),
+    ] {
         let alg = Transformed::new(ParentLeader::on_tree(&g).unwrap());
         let spec = ProjectedLegitimacy::new(ParentLeader::on_tree(&g).unwrap().legitimacy());
         for d in [Daemon::Central, Daemon::Distributed, Daemon::Synchronous] {

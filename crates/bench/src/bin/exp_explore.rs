@@ -1,0 +1,293 @@
+//! E0 — transition-engine throughput: seed-style exploration vs the CSR
+//! engine, across representative instances, recorded to
+//! `BENCH_explore.json` so the speedup is tracked across PRs.
+//!
+//! The *reference* explorer reproduces the seed implementation exactly:
+//! one `decode` per configuration, `semantics::all_steps` per
+//! configuration (guards and statements re-evaluated per activation), one
+//! `encode` per successor, nested `Vec` rows. The *engine* numbers come
+//! from `stab_core::engine::TransitionSystem::explore` — in-place cursor,
+//! per-configuration outcome sharing, delta-encoded successors, parallel
+//! chunking.
+//!
+//! JSON schema (`bench_explore/v1`), one object per line-item:
+//!
+//! ```json
+//! {
+//!   "schema": "bench_explore/v1",
+//!   "threads": 8,
+//!   "results": [
+//!     {
+//!       "case": "token_ring/N=7/distributed",
+//!       "configs": 128,
+//!       "edges": 1234,
+//!       "explore_reference_ms": 1.0,
+//!       "explore_engine_ms": 0.1,
+//!       "explore_speedup": 10.0,
+//!       "chain_reference_ms": 1.0,
+//!       "chain_engine_ms": 0.1,
+//!       "chain_speedup": 10.0,
+//!       "analyze_engine_ms": 0.5
+//!     }
+//!   ]
+//! }
+//! ```
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use stab_algorithms::{HermanRing, TokenCirculation};
+use stab_bench::Table;
+use stab_checker::{analyze, ExploredSpace};
+use stab_core::{semantics, Algorithm, Daemon, Legitimacy, SpaceIndexer};
+use stab_graph::builders;
+use stab_markov::AbsorbingChain;
+
+const CAP: u64 = 1 << 26;
+
+/// Best-of-`reps` wall-clock milliseconds of `f`.
+fn time_ms<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+/// The seed exploration path, for the baseline measurement: decode +
+/// all_steps + encode per successor, nested rows.
+fn reference_explore<A, L>(alg: &A, daemon: Daemon, spec: &L) -> (u64, usize)
+where
+    A: Algorithm,
+    L: Legitimacy<A::State>,
+{
+    let ix = SpaceIndexer::new(alg, CAP).expect("space fits");
+    let total = ix.total();
+    let mut edges = 0usize;
+    let mut rows: Vec<Vec<(u32, u64)>> = Vec::with_capacity(total as usize);
+    let mut legit = Vec::with_capacity(total as usize);
+    let mut deterministic = true;
+    for id in 0..total {
+        let cfg = ix.decode(id);
+        legit.push(spec.is_legitimate(&cfg));
+        if deterministic && !semantics::is_deterministic_at(alg, &cfg) {
+            deterministic = false;
+        }
+        let mut out = Vec::new();
+        for (activation, dist) in semantics::all_steps(alg, daemon, &cfg).expect("enumeration") {
+            let movers = activation
+                .nodes()
+                .iter()
+                .fold(0u64, |m, v| m | (1u64 << v.index()));
+            for (_, next) in dist {
+                out.push((ix.encode(&next) as u32, movers));
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        edges += out.len();
+        rows.push(out);
+    }
+    std::hint::black_box((&rows, &legit, deterministic));
+    (total, edges)
+}
+
+/// The seed Markov chain build, for the baseline measurement.
+fn reference_chain<A, L>(alg: &A, daemon: Daemon, spec: &L) -> usize
+where
+    A: Algorithm,
+    L: Legitimacy<A::State>,
+{
+    let ix = SpaceIndexer::new(alg, CAP).expect("space fits");
+    let total = ix.total();
+    let mut transient_of = vec![u32::MAX; total as usize];
+    let mut config_of = Vec::new();
+    for id in 0..total {
+        if !spec.is_legitimate(&ix.decode(id)) {
+            transient_of[id as usize] = config_of.len() as u32;
+            config_of.push(id);
+        }
+    }
+    let mut rows = Vec::with_capacity(config_of.len());
+    for &id in &config_of {
+        let cfg = ix.decode(id);
+        let steps = semantics::all_steps(alg, daemon, &cfg).expect("enumeration");
+        if steps.is_empty() {
+            rows.push(vec![(transient_of[id as usize], 1.0)]);
+            continue;
+        }
+        let act_prob = 1.0 / steps.len() as f64;
+        let mut row: HashMap<u32, f64> = HashMap::new();
+        for (_, dist) in steps {
+            for (p, next) in dist {
+                let t = transient_of[ix.encode(&next) as usize];
+                if t != u32::MAX {
+                    *row.entry(t).or_insert(0.0) += act_prob * p;
+                }
+            }
+        }
+        let mut row: Vec<(u32, f64)> = row.into_iter().collect();
+        row.sort_unstable_by_key(|&(j, _)| j);
+        rows.push(row);
+    }
+    std::hint::black_box(rows.len())
+}
+
+struct CaseResult {
+    case: String,
+    configs: u64,
+    edges: usize,
+    explore_reference_ms: f64,
+    explore_engine_ms: f64,
+    chain_reference_ms: f64,
+    chain_engine_ms: f64,
+    analyze_engine_ms: f64,
+}
+
+fn run_case<A, L>(name: &str, alg: &A, daemon: Daemon, spec: &L, reps: usize) -> CaseResult
+where
+    A: Algorithm + Sync,
+    A::State: Sync,
+    L: Legitimacy<A::State> + Sync,
+{
+    let explore_reference_ms = time_ms(reps, || reference_explore(alg, daemon, spec));
+    let explore_engine_ms = time_ms(reps, || {
+        ExploredSpace::explore(alg, daemon, spec, CAP).expect("engine explore")
+    });
+    let chain_reference_ms = time_ms(reps, || reference_chain(alg, daemon, spec));
+    let chain_engine_ms = time_ms(reps, || {
+        AbsorbingChain::build(alg, daemon, spec, CAP).expect("engine chain")
+    });
+    let analyze_engine_ms = time_ms(reps, || {
+        analyze(alg, daemon, spec, CAP).expect("engine analyze")
+    });
+    let space = ExploredSpace::explore(alg, daemon, spec, CAP).expect("engine explore");
+    CaseResult {
+        case: name.to_string(),
+        configs: space.total() as u64,
+        edges: space.transition_system().n_edges(),
+        explore_reference_ms,
+        explore_engine_ms,
+        chain_reference_ms,
+        chain_engine_ms,
+        analyze_engine_ms,
+    }
+}
+
+fn main() {
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut results = Vec::new();
+
+    // The ISSUE's tracked target: token ring N=7 under the distributed
+    // daemon (m_7 = 2, every non-empty subset of up to 7 enabled
+    // processes enumerated per configuration).
+    let tr7 = TokenCirculation::on_ring(&builders::ring(7)).unwrap();
+    results.push(run_case(
+        "token_ring/N=7/distributed",
+        &tr7,
+        Daemon::Distributed,
+        &tr7.legitimacy(),
+        5,
+    ));
+
+    // Figure 1 size: N=6, m_6 = 4 (4096 configurations).
+    let tr6 = TokenCirculation::on_ring(&builders::ring(6)).unwrap();
+    results.push(run_case(
+        "token_ring/N=6/distributed",
+        &tr6,
+        Daemon::Distributed,
+        &tr6.legitimacy(),
+        3,
+    ));
+
+    // Large space, central daemon: N=10, m_10 = 3 (59049 configurations) —
+    // the parallel chunking regime.
+    let tr10 = TokenCirculation::on_ring(&builders::ring(10)).unwrap();
+    results.push(run_case(
+        "token_ring/N=10/central",
+        &tr10,
+        Daemon::Central,
+        &tr10.legitimacy(),
+        3,
+    ));
+
+    // Probabilistic branching under the synchronous daemon.
+    let herman = HermanRing::on_ring(&builders::ring(9)).unwrap();
+    results.push(run_case(
+        "herman/N=9/synchronous",
+        &herman,
+        Daemon::Synchronous,
+        &herman.legitimacy(),
+        3,
+    ));
+
+    let mut table = Table::new(vec![
+        "case",
+        "configs",
+        "edges",
+        "explore ref (ms)",
+        "explore engine (ms)",
+        "speedup",
+        "chain speedup",
+    ]);
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"schema\": \"bench_explore/v1\",");
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"results\": [");
+    for (i, r) in results.iter().enumerate() {
+        let explore_speedup = r.explore_reference_ms / r.explore_engine_ms;
+        let chain_speedup = r.chain_reference_ms / r.chain_engine_ms;
+        table.row(vec![
+            r.case.clone(),
+            r.configs.to_string(),
+            r.edges.to_string(),
+            format!("{:.3}", r.explore_reference_ms),
+            format!("{:.3}", r.explore_engine_ms),
+            format!("{explore_speedup:.2}x"),
+            format!("{chain_speedup:.2}x"),
+        ]);
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"case\": \"{}\",", r.case);
+        let _ = writeln!(json, "      \"configs\": {},", r.configs);
+        let _ = writeln!(json, "      \"edges\": {},", r.edges);
+        let _ = writeln!(
+            json,
+            "      \"explore_reference_ms\": {:.6},",
+            r.explore_reference_ms
+        );
+        let _ = writeln!(
+            json,
+            "      \"explore_engine_ms\": {:.6},",
+            r.explore_engine_ms
+        );
+        let _ = writeln!(json, "      \"explore_speedup\": {explore_speedup:.3},");
+        let _ = writeln!(
+            json,
+            "      \"chain_reference_ms\": {:.6},",
+            r.chain_reference_ms
+        );
+        let _ = writeln!(json, "      \"chain_engine_ms\": {:.6},", r.chain_engine_ms);
+        let _ = writeln!(json, "      \"chain_speedup\": {chain_speedup:.3},");
+        let _ = writeln!(
+            json,
+            "      \"analyze_engine_ms\": {:.6}",
+            r.analyze_engine_ms
+        );
+        let _ = writeln!(
+            json,
+            "    }}{}",
+            if i + 1 < results.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+
+    println!("# E0 — transition-engine throughput\n");
+    println!("{}", table.to_markdown());
+    std::fs::write("BENCH_explore.json", &json).expect("write BENCH_explore.json");
+    println!("wrote BENCH_explore.json");
+}

@@ -34,7 +34,10 @@ fn main() {
     };
     println!("## The strongly-fair non-converging lasso");
     println!();
-    println!("stem ({} steps to reach the recurrent component):", stem.len().saturating_sub(1));
+    println!(
+        "stem ({} steps to reach the recurrent component):",
+        stem.len().saturating_sub(1)
+    );
     for (i, c) in stem.iter().enumerate() {
         println!("  stem[{i}] = {c}");
     }
@@ -47,8 +50,6 @@ fn main() {
         println!("  … {} more", cycle.len() - 12);
     }
     println!();
-    println!(
-        "every process enabled in the component moves within the cycle (strong fairness ✓),"
-    );
+    println!("every process enabled in the component moves within the cycle (strong fairness ✓),");
     println!("yet two tokens persist forever — while the Gouda verdict is convergence ✓.");
 }

@@ -15,7 +15,10 @@ fn main() {
     println!("# E10 — per-process memory budgets of the paper's algorithms");
     println!();
     let mut t = Table::new(vec![
-        "N", "m_N", "Alg 1: log m_N bits", "Alg 2 (ring Δ=2): log(Δ+1) bits",
+        "N",
+        "m_N",
+        "Alg 1: log m_N bits",
+        "Alg 2 (ring Δ=2): log(Δ+1) bits",
         "centers: log N bits",
     ]);
     for n in [3u64, 4, 5, 6, 7, 8, 12, 16, 24, 60, 120, 420, 840, 1024] {

@@ -11,7 +11,12 @@ use stab_graph::builders;
 use stab_sim::montecarlo::{estimate, BatchSettings};
 
 fn settings(runs: u64, seed: u64) -> BatchSettings {
-    BatchSettings { runs, max_steps: 20_000_000, seed, threads: 8 }
+    BatchSettings {
+        runs,
+        max_steps: 20_000_000,
+        seed,
+        threads: 8,
+    }
 }
 
 fn main() {
@@ -19,7 +24,12 @@ fn main() {
     println!();
 
     let mut table = Table::new(vec![
-        "system", "scheduler", "N", "runs", "steps (mean ± ci95)", "rounds (mean ± ci95)",
+        "system",
+        "scheduler",
+        "N",
+        "runs",
+        "steps (mean ± ci95)",
+        "rounds (mean ± ci95)",
     ]);
     let mut slopes: Vec<(String, f64)> = Vec::new();
 
@@ -29,7 +39,9 @@ fn main() {
         for n in [4usize, 8, 16, 32] {
             let alg = Transformed::new(TokenCirculation::on_ring(&builders::ring(n)).unwrap());
             let spec = ProjectedLegitimacy::new(
-                TokenCirculation::on_ring(&builders::ring(n)).unwrap().legitimacy(),
+                TokenCirculation::on_ring(&builders::ring(n))
+                    .unwrap()
+                    .legitimacy(),
             );
             let runs = if n >= 32 { 120 } else { 300 };
             let b = estimate(&alg, daemon, &spec, &settings(runs, 42 + n as u64));
@@ -53,7 +65,12 @@ fn main() {
     for n in [5usize, 11, 21, 41] {
         let alg = HermanRing::on_ring(&builders::ring(n)).unwrap();
         let spec = alg.legitimacy();
-        let b = estimate(&alg, Daemon::Synchronous, &spec, &settings(300, 7 + n as u64));
+        let b = estimate(
+            &alg,
+            Daemon::Synchronous,
+            &spec,
+            &settings(300, 7 + n as u64),
+        );
         assert_eq!(b.failures, 0);
         table.row(vec![
             "herman".into(),
@@ -72,7 +89,12 @@ fn main() {
     for n in [4usize, 8, 16, 32] {
         let alg = DijkstraRing::on_ring(&builders::ring(n)).unwrap();
         let spec = alg.legitimacy();
-        let b = estimate(&alg, Daemon::Central, &spec, &settings(300, 1000 + n as u64));
+        let b = estimate(
+            &alg,
+            Daemon::Central,
+            &spec,
+            &settings(300, 1000 + n as u64),
+        );
         assert_eq!(b.failures, 0);
         table.row(vec![
             "dijkstra-k-state".into(),

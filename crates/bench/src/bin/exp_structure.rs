@@ -13,8 +13,7 @@
 //!   probabilistic convergence (the toggle under the central scheduler).
 
 use stab_algorithms::{
-    DijkstraRing, FairnessGadget, GreedyColoring, ParentLeader, TokenCirculation,
-    TwoProcessToggle,
+    DijkstraRing, FairnessGadget, GreedyColoring, ParentLeader, TokenCirculation, TwoProcessToggle,
 };
 use stab_bench::Table;
 use stab_checker::{scc_summary, ExploredSpace};
@@ -25,9 +24,9 @@ const CAP: u64 = 1 << 22;
 
 fn census<A, L>(table: &mut Table, alg: &A, daemon: Daemon, spec: &L)
 where
-    A: Algorithm,
-    A::State: LocalState,
-    L: Legitimacy<A::State>,
+    A: Algorithm + Sync,
+    A::State: LocalState + Sync,
+    L: Legitimacy<A::State> + Sync,
 {
     let space = ExploredSpace::explore(alg, daemon, spec, CAP).expect("explore");
     let s = scc_summary(&space);
@@ -47,8 +46,14 @@ fn main() {
     println!("# E11 — SCC census of the reachable illegitimate region");
     println!();
     let mut t = Table::new(vec![
-        "system", "scheduler", "illegit. configs", "SCCs", "recurrent", "largest recurrent",
-        "closed", "deadlocks",
+        "system",
+        "scheduler",
+        "illegit. configs",
+        "SCCs",
+        "recurrent",
+        "largest recurrent",
+        "closed",
+        "deadlocks",
     ]);
 
     let dij = DijkstraRing::on_ring(&builders::ring(4)).unwrap();

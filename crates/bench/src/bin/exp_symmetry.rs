@@ -25,7 +25,13 @@ fn main() {
     println!();
 
     let mut table = Table::new(vec![
-        "system", "network", "port-preserving", "equivariant", "|X|", "X closed", "X ∩ L = ∅",
+        "system",
+        "network",
+        "port-preserving",
+        "equivariant",
+        "|X|",
+        "X closed",
+        "X ∩ L = ∅",
         "impossibility",
     ]);
 
@@ -50,7 +56,10 @@ fn main() {
         (!v.intersects_legitimate).to_string(),
         v.implies_impossibility().to_string(),
     ]);
-    assert!(v.implies_impossibility(), "Theorem 3 witness for Algorithm 2");
+    assert!(
+        v.implies_impossibility(),
+        "Theorem 3 witness for Algorithm 2"
+    );
 
     // Algorithm 2 on the canonical 4-chain: min-port tie-breaking breaks
     // equivariance under the order-reversing mirror.
@@ -104,12 +113,21 @@ fn main() {
         (!v3.intersects_legitimate).to_string(),
         v3.implies_impossibility().to_string(),
     ]);
-    assert!(v3.implies_impossibility(), "Theorem 3 witness for the center leader");
+    assert!(
+        v3.implies_impossibility(),
+        "Theorem 3 witness for the center leader"
+    );
 
     // Coloring on the 3-chain escapes the obstruction; on the 4-chain it
     // does not.
-    for (g, name) in [(builders::path(3), "3-chain"), (builders::path(4), "4-chain")] {
-        let mirror = Automorphism::all(&g).into_iter().find(|a| !a.is_identity()).unwrap();
+    for (g, name) in [
+        (builders::path(3), "3-chain"),
+        (builders::path(4), "4-chain"),
+    ] {
+        let mirror = Automorphism::all(&g)
+            .into_iter()
+            .find(|a| !a.is_identity())
+            .unwrap();
         let col = GreedyColoring::new(&g).unwrap();
         let v = check_synchronous_symmetry(
             &col,

@@ -27,7 +27,10 @@ fn render(alg: &TokenCirculation, cfg: &Configuration<u8>) -> String {
 fn main() {
     let ring = builders::ring(6);
     let alg = TokenCirculation::on_ring(&ring).unwrap();
-    println!("# E1 / Figure 1 — token circulation on N=6, m_N={}", alg.modulus());
+    println!(
+        "# E1 / Figure 1 — token circulation on N=6, m_N={}",
+        alg.modulus()
+    );
     println!();
     println!("Legitimate start: exactly one token; Action A passes it to the successor.");
     println!();

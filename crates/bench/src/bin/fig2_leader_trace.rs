@@ -13,11 +13,7 @@ use stab_graph::{builders, NodeId};
 
 type Par = Option<stab_graph::PortId>;
 
-fn render(
-    alg: &ParentLeader,
-    cfg: &Configuration<Par>,
-    movers: Option<&[NodeId]>,
-) -> String {
+fn render(alg: &ParentLeader, cfg: &Configuration<Par>, movers: Option<&[NodeId]>) -> String {
     let g = alg.graph();
     let mut lines = Vec::new();
     for v in g.nodes() {

@@ -53,7 +53,12 @@ fn main() {
                 )
             })
             .collect();
-        println!("({})  {}    enabled: {}", i + 1, render(&alg, c), enabled.join(" "));
+        println!(
+            "({})  {}    enabled: {}",
+            i + 1,
+            render(&alg, c),
+            enabled.join(" ")
+        );
         println!("      --synchronous step-->");
     }
     println!("(1)  …repeats…");

@@ -4,6 +4,7 @@
 
 use std::fmt;
 
+use stab_core::engine::BitSet;
 use stab_core::{Algorithm, CoreError, Daemon, Fairness, Legitimacy, LocalState};
 
 use crate::scc;
@@ -24,8 +25,9 @@ pub fn analyze<A, L>(
     cap: u64,
 ) -> Result<StabilizationReport, CoreError>
 where
-    A: Algorithm,
-    L: Legitimacy<A::State>,
+    A: Algorithm + Sync,
+    A::State: Sync,
+    L: Legitimacy<A::State> + Sync,
 {
     let space = ExploredSpace::explore(alg, daemon, spec, cap)?;
     Ok(analyze_space(&space, alg.name(), spec.name()))
@@ -47,9 +49,7 @@ pub fn analyze_space<S: LocalState>(
     // Fair-cycle analyses run on the reachable illegitimate subgraph: a
     // non-converging execution never enters L (it would stay by closure),
     // so its recurrent behaviour lives entirely outside L.
-    let alive: Vec<bool> = (0..space.total() as usize)
-        .map(|i| reachable[i] && !space.is_legit(i as u32))
-        .collect();
+    let alive = reachable.and_not(space.transition_system().legit());
 
     let self_unfair = fairness_verdict(space, &alive, &deadlock, FairKind::Unfair);
     let self_weakly_fair = fairness_verdict(space, &alive, &deadlock, FairKind::Weak);
@@ -97,10 +97,12 @@ fn check_closure<S: LocalState>(space: &ExploredSpace<S>) -> Verdict {
 
 /// Possible convergence: every initial configuration has an execution
 /// reaching `L`.
-fn check_weak<S: LocalState>(space: &ExploredSpace<S>, can_reach: &[bool]) -> Verdict {
+fn check_weak<S: LocalState>(space: &ExploredSpace<S>, can_reach: &BitSet) -> Verdict {
     for id in 0..space.total() {
-        if space.is_initial(id) && !can_reach[id as usize] {
-            return Verdict::fail(Witness::NoPathToLegitimate { config: space.render(id) });
+        if space.is_initial(id) && !can_reach.get(id as usize) {
+            return Verdict::fail(Witness::NoPathToLegitimate {
+                config: space.render(id),
+            });
         }
     }
     Verdict::pass()
@@ -111,21 +113,21 @@ fn check_weak<S: LocalState>(space: &ExploredSpace<S>, can_reach: &[bool]) -> Ve
 /// (a.s. absorption in finite Markov chains).
 fn check_probabilistic<S: LocalState>(
     space: &ExploredSpace<S>,
-    reachable: &[bool],
-    can_reach: &[bool],
+    reachable: &BitSet,
+    can_reach: &BitSet,
 ) -> Verdict {
-    for id in 0..space.total() {
-        if reachable[id as usize] && !can_reach[id as usize] {
-            return Verdict::fail(Witness::NoPathToLegitimate { config: space.render(id) });
-        }
+    match reachable.and_not(can_reach).ones().next() {
+        Some(id) => Verdict::fail(Witness::NoPathToLegitimate {
+            config: space.render(id as u32),
+        }),
+        None => Verdict::pass(),
     }
-    Verdict::pass()
 }
 
 /// A reachable terminal configuration outside `L`, if any.
-fn find_deadlock<S: LocalState>(space: &ExploredSpace<S>, reachable: &[bool]) -> Option<u32> {
+fn find_deadlock<S: LocalState>(space: &ExploredSpace<S>, reachable: &BitSet) -> Option<u32> {
     (0..space.total())
-        .find(|&id| reachable[id as usize] && !space.is_legit(id) && space.is_terminal(id))
+        .find(|&id| reachable.get(id as usize) && !space.is_legit(id) && space.is_terminal(id))
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -141,12 +143,14 @@ enum FairKind {
 /// `L`.
 fn fairness_verdict<S: LocalState>(
     space: &ExploredSpace<S>,
-    alive: &[bool],
+    alive: &BitSet,
     deadlock: &Option<u32>,
     kind: FairKind,
 ) -> Verdict {
     if let Some(id) = *deadlock {
-        return Verdict::fail(Witness::DeadlockOutsideLegitimate { config: space.render(id) });
+        return Verdict::fail(Witness::DeadlockOutsideLegitimate {
+            config: space.render(id),
+        });
     }
     let comp = match kind {
         FairKind::Unfair => find_any_cycle_component(space, alive),
@@ -159,7 +163,7 @@ fn fairness_verdict<S: LocalState>(
         Some(comp) => {
             let in_comp = scc::membership(space.total(), comp.as_slice());
             let stem = space
-                .path(|id| space.is_initial(id), |id| in_comp[id as usize])
+                .path(|id| space.is_initial(id), |id| in_comp.get(id as usize))
                 .unwrap_or_default();
             let cycle = scc::some_cycle(space, &comp, alive);
             Verdict::fail(Witness::Lasso {
@@ -173,7 +177,7 @@ fn fairness_verdict<S: LocalState>(
 /// Any SCC with an internal edge: an (unfair) infinite execution.
 fn find_any_cycle_component<S: LocalState>(
     space: &ExploredSpace<S>,
-    alive: &[bool],
+    alive: &BitSet,
 ) -> Option<Vec<u32>> {
     scc::sccs(space, alive)
         .into_iter()
@@ -186,7 +190,7 @@ fn find_any_cycle_component<S: LocalState>(
 /// (the cycle can then be stitched to visit all these witnesses).
 fn find_weakly_fair_component<S: LocalState>(
     space: &ExploredSpace<S>,
-    alive: &[bool],
+    alive: &BitSet,
 ) -> Option<Vec<u32>> {
     scc::sccs(space, alive).into_iter().find(|comp| {
         if !scc::has_internal_edge(space, comp, alive) {
@@ -198,7 +202,7 @@ fn find_weakly_fair_component<S: LocalState>(
         for &v in comp {
             always_enabled &= space.enabled_mask(v);
             for e in space.edges(v) {
-                if in_comp[e.to as usize] {
+                if in_comp.get(e.to as usize) {
                     moved |= e.movers;
                 }
             }
@@ -213,7 +217,7 @@ fn find_weakly_fair_component<S: LocalState>(
 /// violating process is enabled and recurse into the sub-components.
 fn find_strongly_fair_component<S: LocalState>(
     space: &ExploredSpace<S>,
-    alive: &[bool],
+    alive: &BitSet,
 ) -> Option<Vec<u32>> {
     for comp in scc::sccs(space, alive) {
         if !scc::has_internal_edge(space, &comp, alive) {
@@ -225,7 +229,7 @@ fn find_strongly_fair_component<S: LocalState>(
         for &v in &comp {
             enabled_union |= space.enabled_mask(v);
             for e in space.edges(v) {
-                if in_comp[e.to as usize] {
+                if in_comp.get(e.to as usize) {
                     moved |= e.movers;
                 }
             }
@@ -236,16 +240,19 @@ fn find_strongly_fair_component<S: LocalState>(
         }
         // An execution confined to this component that starves a `bad`
         // process must avoid the configurations where it is enabled.
-        let mut refined = vec![false; space.total() as usize];
+        let mut refined = BitSet::new(space.total() as usize);
         let mut shrunk = false;
         for &v in &comp {
             if space.enabled_mask(v) & bad == 0 {
-                refined[v as usize] = true;
+                refined.insert(v as usize);
             } else {
                 shrunk = true;
             }
         }
-        debug_assert!(shrunk, "a bad process is enabled somewhere in the component");
+        debug_assert!(
+            shrunk,
+            "a bad process is enabled somewhere in the component"
+        );
         if let Some(found) = find_strongly_fair_component(space, &refined) {
             return Some(found);
         }
@@ -257,7 +264,7 @@ fn find_strongly_fair_component<S: LocalState>(
 /// *closed* recurrent set — a bottom SCC (no edge leaves it at all).
 fn find_closed_component<S: LocalState>(
     space: &ExploredSpace<S>,
-    alive: &[bool],
+    alive: &BitSet,
 ) -> Option<Vec<u32>> {
     scc::sccs(space, alive).into_iter().find(|comp| {
         if !scc::has_internal_edge(space, comp, alive) {
@@ -265,7 +272,7 @@ fn find_closed_component<S: LocalState>(
         }
         let in_comp = scc::membership(space.total(), comp);
         comp.iter()
-            .all(|&v| space.edges(v).iter().all(|e| in_comp[e.to as usize]))
+            .all(|&v| space.edges(v).iter().all(|e| in_comp.get(e.to as usize)))
     })
 }
 
@@ -365,7 +372,11 @@ impl fmt::Display for StabilizationReport {
             self.daemon,
             self.states,
             self.legitimate,
-            if self.deterministic { "deterministic" } else { "probabilistic" }
+            if self.deterministic {
+                "deterministic"
+            } else {
+                "probabilistic"
+            }
         )?;
         writeln!(f, "  closure:            {}", self.closure)?;
         writeln!(f, "  weak (possible):    {}", self.weak)?;
@@ -447,7 +458,10 @@ mod tests {
         let alg = TwoProcessToggle::new();
         let spec = alg.legitimacy();
         let r = analyze(&alg, Daemon::Central, &spec, CAP).unwrap();
-        assert!(!r.weak.holds(), "no central-daemon path from (F,F) to (T,T)");
+        assert!(
+            !r.weak.holds(),
+            "no central-daemon path from (F,F) to (T,T)"
+        );
         assert!(!r.probabilistic.holds());
         assert!(matches!(
             r.weak.witness(),

@@ -1,6 +1,10 @@
 //! Strongly connected components over configuration subgraphs, and the
 //! fairness-filtered fair-cycle searches built on them.
+//!
+//! Tarjan runs directly over the engine's CSR edge slices; the `alive`
+//! masks are bit-packed [`BitSet`]s, matching the engine's label sets.
 
+use stab_core::engine::BitSet;
 use stab_core::LocalState;
 
 use crate::space::ExploredSpace;
@@ -8,12 +12,12 @@ use crate::space::ExploredSpace;
 /// Iterative Tarjan SCC over the subgraph induced by `alive`. Returns the
 /// components (each a list of configuration ids); single nodes without a
 /// self-loop are included as singleton components.
-pub fn sccs<S: LocalState>(space: &ExploredSpace<S>, alive: &[bool]) -> Vec<Vec<u32>> {
+pub fn sccs<S: LocalState>(space: &ExploredSpace<S>, alive: &BitSet) -> Vec<Vec<u32>> {
     let n = space.total() as usize;
     debug_assert_eq!(alive.len(), n);
     let mut index = vec![u32::MAX; n];
     let mut low = vec![0u32; n];
-    let mut on_stack = vec![false; n];
+    let mut on_stack = BitSet::new(n);
     let mut stack: Vec<u32> = Vec::new();
     let mut next_index = 0u32;
     let mut out: Vec<Vec<u32>> = Vec::new();
@@ -21,7 +25,7 @@ pub fn sccs<S: LocalState>(space: &ExploredSpace<S>, alive: &[bool]) -> Vec<Vec<
     // Explicit DFS stack: (node, edge cursor).
     let mut call: Vec<(u32, usize)> = Vec::new();
     for start in 0..n as u32 {
-        if !alive[start as usize] || index[start as usize] != u32::MAX {
+        if !alive.get(start as usize) || index[start as usize] != u32::MAX {
             continue;
         }
         call.push((start, 0));
@@ -29,13 +33,13 @@ pub fn sccs<S: LocalState>(space: &ExploredSpace<S>, alive: &[bool]) -> Vec<Vec<
         low[start as usize] = next_index;
         next_index += 1;
         stack.push(start);
-        on_stack[start as usize] = true;
+        on_stack.insert(start as usize);
         while let Some(&(v, cursor)) = call.last() {
             let edges = space.edges(v);
             if cursor < edges.len() {
                 call.last_mut().expect("non-empty").1 += 1;
                 let w = edges[cursor].to;
-                if !alive[w as usize] {
+                if !alive.get(w as usize) {
                     continue;
                 }
                 if index[w as usize] == u32::MAX {
@@ -43,9 +47,9 @@ pub fn sccs<S: LocalState>(space: &ExploredSpace<S>, alive: &[bool]) -> Vec<Vec<
                     low[w as usize] = next_index;
                     next_index += 1;
                     stack.push(w);
-                    on_stack[w as usize] = true;
+                    on_stack.insert(w as usize);
                     call.push((w, 0));
-                } else if on_stack[w as usize] {
+                } else if on_stack.get(w as usize) {
                     low[v as usize] = low[v as usize].min(index[w as usize]);
                 }
                 continue;
@@ -59,7 +63,7 @@ pub fn sccs<S: LocalState>(space: &ExploredSpace<S>, alive: &[bool]) -> Vec<Vec<
                 let mut comp = Vec::new();
                 loop {
                     let w = stack.pop().expect("tarjan stack underflow");
-                    on_stack[w as usize] = false;
+                    on_stack.remove(w as usize);
                     comp.push(w);
                     if w == v {
                         break;
@@ -77,22 +81,22 @@ pub fn sccs<S: LocalState>(space: &ExploredSpace<S>, alive: &[bool]) -> Vec<Vec<
 pub fn has_internal_edge<S: LocalState>(
     space: &ExploredSpace<S>,
     comp: &[u32],
-    alive: &[bool],
+    alive: &BitSet,
 ) -> bool {
     let in_comp = membership(space.total(), comp);
     comp.iter().any(|&v| {
         space
             .edges(v)
             .iter()
-            .any(|e| alive[e.to as usize] && in_comp[e.to as usize])
+            .any(|e| alive.get(e.to as usize) && in_comp.get(e.to as usize))
     })
 }
 
 /// Membership mask of a component.
-pub fn membership(total: u32, comp: &[u32]) -> Vec<bool> {
-    let mut mask = vec![false; total as usize];
+pub fn membership(total: u32, comp: &[u32]) -> BitSet {
+    let mut mask = BitSet::new(total as usize);
     for &v in comp {
-        mask[v as usize] = true;
+        mask.insert(v as usize);
     }
     mask
 }
@@ -102,7 +106,7 @@ pub fn membership(total: u32, comp: &[u32]) -> Vec<bool> {
 pub fn some_cycle<S: LocalState>(
     space: &ExploredSpace<S>,
     comp: &[u32],
-    alive: &[bool],
+    alive: &BitSet,
 ) -> Vec<u32> {
     let in_comp = membership(space.total(), comp);
     let start = comp
@@ -112,7 +116,7 @@ pub fn some_cycle<S: LocalState>(
             space
                 .edges(v)
                 .iter()
-                .any(|e| alive[e.to as usize] && in_comp[e.to as usize])
+                .any(|e| alive.get(e.to as usize) && in_comp.get(e.to as usize))
         })
         .expect("component has an internal edge");
     let mut seen_at = std::collections::HashMap::new();
@@ -123,7 +127,7 @@ pub fn some_cycle<S: LocalState>(
         let next = space
             .edges(cur)
             .iter()
-            .find(|e| alive[e.to as usize] && in_comp[e.to as usize])
+            .find(|e| alive.get(e.to as usize) && in_comp.get(e.to as usize))
             .expect("strongly connected component keeps internal edges")
             .to;
         if let Some(&i) = seen_at.get(&next) {
@@ -152,7 +156,7 @@ mod tests {
         // Under the central daemon: (F,F) <-> (T,F) and (F,F) <-> (F,T)
         // form one SCC; (T,T) is a terminal singleton.
         let space = toggle_space();
-        let alive = vec![true; space.total() as usize];
+        let alive = BitSet::full(space.total() as usize);
         let comps = sccs(&space, &alive);
         assert_eq!(comps.len(), 2);
         let big = comps.iter().find(|c| c.len() == 3).expect("3-config SCC");
@@ -166,11 +170,11 @@ mod tests {
     #[test]
     fn filtering_splits_components() {
         let space = toggle_space();
-        let mut alive = vec![true; space.total() as usize];
+        let mut alive = BitSet::full(space.total() as usize);
         // Remove (F,F): the remaining illegitimate configurations cannot
         // reach each other.
         let ff = space.id_of(&Configuration::from_vec(vec![false, false]));
-        alive[ff as usize] = false;
+        alive.remove(ff as usize);
         let comps = sccs(&space, &alive);
         assert_eq!(comps.len(), 3);
         assert!(comps.iter().all(|c| !has_internal_edge(&space, c, &alive)));
@@ -179,7 +183,7 @@ mod tests {
     #[test]
     fn some_cycle_returns_a_loop() {
         let space = toggle_space();
-        let alive = vec![true; space.total() as usize];
+        let alive = BitSet::full(space.total() as usize);
         let comps = sccs(&space, &alive);
         let big = comps.iter().find(|c| c.len() == 3).unwrap();
         let cycle = some_cycle(&space, big, &alive);

@@ -1,19 +1,23 @@
 //! Exhaustive exploration of a finite system under a daemon: the labelled
 //! transition graph over the *full* configuration space (`I = C` unless the
 //! algorithm restricts its initial set).
+//!
+//! Since PR 1 the exploration itself lives in `stab_core::engine`
+//! ([`TransitionSystem`]): a flat CSR edge store filled by parallel
+//! delta-encoded enumeration, shared with the Markov builder.
+//! [`ExploredSpace`] pairs that engine output with the [`SpaceIndexer`]
+//! so checker code can still move between ids and configurations.
 
-use stab_core::{semantics, Algorithm, Configuration, CoreError, Daemon, Legitimacy, SpaceIndexer};
-use stab_graph::NodeId;
+use stab_core::engine::{BitSet, Csr, TransitionSystem};
+use stab_core::{Algorithm, Configuration, CoreError, Daemon, Legitimacy, SpaceIndexer};
 
-/// One possibilistic transition: `to` is reachable in one step by activating
-/// the processes in the `movers` bitmask (bit `i` = process `Pi`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Edge {
-    /// Successor configuration id.
-    pub to: u32,
-    /// Bitmask of activated processes.
-    pub movers: u64,
-}
+/// One transition edge of the explored space; re-exported from the engine.
+///
+/// `to` is reachable in one step by activating the processes in the
+/// `movers` bitmask (bit `i` = process `Pi`); `prob` is that edge's
+/// probability under the uniform randomized scheduler of Definition 6
+/// (ignored by the possibilistic analyses in this crate).
+pub use stab_core::engine::Edge;
 
 /// The fully explored transition system of `(algorithm, daemon)` with
 /// legitimacy labels: the object all convergence analyses run on.
@@ -21,12 +25,7 @@ pub struct Edge {
 pub struct ExploredSpace<S> {
     indexer: SpaceIndexer<S>,
     daemon: Daemon,
-    edges: Vec<Vec<Edge>>,
-    /// Bitmask of enabled processes per configuration.
-    enabled: Vec<u64>,
-    legit: Vec<bool>,
-    initial: Vec<bool>,
-    deterministic: bool,
+    ts: TransitionSystem,
 }
 
 impl<S: stab_core::LocalState> ExploredSpace<S> {
@@ -43,59 +42,49 @@ impl<S: stab_core::LocalState> ExploredSpace<S> {
     ///
     /// Panics if the network has more than 64 processes (bitmask encoding);
     /// exhaustive checking far below that limit is already intractable.
-    pub fn explore<A, L>(
-        alg: &A,
-        daemon: Daemon,
-        spec: &L,
-        cap: u64,
-    ) -> Result<Self, CoreError>
+    pub fn explore<A, L>(alg: &A, daemon: Daemon, spec: &L, cap: u64) -> Result<Self, CoreError>
     where
-        A: Algorithm<State = S>,
-        L: Legitimacy<S>,
+        A: Algorithm<State = S> + Sync,
+        L: Legitimacy<S> + Sync,
+        S: Sync,
     {
-        assert!(alg.n() <= 64, "bitmask encoding supports at most 64 processes");
         let indexer = SpaceIndexer::new(alg, cap)?;
-        let total = indexer.total();
-        assert!(total <= u32::MAX as u64, "configuration ids must fit in u32");
-        let mut edges: Vec<Vec<Edge>> = Vec::with_capacity(total as usize);
-        let mut enabled_masks: Vec<u64> = Vec::with_capacity(total as usize);
-        let mut legit: Vec<bool> = Vec::with_capacity(total as usize);
-        let mut initial: Vec<bool> = Vec::with_capacity(total as usize);
-        let mut deterministic = true;
-        for id in 0..total {
-            let cfg = indexer.decode(id);
-            legit.push(spec.is_legitimate(&cfg));
-            initial.push(alg.is_initial(&cfg));
-            if deterministic && !semantics::is_deterministic_at(alg, &cfg) {
-                deterministic = false;
-            }
-            let enabled = alg.enabled_nodes(&cfg);
-            enabled_masks.push(node_mask(&enabled));
-            let mut out = Vec::new();
-            for (activation, dist) in semantics::all_steps(alg, daemon, &cfg)? {
-                let movers = node_mask(activation.nodes());
-                for (_, next) in dist {
-                    out.push(Edge { to: indexer.encode(&next) as u32, movers });
-                }
-            }
-            out.sort_unstable_by_key(|e| (e.to, e.movers));
-            out.dedup();
-            edges.push(out);
-        }
+        assert!(
+            indexer.total() <= u32::MAX as u64,
+            "configuration ids must fit in u32"
+        );
+        let ts = TransitionSystem::explore(alg, &indexer, daemon, spec)?;
         Ok(ExploredSpace {
             indexer,
             daemon,
-            edges,
-            enabled: enabled_masks,
-            legit,
-            initial,
-            deterministic,
+            ts,
         })
+    }
+
+    /// Wraps an already-built transition system (differential tests build
+    /// reference systems by independent means and compare analyses).
+    #[doc(hidden)]
+    pub fn from_parts(indexer: SpaceIndexer<S>, daemon: Daemon, ts: TransitionSystem) -> Self {
+        assert_eq!(
+            indexer.total(),
+            ts.n_configs() as u64,
+            "indexer/system size mismatch"
+        );
+        ExploredSpace {
+            indexer,
+            daemon,
+            ts,
+        }
+    }
+
+    /// The underlying engine output.
+    pub fn transition_system(&self) -> &TransitionSystem {
+        &self.ts
     }
 
     /// Number of configurations.
     pub fn total(&self) -> u32 {
-        self.indexer.total() as u32
+        self.ts.n_configs()
     }
 
     /// The daemon the space was explored under.
@@ -106,37 +95,47 @@ impl<S: stab_core::LocalState> ExploredSpace<S> {
     /// Whether the algorithm was deterministic on every configuration
     /// (mutually exclusive guards and singleton outcomes).
     pub fn deterministic(&self) -> bool {
-        self.deterministic
+        self.ts.deterministic()
     }
 
-    /// Outgoing edges of configuration `id`.
+    /// Outgoing edges of configuration `id`, sorted by `(to, movers)`.
+    #[inline]
     pub fn edges(&self, id: u32) -> &[Edge] {
-        &self.edges[id as usize]
+        self.ts.edges(id)
+    }
+
+    /// The forward CSR of the whole space.
+    pub fn forward_csr(&self) -> &Csr<Edge> {
+        self.ts.forward()
     }
 
     /// Bitmask of processes enabled in configuration `id`.
+    #[inline]
     pub fn enabled_mask(&self, id: u32) -> u64 {
-        self.enabled[id as usize]
+        self.ts.enabled_mask(id)
     }
 
     /// Whether configuration `id` is legitimate.
+    #[inline]
     pub fn is_legit(&self, id: u32) -> bool {
-        self.legit[id as usize]
+        self.ts.is_legit(id)
     }
 
     /// Whether configuration `id` is an admissible initial configuration.
+    #[inline]
     pub fn is_initial(&self, id: u32) -> bool {
-        self.initial[id as usize]
+        self.ts.is_initial(id)
     }
 
     /// Whether configuration `id` is terminal (no enabled process).
+    #[inline]
     pub fn is_terminal(&self, id: u32) -> bool {
-        self.enabled[id as usize] == 0
+        self.ts.is_terminal(id)
     }
 
     /// Number of legitimate configurations.
     pub fn legit_count(&self) -> u64 {
-        self.legit.iter().filter(|&&b| b).count() as u64
+        self.ts.legit_count()
     }
 
     /// Decodes a configuration id for display.
@@ -155,48 +154,15 @@ impl<S: stab_core::LocalState> ExploredSpace<S> {
     }
 
     /// Forward-reachable set from the initial configurations.
-    pub fn reachable_from_initial(&self) -> Vec<bool> {
-        let mut seen = vec![false; self.total() as usize];
-        let mut stack: Vec<u32> = (0..self.total())
-            .filter(|&id| self.is_initial(id))
-            .collect();
-        for &id in &stack {
-            seen[id as usize] = true;
-        }
-        while let Some(id) = stack.pop() {
-            for e in self.edges(id) {
-                if !seen[e.to as usize] {
-                    seen[e.to as usize] = true;
-                    stack.push(e.to);
-                }
-            }
-        }
-        seen
+    pub fn reachable_from_initial(&self) -> BitSet {
+        self.ts.forward_closure(self.ts.initial())
     }
 
     /// Backward-reachable set from the legitimate configurations
-    /// (configurations with *some* execution into `L`).
-    pub fn can_reach_legit(&self) -> Vec<bool> {
-        let mut preds: Vec<Vec<u32>> = vec![Vec::new(); self.total() as usize];
-        for id in 0..self.total() {
-            for e in self.edges(id) {
-                preds[e.to as usize].push(id);
-            }
-        }
-        let mut seen = vec![false; self.total() as usize];
-        let mut stack: Vec<u32> = (0..self.total()).filter(|&id| self.is_legit(id)).collect();
-        for &id in &stack {
-            seen[id as usize] = true;
-        }
-        while let Some(id) = stack.pop() {
-            for &p in &preds[id as usize] {
-                if !seen[p as usize] {
-                    seen[p as usize] = true;
-                    stack.push(p);
-                }
-            }
-        }
-        seen
+    /// (configurations with *some* execution into `L`), over the engine's
+    /// precomputed reverse CSR.
+    pub fn can_reach_legit(&self) -> BitSet {
+        self.ts.backward_closure(self.ts.legit())
     }
 
     /// A shortest edge path from some configuration satisfying `start` to
@@ -241,11 +207,6 @@ impl<S: stab_core::LocalState> ExploredSpace<S> {
     }
 }
 
-/// Bitmask of a sorted node list.
-pub(crate) fn node_mask(nodes: &[NodeId]) -> u64 {
-    nodes.iter().fold(0u64, |m, v| m | (1u64 << v.index()))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -266,6 +227,11 @@ mod tests {
         let ff = space.id_of(&stab_core::Configuration::from_vec(vec![false, false]));
         assert_eq!(space.edges(ff).len(), 3);
         assert_eq!(space.enabled_mask(ff), 0b11);
+        // Each of the three activations is equiprobable under the
+        // randomized scheduler.
+        for e in space.edges(ff) {
+            assert!((e.prob - 1.0 / 3.0).abs() < 1e-12);
+        }
     }
 
     #[test]
@@ -284,9 +250,9 @@ mod tests {
         let spec = a.legitimacy();
         let space = ExploredSpace::explore(&a, Daemon::Central, &spec, 1 << 20).unwrap();
         // I = C: everything is reachable.
-        assert!(space.reachable_from_initial().iter().all(|&b| b));
+        assert!(space.reachable_from_initial().is_full());
         // Algorithm 1 is weak-stabilizing: everything can reach L.
-        assert!(space.can_reach_legit().iter().all(|&b| b));
+        assert!(space.can_reach_legit().is_full());
     }
 
     #[test]

@@ -35,10 +35,8 @@ pub struct SccSummary {
 /// Computes the census over the reachable illegitimate subgraph.
 pub fn scc_summary<S: LocalState>(space: &ExploredSpace<S>) -> SccSummary {
     let reachable = space.reachable_from_initial();
-    let alive: Vec<bool> = (0..space.total() as usize)
-        .map(|i| reachable[i] && !space.is_legit(i as u32))
-        .collect();
-    let illegitimate_reachable = alive.iter().filter(|&&b| b).count() as u64;
+    let alive = reachable.and_not(space.transition_system().legit());
+    let illegitimate_reachable = alive.count_ones();
     let comps = scc::sccs(space, &alive);
     let mut recurrent = 0u64;
     let mut largest = 0u64;
@@ -52,15 +50,14 @@ pub fn scc_summary<S: LocalState>(space: &ExploredSpace<S>) -> SccSummary {
         let in_comp = scc::membership(space.total(), comp);
         let is_closed = comp
             .iter()
-            .all(|&v| space.edges(v).iter().all(|e| in_comp[e.to as usize]));
+            .all(|&v| space.edges(v).iter().all(|e| in_comp.get(e.to as usize)));
         if is_closed {
             closed += 1;
         }
     }
-    let deadlocks = (0..space.total())
-        .filter(|&id| {
-            reachable[id as usize] && !space.is_legit(id) && space.is_terminal(id)
-        })
+    let deadlocks = alive
+        .ones()
+        .filter(|&id| space.is_terminal(id as u32))
         .count() as u64;
     SccSummary {
         illegitimate_reachable,
@@ -100,11 +97,13 @@ mod tests {
         // exactly possible convergence.
         let alg = TokenCirculation::on_ring(&builders::ring(5)).unwrap();
         let space =
-            ExploredSpace::explore(&alg, Daemon::Distributed, &alg.legitimacy(), 1 << 22)
-                .unwrap();
+            ExploredSpace::explore(&alg, Daemon::Distributed, &alg.legitimacy(), 1 << 22).unwrap();
         let s = scc_summary(&space);
         assert!(s.recurrent_components > 0, "{s:?}");
-        assert_eq!(s.closed_components, 0, "weak stabilization = no closed trap");
+        assert_eq!(
+            s.closed_components, 0,
+            "weak stabilization = no closed trap"
+        );
         assert_eq!(s.deadlocks, 0);
     }
 

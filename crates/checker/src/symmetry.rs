@@ -10,6 +10,7 @@
 //! fair) scheduler. This module machine-checks each ingredient for concrete
 //! algorithms: anonymity is *checked* (equivariance), not assumed.
 
+use stab_core::engine::ConfigCursor;
 use stab_core::{semantics, Algorithm, Configuration, CoreError, Legitimacy, SpaceIndexer};
 use stab_graph::{Graph, NodeId, PortId};
 
@@ -50,7 +51,10 @@ impl Automorphism {
     ///
     /// Panics if `g` has more than 9 nodes (factorial search).
     pub fn all(g: &Graph) -> Vec<Automorphism> {
-        assert!(g.n() <= 9, "brute-force automorphism search is capped at 9 nodes");
+        assert!(
+            g.n() <= 9,
+            "brute-force automorphism search is capped at 9 nodes"
+        );
         let mut out = Vec::new();
         let mut perm: Vec<NodeId> = g.nodes().collect();
         permute(&mut perm, 0, &mut |p| {
@@ -125,7 +129,12 @@ impl Automorphism {
         for (v, s) in cfg.iter() {
             states[self.node_image(v).index()] = Some(map_state(self, g, v, s));
         }
-        Configuration::from_vec(states.into_iter().map(|s| s.expect("permutation is total")).collect())
+        Configuration::from_vec(
+            states
+                .into_iter()
+                .map(|s| s.expect("permutation is total"))
+                .collect(),
+        )
     }
 }
 
@@ -148,11 +157,15 @@ fn permute(perm: &mut Vec<NodeId>, k: usize, visit: &mut impl FnMut(&[NodeId])) 
 /// algorithm — including port-order-breaking ones like Algorithm 2 — is
 /// equivariant, which is what the paper's closed-set argument needs.
 pub fn symmetric_path4() -> (Graph, Automorphism) {
-    let g = Graph::from_edges(4, &[(0, 1), (0, 2), (1, 3)])
-        .expect("relabeled 4-chain is valid");
+    let g = Graph::from_edges(4, &[(0, 1), (0, 2), (1, 3)]).expect("relabeled 4-chain is valid");
     let mirror = Automorphism::new(
         &g,
-        vec![NodeId::new(1), NodeId::new(0), NodeId::new(3), NodeId::new(2)],
+        vec![
+            NodeId::new(1),
+            NodeId::new(0),
+            NodeId::new(3),
+            NodeId::new(2),
+        ],
     )
     .expect("mirror is an automorphism");
     debug_assert!(mirror.is_port_preserving(&g));
@@ -233,22 +246,26 @@ where
     let mut symmetric = 0u64;
     let mut closed = true;
     let mut intersects = false;
-    for cfg in ix.iter() {
+    // Enumerate via the engine's in-place cursor: no per-configuration
+    // decode allocation.
+    let mut cursor = ConfigCursor::new(&ix, 0);
+    loop {
+        let cfg = cursor.config();
         assert!(
-            semantics::is_deterministic_at(alg, &cfg),
+            semantics::is_deterministic_at(alg, cfg),
             "Theorem 3 analysis requires a deterministic algorithm"
         );
-        let image = auto.apply_config(g, &cfg, &map_state);
-        let succ = sync_successor(alg, &cfg);
+        let image = auto.apply_config(g, cfg, &map_state);
+        let succ = sync_successor(alg, cfg);
         let image_succ = sync_successor(alg, &image);
         // Equivariance: π(step(γ)) = step(π(γ)) (both None when terminal).
         let mapped_succ = succ.as_ref().map(|s| auto.apply_config(g, s, &map_state));
         if mapped_succ != image_succ {
             equivariant = false;
         }
-        if image == cfg {
+        if &image == cfg {
             symmetric += 1;
-            if spec.is_legitimate(&cfg) {
+            if spec.is_legitimate(cfg) {
                 intersects = true;
             }
             if let Some(next) = succ {
@@ -256,6 +273,9 @@ where
                     closed = false;
                 }
             }
+        }
+        if !cursor.advance() {
+            break;
         }
     }
     Ok(SymmetryVerdict {
@@ -311,7 +331,10 @@ mod tests {
     #[test]
     fn port_image_is_consistent() {
         let g = builders::path(4);
-        let mirror = Automorphism::all(&g).into_iter().find(|a| !a.is_identity()).unwrap();
+        let mirror = Automorphism::all(&g)
+            .into_iter()
+            .find(|a| !a.is_identity())
+            .unwrap();
         // Node 1's port to node 2 maps to node 2's port to node 1.
         let p = g.port_of(NodeId::new(1), NodeId::new(2)).unwrap();
         let q = mirror.port_image(&g, NodeId::new(1), p);
@@ -322,11 +345,9 @@ mod tests {
     fn invalid_permutations_rejected() {
         let g = builders::path(3);
         // Swapping an endpoint with the middle breaks adjacency.
-        assert!(Automorphism::new(
-            &g,
-            vec![NodeId::new(1), NodeId::new(0), NodeId::new(2)]
-        )
-        .is_none());
+        assert!(
+            Automorphism::new(&g, vec![NodeId::new(1), NodeId::new(0), NodeId::new(2)]).is_none()
+        );
         // Not a permutation.
         assert!(Automorphism::new(&g, vec![NodeId::new(0); 3]).is_none());
     }
@@ -344,14 +365,9 @@ mod tests {
         assert!(!mirror.has_fixed_point());
         let alg = ParentLeader::on_tree(&g).unwrap();
         let spec = alg.legitimacy();
-        let verdict = check_synchronous_symmetry(
-            &alg,
-            &spec,
-            &mirror,
-            state_maps::parent_port(),
-            1 << 20,
-        )
-        .unwrap();
+        let verdict =
+            check_synchronous_symmetry(&alg, &spec, &mirror, state_maps::parent_port(), 1 << 20)
+                .unwrap();
         assert!(verdict.equivariant, "port-preserving mirror ⇒ equivariance");
         assert!(verdict.symmetric_configs > 0);
         assert!(verdict.closed, "X is closed under synchronous steps");
@@ -368,18 +384,16 @@ mod tests {
     #[test]
     fn canonical_path4_mirror_is_not_port_preserving() {
         let g = builders::path(4);
-        let mirror = Automorphism::all(&g).into_iter().find(|a| !a.is_identity()).unwrap();
+        let mirror = Automorphism::all(&g)
+            .into_iter()
+            .find(|a| !a.is_identity())
+            .unwrap();
         assert!(!mirror.is_port_preserving(&g));
         let alg = ParentLeader::on_tree(&g).unwrap();
         let spec = alg.legitimacy();
-        let verdict = check_synchronous_symmetry(
-            &alg,
-            &spec,
-            &mirror,
-            state_maps::parent_port(),
-            1 << 20,
-        )
-        .unwrap();
+        let verdict =
+            check_synchronous_symmetry(&alg, &spec, &mirror, state_maps::parent_port(), 1 << 20)
+                .unwrap();
         assert!(
             !verdict.equivariant,
             "min-port tie-breaking is asymmetric under order-reversing mirrors"
@@ -394,10 +408,12 @@ mod tests {
         let g = builders::path(3);
         let alg = GreedyColoring::new(&g).unwrap();
         let spec = alg.legitimacy();
-        let mirror = Automorphism::all(&g).into_iter().find(|a| !a.is_identity()).unwrap();
+        let mirror = Automorphism::all(&g)
+            .into_iter()
+            .find(|a| !a.is_identity())
+            .unwrap();
         let verdict =
-            check_synchronous_symmetry(&alg, &spec, &mirror, state_maps::value(), 1 << 20)
-                .unwrap();
+            check_synchronous_symmetry(&alg, &spec, &mirror, state_maps::value(), 1 << 20).unwrap();
         assert!(verdict.equivariant);
         assert!(verdict.closed);
         assert!(
@@ -416,10 +432,12 @@ mod tests {
         let g = builders::path(4);
         let alg = GreedyColoring::new(&g).unwrap();
         let spec = alg.legitimacy();
-        let mirror = Automorphism::all(&g).into_iter().find(|a| !a.is_identity()).unwrap();
+        let mirror = Automorphism::all(&g)
+            .into_iter()
+            .find(|a| !a.is_identity())
+            .unwrap();
         let verdict =
-            check_synchronous_symmetry(&alg, &spec, &mirror, state_maps::value(), 1 << 20)
-                .unwrap();
+            check_synchronous_symmetry(&alg, &spec, &mirror, state_maps::value(), 1 << 20).unwrap();
         assert!(verdict.implies_impossibility());
     }
 }

@@ -21,8 +21,7 @@ impl Theorem1 {
         // Self-stabilization under the synchronous scheduler = certain
         // convergence over the unique synchronous execution; fairness is
         // vacuous there, so the unfair verdict is the self verdict.
-        !self.report.deterministic
-            || (self.report.weak.holds() == self.report.self_unfair.holds())
+        !self.report.deterministic || (self.report.weak.holds() == self.report.self_unfair.holds())
     }
 }
 
@@ -33,10 +32,13 @@ impl Theorem1 {
 /// Propagates exploration errors.
 pub fn theorem1<A, L>(alg: &A, spec: &L, cap: u64) -> Result<Theorem1, CoreError>
 where
-    A: Algorithm,
-    L: Legitimacy<A::State>,
+    A: Algorithm + Sync,
+    A::State: Sync,
+    L: Legitimacy<A::State> + Sync,
 {
-    Ok(Theorem1 { report: analyze(alg, Daemon::Synchronous, spec, cap)? })
+    Ok(Theorem1 {
+        report: analyze(alg, Daemon::Synchronous, spec, cap)?,
+    })
 }
 
 /// **Theorems 5 & 7**: for a finite system, self-stabilization under
@@ -54,8 +56,7 @@ pub fn theorem5_and_7_agree(report: &StabilizationReport) -> bool {
 /// than Gouda's fairness — witnessed by an instance that converges under
 /// Gouda fairness but has a strongly-fair non-converging lasso.
 pub fn theorem6_separation(report: &StabilizationReport) -> bool {
-    report.self_under(Fairness::Gouda).holds()
-        && !report.self_under(Fairness::StronglyFair).holds()
+    report.self_under(Fairness::Gouda).holds() && !report.self_under(Fairness::StronglyFair).holds()
 }
 
 #[cfg(test)]

@@ -12,12 +12,18 @@ pub struct Verdict {
 impl Verdict {
     /// A passing verdict.
     pub fn pass() -> Self {
-        Verdict { holds: true, witness: None }
+        Verdict {
+            holds: true,
+            witness: None,
+        }
     }
 
     /// A failing verdict with its witness.
     pub fn fail(witness: Witness) -> Self {
-        Verdict { holds: false, witness: Some(witness) }
+        Verdict {
+            holds: false,
+            witness: Some(witness),
+        }
     }
 
     /// Whether the property holds.
@@ -125,7 +131,9 @@ mod tests {
         assert!(p.holds());
         assert!(p.witness().is_none());
         assert_eq!(p.mark(), "✓");
-        let fail = Verdict::fail(Witness::NoPathToLegitimate { config: "⟨0⟩".into() });
+        let fail = Verdict::fail(Witness::NoPathToLegitimate {
+            config: "⟨0⟩".into(),
+        });
         assert!(!fail.holds());
         assert_eq!(fail.mark(), "✗");
         assert!(fail.to_string().contains("no execution"));
@@ -133,7 +141,10 @@ mod tests {
 
     #[test]
     fn witness_display() {
-        let w = Witness::EscapesLegitimate { from: "a".into(), to: "b".into() };
+        let w = Witness::EscapesLegitimate {
+            from: "a".into(),
+            to: "b".into(),
+        };
         assert_eq!(w.to_string(), "closure violated: a ↦ b");
         let w = Witness::DeadlockOutsideLegitimate { config: "c".into() };
         assert!(w.to_string().contains("terminal illegitimate"));

@@ -171,8 +171,7 @@ impl fmt::Debug for ActionMask {
 
 impl FromIterator<ActionId> for ActionMask {
     fn from_iter<I: IntoIterator<Item = ActionId>>(iter: I) -> Self {
-        iter.into_iter()
-            .fold(ActionMask::empty(), ActionMask::with)
+        iter.into_iter().fold(ActionMask::empty(), ActionMask::with)
     }
 }
 
@@ -221,7 +220,10 @@ mod tests {
         let a = ActionMask::single(ActionId::A1);
         let b = ActionMask::single(ActionId::A4);
         let u = a.union(b);
-        assert_eq!(u.iter().collect::<Vec<_>>(), vec![ActionId::A1, ActionId::A4]);
+        assert_eq!(
+            u.iter().collect::<Vec<_>>(),
+            vec![ActionId::A1, ActionId::A4]
+        );
         let collected: ActionMask = vec![ActionId::A4, ActionId::A1].into_iter().collect();
         assert_eq!(collected, u);
     }

@@ -94,11 +94,7 @@ pub trait Algorithm {
 
     /// The action `node` executes when scheduled: the lowest-labelled
     /// enabled action (`None` when disabled).
-    fn selected_action(
-        &self,
-        cfg: &Configuration<Self::State>,
-        node: NodeId,
-    ) -> Option<ActionId> {
+    fn selected_action(&self, cfg: &Configuration<Self::State>, node: NodeId) -> Option<ActionId> {
         self.enabled_actions(&self.view(cfg, node)).selected()
     }
 
@@ -197,7 +193,9 @@ mod tests {
     use stab_graph::builders;
 
     fn alg() -> Infection {
-        Infection { g: builders::path(4) }
+        Infection {
+            g: builders::path(4),
+        }
     }
 
     #[test]
@@ -234,10 +232,7 @@ mod tests {
         assert_eq!(r.name(), "infection");
         assert_eq!(Algorithm::n(&r), 4);
         let cfg = Configuration::from_vec(vec![0, 1, 0, 0]);
-        assert_eq!(
-            r.enabled_nodes(&cfg),
-            vec![NodeId::new(0), NodeId::new(2)]
-        );
+        assert_eq!(r.enabled_nodes(&cfg), vec![NodeId::new(0), NodeId::new(2)]);
     }
 
     #[test]

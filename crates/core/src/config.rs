@@ -34,7 +34,9 @@ impl<S> Configuration<S> {
     /// Builds a configuration from a vector of per-process states
     /// (index `i` is the state of process `Pi`).
     pub fn from_vec(states: Vec<S>) -> Self {
-        Configuration { states: states.into_boxed_slice() }
+        Configuration {
+            states: states.into_boxed_slice(),
+        }
     }
 
     /// Number of processes.

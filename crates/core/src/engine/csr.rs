@@ -1,0 +1,155 @@
+//! Compressed-sparse-row storage for transition systems and sparse
+//! matrices.
+//!
+//! The seed implementation stored one `Vec` per configuration
+//! (`Vec<Vec<Edge>>` in the checker, `Vec<Vec<(u32, f64)>>` in the Markov
+//! builder): one heap allocation and one pointer-chase per row. [`Csr`]
+//! flattens every row into a single `data` vector addressed through an
+//! `offsets` array, which is both allocation-free to traverse and cache
+//! friendly — the layout every analysis (Tarjan, reachability, Gauss–
+//! Seidel) actually wants.
+
+/// A flat row-major sparse structure: row `i` is
+/// `data[offsets[i] .. offsets[i + 1]]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr<E> {
+    offsets: Vec<u32>,
+    data: Vec<E>,
+}
+
+impl<E> Csr<E> {
+    /// Assembles a CSR from per-row counts and the concatenated row data
+    /// (row-major, already in row order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != Σ counts` or the total exceeds `u32::MAX`.
+    pub fn from_counts(counts: &[u32], data: Vec<E>) -> Self {
+        let mut offsets = Vec::with_capacity(counts.len() + 1);
+        let mut acc: u64 = 0;
+        offsets.push(0);
+        for &c in counts {
+            acc += c as u64;
+            assert!(acc <= u32::MAX as u64, "CSR size exceeds u32 offsets");
+            offsets.push(acc as u32);
+        }
+        assert_eq!(
+            acc as usize,
+            data.len(),
+            "row counts do not match data length"
+        );
+        Csr { offsets, data }
+    }
+
+    /// Builds a CSR from nested rows (convenience for tests and small
+    /// call sites; the hot paths assemble flat data directly).
+    pub fn from_rows(rows: Vec<Vec<E>>) -> Self {
+        let counts: Vec<u32> = rows.iter().map(|r| r.len() as u32).collect();
+        let data: Vec<E> = rows.into_iter().flatten().collect();
+        Self::from_counts(&counts, data)
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn n_rows(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total number of stored entries.
+    #[inline]
+    pub fn n_entries(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[E] {
+        &self.data[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Iterator over all rows in order.
+    pub fn rows(&self) -> impl Iterator<Item = &[E]> + '_ {
+        (0..self.n_rows()).map(move |i| self.row(i))
+    }
+
+    /// The concatenated row data.
+    #[inline]
+    pub fn flat(&self) -> &[E] {
+        &self.data
+    }
+
+    /// Inverts the adjacency structure: entry `e` in row `i` with
+    /// `key(e) = j` becomes entry `i` in row `j` of the result. Rows of the
+    /// result are sorted ascending (counting-sort order). This is the
+    /// reverse CSR used by backward reachability, replacing the seed's
+    /// ad-hoc `preds: Vec<Vec<u32>>`.
+    pub fn invert(&self, key: impl Fn(&E) -> u32) -> Csr<u32> {
+        let n = self.n_rows();
+        let mut counts = vec![0u32; n];
+        for e in &self.data {
+            counts[key(e) as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0u32;
+        offsets.push(0);
+        for &c in &counts {
+            acc += c;
+            offsets.push(acc);
+        }
+        let mut cursor = offsets.clone();
+        let mut data = vec![0u32; self.data.len()];
+        for i in 0..n {
+            for e in self.row(i) {
+                let j = key(e) as usize;
+                data[cursor[j] as usize] = i as u32;
+                cursor[j] += 1;
+            }
+        }
+        Csr { offsets, data }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_counts_slices_rows() {
+        let csr = Csr::from_counts(&[2, 0, 3], vec![10, 11, 20, 21, 22]);
+        assert_eq!(csr.n_rows(), 3);
+        assert_eq!(csr.n_entries(), 5);
+        assert_eq!(csr.row(0), &[10, 11]);
+        assert_eq!(csr.row(1), &[] as &[i32]);
+        assert_eq!(csr.row(2), &[20, 21, 22]);
+        let rows: Vec<&[i32]> = csr.rows().collect();
+        assert_eq!(rows.len(), 3);
+    }
+
+    #[test]
+    fn from_rows_round_trips() {
+        let csr = Csr::from_rows(vec![vec![1u32], vec![], vec![2, 3]]);
+        assert_eq!(csr.row(0), &[1]);
+        assert_eq!(csr.row(2), &[2, 3]);
+        assert_eq!(csr.flat(), &[1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "do not match")]
+    fn mismatched_counts_panic() {
+        let _ = Csr::from_counts(&[1], vec![1u8, 2]);
+    }
+
+    #[test]
+    fn invert_builds_predecessor_rows() {
+        // 0 -> {1, 2}, 1 -> {2}, 2 -> {0, 2}
+        let csr = Csr::from_rows(vec![vec![1u32, 2], vec![2], vec![0, 2]]);
+        let rev = csr.invert(|&j| j);
+        assert_eq!(rev.row(0), &[2]);
+        assert_eq!(rev.row(1), &[0]);
+        assert_eq!(rev.row(2), &[0, 1, 2]);
+    }
+}

@@ -1,0 +1,781 @@
+//! The shared flat-CSR transition engine.
+//!
+//! [`TransitionSystem::explore`] enumerates the full configuration space of
+//! an algorithm under a daemon and materialises the labelled transition
+//! graph that both the checker (`stab-checker`) and the Markov builder
+//! (`stab-markov`) analyse. Compared to the seed implementation
+//! (single-threaded, one `Vec<Edge>` per configuration, a full `decode`
+//! plus per-successor `encode` on every step) it is:
+//!
+//! * **flat** — one [`Csr`] of [`Edge`]s plus bit-packed
+//!   legitimate/initial sets ([`BitSet`]);
+//! * **allocation-free per configuration** — the space is walked with an
+//!   in-place mixed-radix [`ConfigCursor`], and all per-configuration
+//!   scratch lives in reusable buffers;
+//! * **delta-encoded** — a successor's id is
+//!   `id + Σ_{v moved} (digit'(v) − digit(v)) · weight(v)`, touching only
+//!   the activated processes instead of re-encoding all `n` digits with a
+//!   binary search each;
+//! * **outcome-shared** — each enabled process's outcome distribution is
+//!   evaluated once per configuration and reused by every activation
+//!   containing it (sound because all activated processes read the *pre*
+//!   configuration), where the seed re-evaluated guards and statements per
+//!   activation — an exponential factor under the distributed daemon;
+//! * **parallel** — the id range is chunked across scoped threads and
+//!   merged deterministically in chunk order.
+//!
+//! Every edge carries the uniform-randomized-scheduler probability of
+//! Definition 6 (`1/#activations ×` the product of outcome probabilities),
+//! so the Markov builder reads its `Q` rows straight off the same
+//! structure the checker uses possibilistically.
+
+use std::ops::Range;
+use std::sync::OnceLock;
+
+use stab_graph::NodeId;
+
+use crate::algorithm::Algorithm;
+use crate::scheduler::{Daemon, DISTRIBUTED_ENUM_CAP};
+use crate::space::SpaceIndexer;
+use crate::spec::Legitimacy;
+use crate::{CoreError, LocalState};
+
+use super::bitset::BitSet;
+use super::csr::Csr;
+use super::cursor::ConfigCursor;
+use super::parallel;
+
+/// One transition: activating the processes in `movers` (bit `i` =
+/// process `Pi`) can lead to configuration `to`, and does so with
+/// probability `prob` under the randomized scheduler (Definition 6).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Edge {
+    /// Successor configuration id.
+    pub to: u32,
+    /// Bitmask of activated processes.
+    pub movers: u64,
+    /// `P(activation) × P(outcome)` under the uniform randomized daemon.
+    pub prob: f64,
+}
+
+/// The fully explored transition system of `(algorithm, daemon)`: flat CSR
+/// edges, per-configuration enabled masks, and bit-packed label sets.
+#[derive(Debug)]
+pub struct TransitionSystem {
+    forward: Csr<Edge>,
+    reverse: OnceLock<Csr<u32>>,
+    /// Bitmask of enabled processes per configuration.
+    enabled: Vec<u64>,
+    legit: BitSet,
+    initial: BitSet,
+    deterministic: bool,
+}
+
+impl TransitionSystem {
+    /// Explores the full configuration space of `alg` under `daemon`,
+    /// labelling configurations with `spec`. `ix` must be the indexer of
+    /// `alg`'s space.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoreError::TooManyEnabled`] from distributed-daemon
+    /// enumeration past [`DISTRIBUTED_ENUM_CAP`] simultaneously enabled
+    /// processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network has more than 64 processes (bitmask encoding)
+    /// or the space has more than `u32::MAX` configurations.
+    pub fn explore<A, L>(
+        alg: &A,
+        ix: &SpaceIndexer<A::State>,
+        daemon: Daemon,
+        spec: &L,
+    ) -> Result<Self, CoreError>
+    where
+        A: Algorithm + Sync,
+        A::State: Sync,
+        L: Legitimacy<A::State> + Sync,
+    {
+        let n = alg.n();
+        assert!(n <= 64, "bitmask encoding supports at most 64 processes");
+        let total = ix.total();
+        assert!(
+            total <= u32::MAX as u64,
+            "configuration ids must fit in u32"
+        );
+        // Per-node adjacency bitmasks for the locally-central independence
+        // test.
+        let graph = alg.graph();
+        let adjacency: Vec<u64> = (0..n)
+            .map(|v| node_mask(graph.neighbors(NodeId::new(v))))
+            .collect();
+
+        let chunks = parallel::map_chunks(total, |range| {
+            explore_chunk(alg, ix, daemon, spec, &adjacency, range)
+        })?;
+
+        let mut counts: Vec<u32> = Vec::with_capacity(total as usize);
+        let mut edges: Vec<Edge> = Vec::new();
+        let mut enabled: Vec<u64> = Vec::with_capacity(total as usize);
+        let mut legit = BitSet::new(total as usize);
+        let mut initial = BitSet::new(total as usize);
+        let mut deterministic = true;
+        let mut base = 0usize;
+        for chunk in chunks {
+            counts.extend_from_slice(&chunk.counts);
+            edges.extend_from_slice(&chunk.edges);
+            enabled.extend_from_slice(&chunk.enabled);
+            for (i, &l) in chunk.legit.iter().enumerate() {
+                if l {
+                    legit.insert(base + i);
+                }
+            }
+            for (i, &l) in chunk.initial.iter().enumerate() {
+                if l {
+                    initial.insert(base + i);
+                }
+            }
+            deterministic &= chunk.deterministic;
+            base += chunk.counts.len();
+        }
+        Ok(TransitionSystem {
+            forward: Csr::from_counts(&counts, edges),
+            reverse: OnceLock::new(),
+            enabled,
+            legit,
+            initial,
+            deterministic,
+        })
+    }
+
+    /// Assembles a transition system from raw parts. Exposed for the
+    /// differential test suites, which build reference systems through the
+    /// seed enumeration path and compare analyses; production code goes
+    /// through [`TransitionSystem::explore`].
+    #[doc(hidden)]
+    pub fn from_raw_parts(
+        forward: Csr<Edge>,
+        enabled: Vec<u64>,
+        legit: BitSet,
+        initial: BitSet,
+        deterministic: bool,
+    ) -> Self {
+        assert_eq!(forward.n_rows(), enabled.len());
+        assert_eq!(forward.n_rows(), legit.len());
+        assert_eq!(forward.n_rows(), initial.len());
+        TransitionSystem {
+            forward,
+            reverse: OnceLock::new(),
+            enabled,
+            legit,
+            initial,
+            deterministic,
+        }
+    }
+
+    /// Number of configurations.
+    #[inline]
+    pub fn n_configs(&self) -> u32 {
+        self.forward.n_rows() as u32
+    }
+
+    /// Total number of stored edges.
+    #[inline]
+    pub fn n_edges(&self) -> usize {
+        self.forward.n_entries()
+    }
+
+    /// Outgoing edges of configuration `id`, sorted by `(to, movers)`.
+    #[inline]
+    pub fn edges(&self, id: u32) -> &[Edge] {
+        self.forward.row(id as usize)
+    }
+
+    /// The forward CSR itself.
+    #[inline]
+    pub fn forward(&self) -> &Csr<Edge> {
+        &self.forward
+    }
+
+    /// The reverse CSR: row `j` lists the predecessors of `j` (with
+    /// multiplicity, ascending). Built once on first use.
+    pub fn reverse(&self) -> &Csr<u32> {
+        self.reverse.get_or_init(|| self.forward.invert(|e| e.to))
+    }
+
+    /// Bitmask of processes enabled in configuration `id`.
+    #[inline]
+    pub fn enabled_mask(&self, id: u32) -> u64 {
+        self.enabled[id as usize]
+    }
+
+    /// Whether configuration `id` is terminal (no enabled process).
+    #[inline]
+    pub fn is_terminal(&self, id: u32) -> bool {
+        self.enabled[id as usize] == 0
+    }
+
+    /// Whether configuration `id` is legitimate.
+    #[inline]
+    pub fn is_legit(&self, id: u32) -> bool {
+        self.legit.get(id as usize)
+    }
+
+    /// Whether configuration `id` is an admissible initial configuration.
+    #[inline]
+    pub fn is_initial(&self, id: u32) -> bool {
+        self.initial.get(id as usize)
+    }
+
+    /// The legitimate set.
+    #[inline]
+    pub fn legit(&self) -> &BitSet {
+        &self.legit
+    }
+
+    /// The initial set.
+    #[inline]
+    pub fn initial(&self) -> &BitSet {
+        &self.initial
+    }
+
+    /// Number of legitimate configurations.
+    pub fn legit_count(&self) -> u64 {
+        self.legit.count_ones()
+    }
+
+    /// Whether the algorithm was deterministic on every configuration
+    /// (mutually exclusive guards and singleton outcomes).
+    #[inline]
+    pub fn deterministic(&self) -> bool {
+        self.deterministic
+    }
+
+    /// The forward-reachable closure of `seeds`.
+    pub fn forward_closure(&self, seeds: &BitSet) -> BitSet {
+        let mut seen = seeds.clone();
+        let mut stack: Vec<u32> = seeds.ones().map(|i| i as u32).collect();
+        while let Some(id) = stack.pop() {
+            for e in self.edges(id) {
+                if !seen.get(e.to as usize) {
+                    seen.insert(e.to as usize);
+                    stack.push(e.to);
+                }
+            }
+        }
+        seen
+    }
+
+    /// The backward-reachable closure of `seeds` (configurations with some
+    /// path *into* `seeds`), over the precomputed reverse CSR.
+    pub fn backward_closure(&self, seeds: &BitSet) -> BitSet {
+        let reverse = self.reverse();
+        let mut seen = seeds.clone();
+        let mut stack: Vec<u32> = seeds.ones().map(|i| i as u32).collect();
+        while let Some(id) = stack.pop() {
+            for &p in reverse.row(id as usize) {
+                if !seen.get(p as usize) {
+                    seen.insert(p as usize);
+                    stack.push(p);
+                }
+            }
+        }
+        seen
+    }
+}
+
+/// Bitmask of a node list.
+pub fn node_mask(nodes: &[NodeId]) -> u64 {
+    nodes.iter().fold(0u64, |m, v| m | (1u64 << v.index()))
+}
+
+/// Per-chunk exploration output, merged in chunk order.
+struct Chunk {
+    counts: Vec<u32>,
+    edges: Vec<Edge>,
+    enabled: Vec<u64>,
+    legit: Vec<bool>,
+    initial: Vec<bool>,
+    deterministic: bool,
+}
+
+/// Reusable per-thread scratch: nothing here is allocated per
+/// configuration once the buffers have grown to their working sizes.
+struct Scratch {
+    /// Enabled nodes of the current configuration, ascending.
+    enabled_nodes: Vec<NodeId>,
+    /// Per enabled node (same order), its span in `deltas`.
+    delta_spans: Vec<(u32, u32)>,
+    /// Flat `(id delta, probability)` outcome entries.
+    deltas: Vec<(i64, f64)>,
+    /// Activation masks over *global* node bits.
+    activations: Vec<u64>,
+    /// Successor accumulation (double-buffered product construction).
+    branches: Vec<(i64, f64)>,
+    branches_next: Vec<(i64, f64)>,
+    /// The assembled row before sorting.
+    row: Vec<Edge>,
+}
+
+fn explore_chunk<A, L>(
+    alg: &A,
+    ix: &SpaceIndexer<A::State>,
+    daemon: Daemon,
+    spec: &L,
+    adjacency: &[u64],
+    range: Range<u64>,
+) -> Result<Chunk, CoreError>
+where
+    A: Algorithm,
+    A::State: LocalState,
+    L: Legitimacy<A::State>,
+{
+    let size = (range.end - range.start) as usize;
+    let mut chunk = Chunk {
+        counts: Vec::with_capacity(size),
+        edges: Vec::new(),
+        enabled: Vec::with_capacity(size),
+        legit: Vec::with_capacity(size),
+        initial: Vec::with_capacity(size),
+        deterministic: true,
+    };
+    if size == 0 {
+        return Ok(chunk);
+    }
+    let mut scratch = Scratch {
+        enabled_nodes: Vec::new(),
+        delta_spans: Vec::new(),
+        deltas: Vec::new(),
+        activations: Vec::new(),
+        branches: Vec::new(),
+        branches_next: Vec::new(),
+        row: Vec::new(),
+    };
+    let mut cursor = ConfigCursor::new(ix, range.start);
+    for id in range.clone() {
+        explore_one(
+            alg,
+            ix,
+            daemon,
+            spec,
+            adjacency,
+            &cursor,
+            &mut scratch,
+            &mut chunk,
+        )?;
+        if id + 1 < range.end {
+            cursor.advance();
+        }
+    }
+    Ok(chunk)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn explore_one<A, L>(
+    alg: &A,
+    ix: &SpaceIndexer<A::State>,
+    daemon: Daemon,
+    spec: &L,
+    adjacency: &[u64],
+    cursor: &ConfigCursor<'_, A::State>,
+    s: &mut Scratch,
+    chunk: &mut Chunk,
+) -> Result<(), CoreError>
+where
+    A: Algorithm,
+    L: Legitimacy<A::State>,
+{
+    let cfg = cursor.config();
+    let id = cursor.id() as i64;
+    let total = ix.total();
+    chunk.legit.push(spec.is_legitimate(cfg));
+    chunk.initial.push(alg.is_initial(cfg));
+
+    // One pass over the processes: guards, determinism audit, and the
+    // delta-encoded outcome distribution of every enabled process. All
+    // activations read the *pre* configuration, so one evaluation per
+    // process serves every activation below.
+    s.enabled_nodes.clear();
+    s.delta_spans.clear();
+    s.deltas.clear();
+    let mut enabled_mask = 0u64;
+    for v in alg.graph().nodes() {
+        let view = alg.view(cfg, v);
+        let mask = alg.enabled_actions(&view);
+        if mask.len() > 1 {
+            chunk.deterministic = false;
+        }
+        let Some(action) = mask.selected() else {
+            continue;
+        };
+        enabled_mask |= 1u64 << v.index();
+        s.enabled_nodes.push(v);
+        let outcomes = alg.apply(&view, action);
+        if !outcomes.is_certain() {
+            chunk.deterministic = false;
+        }
+        let weight = ix.weight(v) as i64;
+        let digit = cursor.digit(v) as i64;
+        let start = s.deltas.len() as u32;
+        for (p, state) in outcomes.entries() {
+            let delta = (ix.digit_of(v, state) as i64 - digit) * weight;
+            s.deltas.push((delta, *p));
+        }
+        s.delta_spans.push((start, s.deltas.len() as u32));
+    }
+    chunk.enabled.push(enabled_mask);
+
+    let k = s.enabled_nodes.len();
+    if k == 0 {
+        chunk.counts.push(0);
+        return Ok(());
+    }
+    // Whether every enabled process is deterministic here (singleton
+    // outcome): unlocks the O(1)-per-activation Gray-code subset walk.
+    let all_certain = s.delta_spans.iter().all(|&(lo, hi)| hi - lo == 1);
+
+    s.row.clear();
+    match daemon {
+        Daemon::Central => {
+            // Single-mover activations: outcome states are pairwise
+            // distinct, so successors need no merging.
+            let act_prob = 1.0 / k as f64;
+            for (i, &v) in s.enabled_nodes.iter().enumerate() {
+                let movers = 1u64 << v.index();
+                let (lo, hi) = s.delta_spans[i];
+                for &(delta, p) in &s.deltas[lo as usize..hi as usize] {
+                    push_edge(&mut s.row, total, id + delta, movers, act_prob * p);
+                }
+            }
+        }
+        Daemon::Synchronous => {
+            let movers = enabled_mask;
+            product_branches(s, id, movers);
+            for bi in 0..s.branches.len() {
+                let (to, p) = s.branches[bi];
+                push_edge(&mut s.row, total, to, movers, p);
+            }
+        }
+        Daemon::Distributed | Daemon::LocallyCentral => {
+            if k > DISTRIBUTED_ENUM_CAP {
+                return Err(CoreError::TooManyEnabled {
+                    enabled: k,
+                    cap: DISTRIBUTED_ENUM_CAP,
+                });
+            }
+            let independent_only = daemon == Daemon::LocallyCentral;
+            if all_certain {
+                // Gray-code subset walk: toggling one process in or out
+                // updates the successor id, the mover mask, and the
+                // locally-central conflict count in O(1) per subset.
+                let mut movers = 0u64;
+                let mut delta = 0i64;
+                let mut conflicts = 0i64;
+                for g in 1u64..(1u64 << k) {
+                    let i = g.trailing_zeros() as usize;
+                    let v = s.enabled_nodes[i];
+                    let bit = 1u64 << v.index();
+                    let d = s.deltas[s.delta_spans[i].0 as usize].0;
+                    if movers & bit == 0 {
+                        conflicts += (adjacency[v.index()] & movers).count_ones() as i64;
+                        movers |= bit;
+                        delta += d;
+                    } else {
+                        movers &= !bit;
+                        delta -= d;
+                        conflicts -= (adjacency[v.index()] & movers).count_ones() as i64;
+                    }
+                    if independent_only && conflicts > 0 {
+                        continue;
+                    }
+                    push_edge(&mut s.row, total, id + delta, movers, 1.0);
+                }
+                // The uniform activation probability is only known once
+                // the independent subsets are counted.
+                let act_prob = 1.0 / s.row.len() as f64;
+                for e in &mut s.row {
+                    e.prob = act_prob;
+                }
+            } else {
+                enumerate_activations(daemon, &s.enabled_nodes, adjacency, &mut s.activations)?;
+                let act_prob = 1.0 / s.activations.len() as f64;
+                for ai in 0..s.activations.len() {
+                    let movers = s.activations[ai];
+                    product_branches(s, id, movers);
+                    for bi in 0..s.branches.len() {
+                        let (to, p) = s.branches[bi];
+                        push_edge(&mut s.row, total, to, movers, act_prob * p);
+                    }
+                }
+            }
+        }
+    }
+    s.row.sort_unstable_by_key(|e| (e.to, e.movers));
+    chunk.counts.push(s.row.len() as u32);
+    chunk.edges.extend_from_slice(&s.row);
+    Ok(())
+}
+
+/// Appends one delta-encoded edge.
+#[inline]
+fn push_edge(row: &mut Vec<Edge>, total: u64, to: i64, movers: u64, prob: f64) {
+    debug_assert!(to >= 0 && (to as u64) < total, "delta-encoded id in range");
+    let _ = total;
+    row.push(Edge {
+        to: to as u32,
+        movers,
+        prob,
+    });
+}
+
+/// Computes the successor distribution of one activation into
+/// `s.branches`: the product of the movers' outcome deltas, merged by
+/// successor id whenever a probabilistic expansion could collide.
+fn product_branches(s: &mut Scratch, id: i64, movers: u64) {
+    s.branches.clear();
+    s.branches.push((id, 1.0));
+    for (i, &v) in s.enabled_nodes.iter().enumerate() {
+        if movers & (1u64 << v.index()) == 0 {
+            continue;
+        }
+        let (lo, hi) = s.delta_spans[i];
+        if hi - lo == 1 {
+            // Certain outcome: shift every branch, no collisions possible.
+            let (delta, _) = s.deltas[lo as usize];
+            for b in &mut s.branches {
+                b.0 += delta;
+            }
+            continue;
+        }
+        s.branches_next.clear();
+        for &(base, p) in &s.branches {
+            for &(delta, q) in &s.deltas[lo as usize..hi as usize] {
+                s.branches_next.push((base + delta, p * q));
+            }
+        }
+        std::mem::swap(&mut s.branches, &mut s.branches_next);
+        merge_sorted_by_id(&mut s.branches);
+    }
+}
+
+/// Sorts branches by successor id and merges duplicates, summing
+/// probabilities (ascending-id summation order, deterministic).
+fn merge_sorted_by_id(branches: &mut Vec<(i64, f64)>) {
+    if branches.len() <= 1 {
+        return;
+    }
+    branches.sort_unstable_by_key(|&(id, _)| id);
+    let mut write = 0;
+    for read in 1..branches.len() {
+        if branches[read].0 == branches[write].0 {
+            branches[write].1 += branches[read].1;
+        } else {
+            write += 1;
+            branches[write] = branches[read];
+        }
+    }
+    branches.truncate(write + 1);
+}
+
+/// Enumerates the daemon's activations over `enabled` as global node
+/// bitmasks, into `out` (cleared first). Matches [`Daemon::activations`]
+/// up to representation.
+fn enumerate_activations(
+    daemon: Daemon,
+    enabled: &[NodeId],
+    adjacency: &[u64],
+    out: &mut Vec<u64>,
+) -> Result<(), CoreError> {
+    out.clear();
+    let k = enabled.len();
+    if k == 0 {
+        return Ok(());
+    }
+    match daemon {
+        Daemon::Central => {
+            out.extend(enabled.iter().map(|v| 1u64 << v.index()));
+        }
+        Daemon::Synchronous => {
+            out.push(node_mask(enabled));
+        }
+        Daemon::Distributed | Daemon::LocallyCentral => {
+            if k > DISTRIBUTED_ENUM_CAP {
+                return Err(CoreError::TooManyEnabled {
+                    enabled: k,
+                    cap: DISTRIBUTED_ENUM_CAP,
+                });
+            }
+            let independent_only = daemon == Daemon::LocallyCentral;
+            'subset: for local in 1u64..(1u64 << k) {
+                let mut movers = 0u64;
+                let mut rest = local;
+                while rest != 0 {
+                    let i = rest.trailing_zeros() as usize;
+                    rest &= rest - 1;
+                    let v = enabled[i];
+                    if independent_only && adjacency[v.index()] & movers != 0 {
+                        continue 'subset;
+                    }
+                    movers |= 1u64 << v.index();
+                }
+                // The incremental adjacency test above only checks each new
+                // member against *earlier* members, which is exactly
+                // pairwise independence.
+                out.push(movers);
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::test_support::Infection;
+    use crate::{semantics, Predicate};
+    use stab_graph::builders;
+
+    fn infection_system(daemon: Daemon) -> (Infection, SpaceIndexer<u8>, TransitionSystem) {
+        let alg = Infection {
+            g: builders::path(3),
+        };
+        let ix = SpaceIndexer::new(&alg, 1 << 20).unwrap();
+        let spec = Predicate::new("all-ones", |c: &crate::Configuration<u8>| {
+            c.states().iter().all(|&s| s == 1)
+        });
+        let ts = TransitionSystem::explore(&alg, &ix, daemon, &spec).unwrap();
+        (alg, ix, ts)
+    }
+
+    #[test]
+    fn engine_matches_reference_semantics_on_infection() {
+        for daemon in Daemon::ALL {
+            let (alg, ix, ts) = infection_system(daemon);
+            assert_eq!(ts.n_configs() as u64, ix.total());
+            for idv in 0..ix.total() {
+                let cfg = ix.decode(idv);
+                // Reference: the seed's per-configuration enumeration.
+                let mut expect: Vec<(u32, u64)> = Vec::new();
+                for (act, dist) in semantics::all_steps(&alg, daemon, &cfg).unwrap() {
+                    let movers = node_mask(act.nodes());
+                    for (_, next) in dist {
+                        expect.push((ix.encode(&next) as u32, movers));
+                    }
+                }
+                expect.sort_unstable();
+                expect.dedup();
+                let got: Vec<(u32, u64)> = ts
+                    .edges(idv as u32)
+                    .iter()
+                    .map(|e| (e.to, e.movers))
+                    .collect();
+                assert_eq!(got, expect, "config {cfg:?} under {daemon}");
+                assert_eq!(
+                    ts.enabled_mask(idv as u32),
+                    node_mask(&alg.enabled_nodes(&cfg)),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn edge_probabilities_sum_to_one_per_nonterminal_config() {
+        for daemon in Daemon::ALL {
+            let (_, _, ts) = infection_system(daemon);
+            for id in 0..ts.n_configs() {
+                if ts.is_terminal(id) {
+                    assert!(ts.edges(id).is_empty());
+                    continue;
+                }
+                let mass: f64 = ts.edges(id).iter().map(|e| e.prob).sum();
+                assert!(
+                    (mass - 1.0).abs() < 1e-9,
+                    "config {id} mass {mass} under {daemon}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn closures_and_labels_are_consistent() {
+        let (_, ix, ts) = infection_system(Daemon::Central);
+        // Legitimate: exactly the all-ones configuration.
+        assert_eq!(ts.legit_count(), 1);
+        assert!(ts.deterministic());
+        let legit_id = ix.encode(&crate::Configuration::from_vec(vec![1, 1, 1]));
+        assert!(ts.is_legit(legit_id as u32));
+        // Everything is initial (I = C).
+        assert!(ts.initial().is_full());
+        // Backward closure of L: all configurations with some infected
+        // process can reach all-ones; all-zero cannot.
+        let can = ts.backward_closure(ts.legit());
+        let dead = ix.encode(&crate::Configuration::from_vec(vec![0, 0, 0]));
+        assert!(!can.get(dead as usize));
+        assert_eq!(can.count_ones(), ix.total() - 1);
+        // Forward closure from the all-zero configuration is itself.
+        let mut seed = BitSet::new(ts.n_configs() as usize);
+        seed.insert(dead as usize);
+        assert_eq!(ts.forward_closure(&seed).count_ones(), 1);
+    }
+
+    #[test]
+    fn locally_central_respects_independence() {
+        let (_, _, ts) = infection_system(Daemon::LocallyCentral);
+        let g = builders::path(3);
+        for id in 0..ts.n_configs() {
+            for e in ts.edges(id) {
+                let nodes: Vec<NodeId> = (0..3)
+                    .filter(|i| e.movers & (1 << i) != 0)
+                    .map(NodeId::new)
+                    .collect();
+                for (i, &a) in nodes.iter().enumerate() {
+                    for &b in &nodes[i + 1..] {
+                        assert!(!g.are_adjacent(a, b), "dependent movers {:b}", e.movers);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn too_many_enabled_is_reported() {
+        // 25 always-enabled processes under the distributed daemon.
+        let alg = Infection {
+            g: builders::path(2),
+        };
+        let _ = alg; // the infection never has >20 enabled; craft directly:
+        struct AllOn {
+            g: stab_graph::Graph,
+        }
+        impl Algorithm for AllOn {
+            type State = bool;
+            fn graph(&self) -> &stab_graph::Graph {
+                &self.g
+            }
+            fn name(&self) -> String {
+                "all-on".into()
+            }
+            fn state_space(&self, _v: NodeId) -> Vec<bool> {
+                vec![false, true]
+            }
+            fn enabled_actions<V: crate::View<bool>>(&self, _v: &V) -> crate::ActionMask {
+                crate::ActionMask::single(crate::ActionId::A1)
+            }
+            fn apply<V: crate::View<bool>>(
+                &self,
+                v: &V,
+                _a: crate::ActionId,
+            ) -> crate::Outcomes<bool> {
+                crate::Outcomes::certain(!*v.me())
+            }
+        }
+        let alg = AllOn {
+            g: builders::ring(22),
+        };
+        let ix = SpaceIndexer::new(&alg, 1 << 30).unwrap();
+        let spec = Predicate::new("none", |_: &crate::Configuration<bool>| false);
+        let err = TransitionSystem::explore(&alg, &ix, Daemon::Distributed, &spec).unwrap_err();
+        assert!(matches!(err, CoreError::TooManyEnabled { enabled: 22, .. }));
+    }
+}

@@ -1,0 +1,49 @@
+//! The flat CSR transition engine shared by the checker and the Markov
+//! builder.
+//!
+//! # Architecture
+//!
+//! ```text
+//!            SpaceIndexer (mixed-radix bijection C ↔ 0..total)
+//!                 │
+//!   ConfigCursor  │  in-place enumeration, digits kept incrementally
+//!                 ▼
+//!   TransitionSystem::explore  ── chunked over scoped threads ──┐
+//!                 │                                             │
+//!                 │  per chunk: guards + outcome deltas once    │
+//!                 │  per configuration, successors by delta-    │
+//!                 │  encoding (O(|activation|) per edge)        │
+//!                 ▼                                             │
+//!        deterministic chunk-order merge  ◄─────────────────────┘
+//!                 │
+//!                 ▼
+//!   Csr<Edge> (forward) · Csr<u32> (reverse, lazy) · BitSet labels
+//!        │                        │
+//!        ▼                        ▼
+//!   stab-checker               stab-markov
+//!   (Tarjan/fair cycles,       (Q rows read off Edge::prob,
+//!    reachability closures)     backward absorption check)
+//! ```
+//!
+//! The engine records, per configuration, the outgoing [`Edge`]s (successor
+//! id, activated-process bitmask, and the randomized-scheduler probability
+//! of Definition 6), the enabled-process bitmask, and bit-packed
+//! legitimate/initial sets. The checker consumes the `(to, movers)`
+//! projection possibilistically; the Markov builder consumes `(to, prob)`.
+//! Both projections of one exploration are guaranteed consistent by
+//! construction — the seed computed them in two separate passes.
+//!
+//! Throughput is tracked per PR by `cargo run --release --bin exp_explore`
+//! (crate `stab-bench`), which writes `BENCH_explore.json`; see ROADMAP.md
+//! for the schema and the recorded speedups.
+
+pub mod bitset;
+pub mod csr;
+pub mod cursor;
+pub mod explore;
+pub mod parallel;
+
+pub use bitset::BitSet;
+pub use csr::Csr;
+pub use cursor::ConfigCursor;
+pub use explore::{node_mask, Edge, TransitionSystem};

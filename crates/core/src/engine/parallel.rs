@@ -1,0 +1,97 @@
+//! Deterministic fork-join over configuration id ranges.
+//!
+//! The id space `0..total` is split into contiguous chunks, each processed
+//! by a scoped OS thread (`std::thread::scope` — the build environment has
+//! no network access, so `rayon` is replaced by this ~60-line equivalent).
+//! Results are merged **in chunk order**, so the assembled transition
+//! system is bit-for-bit identical regardless of thread count or
+//! interleaving.
+
+use std::ops::Range;
+
+/// Minimum ids per chunk: below this, threading overhead dominates and the
+/// whole range runs on the calling thread.
+const MIN_CHUNK: u64 = 4096;
+
+/// Splits `0..total` into at most `parts` contiguous near-equal ranges.
+pub fn partition(total: u64, parts: usize) -> Vec<Range<u64>> {
+    let parts = (parts as u64).clamp(1, total.max(1));
+    (0..parts)
+        .map(|i| (total * i / parts)..(total * (i + 1) / parts))
+        .filter(|r| !r.is_empty())
+        .collect()
+}
+
+/// The number of worker threads to use for `total` ids.
+pub fn thread_count(total: u64) -> usize {
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    ((total / MIN_CHUNK).min(hw as u64).max(1)) as usize
+}
+
+/// Maps `f` over the chunks of `0..total` in parallel and returns the
+/// chunk results **in chunk order**, failing fast on the first error (in
+/// chunk order, for determinism).
+pub fn map_chunks<T, E, F>(total: u64, f: F) -> Result<Vec<T>, E>
+where
+    T: Send,
+    E: Send,
+    F: Fn(Range<u64>) -> Result<T, E> + Sync,
+{
+    let chunks = partition(total, thread_count(total));
+    if chunks.len() <= 1 {
+        return chunks.into_iter().map(&f).collect();
+    }
+    let results: Vec<Result<T, E>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|range| scope.spawn(|| f(range)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("exploration worker panicked"))
+            .collect()
+    });
+    results.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_covers_range_without_overlap() {
+        for total in [0u64, 1, 7, 100, 4097] {
+            for parts in [1usize, 2, 3, 8] {
+                let chunks = partition(total, parts);
+                let mut expect = 0;
+                for c in &chunks {
+                    assert_eq!(c.start, expect);
+                    expect = c.end;
+                }
+                assert_eq!(expect, total);
+            }
+        }
+    }
+
+    #[test]
+    fn map_chunks_preserves_order() {
+        let out = map_chunks::<_, (), _>(100_000, |r| Ok(r.start)).unwrap();
+        let mut sorted = out.clone();
+        sorted.sort_unstable();
+        assert_eq!(out, sorted);
+        assert_eq!(out[0], 0);
+    }
+
+    #[test]
+    fn map_chunks_propagates_errors() {
+        let err = map_chunks(100_000, |r| {
+            if r.end == 100_000 {
+                Err("boom")
+            } else {
+                Ok(())
+            }
+        })
+        .unwrap_err();
+        assert_eq!(err, "boom");
+    }
+}

@@ -55,9 +55,15 @@ mod tests {
 
     #[test]
     fn messages_mention_key_numbers() {
-        let e = CoreError::StateSpaceTooLarge { total: 1 << 40, cap: 1 << 20 };
+        let e = CoreError::StateSpaceTooLarge {
+            total: 1 << 40,
+            cap: 1 << 20,
+        };
         assert!(e.to_string().contains("1099511627776"));
-        let e = CoreError::TooManyEnabled { enabled: 30, cap: 20 };
+        let e = CoreError::TooManyEnabled {
+            enabled: 30,
+            cap: 20,
+        };
         assert!(e.to_string().contains("30"));
         let e = CoreError::EmptyStateSpace { node: 2 };
         assert!(e.to_string().contains("node 2"));

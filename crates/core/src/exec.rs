@@ -28,7 +28,10 @@ pub struct Trace<S> {
 impl<S> Trace<S> {
     /// A trace consisting of the initial configuration only.
     pub fn new(initial: Configuration<S>) -> Self {
-        Trace { configs: vec![initial], activations: Vec::new() }
+        Trace {
+            configs: vec![initial],
+            activations: Vec::new(),
+        }
     }
 
     /// Appends a step: `activation` fired and produced `next`.
@@ -67,7 +70,9 @@ impl<S> Trace<S> {
 
     /// The final configuration.
     pub fn last(&self) -> &Configuration<S> {
-        self.configs.last().expect("traces hold at least one configuration")
+        self.configs
+            .last()
+            .expect("traces hold at least one configuration")
     }
 
     /// All configurations, initial first.
@@ -77,10 +82,7 @@ impl<S> Trace<S> {
 
     /// Index of the first configuration satisfying `pred` (e.g. the first
     /// legitimate configuration — the stabilization point), if any.
-    pub fn first_index_where(
-        &self,
-        pred: impl FnMut(&Configuration<S>) -> bool,
-    ) -> Option<usize> {
+    pub fn first_index_where(&self, pred: impl FnMut(&Configuration<S>) -> bool) -> Option<usize> {
         self.configs.iter().position(pred)
     }
 
@@ -109,10 +111,13 @@ impl<S: fmt::Debug> fmt::Display for Trace<S> {
 /// ((i), (ii), …), falling back to decimal beyond 20.
 fn roman(i: usize) -> String {
     const NUMERALS: [&str; 21] = [
-        "i", "ii", "iii", "iv", "v", "vi", "vii", "viii", "ix", "x", "xi", "xii", "xiii",
-        "xiv", "xv", "xvi", "xvii", "xviii", "xix", "xx", "xxi",
+        "i", "ii", "iii", "iv", "v", "vi", "vii", "viii", "ix", "x", "xi", "xii", "xiii", "xiv",
+        "xv", "xvi", "xvii", "xviii", "xix", "xx", "xxi",
     ];
-    NUMERALS.get(i).map(|s| s.to_string()).unwrap_or_else(|| format!("{}", i + 1))
+    NUMERALS
+        .get(i)
+        .map(|s| s.to_string())
+        .unwrap_or_else(|| format!("{}", i + 1))
 }
 
 #[cfg(test)]

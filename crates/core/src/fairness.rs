@@ -108,7 +108,10 @@ mod tests {
     #[test]
     fn names_are_stable() {
         let names: Vec<&str> = Fairness::ALL.iter().map(|f| f.name()).collect();
-        assert_eq!(names, vec!["unfair", "weakly-fair", "strongly-fair", "gouda"]);
+        assert_eq!(
+            names,
+            vec!["unfair", "weakly-fair", "strongly-fair", "gouda"]
+        );
         assert_eq!(Fairness::Gouda.to_string(), "gouda");
     }
 }

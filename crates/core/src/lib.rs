@@ -58,6 +58,7 @@
 pub mod action;
 pub mod algorithm;
 pub mod config;
+pub mod engine;
 pub mod error;
 pub mod exec;
 pub mod fairness;

@@ -34,7 +34,9 @@ pub struct Outcomes<S> {
 impl<S: PartialEq> Outcomes<S> {
     /// A deterministic outcome: the next state with probability 1.
     pub fn certain(state: S) -> Self {
-        Outcomes { entries: vec![(1.0, state)] }
+        Outcomes {
+            entries: vec![(1.0, state)],
+        }
     }
 
     /// A fair coin: each state with probability ½, as in the paper's
@@ -58,7 +60,9 @@ impl<S: PartialEq> Outcomes<S> {
         if heads == tails {
             return Self::certain(heads);
         }
-        Outcomes { entries: vec![(p_heads, heads), (1.0 - p_heads, tails)] }
+        Outcomes {
+            entries: vec![(p_heads, heads), (1.0 - p_heads, tails)],
+        }
     }
 
     /// A distribution from explicit weights.
@@ -71,10 +75,16 @@ impl<S: PartialEq> Outcomes<S> {
     /// Panics on an empty list, non-positive weights, or weights that do not
     /// sum to 1.
     pub fn weighted(entries: Vec<(f64, S)>) -> Self {
-        assert!(!entries.is_empty(), "a distribution needs at least one outcome");
+        assert!(
+            !entries.is_empty(),
+            "a distribution needs at least one outcome"
+        );
         let mut merged: Vec<(f64, S)> = Vec::with_capacity(entries.len());
         for (p, s) in entries {
-            assert!(p > 0.0, "outcome probabilities must be strictly positive, got {p}");
+            assert!(
+                p > 0.0,
+                "outcome probabilities must be strictly positive, got {p}"
+            );
             match merged.iter_mut().find(|(_, t)| *t == s) {
                 Some((q, _)) => *q += p,
                 None => merged.push((p, s)),
@@ -94,7 +104,10 @@ impl<S: PartialEq> Outcomes<S> {
     ///
     /// Panics if `states` is empty.
     pub fn uniform(states: Vec<S>) -> Self {
-        assert!(!states.is_empty(), "a distribution needs at least one outcome");
+        assert!(
+            !states.is_empty(),
+            "a distribution needs at least one outcome"
+        );
         let p = 1.0 / states.len() as f64;
         Self::weighted(states.into_iter().map(|s| (p, s)).collect())
     }

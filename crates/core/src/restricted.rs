@@ -35,7 +35,11 @@ impl<A: Algorithm, F: Fn(&Configuration<A::State>) -> bool> Restricted<A, F> {
     /// (in conjunction with the inner algorithm's own restriction, if any).
     /// `label` names the restriction in reports, e.g. `"≤2 tokens"`.
     pub fn new(inner: A, label: impl Into<String>, initial: F) -> Self {
-        Restricted { inner, initial, label: label.into() }
+        Restricted {
+            inner,
+            initial,
+            label: label.into(),
+        }
     }
 
     /// The wrapped algorithm.
@@ -87,7 +91,9 @@ mod tests {
     use stab_graph::builders;
 
     fn base() -> Infection {
-        Infection { g: builders::path(3) }
+        Infection {
+            g: builders::path(3),
+        }
     }
 
     #[test]
@@ -126,7 +132,13 @@ mod tests {
             c.states()[0] == 0
         });
         assert!(outer.is_initial(&Configuration::from_vec(vec![0, 1, 0])));
-        assert!(!outer.is_initial(&Configuration::from_vec(vec![1, 1, 0])), "violates outer");
-        assert!(!outer.is_initial(&Configuration::from_vec(vec![0, 0, 0])), "violates inner");
+        assert!(
+            !outer.is_initial(&Configuration::from_vec(vec![1, 1, 0])),
+            "violates outer"
+        );
+        assert!(
+            !outer.is_initial(&Configuration::from_vec(vec![0, 0, 0])),
+            "violates inner"
+        );
     }
 }

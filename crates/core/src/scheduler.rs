@@ -49,15 +49,22 @@ impl Activation {
     /// Panics if `nodes` is empty: the paper's steps always activate at
     /// least one process.
     pub fn new(mut nodes: Vec<NodeId>) -> Self {
-        assert!(!nodes.is_empty(), "an activation must contain at least one process");
+        assert!(
+            !nodes.is_empty(),
+            "an activation must contain at least one process"
+        );
         nodes.sort_unstable();
         nodes.dedup();
-        Activation { nodes: nodes.into_boxed_slice() }
+        Activation {
+            nodes: nodes.into_boxed_slice(),
+        }
     }
 
     /// An activation of a single process (central daemon steps).
     pub fn singleton(node: NodeId) -> Self {
-        Activation { nodes: vec![node].into_boxed_slice() }
+        Activation {
+            nodes: vec![node].into_boxed_slice(),
+        }
     }
 
     /// The activated processes in ascending order.
@@ -155,12 +162,8 @@ impl Daemon {
         match self {
             Daemon::Central => Ok(enabled.iter().map(|&v| Activation::singleton(v)).collect()),
             Daemon::Synchronous => Ok(vec![Activation::new(enabled.to_vec())]),
-            Daemon::Distributed => {
-                Self::subsets(enabled, |_| true)
-            }
-            Daemon::LocallyCentral => {
-                Self::subsets(enabled, |nodes| is_independent(graph, nodes))
-            }
+            Daemon::Distributed => Self::subsets(enabled, |_| true),
+            Daemon::LocallyCentral => Self::subsets(enabled, |nodes| is_independent(graph, nodes)),
         }
     }
 
@@ -170,7 +173,10 @@ impl Daemon {
     ) -> Result<Vec<Activation>, CoreError> {
         let k = enabled.len();
         if k > DISTRIBUTED_ENUM_CAP {
-            return Err(CoreError::TooManyEnabled { enabled: k, cap: DISTRIBUTED_ENUM_CAP });
+            return Err(CoreError::TooManyEnabled {
+                enabled: k,
+                cap: DISTRIBUTED_ENUM_CAP,
+            });
         }
         let mut out = Vec::with_capacity((1usize << k) - 1);
         for mask in 1u32..(1u32 << k) {
@@ -204,7 +210,10 @@ impl Daemon {
         enabled: &[NodeId],
         rng: &mut R,
     ) -> Activation {
-        assert!(!enabled.is_empty(), "cannot schedule in a terminal configuration");
+        assert!(
+            !enabled.is_empty(),
+            "cannot schedule in a terminal configuration"
+        );
         match self {
             Daemon::Central => {
                 let i = rng.random_range(0..enabled.len());
@@ -311,7 +320,9 @@ mod tests {
     #[test]
     fn synchronous_daemon_has_single_choice() {
         let g = builders::path(4);
-        let acts = Daemon::Synchronous.activations(&g, &nodes(&[0, 1, 3])).unwrap();
+        let acts = Daemon::Synchronous
+            .activations(&g, &nodes(&[0, 1, 3]))
+            .unwrap();
         assert_eq!(acts.len(), 1);
         assert_eq!(acts[0].nodes(), &nodes(&[0, 1, 3])[..]);
     }
@@ -319,7 +330,9 @@ mod tests {
     #[test]
     fn distributed_daemon_enumerates_all_nonempty_subsets() {
         let g = builders::path(5);
-        let acts = Daemon::Distributed.activations(&g, &nodes(&[0, 1, 2])).unwrap();
+        let acts = Daemon::Distributed
+            .activations(&g, &nodes(&[0, 1, 2]))
+            .unwrap();
         assert_eq!(acts.len(), 7); // 2^3 - 1
         let unique: HashSet<_> = acts.iter().cloned().collect();
         assert_eq!(unique.len(), 7);
@@ -329,7 +342,9 @@ mod tests {
     fn locally_central_excludes_adjacent_pairs() {
         let g = builders::path(3);
         // Nodes 0 and 1 are adjacent; 0 and 2 are not.
-        let acts = Daemon::LocallyCentral.activations(&g, &nodes(&[0, 1, 2])).unwrap();
+        let acts = Daemon::LocallyCentral
+            .activations(&g, &nodes(&[0, 1, 2]))
+            .unwrap();
         // Allowed: {0}, {1}, {2}, {0,2}. Forbidden: {0,1}, {1,2}, {0,1,2}.
         assert_eq!(acts.len(), 4);
         assert!(acts.contains(&Activation::new(nodes(&[0, 2]))));
@@ -350,7 +365,13 @@ mod tests {
         let g = builders::ring(30);
         let enabled: Vec<NodeId> = g.nodes().collect();
         let err = Daemon::Distributed.activations(&g, &enabled).unwrap_err();
-        assert_eq!(err, CoreError::TooManyEnabled { enabled: 30, cap: DISTRIBUTED_ENUM_CAP });
+        assert_eq!(
+            err,
+            CoreError::TooManyEnabled {
+                enabled: 30,
+                cap: DISTRIBUTED_ENUM_CAP
+            }
+        );
     }
 
     #[test]

@@ -71,24 +71,23 @@ fn merge_duplicates<S: crate::LocalState>(
     if branches.len() <= 1 {
         return branches;
     }
-    let mut merged: HashMap<Configuration<S>, f64> = HashMap::with_capacity(branches.len());
-    let mut order: Vec<Configuration<S>> = Vec::with_capacity(branches.len());
+    // Entry API: one hash lookup per branch and no Configuration clones;
+    // first-appearance order is preserved through the stored rank.
+    let mut merged: HashMap<Configuration<S>, (usize, f64)> =
+        HashMap::with_capacity(branches.len());
     for (p, c) in branches {
-        match merged.get_mut(&c) {
-            Some(q) => *q += p,
-            None => {
-                merged.insert(c.clone(), p);
-                order.push(c);
-            }
-        }
+        let rank = merged.len();
+        merged
+            .entry(c)
+            .and_modify(|(_, q)| *q += p)
+            .or_insert((rank, p));
     }
-    order
+    let mut out: Vec<(usize, f64, Configuration<S>)> = merged
         .into_iter()
-        .map(|c| {
-            let p = merged[&c];
-            (p, c)
-        })
-        .collect()
+        .map(|(c, (rank, p))| (rank, p, c))
+        .collect();
+    out.sort_unstable_by_key(|&(rank, _, _)| rank);
+    out.into_iter().map(|(_, p, c)| (p, c)).collect()
 }
 
 /// The unique successor of a deterministic step.
@@ -220,7 +219,9 @@ mod tests {
     use stab_graph::{builders, Graph};
 
     fn infection() -> Infection {
-        Infection { g: builders::path(4) }
+        Infection {
+            g: builders::path(4),
+        }
     }
 
     #[test]
@@ -303,7 +304,9 @@ mod tests {
 
     #[test]
     fn probabilistic_product_distribution() {
-        let a = Scramble { g: builders::path(2) };
+        let a = Scramble {
+            g: builders::path(2),
+        };
         let cfg = Configuration::from_vec(vec![false, false]);
         let act = Activation::new(vec![NodeId::new(0), NodeId::new(1)]);
         let dist = successor_distribution(&a, &cfg, &act);
@@ -323,7 +326,9 @@ mod tests {
         // branch structure: use a single-node graph flipping twice is not
         // possible, so craft duplicates via a coin whose sides are equal
         // after mapping: Scramble on 1 node gives 2 distinct successors.
-        let a = Scramble { g: builders::path(1) };
+        let a = Scramble {
+            g: builders::path(1),
+        };
         let cfg = Configuration::from_vec(vec![true]);
         let act = Activation::singleton(NodeId::new(0));
         let dist = successor_distribution(&a, &cfg, &act);
@@ -333,7 +338,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "probabilistic action")]
     fn deterministic_successor_rejects_probabilistic() {
-        let a = Scramble { g: builders::path(2) };
+        let a = Scramble {
+            g: builders::path(2),
+        };
         let cfg = Configuration::from_vec(vec![false, false]);
         let act = Activation::singleton(NodeId::new(0));
         let _ = deterministic_successor(&a, &cfg, &act);
@@ -382,7 +389,9 @@ mod tests {
         let det = infection();
         let cfg = Configuration::from_vec(vec![1, 0, 0, 0]);
         assert!(is_deterministic_at(&det, &cfg));
-        let prob = Scramble { g: builders::path(2) };
+        let prob = Scramble {
+            g: builders::path(2),
+        };
         let cfg = Configuration::from_vec(vec![false, false]);
         assert!(!is_deterministic_at(&prob, &cfg));
     }

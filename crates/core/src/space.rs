@@ -53,7 +53,11 @@ impl<S: LocalState> SpaceIndexer<S> {
             }
             per_node.push(states);
         }
-        Ok(SpaceIndexer { per_node, weights, total: total as u64 })
+        Ok(SpaceIndexer {
+            per_node,
+            weights,
+            total: total as u64,
+        })
     }
 
     /// Number of configurations in the space.
@@ -71,6 +75,62 @@ impl<S: LocalState> SpaceIndexer<S> {
     /// The sorted state alphabet of `node`.
     pub fn states_of(&self, node: NodeId) -> &[S] {
         &self.per_node[node.index()]
+    }
+
+    /// The mixed-radix weight of `node`: the index contribution of one
+    /// digit step at that node. The delta-encoding of the CSR engine relies
+    /// on `encode(γ[v ← s']) = encode(γ) + (digit(s') − digit(s)) · weight(v)`.
+    #[inline]
+    pub fn weight(&self, node: NodeId) -> u64 {
+        self.weights[node.index()]
+    }
+
+    /// The alphabet size (radix) of `node`.
+    #[inline]
+    pub fn radix(&self, node: NodeId) -> usize {
+        self.per_node[node.index()].len()
+    }
+
+    /// The digit of `state` at `node` (its rank in the sorted alphabet).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is not in the node's declared state space.
+    #[inline]
+    pub fn digit_of(&self, node: NodeId, state: &S) -> usize {
+        self.per_node[node.index()]
+            .binary_search(state)
+            .unwrap_or_else(|_| panic!("state {state:?} of {node} not in declared state space"))
+    }
+
+    /// The state behind `digit` at `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `digit` is out of range for the node's alphabet.
+    #[inline]
+    pub fn state_at(&self, node: NodeId, digit: usize) -> &S {
+        &self.per_node[node.index()][digit]
+    }
+
+    /// Writes the mixed-radix digits of `idx` into `digits` (resized to
+    /// `n()`), least-significant (node 0) first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= total()`.
+    pub fn write_digits(&self, idx: u64, digits: &mut Vec<u32>) {
+        assert!(
+            idx < self.total,
+            "index {idx} out of range (total {})",
+            self.total
+        );
+        digits.clear();
+        let mut rest = idx;
+        for alphabet in &self.per_node {
+            digits.push((rest % alphabet.len() as u64) as u32);
+            rest /= alphabet.len() as u64;
+        }
     }
 
     /// The dense index of `cfg`.
@@ -98,7 +158,11 @@ impl<S: LocalState> SpaceIndexer<S> {
     ///
     /// Panics if `idx >= total()`.
     pub fn decode(&self, idx: u64) -> Configuration<S> {
-        assert!(idx < self.total, "index {idx} out of range (total {})", self.total);
+        assert!(
+            idx < self.total,
+            "index {idx} out of range (total {})",
+            self.total
+        );
         let mut rest = idx;
         let states: Vec<S> = self
             .per_node
@@ -160,7 +224,13 @@ mod tests {
     }
 
     fn indexer() -> SpaceIndexer<u8> {
-        SpaceIndexer::new(&Mixed { g: builders::path(3) }, 1 << 20).unwrap()
+        SpaceIndexer::new(
+            &Mixed {
+                g: builders::path(3),
+            },
+            1 << 20,
+        )
+        .unwrap()
     }
 
     #[test]
@@ -195,8 +265,17 @@ mod tests {
 
     #[test]
     fn cap_is_enforced() {
-        let err = SpaceIndexer::new(&Mixed { g: builders::path(3) }, 10).unwrap_err();
-        assert!(matches!(err, CoreError::StateSpaceTooLarge { total: 12, cap: 10 }));
+        let err = SpaceIndexer::new(
+            &Mixed {
+                g: builders::path(3),
+            },
+            10,
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::StateSpaceTooLarge { total: 12, cap: 10 }
+        ));
     }
 
     #[test]

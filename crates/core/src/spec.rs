@@ -63,7 +63,11 @@ where
 impl<S, F: Fn(&Configuration<S>) -> bool> Predicate<S, F> {
     /// Wraps `f` as a named legitimacy predicate.
     pub fn new(name: impl Into<String>, f: F) -> Self {
-        Predicate { name: name.into(), f, _marker: std::marker::PhantomData }
+        Predicate {
+            name: name.into(),
+            f,
+            _marker: std::marker::PhantomData,
+        }
     }
 }
 

@@ -124,7 +124,10 @@ pub struct Transformed<A> {
 impl<A> Transformed<A> {
     /// Transforms `inner` with the paper's fair coin.
     pub fn new(inner: A) -> Self {
-        Transformed { inner, p_heads: 0.5 }
+        Transformed {
+            inner,
+            p_heads: 0.5,
+        }
     }
 
     /// Transforms `inner` with a biased coin, `P(B = true) = p_heads`.
@@ -252,7 +255,9 @@ mod tests {
     use stab_graph::builders;
 
     fn transformed() -> Transformed<Infection> {
-        Transformed::new(Infection { g: builders::path(3) })
+        Transformed::new(Infection {
+            g: builders::path(3),
+        })
     }
 
     fn coined(states: &[(u8, bool)]) -> Configuration<Coined<u8>> {
@@ -299,7 +304,12 @@ mod tests {
 
     #[test]
     fn biased_coin_changes_probabilities() {
-        let t = Transformed::with_bias(Infection { g: builders::path(3) }, 0.9);
+        let t = Transformed::with_bias(
+            Infection {
+                g: builders::path(3),
+            },
+            0.9,
+        );
         let cfg = coined(&[(1, false), (0, false), (0, false)]);
         let act = Activation::singleton(NodeId::new(1));
         let dist = successor_distribution(&t, &cfg, &act);
@@ -314,7 +324,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "strictly between 0 and 1")]
     fn bias_validation() {
-        let _ = Transformed::with_bias(Infection { g: builders::path(2) }, 0.0);
+        let _ = Transformed::with_bias(
+            Infection {
+                g: builders::path(2),
+            },
+            0.0,
+        );
     }
 
     #[test]

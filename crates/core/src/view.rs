@@ -115,7 +115,10 @@ mod tests {
     use stab_graph::builders;
 
     fn setup() -> (Graph, Configuration<u8>) {
-        (builders::path(4), Configuration::from_vec(vec![10, 11, 12, 13]))
+        (
+            builders::path(4),
+            Configuration::from_vec(vec![10, 11, 12, 13]),
+        )
     }
 
     #[test]

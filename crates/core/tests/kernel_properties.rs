@@ -138,6 +138,53 @@ proptest! {
         }
     }
 
+    /// Delta-encoding equals full re-encoding: for any configuration and
+    /// any set of single-node rewrites,
+    /// `encode(γ') = encode(γ) + Σ_v (digit'(v) − digit(v)) · weight(v)` —
+    /// the identity the CSR engine's successor computation relies on.
+    #[test]
+    fn delta_encode_equals_full_encode(
+        alg in dice_strategy(),
+        idx in 0u64..10_000,
+        rewrites in proptest::collection::vec((0usize..6, 0u8..4), 1..6),
+    ) {
+        let ix = SpaceIndexer::new(&alg, 1 << 20).unwrap();
+        let cfg = ix.decode(idx % ix.total());
+        let mut delta_id = ix.encode(&cfg) as i64;
+        let mut rewritten = cfg.clone();
+        for &(v, s) in &rewrites {
+            let node = NodeId::new(v % alg.n());
+            let state = s % (alg.caps[node.index()] + 1);
+            let old_digit = ix.digit_of(node, rewritten.get(node)) as i64;
+            let new_digit = ix.digit_of(node, &state) as i64;
+            delta_id += (new_digit - old_digit) * ix.weight(node) as i64;
+            rewritten.set(node, state);
+        }
+        prop_assert_eq!(ix.encode(&rewritten), delta_id as u64);
+        // And the digit/weight accessors are consistent with decode.
+        let mut digits = Vec::new();
+        ix.write_digits(ix.encode(&rewritten), &mut digits);
+        for (v, &digit) in digits.iter().enumerate() {
+            let node = NodeId::new(v);
+            prop_assert_eq!(digit as usize, ix.digit_of(node, rewritten.get(node)));
+            prop_assert_eq!(ix.state_at(node, digit as usize), rewritten.get(node));
+        }
+    }
+
+    /// The engine's in-place cursor visits exactly the decode sequence.
+    #[test]
+    fn cursor_walk_matches_decode(alg in dice_strategy(), start in 0u64..10_000) {
+        let ix = SpaceIndexer::new(&alg, 1 << 20).unwrap();
+        let start = start % ix.total();
+        let mut cursor = stab_core::engine::ConfigCursor::new(&ix, start);
+        for id in start..ix.total() {
+            prop_assert_eq!(cursor.id(), id);
+            prop_assert_eq!(cursor.config(), &ix.decode(id));
+            let advanced = cursor.advance();
+            prop_assert_eq!(advanced, id + 1 < ix.total());
+        }
+    }
+
     /// Successor distributions carry total mass 1 and branch at most
     /// `Π |state_space|` ways for any activation of the probabilistic dice.
     #[test]

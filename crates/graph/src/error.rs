@@ -76,7 +76,10 @@ mod tests {
                 GraphError::NodeOutOfRange { node: 9, n: 4 },
                 "edge references node 9 but the graph has 4 nodes",
             ),
-            (GraphError::SelfLoop { node: 2 }, "self-loop at node 2 is not allowed"),
+            (
+                GraphError::SelfLoop { node: 2 },
+                "self-loop at node 2 is not allowed",
+            ),
             (
                 GraphError::DuplicateEdge { a: 1, b: 2 },
                 "duplicate edge between 1 and 2",

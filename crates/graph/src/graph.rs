@@ -60,7 +60,10 @@ impl Graph {
         normalized.sort_unstable();
         for w in normalized.windows(2) {
             if w[0] == w[1] {
-                return Err(GraphError::DuplicateEdge { a: w[0].0, b: w[0].1 });
+                return Err(GraphError::DuplicateEdge {
+                    a: w[0].0,
+                    b: w[0].1,
+                });
             }
         }
         let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
@@ -139,10 +142,7 @@ impl Graph {
     /// The local port of `v` that leads to `u`, or `None` if `u` is not a
     /// neighbour of `v`.
     pub fn port_of(&self, v: NodeId, u: NodeId) -> Option<PortId> {
-        self.adj[v.index()]
-            .binary_search(&u)
-            .ok()
-            .map(PortId::new)
+        self.adj[v.index()].binary_search(&u).ok().map(PortId::new)
     }
 
     /// Whether `u` and `v` are neighbours.
@@ -180,9 +180,7 @@ impl Graph {
     /// Whether the graph is a ring: connected with every degree exactly 2.
     /// Rings require `N >= 3` (an edge is not a cycle in a simple graph).
     pub fn is_ring(&self) -> bool {
-        self.n() >= 3
-            && self.nodes().all(|v| self.degree(v) == 2)
-            && self.is_connected()
+        self.n() >= 3 && self.nodes().all(|v| self.degree(v) == 2) && self.is_connected()
     }
 
     /// Leaves of the graph: nodes of degree 1 (the paper's tree leaves).

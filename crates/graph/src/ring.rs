@@ -114,7 +114,10 @@ impl RingOrientation {
             succ_port[v.index()] = g.port_of(v, succ).ok_or(GraphError::NotARing)?;
             pred_port[v.index()] = g.port_of(v, pred).ok_or(GraphError::NotARing)?;
         }
-        Ok(RingOrientation { pred_port, succ_port })
+        Ok(RingOrientation {
+            pred_port,
+            succ_port,
+        })
     }
 
     /// Number of nodes on the ring.
@@ -241,10 +244,20 @@ mod tests {
     fn from_cycle_order_rejects_bad_order() {
         let g = builders::ring(4);
         // Not a traversal of the ring's edges (0 and 2 are not adjacent).
-        let bad = [NodeId::new(0), NodeId::new(2), NodeId::new(1), NodeId::new(3)];
+        let bad = [
+            NodeId::new(0),
+            NodeId::new(2),
+            NodeId::new(1),
+            NodeId::new(3),
+        ];
         assert!(RingOrientation::from_cycle_order(&g, &bad).is_err());
         // Repeated node.
-        let dup = [NodeId::new(0), NodeId::new(1), NodeId::new(0), NodeId::new(3)];
+        let dup = [
+            NodeId::new(0),
+            NodeId::new(1),
+            NodeId::new(0),
+            NodeId::new(3),
+        ];
         assert!(RingOrientation::from_cycle_order(&g, &dup).is_err());
     }
 

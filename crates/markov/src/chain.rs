@@ -1,11 +1,23 @@
 //! Building the absorbing Markov chain of a stabilizing system under a
 //! randomized scheduler.
+//!
+//! Since PR 1 the underlying exploration is the shared CSR engine
+//! (`stab_core::engine::TransitionSystem`): every edge already carries its
+//! Definition 6 probability, so the `Q` rows are read straight off the
+//! engine output instead of re-running the step semantics with a decode +
+//! encode per successor, and the almost-sure-absorption check is a
+//! backward closure over the engine's precomputed reverse CSR.
 
-use std::collections::HashMap;
+use std::sync::OnceLock;
 
-use stab_core::{semantics, Algorithm, Configuration, Daemon, Legitimacy, LocalState, SpaceIndexer};
+use stab_core::engine::{BitSet, Csr, TransitionSystem};
+use stab_core::{Algorithm, Configuration, Daemon, Legitimacy, LocalState, SpaceIndexer};
 
 use crate::error::MarkovError;
+
+/// The sparse transient-to-transient matrix `Q` in CSR form: row `i` holds
+/// `(j, Q_ij)` entries sorted by `j`.
+pub type QMatrix = Csr<(u32, f64)>;
 
 /// The absorbing chain: transient states are the illegitimate
 /// configurations, the legitimate set `L` is lumped into one absorbing
@@ -22,13 +34,18 @@ pub struct AbsorbingChain<S> {
     transient_of: Vec<u32>,
     /// Configuration id per transient index.
     config_of: Vec<u64>,
-    /// Sparse `Q` rows over transient indices.
-    rows: Vec<Vec<(u32, f64)>>,
+    /// Sparse `Q` rows over transient indices, CSR-packed.
+    q: QMatrix,
     /// One-step absorption probability per transient state.
     absorb: Vec<f64>,
     /// Expected number of process activations in one step from each
     /// transient state (the *moves* reward of the quantitative study).
     step_moves: Vec<f64>,
+    /// Whether every transient state reaches absorption with probability 1:
+    /// `Ok(())` or the first offending transient index. Computed lazily on
+    /// the first [`AbsorbingChain::almost_surely_absorbing`] call by a
+    /// backward closure over the inverted `Q` CSR.
+    absorbing: OnceLock<Result<(), u32>>,
 }
 
 impl<S: LocalState> AbsorbingChain<S> {
@@ -38,63 +55,83 @@ impl<S: LocalState> AbsorbingChain<S> {
     /// # Errors
     ///
     /// Propagates enumeration errors ([`MarkovError::Core`]).
-    pub fn build<A, L>(
-        alg: &A,
-        daemon: Daemon,
-        spec: &L,
-        cap: u64,
-    ) -> Result<Self, MarkovError>
+    pub fn build<A, L>(alg: &A, daemon: Daemon, spec: &L, cap: u64) -> Result<Self, MarkovError>
     where
-        A: Algorithm<State = S>,
-        L: Legitimacy<S>,
+        A: Algorithm<State = S> + Sync,
+        L: Legitimacy<S> + Sync,
+        S: Sync,
     {
         let indexer = SpaceIndexer::new(alg, cap)?;
-        let total = indexer.total();
+        let ts = TransitionSystem::explore(alg, &indexer, daemon, spec)?;
+        Ok(Self::from_transition_system(indexer, daemon, &ts))
+    }
+
+    /// Builds the chain from an already-explored transition system (the
+    /// checker and the Markov study can share one exploration).
+    pub fn from_transition_system(
+        indexer: SpaceIndexer<S>,
+        daemon: Daemon,
+        ts: &TransitionSystem,
+    ) -> Self {
+        let total = ts.n_configs();
         let mut transient_of = vec![u32::MAX; total as usize];
         let mut config_of = Vec::new();
         for id in 0..total {
-            let cfg = indexer.decode(id);
-            if !spec.is_legitimate(&cfg) {
+            if !ts.is_legit(id) {
                 transient_of[id as usize] = config_of.len() as u32;
-                config_of.push(id);
+                config_of.push(id as u64);
             }
         }
-        let mut rows = Vec::with_capacity(config_of.len());
-        let mut absorb = Vec::with_capacity(config_of.len());
-        let mut step_moves = Vec::with_capacity(config_of.len());
+        let n = config_of.len();
+        let mut counts: Vec<u32> = Vec::with_capacity(n);
+        let mut entries: Vec<(u32, f64)> = Vec::new();
+        let mut absorb = Vec::with_capacity(n);
+        let mut step_moves = Vec::with_capacity(n);
+        let mut row: Vec<(u32, f64)> = Vec::new();
         for &id in &config_of {
-            let cfg = indexer.decode(id);
-            let steps = semantics::all_steps(alg, daemon, &cfg)?;
-            let mut row: HashMap<u32, f64> = HashMap::new();
-            let mut absorbed = 0.0;
-            if steps.is_empty() {
+            let edges = ts.edges(id as u32);
+            if edges.is_empty() {
                 // Terminal illegitimate configuration: stays put forever.
-                rows.push(vec![(transient_of[id as usize], 1.0)]);
+                counts.push(1);
+                entries.push((transient_of[id as usize], 1.0));
                 absorb.push(0.0);
                 step_moves.push(0.0);
                 continue;
             }
-            let act_prob = 1.0 / steps.len() as f64;
+            row.clear();
+            let mut absorbed = 0.0;
             let mut moves = 0.0;
-            for (activation, dist) in steps {
-                moves += act_prob * activation.len() as f64;
-                for (p, next) in dist {
-                    let next_id = indexer.encode(&next);
-                    let t = transient_of[next_id as usize];
-                    if t == u32::MAX {
-                        absorbed += act_prob * p;
-                    } else {
-                        *row.entry(t).or_insert(0.0) += act_prob * p;
+            for e in edges {
+                moves += e.prob * e.movers.count_ones() as f64;
+                let t = transient_of[e.to as usize];
+                if t == u32::MAX {
+                    absorbed += e.prob;
+                } else {
+                    // Engine rows are sorted by successor, so equal
+                    // targets (reached by different activations) are
+                    // consecutive.
+                    match row.last_mut() {
+                        Some(last) if last.0 == t => last.1 += e.prob,
+                        _ => row.push((t, e.prob)),
                     }
                 }
             }
-            let mut row: Vec<(u32, f64)> = row.into_iter().collect();
-            row.sort_unstable_by_key(|&(j, _)| j);
-            rows.push(row);
+            counts.push(row.len() as u32);
+            entries.extend_from_slice(&row);
             absorb.push(absorbed);
             step_moves.push(moves);
         }
-        Ok(AbsorbingChain { indexer, daemon, transient_of, config_of, rows, absorb, step_moves })
+        let q = QMatrix::from_counts(&counts, entries);
+        AbsorbingChain {
+            indexer,
+            daemon,
+            transient_of,
+            config_of,
+            q,
+            absorb,
+            step_moves,
+            absorbing: OnceLock::new(),
+        }
     }
 
     /// Number of transient (illegitimate) states.
@@ -112,9 +149,9 @@ impl<S: LocalState> AbsorbingChain<S> {
         self.daemon
     }
 
-    /// The sparse `Q` rows (transient-to-transient probabilities).
-    pub fn rows(&self) -> &[Vec<(u32, f64)>] {
-        &self.rows
+    /// The sparse `Q` matrix (transient-to-transient probabilities).
+    pub fn q(&self) -> &QMatrix {
+        &self.q
     }
 
     /// One-step absorption probabilities.
@@ -142,41 +179,47 @@ impl<S: LocalState> AbsorbingChain<S> {
     /// Verifies row stochasticity: every transient row plus its absorption
     /// mass sums to 1 (within `1e-9`).
     pub fn validate_stochastic(&self) -> bool {
-        self.rows.iter().zip(&self.absorb).all(|(row, a)| {
+        self.q.rows().zip(&self.absorb).all(|(row, a)| {
             let total: f64 = row.iter().map(|(_, p)| p).sum::<f64>() + a;
             (total - 1.0).abs() < 1e-9
         })
     }
 
     /// Whether every transient state reaches absorption with probability 1
-    /// (graph reachability towards `L` over positive-probability edges) —
-    /// the precondition for finite expected hitting times.
+    /// (backward closure of the absorbing state over the inverted `Q`
+    /// CSR; every stored edge has positive probability) — the
+    /// precondition for finite expected hitting times. Computed once,
+    /// lazily; builds that never ask never pay for it.
     pub fn almost_surely_absorbing(&self) -> Result<(), MarkovError> {
-        let n = self.n_transient();
-        // Backward BFS from "absorbing" over reversed positive edges.
-        let mut preds: Vec<Vec<u32>> = vec![Vec::new(); n];
-        let mut frontier: Vec<u32> = Vec::new();
-        let mut can = vec![false; n];
-        for (i, row) in self.rows.iter().enumerate() {
-            if self.absorb[i] > 0.0 {
-                can[i] = true;
-                frontier.push(i as u32);
-            }
-            for &(j, _) in row {
-                preds[j as usize].push(i as u32);
-            }
-        }
-        while let Some(i) = frontier.pop() {
-            for &p in &preds[i as usize] {
-                if !can[p as usize] {
-                    can[p as usize] = true;
-                    frontier.push(p);
+        let outcome = self.absorbing.get_or_init(|| {
+            let n = self.n_transient();
+            let reverse = self.q.invert(|&(j, _)| j);
+            let mut can = BitSet::new(n);
+            let mut stack: Vec<u32> = Vec::new();
+            for (i, &a) in self.absorb.iter().enumerate() {
+                if a > 0.0 {
+                    can.insert(i);
+                    stack.push(i as u32);
                 }
             }
-        }
-        match can.iter().position(|&b| !b) {
-            None => Ok(()),
-            Some(i) => Err(MarkovError::NotAbsorbing { config: self.render(i) }),
+            while let Some(i) = stack.pop() {
+                for &p in reverse.row(i as usize) {
+                    if !can.get(p as usize) {
+                        can.insert(p as usize);
+                        stack.push(p);
+                    }
+                }
+            }
+            match (0..n).find(|&i| !can.get(i)) {
+                None => Ok(()),
+                Some(t) => Err(t as u32),
+            }
+        });
+        match *outcome {
+            Ok(()) => Ok(()),
+            Err(t) => Err(MarkovError::NotAbsorbing {
+                config: self.render(t as usize),
+            }),
         }
     }
 }
@@ -249,5 +292,18 @@ mod tests {
         // Legitimate configurations are not transient.
         let legit = a.legitimate_config(stab_graph::NodeId::new(0));
         assert!(chain.transient_index(&legit).is_none());
+    }
+
+    #[test]
+    fn q_rows_are_sorted_and_positive() {
+        let a = Transformed::new(TwoProcessToggle::new());
+        let spec = ProjectedLegitimacy::new(TwoProcessToggle::new().legitimacy());
+        let chain = AbsorbingChain::build(&a, Daemon::Distributed, &spec, 1 << 12).unwrap();
+        for row in chain.q().rows() {
+            for w in row.windows(2) {
+                assert!(w[0].0 < w[1].0, "strictly ascending column indices");
+            }
+            assert!(row.iter().all(|&(_, p)| p > 0.0));
+        }
     }
 }

@@ -66,9 +66,14 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        let e = MarkovError::NotAbsorbing { config: "⟨0⟩".into() };
+        let e = MarkovError::NotAbsorbing {
+            config: "⟨0⟩".into(),
+        };
         assert!(e.to_string().contains("not almost sure"));
-        let e = MarkovError::SolverDiverged { iterations: 10, residual: 0.5 };
+        let e = MarkovError::SolverDiverged {
+            iterations: 10,
+            residual: 0.5,
+        };
         assert!(e.to_string().contains("10 iterations"));
         assert!(MarkovError::Singular.to_string().contains("singular"));
         let e: MarkovError = CoreError::EmptyStateSpace { node: 0 }.into();

@@ -41,7 +41,10 @@ impl HittingTimes {
     /// initial configuration* of the full space with `total` configurations
     /// (legitimate configurations count 0 steps).
     pub fn average_uniform(&self, total: u64) -> f64 {
-        assert!(total as usize >= self.times.len(), "total below transient count");
+        assert!(
+            total as usize >= self.times.len(),
+            "total below transient count"
+        );
         self.times.iter().sum::<f64>() / total as f64
     }
 
@@ -67,7 +70,7 @@ impl<S: LocalState> AbsorbingChain<S> {
         let b = vec![1.0; n];
         let times = if n <= DENSE_LIMIT {
             let mut a = vec![vec![0.0; n]; n];
-            for (i, row) in self.rows().iter().enumerate() {
+            for (i, row) in self.q().rows().enumerate() {
                 a[i][i] = 1.0;
                 for &(j, q) in row {
                     a[i][j as usize] -= q;
@@ -75,18 +78,14 @@ impl<S: LocalState> AbsorbingChain<S> {
             }
             linalg::solve_dense(a, b)?
         } else {
-            linalg::gauss_seidel(self.rows(), &b, TOL, 1_000_000)?
+            linalg::gauss_seidel(self.q(), &b, TOL, 1_000_000)?
         };
         Ok(HittingTimes { times })
     }
 
     /// The expected stabilization time from a specific configuration
     /// (0 when legitimate).
-    pub fn expected_from(
-        &self,
-        times: &HittingTimes,
-        cfg: &Configuration<S>,
-    ) -> f64 {
+    pub fn expected_from(&self, times: &HittingTimes, cfg: &Configuration<S>) -> f64 {
         match self.transient_index(cfg) {
             None => 0.0,
             Some(i) => times.of_transient(i),
@@ -115,7 +114,7 @@ impl<S: LocalState> AbsorbingChain<S> {
         let b = reward.to_vec();
         let times = if n <= DENSE_LIMIT {
             let mut a = vec![vec![0.0; n]; n];
-            for (i, row) in self.rows().iter().enumerate() {
+            for (i, row) in self.q().rows().enumerate() {
                 a[i][i] = 1.0;
                 for &(j, q) in row {
                     a[i][j as usize] -= q;
@@ -123,7 +122,7 @@ impl<S: LocalState> AbsorbingChain<S> {
             }
             linalg::solve_dense(a, b)?
         } else {
-            linalg::gauss_seidel(self.rows(), &b, TOL, 1_000_000)?
+            linalg::gauss_seidel(self.q(), &b, TOL, 1_000_000)?
         };
         Ok(HittingTimes { times })
     }
@@ -157,7 +156,7 @@ impl<S: LocalState> AbsorbingChain<S> {
         let b = self.absorb().to_vec();
         if n <= DENSE_LIMIT {
             let mut a = vec![vec![0.0; n]; n];
-            for (i, row) in self.rows().iter().enumerate() {
+            for (i, row) in self.q().rows().enumerate() {
                 a[i][i] = 1.0;
                 for &(j, q) in row {
                     a[i][j as usize] -= q;
@@ -165,7 +164,7 @@ impl<S: LocalState> AbsorbingChain<S> {
             }
             linalg::solve_dense(a, b)
         } else {
-            linalg::gauss_seidel(self.rows(), &b, TOL, 1_000_000)
+            linalg::gauss_seidel(self.q(), &b, TOL, 1_000_000)
         }
     }
 
@@ -182,7 +181,7 @@ impl<S: LocalState> AbsorbingChain<S> {
         cdf.push(absorbed);
         for _ in 0..horizon {
             let mut next = vec![0.0; n];
-            for (i, row) in self.rows().iter().enumerate() {
+            for (i, row) in self.q().rows().enumerate() {
                 let m = mass[i];
                 if m == 0.0 {
                     continue;
@@ -286,7 +285,7 @@ mod tests {
         let times = chain.expected_steps().unwrap();
         // Cross-validate dense against Gauss–Seidel on the same rows.
         let n = chain.n_transient();
-        let gs = linalg::gauss_seidel(chain.rows(), &vec![1.0; n], 1e-12, 1_000_000).unwrap();
+        let gs = linalg::gauss_seidel(chain.q(), &vec![1.0; n], 1e-12, 1_000_000).unwrap();
         for (i, g) in gs.iter().enumerate() {
             assert!((times.of_transient(i) - g).abs() < 1e-7);
         }
@@ -314,8 +313,14 @@ mod tests {
         for w in cdf.windows(2) {
             assert!(w[1] >= w[0] - 1e-12, "CDF must be monotone");
         }
-        assert!(cdf[0] > 0.0, "legitimate initial mass is absorbed at time 0");
-        assert!((cdf.last().unwrap() - 1.0).abs() < 1e-6, "mass absorbs eventually");
+        assert!(
+            cdf[0] > 0.0,
+            "legitimate initial mass is absorbed at time 0"
+        );
+        assert!(
+            (cdf.last().unwrap() - 1.0).abs() < 1e-6,
+            "mass absorbs eventually"
+        );
     }
 
     #[test]
@@ -360,7 +365,9 @@ mod tests {
         let chain =
             AbsorbingChain::build(&a, Daemon::Synchronous, &a.legitimacy(), 1 << 12).unwrap();
         let steps = chain.expected_steps().unwrap();
-        let unit = chain.expected_reward(&vec![1.0; chain.n_transient()]).unwrap();
+        let unit = chain
+            .expected_reward(&vec![1.0; chain.n_transient()])
+            .unwrap();
         for i in 0..chain.n_transient() {
             assert!((steps.of_transient(i) - unit.of_transient(i)).abs() < 1e-9);
         }

@@ -40,6 +40,6 @@ pub mod error;
 pub mod hitting;
 pub mod linalg;
 
-pub use chain::AbsorbingChain;
+pub use chain::{AbsorbingChain, QMatrix};
 pub use error::MarkovError;
 pub use hitting::HittingTimes;

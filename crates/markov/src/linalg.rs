@@ -3,6 +3,7 @@
 //! sparse Gauss–Seidel for large ones (convergent because `Q` is
 //! substochastic with almost-sure absorption).
 
+use crate::chain::QMatrix;
 use crate::error::MarkovError;
 
 /// Solves the dense system `A x = b` by Gaussian elimination with partial
@@ -52,8 +53,9 @@ pub fn solve_dense(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>, Ma
     Ok(x)
 }
 
-/// Solves `(I − Q) x = b` by Gauss–Seidel iteration, where `rows[i]` holds
-/// the sparse entries `(j, Q_ij)` of the substochastic matrix `Q`.
+/// Solves `(I − Q) x = b` by Gauss–Seidel iteration, where row `i` of the
+/// CSR matrix `q` holds the sparse entries `(j, Q_ij)` of the
+/// substochastic matrix `Q`.
 ///
 /// The iteration `x_i ← b_i + Σ_j Q_ij x_j` converges whenever every state
 /// eventually absorbs (spectral radius of `Q` below 1).
@@ -63,12 +65,12 @@ pub fn solve_dense(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>, Ma
 /// [`MarkovError::SolverDiverged`] if the max-update falls below `tol`
 /// within `max_iter` sweeps.
 pub fn gauss_seidel(
-    rows: &[Vec<(u32, f64)>],
+    q: &QMatrix,
     b: &[f64],
     tol: f64,
     max_iter: usize,
 ) -> Result<Vec<f64>, MarkovError> {
-    let n = rows.len();
+    let n = q.n_rows();
     assert_eq!(b.len(), n, "dimension mismatch");
     let mut x = b.to_vec();
     let mut residual = f64::INFINITY;
@@ -77,11 +79,11 @@ pub fn gauss_seidel(
         for i in 0..n {
             let mut acc = b[i];
             let mut diag = 0.0;
-            for &(j, q) in &rows[i] {
+            for &(j, p) in q.row(i) {
                 if j as usize == i {
-                    diag += q;
+                    diag += p;
                 } else {
-                    acc += q * x[j as usize];
+                    acc += p * x[j as usize];
                 }
             }
             // Self-loop mass folds into the diagonal: (1 − Q_ii) x_i = acc.
@@ -102,7 +104,10 @@ pub fn gauss_seidel(
             return Ok(x);
         }
     }
-    Err(MarkovError::SolverDiverged { iterations: max_iter, residual })
+    Err(MarkovError::SolverDiverged {
+        iterations: max_iter,
+        residual,
+    })
 }
 
 #[cfg(test)]
@@ -137,39 +142,47 @@ mod tests {
     #[test]
     fn dense_detects_singular() {
         let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
-        assert_eq!(solve_dense(a, vec![1.0, 2.0]).unwrap_err(), MarkovError::Singular);
+        assert_eq!(
+            solve_dense(a, vec![1.0, 2.0]).unwrap_err(),
+            MarkovError::Singular
+        );
     }
 
     #[test]
     fn gauss_seidel_geometric_chain() {
         // Single transient state with self-loop 1/2: (1 - 1/2) t = 1 -> t=2.
-        let rows = vec![vec![(0u32, 0.5)]];
-        let x = gauss_seidel(&rows, &[1.0], 1e-12, 10_000).unwrap();
+        let q = QMatrix::from_rows(vec![vec![(0u32, 0.5)]]);
+        let x = gauss_seidel(&q, &[1.0], 1e-12, 10_000).unwrap();
         assert!((x[0] - 2.0).abs() < 1e-9);
     }
 
     #[test]
     fn gauss_seidel_matches_dense_on_random_chain() {
         // A 4-state substochastic matrix with leakage.
-        let rows = vec![
+        let q = QMatrix::from_rows(vec![
             vec![(1u32, 0.5), (2, 0.25)],
             vec![(0u32, 0.3), (3, 0.3)],
             vec![(2u32, 0.6), (0, 0.2)],
             vec![(1u32, 0.9)],
-        ];
+        ]);
         let b = vec![1.0; 4];
-        let gs = gauss_seidel(&rows, &b, 1e-13, 100_000).unwrap();
+        let gs = gauss_seidel(&q, &b, 1e-13, 100_000).unwrap();
         // Dense version of (I - Q).
         let mut a = vec![vec![0.0; 4]; 4];
-        for (i, row) in rows.iter().enumerate() {
+        for (i, row) in q.rows().enumerate() {
             a[i][i] += 1.0;
-            for &(j, q) in row {
-                a[i][j as usize] -= q;
+            for &(j, p) in row {
+                a[i][j as usize] -= p;
             }
         }
         let dense = solve_dense(a, b).unwrap();
         for i in 0..4 {
-            assert!((gs[i] - dense[i]).abs() < 1e-8, "state {i}: {} vs {}", gs[i], dense[i]);
+            assert!(
+                (gs[i] - dense[i]).abs() < 1e-8,
+                "state {i}: {} vs {}",
+                gs[i],
+                dense[i]
+            );
         }
     }
 
@@ -177,14 +190,14 @@ mod tests {
     fn gauss_seidel_reports_divergence() {
         // Stochastic row with no leakage anywhere: no absorption, the
         // iteration cannot settle.
-        let rows = vec![vec![(0u32, 1.0)]];
-        let err = gauss_seidel(&rows, &[1.0], 1e-12, 50).unwrap_err();
+        let q = QMatrix::from_rows(vec![vec![(0u32, 1.0)]]);
+        let err = gauss_seidel(&q, &[1.0], 1e-12, 50).unwrap_err();
         assert!(matches!(err, MarkovError::SolverDiverged { .. }));
     }
 
     #[test]
     #[should_panic(expected = "dimension mismatch")]
     fn dimension_mismatch_panics() {
-        let _ = gauss_seidel(&[vec![]], &[1.0, 2.0], 1e-9, 10);
+        let _ = gauss_seidel(&QMatrix::from_rows(vec![vec![]]), &[1.0, 2.0], 1e-9, 10);
     }
 }

@@ -6,7 +6,7 @@ use proptest::prelude::*;
 use stab_algorithms::{HermanRing, TokenCirculation};
 use stab_core::{Daemon, ProjectedLegitimacy, Transformed};
 use stab_graph::builders;
-use stab_markov::{linalg, AbsorbingChain};
+use stab_markov::{linalg, AbsorbingChain, QMatrix};
 
 /// Random substochastic sparse rows with guaranteed leakage ≥ 5% per row.
 fn chain_strategy() -> impl Strategy<Value = Vec<Vec<(u32, f64)>>> {
@@ -37,9 +37,10 @@ proptest! {
     fn solvers_agree(rows in chain_strategy()) {
         let n = rows.len();
         let b = vec![1.0; n];
-        let gs = linalg::gauss_seidel(&rows, &b, 1e-13, 1_000_000).unwrap();
+        let q = QMatrix::from_rows(rows);
+        let gs = linalg::gauss_seidel(&q, &b, 1e-13, 1_000_000).unwrap();
         let mut a = vec![vec![0.0; n]; n];
-        for (i, row) in rows.iter().enumerate() {
+        for (i, row) in q.rows().enumerate() {
             a[i][i] += 1.0;
             for &(j, q) in row {
                 a[i][j as usize] -= q;
@@ -56,7 +57,7 @@ proptest! {
     #[test]
     fn unit_reward_solutions_exceed_one(rows in chain_strategy()) {
         let n = rows.len();
-        let x = linalg::gauss_seidel(&rows, &vec![1.0; n], 1e-12, 1_000_000).unwrap();
+        let x = linalg::gauss_seidel(&QMatrix::from_rows(rows), &vec![1.0; n], 1e-12, 1_000_000).unwrap();
         for (i, v) in x.iter().enumerate() {
             prop_assert!(*v >= 1.0 - 1e-9, "state {}: {}", i, v);
         }
@@ -68,10 +69,11 @@ proptest! {
     fn reward_linearity(rows in chain_strategy(), r1 in proptest::collection::vec(0.0f64..5.0, 2..12), r2 in proptest::collection::vec(0.0f64..5.0, 2..12)) {
         let n = rows.len();
         prop_assume!(r1.len() >= n && r2.len() >= n);
-        let a = linalg::gauss_seidel(&rows, &r1[..n], 1e-13, 1_000_000).unwrap();
-        let b = linalg::gauss_seidel(&rows, &r2[..n], 1e-13, 1_000_000).unwrap();
+        let q = QMatrix::from_rows(rows);
+        let a = linalg::gauss_seidel(&q, &r1[..n], 1e-13, 1_000_000).unwrap();
+        let b = linalg::gauss_seidel(&q, &r2[..n], 1e-13, 1_000_000).unwrap();
         let sum: Vec<f64> = r1[..n].iter().zip(&r2[..n]).map(|(x, y)| x + y).collect();
-        let c = linalg::gauss_seidel(&rows, &sum, 1e-13, 1_000_000).unwrap();
+        let c = linalg::gauss_seidel(&q, &sum, 1e-13, 1_000_000).unwrap();
         for i in 0..n {
             prop_assert!((a[i] + b[i] - c[i]).abs() < 1e-6);
         }

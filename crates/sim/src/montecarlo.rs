@@ -24,7 +24,12 @@ pub struct BatchSettings {
 
 impl Default for BatchSettings {
     fn default() -> Self {
-        BatchSettings { runs: 1_000, max_steps: 1_000_000, seed: 0xC0FFEE, threads: 1 }
+        BatchSettings {
+            runs: 1_000,
+            max_steps: 1_000_000,
+            seed: 0xC0FFEE,
+            threads: 1,
+        }
     }
 }
 
@@ -49,17 +54,14 @@ pub struct BatchResult {
 ///
 /// Parallel and deterministic: run `i` always uses the RNG stream
 /// `seed ⊕ i`, whatever the thread count.
-pub fn estimate<A, L>(
-    alg: &A,
-    daemon: Daemon,
-    spec: &L,
-    settings: &BatchSettings,
-) -> BatchResult
+pub fn estimate<A, L>(alg: &A, daemon: Daemon, spec: &L, settings: &BatchSettings) -> BatchResult
 where
     A: Algorithm + Sync,
     L: Legitimacy<A::State> + Sync,
 {
-    estimate_with(alg, daemon, spec, settings, |alg, rng| init::uniform_random(alg, rng))
+    estimate_with(alg, daemon, spec, settings, |alg, rng| {
+        init::uniform_random(alg, rng)
+    })
 }
 
 /// Like [`estimate`], but with a custom initial-configuration sampler
@@ -95,7 +97,9 @@ where
                 let mut rounds = Accumulator::new();
                 let mut failures = 0u64;
                 for i in lo..hi {
-                    let mut rng = StdRng::seed_from_u64(settings.seed ^ (i.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+                    let mut rng = StdRng::seed_from_u64(
+                        settings.seed ^ (i.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                    );
                     let initial = make_initial(alg, &mut rng);
                     let r = run_once(alg, daemon, spec, &initial, &mut rng, settings.max_steps);
                     if r.converged {
@@ -148,7 +152,12 @@ mod tests {
     fn parallel_equals_sequential() {
         let alg = Transformed::new(TwoProcessToggle::new());
         let spec = ProjectedLegitimacy::new(TwoProcessToggle::new().legitimacy());
-        let base = BatchSettings { runs: 400, max_steps: 100_000, seed: 11, threads: 1 };
+        let base = BatchSettings {
+            runs: 400,
+            max_steps: 100_000,
+            seed: 11,
+            threads: 1,
+        };
         let seq = estimate(&alg, Daemon::Synchronous, &spec, &base);
         let par = estimate(
             &alg,
@@ -177,7 +186,12 @@ mod tests {
             &alg,
             Daemon::Synchronous,
             &spec,
-            &BatchSettings { runs: 20_000, max_steps: 100_000, seed: 123, threads: 4 },
+            &BatchSettings {
+                runs: 20_000,
+                max_steps: 100_000,
+                seed: 123,
+                threads: 4,
+            },
         );
         assert_eq!(batch.failures, 0);
         assert!(
@@ -197,7 +211,12 @@ mod tests {
             &alg,
             Daemon::Distributed,
             &spec,
-            &BatchSettings { runs: 300, max_steps: 1_000_000, seed: 5, threads: 4 },
+            &BatchSettings {
+                runs: 300,
+                max_steps: 1_000_000,
+                seed: 5,
+                threads: 4,
+            },
         );
         assert_eq!(batch.failures, 0, "Theorem 9: probability-1 convergence");
         assert!(batch.steps.mean > 0.0);
@@ -216,7 +235,12 @@ mod tests {
                 &alg,
                 Daemon::Synchronous,
                 &spec,
-                &BatchSettings { runs: 400, max_steps: 1_000_000, seed: 9, threads: 4 },
+                &BatchSettings {
+                    runs: 400,
+                    max_steps: 1_000_000,
+                    seed: 9,
+                    threads: 4,
+                },
             );
             assert_eq!(batch.failures, 0);
             means.push(batch.steps.mean);
@@ -233,7 +257,12 @@ mod tests {
             &alg,
             Daemon::Central,
             &spec,
-            &BatchSettings { runs: 50, max_steps: 10, seed: 1, threads: 2 },
+            &BatchSettings {
+                runs: 50,
+                max_steps: 10,
+                seed: 1,
+                threads: 2,
+            },
             |a, _| a.legitimate_config(stab_graph::NodeId::new(0)),
         );
         assert_eq!(batch.failures, 0);
@@ -250,7 +279,10 @@ mod tests {
             &alg,
             Daemon::Synchronous,
             &spec,
-            &BatchSettings { runs: 0, ..Default::default() },
+            &BatchSettings {
+                runs: 0,
+                ..Default::default()
+            },
         );
     }
 }

@@ -39,7 +39,9 @@ where
     let g = alg.graph();
     let n = g.n();
     let mut cfg = initial.clone();
-    let mut enabled_flags: Vec<bool> = (0..n).map(|v| alg.is_enabled(&cfg, NodeId::new(v))).collect();
+    let mut enabled_flags: Vec<bool> = (0..n)
+        .map(|v| alg.is_enabled(&cfg, NodeId::new(v)))
+        .collect();
     let mut enabled: Vec<NodeId> = (0..n)
         .map(NodeId::new)
         .filter(|&v| enabled_flags[v.index()])
@@ -55,11 +57,21 @@ where
 
     loop {
         if spec.is_legitimate(&cfg) {
-            return RunResult { converged: true, steps, moves, rounds };
+            return RunResult {
+                converged: true,
+                steps,
+                moves,
+                rounds,
+            };
         }
         if enabled.is_empty() || steps >= max_steps {
             // Terminal illegitimate configuration or budget exhausted.
-            return RunResult { converged: false, steps, moves, rounds };
+            return RunResult {
+                converged: false,
+                steps,
+                moves,
+                rounds,
+            };
         }
         let activation = daemon.sample(g, &enabled, rng);
         // All activated processes read the pre-configuration.
@@ -88,7 +100,11 @@ where
             }
         }
         enabled.clear();
-        enabled.extend((0..n).map(NodeId::new).filter(|&v| enabled_flags[v.index()]));
+        enabled.extend(
+            (0..n)
+                .map(NodeId::new)
+                .filter(|&v| enabled_flags[v.index()]),
+        );
 
         // Round bookkeeping: drop moved and now-disabled processes.
         for &v in activation.nodes() {
@@ -111,12 +127,7 @@ where
     }
 }
 
-fn refresh<A: Algorithm>(
-    alg: &A,
-    cfg: &Configuration<A::State>,
-    v: NodeId,
-    flags: &mut [bool],
-) {
+fn refresh<A: Algorithm>(alg: &A, cfg: &Configuration<A::State>, v: NodeId, flags: &mut [bool]) {
     flags[v.index()] = alg.is_enabled(cfg, v);
 }
 
@@ -140,20 +151,49 @@ where
     L: Legitimacy<A::State>,
     R: Rng + ?Sized,
 {
-    assert!(max_steps <= 100_000, "recorded runs are capped at 100k steps");
+    assert!(
+        max_steps <= 100_000,
+        "recorded runs are capped at 100k steps"
+    );
     let mut trace = stab_core::Trace::new(initial.clone());
     let mut cfg = initial.clone();
     let mut steps = 0u64;
     let mut moves = 0u64;
     loop {
         if spec.is_legitimate(&cfg) {
-            return (RunResult { converged: true, steps, moves, rounds: 0 }, trace);
+            return (
+                RunResult {
+                    converged: true,
+                    steps,
+                    moves,
+                    rounds: 0,
+                },
+                trace,
+            );
         }
         if steps >= max_steps {
-            return (RunResult { converged: false, steps, moves, rounds: 0 }, trace);
+            return (
+                RunResult {
+                    converged: false,
+                    steps,
+                    moves,
+                    rounds: 0,
+                },
+                trace,
+            );
         }
         match stab_core::semantics::sample_step(alg, daemon, &cfg, rng) {
-            None => return (RunResult { converged: false, steps, moves, rounds: 0 }, trace),
+            None => {
+                return (
+                    RunResult {
+                        converged: false,
+                        steps,
+                        moves,
+                        rounds: 0,
+                    },
+                    trace,
+                )
+            }
             Some((act, next)) => {
                 moves += act.len() as u64;
                 steps += 1;
@@ -180,7 +220,14 @@ mod tests {
     fn legitimate_initial_converges_in_zero_steps() {
         let a = TokenCirculation::on_ring(&builders::ring(5)).unwrap();
         let cfg = a.legitimate_config(NodeId::new(2));
-        let r = run_once(&a, Daemon::Central, &a.legitimacy(), &cfg, &mut rng(0), 1000);
+        let r = run_once(
+            &a,
+            Daemon::Central,
+            &a.legitimacy(),
+            &cfg,
+            &mut rng(0),
+            1000,
+        );
         assert!(r.converged);
         assert_eq!(r.steps, 0);
         assert_eq!(r.moves, 0);
@@ -195,7 +242,14 @@ mod tests {
             &Configuration::from_vec(vec![false, false]),
             false,
         );
-        let r = run_once(&a, Daemon::Synchronous, &spec, &initial, &mut rng(42), 100_000);
+        let r = run_once(
+            &a,
+            Daemon::Synchronous,
+            &spec,
+            &initial,
+            &mut rng(42),
+            100_000,
+        );
         assert!(r.converged, "Theorem 8: convergence with probability 1");
         assert!(r.steps >= 1);
         // Synchronous moves: every enabled process moves each step, so
@@ -207,7 +261,14 @@ mod tests {
     fn untransformed_toggle_never_converges_under_central() {
         let a = TwoProcessToggle::new();
         let initial = Configuration::from_vec(vec![false, false]);
-        let r = run_once(&a, Daemon::Central, &a.legitimacy(), &initial, &mut rng(1), 5_000);
+        let r = run_once(
+            &a,
+            Daemon::Central,
+            &a.legitimacy(),
+            &initial,
+            &mut rng(1),
+            5_000,
+        );
         assert!(!r.converged, "no central execution converges from (F,F)");
         assert_eq!(r.steps, 5_000);
     }
@@ -216,7 +277,14 @@ mod tests {
     fn herman_converges_from_worst_configuration() {
         let a = HermanRing::on_ring(&builders::ring(9)).unwrap();
         let initial = Configuration::from_vec(vec![false; 9]);
-        let r = run_once(&a, Daemon::Synchronous, &a.legitimacy(), &initial, &mut rng(3), 1_000_000);
+        let r = run_once(
+            &a,
+            Daemon::Synchronous,
+            &a.legitimacy(),
+            &initial,
+            &mut rng(3),
+            1_000_000,
+        );
         assert!(r.converged);
         assert!(r.steps > 0);
     }
@@ -248,7 +316,9 @@ mod tests {
                 Outcomes::certain(1)
             }
         }
-        let a = Stuck { g: builders::path(3) };
+        let a = Stuck {
+            g: builders::path(3),
+        };
         let spec = Predicate::new("all-one", |c: &Configuration<u8>| {
             c.states().iter().all(|&s| s == 1)
         });
@@ -270,7 +340,9 @@ mod tests {
         // rounds <= steps always, with equality only in degenerate cases.
         let a = Transformed::new(TokenCirculation::on_ring(&builders::ring(6)).unwrap());
         let spec = ProjectedLegitimacy::new(
-            TokenCirculation::on_ring(&builders::ring(6)).unwrap().legitimacy(),
+            TokenCirculation::on_ring(&builders::ring(6))
+                .unwrap()
+                .legitimacy(),
         );
         let base = TokenCirculation::on_ring(&builders::ring(6)).unwrap();
         let initial = Transformed::<TokenCirculation>::lift(
@@ -306,7 +378,9 @@ mod tests {
         assert_eq!(trace.first(), &initial);
         assert!(spec.is_legitimate(trace.last()));
         // Moves equal the sum of activation sizes along the trace.
-        let total: u64 = (0..trace.steps()).map(|i| trace.activation(i).len() as u64).sum();
+        let total: u64 = (0..trace.steps())
+            .map(|i| trace.activation(i).len() as u64)
+            .sum();
         assert_eq!(total, result.moves);
     }
 
@@ -327,8 +401,22 @@ mod tests {
             &Configuration::from_vec(vec![false, false]),
             true,
         );
-        let r1 = run_once(&a, Daemon::Distributed, &spec, &initial, &mut rng(99), 100_000);
-        let r2 = run_once(&a, Daemon::Distributed, &spec, &initial, &mut rng(99), 100_000);
+        let r1 = run_once(
+            &a,
+            Daemon::Distributed,
+            &spec,
+            &initial,
+            &mut rng(99),
+            100_000,
+        );
+        let r2 = run_once(
+            &a,
+            Daemon::Distributed,
+            &spec,
+            &initial,
+            &mut rng(99),
+            100_000,
+        );
         assert_eq!(r1, r2);
     }
 }

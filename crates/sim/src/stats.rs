@@ -14,7 +14,13 @@ pub struct Accumulator {
 impl Accumulator {
     /// An empty accumulator.
     pub fn new() -> Self {
-        Accumulator { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Accumulator {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Adds one observation.
@@ -60,7 +66,11 @@ impl Accumulator {
     /// Panics if no observation was added.
     pub fn estimate(&self) -> Estimate {
         assert!(self.n > 0, "no observations");
-        let variance = if self.n > 1 { self.m2 / (self.n - 1) as f64 } else { 0.0 };
+        let variance = if self.n > 1 {
+            self.m2 / (self.n - 1) as f64
+        } else {
+            0.0
+        };
         let std_err = (variance / self.n as f64).sqrt();
         Estimate {
             mean: self.mean,

@@ -22,7 +22,7 @@
 use weak_stabilization::prelude::*;
 
 use stab_checker::analyze;
-use stab_core::{ProjectedLegitimacy, Outcomes};
+use stab_core::{Outcomes, ProjectedLegitimacy};
 use stab_graph::Graph;
 use stab_markov::AbsorbingChain;
 
@@ -83,9 +83,7 @@ impl Algorithm for Matching {
         match *v.me() {
             // Dangling pointer at a non-reciprocating neighbour: withdraw
             // unless the neighbour is free (then keep courting).
-            Some(p) => {
-                ActionMask::when(v.neighbor(p).is_some(), ActionId::A2)
-            }
+            Some(p) => ActionMask::when(v.neighbor(p).is_some(), ActionId::A2),
             // Free: accept a proposal, or propose to a free neighbour.
             None => {
                 let acceptable = (0..v.degree()).any(|i| self.points_at_me(v, PortId::new(i)));
@@ -172,7 +170,10 @@ fn main() {
         times.worst_case(),
         times.average_uniform(chain.n_configs()),
     );
-    assert!(times.worst_case() > raw_times.worst_case(), "the coin costs time");
+    assert!(
+        times.worst_case() > raw_times.worst_case(),
+        "the coin costs time"
+    );
     println!("\nbring your own protocol; the checker classifies it, the transformer");
     println!("is there when (and only when) you need it ✓");
 }

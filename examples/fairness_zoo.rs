@@ -29,14 +29,20 @@ fn main() {
 
     for fairness in Fairness::ALL {
         let verdict = report.self_under(fairness);
-        println!("certain convergence under {fairness:>14}: {}", verdict.mark());
+        println!(
+            "certain convergence under {fairness:>14}: {}",
+            verdict.mark()
+        );
         if let Some(w) = verdict.witness() {
             let text = w.to_string();
             let shown: String = text.chars().take(160).collect();
             println!("    {} …", shown);
         }
     }
-    println!("\nprobabilistic convergence (randomized scheduler): {}", report.probabilistic.mark());
+    println!(
+        "\nprobabilistic convergence (randomized scheduler): {}",
+        report.probabilistic.mark()
+    );
 
     // The paper's hierarchy, as inequalities between verdicts:
     // unfair ⇒ weakly-fair ⇒ strongly-fair ⇒ Gouda (as scheduler

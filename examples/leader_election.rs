@@ -32,13 +32,22 @@ fn main() {
         .nodes()
         .find(|&v| alg.is_leader(&cfg, v))
         .expect("a unique leader");
-    println!("Figure 2 replay: leader elected at P{} in 4 steps ✓", leader.index() + 1);
+    println!(
+        "Figure 2 replay: leader elected at P{} in 4 steps ✓",
+        leader.index() + 1
+    );
 
     // --- Figure 3: the synchronous oscillation. ---
     let (chain4, osc) = stab_algorithms::leader_tree::figure3_initial();
     let alg4 = ParentLeader::on_tree(&chain4).expect("a tree");
-    let step1 = semantics::synchronous_step(&alg4, &osc).unwrap().remove(0).1;
-    let step2 = semantics::synchronous_step(&alg4, &step1).unwrap().remove(0).1;
+    let step1 = semantics::synchronous_step(&alg4, &osc)
+        .unwrap()
+        .remove(0)
+        .1;
+    let step2 = semantics::synchronous_step(&alg4, &step1)
+        .unwrap()
+        .remove(0)
+        .1;
     assert_eq!(osc, step2);
     println!("Figure 3 replay: synchronous execution has period 2, never converges ✓");
 
@@ -65,7 +74,14 @@ fn main() {
     let celect = Transformed::new(CenterLeader::on_tree(&big).expect("a tree"));
     let cspec = ProjectedLegitimacy::new(CenterLeader::on_tree(&big).unwrap().legitimacy());
     let initial = init::uniform_random(&celect, &mut rng);
-    let run = run_once(&celect, Daemon::Distributed, &cspec, &initial, &mut rng, 10_000_000);
+    let run = run_once(
+        &celect,
+        Daemon::Distributed,
+        &cspec,
+        &initial,
+        &mut rng,
+        10_000_000,
+    );
     assert!(run.converged, "Theorem 9: probability-1 convergence");
     println!(
         "center-based election on a random 30-node tree: converged in {} steps / {} rounds ✓",

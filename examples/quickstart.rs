@@ -23,13 +23,20 @@ fn main() {
     let ring = builders::ring(5);
     let alg = TokenCirculation::on_ring(&ring).expect("a ring");
     let spec = alg.legitimacy();
-    println!("algorithm: {}   modulus m_N = {}", alg.name(), alg.modulus());
+    println!(
+        "algorithm: {}   modulus m_N = {}",
+        alg.name(),
+        alg.modulus()
+    );
 
     // 2. Exhaustive classification under the distributed scheduler.
     let report = analyze(&alg, Daemon::Distributed, &spec, 1 << 22).expect("small space");
     println!("\n{report}\n");
     assert!(report.is_weak_stabilizing(), "Theorem 2");
-    assert!(!report.is_self_stabilizing(Fairness::StronglyFair), "Theorem 6");
+    assert!(
+        !report.is_self_stabilizing(Fairness::StronglyFair),
+        "Theorem 6"
+    );
     assert!(report.is_probabilistically_self_stabilizing(), "Theorem 7");
 
     // 3. The transformer of §4: guard → coin toss; then the statement.
@@ -38,19 +45,29 @@ fn main() {
     println!("transformed: {}", transformed.name());
 
     // 4a. Exact expected stabilization time under the synchronous scheduler.
-    let chain = AbsorbingChain::build(&transformed, Daemon::Synchronous, &tspec, 1 << 22)
-        .expect("chain");
-    let times = chain.expected_steps().expect("Theorem 8: almost-sure absorption");
+    let chain =
+        AbsorbingChain::build(&transformed, Daemon::Synchronous, &tspec, 1 << 22).expect("chain");
+    let times = chain
+        .expected_steps()
+        .expect("Theorem 8: almost-sure absorption");
     let exact = times.average_uniform(chain.n_configs());
     println!("exact expected steps (uniform start):  {exact:.4}");
-    println!("exact worst-case expected steps:       {:.4}", times.worst_case());
+    println!(
+        "exact worst-case expected steps:       {:.4}",
+        times.worst_case()
+    );
 
     // 4b. Monte-Carlo cross-check.
     let batch = estimate(
         &transformed,
         Daemon::Synchronous,
         &tspec,
-        &BatchSettings { runs: 10_000, max_steps: 1_000_000, seed: 2024, threads: 4 },
+        &BatchSettings {
+            runs: 10_000,
+            max_steps: 1_000_000,
+            seed: 2024,
+            threads: 4,
+        },
     );
     println!("simulated expected steps:              {}", batch.steps);
     assert_eq!(batch.failures, 0);

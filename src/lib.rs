@@ -53,8 +53,8 @@ pub mod prelude {
     pub use stab_algorithms;
     pub use stab_checker;
     pub use stab_core::{
-        ActionId, ActionMask, Activation, Algorithm, Configuration, Daemon, Fairness,
-        Legitimacy, Outcomes, Trace, Transformed, View,
+        ActionId, ActionMask, Activation, Algorithm, Configuration, Daemon, Fairness, Legitimacy,
+        Outcomes, Trace, Transformed, View,
     };
     pub use stab_graph::{self, builders, Graph, NodeId, PortId};
     pub use stab_markov;

@@ -74,9 +74,11 @@ fn markov_errors_are_typed_and_sourced() {
     assert!(err.to_string().contains("not almost sure"));
     // Core errors convert into Markov errors.
     let big = TokenCirculation::on_ring(&builders::ring(12)).unwrap();
-    let err = AbsorbingChain::build(&big, Daemon::Central, &big.legitimacy(), 1 << 20)
-        .unwrap_err();
-    assert!(matches!(err, MarkovError::Core(CoreError::StateSpaceTooLarge { .. })));
+    let err = AbsorbingChain::build(&big, Daemon::Central, &big.legitimacy(), 1 << 20).unwrap_err();
+    assert!(matches!(
+        err,
+        MarkovError::Core(CoreError::StateSpaceTooLarge { .. })
+    ));
     assert!(std::error::Error::source(&err).is_some());
 }
 
@@ -85,7 +87,13 @@ fn reports_render_for_humans() {
     let alg = TokenCirculation::on_ring(&builders::ring(4)).unwrap();
     let report = analyze(&alg, Daemon::Central, &alg.legitimacy(), 1 << 22).unwrap();
     let shown = report.to_string();
-    for needle in ["closure", "weak", "Gouda", "randomized", "token-circulation"] {
+    for needle in [
+        "closure",
+        "weak",
+        "Gouda",
+        "randomized",
+        "token-circulation",
+    ] {
         assert!(shown.contains(needle), "missing {needle} in {shown}");
     }
     let row = report.table_row();

@@ -15,7 +15,11 @@ fn figure1_token_circulates_from_legitimate_start() {
     let mut holder = NodeId::new(1);
     for _ in 0..12 {
         assert_eq!(alg.token_holders(&cfg), vec![holder]);
-        assert_eq!(alg.enabled_nodes(&cfg), vec![holder], "only the holder moves");
+        assert_eq!(
+            alg.enabled_nodes(&cfg),
+            vec![holder],
+            "only the holder moves"
+        );
         cfg = semantics::deterministic_successor(&alg, &cfg, &Activation::singleton(holder));
         holder = alg.orientation().successor(alg.graph(), holder);
     }

@@ -27,7 +27,9 @@ fn two_token_initial_set_still_fails() {
     let restricted = Restricted::new(base, "≤2 tokens", move |cfg| {
         probe.token_holders(cfg).len() <= 2
     });
-    let spec = TokenCirculation::on_ring(&builders::ring(6)).unwrap().legitimacy();
+    let spec = TokenCirculation::on_ring(&builders::ring(6))
+        .unwrap()
+        .legitimacy();
     let report = analyze(&restricted, Daemon::Distributed, &spec, CAP).unwrap();
     assert!(report.weak.holds());
     assert!(!report.is_self_stabilizing(Fairness::StronglyFair));
@@ -44,7 +46,9 @@ fn single_token_initial_set_trivializes() {
     let restricted = Restricted::new(base, "single token", move |cfg| {
         probe.token_holders(cfg).len() == 1
     });
-    let spec = TokenCirculation::on_ring(&builders::ring(6)).unwrap().legitimacy();
+    let spec = TokenCirculation::on_ring(&builders::ring(6))
+        .unwrap()
+        .legitimacy();
     let report = analyze(&restricted, Daemon::Distributed, &spec, CAP).unwrap();
     for f in Fairness::ALL {
         assert!(report.is_self_stabilizing(f), "restricted start under {f}");
@@ -62,18 +66,20 @@ fn restriction_interacts_with_reachability_not_just_membership() {
     let restricted = Restricted::new(base, "≤2 tokens", move |cfg| {
         probe.token_holders(cfg).len() <= 2
     });
-    let spec = TokenCirculation::on_ring(&builders::ring(5)).unwrap().legitimacy();
+    let spec = TokenCirculation::on_ring(&builders::ring(5))
+        .unwrap()
+        .legitimacy();
     let space =
-        stab_checker::ExploredSpace::explore(&restricted, Daemon::Distributed, &spec, CAP)
-            .unwrap();
+        stab_checker::ExploredSpace::explore(&restricted, Daemon::Distributed, &spec, CAP).unwrap();
     let reachable = space.reachable_from_initial();
-    let reached = reachable.iter().filter(|&&b| b).count();
-    assert!(reached < space.total() as usize, "5-token configurations are unreachable");
+    let reached = reachable.count_ones();
+    assert!(
+        reached < space.total() as u64,
+        "5-token configurations are unreachable"
+    );
     // And every reachable configuration still has ≤ 2 tokens.
     let check = TokenCirculation::on_ring(&builders::ring(5)).unwrap();
-    for id in 0..space.total() {
-        if reachable[id as usize] {
-            assert!(check.token_holders(&space.config(id)).len() <= 2);
-        }
+    for id in reachable.ones() {
+        assert!(check.token_holders(&space.config(id as u32)).len() <= 2);
     }
 }

@@ -12,7 +12,12 @@ use stab_sim::montecarlo::{estimate, BatchSettings};
 const CAP: u64 = 1 << 22;
 
 fn settings(runs: u64, seed: u64) -> BatchSettings {
-    BatchSettings { runs, max_steps: 5_000_000, seed, threads: 4 }
+    BatchSettings {
+        runs,
+        max_steps: 5_000_000,
+        seed,
+        threads: 4,
+    }
 }
 
 #[test]
@@ -20,10 +25,15 @@ fn exact_vs_simulated_transformed_token_ring() {
     for daemon in [Daemon::Central, Daemon::Synchronous, Daemon::Distributed] {
         let alg = Transformed::new(TokenCirculation::on_ring(&builders::ring(4)).unwrap());
         let spec = ProjectedLegitimacy::new(
-            TokenCirculation::on_ring(&builders::ring(4)).unwrap().legitimacy(),
+            TokenCirculation::on_ring(&builders::ring(4))
+                .unwrap()
+                .legitimacy(),
         );
         let chain = AbsorbingChain::build(&alg, daemon, &spec, CAP).unwrap();
-        let exact = chain.expected_steps().unwrap().average_uniform(chain.n_configs());
+        let exact = chain
+            .expected_steps()
+            .unwrap()
+            .average_uniform(chain.n_configs());
         let batch = estimate(&alg, daemon, &spec, &settings(8_000, 7));
         assert_eq!(batch.failures, 0);
         assert!(
@@ -39,7 +49,10 @@ fn exact_vs_simulated_herman() {
     let alg = HermanRing::on_ring(&builders::ring(7)).unwrap();
     let spec = alg.legitimacy();
     let chain = AbsorbingChain::build(&alg, Daemon::Synchronous, &spec, CAP).unwrap();
-    let exact = chain.expected_steps().unwrap().average_uniform(chain.n_configs());
+    let exact = chain
+        .expected_steps()
+        .unwrap()
+        .average_uniform(chain.n_configs());
     let batch = estimate(&alg, Daemon::Synchronous, &spec, &settings(8_000, 21));
     assert_eq!(batch.failures, 0);
     assert!(batch.steps.covers(exact, 3.0));
@@ -50,7 +63,10 @@ fn exact_vs_simulated_dijkstra() {
     let alg = DijkstraRing::on_ring(&builders::ring(5)).unwrap();
     let spec = alg.legitimacy();
     let chain = AbsorbingChain::build(&alg, Daemon::Central, &spec, CAP).unwrap();
-    let exact = chain.expected_steps().unwrap().average_uniform(chain.n_configs());
+    let exact = chain
+        .expected_steps()
+        .unwrap()
+        .average_uniform(chain.n_configs());
     let batch = estimate(&alg, Daemon::Central, &spec, &settings(8_000, 13));
     assert_eq!(batch.failures, 0);
     assert!(batch.steps.covers(exact, 3.0));
@@ -78,7 +94,9 @@ fn cdf_median_is_consistent_with_simulation() {
 fn worst_case_dominates_every_start() {
     let alg = Transformed::new(TokenCirculation::on_ring(&builders::ring(4)).unwrap());
     let spec = ProjectedLegitimacy::new(
-        TokenCirculation::on_ring(&builders::ring(4)).unwrap().legitimacy(),
+        TokenCirculation::on_ring(&builders::ring(4))
+            .unwrap()
+            .legitimacy(),
     );
     let chain = AbsorbingChain::build(&alg, Daemon::Central, &spec, CAP).unwrap();
     let times = chain.expected_steps().unwrap();

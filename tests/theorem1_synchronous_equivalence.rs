@@ -25,7 +25,11 @@ fn token_circulation_rings() {
 
 #[test]
 fn tree_algorithms() {
-    for g in [builders::path(4), builders::star(4), builders::figure2_tree()] {
+    for g in [
+        builders::path(4),
+        builders::star(4),
+        builders::figure2_tree(),
+    ] {
         let alg = ParentLeader::on_tree(&g).unwrap();
         let t = theorem1(&alg, &alg.legitimacy(), CAP).unwrap();
         assert!(t.holds(), "Theorem 1 violated for Algorithm 2 on {g:?}");

@@ -59,8 +59,7 @@ fn lemma6_specification_holds_from_legitimate_configurations() {
 fn the_paper_counterexample_is_a_strongly_fair_lasso() {
     let alg = TokenCirculation::on_ring(&builders::ring(6)).unwrap();
     let report = analyze(&alg, Daemon::Distributed, &alg.legitimacy(), CAP).unwrap();
-    let Some(Witness::Lasso { cycle, .. }) =
-        report.self_under(Fairness::StronglyFair).witness()
+    let Some(Witness::Lasso { cycle, .. }) = report.self_under(Fairness::StronglyFair).witness()
     else {
         panic!("expected a lasso witness");
     };
@@ -100,7 +99,10 @@ fn anonymity_audit_under_rotation() {
     let verdict =
         check_synchronous_symmetry(&alg, &alg.legitimacy(), &rot, state_maps::value(), CAP)
             .unwrap();
-    assert!(verdict.equivariant, "Algorithm 1 is anonymous under rotations");
+    assert!(
+        verdict.equivariant,
+        "Algorithm 1 is anonymous under rotations"
+    );
     // Uniform counters are the rotation-symmetric configurations; none has
     // exactly one token, and the set is closed: Herman's impossibility in
     // symmetric form.

@@ -10,10 +10,10 @@
 use weak_stabilization::prelude::*;
 
 use stab_algorithms::{CenterLeader, ParentLeader};
+use stab_checker::analyze;
 use stab_checker::symmetry::{
     check_synchronous_symmetry, state_maps, symmetric_path4, Automorphism,
 };
-use stab_checker::analyze;
 
 const CAP: u64 = 1 << 22;
 
@@ -40,14 +40,8 @@ fn algorithm2_impossibility_witness() {
 fn center_leader_impossibility_witness() {
     let (g, mirror) = symmetric_path4();
     let alg = CenterLeader::on_tree(&g).unwrap();
-    let v = check_synchronous_symmetry(
-        &alg,
-        &alg.legitimacy(),
-        &mirror,
-        state_maps::value(),
-        CAP,
-    )
-    .unwrap();
+    let v = check_synchronous_symmetry(&alg, &alg.legitimacy(), &mirror, state_maps::value(), CAP)
+        .unwrap();
     assert!(v.implies_impossibility());
 }
 
@@ -70,7 +64,11 @@ fn consequently_no_self_stabilization_under_distributed() {
             "{} must not self-stabilize",
             report.algorithm
         );
-        assert!(report.is_weak_stabilizing(), "{} is weak-stabilizing", report.algorithm);
+        assert!(
+            report.is_weak_stabilizing(),
+            "{} is weak-stabilizing",
+            report.algorithm
+        );
     }
 }
 
@@ -111,7 +109,10 @@ fn port_labeling_subtlety_is_documented_by_the_checker() {
     // closed-set argument needs the adversarial labeling. (The paper's
     // informal proof skips this; the reproduction surfaces it.)
     let g = builders::path(4);
-    let mirror = Automorphism::all(&g).into_iter().find(|a| !a.is_identity()).unwrap();
+    let mirror = Automorphism::all(&g)
+        .into_iter()
+        .find(|a| !a.is_identity())
+        .unwrap();
     assert!(!mirror.is_port_preserving(&g));
     let alg = ParentLeader::on_tree(&g).unwrap();
     let v = check_synchronous_symmetry(

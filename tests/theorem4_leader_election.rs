@@ -37,14 +37,25 @@ fn center_leader_weak_stabilizing_on_small_trees() {
     // unique-center trees (star, odd path) need no tie-break and turn out
     // fully self-stabilizing — a finding the checker surfaces.
     let two_centers = CenterLeader::on_tree(&builders::path(4)).unwrap();
-    let r = analyze(&two_centers, Daemon::Distributed, &two_centers.legitimacy(), CAP).unwrap();
+    let r = analyze(
+        &two_centers,
+        Daemon::Distributed,
+        &two_centers.legitimacy(),
+        CAP,
+    )
+    .unwrap();
     assert!(
         !r.is_self_stabilizing(Fairness::StronglyFair),
         "two-center trees admit the eternal double flip"
     );
     let unique_center = CenterLeader::on_tree(&builders::star(4)).unwrap();
-    let r =
-        analyze(&unique_center, Daemon::Distributed, &unique_center.legitimacy(), CAP).unwrap();
+    let r = analyze(
+        &unique_center,
+        Daemon::Distributed,
+        &unique_center.legitimacy(),
+        CAP,
+    )
+    .unwrap();
     assert!(
         r.is_self_stabilizing(Fairness::WeaklyFair),
         "with a unique center, weak fairness suffices: ties only involve stale heights"
@@ -83,17 +94,17 @@ fn figure3_oscillation_and_its_escape() {
     let (g, cfg0) = figure3_initial();
     let alg = ParentLeader::on_tree(&g).unwrap();
     // Synchronous: period-2 oscillation.
-    let s1 = semantics::synchronous_step(&alg, &cfg0).unwrap().remove(0).1;
+    let s1 = semantics::synchronous_step(&alg, &cfg0)
+        .unwrap()
+        .remove(0)
+        .1;
     let s2 = semantics::synchronous_step(&alg, &s1).unwrap().remove(0).1;
     assert_eq!(cfg0, s2);
     // Escape: let only one side move — convergence follows. Move P1 alone
     // (A1: all its neighbours point at it), then let the greedy sequence
     // finish.
-    let mut cfg = semantics::deterministic_successor(
-        &alg,
-        &cfg0,
-        &Activation::singleton(NodeId::new(0)),
-    );
+    let mut cfg =
+        semantics::deterministic_successor(&alg, &cfg0, &Activation::singleton(NodeId::new(0)));
     let spec = alg.legitimacy();
     let mut guard = 0;
     while !spec.is_legitimate(&cfg) {

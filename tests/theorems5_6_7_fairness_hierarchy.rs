@@ -64,7 +64,10 @@ fn theorem7_gouda_equals_probabilistic_everywhere() {
 fn theorem6_strict_separation_on_the_6_ring() {
     let alg = TokenCirculation::on_ring(&builders::ring(6)).unwrap();
     let r = analyze(&alg, Daemon::Distributed, &alg.legitimacy(), CAP).unwrap();
-    assert!(theorem6_separation(&r), "Gouda holds, strong fairness fails");
+    assert!(
+        theorem6_separation(&r),
+        "Gouda holds, strong fairness fails"
+    );
     // The separation also appears under the *central* scheduler — the
     // paper's counterexample explicitly uses the central strongly fair
     // scheduler.

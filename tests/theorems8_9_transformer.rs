@@ -15,14 +15,20 @@ const CAP: u64 = 1 << 22;
 
 /// Applies the paper's pipeline to one weak-stabilizing input and asserts
 /// the transformed classification under both covered schedulers.
-fn transformer_pipeline<A>(make: impl Fn() -> A, spec_of: impl Fn(&A) -> Box<dyn Legitimacy<A::State>>)
-where
-    A: Algorithm,
+fn transformer_pipeline<A>(
+    make: impl Fn() -> A,
+    spec_of: impl Fn(&A) -> Box<dyn Legitimacy<A::State> + Sync>,
+) where
+    A: Algorithm + Sync,
+    A::State: Sync,
 {
     let base = make();
     let spec = spec_of(&base);
     let base_report = analyze(&base, Daemon::Distributed, &spec, CAP).unwrap();
-    assert!(base_report.is_weak_stabilizing(), "input must be weak-stabilizing");
+    assert!(
+        base_report.is_weak_stabilizing(),
+        "input must be weak-stabilizing"
+    );
 
     let trans = Transformed::new(make());
     let tspec = ProjectedLegitimacy::new(spec_of(&base));
@@ -109,7 +115,9 @@ fn projection_of_every_step_is_inner_step_or_stutter() {
 fn transformed_systems_have_finite_expected_times() {
     let trans = Transformed::new(ParentLeader::on_tree(&builders::star(4)).unwrap());
     let spec = ProjectedLegitimacy::new(
-        ParentLeader::on_tree(&builders::star(4)).unwrap().legitimacy(),
+        ParentLeader::on_tree(&builders::star(4))
+            .unwrap()
+            .legitimacy(),
     );
     for daemon in [Daemon::Synchronous, Daemon::Distributed] {
         let chain = AbsorbingChain::build(&trans, daemon, &spec, CAP).unwrap();

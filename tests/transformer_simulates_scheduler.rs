@@ -78,9 +78,8 @@ fn distributions_equal<S: stab_core::LocalState>(
     b: &HashMap<stab_core::Configuration<S>, f64>,
 ) -> bool {
     a.len() == b.len()
-        && a.iter().all(|(k, p)| {
-            b.get(k).map(|q| (p - q).abs() < 1e-12).unwrap_or(false)
-        })
+        && a.iter()
+            .all(|(k, p)| b.get(k).map(|q| (p - q).abs() < 1e-12).unwrap_or(false))
 }
 
 #[test]
@@ -154,15 +153,25 @@ fn exact_moves_match_simulated_moves() {
     use stab_sim::montecarlo::{estimate, BatchSettings};
     let trans = Transformed::new(TokenCirculation::on_ring(&builders::ring(4)).unwrap());
     let spec = ProjectedLegitimacy::new(
-        TokenCirculation::on_ring(&builders::ring(4)).unwrap().legitimacy(),
+        TokenCirculation::on_ring(&builders::ring(4))
+            .unwrap()
+            .legitimacy(),
     );
     let chain = AbsorbingChain::build(&trans, Daemon::Synchronous, &spec, 1 << 22).unwrap();
-    let exact_moves = chain.expected_moves().unwrap().average_uniform(chain.n_configs());
+    let exact_moves = chain
+        .expected_moves()
+        .unwrap()
+        .average_uniform(chain.n_configs());
     let batch = estimate(
         &trans,
         Daemon::Synchronous,
         &spec,
-        &BatchSettings { runs: 8_000, max_steps: 1_000_000, seed: 99, threads: 4 },
+        &BatchSettings {
+            runs: 8_000,
+            max_steps: 1_000_000,
+            seed: 99,
+            threads: 4,
+        },
     );
     assert_eq!(batch.failures, 0);
     assert!(

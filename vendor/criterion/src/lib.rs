@@ -1,0 +1,197 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so this workspace vendors
+//! the subset of the criterion surface its benches use: [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`], [`BenchmarkId`], [`black_box`]
+//! and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Statistics are deliberately simple: each benchmark is warmed up, then
+//! timed over enough iterations to fill a fixed measurement window, and the
+//! mean time per iteration is printed. There is no outlier analysis and no
+//! HTML report; numbers are for trend-watching, not publication.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], criterion-style.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Measurement window per benchmark (after warm-up).
+const MEASURE_WINDOW: Duration = Duration::from_millis(300);
+
+/// Warm-up window per benchmark.
+const WARMUP_WINDOW: Duration = Duration::from_millis(50);
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a function name and a parameter display.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Times closures over a measurement window.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    /// Mean nanoseconds per iteration of the last [`Bencher::iter`] call.
+    last_mean_ns: f64,
+}
+
+impl Bencher {
+    /// Benchmarks `f`: warm-up, then repeated timed batches.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Warm-up while estimating the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP_WINDOW {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let target = (MEASURE_WINDOW.as_secs_f64() / per_iter.max(1e-9)).clamp(1.0, 1e9) as u64;
+        let start = Instant::now();
+        for _ in 0..target {
+            black_box(f());
+        }
+        self.last_mean_ns = start.elapsed().as_secs_f64() * 1e9 / target as f64;
+    }
+}
+
+/// Formats a nanosecond quantity with a human unit.
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn run_one(id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher::default();
+    f(&mut b);
+    println!("{id:<60} time: {}", fmt_ns(b.last_mean_ns));
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, mut f: impl FnMut(&mut Bencher)) {
+        run_one(&id.into().id, &mut f);
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for criterion compatibility; this harness sizes runs by
+    /// wall-clock window, not sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, mut f: impl FnMut(&mut Bencher)) {
+        run_one(&format!("{}/{}", self.name, id.into().id), &mut f);
+    }
+
+    /// Runs a parameterised benchmark within the group.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        let mut g = |b: &mut Bencher| f(b, input);
+        run_one(&format!("{}/{}", self.name, id.id), &mut g);
+    }
+
+    /// Ends the group (printing is immediate, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Declares a function running a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::default();
+        b.iter(|| black_box(1u64 + 1));
+        assert!(b.last_mean_ns > 0.0);
+    }
+
+    #[test]
+    fn ids_compose() {
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+        assert_eq!(BenchmarkId::from("plain").id, "plain");
+    }
+
+    #[test]
+    fn units_format() {
+        assert!(fmt_ns(10.0).ends_with("ns"));
+        assert!(fmt_ns(10_000.0).ends_with("µs"));
+        assert!(fmt_ns(10_000_000.0).ends_with("ms"));
+    }
+}

@@ -1,0 +1,230 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access, so this workspace vendors
+//! the subset of the rand 0.9 surface the reproduction actually uses:
+//! [`Rng::random`], [`Rng::random_range`], [`SeedableRng::seed_from_u64`]
+//! and [`rngs::StdRng`]. The generator is xoshiro256++ seeded through
+//! splitmix64 — not the upstream ChaCha12, but every consumer in this
+//! workspace treats `StdRng` as an opaque seeded PRNG and asserts only
+//! statistical properties, never exact streams.
+
+/// A pseudo-random generator: everything is derived from [`Rng::next_u64`].
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniformly random value of `T` (`bool`, `f64` in `[0,1)`, or a
+    /// full-range integer).
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// A uniformly random value in `[range.start, range.end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T: SampleUniform>(&mut self, range: core::ops::Range<T>) -> T {
+        T::sample_range(range.start, range.end, self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= p <= 1`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        f64::sample(self) < p
+    }
+}
+
+/// Construction of a generator from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a single `u64` seed (splitmix64-expanded).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable uniformly over their whole domain.
+pub trait Standard: Sized {
+    /// Draws one uniform value.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for u8 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+
+impl Standard for usize {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Types samplable uniformly over a half-open range.
+pub trait SampleUniform: Sized {
+    /// Draws one value in `[lo, hi)`.
+    fn sample_range<R: Rng + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: Rng + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                assert!(lo < hi, "cannot sample from empty range");
+                let span = (hi as u64).wrapping_sub(lo as u64);
+                // Rejection sampling over the largest multiple of `span`.
+                let zone = u64::MAX - u64::MAX % span;
+                loop {
+                    let x = rng.next_u64();
+                    if x < zone {
+                        return lo.wrapping_add((x % span) as $t);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i32, i64);
+
+impl SampleUniform for f64 {
+    fn sample_range<R: Rng + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+        assert!(lo < hi, "cannot sample from empty range");
+        lo + f64::sample(rng) * (hi - lo)
+    }
+}
+
+/// The splitmix64 step, used for seeding.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{splitmix64, Rng, SeedableRng};
+
+    /// The workspace's standard seeded generator: xoshiro256++.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut state = seed;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut state);
+            }
+            // An all-zero state would be a fixed point; splitmix64 cannot
+            // produce four zeros from any seed, but guard anyway.
+            if s == [0, 0, 0, 0] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            StdRng { s }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.s;
+            let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+            let t = s1 << 17;
+            let mut s = [s0, s1, s2, s3];
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            self.s = s;
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn range_sampling_is_in_bounds_and_covers() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            let x = rng.random_range(3usize..10);
+            assert!((3..10).contains(&x));
+            seen[x] = true;
+        }
+        assert!(seen[3..10].iter().all(|&b| b), "all values hit");
+    }
+
+    #[test]
+    fn bool_is_roughly_fair() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let heads = (0..100_000).filter(|_| rng.random::<bool>()).count();
+        assert!((heads as f64 / 100_000.0 - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn unsized_rng_is_usable() {
+        fn takes_dynamic(rng: &mut (impl Rng + ?Sized)) -> u64 {
+            rng.next_u64()
+        }
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = takes_dynamic(&mut rng);
+    }
+}
