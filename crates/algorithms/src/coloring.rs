@@ -29,6 +29,18 @@ pub struct GreedyColoring {
 impl GreedyColoring {
     /// Instantiates greedy coloring on any connected graph.
     ///
+    /// ```
+    /// use stab_algorithms::GreedyColoring;
+    /// use stab_core::{Configuration, Legitimacy};
+    /// use stab_graph::builders;
+    ///
+    /// let alg = GreedyColoring::new(&builders::path(3)).unwrap();
+    /// // ⟨0,1,0⟩ is a proper coloring; ⟨1,1,0⟩ has a conflict edge.
+    /// let spec = alg.legitimacy();
+    /// assert!(spec.is_legitimate(&Configuration::from_vec(vec![0u8, 1, 0])));
+    /// assert!(!spec.is_legitimate(&Configuration::from_vec(vec![1u8, 1, 0])));
+    /// ```
+    ///
     /// # Errors
     ///
     /// Returns [`GraphError::NotConnected`] if `g` is not connected (the

@@ -33,6 +33,22 @@ impl DijkstraRing {
     /// Instantiates the protocol with `K = N` states (the minimum for
     /// Dijkstra's theorem) and root `P0`.
     ///
+    /// Note: the root breaks anonymity, so — unlike
+    /// [`TokenCirculation`](crate::TokenCirculation) and Herman's ring —
+    /// Dijkstra's protocol is *not*
+    /// rotation-equivariant and must not be explored under the engine's
+    /// ring-rotation quotient.
+    ///
+    /// ```
+    /// use stab_algorithms::DijkstraRing;
+    /// use stab_core::{Algorithm, Daemon};
+    /// use stab_graph::builders;
+    ///
+    /// let alg = DijkstraRing::on_ring(&builders::ring(4)).unwrap();
+    /// assert_eq!(alg.n(), 4);
+    /// assert!(DijkstraRing::on_ring(&builders::path(4)).is_err());
+    /// ```
+    ///
     /// # Errors
     ///
     /// Returns [`GraphError::NotARing`] if `g` is not a ring.

@@ -29,6 +29,19 @@ pub struct HermanRing {
 impl HermanRing {
     /// Instantiates Herman's protocol.
     ///
+    /// ```
+    /// use stab_algorithms::HermanRing;
+    /// use stab_core::Configuration;
+    /// use stab_graph::builders;
+    ///
+    /// let alg = HermanRing::on_ring(&builders::ring(5)).unwrap();
+    /// // All-equal bits: every process holds a token (5 tokens).
+    /// let cfg = Configuration::from_vec(vec![true; 5]);
+    /// assert_eq!(alg.token_holders(&cfg).len(), 5);
+    /// // Even rings are rejected (the token count must stay odd).
+    /// assert!(HermanRing::on_ring(&builders::ring(4)).is_err());
+    /// ```
+    ///
     /// # Errors
     ///
     /// Returns [`GraphError::NotARing`] if `g` is not a ring of odd size

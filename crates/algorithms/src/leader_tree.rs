@@ -41,6 +41,18 @@ pub struct ParentLeader {
 impl ParentLeader {
     /// Instantiates Algorithm 2 on a tree.
     ///
+    /// ```
+    /// use stab_algorithms::ParentLeader;
+    /// use stab_core::Algorithm;
+    /// use stab_graph::builders;
+    ///
+    /// // Algorithm 2 runs on anonymous trees, e.g. the 4-chain of
+    /// // Theorem 3 / Figure 3.
+    /// let alg = ParentLeader::on_tree(&builders::path(4)).unwrap();
+    /// assert_eq!(alg.n(), 4);
+    /// assert!(ParentLeader::on_tree(&builders::ring(4)).is_err());
+    /// ```
+    ///
     /// # Errors
     ///
     /// Returns [`GraphError::NotATree`] if `g` is not a tree.

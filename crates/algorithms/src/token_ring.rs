@@ -39,6 +39,17 @@ impl TokenCirculation {
     /// Instantiates Algorithm 1 on a ring graph with the canonical
     /// orientation and the paper's modulus `m_N`.
     ///
+    /// ```
+    /// use stab_algorithms::TokenCirculation;
+    /// use stab_graph::builders;
+    ///
+    /// // Figure 1 of the paper: N = 6, counter modulus m_N = 4.
+    /// let alg = TokenCirculation::on_ring(&builders::ring(6)).unwrap();
+    /// assert_eq!(alg.modulus(), 4);
+    /// // Non-rings are rejected.
+    /// assert!(TokenCirculation::on_ring(&builders::path(4)).is_err());
+    /// ```
+    ///
     /// # Errors
     ///
     /// Returns [`GraphError::NotARing`] if `g` is not a ring.

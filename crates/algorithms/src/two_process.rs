@@ -27,6 +27,17 @@ pub struct TwoProcessToggle {
 
 impl TwoProcessToggle {
     /// Instantiates the toggle on the unique two-process network.
+    ///
+    /// ```
+    /// use stab_algorithms::TwoProcessToggle;
+    /// use stab_core::{Algorithm, Configuration, Legitimacy};
+    ///
+    /// let alg = TwoProcessToggle::new();
+    /// assert_eq!(alg.n(), 2);
+    /// let spec = alg.legitimacy();
+    /// assert!(spec.is_legitimate(&Configuration::from_vec(vec![true, true])));
+    /// assert!(!spec.is_legitimate(&Configuration::from_vec(vec![true, false])));
+    /// ```
     pub fn new() -> Self {
         TwoProcessToggle {
             g: builders::path(2),

@@ -1,37 +1,51 @@
-//! E0 — transition-engine throughput: seed-style exploration vs the CSR
-//! engine, across representative instances, recorded to
-//! `BENCH_explore.json` so the speedup is tracked across PRs.
+//! E0 — transition-engine throughput across exploration modes, recorded to
+//! `BENCH_explore.json` so the speedups are tracked across PRs.
 //!
-//! The *reference* explorer reproduces the seed implementation exactly:
-//! one `decode` per configuration, `semantics::all_steps` per
-//! configuration (guards and statements re-evaluated per activation), one
-//! `encode` per successor, nested `Vec` rows. The *engine* numbers come
-//! from `stab_core::engine::TransitionSystem::explore` — in-place cursor,
-//! per-configuration outcome sharing, delta-encoded successors, parallel
-//! chunking.
+//! Three comparisons per release:
 //!
-//! JSON schema (`bench_explore/v1`), one object per line-item:
+//! * **engine vs seed** (the PR 1 measurement, `mode = "full"`,
+//!   `quotient = "none"`): the CSR engine against a faithful reproduction
+//!   of the seed implementation (one `decode` per configuration,
+//!   `semantics::all_steps`, one `encode` per successor, nested rows);
+//! * **quotient vs full** (`quotient = "ring-rotation"`): the
+//!   rotation-quotient sweep against the engine's own full sweep — the
+//!   reference here is the previous fastest path, so the speedup isolates
+//!   the PR 2 gain;
+//! * **beyond-full-reach instances**: cases whose full space is infeasible
+//!   to materialise (`explore_reference_ms = null`) but which the quotient
+//!   and/or reachable-only modes check outright — e.g. Herman N=17
+//!   (3^17 ≈ 1.3·10^8 edges ≈ 3 GB for the full sweep) and token ring
+//!   N=12 (5^12 ≈ 2.4·10^8 configurations).
+//!
+//! JSON schema (`bench_explore/v2`; v1 rows correspond to
+//! `mode = "full"`, `quotient = "none"` with `represented = configs`):
 //!
 //! ```json
 //! {
-//!   "schema": "bench_explore/v1",
+//!   "schema": "bench_explore/v2",
 //!   "threads": 8,
 //!   "results": [
 //!     {
-//!       "case": "token_ring/N=7/distributed",
-//!       "configs": 128,
-//!       "edges": 1234,
-//!       "explore_reference_ms": 1.0,
-//!       "explore_engine_ms": 0.1,
-//!       "explore_speedup": 10.0,
-//!       "chain_reference_ms": 1.0,
-//!       "chain_engine_ms": 0.1,
-//!       "chain_speedup": 10.0,
-//!       "analyze_engine_ms": 0.5
+//!       "case": "herman/N=15/synchronous",
+//!       "mode": "full",
+//!       "quotient": "ring-rotation",
+//!       "configs": 2192,
+//!       "represented": 32768,
+//!       "edges": 732952,
+//!       "explore_reference_ms": 3900.0,
+//!       "explore_engine_ms": 540.0,
+//!       "explore_speedup": 7.2,
+//!       "chain_reference_ms": 4100.0,
+//!       "chain_engine_ms": 700.0,
+//!       "chain_speedup": 5.8,
+//!       "analyze_engine_ms": 900.0
 //!     }
 //!   ]
 //! }
 //! ```
+//!
+//! `explore_reference_ms` / `chain_reference_ms` / the speedups are `null`
+//! when the reference is infeasible on the runner.
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -39,12 +53,16 @@ use std::time::Instant;
 
 use stab_algorithms::{HermanRing, TokenCirculation};
 use stab_bench::Table;
-use stab_checker::{analyze, ExploredSpace};
-use stab_core::{semantics, Algorithm, Daemon, Legitimacy, SpaceIndexer};
+use stab_checker::{analyze_with, ExploredSpace};
+use stab_core::engine::{ExploreMode, ExploreOptions, Quotient};
+use stab_core::{semantics, Algorithm, Configuration, Daemon, Legitimacy, SpaceIndexer};
 use stab_graph::builders;
 use stab_markov::AbsorbingChain;
 
 const CAP: u64 = 1 << 26;
+/// Cap for the beyond-full-reach cases: the indexer must span the space
+/// even though only a fraction of it is materialised.
+const BIG_CAP: u64 = 1 << 60;
 
 /// Best-of-`reps` wall-clock milliseconds of `f`.
 fn time_ms<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
@@ -138,15 +156,19 @@ where
 
 struct CaseResult {
     case: String,
+    mode: &'static str,
+    quotient: &'static str,
     configs: u64,
+    represented: u64,
     edges: usize,
-    explore_reference_ms: f64,
+    explore_reference_ms: Option<f64>,
     explore_engine_ms: f64,
-    chain_reference_ms: f64,
+    chain_reference_ms: Option<f64>,
     chain_engine_ms: f64,
     analyze_engine_ms: f64,
 }
 
+/// A PR 1 style row: engine full sweep vs the seed implementation.
 fn run_case<A, L>(name: &str, alg: &A, daemon: Daemon, spec: &L, reps: usize) -> CaseResult
 where
     A: Algorithm + Sync,
@@ -162,12 +184,76 @@ where
         AbsorbingChain::build(alg, daemon, spec, CAP).expect("engine chain")
     });
     let analyze_engine_ms = time_ms(reps, || {
-        analyze(alg, daemon, spec, CAP).expect("engine analyze")
+        analyze_with(alg, daemon, spec, CAP, &ExploreOptions::full()).expect("engine analyze")
     });
     let space = ExploredSpace::explore(alg, daemon, spec, CAP).expect("engine explore");
     CaseResult {
         case: name.to_string(),
+        mode: "full",
+        quotient: "none",
         configs: space.total() as u64,
+        represented: space.represented_configs(),
+        edges: space.transition_system().n_edges(),
+        explore_reference_ms: Some(explore_reference_ms),
+        explore_engine_ms,
+        chain_reference_ms: Some(chain_reference_ms),
+        chain_engine_ms,
+        analyze_engine_ms,
+    }
+}
+
+/// A PR 2 mode row: quotient and/or reachable exploration against the
+/// engine's own full sweep (the previous fastest path), or against
+/// nothing when the full sweep is infeasible on the runner
+/// (`full_feasible = false` → `null` references).
+#[allow(clippy::too_many_arguments)]
+fn run_mode_case<A, L>(
+    name: &str,
+    alg: &A,
+    daemon: Daemon,
+    spec: &L,
+    opts: &ExploreOptions<A::State>,
+    cap: u64,
+    reps: usize,
+    full_feasible: bool,
+) -> CaseResult
+where
+    A: Algorithm + Sync,
+    A::State: Sync,
+    L: Legitimacy<A::State> + Sync,
+{
+    let explore_reference_ms = full_feasible.then(|| {
+        time_ms(reps, || {
+            ExploredSpace::explore(alg, daemon, spec, cap).expect("full explore")
+        })
+    });
+    let chain_reference_ms = full_feasible.then(|| {
+        time_ms(reps, || {
+            AbsorbingChain::build(alg, daemon, spec, cap).expect("full chain")
+        })
+    });
+    let explore_engine_ms = time_ms(reps, || {
+        ExploredSpace::explore_with(alg, daemon, spec, cap, opts).expect("mode explore")
+    });
+    let chain_engine_ms = time_ms(reps, || {
+        AbsorbingChain::build_with(alg, daemon, spec, cap, opts).expect("mode chain")
+    });
+    let analyze_engine_ms = time_ms(reps, || {
+        analyze_with(alg, daemon, spec, cap, opts).expect("mode analyze")
+    });
+    let space = ExploredSpace::explore_with(alg, daemon, spec, cap, opts).expect("mode explore");
+    CaseResult {
+        case: name.to_string(),
+        mode: match opts.mode {
+            ExploreMode::Full => "full",
+            ExploreMode::Reachable { .. } => "reachable",
+        },
+        quotient: match opts.quotient {
+            Quotient::None => "none",
+            Quotient::RingRotation => "ring-rotation",
+        },
+        configs: space.total() as u64,
+        represented: space.represented_configs(),
         edges: space.transition_system().n_edges(),
         explore_reference_ms,
         explore_engine_ms,
@@ -177,13 +263,26 @@ where
     }
 }
 
+fn fmt_opt(x: Option<f64>) -> String {
+    match x {
+        Some(v) => format!("{v:.3}"),
+        None => "—".to_string(),
+    }
+}
+
+fn json_opt(x: Option<f64>) -> String {
+    match x {
+        Some(v) => format!("{v:.6}"),
+        None => "null".to_string(),
+    }
+}
+
 fn main() {
     let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut results = Vec::new();
 
-    // The ISSUE's tracked target: token ring N=7 under the distributed
-    // daemon (m_7 = 2, every non-empty subset of up to 7 enabled
-    // processes enumerated per configuration).
+    // ---- PR 1 rows: engine vs seed implementation -----------------------
+
     let tr7 = TokenCirculation::on_ring(&builders::ring(7)).unwrap();
     results.push(run_case(
         "token_ring/N=7/distributed",
@@ -203,8 +302,7 @@ fn main() {
         3,
     ));
 
-    // Large space, central daemon: N=10, m_10 = 3 (59049 configurations) —
-    // the parallel chunking regime.
+    // Large space, central daemon: N=10, m_10 = 3 (59049 configurations).
     let tr10 = TokenCirculation::on_ring(&builders::ring(10)).unwrap();
     results.push(run_case(
         "token_ring/N=10/central",
@@ -215,18 +313,94 @@ fn main() {
     ));
 
     // Probabilistic branching under the synchronous daemon.
-    let herman = HermanRing::on_ring(&builders::ring(9)).unwrap();
+    let herman9 = HermanRing::on_ring(&builders::ring(9)).unwrap();
     results.push(run_case(
         "herman/N=9/synchronous",
-        &herman,
+        &herman9,
         Daemon::Synchronous,
-        &herman.legitimacy(),
+        &herman9.legitimacy(),
         3,
     ));
 
+    // ---- PR 2 rows: quotient / reachable vs the engine's full sweep -----
+
+    // Rotation quotient on the tracked central-daemon case: same verdicts
+    // from ~1/10 of the states.
+    results.push(run_mode_case(
+        "token_ring/N=10/central",
+        &tr10,
+        Daemon::Central,
+        &tr10.legitimacy(),
+        &ExploreOptions::full().with_ring_quotient(),
+        CAP,
+        3,
+        true,
+    ));
+
+    // Herman scaling: edges grow like 3^N on the full space, 3^N / N on
+    // the quotient.
+    let herman13 = HermanRing::on_ring(&builders::ring(13)).unwrap();
+    results.push(run_mode_case(
+        "herman/N=13/synchronous",
+        &herman13,
+        Daemon::Synchronous,
+        &herman13.legitimacy(),
+        &ExploreOptions::full().with_ring_quotient(),
+        CAP,
+        3,
+        true,
+    ));
+    let herman15 = HermanRing::on_ring(&builders::ring(15)).unwrap();
+    results.push(run_mode_case(
+        "herman/N=15/synchronous",
+        &herman15,
+        Daemon::Synchronous,
+        &herman15.legitimacy(),
+        &ExploreOptions::full().with_ring_quotient(),
+        CAP,
+        1,
+        true,
+    ));
+    // N=17: the full sweep would need 3^17 ≈ 1.3·10^8 edges (≈ 3 GB) —
+    // infeasible on the CI runner; the quotient checks it outright.
+    let herman17 = HermanRing::on_ring(&builders::ring(17)).unwrap();
+    results.push(run_mode_case(
+        "herman/N=17/synchronous",
+        &herman17,
+        Daemon::Synchronous,
+        &herman17.legitimacy(),
+        &ExploreOptions::full().with_ring_quotient(),
+        BIG_CAP,
+        1,
+        false,
+    ));
+
+    // Token ring N=12 (m_12 = 5): 5^12 ≈ 2.4·10^8 configurations — full
+    // enumeration is out of reach entirely. On-the-fly BFS over canonical
+    // representatives from a designated scrambled seed checks the
+    // fault-span of that seed exactly.
+    let tr12 = TokenCirculation::on_ring(&builders::ring(12)).unwrap();
+    let seed12 = Configuration::from_vec(vec![0u8, 3, 1, 4, 2, 0, 3, 1, 4, 2, 0, 1]);
+    let reach_quot = ExploreOptions::reachable(vec![seed12]).with_ring_quotient();
+    results.push(run_mode_case(
+        "token_ring/N=12/central",
+        &tr12,
+        Daemon::Central,
+        &tr12.legitimacy(),
+        &reach_quot,
+        BIG_CAP,
+        1,
+        false,
+    ));
+
+    // ---- Report ---------------------------------------------------------
+
     let mut table = Table::new(vec![
         "case",
+        "mode",
+        "quotient",
         "configs",
+        "represented",
         "edges",
         "explore ref (ms)",
         "explore engine (ms)",
@@ -235,43 +409,61 @@ fn main() {
     ]);
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"schema\": \"bench_explore/v1\",");
+    let _ = writeln!(json, "  \"schema\": \"bench_explore/v2\",");
     let _ = writeln!(json, "  \"threads\": {threads},");
     let _ = writeln!(json, "  \"results\": [");
     for (i, r) in results.iter().enumerate() {
-        let explore_speedup = r.explore_reference_ms / r.explore_engine_ms;
-        let chain_speedup = r.chain_reference_ms / r.chain_engine_ms;
+        let explore_speedup = r
+            .explore_reference_ms
+            .map(|ref_ms| ref_ms / r.explore_engine_ms);
+        let chain_speedup = r
+            .chain_reference_ms
+            .map(|ref_ms| ref_ms / r.chain_engine_ms);
         table.row(vec![
             r.case.clone(),
+            r.mode.to_string(),
+            r.quotient.to_string(),
             r.configs.to_string(),
+            r.represented.to_string(),
             r.edges.to_string(),
-            format!("{:.3}", r.explore_reference_ms),
+            fmt_opt(r.explore_reference_ms),
             format!("{:.3}", r.explore_engine_ms),
-            format!("{explore_speedup:.2}x"),
-            format!("{chain_speedup:.2}x"),
+            explore_speedup.map_or("—".into(), |s| format!("{s:.2}x")),
+            chain_speedup.map_or("—".into(), |s| format!("{s:.2}x")),
         ]);
         let _ = writeln!(json, "    {{");
         let _ = writeln!(json, "      \"case\": \"{}\",", r.case);
+        let _ = writeln!(json, "      \"mode\": \"{}\",", r.mode);
+        let _ = writeln!(json, "      \"quotient\": \"{}\",", r.quotient);
         let _ = writeln!(json, "      \"configs\": {},", r.configs);
+        let _ = writeln!(json, "      \"represented\": {},", r.represented);
         let _ = writeln!(json, "      \"edges\": {},", r.edges);
         let _ = writeln!(
             json,
-            "      \"explore_reference_ms\": {:.6},",
-            r.explore_reference_ms
+            "      \"explore_reference_ms\": {},",
+            json_opt(r.explore_reference_ms)
         );
         let _ = writeln!(
             json,
             "      \"explore_engine_ms\": {:.6},",
             r.explore_engine_ms
         );
-        let _ = writeln!(json, "      \"explore_speedup\": {explore_speedup:.3},");
         let _ = writeln!(
             json,
-            "      \"chain_reference_ms\": {:.6},",
-            r.chain_reference_ms
+            "      \"explore_speedup\": {},",
+            json_opt(explore_speedup.map(|s| (s * 1000.0).round() / 1000.0))
+        );
+        let _ = writeln!(
+            json,
+            "      \"chain_reference_ms\": {},",
+            json_opt(r.chain_reference_ms)
         );
         let _ = writeln!(json, "      \"chain_engine_ms\": {:.6},", r.chain_engine_ms);
-        let _ = writeln!(json, "      \"chain_speedup\": {chain_speedup:.3},");
+        let _ = writeln!(
+            json,
+            "      \"chain_speedup\": {},",
+            json_opt(chain_speedup.map(|s| (s * 1000.0).round() / 1000.0))
+        );
         let _ = writeln!(
             json,
             "      \"analyze_engine_ms\": {:.6}",
@@ -286,7 +478,7 @@ fn main() {
     let _ = writeln!(json, "  ]");
     let _ = writeln!(json, "}}");
 
-    println!("# E0 — transition-engine throughput\n");
+    println!("# E0 — transition-engine throughput across exploration modes\n");
     println!("{}", table.to_markdown());
     std::fs::write("BENCH_explore.json", &json).expect("write BENCH_explore.json");
     println!("wrote BENCH_explore.json");

@@ -29,7 +29,40 @@ where
     A::State: Sync,
     L: Legitimacy<A::State> + Sync,
 {
-    let space = ExploredSpace::explore(alg, daemon, spec, cap)?;
+    analyze_with(
+        alg,
+        daemon,
+        spec,
+        cap,
+        &stab_core::engine::ExploreOptions::full(),
+    )
+}
+
+/// Like [`analyze`], but with an explicit traversal mode / quotient
+/// ([`stab_core::engine::ExploreOptions`]): reachable-only exploration
+/// decides the properties relative to the designated initial set, and the
+/// ring-rotation quotient decides them on one representative per rotation
+/// orbit (sound for rotation-equivariant algorithms with
+/// rotation-invariant specifications — see the quotient differential
+/// suite).
+///
+/// # Errors
+///
+/// Propagates [`CoreError`] from exploration, including
+/// [`CoreError::QuotientUnsupported`] for non-ring quotient requests.
+pub fn analyze_with<A, L>(
+    alg: &A,
+    daemon: Daemon,
+    spec: &L,
+    cap: u64,
+    opts: &stab_core::engine::ExploreOptions<A::State>,
+) -> Result<StabilizationReport, CoreError>
+where
+    A: Algorithm + Sync,
+    A::State: Sync,
+    L: Legitimacy<A::State> + Sync,
+{
+    let space = ExploredSpace::explore_with(alg, daemon, spec, cap, opts)?;
     Ok(analyze_space(&space, alg.name(), spec.name()))
 }
 

@@ -19,6 +19,14 @@
 //! code paths, so `report.self_gouda == report.probabilistic` is a
 //! machine-check of Theorem 7 on every system analyzed.
 //!
+//! Every analysis runs on dense state ids, so it applies unchanged to the
+//! engine's cheaper traversals: [`analyze_with`] /
+//! [`ExploredSpace::explore_with`] accept
+//! `stab_core::engine::ExploreOptions` to check rotation quotients of
+//! uniform rings and reachable-only spaces from designated initial sets —
+//! pushing rings several sizes past what full enumeration reaches (the
+//! quotient differential suite pins those verdicts to the full space).
+//!
 //! # Example: Theorem 2 + Theorem 6 on Algorithm 1
 //!
 //! ```
@@ -45,7 +53,7 @@ pub mod symmetry;
 pub mod theorems;
 pub mod verdict;
 
-pub use analysis::{analyze, analyze_space, StabilizationReport};
+pub use analysis::{analyze, analyze_space, analyze_with, StabilizationReport};
 pub use space::ExploredSpace;
 pub use structure::{scc_summary, SccSummary};
 pub use symmetry::{Automorphism, SymmetryVerdict};

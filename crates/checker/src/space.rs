@@ -1,14 +1,22 @@
 //! Exhaustive exploration of a finite system under a daemon: the labelled
-//! transition graph over the *full* configuration space (`I = C` unless the
-//! algorithm restricts its initial set).
+//! transition graph the convergence analyses run on.
 //!
 //! Since PR 1 the exploration itself lives in `stab_core::engine`
 //! ([`TransitionSystem`]): a flat CSR edge store filled by parallel
 //! delta-encoded enumeration, shared with the Markov builder.
 //! [`ExploredSpace`] pairs that engine output with the [`SpaceIndexer`]
 //! so checker code can still move between ids and configurations.
+//!
+//! [`ExploredSpace::explore`] sweeps the full configuration space
+//! (`I = C` unless the algorithm restricts its initial set);
+//! [`ExploredSpace::explore_with`] additionally supports on-the-fly
+//! reachable-only BFS from a designated initial set and ring-rotation
+//! quotienting ([`ExploreOptions`]). Every analysis in this crate
+//! (Tarjan SCCs, fair-cycle detection, reachability closures) operates on
+//! dense ids only, so it runs unchanged over quotient and reachable-mode
+//! systems.
 
-use stab_core::engine::{BitSet, Csr, TransitionSystem};
+use stab_core::engine::{BitSet, Csr, ExploreOptions, TransitionSystem};
 use stab_core::{Algorithm, Configuration, CoreError, Daemon, Legitimacy, SpaceIndexer};
 
 /// One transition edge of the explored space; re-exported from the engine.
@@ -48,12 +56,53 @@ impl<S: stab_core::LocalState> ExploredSpace<S> {
         L: Legitimacy<S> + Sync,
         S: Sync,
     {
+        Self::explore_with(alg, daemon, spec, cap, &ExploreOptions::full())
+    }
+
+    /// Explores `alg` under `daemon` with an explicit traversal mode
+    /// (full sweep or on-the-fly reachable BFS from designated seeds) and
+    /// optional ring-rotation quotient — see
+    /// [`stab_core::engine::ExploreOptions`]. All analyses run unchanged
+    /// over the result; in a quotient space, verdict witnesses render
+    /// orbit representatives.
+    ///
+    /// # Errors
+    ///
+    /// As [`ExploredSpace::explore`], plus
+    /// [`CoreError::QuotientUnsupported`] when quotienting a non-ring
+    /// system and [`CoreError::StateSpaceTooLarge`] when a reachable BFS
+    /// exceeds its state cap.
+    ///
+    /// ```
+    /// use stab_algorithms::HermanRing;
+    /// use stab_checker::ExploredSpace;
+    /// use stab_core::engine::ExploreOptions;
+    /// use stab_core::Daemon;
+    /// use stab_graph::builders;
+    ///
+    /// let alg = HermanRing::on_ring(&builders::ring(7)).unwrap();
+    /// let spec = alg.legitimacy();
+    /// let opts = ExploreOptions::full().with_ring_quotient();
+    /// let space =
+    ///     ExploredSpace::explore_with(&alg, Daemon::Synchronous, &spec, 1 << 20, &opts).unwrap();
+    /// // 20 binary 7-necklaces stand in for all 2^7 = 128 configurations.
+    /// assert_eq!(space.total(), 20);
+    /// assert_eq!(space.represented_configs(), 128);
+    /// ```
+    pub fn explore_with<A, L>(
+        alg: &A,
+        daemon: Daemon,
+        spec: &L,
+        cap: u64,
+        opts: &ExploreOptions<S>,
+    ) -> Result<Self, CoreError>
+    where
+        A: Algorithm<State = S> + Sync,
+        L: Legitimacy<S> + Sync,
+        S: Sync,
+    {
         let indexer = SpaceIndexer::new(alg, cap)?;
-        assert!(
-            indexer.total() <= u32::MAX as u64,
-            "configuration ids must fit in u32"
-        );
-        let ts = TransitionSystem::explore(alg, &indexer, daemon, spec)?;
+        let ts = TransitionSystem::explore_with(alg, &indexer, daemon, spec, opts)?;
         Ok(ExploredSpace {
             indexer,
             daemon,
@@ -138,19 +187,44 @@ impl<S: stab_core::LocalState> ExploredSpace<S> {
         self.ts.legit_count()
     }
 
-    /// Decodes a configuration id for display.
+    /// Decodes a configuration id for display (the orbit representative,
+    /// in a quotient space).
     pub fn render(&self, id: u32) -> String {
-        format!("{:?}", self.indexer.decode(id as u64))
+        format!("{:?}", self.config(id))
     }
 
     /// Decodes a configuration id.
     pub fn config(&self, id: u32) -> Configuration<S> {
-        self.indexer.decode(id as u64)
+        self.indexer.decode(self.ts.full_index_of(id))
     }
 
-    /// Encodes a configuration into its id.
+    /// The id of `cfg` — in a quotient space, the id of its orbit
+    /// representative.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` was not explored (possible in reachable mode); use
+    /// [`ExploredSpace::try_id_of`] to probe.
     pub fn id_of(&self, cfg: &Configuration<S>) -> u32 {
-        self.indexer.encode(cfg) as u32
+        self.try_id_of(cfg)
+            .unwrap_or_else(|| panic!("configuration {cfg:?} was not explored"))
+    }
+
+    /// The id of `cfg` (canonicalized in a quotient space), or `None` if
+    /// it was not reached by the exploration.
+    pub fn try_id_of(&self, cfg: &Configuration<S>) -> Option<u32> {
+        self.ts.id_of_full_index(self.indexer.encode(cfg))
+    }
+
+    /// The number of concrete configurations behind id `id` (its rotation
+    /// orbit size in a quotient space, 1 otherwise).
+    pub fn orbit_size(&self, id: u32) -> u64 {
+        self.ts.orbit_size(id)
+    }
+
+    /// Total concrete configurations represented by the explored ids.
+    pub fn represented_configs(&self) -> u64 {
+        self.ts.represented_configs()
     }
 
     /// Forward-reachable set from the initial configurations.

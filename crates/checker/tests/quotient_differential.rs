@@ -1,0 +1,238 @@
+//! Differential tests of the rotation-quotient and reachable-only
+//! exploration modes against the full sweep.
+//!
+//! For every rotation-equivariant ring algorithm in the zoo, under every
+//! daemon, the stabilization verdicts decided over the quotient (one
+//! lexicographically-least representative per rotation orbit) must equal
+//! the verdicts decided over the full space, the orbits must tile the
+//! space exactly, and each representative's verdict-relevant labels must
+//! agree with its whole orbit. Reachable-mode exploration seeded with the
+//! entire space must reproduce the full system edge for edge, and
+//! reachable-mode exploration from a strict seed set must agree with the
+//! full space on what the seeds can reach.
+
+use stab_algorithms::{GreedyColoring, HermanRing, TokenCirculation};
+use stab_checker::analysis::{analyze_space, StabilizationReport};
+use stab_checker::ExploredSpace;
+use stab_core::engine::ExploreOptions;
+use stab_core::{Algorithm, Configuration, Daemon, Legitimacy, SpaceIndexer};
+use stab_graph::builders;
+
+const CAP: u64 = 1 << 22;
+
+/// Asserts every property verdict (not the state counts, which legitimately
+/// differ) coincides between the two reports.
+fn assert_verdicts_equal(a: &StabilizationReport, b: &StabilizationReport, label: &str) {
+    assert_eq!(a.deterministic, b.deterministic, "{label}: determinism");
+    assert_eq!(a.closure.holds(), b.closure.holds(), "{label}: closure");
+    assert_eq!(a.weak.holds(), b.weak.holds(), "{label}: weak");
+    assert_eq!(
+        a.self_unfair.holds(),
+        b.self_unfair.holds(),
+        "{label}: unfair"
+    );
+    assert_eq!(
+        a.self_weakly_fair.holds(),
+        b.self_weakly_fair.holds(),
+        "{label}: weakly fair"
+    );
+    assert_eq!(
+        a.self_strongly_fair.holds(),
+        b.self_strongly_fair.holds(),
+        "{label}: strongly fair"
+    );
+    assert_eq!(a.self_gouda.holds(), b.self_gouda.holds(), "{label}: Gouda");
+    assert_eq!(
+        a.probabilistic.holds(),
+        b.probabilistic.holds(),
+        "{label}: probabilistic"
+    );
+}
+
+/// Full-vs-quotient differential for one ring algorithm under every
+/// daemon.
+fn quotient_differential<A, L>(alg: &A, spec: &L)
+where
+    A: Algorithm + Sync,
+    A::State: Sync,
+    L: Legitimacy<A::State> + Sync,
+{
+    let n = alg.n() as u64;
+    for daemon in Daemon::ALL {
+        let label = format!("{} under {daemon}", alg.name());
+        let full = ExploredSpace::explore(alg, daemon, spec, CAP).expect("full explore");
+        let opts = ExploreOptions::full().with_ring_quotient();
+        let quot =
+            ExploredSpace::explore_with(alg, daemon, spec, CAP, &opts).expect("quotient explore");
+
+        // Orbit bookkeeping: the orbits tile the space, shrink it by at
+        // most N, and weigh the legitimate set consistently.
+        assert_eq!(
+            quot.represented_configs(),
+            full.total() as u64,
+            "{label}: orbits tile the space"
+        );
+        assert!(quot.total() <= full.total());
+        assert!(
+            (quot.total() as u64) >= full.total() as u64 / n,
+            "{label}: at most N-fold shrinkage"
+        );
+        let legit_weighted: u64 = (0..quot.total())
+            .filter(|&id| quot.is_legit(id))
+            .map(|id| quot.orbit_size(id))
+            .sum();
+        assert_eq!(
+            legit_weighted,
+            full.legit_count(),
+            "{label}: legitimate orbit weights"
+        );
+
+        // Label coherence: every concrete configuration resolves to a
+        // representative with the same legitimacy / enabled-count /
+        // terminality profile (enabled *masks* rotate; their popcount and
+        // the decided labels must not).
+        for id in 0..full.total() {
+            let cfg = full.config(id);
+            let rep = quot.try_id_of(&cfg).expect("every orbit is explored");
+            assert_eq!(
+                full.is_legit(id),
+                quot.is_legit(rep),
+                "{label}: legitimacy of {cfg:?}"
+            );
+            assert_eq!(
+                full.is_terminal(id),
+                quot.is_terminal(rep),
+                "{label}: terminality of {cfg:?}"
+            );
+            assert_eq!(
+                full.enabled_mask(id).count_ones(),
+                quot.enabled_mask(rep).count_ones(),
+                "{label}: enabled count of {cfg:?}"
+            );
+        }
+
+        // The quotient rows stay exactly stochastic after folding.
+        for id in 0..quot.total() {
+            if quot.is_terminal(id) {
+                continue;
+            }
+            let mass: f64 = quot.edges(id).iter().map(|e| e.prob).sum();
+            assert!((mass - 1.0).abs() < 1e-9, "{label}: row {id} mass {mass}");
+        }
+
+        // Verdict agreement across every stabilization property.
+        let full_report = analyze_space(&full, alg.name(), spec.name());
+        let quot_report = analyze_space(&quot, alg.name(), spec.name());
+        assert_verdicts_equal(&full_report, &quot_report, &label);
+    }
+}
+
+#[test]
+fn token_circulation_quotient_matches_full() {
+    for n in [3, 4, 5] {
+        let alg = TokenCirculation::on_ring(&builders::ring(n)).unwrap();
+        quotient_differential(&alg, &alg.legitimacy());
+    }
+}
+
+#[test]
+fn herman_quotient_matches_full() {
+    for n in [3, 5] {
+        let alg = HermanRing::on_ring(&builders::ring(n)).unwrap();
+        quotient_differential(&alg, &alg.legitimacy());
+    }
+}
+
+#[test]
+fn ring_coloring_quotient_matches_full() {
+    let g = builders::ring(4);
+    let alg = GreedyColoring::new(&g).unwrap();
+    quotient_differential(&alg, &alg.legitimacy());
+}
+
+#[test]
+fn transformed_token_ring_quotient_matches_full() {
+    // The §4 transformer preserves uniformity (every process gains the
+    // same coin), so the transformed ring is still rotation-equivariant.
+    use stab_core::{ProjectedLegitimacy, Transformed};
+    let base = TokenCirculation::on_ring(&builders::ring(3)).unwrap();
+    let alg = Transformed::new(TokenCirculation::on_ring(&builders::ring(3)).unwrap());
+    let spec = ProjectedLegitimacy::new(base.legitimacy());
+    quotient_differential(&alg, &spec);
+}
+
+#[test]
+fn quotient_rejects_non_ring_topologies() {
+    let g = builders::path(4);
+    let alg = GreedyColoring::new(&g).unwrap();
+    let spec = alg.legitimacy();
+    let opts = ExploreOptions::full().with_ring_quotient();
+    let err = ExploredSpace::explore_with(&alg, Daemon::Central, &spec, CAP, &opts).unwrap_err();
+    assert!(matches!(
+        err,
+        stab_core::CoreError::QuotientUnsupported { .. }
+    ));
+}
+
+/// Reachable mode seeded with the whole space reproduces the full system
+/// edge for edge (ids coincide because seeds are interned in index order),
+/// and the stabilization report coincides verdict for verdict.
+#[test]
+fn reachable_with_all_seeds_equals_full() {
+    let alg = TokenCirculation::on_ring(&builders::ring(4)).unwrap();
+    let spec = alg.legitimacy();
+    let ix = SpaceIndexer::new(&alg, CAP).unwrap();
+    for daemon in Daemon::ALL {
+        let label = format!("token ring under {daemon}");
+        let full = ExploredSpace::explore(&alg, daemon, &spec, CAP).unwrap();
+        let seeds: Vec<Configuration<u8>> = ix.iter().collect();
+        let opts = ExploreOptions::reachable(seeds);
+        let reach = ExploredSpace::explore_with(&alg, daemon, &spec, CAP, &opts).unwrap();
+        assert_eq!(reach.total(), full.total(), "{label}");
+        for id in 0..full.total() {
+            assert_eq!(reach.config(id), full.config(id), "{label}: config {id}");
+            assert_eq!(reach.edges(id), full.edges(id), "{label}: row {id}");
+            assert_eq!(
+                reach.enabled_mask(id),
+                full.enabled_mask(id),
+                "{label}: mask {id}"
+            );
+        }
+        let full_report = analyze_space(&full, alg.name(), spec.name());
+        let reach_report = analyze_space(&reach, alg.name(), spec.name());
+        assert_verdicts_equal(&full_report, &reach_report, &label);
+    }
+}
+
+/// Reachable mode from a strict seed set agrees with the full space about
+/// what those seeds can reach, and decides `weak` relative to the
+/// designated initial set.
+#[test]
+fn reachable_from_strict_seeds_matches_full_reachability() {
+    let alg = TokenCirculation::on_ring(&builders::ring(5)).unwrap();
+    let spec = alg.legitimacy();
+    let seed = Configuration::from_vec(vec![1u8, 0, 1, 0, 1]);
+    let opts = ExploreOptions::reachable(vec![seed.clone()]);
+    let reach = ExploredSpace::explore_with(&alg, Daemon::Distributed, &spec, CAP, &opts).unwrap();
+    let full = ExploredSpace::explore(&alg, Daemon::Distributed, &spec, CAP).unwrap();
+
+    // The explored set is exactly the full-space forward closure of the
+    // seed.
+    let mut seed_set = stab_core::engine::BitSet::new(full.total() as usize);
+    seed_set.insert(full.id_of(&seed) as usize);
+    let closure = full.transition_system().forward_closure(&seed_set);
+    assert_eq!(reach.total() as u64, closure.count_ones());
+    for id in 0..reach.total() {
+        let cfg = reach.config(id);
+        assert!(
+            closure.get(full.id_of(&cfg) as usize),
+            "{cfg:?} not actually reachable"
+        );
+    }
+    // Algorithm 1 is weak-stabilizing: from the seed, L stays reachable,
+    // and the reachable-mode analysis agrees.
+    let report = analyze_space(&reach, alg.name(), spec.name());
+    assert!(report.closure.holds());
+    assert!(report.weak.holds());
+    assert!(report.probabilistic.holds());
+}

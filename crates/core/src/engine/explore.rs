@@ -3,31 +3,73 @@
 //! [`TransitionSystem::explore`] enumerates the full configuration space of
 //! an algorithm under a daemon and materialises the labelled transition
 //! graph that both the checker (`stab-checker`) and the Markov builder
-//! (`stab-markov`) analyse. Compared to the seed implementation
-//! (single-threaded, one `Vec<Edge>` per configuration, a full `decode`
-//! plus per-successor `encode` on every step) it is:
+//! (`stab-markov`) analyse; [`TransitionSystem::explore_with`] selects
+//! between three traversals per run:
 //!
-//! * **flat** — one [`Csr`] of [`Edge`]s plus bit-packed
-//!   legitimate/initial sets ([`BitSet`]);
-//! * **allocation-free per configuration** — the space is walked with an
-//!   in-place mixed-radix [`ConfigCursor`], and all per-configuration
-//!   scratch lives in reusable buffers;
-//! * **delta-encoded** — a successor's id is
-//!   `id + Σ_{v moved} (digit'(v) − digit(v)) · weight(v)`, touching only
-//!   the activated processes instead of re-encoding all `n` digits with a
-//!   binary search each;
-//! * **outcome-shared** — each enabled process's outcome distribution is
-//!   evaluated once per configuration and reused by every activation
-//!   containing it (sound because all activated processes read the *pre*
-//!   configuration), where the seed re-evaluated guards and statements per
-//!   activation — an exponential factor under the distributed daemon;
-//! * **parallel** — the id range is chunked across scoped threads and
-//!   merged deterministically in chunk order.
+//! * **full sweep** ([`ExploreOptions::full`]) — the PR 1 path: in-place
+//!   mixed-radix [`ConfigCursor`] enumeration over `0..total`, chunked
+//!   across scoped threads, configuration ids equal to mixed-radix
+//!   indices;
+//! * **full sweep over the rotation quotient**
+//!   ([`ExploreOptions::full().with_ring_quotient()`][ExploreOptions::with_ring_quotient])
+//!   — only the lexicographically-least rotation of each orbit gets an id;
+//!   successor edges are canonicalized, and parallel edges produced by the
+//!   folding are merged with their probabilities summed, so the Definition
+//!   6 chain over the quotient is the exact lumping of the full chain;
+//! * **on-the-fly reachable-only BFS** ([`ExploreOptions::reachable`]) —
+//!   breadth-first search from a designated initial set with hash-interned
+//!   configurations: only configurations reachable from the seeds get ids
+//!   (discovery order), and the CSR is built incrementally from the
+//!   frontier, so the explored size is bounded by the reachable set, not
+//!   the product space. Composes with the rotation quotient.
 //!
-//! Every edge carries the uniform-randomized-scheduler probability of
-//! Definition 6 (`1/#activations ×` the product of outcome probabilities),
-//! so the Markov builder reads its `Q` rows straight off the same
-//! structure the checker uses possibilistically.
+//! The per-configuration successor computation (outcome sharing,
+//! delta-encoding, Gray-code subset walks) is shared by all three modes
+//! (`rowgen`). Every edge carries the uniform-randomized-scheduler
+//! probability of Definition 6 (`1/#activations ×` the product of outcome
+//! probabilities), so the Markov builder reads its `Q` rows straight off
+//! the same structure the checker uses possibilistically.
+//!
+//! ```
+//! use stab_core::engine::{ExploreOptions, TransitionSystem};
+//! use stab_core::{
+//!     ActionId, ActionMask, Algorithm, Daemon, Outcomes, Predicate, SpaceIndexer, View,
+//! };
+//! use stab_graph::{builders, Graph, NodeId};
+//!
+//! /// One bit per ring node; a node flips when it differs from *some*
+//! /// neighbour (anonymous and uniform, hence rotation-equivariant).
+//! struct Flip { g: Graph }
+//! impl Algorithm for Flip {
+//!     type State = bool;
+//!     fn graph(&self) -> &Graph { &self.g }
+//!     fn name(&self) -> String { "flip".into() }
+//!     fn state_space(&self, _v: NodeId) -> Vec<bool> { vec![false, true] }
+//!     fn enabled_actions<V: View<bool>>(&self, v: &V) -> ActionMask {
+//!         let differs = (0..v.degree()).any(|p| v.neighbor(p.into()) != v.me());
+//!         ActionMask::when(differs, ActionId::A1)
+//!     }
+//!     fn apply<V: View<bool>>(&self, v: &V, _a: ActionId) -> Outcomes<bool> {
+//!         Outcomes::certain(!*v.me())
+//!     }
+//! }
+//!
+//! let alg = Flip { g: builders::ring(5) };
+//! let ix = SpaceIndexer::new(&alg, 1 << 20).unwrap();
+//! let spec = Predicate::new("agreement", |c: &stab_core::Configuration<bool>| {
+//!     c.states().iter().all(|&b| b) || c.states().iter().all(|&b| !b)
+//! });
+//!
+//! // Full sweep: 2^5 = 32 configurations.
+//! let full = TransitionSystem::explore(&alg, &ix, Daemon::Central, &spec).unwrap();
+//! assert_eq!(full.n_configs(), 32);
+//!
+//! // Rotation quotient: 8 binary necklaces represent all 32.
+//! let opts = ExploreOptions::full().with_ring_quotient();
+//! let quot = TransitionSystem::explore_with(&alg, &ix, Daemon::Central, &spec, &opts).unwrap();
+//! assert_eq!(quot.n_configs(), 8);
+//! assert_eq!(quot.represented_configs(), 32);
+//! ```
 
 use std::ops::Range;
 use std::sync::OnceLock;
@@ -35,7 +77,7 @@ use std::sync::OnceLock;
 use stab_graph::NodeId;
 
 use crate::algorithm::Algorithm;
-use crate::scheduler::{Daemon, DISTRIBUTED_ENUM_CAP};
+use crate::scheduler::Daemon;
 use crate::space::SpaceIndexer;
 use crate::spec::Legitimacy;
 use crate::{CoreError, LocalState};
@@ -43,11 +85,19 @@ use crate::{CoreError, LocalState};
 use super::bitset::BitSet;
 use super::csr::Csr;
 use super::cursor::ConfigCursor;
+use super::onthefly::{self, ExploreMode, ExploreOptions, Quotient, StateIds, TraversalMode};
 use super::parallel;
+use super::quotient::RingCanonicalizer;
+use super::rowgen::RowGen;
 
 /// One transition: activating the processes in `movers` (bit `i` =
 /// process `Pi`) can lead to configuration `to`, and does so with
 /// probability `prob` under the randomized scheduler (Definition 6).
+///
+/// In a quotient system `to` is the id of the successor's *orbit
+/// representative*, and `prob` sums every concrete edge of the row that
+/// folds onto the same `(to, movers)` pair, so row probabilities remain
+/// exactly stochastic.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Edge {
     /// Successor configuration id.
@@ -58,8 +108,9 @@ pub struct Edge {
     pub prob: f64,
 }
 
-/// The fully explored transition system of `(algorithm, daemon)`: flat CSR
-/// edges, per-configuration enabled masks, and bit-packed label sets.
+/// The explored transition system of `(algorithm, daemon)`: flat CSR
+/// edges, per-configuration enabled masks, bit-packed label sets, and the
+/// id ↔ configuration mapping of the traversal that built it.
 #[derive(Debug)]
 pub struct TransitionSystem {
     forward: Csr<Edge>,
@@ -69,18 +120,25 @@ pub struct TransitionSystem {
     legit: BitSet,
     initial: BitSet,
     deterministic: bool,
+    /// id ↔ full-space-index mapping.
+    states: StateIds,
+    /// Present when the system is a rotation quotient.
+    canon: Option<RingCanonicalizer>,
+    traversal: TraversalMode,
 }
 
 impl TransitionSystem {
     /// Explores the full configuration space of `alg` under `daemon`,
     /// labelling configurations with `spec`. `ix` must be the indexer of
-    /// `alg`'s space.
+    /// `alg`'s space. Equivalent to [`TransitionSystem::explore_with`]
+    /// under [`ExploreOptions::full`].
     ///
     /// # Errors
     ///
     /// Propagates [`CoreError::TooManyEnabled`] from distributed-daemon
-    /// enumeration past [`DISTRIBUTED_ENUM_CAP`] simultaneously enabled
-    /// processes.
+    /// enumeration past
+    /// [`DISTRIBUTED_ENUM_CAP`](crate::scheduler::DISTRIBUTED_ENUM_CAP)
+    /// simultaneously enabled processes.
     ///
     /// # Panics
     ///
@@ -97,20 +155,78 @@ impl TransitionSystem {
         A::State: Sync,
         L: Legitimacy<A::State> + Sync,
     {
+        Self::explore_with(alg, ix, daemon, spec, &ExploreOptions::full())
+    }
+
+    /// Explores `alg` under `daemon` with an explicit traversal mode and
+    /// optional ring-rotation quotient (see the module docs for the three
+    /// traversals).
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::TooManyEnabled`] — distributed-daemon enumeration
+    ///   past the cap;
+    /// * [`CoreError::QuotientUnsupported`] — quotient requested on a
+    ///   non-ring topology or a ring with unequal state alphabets;
+    /// * [`CoreError::StateSpaceTooLarge`] — a reachable-mode BFS interned
+    ///   more states than [`ExploreOptions::max_states`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network has more than 64 processes, or if the number
+    /// of *explored* states exceeds `u32::MAX` (for the plain full sweep,
+    /// the number of explored states is the full space).
+    pub fn explore_with<A, L>(
+        alg: &A,
+        ix: &SpaceIndexer<A::State>,
+        daemon: Daemon,
+        spec: &L,
+        opts: &ExploreOptions<A::State>,
+    ) -> Result<Self, CoreError>
+    where
+        A: Algorithm + Sync,
+        A::State: Sync,
+        L: Legitimacy<A::State> + Sync,
+    {
         let n = alg.n();
         assert!(n <= 64, "bitmask encoding supports at most 64 processes");
+        assert!(
+            ix.total() <= i64::MAX as u64,
+            "mixed-radix indices must fit in i64 for delta encoding"
+        );
+        let canon = match opts.quotient {
+            Quotient::None => None,
+            Quotient::RingRotation => Some(RingCanonicalizer::new(alg.graph(), ix)?),
+        };
+        match (&opts.mode, canon) {
+            (ExploreMode::Full, None) => Self::explore_full(alg, ix, daemon, spec),
+            (ExploreMode::Full, Some(canon)) => {
+                onthefly::explore_quotient_sweep(alg, ix, daemon, spec, canon)
+            }
+            (ExploreMode::Reachable { seeds }, canon) => {
+                onthefly::explore_reachable(alg, ix, daemon, spec, seeds, canon, opts.max_states)
+            }
+        }
+    }
+
+    /// The PR 1 full sweep: dense ids, parallel chunking.
+    fn explore_full<A, L>(
+        alg: &A,
+        ix: &SpaceIndexer<A::State>,
+        daemon: Daemon,
+        spec: &L,
+    ) -> Result<Self, CoreError>
+    where
+        A: Algorithm + Sync,
+        A::State: Sync,
+        L: Legitimacy<A::State> + Sync,
+    {
         let total = ix.total();
         assert!(
             total <= u32::MAX as u64,
             "configuration ids must fit in u32"
         );
-        // Per-node adjacency bitmasks for the locally-central independence
-        // test.
-        let graph = alg.graph();
-        let adjacency: Vec<u64> = (0..n)
-            .map(|v| node_mask(graph.neighbors(NodeId::new(v))))
-            .collect();
-
+        let adjacency = adjacency_masks(alg);
         let chunks = parallel::map_chunks(total, |range| {
             explore_chunk(alg, ix, daemon, spec, &adjacency, range)
         })?;
@@ -146,13 +262,41 @@ impl TransitionSystem {
             legit,
             initial,
             deterministic,
+            states: StateIds::Dense { total },
+            canon: None,
+            traversal: TraversalMode::Full,
         })
     }
 
-    /// Assembles a transition system from raw parts. Exposed for the
-    /// differential test suites, which build reference systems through the
-    /// seed enumeration path and compare analyses; production code goes
-    /// through [`TransitionSystem::explore`].
+    /// Assembles a system from the non-dense exploration paths.
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn assemble(
+        forward: Csr<Edge>,
+        enabled: Vec<u64>,
+        legit: BitSet,
+        initial: BitSet,
+        deterministic: bool,
+        states: StateIds,
+        canon: Option<RingCanonicalizer>,
+        traversal: TraversalMode,
+    ) -> Self {
+        TransitionSystem {
+            forward,
+            reverse: OnceLock::new(),
+            enabled,
+            legit,
+            initial,
+            deterministic,
+            states,
+            canon,
+            traversal,
+        }
+    }
+
+    /// Assembles a transition system from raw parts with dense ids.
+    /// Exposed for the differential test suites, which build reference
+    /// systems through the seed enumeration path and compare analyses;
+    /// production code goes through [`TransitionSystem::explore`].
     #[doc(hidden)]
     pub fn from_raw_parts(
         forward: Csr<Edge>,
@@ -164,6 +308,7 @@ impl TransitionSystem {
         assert_eq!(forward.n_rows(), enabled.len());
         assert_eq!(forward.n_rows(), legit.len());
         assert_eq!(forward.n_rows(), initial.len());
+        let total = forward.n_rows() as u64;
         TransitionSystem {
             forward,
             reverse: OnceLock::new(),
@@ -171,10 +316,14 @@ impl TransitionSystem {
             legit,
             initial,
             deterministic,
+            states: StateIds::Dense { total },
+            canon: None,
+            traversal: TraversalMode::Full,
         }
     }
 
-    /// Number of configurations.
+    /// Number of explored configurations (orbit representatives in a
+    /// quotient system; reached states in a reachable-mode system).
     #[inline]
     pub fn n_configs(&self) -> u32 {
         self.forward.n_rows() as u32
@@ -184,6 +333,73 @@ impl TransitionSystem {
     #[inline]
     pub fn n_edges(&self) -> usize {
         self.forward.n_entries()
+    }
+
+    /// How the system was traversed ([`TraversalMode::Full`] sweep or
+    /// [`TraversalMode::Reachable`] BFS).
+    #[inline]
+    pub fn traversal(&self) -> TraversalMode {
+        self.traversal
+    }
+
+    /// Whether ids are orbit representatives of the ring-rotation
+    /// quotient.
+    #[inline]
+    pub fn quotient(&self) -> Quotient {
+        if self.canon.is_some() {
+            Quotient::RingRotation
+        } else {
+            Quotient::None
+        }
+    }
+
+    /// The quotient canonicalizer, when the system is a quotient.
+    #[inline]
+    pub fn canonicalizer(&self) -> Option<&RingCanonicalizer> {
+        self.canon.as_ref()
+    }
+
+    /// The full-space mixed-radix index behind configuration id `id`.
+    #[inline]
+    pub fn full_index_of(&self, id: u32) -> u64 {
+        match &self.states {
+            StateIds::Dense { .. } => id as u64,
+            StateIds::Interned(table) => table.full_of(id),
+        }
+    }
+
+    /// The id of the configuration with full-space index `full`, if it was
+    /// explored. In a quotient system, `full` is canonicalized first, so
+    /// any member of an explored orbit resolves.
+    pub fn id_of_full_index(&self, full: u64) -> Option<u32> {
+        let full = match &self.canon {
+            None => full,
+            Some(c) => c.canonical_owned(full),
+        };
+        match &self.states {
+            StateIds::Dense { total } => (full < *total).then_some(full as u32),
+            StateIds::Interned(table) => table.lookup(full),
+        }
+    }
+
+    /// The number of concrete configurations id `id` stands for: its
+    /// rotation-orbit size in a quotient system, 1 otherwise.
+    #[inline]
+    pub fn orbit_size(&self, id: u32) -> u64 {
+        match &self.states {
+            StateIds::Dense { .. } => 1,
+            StateIds::Interned(table) => table.orbit(id) as u64,
+        }
+    }
+
+    /// Total number of concrete configurations represented: the sum of
+    /// orbit sizes (equals [`TransitionSystem::n_configs`] outside
+    /// quotient mode).
+    pub fn represented_configs(&self) -> u64 {
+        match &self.states {
+            StateIds::Dense { .. } => self.n_configs() as u64,
+            StateIds::Interned(table) => table.represented(),
+        }
     }
 
     /// Outgoing edges of configuration `id`, sorted by `(to, movers)`.
@@ -223,6 +439,7 @@ impl TransitionSystem {
     }
 
     /// Whether configuration `id` is an admissible initial configuration.
+    /// In reachable mode, the initial set is exactly the designated seeds.
     #[inline]
     pub fn is_initial(&self, id: u32) -> bool {
         self.initial.get(id as usize)
@@ -240,13 +457,15 @@ impl TransitionSystem {
         &self.initial
     }
 
-    /// Number of legitimate configurations.
+    /// Number of legitimate explored configurations (representatives in a
+    /// quotient system — weigh by [`TransitionSystem::orbit_size`] for
+    /// concrete counts).
     pub fn legit_count(&self) -> u64 {
         self.legit.count_ones()
     }
 
-    /// Whether the algorithm was deterministic on every configuration
-    /// (mutually exclusive guards and singleton outcomes).
+    /// Whether the algorithm was deterministic on every explored
+    /// configuration (mutually exclusive guards and singleton outcomes).
     #[inline]
     pub fn deterministic(&self) -> bool {
         self.deterministic
@@ -290,6 +509,14 @@ pub fn node_mask(nodes: &[NodeId]) -> u64 {
     nodes.iter().fold(0u64, |m, v| m | (1u64 << v.index()))
 }
 
+/// Per-node adjacency bitmasks for the locally-central independence test.
+pub(super) fn adjacency_masks<A: Algorithm>(alg: &A) -> Vec<u64> {
+    let graph = alg.graph();
+    (0..alg.n())
+        .map(|v| node_mask(graph.neighbors(NodeId::new(v))))
+        .collect()
+}
+
 /// Per-chunk exploration output, merged in chunk order.
 struct Chunk {
     counts: Vec<u32>,
@@ -298,24 +525,6 @@ struct Chunk {
     legit: Vec<bool>,
     initial: Vec<bool>,
     deterministic: bool,
-}
-
-/// Reusable per-thread scratch: nothing here is allocated per
-/// configuration once the buffers have grown to their working sizes.
-struct Scratch {
-    /// Enabled nodes of the current configuration, ascending.
-    enabled_nodes: Vec<NodeId>,
-    /// Per enabled node (same order), its span in `deltas`.
-    delta_spans: Vec<(u32, u32)>,
-    /// Flat `(id delta, probability)` outcome entries.
-    deltas: Vec<(i64, f64)>,
-    /// Activation masks over *global* node bits.
-    activations: Vec<u64>,
-    /// Successor accumulation (double-buffered product construction).
-    branches: Vec<(i64, f64)>,
-    branches_next: Vec<(i64, f64)>,
-    /// The assembled row before sorting.
-    row: Vec<Edge>,
 }
 
 fn explore_chunk<A, L>(
@@ -343,290 +552,26 @@ where
     if size == 0 {
         return Ok(chunk);
     }
-    let mut scratch = Scratch {
-        enabled_nodes: Vec::new(),
-        delta_spans: Vec::new(),
-        deltas: Vec::new(),
-        activations: Vec::new(),
-        branches: Vec::new(),
-        branches_next: Vec::new(),
-        row: Vec::new(),
-    };
+    let mut gen = RowGen::new();
     let mut cursor = ConfigCursor::new(ix, range.start);
     for id in range.clone() {
-        explore_one(
-            alg,
-            ix,
-            daemon,
-            spec,
-            adjacency,
-            &cursor,
-            &mut scratch,
-            &mut chunk,
-        )?;
+        let cfg = cursor.config();
+        chunk.legit.push(spec.is_legitimate(cfg));
+        chunk.initial.push(alg.is_initial(cfg));
+        let (mask, det) = gen.generate(alg, ix, daemon, adjacency, cfg, cursor.digits(), id)?;
+        chunk.deterministic &= det;
+        chunk.enabled.push(mask);
+        chunk.counts.push(gen.row.len() as u32);
+        chunk.edges.extend(gen.row.iter().map(|e| Edge {
+            to: e.to as u32,
+            movers: e.movers,
+            prob: e.prob,
+        }));
         if id + 1 < range.end {
             cursor.advance();
         }
     }
     Ok(chunk)
-}
-
-#[allow(clippy::too_many_arguments)]
-fn explore_one<A, L>(
-    alg: &A,
-    ix: &SpaceIndexer<A::State>,
-    daemon: Daemon,
-    spec: &L,
-    adjacency: &[u64],
-    cursor: &ConfigCursor<'_, A::State>,
-    s: &mut Scratch,
-    chunk: &mut Chunk,
-) -> Result<(), CoreError>
-where
-    A: Algorithm,
-    L: Legitimacy<A::State>,
-{
-    let cfg = cursor.config();
-    let id = cursor.id() as i64;
-    let total = ix.total();
-    chunk.legit.push(spec.is_legitimate(cfg));
-    chunk.initial.push(alg.is_initial(cfg));
-
-    // One pass over the processes: guards, determinism audit, and the
-    // delta-encoded outcome distribution of every enabled process. All
-    // activations read the *pre* configuration, so one evaluation per
-    // process serves every activation below.
-    s.enabled_nodes.clear();
-    s.delta_spans.clear();
-    s.deltas.clear();
-    let mut enabled_mask = 0u64;
-    for v in alg.graph().nodes() {
-        let view = alg.view(cfg, v);
-        let mask = alg.enabled_actions(&view);
-        if mask.len() > 1 {
-            chunk.deterministic = false;
-        }
-        let Some(action) = mask.selected() else {
-            continue;
-        };
-        enabled_mask |= 1u64 << v.index();
-        s.enabled_nodes.push(v);
-        let outcomes = alg.apply(&view, action);
-        if !outcomes.is_certain() {
-            chunk.deterministic = false;
-        }
-        let weight = ix.weight(v) as i64;
-        let digit = cursor.digit(v) as i64;
-        let start = s.deltas.len() as u32;
-        for (p, state) in outcomes.entries() {
-            let delta = (ix.digit_of(v, state) as i64 - digit) * weight;
-            s.deltas.push((delta, *p));
-        }
-        s.delta_spans.push((start, s.deltas.len() as u32));
-    }
-    chunk.enabled.push(enabled_mask);
-
-    let k = s.enabled_nodes.len();
-    if k == 0 {
-        chunk.counts.push(0);
-        return Ok(());
-    }
-    // Whether every enabled process is deterministic here (singleton
-    // outcome): unlocks the O(1)-per-activation Gray-code subset walk.
-    let all_certain = s.delta_spans.iter().all(|&(lo, hi)| hi - lo == 1);
-
-    s.row.clear();
-    match daemon {
-        Daemon::Central => {
-            // Single-mover activations: outcome states are pairwise
-            // distinct, so successors need no merging.
-            let act_prob = 1.0 / k as f64;
-            for (i, &v) in s.enabled_nodes.iter().enumerate() {
-                let movers = 1u64 << v.index();
-                let (lo, hi) = s.delta_spans[i];
-                for &(delta, p) in &s.deltas[lo as usize..hi as usize] {
-                    push_edge(&mut s.row, total, id + delta, movers, act_prob * p);
-                }
-            }
-        }
-        Daemon::Synchronous => {
-            let movers = enabled_mask;
-            product_branches(s, id, movers);
-            for bi in 0..s.branches.len() {
-                let (to, p) = s.branches[bi];
-                push_edge(&mut s.row, total, to, movers, p);
-            }
-        }
-        Daemon::Distributed | Daemon::LocallyCentral => {
-            if k > DISTRIBUTED_ENUM_CAP {
-                return Err(CoreError::TooManyEnabled {
-                    enabled: k,
-                    cap: DISTRIBUTED_ENUM_CAP,
-                });
-            }
-            let independent_only = daemon == Daemon::LocallyCentral;
-            if all_certain {
-                // Gray-code subset walk: toggling one process in or out
-                // updates the successor id, the mover mask, and the
-                // locally-central conflict count in O(1) per subset.
-                let mut movers = 0u64;
-                let mut delta = 0i64;
-                let mut conflicts = 0i64;
-                for g in 1u64..(1u64 << k) {
-                    let i = g.trailing_zeros() as usize;
-                    let v = s.enabled_nodes[i];
-                    let bit = 1u64 << v.index();
-                    let d = s.deltas[s.delta_spans[i].0 as usize].0;
-                    if movers & bit == 0 {
-                        conflicts += (adjacency[v.index()] & movers).count_ones() as i64;
-                        movers |= bit;
-                        delta += d;
-                    } else {
-                        movers &= !bit;
-                        delta -= d;
-                        conflicts -= (adjacency[v.index()] & movers).count_ones() as i64;
-                    }
-                    if independent_only && conflicts > 0 {
-                        continue;
-                    }
-                    push_edge(&mut s.row, total, id + delta, movers, 1.0);
-                }
-                // The uniform activation probability is only known once
-                // the independent subsets are counted.
-                let act_prob = 1.0 / s.row.len() as f64;
-                for e in &mut s.row {
-                    e.prob = act_prob;
-                }
-            } else {
-                enumerate_activations(daemon, &s.enabled_nodes, adjacency, &mut s.activations)?;
-                let act_prob = 1.0 / s.activations.len() as f64;
-                for ai in 0..s.activations.len() {
-                    let movers = s.activations[ai];
-                    product_branches(s, id, movers);
-                    for bi in 0..s.branches.len() {
-                        let (to, p) = s.branches[bi];
-                        push_edge(&mut s.row, total, to, movers, act_prob * p);
-                    }
-                }
-            }
-        }
-    }
-    s.row.sort_unstable_by_key(|e| (e.to, e.movers));
-    chunk.counts.push(s.row.len() as u32);
-    chunk.edges.extend_from_slice(&s.row);
-    Ok(())
-}
-
-/// Appends one delta-encoded edge.
-#[inline]
-fn push_edge(row: &mut Vec<Edge>, total: u64, to: i64, movers: u64, prob: f64) {
-    debug_assert!(to >= 0 && (to as u64) < total, "delta-encoded id in range");
-    let _ = total;
-    row.push(Edge {
-        to: to as u32,
-        movers,
-        prob,
-    });
-}
-
-/// Computes the successor distribution of one activation into
-/// `s.branches`: the product of the movers' outcome deltas, merged by
-/// successor id whenever a probabilistic expansion could collide.
-fn product_branches(s: &mut Scratch, id: i64, movers: u64) {
-    s.branches.clear();
-    s.branches.push((id, 1.0));
-    for (i, &v) in s.enabled_nodes.iter().enumerate() {
-        if movers & (1u64 << v.index()) == 0 {
-            continue;
-        }
-        let (lo, hi) = s.delta_spans[i];
-        if hi - lo == 1 {
-            // Certain outcome: shift every branch, no collisions possible.
-            let (delta, _) = s.deltas[lo as usize];
-            for b in &mut s.branches {
-                b.0 += delta;
-            }
-            continue;
-        }
-        s.branches_next.clear();
-        for &(base, p) in &s.branches {
-            for &(delta, q) in &s.deltas[lo as usize..hi as usize] {
-                s.branches_next.push((base + delta, p * q));
-            }
-        }
-        std::mem::swap(&mut s.branches, &mut s.branches_next);
-        merge_sorted_by_id(&mut s.branches);
-    }
-}
-
-/// Sorts branches by successor id and merges duplicates, summing
-/// probabilities (ascending-id summation order, deterministic).
-fn merge_sorted_by_id(branches: &mut Vec<(i64, f64)>) {
-    if branches.len() <= 1 {
-        return;
-    }
-    branches.sort_unstable_by_key(|&(id, _)| id);
-    let mut write = 0;
-    for read in 1..branches.len() {
-        if branches[read].0 == branches[write].0 {
-            branches[write].1 += branches[read].1;
-        } else {
-            write += 1;
-            branches[write] = branches[read];
-        }
-    }
-    branches.truncate(write + 1);
-}
-
-/// Enumerates the daemon's activations over `enabled` as global node
-/// bitmasks, into `out` (cleared first). Matches [`Daemon::activations`]
-/// up to representation.
-fn enumerate_activations(
-    daemon: Daemon,
-    enabled: &[NodeId],
-    adjacency: &[u64],
-    out: &mut Vec<u64>,
-) -> Result<(), CoreError> {
-    out.clear();
-    let k = enabled.len();
-    if k == 0 {
-        return Ok(());
-    }
-    match daemon {
-        Daemon::Central => {
-            out.extend(enabled.iter().map(|v| 1u64 << v.index()));
-        }
-        Daemon::Synchronous => {
-            out.push(node_mask(enabled));
-        }
-        Daemon::Distributed | Daemon::LocallyCentral => {
-            if k > DISTRIBUTED_ENUM_CAP {
-                return Err(CoreError::TooManyEnabled {
-                    enabled: k,
-                    cap: DISTRIBUTED_ENUM_CAP,
-                });
-            }
-            let independent_only = daemon == Daemon::LocallyCentral;
-            'subset: for local in 1u64..(1u64 << k) {
-                let mut movers = 0u64;
-                let mut rest = local;
-                while rest != 0 {
-                    let i = rest.trailing_zeros() as usize;
-                    rest &= rest - 1;
-                    let v = enabled[i];
-                    if independent_only && adjacency[v.index()] & movers != 0 {
-                        continue 'subset;
-                    }
-                    movers |= 1u64 << v.index();
-                }
-                // The incremental adjacency test above only checks each new
-                // member against *earlier* members, which is exactly
-                // pairwise independence.
-                out.push(movers);
-            }
-        }
-    }
-    Ok(())
 }
 
 #[cfg(test)]
@@ -720,6 +665,21 @@ mod tests {
     }
 
     #[test]
+    fn dense_mapping_is_the_identity() {
+        let (_, ix, ts) = infection_system(Daemon::Central);
+        assert_eq!(ts.traversal(), TraversalMode::Full);
+        assert_eq!(ts.quotient(), Quotient::None);
+        assert!(ts.canonicalizer().is_none());
+        assert_eq!(ts.represented_configs(), ix.total());
+        for id in 0..ts.n_configs() {
+            assert_eq!(ts.full_index_of(id), id as u64);
+            assert_eq!(ts.id_of_full_index(id as u64), Some(id));
+            assert_eq!(ts.orbit_size(id), 1);
+        }
+        assert_eq!(ts.id_of_full_index(ix.total()), None);
+    }
+
+    #[test]
     fn locally_central_respects_independence() {
         let (_, _, ts) = infection_system(Daemon::LocallyCentral);
         let g = builders::path(3);
@@ -740,11 +700,7 @@ mod tests {
 
     #[test]
     fn too_many_enabled_is_reported() {
-        // 25 always-enabled processes under the distributed daemon.
-        let alg = Infection {
-            g: builders::path(2),
-        };
-        let _ = alg; // the infection never has >20 enabled; craft directly:
+        // 22 always-enabled processes under the distributed daemon.
         struct AllOn {
             g: stab_graph::Graph,
         }

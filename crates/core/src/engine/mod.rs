@@ -33,6 +33,22 @@
 //! Both projections of one exploration are guaranteed consistent by
 //! construction — the seed computed them in two separate passes.
 //!
+//! # Exploration modes
+//!
+//! The diagram above shows the default *full sweep* (ids = mixed-radix
+//! indices). [`TransitionSystem::explore_with`] additionally offers, per
+//! run ([`ExploreOptions`]):
+//!
+//! * **on-the-fly reachable-only BFS** ([`ExploreOptions::reachable`]) —
+//!   hash-interned ids in discovery order, CSR built incrementally from
+//!   the frontier; memory scales with the reachable set instead of the
+//!   product space;
+//! * **ring-rotation quotienting**
+//!   ([`ExploreOptions::with_ring_quotient`]) — one id per rotation orbit
+//!   (the lexicographically-least rotation, [`quotient`]); folded parallel
+//!   edges merge with probabilities summed, so [`Edge::prob`] stays the
+//!   exact Definition 6 lumping.
+//!
 //! Throughput is tracked per PR by `cargo run --release --bin exp_explore`
 //! (crate `stab-bench`), which writes `BENCH_explore.json`; see ROADMAP.md
 //! for the schema and the recorded speedups.
@@ -41,9 +57,14 @@ pub mod bitset;
 pub mod csr;
 pub mod cursor;
 pub mod explore;
+pub mod onthefly;
 pub mod parallel;
+pub mod quotient;
+mod rowgen;
 
 pub use bitset::BitSet;
 pub use csr::Csr;
 pub use cursor::ConfigCursor;
 pub use explore::{node_mask, Edge, TransitionSystem};
+pub use onthefly::{ExploreMode, ExploreOptions, Quotient, TraversalMode};
+pub use quotient::RingCanonicalizer;

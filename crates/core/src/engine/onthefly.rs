@@ -1,0 +1,638 @@
+//! Traversal selection: the full mixed-radix sweep, the rotation-quotient
+//! sweep, and on-the-fly reachable-only BFS with hash-interned
+//! configurations.
+//!
+//! The full sweep materialises every configuration, so state-space size —
+//! not speed — caps the largest checkable instance. The two traversals
+//! here push past that cap along independent axes:
+//!
+//! * the **quotient sweep** stores one representative per rotation orbit
+//!   (≈ `total / N` states and edges on an `N`-ring), still visiting every
+//!   index once to find the representatives;
+//! * the **reachable BFS** stores only configurations reachable from a
+//!   designated initial set, discovered frontier by frontier, with a
+//!   `HashMap` interner handing out dense ids in discovery order — the
+//!   standard on-the-fly construction of explicit-state model checkers.
+//!
+//! Both compose: a reachable BFS over canonical representatives explores
+//! the quotient of the reachable set.
+
+use std::collections::HashMap;
+
+use crate::algorithm::Algorithm;
+use crate::config::Configuration;
+use crate::scheduler::Daemon;
+use crate::space::SpaceIndexer;
+use crate::spec::Legitimacy;
+use crate::CoreError;
+
+use super::bitset::BitSet;
+use super::csr::Csr;
+use super::explore::{adjacency_masks, Edge, TransitionSystem};
+use super::parallel;
+use super::quotient::RingCanonicalizer;
+use super::rowgen::RowGen;
+
+/// How to traverse the configuration space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExploreMode<S> {
+    /// Sweep every mixed-radix index (the stabilization default, `I = C`).
+    Full,
+    /// Breadth-first search from the designated initial configurations;
+    /// only reachable configurations are interned and explored, and the
+    /// system's initial set is exactly the seeds.
+    Reachable {
+        /// The designated initial configurations.
+        seeds: Vec<Configuration<S>>,
+    },
+}
+
+/// Symmetry reduction applied to configuration ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Quotient {
+    /// No reduction: one id per configuration.
+    #[default]
+    None,
+    /// One id per rotation orbit of a uniform ring (see
+    /// [`RingCanonicalizer`]); requires a rotation-equivariant algorithm
+    /// and a rotation-invariant specification.
+    RingRotation,
+}
+
+/// Which traversal produced a [`TransitionSystem`] (for reporting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraversalMode {
+    /// Full sweep (plain or quotient).
+    Full,
+    /// Reachable-only BFS from designated seeds.
+    Reachable,
+}
+
+/// Per-run exploration options for
+/// [`TransitionSystem::explore_with`].
+///
+/// ```
+/// use stab_core::engine::{ExploreOptions, Quotient};
+/// let opts: ExploreOptions<u8> = ExploreOptions::full().with_ring_quotient();
+/// assert_eq!(opts.quotient, Quotient::RingRotation);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExploreOptions<S> {
+    /// The traversal: full sweep or reachable-only BFS.
+    pub mode: ExploreMode<S>,
+    /// Optional symmetry reduction.
+    pub quotient: Quotient,
+    /// Reachable-mode safety valve: the BFS fails with
+    /// [`CoreError::StateSpaceTooLarge`] once more states than this are
+    /// interned (default `u32::MAX`, the id-width limit).
+    pub max_states: u64,
+}
+
+impl<S> ExploreOptions<S> {
+    /// The default traversal: full sweep, no quotient.
+    pub fn full() -> Self {
+        ExploreOptions {
+            mode: ExploreMode::Full,
+            quotient: Quotient::None,
+            max_states: u32::MAX as u64,
+        }
+    }
+
+    /// Reachable-only BFS from `seeds`.
+    pub fn reachable(seeds: Vec<Configuration<S>>) -> Self {
+        ExploreOptions {
+            mode: ExploreMode::Reachable { seeds },
+            quotient: Quotient::None,
+            max_states: u32::MAX as u64,
+        }
+    }
+
+    /// Adds the ring-rotation quotient to the traversal.
+    #[must_use]
+    pub fn with_ring_quotient(mut self) -> Self {
+        self.quotient = Quotient::RingRotation;
+        self
+    }
+
+    /// Caps the number of interned states in reachable mode.
+    #[must_use]
+    pub fn with_max_states(mut self, max_states: u64) -> Self {
+        self.max_states = max_states;
+        self
+    }
+}
+
+/// Dense ids for explored states.
+#[derive(Debug)]
+pub(super) enum StateIds {
+    /// id = mixed-radix index (full sweep without quotient).
+    Dense {
+        /// Space size (for range checks).
+        total: u64,
+    },
+    /// Hash-interned ids (quotient sweep or reachable BFS).
+    Interned(StateTable),
+}
+
+/// The intern table of a non-dense exploration: dense id ↔ full-space
+/// mixed-radix index, plus the rotation-orbit size per id (1 without
+/// quotienting).
+#[derive(Debug, Default)]
+pub(super) struct StateTable {
+    full_of: Vec<u64>,
+    ids: HashMap<u64, u32>,
+    orbit: Vec<u32>,
+}
+
+impl StateTable {
+    /// The id of `full`, if interned.
+    #[inline]
+    pub fn lookup(&self, full: u64) -> Option<u32> {
+        self.ids.get(&full).copied()
+    }
+
+    /// Interns `full` (computing its orbit size on first sight) and
+    /// returns its id.
+    #[inline]
+    fn intern(&mut self, full: u64, orbit: impl FnOnce() -> u32) -> u32 {
+        match self.ids.get(&full) {
+            Some(&id) => id,
+            None => {
+                let id = self.full_of.len() as u32;
+                self.full_of.push(full);
+                self.orbit.push(orbit());
+                self.ids.insert(full, id);
+                id
+            }
+        }
+    }
+
+    /// The full-space index behind `id`.
+    #[inline]
+    pub fn full_of(&self, id: u32) -> u64 {
+        self.full_of[id as usize]
+    }
+
+    /// The rotation-orbit size of `id`.
+    #[inline]
+    pub fn orbit(&self, id: u32) -> u32 {
+        self.orbit[id as usize]
+    }
+
+    /// Number of interned states.
+    pub fn len(&self) -> usize {
+        self.full_of.len()
+    }
+
+    /// Total concrete configurations represented (Σ orbit sizes).
+    pub fn represented(&self) -> u64 {
+        self.orbit.iter().map(|&o| o as u64).sum()
+    }
+}
+
+/// Merges consecutive equal `(to, movers)` edges of a sorted row, summing
+/// probabilities — the orbit multiplicities of quotient folding.
+fn merge_parallel_edges(row: &mut Vec<Edge>) {
+    if row.len() <= 1 {
+        return;
+    }
+    let mut write = 0;
+    for read in 1..row.len() {
+        if row[read].to == row[write].to && row[read].movers == row[write].movers {
+            row[write].prob += row[read].prob;
+        } else {
+            write += 1;
+            row[write] = row[read];
+        }
+    }
+    row.truncate(write + 1);
+}
+
+/// Full sweep over the rotation quotient: pass 1 collects the canonical
+/// representatives (in ascending index order, chunked across threads),
+/// pass 2 explores exactly those rows with successors canonicalized.
+pub(super) fn explore_quotient_sweep<A, L>(
+    alg: &A,
+    ix: &SpaceIndexer<A::State>,
+    daemon: Daemon,
+    spec: &L,
+    canon: RingCanonicalizer,
+) -> Result<TransitionSystem, CoreError>
+where
+    A: Algorithm + Sync,
+    A::State: Sync,
+    L: Legitimacy<A::State> + Sync,
+{
+    let total = ix.total();
+    // Pass 1: representatives and their orbit sizes.
+    let rep_chunks = parallel::map_chunks(total, |range| -> Result<_, CoreError> {
+        let mut fulls = Vec::new();
+        let mut orbits = Vec::new();
+        let mut buf = Vec::new();
+        for full in range {
+            if canon.is_canonical(full, &mut buf) {
+                fulls.push(full);
+                orbits.push(canon.orbit(full, &mut buf));
+            }
+        }
+        Ok((fulls, orbits))
+    })?;
+    let mut table = StateTable::default();
+    for (fulls, orbits) in rep_chunks {
+        for (full, orbit) in fulls.into_iter().zip(orbits) {
+            table.intern(full, || orbit);
+        }
+    }
+    let n_reps = table.len();
+    assert!(
+        n_reps <= u32::MAX as usize,
+        "quotient representatives must fit in u32 ids"
+    );
+
+    // Pass 2: explore the representative rows; successors canonicalize to
+    // representatives, which are all in the table by construction.
+    let adjacency = adjacency_masks(alg);
+    let table_ref = &table;
+    let canon_ref = &canon;
+    struct QChunk {
+        counts: Vec<u32>,
+        edges: Vec<Edge>,
+        enabled: Vec<u64>,
+        legit: Vec<bool>,
+        initial: Vec<bool>,
+        deterministic: bool,
+    }
+    let chunks = parallel::map_chunks(n_reps as u64, |range| -> Result<QChunk, CoreError> {
+        let mut chunk = QChunk {
+            counts: Vec::new(),
+            edges: Vec::new(),
+            enabled: Vec::new(),
+            legit: Vec::new(),
+            initial: Vec::new(),
+            deterministic: true,
+        };
+        let mut gen = RowGen::new();
+        let mut digits = Vec::new();
+        let mut canon_buf = Vec::new();
+        let mut row: Vec<Edge> = Vec::new();
+        for id in range {
+            let full = table_ref.full_of(id as u32);
+            let cfg = ix.decode(full);
+            ix.write_digits(full, &mut digits);
+            chunk.legit.push(spec.is_legitimate(&cfg));
+            chunk.initial.push(alg.is_initial(&cfg));
+            let (mask, det) = gen.generate(alg, ix, daemon, &adjacency, &cfg, &digits, full)?;
+            chunk.deterministic &= det;
+            chunk.enabled.push(mask);
+            row.clear();
+            for e in &gen.row {
+                let cto = canon_ref.canonical(e.to, &mut canon_buf);
+                let to = table_ref
+                    .lookup(cto)
+                    .expect("canonical successors are representatives");
+                row.push(Edge {
+                    to,
+                    movers: e.movers,
+                    prob: e.prob,
+                });
+            }
+            row.sort_unstable_by_key(|e| (e.to, e.movers));
+            merge_parallel_edges(&mut row);
+            chunk.counts.push(row.len() as u32);
+            chunk.edges.extend_from_slice(&row);
+        }
+        Ok(chunk)
+    })?;
+
+    let mut counts = Vec::with_capacity(n_reps);
+    let mut edges = Vec::new();
+    let mut enabled = Vec::with_capacity(n_reps);
+    let mut legit = BitSet::new(n_reps);
+    let mut initial = BitSet::new(n_reps);
+    let mut deterministic = true;
+    let mut base = 0usize;
+    for chunk in chunks {
+        counts.extend_from_slice(&chunk.counts);
+        edges.extend_from_slice(&chunk.edges);
+        enabled.extend_from_slice(&chunk.enabled);
+        for (i, &l) in chunk.legit.iter().enumerate() {
+            if l {
+                legit.insert(base + i);
+            }
+        }
+        for (i, &l) in chunk.initial.iter().enumerate() {
+            if l {
+                initial.insert(base + i);
+            }
+        }
+        deterministic &= chunk.deterministic;
+        base += chunk.counts.len();
+    }
+    Ok(TransitionSystem::assemble(
+        Csr::from_counts(&counts, edges),
+        enabled,
+        legit,
+        initial,
+        deterministic,
+        StateIds::Interned(table),
+        Some(canon),
+        TraversalMode::Full,
+    ))
+}
+
+/// On-the-fly BFS from `seeds`: hash-interned ids in discovery order, CSR
+/// built incrementally from the frontier. With a canonicalizer, every
+/// interned configuration is an orbit representative.
+pub(super) fn explore_reachable<A, L>(
+    alg: &A,
+    ix: &SpaceIndexer<A::State>,
+    daemon: Daemon,
+    spec: &L,
+    seeds: &[Configuration<A::State>],
+    canon: Option<RingCanonicalizer>,
+    max_states: u64,
+) -> Result<TransitionSystem, CoreError>
+where
+    A: Algorithm,
+    L: Legitimacy<A::State>,
+{
+    let max_states = max_states.min(u32::MAX as u64);
+    let adjacency = adjacency_masks(alg);
+    let mut table = StateTable::default();
+    let mut canon_buf = Vec::new();
+
+    let canonical_of = |full: u64, buf: &mut Vec<u32>| match &canon {
+        None => full,
+        Some(c) => c.canonical(full, buf),
+    };
+    // Seeds are interned first, so they occupy ids 0..#distinct-seeds and
+    // form the system's initial set.
+    let mut seed_ids = Vec::with_capacity(seeds.len());
+    for cfg in seeds {
+        let full = canonical_of(ix.encode(cfg), &mut canon_buf);
+        let id = table.intern(full, || match &canon {
+            None => 1,
+            Some(c) => c.orbit(full, &mut canon_buf),
+        });
+        seed_ids.push(id);
+    }
+
+    let mut gen = RowGen::new();
+    let mut digits = Vec::new();
+    let mut row: Vec<Edge> = Vec::new();
+    let mut counts: Vec<u32> = Vec::new();
+    let mut edges: Vec<Edge> = Vec::new();
+    let mut enabled: Vec<u64> = Vec::new();
+    let mut legit_flags: Vec<bool> = Vec::new();
+    let mut deterministic = true;
+
+    // The intern table doubles as the BFS queue: ids are handed out in
+    // discovery order and `next` chases the growing tail.
+    let mut next = 0usize;
+    while next < table.len() {
+        let id = next as u32;
+        next += 1;
+        let full = table.full_of(id);
+        let cfg = ix.decode(full);
+        ix.write_digits(full, &mut digits);
+        legit_flags.push(spec.is_legitimate(&cfg));
+        let (mask, det) = gen.generate(alg, ix, daemon, &adjacency, &cfg, &digits, full)?;
+        deterministic &= det;
+        enabled.push(mask);
+        row.clear();
+        for e in &gen.row {
+            let cto = match &canon {
+                None => e.to,
+                Some(c) => c.canonical(e.to, &mut canon_buf),
+            };
+            let to = match table.lookup(cto) {
+                Some(to) => to,
+                None => table.intern(cto, || match &canon {
+                    None => 1,
+                    Some(c) => c.orbit(cto, &mut canon_buf),
+                }),
+            };
+            row.push(Edge {
+                to,
+                movers: e.movers,
+                prob: e.prob,
+            });
+        }
+        if table.len() as u64 > max_states {
+            return Err(CoreError::StateSpaceTooLarge {
+                total: table.len() as u128,
+                cap: max_states,
+            });
+        }
+        row.sort_unstable_by_key(|e| (e.to, e.movers));
+        merge_parallel_edges(&mut row);
+        counts.push(row.len() as u32);
+        edges.extend_from_slice(&row);
+    }
+
+    let n = table.len();
+    let mut legit = BitSet::new(n);
+    for (i, &l) in legit_flags.iter().enumerate() {
+        if l {
+            legit.insert(i);
+        }
+    }
+    let mut initial = BitSet::new(n);
+    for &id in &seed_ids {
+        initial.insert(id as usize);
+    }
+    Ok(TransitionSystem::assemble(
+        Csr::from_counts(&counts, edges),
+        enabled,
+        legit,
+        initial,
+        deterministic,
+        StateIds::Interned(table),
+        canon,
+        TraversalMode::Reachable,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::{ActionId, ActionMask};
+    use crate::outcome::Outcomes;
+    use crate::view::View;
+    use crate::{Daemon, Predicate};
+    use stab_graph::{builders, Graph, NodeId};
+
+    /// One-bit anonymous ring algorithm: flip when differing from the
+    /// predecessor-side neighbour (rotation-equivariant by construction).
+    struct CopyRing {
+        g: Graph,
+    }
+
+    impl Algorithm for CopyRing {
+        type State = bool;
+        fn graph(&self) -> &Graph {
+            &self.g
+        }
+        fn name(&self) -> String {
+            "copy-ring".into()
+        }
+        fn state_space(&self, _v: NodeId) -> Vec<bool> {
+            vec![false, true]
+        }
+        fn enabled_actions<V: View<bool>>(&self, v: &V) -> ActionMask {
+            ActionMask::when(v.neighbor(0.into()) != v.me(), ActionId::A1)
+        }
+        fn apply<V: View<bool>>(&self, v: &V, _a: ActionId) -> Outcomes<bool> {
+            Outcomes::certain(*v.neighbor(0.into()))
+        }
+    }
+
+    fn agreement() -> Predicate<bool> {
+        Predicate::new("agreement", |c: &Configuration<bool>| {
+            c.states().iter().all(|&b| b) || c.states().iter().all(|&b| !b)
+        })
+    }
+
+    #[test]
+    fn reachable_all_seeds_matches_full_sweep_edge_for_edge() {
+        let alg = CopyRing {
+            g: builders::ring(4),
+        };
+        let ix = SpaceIndexer::new(&alg, 1 << 20).unwrap();
+        let spec = agreement();
+        for daemon in Daemon::ALL {
+            let full = TransitionSystem::explore(&alg, &ix, daemon, &spec).unwrap();
+            // Seeding with every configuration in index order makes BFS
+            // hand out ids equal to mixed-radix indices.
+            let seeds: Vec<_> = ix.iter().collect();
+            let opts = ExploreOptions::reachable(seeds);
+            let reach = TransitionSystem::explore_with(&alg, &ix, daemon, &spec, &opts).unwrap();
+            assert_eq!(reach.traversal(), TraversalMode::Reachable);
+            assert_eq!(reach.n_configs(), full.n_configs());
+            assert_eq!(reach.legit(), full.legit());
+            for id in 0..full.n_configs() {
+                assert_eq!(reach.full_index_of(id), id as u64);
+                assert_eq!(reach.enabled_mask(id), full.enabled_mask(id));
+                assert_eq!(reach.edges(id), full.edges(id), "row {id} under {daemon}");
+            }
+        }
+    }
+
+    #[test]
+    fn reachable_interns_only_the_reachable_set() {
+        let alg = CopyRing {
+            g: builders::ring(4),
+        };
+        let ix = SpaceIndexer::new(&alg, 1 << 20).unwrap();
+        let spec = agreement();
+        // From ⟨T,F,F,F⟩ under the central daemon, the copy dynamics can
+        // reach only a strict subset of the 16 configurations.
+        let seed = Configuration::from_vec(vec![true, false, false, false]);
+        let opts = ExploreOptions::reachable(vec![seed.clone()]);
+        let ts = TransitionSystem::explore_with(&alg, &ix, Daemon::Central, &spec, &opts).unwrap();
+        assert!(ts.n_configs() < 16, "strict subset, got {}", ts.n_configs());
+        // The seed is the whole initial set and has id 0.
+        assert_eq!(ts.initial().count_ones(), 1);
+        assert!(ts.is_initial(0));
+        assert_eq!(ts.full_index_of(0), ix.encode(&seed));
+        // Every explored state is reachable from the seed by construction.
+        let mut seeds = BitSet::new(ts.n_configs() as usize);
+        seeds.insert(0);
+        assert!(ts.forward_closure(&seeds).is_full());
+        // Unreached configurations have no id.
+        let unreached = ix.encode(&Configuration::from_vec(vec![true, false, true, false]));
+        assert_eq!(ts.id_of_full_index(unreached), None);
+    }
+
+    #[test]
+    fn reachable_mode_respects_the_state_cap() {
+        let alg = CopyRing {
+            g: builders::ring(5),
+        };
+        let ix = SpaceIndexer::new(&alg, 1 << 20).unwrap();
+        let spec = agreement();
+        let seeds: Vec<_> = ix.iter().collect();
+        let opts = ExploreOptions::reachable(seeds).with_max_states(7);
+        let err =
+            TransitionSystem::explore_with(&alg, &ix, Daemon::Central, &spec, &opts).unwrap_err();
+        assert!(matches!(err, CoreError::StateSpaceTooLarge { cap: 7, .. }));
+    }
+
+    #[test]
+    fn quotient_sweep_folds_rotations_exactly() {
+        let alg = CopyRing {
+            g: builders::ring(5),
+        };
+        let ix = SpaceIndexer::new(&alg, 1 << 20).unwrap();
+        let spec = agreement();
+        let opts = ExploreOptions::full().with_ring_quotient();
+        let ts = TransitionSystem::explore_with(&alg, &ix, Daemon::Central, &spec, &opts).unwrap();
+        // 8 binary 5-necklaces; orbits tile the 32-configuration space.
+        assert_eq!(ts.n_configs(), 8);
+        assert_eq!(ts.represented_configs(), 32);
+        assert_eq!(ts.quotient(), Quotient::RingRotation);
+        // Representatives are canonical, ids ascend with full index.
+        let canon = ts.canonicalizer().unwrap();
+        let mut buf = Vec::new();
+        let mut prev = None;
+        for id in 0..ts.n_configs() {
+            let full = ts.full_index_of(id);
+            assert!(canon.is_canonical(full, &mut buf));
+            assert!(prev < Some(full), "ids ascend with representative index");
+            prev = Some(full);
+            // Any orbit member resolves to the representative's id.
+            assert_eq!(ts.id_of_full_index(full), Some(id));
+        }
+        // Per-row probability mass stays exactly stochastic after folding.
+        for id in 0..ts.n_configs() {
+            if ts.is_terminal(id) {
+                continue;
+            }
+            let mass: f64 = ts.edges(id).iter().map(|e| e.prob).sum();
+            assert!((mass - 1.0).abs() < 1e-9, "row {id} mass {mass}");
+        }
+        // The two all-equal configurations are terminal representatives.
+        assert_eq!(ts.legit_count(), 2);
+    }
+
+    #[test]
+    fn reachable_quotient_composes() {
+        let alg = CopyRing {
+            g: builders::ring(6),
+        };
+        let ix = SpaceIndexer::new(&alg, 1 << 20).unwrap();
+        let spec = agreement();
+        let seeds: Vec<_> = ix.iter().collect();
+        let quotient_sweep = TransitionSystem::explore_with(
+            &alg,
+            &ix,
+            Daemon::Central,
+            &spec,
+            &ExploreOptions::full().with_ring_quotient(),
+        )
+        .unwrap();
+        let reach_quotient = TransitionSystem::explore_with(
+            &alg,
+            &ix,
+            Daemon::Central,
+            &spec,
+            &ExploreOptions::reachable(seeds).with_ring_quotient(),
+        )
+        .unwrap();
+        // Seeding everything makes the reachable quotient cover every
+        // orbit: same representative set, possibly different id order.
+        assert_eq!(reach_quotient.n_configs(), quotient_sweep.n_configs());
+        assert_eq!(
+            reach_quotient.represented_configs(),
+            quotient_sweep.represented_configs()
+        );
+        let mut a: Vec<u64> = (0..reach_quotient.n_configs())
+            .map(|id| reach_quotient.full_index_of(id))
+            .collect();
+        let b: Vec<u64> = (0..quotient_sweep.n_configs())
+            .map(|id| quotient_sweep.full_index_of(id))
+            .collect();
+        a.sort_unstable();
+        assert_eq!(a, b);
+    }
+}

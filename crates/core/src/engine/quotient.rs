@@ -1,0 +1,354 @@
+//! Rotational-symmetry quotienting for ring topologies.
+//!
+//! Anonymous uniform ring algorithms (Herman's ring, Algorithm 1's token
+//! circulation, greedy coloring on a ring, …) are *rotation-equivariant*:
+//! rotating a configuration and then taking a step equals taking the step
+//! and then rotating. The rotation group therefore partitions the
+//! configuration space into orbits of up to `N` configurations each, and
+//! every analysis — possibilistic (closure, reachability, fair cycles) and
+//! probabilistic (the Definition 6 Markov chain, which lumps exactly over
+//! the orbit partition) — can run on one representative per orbit.
+//!
+//! [`RingCanonicalizer`] picks the representative: the rotation whose
+//! digit sequence, read in canonical cycle order, is **lexicographically
+//! least**. Canonicalization works directly on mixed-radix indices (no
+//! configuration allocation), so it is cheap enough to run per successor
+//! edge during exploration.
+//!
+//! Soundness requires the algorithm *and* the legitimacy predicate to be
+//! rotation-invariant; the canonicalizer checks what is checkable
+//! syntactically — ring topology and equal per-node state alphabets — and
+//! the quotient differential suites verify verdict/probability agreement
+//! for the zoo's ring algorithms. Rooted ring algorithms (e.g. Dijkstra's
+//! K-state protocol, whose root breaks anonymity) must not be quotiented.
+
+use stab_graph::{Graph, RingRotations};
+
+use crate::space::SpaceIndexer;
+use crate::{CoreError, LocalState};
+
+/// Maps mixed-radix configuration indices of a uniform ring space to the
+/// index of their lexicographically-least rotation.
+#[derive(Debug, Clone)]
+pub struct RingCanonicalizer {
+    /// Mixed-radix weight of the node at each cycle position.
+    weights: Vec<u64>,
+    /// The common alphabet size of every ring node.
+    radix: u64,
+}
+
+impl RingCanonicalizer {
+    /// Builds the canonicalizer for `alg`'s ring, validating that the
+    /// quotient is well-formed.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::QuotientUnsupported`] if `g` is not a ring (including
+    /// all graphs with fewer than 3 nodes) or its nodes have unequal state
+    /// alphabets.
+    pub fn new<S: LocalState>(g: &Graph, ix: &SpaceIndexer<S>) -> Result<Self, CoreError> {
+        let rot = RingRotations::of(g).map_err(|_| CoreError::QuotientUnsupported {
+            reason: format!("the {}-node topology is not a ring", g.n()),
+        })?;
+        let order = rot.order();
+        let first = ix.states_of(order[0]);
+        for &v in &order[1..] {
+            if ix.states_of(v) != first {
+                return Err(CoreError::QuotientUnsupported {
+                    reason: format!(
+                        "state alphabets differ between ring nodes (node 0 has {}, {v} has {})",
+                        first.len(),
+                        ix.states_of(v).len()
+                    ),
+                });
+            }
+        }
+        Ok(RingCanonicalizer {
+            weights: order.iter().map(|&v| ix.weight(v)).collect(),
+            radix: first.len() as u64,
+        })
+    }
+
+    /// Ring size.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Writes the digits of `full` in cycle order into `buf` (resized to
+    /// `n()`).
+    fn cycle_digits(&self, full: u64, buf: &mut Vec<u32>) {
+        buf.clear();
+        buf.extend(
+            self.weights
+                .iter()
+                .map(|&w| ((full / w) % self.radix) as u32),
+        );
+    }
+
+    /// Writes the digits of `full` in cycle order into the first `n()`
+    /// entries of `buf`.
+    fn cycle_digits_into(&self, full: u64, buf: &mut [u32]) {
+        for (d, &w) in buf.iter_mut().zip(&self.weights) {
+            *d = ((full / w) % self.radix) as u32;
+        }
+    }
+
+    /// The canonical index of the digit sequence `d` (cycle order), given
+    /// that `d` encodes `full`.
+    fn canonical_of_digits(&self, full: u64, d: &[u32]) -> u64 {
+        let n = d.len();
+        let k = Self::least_rotation(d);
+        if k == 0 {
+            return full;
+        }
+        (0..n)
+            .map(|j| d[(j + k) % n] as u64 * self.weights[j])
+            .sum()
+    }
+
+    /// The rotation offset `k` whose digit sequence `d[(j+k) mod n]` is
+    /// lexicographically least.
+    fn least_rotation(d: &[u32]) -> usize {
+        let n = d.len();
+        let mut best = 0usize;
+        for k in 1..n {
+            for j in 0..n {
+                let a = d[(j + k) % n];
+                let b = d[(j + best) % n];
+                if a != b {
+                    if a < b {
+                        best = k;
+                    }
+                    break;
+                }
+            }
+        }
+        best
+    }
+
+    /// The index of the lexicographically-least rotation of `full`.
+    /// `buf` is caller-provided scratch (no allocation per call once
+    /// grown).
+    pub fn canonical(&self, full: u64, buf: &mut Vec<u32>) -> u64 {
+        self.cycle_digits(full, buf);
+        self.canonical_of_digits(full, buf)
+    }
+
+    /// Like [`RingCanonicalizer::canonical`] but without caller-provided
+    /// scratch: allocation-free on rings of at most 64 nodes (the
+    /// engine's process-count limit) via a stack buffer. Convenient for
+    /// `&self` lookup paths that have nowhere to keep scratch.
+    pub fn canonical_owned(&self, full: u64) -> u64 {
+        let n = self.n();
+        if n <= 64 {
+            let mut buf = [0u32; 64];
+            self.cycle_digits_into(full, &mut buf[..n]);
+            self.canonical_of_digits(full, &buf[..n])
+        } else {
+            let mut buf = Vec::new();
+            self.canonical(full, &mut buf)
+        }
+    }
+
+    /// Whether `full` is its own canonical representative.
+    pub fn is_canonical(&self, full: u64, buf: &mut Vec<u32>) -> bool {
+        self.canonical(full, buf) == full
+    }
+
+    /// The orbit size of `full` under rotation: the number of *distinct*
+    /// configurations among its `n` rotations, which equals the smallest
+    /// period of the digit sequence (an all-equal configuration has
+    /// period — hence orbit size — 1).
+    pub fn orbit(&self, full: u64, buf: &mut Vec<u32>) -> u32 {
+        self.cycle_digits(full, buf);
+        let n = buf.len();
+        // The smallest p > 0 with d[(j+p) mod n] == d[j] for all j is the
+        // period; it divides n, so only divisors need checking.
+        for p in 1..=n {
+            if !n.is_multiple_of(p) {
+                continue;
+            }
+            if (0..n).all(|j| buf[(j + p) % n] == buf[j]) {
+                return p as u32;
+            }
+        }
+        unreachable!("p = n always fixes the sequence")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::{ActionId, ActionMask};
+    use crate::algorithm::Algorithm;
+    use crate::outcome::Outcomes;
+    use crate::view::View;
+    use stab_graph::{builders, NodeId};
+
+    /// A trivial ring algorithm with `radix` states per node (never
+    /// enabled; only the space matters here).
+    struct RingStates {
+        g: Graph,
+        radix: u8,
+    }
+
+    impl Algorithm for RingStates {
+        type State = u8;
+        fn graph(&self) -> &Graph {
+            &self.g
+        }
+        fn name(&self) -> String {
+            "ring-states".into()
+        }
+        fn state_space(&self, _v: NodeId) -> Vec<u8> {
+            (0..self.radix).collect()
+        }
+        fn enabled_actions<V: View<u8>>(&self, _v: &V) -> ActionMask {
+            ActionMask::empty()
+        }
+        fn apply<V: View<u8>>(&self, _v: &V, _a: ActionId) -> Outcomes<u8> {
+            unreachable!("never enabled")
+        }
+    }
+
+    fn canonicalizer(n: usize, radix: u8) -> (SpaceIndexer<u8>, RingCanonicalizer) {
+        let alg = RingStates {
+            g: builders::ring(n),
+            radix,
+        };
+        let ix = SpaceIndexer::new(&alg, 1 << 40).unwrap();
+        let canon = RingCanonicalizer::new(alg.graph(), &ix).unwrap();
+        (ix, canon)
+    }
+
+    #[test]
+    fn canonical_is_idempotent_and_minimal_in_orbit() {
+        let (ix, canon) = canonicalizer(5, 3);
+        let mut buf = Vec::new();
+        for full in 0..ix.total() {
+            let c = canon.canonical(full, &mut buf);
+            assert_eq!(canon.canonical(c, &mut buf), c, "idempotent at {full}");
+            assert!(canon.is_canonical(c, &mut buf));
+            // The representative is the minimum *lexicographic* rotation;
+            // verify against a brute-force rotation of the decoded config.
+            let cfg = ix.decode(full);
+            let n = cfg.len();
+            let states: Vec<u8> = cfg.states().to_vec();
+            let mut orbit_reps = Vec::new();
+            for k in 0..n {
+                let rotated: Vec<u8> = (0..n).map(|j| states[(j + k) % n]).collect();
+                orbit_reps.push(rotated);
+            }
+            let min_seq = orbit_reps.iter().min().unwrap().clone();
+            let min_full = ix.encode(&crate::Configuration::from_vec(min_seq));
+            assert_eq!(c, min_full, "orbit minimum of {full}");
+        }
+    }
+
+    #[test]
+    fn orbit_sizes_sum_to_the_space() {
+        // Burnside check: the orbit sizes of the canonical representatives
+        // must tile the full space exactly.
+        for (n, radix) in [(3usize, 2u8), (4, 3), (6, 2)] {
+            let (ix, canon) = canonicalizer(n, radix);
+            let mut buf = Vec::new();
+            let mut reps = 0u64;
+            let mut covered = 0u64;
+            for full in 0..ix.total() {
+                if canon.is_canonical(full, &mut buf) {
+                    reps += 1;
+                    covered += canon.orbit(full, &mut buf) as u64;
+                }
+            }
+            assert_eq!(covered, ix.total(), "orbits tile the space (N={n})");
+            assert!(reps <= ix.total());
+            assert!(reps >= ix.total() / n as u64, "at most N-fold shrinkage");
+        }
+    }
+
+    #[test]
+    fn all_equal_configurations_have_orbit_one() {
+        let (ix, canon) = canonicalizer(6, 4);
+        let mut buf = Vec::new();
+        for s in 0..4u64 {
+            // ⟨s, s, s, s, s, s⟩: fixed by every rotation.
+            let full = (0..6).map(|v| s * ix.weight(NodeId::new(v))).sum::<u64>();
+            assert!(canon.is_canonical(full, &mut buf));
+            assert_eq!(canon.orbit(full, &mut buf), 1);
+        }
+        // A period-2 pattern on the 6-ring: ⟨0,1,0,1,0,1⟩ has orbit 2.
+        let alternating = (0..6)
+            .map(|v| (v as u64 % 2) * ix.weight(NodeId::new(v)))
+            .sum::<u64>();
+        assert_eq!(canon.orbit(alternating, &mut buf), 2);
+    }
+
+    #[test]
+    fn rotations_canonicalize_to_the_same_representative() {
+        let (ix, canon) = canonicalizer(7, 2);
+        let mut buf = Vec::new();
+        let states = [1u8, 0, 0, 1, 0, 1, 1];
+        let base = ix.encode(&crate::Configuration::from_vec(states.to_vec()));
+        let expect = canon.canonical(base, &mut buf);
+        for k in 0..7 {
+            let rotated: Vec<u8> = (0..7).map(|j| states[(j + k) % 7]).collect();
+            let full = ix.encode(&crate::Configuration::from_vec(rotated));
+            assert_eq!(canon.canonical(full, &mut buf), expect, "rotation {k}");
+        }
+    }
+
+    #[test]
+    fn non_rings_are_rejected_cleanly() {
+        for g in [
+            builders::path(1), // the N = 1 edge case
+            builders::path(2),
+            builders::path(4),
+            builders::star(5),
+        ] {
+            let alg = RingStates { g, radix: 2 };
+            let ix = SpaceIndexer::new(&alg, 1 << 20).unwrap();
+            let err = RingCanonicalizer::new(alg.graph(), &ix).unwrap_err();
+            assert!(
+                matches!(err, CoreError::QuotientUnsupported { .. }),
+                "{err}"
+            );
+            assert!(err.to_string().contains("not a ring"));
+        }
+    }
+
+    #[test]
+    fn unequal_alphabets_are_rejected() {
+        struct Lopsided {
+            g: Graph,
+        }
+        impl Algorithm for Lopsided {
+            type State = u8;
+            fn graph(&self) -> &Graph {
+                &self.g
+            }
+            fn name(&self) -> String {
+                "lopsided".into()
+            }
+            fn state_space(&self, v: NodeId) -> Vec<u8> {
+                if v.index() == 1 {
+                    vec![0, 1, 2]
+                } else {
+                    vec![0, 1]
+                }
+            }
+            fn enabled_actions<V: View<u8>>(&self, _v: &V) -> ActionMask {
+                ActionMask::empty()
+            }
+            fn apply<V: View<u8>>(&self, _v: &V, _a: ActionId) -> Outcomes<u8> {
+                unreachable!("never enabled")
+            }
+        }
+        let alg = Lopsided {
+            g: builders::ring(4),
+        };
+        let ix = SpaceIndexer::new(&alg, 1 << 20).unwrap();
+        let err = RingCanonicalizer::new(alg.graph(), &ix).unwrap_err();
+        assert!(err.to_string().contains("alphabets differ"));
+    }
+}

@@ -1,0 +1,330 @@
+//! Per-configuration successor-row generation, shared by every exploration
+//! mode (full mixed-radix sweep, rotation-quotient sweep, on-the-fly BFS).
+//!
+//! [`RowGen::generate`] evaluates each enabled process's guard and outcome
+//! distribution **once** per configuration (outcome sharing), then expands
+//! the daemon's activations into successor edges by delta-encoding —
+//! `successor = id + Σ_{v moved} (digit'(v) − digit(v)) · weight(v)` — with
+//! a Gray-code subset walk for deterministic systems. The emitted
+//! [`RawEdge`]s address successors by their *full-space* mixed-radix index;
+//! the caller maps those to dense ids (identity for the full sweep,
+//! canonicalize-and-intern for the quotient and reachable modes).
+
+use stab_graph::NodeId;
+
+use crate::algorithm::Algorithm;
+use crate::config::Configuration;
+use crate::scheduler::{Daemon, DISTRIBUTED_ENUM_CAP};
+use crate::space::SpaceIndexer;
+use crate::CoreError;
+
+use super::explore::node_mask;
+
+/// One successor edge in full-space coordinates, before id mapping.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(super) struct RawEdge {
+    /// Mixed-radix index of the successor configuration.
+    pub to: u64,
+    /// Bitmask of activated processes.
+    pub movers: u64,
+    /// `P(activation) × P(outcome)` under the uniform randomized daemon.
+    pub prob: f64,
+}
+
+/// Reusable per-thread scratch: nothing here is allocated per
+/// configuration once the buffers have grown to their working sizes.
+pub(super) struct RowGen {
+    /// Enabled nodes of the current configuration, ascending.
+    enabled_nodes: Vec<NodeId>,
+    /// Per enabled node (same order), its span in `deltas`.
+    delta_spans: Vec<(u32, u32)>,
+    /// Flat `(id delta, probability)` outcome entries.
+    deltas: Vec<(i64, f64)>,
+    /// Activation masks over *global* node bits.
+    activations: Vec<u64>,
+    /// Successor accumulation (double-buffered product construction).
+    branches: Vec<(i64, f64)>,
+    branches_next: Vec<(i64, f64)>,
+    /// The assembled row, sorted by `(to, movers)`. Distinct raw edges are
+    /// distinct pairs by construction; only id *mapping* (quotienting) can
+    /// introduce duplicates, which the mapping stage merges.
+    pub row: Vec<RawEdge>,
+}
+
+impl RowGen {
+    pub fn new() -> Self {
+        RowGen {
+            enabled_nodes: Vec::new(),
+            delta_spans: Vec::new(),
+            deltas: Vec::new(),
+            activations: Vec::new(),
+            branches: Vec::new(),
+            branches_next: Vec::new(),
+            row: Vec::new(),
+        }
+    }
+
+    /// Fills `self.row` with the successor edges of the configuration
+    /// `cfg` (mixed-radix index `id`, digits `digits`) under `daemon`, and
+    /// returns `(enabled bitmask, deterministic here)`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::TooManyEnabled`] from distributed-daemon enumeration
+    /// past [`DISTRIBUTED_ENUM_CAP`] simultaneously enabled processes.
+    #[allow(clippy::too_many_arguments)]
+    pub fn generate<A>(
+        &mut self,
+        alg: &A,
+        ix: &SpaceIndexer<A::State>,
+        daemon: Daemon,
+        adjacency: &[u64],
+        cfg: &Configuration<A::State>,
+        digits: &[u32],
+        id: u64,
+    ) -> Result<(u64, bool), CoreError>
+    where
+        A: Algorithm,
+    {
+        let id = id as i64;
+        let total = ix.total();
+        let mut deterministic = true;
+
+        // One pass over the processes: guards, determinism audit, and the
+        // delta-encoded outcome distribution of every enabled process. All
+        // activations read the *pre* configuration, so one evaluation per
+        // process serves every activation below.
+        self.enabled_nodes.clear();
+        self.delta_spans.clear();
+        self.deltas.clear();
+        let mut enabled_mask = 0u64;
+        for v in alg.graph().nodes() {
+            let view = alg.view(cfg, v);
+            let mask = alg.enabled_actions(&view);
+            if mask.len() > 1 {
+                deterministic = false;
+            }
+            let Some(action) = mask.selected() else {
+                continue;
+            };
+            enabled_mask |= 1u64 << v.index();
+            self.enabled_nodes.push(v);
+            let outcomes = alg.apply(&view, action);
+            if !outcomes.is_certain() {
+                deterministic = false;
+            }
+            let weight = ix.weight(v) as i64;
+            let digit = digits[v.index()] as i64;
+            let start = self.deltas.len() as u32;
+            for (p, state) in outcomes.entries() {
+                let delta = (ix.digit_of(v, state) as i64 - digit) * weight;
+                self.deltas.push((delta, *p));
+            }
+            self.delta_spans.push((start, self.deltas.len() as u32));
+        }
+
+        self.row.clear();
+        let k = self.enabled_nodes.len();
+        if k == 0 {
+            return Ok((0, deterministic));
+        }
+        // Whether every enabled process is deterministic here (singleton
+        // outcome): unlocks the O(1)-per-activation Gray-code subset walk.
+        let all_certain = self.delta_spans.iter().all(|&(lo, hi)| hi - lo == 1);
+
+        match daemon {
+            Daemon::Central => {
+                // Single-mover activations: outcome states are pairwise
+                // distinct, so successors need no merging.
+                let act_prob = 1.0 / k as f64;
+                for (i, &v) in self.enabled_nodes.iter().enumerate() {
+                    let movers = 1u64 << v.index();
+                    let (lo, hi) = self.delta_spans[i];
+                    for &(delta, p) in &self.deltas[lo as usize..hi as usize] {
+                        push_edge(&mut self.row, total, id + delta, movers, act_prob * p);
+                    }
+                }
+            }
+            Daemon::Synchronous => {
+                let movers = enabled_mask;
+                self.product_branches(id, movers);
+                for bi in 0..self.branches.len() {
+                    let (to, p) = self.branches[bi];
+                    push_edge(&mut self.row, total, to, movers, p);
+                }
+            }
+            Daemon::Distributed | Daemon::LocallyCentral => {
+                if k > DISTRIBUTED_ENUM_CAP {
+                    return Err(CoreError::TooManyEnabled {
+                        enabled: k,
+                        cap: DISTRIBUTED_ENUM_CAP,
+                    });
+                }
+                let independent_only = daemon == Daemon::LocallyCentral;
+                if all_certain {
+                    // Gray-code subset walk: toggling one process in or out
+                    // updates the successor id, the mover mask, and the
+                    // locally-central conflict count in O(1) per subset.
+                    let mut movers = 0u64;
+                    let mut delta = 0i64;
+                    let mut conflicts = 0i64;
+                    for g in 1u64..(1u64 << k) {
+                        let i = g.trailing_zeros() as usize;
+                        let v = self.enabled_nodes[i];
+                        let bit = 1u64 << v.index();
+                        let d = self.deltas[self.delta_spans[i].0 as usize].0;
+                        if movers & bit == 0 {
+                            conflicts += (adjacency[v.index()] & movers).count_ones() as i64;
+                            movers |= bit;
+                            delta += d;
+                        } else {
+                            movers &= !bit;
+                            delta -= d;
+                            conflicts -= (adjacency[v.index()] & movers).count_ones() as i64;
+                        }
+                        if independent_only && conflicts > 0 {
+                            continue;
+                        }
+                        push_edge(&mut self.row, total, id + delta, movers, 1.0);
+                    }
+                    // The uniform activation probability is only known once
+                    // the independent subsets are counted.
+                    let act_prob = 1.0 / self.row.len() as f64;
+                    for e in &mut self.row {
+                        e.prob = act_prob;
+                    }
+                } else {
+                    enumerate_activations(
+                        daemon,
+                        &self.enabled_nodes,
+                        adjacency,
+                        &mut self.activations,
+                    )?;
+                    let act_prob = 1.0 / self.activations.len() as f64;
+                    for ai in 0..self.activations.len() {
+                        let movers = self.activations[ai];
+                        self.product_branches(id, movers);
+                        for bi in 0..self.branches.len() {
+                            let (to, p) = self.branches[bi];
+                            push_edge(&mut self.row, total, to, movers, act_prob * p);
+                        }
+                    }
+                }
+            }
+        }
+        self.row.sort_unstable_by_key(|e| (e.to, e.movers));
+        Ok((enabled_mask, deterministic))
+    }
+
+    /// Computes the successor distribution of one activation into
+    /// `self.branches`: the product of the movers' outcome deltas, merged
+    /// by successor id whenever a probabilistic expansion could collide.
+    fn product_branches(&mut self, id: i64, movers: u64) {
+        self.branches.clear();
+        self.branches.push((id, 1.0));
+        for (i, &v) in self.enabled_nodes.iter().enumerate() {
+            if movers & (1u64 << v.index()) == 0 {
+                continue;
+            }
+            let (lo, hi) = self.delta_spans[i];
+            if hi - lo == 1 {
+                // Certain outcome: shift every branch, no collisions possible.
+                let (delta, _) = self.deltas[lo as usize];
+                for b in &mut self.branches {
+                    b.0 += delta;
+                }
+                continue;
+            }
+            self.branches_next.clear();
+            for &(base, p) in &self.branches {
+                for &(delta, q) in &self.deltas[lo as usize..hi as usize] {
+                    self.branches_next.push((base + delta, p * q));
+                }
+            }
+            std::mem::swap(&mut self.branches, &mut self.branches_next);
+            merge_sorted_by_id(&mut self.branches);
+        }
+    }
+}
+
+/// Appends one delta-encoded edge.
+#[inline]
+fn push_edge(row: &mut Vec<RawEdge>, total: u64, to: i64, movers: u64, prob: f64) {
+    debug_assert!(to >= 0 && (to as u64) < total, "delta-encoded id in range");
+    let _ = total;
+    row.push(RawEdge {
+        to: to as u64,
+        movers,
+        prob,
+    });
+}
+
+/// Sorts branches by successor id and merges duplicates, summing
+/// probabilities (ascending-id summation order, deterministic).
+fn merge_sorted_by_id(branches: &mut Vec<(i64, f64)>) {
+    if branches.len() <= 1 {
+        return;
+    }
+    branches.sort_unstable_by_key(|&(id, _)| id);
+    let mut write = 0;
+    for read in 1..branches.len() {
+        if branches[read].0 == branches[write].0 {
+            branches[write].1 += branches[read].1;
+        } else {
+            write += 1;
+            branches[write] = branches[read];
+        }
+    }
+    branches.truncate(write + 1);
+}
+
+/// Enumerates the daemon's activations over `enabled` as global node
+/// bitmasks, into `out` (cleared first). Matches [`Daemon::activations`]
+/// up to representation.
+fn enumerate_activations(
+    daemon: Daemon,
+    enabled: &[NodeId],
+    adjacency: &[u64],
+    out: &mut Vec<u64>,
+) -> Result<(), CoreError> {
+    out.clear();
+    let k = enabled.len();
+    if k == 0 {
+        return Ok(());
+    }
+    match daemon {
+        Daemon::Central => {
+            out.extend(enabled.iter().map(|v| 1u64 << v.index()));
+        }
+        Daemon::Synchronous => {
+            out.push(node_mask(enabled));
+        }
+        Daemon::Distributed | Daemon::LocallyCentral => {
+            if k > DISTRIBUTED_ENUM_CAP {
+                return Err(CoreError::TooManyEnabled {
+                    enabled: k,
+                    cap: DISTRIBUTED_ENUM_CAP,
+                });
+            }
+            let independent_only = daemon == Daemon::LocallyCentral;
+            'subset: for local in 1u64..(1u64 << k) {
+                let mut movers = 0u64;
+                let mut rest = local;
+                while rest != 0 {
+                    let i = rest.trailing_zeros() as usize;
+                    rest &= rest - 1;
+                    let v = enabled[i];
+                    if independent_only && adjacency[v.index()] & movers != 0 {
+                        continue 'subset;
+                    }
+                    movers |= 1u64 << v.index();
+                }
+                // The incremental adjacency test above only checks each new
+                // member against *earlier* members, which is exactly
+                // pairwise independence.
+                out.push(movers);
+            }
+        }
+    }
+    Ok(())
+}

@@ -27,6 +27,13 @@ pub enum CoreError {
         /// The node with no states.
         node: usize,
     },
+    /// Ring-rotation quotienting was requested for a system it does not
+    /// apply to (non-ring topology, or ring nodes with unequal state
+    /// alphabets).
+    QuotientUnsupported {
+        /// Human-readable reason.
+        reason: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -42,6 +49,9 @@ impl fmt::Display for CoreError {
             ),
             CoreError::EmptyStateSpace { node } => {
                 write!(f, "node {node} has an empty state space")
+            }
+            CoreError::QuotientUnsupported { reason } => {
+                write!(f, "ring-rotation quotient unsupported: {reason}")
             }
         }
     }
@@ -67,6 +77,10 @@ mod tests {
         assert!(e.to_string().contains("30"));
         let e = CoreError::EmptyStateSpace { node: 2 };
         assert!(e.to_string().contains("node 2"));
+        let e = CoreError::QuotientUnsupported {
+            reason: "not a ring".into(),
+        };
+        assert!(e.to_string().contains("not a ring"));
     }
 
     #[test]

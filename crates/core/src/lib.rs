@@ -25,6 +25,12 @@
 //!   `Trans(A) :: guard → B ← Rand(true,false); if B then S_A`, which turns a
 //!   deterministic weak-stabilizing system into a probabilistic
 //!   self-stabilizing one (Theorems 8 and 9).
+//! * **The exploration engine** ([`engine`]) materialises the labelled
+//!   transition system of an `(algorithm, daemon)` pair as flat CSR
+//!   storage shared by the checker and the Markov builder, with three
+//!   traversals selectable per run ([`engine::ExploreOptions`]): the full
+//!   mixed-radix sweep, on-the-fly reachable-only BFS from a designated
+//!   initial set, and ring-rotation quotienting.
 //!
 //! # Example: a one-bit algorithm
 //!

@@ -14,9 +14,11 @@
 //! * [`metrics`] — BFS distances, eccentricity, diameter, radius and graph
 //!   centers (Property 1 of the paper: a tree has one center or two adjacent
 //!   centers);
-//! * [`ring`] — ring orientations (the constant `Pred` pointers of §3.1) and
-//!   `m_N`, the smallest integer that does not divide `N`, which governs the
-//!   counter domain of Algorithm 1.
+//! * [`ring`] — ring orientations (the constant `Pred` pointers of §3.1),
+//!   the rotation subgroup of a ring's automorphisms ([`RingRotations`],
+//!   behind the engine's rotation quotient), and `m_N`, the smallest
+//!   integer that does not divide `N`, which governs the counter domain of
+//!   Algorithm 1.
 //!
 //! # Example
 //!
@@ -41,4 +43,4 @@ pub mod trees;
 pub use error::GraphError;
 pub use graph::Graph;
 pub use ids::{NodeId, PortId};
-pub use ring::RingOrientation;
+pub use ring::{RingOrientation, RingRotations};

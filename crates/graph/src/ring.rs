@@ -1,10 +1,13 @@
-//! Ring orientation and the counter modulus `m_N` of Algorithm 1.
+//! Ring orientation, ring rotations, and the counter modulus `m_N` of
+//! Algorithm 1.
 //!
 //! §3.1 of the paper equips a ring with a *consistent direction* via constant
 //! local pointers `Pred`: process `q` is the predecessor of `p` iff `p` is
 //! not the predecessor of `q`. [`RingOrientation`] stores, for each node, the
 //! local port leading to its predecessor (and successor), which is exactly
-//! the constant input of Algorithm 1.
+//! the constant input of Algorithm 1. [`RingRotations`] exposes the cyclic
+//! rotation subgroup of the ring's automorphisms — the symmetry behind the
+//! engine's rotation quotient.
 
 use crate::error::GraphError;
 use crate::graph::Graph;
@@ -162,6 +165,78 @@ impl RingOrientation {
     }
 }
 
+/// The cyclic rotation subgroup of a ring's automorphism group: the `N`
+/// maps sending each node `k` successor hops around the canonical
+/// orientation. Rotations are the symmetry that `stab-core`'s
+/// ring-rotation quotient exploits — every rotation is a graph
+/// automorphism, and for anonymous uniform ring algorithms it commutes
+/// with the step semantics.
+///
+/// ```
+/// use stab_graph::{builders, NodeId, RingRotations};
+/// let rot = RingRotations::of(&builders::ring(5)).unwrap();
+/// assert_eq!(rot.n(), 5);
+/// // Rotating node 1 by two successor hops lands on node 3.
+/// assert_eq!(rot.rotate(NodeId::new(1), 2), NodeId::new(3));
+/// // Rotation 0 is the identity.
+/// assert_eq!(rot.rotate(NodeId::new(4), 0), NodeId::new(4));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RingRotations {
+    /// Nodes in canonical successor order starting at node 0.
+    order: Vec<NodeId>,
+    /// `pos[v]` = position of node `v` in `order`.
+    pos: Vec<usize>,
+}
+
+impl RingRotations {
+    /// The rotation group of `g` under its canonical orientation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NotARing`] if `g` is not a ring (this
+    /// includes every graph with fewer than 3 nodes).
+    pub fn of(g: &Graph) -> Result<Self, GraphError> {
+        let orient = RingOrientation::canonical(g)?;
+        let order = orient.cycle_order(g);
+        let mut pos = vec![0usize; order.len()];
+        for (i, v) in order.iter().enumerate() {
+            pos[v.index()] = i;
+        }
+        Ok(RingRotations { order, pos })
+    }
+
+    /// Ring size (and group order).
+    pub fn n(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Nodes in canonical cycle order starting at node 0.
+    pub fn order(&self) -> &[NodeId] {
+        &self.order
+    }
+
+    /// The position of `v` in the canonical cycle order.
+    #[inline]
+    pub fn position(&self, v: NodeId) -> usize {
+        self.pos[v.index()]
+    }
+
+    /// The image of `v` under the rotation by `k` successor hops.
+    #[inline]
+    pub fn rotate(&self, v: NodeId, k: usize) -> NodeId {
+        self.order[(self.pos[v.index()] + k) % self.order.len()]
+    }
+
+    /// The node permutation of the rotation by `k` (index `v` ↦ image of
+    /// node `v`), suitable for `stab-checker`'s `Automorphism::new`.
+    pub fn permutation(&self, k: usize) -> Vec<NodeId> {
+        (0..self.order.len())
+            .map(|v| self.rotate(NodeId::new(v), k))
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -259,6 +334,63 @@ mod tests {
             NodeId::new(3),
         ];
         assert!(RingOrientation::from_cycle_order(&g, &dup).is_err());
+    }
+
+    #[test]
+    fn rotations_are_automorphisms() {
+        for n in [3usize, 4, 6] {
+            let g = builders::ring(n);
+            let rot = RingRotations::of(&g).unwrap();
+            for k in 0..n {
+                let perm = rot.permutation(k);
+                // Permutation: every node appears exactly once.
+                let mut seen = vec![false; n];
+                for v in &perm {
+                    assert!(!seen[v.index()]);
+                    seen[v.index()] = true;
+                }
+                // Adjacency preserved.
+                for (u, v) in g.edges() {
+                    assert!(
+                        g.are_adjacent(perm[u.index()], perm[v.index()]),
+                        "rotation {k} breaks edge ({u}, {v}) on ring({n})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rotations_compose_cyclically() {
+        let g = builders::ring(7);
+        let rot = RingRotations::of(&g).unwrap();
+        for v in g.nodes() {
+            assert_eq!(rot.rotate(v, 0), v, "identity");
+            assert_eq!(rot.rotate(rot.rotate(v, 3), 4), v, "3 + 4 ≡ 0 (mod 7)");
+            assert_eq!(rot.position(rot.rotate(v, 2)), (rot.position(v) + 2) % 7);
+        }
+    }
+
+    #[test]
+    fn rotations_reject_non_rings() {
+        assert_eq!(
+            RingRotations::of(&builders::path(4)).unwrap_err(),
+            GraphError::NotARing
+        );
+        assert_eq!(
+            RingRotations::of(&builders::star(5)).unwrap_err(),
+            GraphError::NotARing
+        );
+        // Graphs below ring size (the N = 1 and N = 2 edge cases) are
+        // rejected cleanly rather than treated as degenerate rings.
+        assert_eq!(
+            RingRotations::of(&builders::path(1)).unwrap_err(),
+            GraphError::NotARing
+        );
+        assert_eq!(
+            RingRotations::of(&builders::path(2)).unwrap_err(),
+            GraphError::NotARing
+        );
     }
 
     #[test]

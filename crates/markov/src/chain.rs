@@ -7,10 +7,19 @@
 //! engine output instead of re-running the step semantics with a decode +
 //! encode per successor, and the almost-sure-absorption check is a
 //! backward closure over the engine's precomputed reverse CSR.
+//!
+//! [`AbsorbingChain::build_with`] accepts the engine's exploration options:
+//! over a **ring-rotation quotient**, the chain is the exact lumping of the
+//! full chain by rotation orbits (rotation equivariance makes the orbit
+//! partition lumpable, and folded edges sum their probabilities), so
+//! per-state hitting times coincide with the full space; in **reachable
+//! mode**, the chain covers exactly the configurations reachable from the
+//! designated initial set.
 
+use std::collections::HashMap;
 use std::sync::OnceLock;
 
-use stab_core::engine::{BitSet, Csr, TransitionSystem};
+use stab_core::engine::{BitSet, Csr, ExploreOptions, RingCanonicalizer, TransitionSystem};
 use stab_core::{Algorithm, Configuration, Daemon, Legitimacy, LocalState, SpaceIndexer};
 
 use crate::error::MarkovError;
@@ -30,10 +39,22 @@ pub type QMatrix = Csr<(u32, f64)>;
 pub struct AbsorbingChain<S> {
     indexer: SpaceIndexer<S>,
     daemon: Daemon,
-    /// Transient-state index per configuration id (`u32::MAX` = legitimate).
+    /// Transient-state index per *explored* configuration id
+    /// (`u32::MAX` = legitimate).
     transient_of: Vec<u32>,
-    /// Configuration id per transient index.
-    config_of: Vec<u64>,
+    /// Full-space mixed-radix index per transient index.
+    full_of: Vec<u64>,
+    /// Concrete configurations per transient state (rotation-orbit sizes
+    /// in a quotient chain, all 1 otherwise).
+    orbit_of: Vec<u64>,
+    /// Full index → explored id, for non-dense explorations.
+    ids: IdMap,
+    /// Canonicalizer of a quotient chain.
+    canon: Option<RingCanonicalizer>,
+    /// Number of explored configurations (transient + legitimate).
+    n_explored: u32,
+    /// Concrete configurations represented by the explored ids.
+    represented: u64,
     /// Sparse `Q` rows over transient indices, CSR-packed.
     q: QMatrix,
     /// One-step absorption probability per transient state.
@@ -46,6 +67,15 @@ pub struct AbsorbingChain<S> {
     /// the first [`AbsorbingChain::almost_surely_absorbing`] call by a
     /// backward closure over the inverted `Q` CSR.
     absorbing: OnceLock<Result<(), u32>>,
+}
+
+/// Full-space index → explored id.
+#[derive(Debug)]
+enum IdMap {
+    /// Explored id == full index (dense full sweep).
+    Dense,
+    /// Hash lookup (quotient or reachable exploration).
+    Interned(HashMap<u64, u32>),
 }
 
 impl<S: LocalState> AbsorbingChain<S> {
@@ -61,8 +91,50 @@ impl<S: LocalState> AbsorbingChain<S> {
         L: Legitimacy<S> + Sync,
         S: Sync,
     {
+        Self::build_with(alg, daemon, spec, cap, &ExploreOptions::full())
+    }
+
+    /// Builds the chain with an explicit traversal mode / quotient (see
+    /// [`stab_core::engine::ExploreOptions`] and the module docs).
+    ///
+    /// # Errors
+    ///
+    /// Propagates enumeration errors ([`MarkovError::Core`]), including
+    /// quotient validation failures.
+    ///
+    /// ```
+    /// use stab_algorithms::HermanRing;
+    /// use stab_core::engine::ExploreOptions;
+    /// use stab_core::Daemon;
+    /// use stab_graph::builders;
+    /// use stab_markov::AbsorbingChain;
+    ///
+    /// let alg = HermanRing::on_ring(&builders::ring(5)).unwrap();
+    /// let spec = alg.legitimacy();
+    /// let opts = ExploreOptions::full().with_ring_quotient();
+    /// let quotient =
+    ///     AbsorbingChain::build_with(&alg, Daemon::Synchronous, &spec, 1 << 20, &opts).unwrap();
+    /// // The lumped chain is exactly stochastic and absorbs almost surely.
+    /// assert!(quotient.validate_stochastic());
+    /// assert!(quotient.almost_surely_absorbing().is_ok());
+    /// // 8 necklaces represent all 32 configurations of the 5-ring.
+    /// assert_eq!(quotient.n_explored(), 8);
+    /// assert_eq!(quotient.represented_configs(), 32);
+    /// ```
+    pub fn build_with<A, L>(
+        alg: &A,
+        daemon: Daemon,
+        spec: &L,
+        cap: u64,
+        opts: &ExploreOptions<S>,
+    ) -> Result<Self, MarkovError>
+    where
+        A: Algorithm<State = S> + Sync,
+        L: Legitimacy<S> + Sync,
+        S: Sync,
+    {
         let indexer = SpaceIndexer::new(alg, cap)?;
-        let ts = TransitionSystem::explore(alg, &indexer, daemon, spec)?;
+        let ts = TransitionSystem::explore_with(alg, &indexer, daemon, spec, opts)?;
         Ok(Self::from_transition_system(indexer, daemon, &ts))
     }
 
@@ -74,22 +146,40 @@ impl<S: LocalState> AbsorbingChain<S> {
         ts: &TransitionSystem,
     ) -> Self {
         let total = ts.n_configs();
+        let dense = ts.traversal() == stab_core::engine::TraversalMode::Full
+            && ts.quotient() == stab_core::engine::Quotient::None;
         let mut transient_of = vec![u32::MAX; total as usize];
-        let mut config_of = Vec::new();
+        let mut full_of = Vec::new();
+        let mut orbit_of = Vec::new();
+        // The chain must outlive the transition system (`build_with` drops
+        // it immediately after this call), so non-dense id lookup state is
+        // copied out of `ts` rather than borrowed.
+        let mut ids = if dense {
+            IdMap::Dense
+        } else {
+            IdMap::Interned(HashMap::with_capacity(total as usize))
+        };
         for id in 0..total {
+            if let IdMap::Interned(map) = &mut ids {
+                map.insert(ts.full_index_of(id), id);
+            }
             if !ts.is_legit(id) {
-                transient_of[id as usize] = config_of.len() as u32;
-                config_of.push(id as u64);
+                transient_of[id as usize] = full_of.len() as u32;
+                full_of.push(ts.full_index_of(id));
+                orbit_of.push(ts.orbit_size(id));
             }
         }
-        let n = config_of.len();
+        let n = full_of.len();
         let mut counts: Vec<u32> = Vec::with_capacity(n);
         let mut entries: Vec<(u32, f64)> = Vec::new();
         let mut absorb = Vec::with_capacity(n);
         let mut step_moves = Vec::with_capacity(n);
         let mut row: Vec<(u32, f64)> = Vec::new();
-        for &id in &config_of {
-            let edges = ts.edges(id as u32);
+        for id in 0..total {
+            if ts.is_legit(id) {
+                continue;
+            }
+            let edges = ts.edges(id);
             if edges.is_empty() {
                 // Terminal illegitimate configuration: stays put forever.
                 counts.push(1);
@@ -126,7 +216,12 @@ impl<S: LocalState> AbsorbingChain<S> {
             indexer,
             daemon,
             transient_of,
-            config_of,
+            full_of,
+            orbit_of,
+            ids,
+            canon: ts.canonicalizer().cloned(),
+            n_explored: total,
+            represented: ts.represented_configs(),
             q,
             absorb,
             step_moves,
@@ -136,12 +231,36 @@ impl<S: LocalState> AbsorbingChain<S> {
 
     /// Number of transient (illegitimate) states.
     pub fn n_transient(&self) -> usize {
-        self.config_of.len()
+        self.full_of.len()
     }
 
-    /// Total number of configurations (transient + legitimate).
+    /// Size of the *full* configuration space the indexer spans (not the
+    /// explored count — see [`AbsorbingChain::n_explored`] and
+    /// [`AbsorbingChain::represented_configs`], which differ from this in
+    /// quotient and reachable modes).
     pub fn n_configs(&self) -> u64 {
         self.indexer.total()
+    }
+
+    /// Number of explored states (transient + legitimate): orbit
+    /// representatives in a quotient chain, reached configurations in a
+    /// reachable-mode chain.
+    pub fn n_explored(&self) -> u32 {
+        self.n_explored
+    }
+
+    /// Concrete configurations represented by the explored states (the sum
+    /// of orbit sizes).
+    pub fn represented_configs(&self) -> u64 {
+        self.represented
+    }
+
+    /// Concrete configurations per transient state: rotation-orbit sizes
+    /// in a quotient chain, all 1 otherwise. Use as weights when averaging
+    /// per-state quantities over a uniformly random concrete
+    /// configuration.
+    pub fn transient_orbits(&self) -> &[u64] {
+        &self.orbit_of
     }
 
     /// The daemon the chain was built under.
@@ -165,15 +284,40 @@ impl<S: LocalState> AbsorbingChain<S> {
         &self.step_moves
     }
 
-    /// The transient index of `cfg`, or `None` if it is legitimate.
+    /// The explored id behind `cfg` (canonicalized in a quotient chain),
+    /// or `None` when it was not reached (possible in reachable mode).
+    fn explored_id(&self, cfg: &Configuration<S>) -> Option<u32> {
+        let mut full = self.indexer.encode(cfg);
+        if let Some(canon) = &self.canon {
+            full = canon.canonical_owned(full);
+        }
+        match &self.ids {
+            IdMap::Dense => Some(full as u32),
+            IdMap::Interned(map) => map.get(&full).copied(),
+        }
+    }
+
+    /// Whether `cfg` (canonicalized in a quotient chain) was explored.
+    /// Always true outside reachable mode.
+    pub fn is_explored(&self, cfg: &Configuration<S>) -> bool {
+        self.explored_id(cfg).is_some()
+    }
+
+    /// The transient index of `cfg`, or `None` if it is legitimate or (in
+    /// reachable mode) was not explored — disambiguate the two with
+    /// [`AbsorbingChain::is_explored`]. In a quotient chain, `cfg` is
+    /// canonicalized first, so any orbit member resolves to its
+    /// representative's transient state.
     pub fn transient_index(&self, cfg: &Configuration<S>) -> Option<usize> {
-        let t = self.transient_of[self.indexer.encode(cfg) as usize];
+        let id = self.explored_id(cfg)?;
+        let t = self.transient_of[id as usize];
         (t != u32::MAX).then_some(t as usize)
     }
 
-    /// Renders the configuration behind a transient index.
+    /// Renders the configuration behind a transient index (the orbit
+    /// representative, in a quotient chain).
     pub fn render(&self, transient: usize) -> String {
-        format!("{:?}", self.indexer.decode(self.config_of[transient]))
+        format!("{:?}", self.indexer.decode(self.full_of[transient]))
     }
 
     /// Verifies row stochasticity: every transient row plus its absorption

@@ -48,6 +48,30 @@ impl HittingTimes {
         self.times.iter().sum::<f64>() / total as f64
     }
 
+    /// The weighted average `Σ wᵢ·tᵢ / total`: the uniform-initial average
+    /// of a **quotient** chain, where transient state `i` stands for `wᵢ`
+    /// concrete configurations
+    /// ([`AbsorbingChain::transient_orbits`]) and `total` is the
+    /// represented configuration count
+    /// ([`AbsorbingChain::represented_configs`]). With unit weights this
+    /// reduces to [`HittingTimes::average_uniform`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` has the wrong length or `total` is below the
+    /// total weight of the transient states.
+    pub fn average_weighted(&self, weights: &[u64], total: u64) -> f64 {
+        assert_eq!(weights.len(), self.times.len(), "weight length mismatch");
+        let mass: u64 = weights.iter().sum();
+        assert!(total >= mass, "total below total transient weight");
+        self.times
+            .iter()
+            .zip(weights)
+            .map(|(t, &w)| t * w as f64)
+            .sum::<f64>()
+            / total as f64
+    }
+
     /// All transient expected times.
     pub fn as_slice(&self) -> &[f64] {
         &self.times
@@ -85,9 +109,21 @@ impl<S: LocalState> AbsorbingChain<S> {
 
     /// The expected stabilization time from a specific configuration
     /// (0 when legitimate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` was not explored (possible in reachable mode) —
+    /// its expected time is unknown, not 0; probe with
+    /// [`AbsorbingChain::is_explored`] first.
     pub fn expected_from(&self, times: &HittingTimes, cfg: &Configuration<S>) -> f64 {
         match self.transient_index(cfg) {
-            None => 0.0,
+            None => {
+                assert!(
+                    self.is_explored(cfg),
+                    "configuration {cfg:?} was not explored; its expected time is unknown"
+                );
+                0.0
+            }
             Some(i) => times.of_transient(i),
         }
     }
@@ -169,14 +205,26 @@ impl<S: LocalState> AbsorbingChain<S> {
     }
 
     /// The CDF of the stabilization time from the uniform initial
-    /// distribution: `cdf[k] = P(stabilized within k steps)`, for
-    /// `k = 0..=horizon`.
+    /// distribution over the *represented* configurations:
+    /// `cdf[k] = P(stabilized within k steps)`, for `k = 0..=horizon`.
+    ///
+    /// On a full-sweep chain the represented set is the whole space (the
+    /// PR 1 semantics); on a quotient chain every transient state carries
+    /// its orbit's mass, so the CDF equals the full-space CDF exactly; on
+    /// a reachable-mode chain the distribution is uniform over the
+    /// explored (reached) configurations.
     pub fn hitting_cdf_uniform(&self, horizon: usize) -> Vec<f64> {
         let n = self.n_transient();
-        let total = self.n_configs() as f64;
-        // Initially the legitimate mass is already absorbed.
-        let mut absorbed = (total - n as f64) / total;
-        let mut mass = vec![1.0 / total; n];
+        let total = self.represented_configs() as f64;
+        // Initially the legitimate mass is already absorbed; transient
+        // state i starts with the mass of its whole orbit.
+        let transient_mass: u64 = self.transient_orbits().iter().sum();
+        let mut absorbed = (total - transient_mass as f64) / total;
+        let mut mass: Vec<f64> = self
+            .transient_orbits()
+            .iter()
+            .map(|&o| o as f64 / total)
+            .collect();
         let mut cdf = Vec::with_capacity(horizon + 1);
         cdf.push(absorbed);
         for _ in 0..horizon {

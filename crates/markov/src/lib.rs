@@ -18,6 +18,13 @@
 //! ([`linalg`]), verifies almost-sure absorption (Theorems 7–9), and
 //! computes hitting-time distributions.
 //!
+//! [`AbsorbingChain::build_with`] additionally builds the chain over the
+//! engine's rotation quotient (the exact lumping by rotation orbits —
+//! per-state times match the full space, and
+//! [`HittingTimes::average_weighted`] recovers uniform-initial averages
+//! from orbit weights) or over the reachable set of a designated initial
+//! set only.
+//!
 //! # Example: expected stabilization time of `Trans(Algorithm 3)`
 //!
 //! ```

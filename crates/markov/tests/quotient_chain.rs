@@ -1,0 +1,231 @@
+//! Differential tests of quotient and reachable-mode absorbing chains
+//! against the full-space chain.
+//!
+//! The rotation quotient lumps the Definition 6 chain by rotation orbits.
+//! For rotation-equivariant ring algorithms the orbit partition is exactly
+//! lumpable, so the quotient chain must reproduce — state for state — the
+//! full chain's expected hitting times (every concrete configuration's
+//! time equals its representative's), absorption probabilities, and the
+//! uniform-initial average (orbit-weighted on the quotient side).
+
+use stab_algorithms::{HermanRing, TokenCirculation};
+use stab_core::engine::ExploreOptions;
+use stab_core::{Algorithm, Daemon, Legitimacy, ProjectedLegitimacy, SpaceIndexer, Transformed};
+use stab_graph::builders;
+use stab_markov::AbsorbingChain;
+
+const CAP: u64 = 1 << 22;
+
+/// Solver agreement slack: dense elimination vs possibly different
+/// pivoting on the lumped system.
+const TOL: f64 = 1e-8;
+
+fn hitting_time_differential<A, L>(alg: &A, daemon: Daemon, spec: &L)
+where
+    A: Algorithm + Sync,
+    A::State: Sync,
+    L: Legitimacy<A::State> + Sync,
+{
+    let label = format!("{} under {daemon}", alg.name());
+    let full = AbsorbingChain::build(alg, daemon, spec, CAP).expect("full chain");
+    let opts = ExploreOptions::full().with_ring_quotient();
+    let quot = AbsorbingChain::build_with(alg, daemon, spec, CAP, &opts).expect("quotient chain");
+
+    assert!(full.validate_stochastic(), "{label}: full stochastic");
+    assert!(quot.validate_stochastic(), "{label}: quotient stochastic");
+    assert_eq!(
+        full.almost_surely_absorbing().is_ok(),
+        quot.almost_surely_absorbing().is_ok(),
+        "{label}: absorption verdict"
+    );
+    assert_eq!(
+        quot.represented_configs(),
+        full.n_configs(),
+        "{label}: orbits tile the space"
+    );
+    if full.almost_surely_absorbing().is_err() {
+        return;
+    }
+
+    let full_times = full.expected_steps().expect("full solve");
+    let quot_times = quot.expected_steps().expect("quotient solve");
+
+    // Per-configuration agreement: every concrete configuration's hitting
+    // time equals its orbit representative's.
+    let ix = SpaceIndexer::new(alg, CAP).unwrap();
+    for cfg in ix.iter() {
+        let t_full = full.expected_from(&full_times, &cfg);
+        let t_quot = quot.expected_from(&quot_times, &cfg);
+        assert!(
+            (t_full - t_quot).abs() < TOL,
+            "{label}: {cfg:?}: full {t_full} vs quotient {t_quot}"
+        );
+    }
+
+    // The orbit-weighted quotient average is the full uniform average.
+    let avg_full = full_times.average_uniform(full.n_configs());
+    let avg_quot = quot_times.average_weighted(quot.transient_orbits(), quot.represented_configs());
+    assert!(
+        (avg_full - avg_quot).abs() < TOL,
+        "{label}: uniform average {avg_full} vs weighted {avg_quot}"
+    );
+
+    // Expected moves (work) lump identically: the per-step activation-size
+    // reward is rotation-invariant.
+    let full_moves = full.expected_moves().expect("full moves");
+    let quot_moves = quot.expected_moves().expect("quotient moves");
+    for cfg in ix.iter() {
+        let m_full = full.expected_from(&full_moves, &cfg);
+        let m_quot = quot.expected_from(&quot_moves, &cfg);
+        assert!(
+            (m_full - m_quot).abs() < TOL,
+            "{label}: moves at {cfg:?}: {m_full} vs {m_quot}"
+        );
+    }
+
+    // Absorption probabilities agree (all 1 when almost surely absorbing).
+    let p_full = full.absorption_probabilities().expect("full absorption");
+    let p_quot = quot
+        .absorption_probabilities()
+        .expect("quotient absorption");
+    for (i, p) in p_quot.iter().enumerate() {
+        assert!((p - 1.0).abs() < TOL, "{label}: quotient absorption {p}");
+        let _ = i;
+    }
+    for p in &p_full {
+        assert!((p - 1.0).abs() < TOL, "{label}: full absorption {p}");
+    }
+}
+
+#[test]
+fn herman_quotient_hitting_times_match_full() {
+    for n in [3, 5, 7] {
+        let alg = HermanRing::on_ring(&builders::ring(n)).unwrap();
+        hitting_time_differential(&alg, Daemon::Synchronous, &alg.legitimacy());
+    }
+}
+
+#[test]
+fn transformed_token_ring_quotient_times_match_full() {
+    for daemon in [Daemon::Synchronous, Daemon::Distributed] {
+        let base = TokenCirculation::on_ring(&builders::ring(4)).unwrap();
+        let alg = Transformed::new(TokenCirculation::on_ring(&builders::ring(4)).unwrap());
+        let spec = ProjectedLegitimacy::new(base.legitimacy());
+        hitting_time_differential(&alg, daemon, &spec);
+    }
+}
+
+/// A reachable-mode chain seeded with every configuration reproduces the
+/// full chain's times exactly (same states, BFS ids).
+#[test]
+fn reachable_chain_with_all_seeds_matches_full() {
+    let alg = HermanRing::on_ring(&builders::ring(5)).unwrap();
+    let spec = alg.legitimacy();
+    let ix = SpaceIndexer::new(&alg, CAP).unwrap();
+    let full = AbsorbingChain::build(&alg, Daemon::Synchronous, &spec, CAP).unwrap();
+    let opts = ExploreOptions::reachable(ix.iter().collect());
+    let reach = AbsorbingChain::build_with(&alg, Daemon::Synchronous, &spec, CAP, &opts).unwrap();
+    assert_eq!(reach.n_transient(), full.n_transient());
+    assert!(reach.validate_stochastic());
+    let t_full = full.expected_steps().unwrap();
+    let t_reach = reach.expected_steps().unwrap();
+    for cfg in ix.iter() {
+        assert!(
+            (full.expected_from(&t_full, &cfg) - reach.expected_from(&t_reach, &cfg)).abs() < TOL,
+            "{cfg:?}"
+        );
+    }
+}
+
+/// A reachable-mode chain from a strict seed set: `transient_index`
+/// reports unexplored configurations as `None`, and the explored times
+/// match the full chain (hitting times only depend on the forward
+/// closure).
+#[test]
+fn reachable_chain_from_strict_seeds() {
+    let alg = Transformed::new(TokenCirculation::on_ring(&builders::ring(3)).unwrap());
+    let base = TokenCirculation::on_ring(&builders::ring(3)).unwrap();
+    let spec = ProjectedLegitimacy::new(base.legitimacy());
+    let seed = Transformed::<TokenCirculation>::lift(
+        &stab_core::Configuration::from_vec(vec![1u8, 1, 0]),
+        false,
+    );
+    let opts = ExploreOptions::reachable(vec![seed.clone()]);
+    let reach = AbsorbingChain::build_with(&alg, Daemon::Distributed, &spec, CAP, &opts).unwrap();
+    let full = AbsorbingChain::build(&alg, Daemon::Distributed, &spec, CAP).unwrap();
+    assert!(reach.n_explored() as u64 <= full.n_configs());
+    assert!(reach.validate_stochastic());
+    let t_reach = reach.expected_steps().unwrap();
+    let t_full = full.expected_steps().unwrap();
+    assert!(
+        (reach.expected_from(&t_reach, &seed) - full.expected_from(&t_full, &seed)).abs() < TOL,
+        "seed hitting time"
+    );
+}
+
+/// The uniform-initial hitting-time CDF of a quotient chain matches the
+/// full chain's pointwise: orbit weights make the lumped distribution
+/// evolve exactly like the concrete uniform one.
+#[test]
+fn quotient_cdf_matches_full() {
+    let alg = HermanRing::on_ring(&builders::ring(5)).unwrap();
+    let spec = alg.legitimacy();
+    let full = AbsorbingChain::build(&alg, Daemon::Synchronous, &spec, CAP).unwrap();
+    let opts = ExploreOptions::full().with_ring_quotient();
+    let quot = AbsorbingChain::build_with(&alg, Daemon::Synchronous, &spec, CAP, &opts).unwrap();
+    let cdf_full = full.hitting_cdf_uniform(60);
+    let cdf_quot = quot.hitting_cdf_uniform(60);
+    // Herman(5): 10 of the 32 configurations are legitimate, so the
+    // initially absorbed mass is exactly 10/32 on both sides.
+    assert!((cdf_full[0] - 10.0 / 32.0).abs() < 1e-12);
+    for (k, (a, b)) in cdf_full.iter().zip(&cdf_quot).enumerate() {
+        assert!((a - b).abs() < 1e-9, "cdf[{k}]: full {a} vs quotient {b}");
+    }
+    assert!((cdf_quot.last().unwrap() - 1.0).abs() < 1e-6);
+}
+
+/// Reachable-mode chains refuse to report a (meaningless) expected time
+/// for configurations outside the explored set.
+#[test]
+fn unexplored_configuration_is_reported_not_zeroed() {
+    let alg = TokenCirculation::on_ring(&builders::ring(4)).unwrap();
+    let spec = alg.legitimacy();
+    // The all-zero configuration is terminal-free but from it the chain
+    // cannot reach every configuration.
+    let seed = stab_core::Configuration::from_vec(vec![0u8, 0, 0, 0]);
+    let opts = ExploreOptions::reachable(vec![seed.clone()]);
+    let chain = AbsorbingChain::build_with(&alg, Daemon::Central, &spec, CAP, &opts).unwrap();
+    assert!(chain.is_explored(&seed));
+    // Find some unexplored configuration.
+    let ix = SpaceIndexer::new(&alg, CAP).unwrap();
+    let unexplored = ix
+        .iter()
+        .find(|cfg| !chain.is_explored(cfg))
+        .expect("the reachable set is strict");
+    assert_eq!(chain.transient_index(&unexplored), None);
+    let times = chain.expected_steps().unwrap();
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        chain.expected_from(&times, &unexplored)
+    }));
+    assert!(result.is_err(), "expected_from must panic, not return 0");
+}
+
+/// Quotient + reachable compose for the chain as well.
+#[test]
+fn reachable_quotient_chain_matches_full() {
+    let alg = HermanRing::on_ring(&builders::ring(5)).unwrap();
+    let spec = alg.legitimacy();
+    let ix = SpaceIndexer::new(&alg, CAP).unwrap();
+    let full = AbsorbingChain::build(&alg, Daemon::Synchronous, &spec, CAP).unwrap();
+    let opts = ExploreOptions::reachable(ix.iter().collect()).with_ring_quotient();
+    let quot = AbsorbingChain::build_with(&alg, Daemon::Synchronous, &spec, CAP, &opts).unwrap();
+    assert_eq!(quot.represented_configs(), full.n_configs());
+    let t_full = full.expected_steps().unwrap();
+    let t_quot = quot.expected_steps().unwrap();
+    for cfg in ix.iter() {
+        assert!(
+            (full.expected_from(&t_full, &cfg) - quot.expected_from(&t_quot, &cfg)).abs() < TOL,
+            "{cfg:?}"
+        );
+    }
+}

@@ -22,6 +22,51 @@ where
     Configuration::from_vec(states)
 }
 
+/// A sampler drawing uniformly from a *designated initial set* — the
+/// simulation-side counterpart of the engine's reachable-only exploration
+/// (`stab_core::engine::ExploreOptions::reachable`), for cross-validating
+/// reachable-mode chains by Monte Carlo.
+///
+/// The sampler plugs straight into
+/// [`montecarlo::estimate_with`](crate::montecarlo::estimate_with):
+///
+/// ```
+/// use stab_algorithms::TokenCirculation;
+/// use stab_core::Daemon;
+/// use stab_graph::builders;
+/// use stab_sim::montecarlo::{estimate_with, BatchSettings};
+///
+/// let alg = TokenCirculation::on_ring(&builders::ring(4)).unwrap();
+/// let spec = alg.legitimacy();
+/// // Start every run from the same designated (legitimate) configuration.
+/// let seeds = vec![alg.legitimate_config(stab_graph::NodeId::new(0))];
+/// let batch = estimate_with(
+///     &alg,
+///     Daemon::Central,
+///     &spec,
+///     &BatchSettings { runs: 20, max_steps: 10, seed: 1, threads: 1 },
+///     stab_sim::init::from_seeds(seeds),
+/// );
+/// assert_eq!(batch.failures, 0);
+/// assert_eq!(batch.steps.mean, 0.0);
+/// ```
+///
+/// # Panics
+///
+/// The returned sampler panics if `seeds` is empty.
+pub fn from_seeds<A, R>(
+    seeds: Vec<Configuration<A::State>>,
+) -> impl Fn(&A, &mut R) -> Configuration<A::State>
+where
+    A: Algorithm,
+    R: Rng,
+{
+    move |_alg, rng| {
+        assert!(!seeds.is_empty(), "designated initial set is empty");
+        seeds[rng.random_range(0..seeds.len())].clone()
+    }
+}
+
 /// Samples uniformly but rejects configurations accepted by `reject`
 /// (e.g. already-legitimate ones, for conditional estimates). Gives up and
 /// returns the last sample after 10 000 rejections.
@@ -75,6 +120,24 @@ mod tests {
         }
         // m=2, N=3: only 8 configurations; 200 draws see them all.
         assert_eq!(seen.len(), 8);
+    }
+
+    #[test]
+    fn seed_sampler_draws_only_designated_configurations() {
+        let a = TokenCirculation::on_ring(&builders::ring(4)).unwrap();
+        let seeds = vec![
+            stab_core::Configuration::from_vec(vec![0u8, 0, 0, 0]),
+            stab_core::Configuration::from_vec(vec![1u8, 2, 0, 1]),
+        ];
+        let sampler = from_seeds(seeds.clone());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            let cfg = sampler(&a, &mut rng);
+            assert!(seeds.contains(&cfg));
+            seen.insert(cfg);
+        }
+        assert_eq!(seen.len(), 2, "both seeds get drawn");
     }
 
     #[test]

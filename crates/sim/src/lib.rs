@@ -16,6 +16,10 @@
 //! [`montecarlo`] batches seeded runs (in parallel, deterministically) and
 //! aggregates them into mean / 95%-confidence-interval estimates, which the
 //! experiment harness cross-validates against the exact Markov solutions.
+//! Initial configurations come from [`init`]: uniform over the full space,
+//! conditioned (rejection) sampling, or uniform over a *designated initial
+//! set* ([`init::from_seeds`]) — the sampling counterpart of the engine's
+//! reachable-only exploration.
 //!
 //! # Example
 //!

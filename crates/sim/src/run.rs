@@ -131,7 +131,8 @@ fn refresh<A: Algorithm>(alg: &A, cfg: &Configuration<A::State>, v: NodeId, flag
     flags[v.index()] = alg.is_enabled(cfg, v);
 }
 
-/// Like [`run_once`] but records the full execution as a [`Trace`] —
+/// Like [`run_once`] but records the full execution as a
+/// [`Trace`](stab_core::Trace) —
 /// convenient for rendering small runs in the style of the paper's figures.
 /// The step budget is capped at 100 000 to keep traces displayable.
 ///

@@ -6,7 +6,9 @@
 //!
 //! * [`graph`] — topology substrate (rings, trees, ports, centers, `m_N`);
 //! * [`core`] — the guarded-command kernel: configurations, local views,
-//!   daemons, fairness, step semantics and the `Trans(A)` transformer;
+//!   daemons, fairness, step semantics, the `Trans(A)` transformer, and
+//!   the shared CSR exploration engine (full sweep, on-the-fly
+//!   reachable-only BFS, ring-rotation quotient);
 //! * [`algorithms`] — the paper's Algorithms 1–3, the center-based leader
 //!   election, and classic baselines (Dijkstra's K-state ring, Herman's
 //!   probabilistic ring, greedy coloring);

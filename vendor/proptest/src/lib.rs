@@ -1,10 +1,12 @@
 //! Offline stand-in for the `proptest` crate.
 //!
 //! The build environment has no network access, so this workspace vendors
-//! the subset of proptest the test suites use: the [`Strategy`] trait with
-//! `prop_map` / `prop_flat_map`, range and tuple and `Vec` strategies,
-//! [`collection::vec`], [`option::of`], [`Just`], `any::<T>()`, and the
-//! [`proptest!`] / `prop_assert*` / `prop_assume!` macros.
+//! the subset of proptest the test suites use: the
+//! [`Strategy`](strategy::Strategy) trait with `prop_map` /
+//! `prop_flat_map`, range and tuple and `Vec` strategies,
+//! [`collection::vec`], [`option::of`], [`Just`](strategy::Just),
+//! `any::<T>()`, and the [`proptest!`] / `prop_assert*` / `prop_assume!`
+//! macros.
 //!
 //! Differences from upstream: cases are generated from a seed derived from
 //! the test name (fully deterministic across runs), and failing cases are
@@ -344,7 +346,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,
