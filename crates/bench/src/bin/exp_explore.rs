@@ -7,51 +7,58 @@
 //!   `quotient = "none"`): the CSR engine against a faithful reproduction
 //!   of the seed implementation (one `decode` per configuration,
 //!   `semantics::all_steps`, one `encode` per successor, nested rows);
-//! * **quotient vs full** (`quotient = "ring-rotation"`): the
-//!   rotation-quotient sweep against the engine's own full sweep — the
-//!   reference here is the previous fastest path, so the speedup isolates
-//!   the PR 2 gain;
+//! * **quotient vs full** (`quotient = "ring-rotation"` /
+//!   `"ring-dihedral"` / `"automorphism"`): the symmetry-quotient sweep
+//!   against the engine's own full sweep — the reference here is the
+//!   previous fastest path, so the speedup isolates the quotient's gain;
 //! * **beyond-full-reach instances**: cases whose full space is infeasible
 //!   to materialise (`explore_reference_ms = null`) but which the quotient
 //!   and/or reachable-only modes check outright — e.g. Herman N=17
-//!   (3^17 ≈ 1.3·10^8 edges ≈ 3 GB for the full sweep) and token ring
+//!   (2^17 configurations, ≈ 10^8 edges for the full sweep) and token ring
 //!   N=12 (5^12 ≈ 2.4·10^8 configurations).
 //!
-//! JSON schema (`bench_explore/v2`; v1 rows correspond to
-//! `mode = "full"`, `quotient = "none"` with `represented = configs`):
+//! JSON schema (`bench_explore/v3`; v2 rows lacked `group_order` and the
+//! `"ring-dihedral"` / `"automorphism"` quotient values; v1 rows
+//! correspond to `mode = "full"`, `quotient = "none"` with
+//! `represented = configs`):
 //!
 //! ```json
 //! {
-//!   "schema": "bench_explore/v2",
+//!   "schema": "bench_explore/v3",
 //!   "threads": 8,
 //!   "results": [
 //!     {
 //!       "case": "herman/N=15/synchronous",
 //!       "mode": "full",
-//!       "quotient": "ring-rotation",
-//!       "configs": 2192,
+//!       "quotient": "ring-dihedral",
+//!       "configs": 1182,
 //!       "represented": 32768,
-//!       "edges": 732952,
+//!       "group_order": 30,
+//!       "edges": 395200,
 //!       "explore_reference_ms": 3900.0,
-//!       "explore_engine_ms": 540.0,
-//!       "explore_speedup": 7.2,
+//!       "explore_engine_ms": 270.0,
+//!       "explore_speedup": 14.4,
 //!       "chain_reference_ms": 4100.0,
-//!       "chain_engine_ms": 700.0,
-//!       "chain_speedup": 5.8,
-//!       "analyze_engine_ms": 900.0
+//!       "chain_engine_ms": 350.0,
+//!       "chain_speedup": 11.7,
+//!       "analyze_engine_ms": 450.0
 //!     }
 //!   ]
 //! }
 //! ```
 //!
-//! `explore_reference_ms` / `chain_reference_ms` / the speedups are `null`
-//! when the reference is infeasible on the runner.
+//! Invariants the CI smoke job asserts on every row:
+//! `configs <= represented <= configs × group_order` (orbits are
+//! non-empty and no larger than the group), with `group_order = 1`
+//! outside quotient mode. `explore_reference_ms` / `chain_reference_ms` /
+//! the speedups are `null` when the reference is infeasible on the
+//! runner.
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use stab_algorithms::{HermanRing, TokenCirculation};
+use stab_algorithms::{GreedyColoring, HermanRing, TokenCirculation};
 use stab_bench::Table;
 use stab_checker::{analyze_with, ExploredSpace};
 use stab_core::engine::{ExploreMode, ExploreOptions, Quotient};
@@ -160,6 +167,7 @@ struct CaseResult {
     quotient: &'static str,
     configs: u64,
     represented: u64,
+    group_order: u64,
     edges: usize,
     explore_reference_ms: Option<f64>,
     explore_engine_ms: f64,
@@ -193,6 +201,7 @@ where
         quotient: "none",
         configs: space.total() as u64,
         represented: space.represented_configs(),
+        group_order: 1,
         edges: space.transition_system().n_edges(),
         explore_reference_ms: Some(explore_reference_ms),
         explore_engine_ms,
@@ -251,9 +260,12 @@ where
         quotient: match opts.quotient {
             Quotient::None => "none",
             Quotient::RingRotation => "ring-rotation",
+            Quotient::RingDihedral => "ring-dihedral",
+            Quotient::Automorphism => "automorphism",
         },
         configs: space.total() as u64,
         represented: space.represented_configs(),
+        group_order: space.transition_system().group_order(),
         edges: space.transition_system().n_edges(),
         explore_reference_ms,
         explore_engine_ms,
@@ -375,6 +387,59 @@ fn main() {
         false,
     ));
 
+    // ---- PR 3 rows: dihedral and leaf-permutation quotients --------------
+
+    // Dihedral quotient on Herman: ≈ half the rotation quotient's states,
+    // Booth-canonicalized, so the per-state cost stays at the rotation
+    // quotient's level while the representative count halves again.
+    results.push(run_mode_case(
+        "herman/N=13/synchronous",
+        &herman13,
+        Daemon::Synchronous,
+        &herman13.legitimacy(),
+        &ExploreOptions::full().with_quotient(Quotient::RingDihedral),
+        CAP,
+        3,
+        true,
+    ));
+    results.push(run_mode_case(
+        "herman/N=15/synchronous",
+        &herman15,
+        Daemon::Synchronous,
+        &herman15.legitimacy(),
+        &ExploreOptions::full().with_quotient(Quotient::RingDihedral),
+        CAP,
+        1,
+        true,
+    ));
+    // Beyond-full-reach, now at 2N-fold reduction.
+    results.push(run_mode_case(
+        "herman/N=17/synchronous",
+        &herman17,
+        Daemon::Synchronous,
+        &herman17.legitimacy(),
+        &ExploreOptions::full().with_quotient(Quotient::RingDihedral),
+        BIG_CAP,
+        1,
+        false,
+    ));
+
+    // Leaf-permutation (automorphism) quotient: greedy coloring on a
+    // 12-node star. The 11! leaf orders collapse 24 576 configurations to
+    // one representative per (hub color, leaf-color multiset) — a
+    // 170×-fold reduction no ring quotient can reach.
+    let star12 = GreedyColoring::new(&builders::star(12)).unwrap();
+    results.push(run_mode_case(
+        "coloring/star(12)/central",
+        &star12,
+        Daemon::Central,
+        &star12.legitimacy(),
+        &ExploreOptions::full().with_quotient(Quotient::Automorphism),
+        CAP,
+        3,
+        true,
+    ));
+
     // Token ring N=12 (m_12 = 5): 5^12 ≈ 2.4·10^8 configurations — full
     // enumeration is out of reach entirely. On-the-fly BFS over canonical
     // representatives from a designated scrambled seed checks the
@@ -401,6 +466,7 @@ fn main() {
         "quotient",
         "configs",
         "represented",
+        "group order",
         "edges",
         "explore ref (ms)",
         "explore engine (ms)",
@@ -409,7 +475,7 @@ fn main() {
     ]);
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"schema\": \"bench_explore/v2\",");
+    let _ = writeln!(json, "  \"schema\": \"bench_explore/v3\",");
     let _ = writeln!(json, "  \"threads\": {threads},");
     let _ = writeln!(json, "  \"results\": [");
     for (i, r) in results.iter().enumerate() {
@@ -425,6 +491,7 @@ fn main() {
             r.quotient.to_string(),
             r.configs.to_string(),
             r.represented.to_string(),
+            r.group_order.to_string(),
             r.edges.to_string(),
             fmt_opt(r.explore_reference_ms),
             format!("{:.3}", r.explore_engine_ms),
@@ -437,6 +504,7 @@ fn main() {
         let _ = writeln!(json, "      \"quotient\": \"{}\",", r.quotient);
         let _ = writeln!(json, "      \"configs\": {},", r.configs);
         let _ = writeln!(json, "      \"represented\": {},", r.represented);
+        let _ = writeln!(json, "      \"group_order\": {},", r.group_order);
         let _ = writeln!(json, "      \"edges\": {},", r.edges);
         let _ = writeln!(
             json,

@@ -12,7 +12,8 @@
 
 use stab_core::engine::ConfigCursor;
 use stab_core::{semantics, Algorithm, Configuration, CoreError, Legitimacy, SpaceIndexer};
-use stab_graph::{Graph, NodeId, PortId};
+use stab_graph::trees::leaf_classes;
+use stab_graph::{Graph, NodeId, PortId, RingRotations};
 
 /// A graph automorphism: a node permutation preserving adjacency (and hence
 /// inducing a port mapping at every node).
@@ -45,12 +46,58 @@ impl Automorphism {
         Some(Automorphism { perm })
     }
 
-    /// All automorphisms of `g`, by brute-force permutation search.
+    /// All automorphisms of `g`, via topology-aware construction where the
+    /// shape is recognised and brute-force permutation search otherwise:
+    ///
+    /// * **rings** — the dihedral group `D_N` (`2N` elements) is built
+    ///   directly from the rotation/reflection generators in O(N²) total,
+    ///   so arbitrary ring sizes work (the old factorial search panicked
+    ///   at `N ≥ 10`);
+    /// * **stars** (one hub, all other nodes pendant) — the `k!` leaf
+    ///   permutations are enumerated directly over the `k` leaves instead
+    ///   of searching `(k+1)!` node orders;
+    /// * anything else — brute-force search, still capped at 9 nodes.
     ///
     /// # Panics
     ///
-    /// Panics if `g` has more than 9 nodes (factorial search).
+    /// Panics if the group itself is impractically large (a star with more
+    /// than 9 leaves) or an unrecognised topology has more than 9 nodes.
     pub fn all(g: &Graph) -> Vec<Automorphism> {
+        if let Ok(rot) = RingRotations::of(g) {
+            let n = g.n();
+            let refl = rot.reflection();
+            let mut out = Vec::with_capacity(2 * n);
+            for k in 0..n {
+                let r = rot.permutation(k);
+                let composed: Vec<NodeId> = (0..n).map(|v| r[refl[v].index()]).collect();
+                out.push(Automorphism { perm: r });
+                out.push(Automorphism { perm: composed });
+            }
+            debug_assert!(out
+                .iter()
+                .all(|a| Automorphism::new(g, a.perm.clone()).is_some()));
+            return out;
+        }
+        if let Some((_, leaves)) = star_shape(g) {
+            assert!(
+                leaves.len() <= 9,
+                "the {}-leaf star's automorphism group is impractically large",
+                leaves.len()
+            );
+            let mut out = Vec::new();
+            let mut arrangement = leaves.clone();
+            permute(&mut arrangement, 0, &mut |p| {
+                let mut perm: Vec<NodeId> = g.nodes().collect();
+                for (i, &img) in p.iter().enumerate() {
+                    perm[leaves[i].index()] = img;
+                }
+                out.push(Automorphism { perm });
+            });
+            debug_assert!(out
+                .iter()
+                .all(|a| Automorphism::new(g, a.perm.clone()).is_some()));
+            return out;
+        }
         assert!(
             g.n() <= 9,
             "brute-force automorphism search is capped at 9 nodes"
@@ -63,6 +110,43 @@ impl Automorphism {
             }
         });
         out
+    }
+
+    /// A generator set for (a sound subgroup of) `Aut(g)`, sized
+    /// O(N·|generators|) — never factorial: the rotation-by-1 and
+    /// reflection on rings (generating all of `D_N = Aut`), the
+    /// same-parent leaf transpositions on trees and stars (generating the
+    /// leaf-permutation subgroup, which is all of `Aut` on stars), and the
+    /// non-identity automorphisms from brute-force search elsewhere
+    /// (capped at 9 nodes). This is the set to feed
+    /// `stab_core::engine::GroupCanonicalizer::from_permutations`.
+    pub fn generators(g: &Graph) -> Vec<Automorphism> {
+        if let Ok(rot) = RingRotations::of(g) {
+            return vec![
+                Automorphism {
+                    perm: rot.permutation(1),
+                },
+                Automorphism {
+                    perm: rot.reflection(),
+                },
+            ];
+        }
+        let classes = leaf_classes(g);
+        if !classes.is_empty() {
+            let mut out = Vec::new();
+            for class in classes {
+                for pair in class.windows(2) {
+                    let mut perm: Vec<NodeId> = g.nodes().collect();
+                    perm.swap(pair[0].index(), pair[1].index());
+                    out.push(Automorphism { perm });
+                }
+            }
+            return out;
+        }
+        Automorphism::all(g)
+            .into_iter()
+            .filter(|a| !a.is_identity())
+            .collect()
     }
 
     /// The image of a node.
@@ -136,6 +220,18 @@ impl Automorphism {
                 .collect(),
         )
     }
+}
+
+/// Star-shape recognition via the shared leaf grouping: a star is exactly
+/// a graph whose single interchangeable-leaf class covers every node but
+/// the hub. Returns the hub and the leaves.
+fn star_shape(g: &Graph) -> Option<(NodeId, Vec<NodeId>)> {
+    if g.n() < 3 {
+        return None;
+    }
+    let mut classes = leaf_classes(g);
+    let class = (classes.len() == 1).then(|| classes.pop().expect("one class"))?;
+    (class.len() == g.n() - 1).then(|| (g.neighbors(class[0])[0], class))
 }
 
 fn permute(perm: &mut Vec<NodeId>, k: usize, visit: &mut impl FnMut(&[NodeId])) {
@@ -319,13 +415,69 @@ mod tests {
     #[test]
     fn ring_automorphism_count_is_dihedral() {
         let g = builders::ring(5);
-        assert_eq!(Automorphism::all(&g).len(), 10); // dihedral group D5
+        let autos = Automorphism::all(&g);
+        assert_eq!(autos.len(), 10); // dihedral group D5
+                                     // The construction is direct now; every element must still be a
+                                     // distinct valid automorphism.
+        let mut seen = std::collections::HashSet::new();
+        for a in &autos {
+            assert!(Automorphism::new(&g, a.perm.clone()).is_some());
+            assert!(seen.insert(a.perm.clone()), "duplicate {:?}", a.perm);
+        }
+    }
+
+    /// Regression for the factorial enumeration: `all` on rings of 10+
+    /// nodes used to panic ("capped at 9 nodes"); the topology-aware
+    /// construction returns the dihedral group directly.
+    #[test]
+    fn large_ring_automorphisms_no_longer_factorial() {
+        for n in [10usize, 12, 17, 40] {
+            let g = builders::ring(n);
+            let autos = Automorphism::all(&g);
+            assert_eq!(autos.len(), 2 * n, "D_{n} on ring({n})");
+            let mut seen = std::collections::HashSet::new();
+            for a in &autos {
+                assert!(seen.insert(a.perm.clone()));
+            }
+        }
+        // Generator sets stay O(1)–O(N), never factorial.
+        assert_eq!(Automorphism::generators(&builders::ring(40)).len(), 2);
+        assert_eq!(Automorphism::generators(&builders::star(12)).len(), 10);
+        assert_eq!(
+            Automorphism::generators(&builders::caterpillar(3, 2)).len(),
+            3
+        );
     }
 
     #[test]
     fn star_automorphisms_permute_leaves() {
         let g = builders::star(4);
         assert_eq!(Automorphism::all(&g).len(), 6); // 3! leaf permutations
+                                                    // Direct leaf enumeration scales past the old 9-node search cap.
+        let g = builders::star(10);
+        let autos = Automorphism::all(&g);
+        assert_eq!(autos.len(), 362_880); // 9! leaf permutations
+        assert!(autos
+            .iter()
+            .all(|a| a.node_image(NodeId::new(0)) == NodeId::new(0)));
+    }
+
+    #[test]
+    fn generators_generate_valid_automorphisms() {
+        for g in [
+            builders::ring(7),
+            builders::star(6),
+            builders::caterpillar(2, 3),
+            builders::path(4),
+        ] {
+            for a in Automorphism::generators(&g) {
+                assert!(
+                    Automorphism::new(&g, a.perm.clone()).is_some(),
+                    "invalid generator on {g:?}"
+                );
+                assert!(!a.is_identity());
+            }
+        }
     }
 
     #[test]

@@ -1,20 +1,24 @@
-//! Differential tests of the rotation-quotient and reachable-only
-//! exploration modes against the full sweep.
+//! Differential tests of the symmetry-quotient (rotation, dihedral, leaf
+//! permutation) and reachable-only exploration modes against the full
+//! sweep.
 //!
-//! For every rotation-equivariant ring algorithm in the zoo, under every
-//! daemon, the stabilization verdicts decided over the quotient (one
-//! lexicographically-least representative per rotation orbit) must equal
-//! the verdicts decided over the full space, the orbits must tile the
-//! space exactly, and each representative's verdict-relevant labels must
-//! agree with its whole orbit. Reachable-mode exploration seeded with the
-//! entire space must reproduce the full system edge for edge, and
-//! reachable-mode exploration from a strict seed set must agree with the
-//! full space on what the seeds can reach.
+//! For every group-respecting algorithm in the zoo, under every daemon,
+//! the stabilization verdicts decided over the quotient (one
+//! lexicographically-least representative per group orbit) must equal the
+//! verdicts decided over the full space, the orbits must tile the space
+//! exactly, and each representative's verdict-relevant labels must agree
+//! with its whole orbit. Combinations the engine's equivariance gate must
+//! *reject* — Dijkstra's rooted ring under any ring quotient, the
+//! `m ≥ 3` oriented token ring under reflections, stars whose leaf
+//! programs differ — are pinned as negative tests. Reachable-mode
+//! exploration seeded with the entire space must reproduce the full
+//! system edge for edge, and reachable-mode exploration from a strict
+//! seed set must agree with the full space on what the seeds can reach.
 
-use stab_algorithms::{GreedyColoring, HermanRing, TokenCirculation};
+use stab_algorithms::{DijkstraRing, GreedyColoring, HermanRing, TokenCirculation};
 use stab_checker::analysis::{analyze_space, StabilizationReport};
 use stab_checker::ExploredSpace;
-use stab_core::engine::ExploreOptions;
+use stab_core::engine::{ExploreOptions, Quotient};
 use stab_core::{Algorithm, Configuration, Daemon, Legitimacy, SpaceIndexer};
 use stab_graph::builders;
 
@@ -49,24 +53,28 @@ fn assert_verdicts_equal(a: &StabilizationReport, b: &StabilizationReport, label
     );
 }
 
-/// Full-vs-quotient differential for one ring algorithm under every
-/// daemon.
-fn quotient_differential<A, L>(alg: &A, spec: &L)
+/// Full-vs-quotient differential for one algorithm under every daemon,
+/// for any quotient group.
+fn quotient_differential_with<A, L>(alg: &A, spec: &L, quotient: Quotient, group_order: u64)
 where
     A: Algorithm + Sync,
     A::State: Sync,
     L: Legitimacy<A::State> + Sync,
 {
-    let n = alg.n() as u64;
     for daemon in Daemon::ALL {
-        let label = format!("{} under {daemon}", alg.name());
+        let label = format!("{} under {daemon} ({quotient:?})", alg.name());
         let full = ExploredSpace::explore(alg, daemon, spec, CAP).expect("full explore");
-        let opts = ExploreOptions::full().with_ring_quotient();
+        let opts = ExploreOptions::full().with_quotient(quotient);
         let quot =
             ExploredSpace::explore_with(alg, daemon, spec, CAP, &opts).expect("quotient explore");
 
         // Orbit bookkeeping: the orbits tile the space, shrink it by at
-        // most N, and weigh the legitimate set consistently.
+        // most the group order, and weigh the legitimate set consistently.
+        assert_eq!(
+            quot.transition_system().group_order(),
+            group_order,
+            "{label}: group order"
+        );
         assert_eq!(
             quot.represented_configs(),
             full.total() as u64,
@@ -74,8 +82,8 @@ where
         );
         assert!(quot.total() <= full.total());
         assert!(
-            (quot.total() as u64) >= full.total() as u64 / n,
-            "{label}: at most N-fold shrinkage"
+            (quot.total() as u64) >= full.total() as u64 / group_order,
+            "{label}: at most group-order-fold shrinkage"
         );
         let legit_weighted: u64 = (0..quot.total())
             .filter(|&id| quot.is_legit(id))
@@ -127,6 +135,16 @@ where
     }
 }
 
+/// The PR 2 rotation differential, unchanged in contract.
+fn quotient_differential<A, L>(alg: &A, spec: &L)
+where
+    A: Algorithm + Sync,
+    A::State: Sync,
+    L: Legitimacy<A::State> + Sync,
+{
+    quotient_differential_with(alg, spec, Quotient::RingRotation, alg.n() as u64);
+}
+
 #[test]
 fn token_circulation_quotient_matches_full() {
     for n in [3, 4, 5] {
@@ -159,6 +177,200 @@ fn transformed_token_ring_quotient_matches_full() {
     let alg = Transformed::new(TokenCirculation::on_ring(&builders::ring(3)).unwrap());
     let spec = ProjectedLegitimacy::new(base.legitimacy());
     quotient_differential(&alg, &spec);
+}
+
+// ---- Dihedral quotients -------------------------------------------------
+
+/// Herman's ring under the dihedral group: single steps are *not*
+/// reflection-equivariant (the protocol reads its predecessor), but its
+/// absorption dynamics and verdicts are direction-blind, so the engine's
+/// lumped gate admits it and every verdict must still match the full
+/// space from ≈ half the rotation quotient's states.
+#[test]
+fn herman_dihedral_quotient_matches_full() {
+    for n in [3usize, 5] {
+        let alg = HermanRing::on_ring(&builders::ring(n)).unwrap();
+        quotient_differential_with(
+            &alg,
+            &alg.legitimacy(),
+            Quotient::RingDihedral,
+            2 * n as u64,
+        );
+    }
+}
+
+/// The odd (`m_N = 2`) oriented token ring is Herman-shaped — token iff
+/// equal to the predecessor — and its reflection-conjugate has identical
+/// absorption dynamics, so the dihedral quotient is admitted and exact.
+#[test]
+fn odd_token_circulation_dihedral_quotient_matches_full() {
+    for n in [3usize, 5] {
+        let alg = TokenCirculation::on_ring(&builders::ring(n)).unwrap();
+        quotient_differential_with(
+            &alg,
+            &alg.legitimacy(),
+            Quotient::RingDihedral,
+            2 * n as u64,
+        );
+    }
+}
+
+/// Greedy coloring reads its neighbourhood as a multiset, so it is
+/// *strictly* reflection-equivariant — the strict tier of the gate admits
+/// it without the lumped fallback.
+#[test]
+fn ring_coloring_dihedral_quotient_matches_full() {
+    let g = builders::ring(4);
+    let alg = GreedyColoring::new(&g).unwrap();
+    quotient_differential_with(&alg, &alg.legitimacy(), Quotient::RingDihedral, 8);
+}
+
+/// On a ring, `Quotient::Automorphism` resolves to the dihedral group.
+#[test]
+fn automorphism_quotient_on_rings_is_dihedral() {
+    let alg = HermanRing::on_ring(&builders::ring(5)).unwrap();
+    let spec = alg.legitimacy();
+    let dihedral = ExploredSpace::explore_with(
+        &alg,
+        Daemon::Synchronous,
+        &spec,
+        CAP,
+        &ExploreOptions::full().with_quotient(Quotient::RingDihedral),
+    )
+    .unwrap();
+    let auto = ExploredSpace::explore_with(
+        &alg,
+        Daemon::Synchronous,
+        &spec,
+        CAP,
+        &ExploreOptions::full().with_quotient(Quotient::Automorphism),
+    )
+    .unwrap();
+    assert_eq!(auto.total(), dihedral.total());
+    assert_eq!(auto.transition_system().group_order(), 10);
+    for id in 0..auto.total() {
+        assert_eq!(auto.config(id), dihedral.config(id));
+        assert_eq!(auto.edges(id), dihedral.edges(id));
+    }
+}
+
+// ---- Leaf-permutation quotients ----------------------------------------
+
+/// Greedy coloring on stars and trees under the leaf-permutation
+/// (automorphism) quotient: anonymous leaf programs are strictly
+/// equivariant under sibling swaps, and all verdicts must match the full
+/// space.
+#[test]
+fn coloring_leaf_quotient_matches_full_on_star_and_tree() {
+    for (g, group_order) in [
+        (builders::star(5), 24),       // 4! leaf orders
+        (builders::binary_tree(7), 4), // two sibling pairs: 2! × 2!
+        (builders::caterpillar(2, 2), 4),
+    ] {
+        let alg = GreedyColoring::new(&g).unwrap();
+        quotient_differential_with(&alg, &alg.legitimacy(), Quotient::Automorphism, group_order);
+    }
+}
+
+// ---- Negative tests: the gate must reject unsound quotients -------------
+
+/// Dijkstra's rooted ring breaks anonymity: the root's privilege rule
+/// makes neither the spec nor the dynamics rotation- or
+/// reflection-invariant. Both ring quotients must be rejected *on the
+/// very topology the anonymous protocols are accepted on*.
+#[test]
+fn dijkstra_rejected_for_rotation_and_reflection_quotients() {
+    let alg = DijkstraRing::on_ring(&builders::ring(4)).unwrap();
+    let spec = alg.legitimacy();
+    for quotient in [
+        Quotient::RingRotation,
+        Quotient::RingDihedral,
+        Quotient::Automorphism,
+    ] {
+        for daemon in [Daemon::Central, Daemon::Distributed] {
+            let opts = ExploreOptions::full().with_quotient(quotient);
+            let err = ExploredSpace::explore_with(&alg, daemon, &spec, CAP, &opts).unwrap_err();
+            assert!(
+                matches!(err, stab_core::CoreError::QuotientUnsupported { .. }),
+                "dijkstra {quotient:?} under {daemon}: {err}"
+            );
+        }
+    }
+}
+
+/// The oriented token ring with `m_N ≥ 3` (even `N`) counts tokens
+/// direction-sensitively: reflecting a configuration changes its token
+/// count, so the spec-invariance tier rejects the dihedral quotient —
+/// while the *rotation* quotient of the same instance stays accepted.
+#[test]
+fn oriented_token_ring_rejected_for_reflection_quotients() {
+    for n in [4usize, 6] {
+        let alg = TokenCirculation::on_ring(&builders::ring(n)).unwrap();
+        let spec = alg.legitimacy();
+        let opts = ExploreOptions::full().with_quotient(Quotient::RingDihedral);
+        let err =
+            ExploredSpace::explore_with(&alg, Daemon::Central, &spec, CAP, &opts).unwrap_err();
+        assert!(
+            matches!(err, stab_core::CoreError::QuotientUnsupported { .. }),
+            "token ring N={n} reflection: {err}"
+        );
+        // Rotations remain sound for the same instance.
+        let rot = ExploreOptions::full().with_quotient(Quotient::RingRotation);
+        assert!(ExploredSpace::explore_with(&alg, Daemon::Central, &spec, CAP, &rot).is_ok());
+    }
+}
+
+/// A star whose leaf programs differ (leaves branch on their node id) is
+/// not leaf-permutation-equivariant even though all leaf alphabets agree;
+/// the behavioural gate must reject it.
+#[test]
+fn differing_leaf_programs_rejected_for_leaf_quotients() {
+    use stab_core::{ActionId, ActionMask, Outcomes, Predicate, View};
+    use stab_graph::{Graph, NodeId};
+
+    /// Even-indexed leaves raise their bit; odd-indexed leaves are inert;
+    /// the hub is inert.
+    struct LopsidedLeaves {
+        g: Graph,
+    }
+    impl Algorithm for LopsidedLeaves {
+        type State = bool;
+        fn graph(&self) -> &Graph {
+            &self.g
+        }
+        fn name(&self) -> String {
+            "lopsided-leaves".into()
+        }
+        fn state_space(&self, _v: NodeId) -> Vec<bool> {
+            vec![false, true]
+        }
+        fn enabled_actions<V: View<bool>>(&self, v: &V) -> ActionMask {
+            let node = v.node().index();
+            ActionMask::when(node > 0 && node % 2 == 0 && !*v.me(), ActionId::A1)
+        }
+        fn apply<V: View<bool>>(&self, _v: &V, _a: ActionId) -> Outcomes<bool> {
+            Outcomes::certain(true)
+        }
+    }
+
+    let alg = LopsidedLeaves {
+        g: builders::star(5),
+    };
+    // The spec is permutation-invariant; only the dynamics betray the
+    // asymmetry, so rejection must come from the behavioural tiers.
+    let spec = Predicate::new("all-leaves-up", |c: &Configuration<bool>| {
+        c.states()[1..].iter().all(|&b| b)
+    });
+    let opts = ExploreOptions::full().with_quotient(Quotient::Automorphism);
+    let err = ExploredSpace::explore_with(&alg, Daemon::Central, &spec, CAP, &opts).unwrap_err();
+    assert!(
+        matches!(err, stab_core::CoreError::QuotientUnsupported { .. }),
+        "{err}"
+    );
+    assert!(
+        err.to_string().contains("does not respect"),
+        "rejection is behavioural, not structural: {err}"
+    );
 }
 
 #[test]

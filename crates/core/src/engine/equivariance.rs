@@ -1,0 +1,389 @@
+//! Per-run behavioural soundness gate for symmetry quotients: decides
+//! `QuotientUnsupported` **per algorithm**, not per topology.
+//!
+//! A group quotient is sound when the algorithm respects the group and the
+//! specification is invariant under it. Structural validation (ring shape,
+//! equal alphabets) lives in [`super::quotient`]; this module samples the
+//! *behaviour*:
+//!
+//! 1. **Spec invariance** — `spec(γ) = spec(π·γ)` for every generator `π`
+//!    on a deterministic stride sample (exhaustive on small spaces).
+//!    Catches Dijkstra's rooted ring (privileges count differently after
+//!    rotating away from the root) and the `m ≥ 3` oriented token ring
+//!    under reflection (token count is direction-sensitive).
+//! 2. **Strict equivariance** — the successor row of `π·γ` equals the
+//!    `π`-image of the row of `γ` edge for edge (targets, mover masks,
+//!    probabilities). Sufficient for every analysis; holds for
+//!    undirected/anonymous protocols (coloring, leaf programs) and for
+//!    oriented rings under rotations.
+//! 3. **Lumped fallback** — generators that fail strict equivariance (an
+//!    oriented ring under reflection maps the protocol to its
+//!    mirror-image) are still sound when the *absorption dynamics* are
+//!    direction-blind: the gate compares the step-`k` absorbed-mass series
+//!    of `γ` and `π·γ` under the Definition 6 kernel, budget-bounded.
+//!    Herman's ring passes — its hitting-time law is invariant under
+//!    reversal even though single steps are not — while asymmetric
+//!    protocols diverge within a step or two.
+//!
+//! The gate is a sampled filter, not a proof. In particular the lumped
+//! fallback certifies the *absorption law* (hitting times, absorption
+//! probabilities, CDFs); for possibilistic analyses over a
+//! lumped-admitted quotient (Herman's reachability sets fold exactly,
+//! one-step supports do not) agreement is pinned empirically by the
+//! quotient differential suites (`quotient_differential.rs`,
+//! `quotient_chain.rs`, `group_canonicalizer_props.rs`) across the zoo
+//! under all four daemons rather than guaranteed a priori — strictly
+//! equivariant algorithms need no such caveat.
+
+use std::collections::HashMap;
+
+use crate::algorithm::Algorithm;
+use crate::scheduler::Daemon;
+use crate::space::SpaceIndexer;
+use crate::spec::Legitimacy;
+use crate::CoreError;
+
+use super::explore::adjacency_masks;
+use super::quotient::GroupCanonicalizer;
+use super::rowgen::RowGen;
+
+/// A cached kernel row: legitimacy, enabled mask, and the successor
+/// distribution aggregated by target.
+type KernelRow = (bool, u64, Vec<(u64, f64)>);
+
+/// Stride-sample size for the (cheap) spec-invariance pass.
+const SPEC_SAMPLES: u64 = 2048;
+/// Stride-sample size for the strict row-equivariance pass.
+const STRICT_SAMPLES: u64 = 96;
+/// Stride-sample size for the lumped absorption-dynamics fallback.
+const LUMPED_SAMPLES: u64 = 16;
+/// Longest absorbed-mass series compared by the lumped fallback.
+const LUMPED_MAX_STEPS: usize = 12;
+/// Distribution-support cap per evolution step (the series is truncated,
+/// never approximated, when branching exceeds it).
+const LUMPED_SUPPORT_CAP: usize = 512;
+/// Successor-row generations each absorbed-series evolution may spend
+/// (per sample, so later samples are never starved into a vacuous
+/// comparison; divergence between an algorithm and its mirror image
+/// shows within a step or two, and the cap keeps the gate a vanishing
+/// fraction of the explore it guards).
+const LUMPED_WORK_BUDGET: usize = 400;
+/// Probability comparison tolerance.
+const PROB_TOL: f64 = 1e-9;
+
+/// A deterministic stride sample of `0..total` with at most `count`
+/// entries (exhaustive when `total <= count`).
+fn samples(total: u64, count: u64) -> impl Iterator<Item = u64> {
+    let count = count.min(total);
+    let stride = (total / count).max(1);
+    (0..count).map(move |i| i * stride)
+}
+
+/// Applies a node permutation to an enabled/mover bitmask.
+fn permute_mask(mask: u64, perm: &[u32]) -> u64 {
+    let mut out = 0u64;
+    let mut rest = mask;
+    while rest != 0 {
+        let v = rest.trailing_zeros() as usize;
+        rest &= rest - 1;
+        out |= 1u64 << perm[v];
+    }
+    out
+}
+
+/// Checks that quotienting `alg` under `daemon` and `spec` by `canon`'s
+/// group is behaviourally sound, per the module docs.
+///
+/// # Errors
+///
+/// [`CoreError::QuotientUnsupported`] naming the first witness of a
+/// violated condition; [`CoreError::TooManyEnabled`] propagated from row
+/// generation.
+pub(super) fn check_quotient_sound<A, L>(
+    alg: &A,
+    ix: &SpaceIndexer<A::State>,
+    daemon: Daemon,
+    spec: &L,
+    canon: &GroupCanonicalizer,
+) -> Result<(), CoreError>
+where
+    A: Algorithm,
+    L: Legitimacy<A::State>,
+{
+    let total = ix.total();
+
+    // Pass 1: spec invariance under every generator.
+    for perm in canon.generators() {
+        for full in samples(total, SPEC_SAMPLES) {
+            let image = canon.apply_perm(full, perm);
+            if spec.is_legitimate(&ix.decode(full)) != spec.is_legitimate(&ix.decode(image)) {
+                return Err(CoreError::QuotientUnsupported {
+                    reason: format!(
+                        "specification '{}' is not invariant under the quotient group: \
+                         {:?} and its symmetric image {:?} disagree",
+                        spec.name(),
+                        ix.decode(full),
+                        ix.decode(image),
+                    ),
+                });
+            }
+        }
+    }
+
+    // Pass 2 (+3): row equivariance per generator, with the lumped
+    // absorption-dynamics fallback for generators that conjugate the
+    // algorithm into its mirror image.
+    let adjacency = adjacency_masks(alg);
+    let mut kernel = Kernel {
+        alg,
+        ix,
+        daemon,
+        spec,
+        adjacency,
+        gen: RowGen::new(),
+        rows: HashMap::new(),
+        legit: HashMap::new(),
+        work: 0,
+    };
+    for perm in canon.generators() {
+        if strict_generator_equivariance(&mut kernel, canon, perm)? {
+            continue;
+        }
+        lumped_generator_soundness(&mut kernel, canon, perm)?;
+    }
+    Ok(())
+}
+
+/// Whether the sampled rows of `π·γ` equal the `π`-images of the rows of
+/// `γ` exactly (targets, movers, probabilities, enabled masks).
+fn strict_generator_equivariance<A, L>(
+    kernel: &mut Kernel<'_, A, L>,
+    canon: &GroupCanonicalizer,
+    perm: &[u32],
+) -> Result<bool, CoreError>
+where
+    A: Algorithm,
+    L: Legitimacy<A::State>,
+{
+    let total = kernel.ix.total();
+    let mut mapped: Vec<(u64, u64, f64)> = Vec::new();
+    for full in samples(total, STRICT_SAMPLES) {
+        let image = canon.apply_perm(full, perm);
+        let (mask_x, row_x) = kernel.raw_row(full)?;
+        mapped.clear();
+        mapped.extend(row_x.iter().map(|&(to, movers, prob)| {
+            (canon.apply_perm(to, perm), permute_mask(movers, perm), prob)
+        }));
+        mapped.sort_unstable_by_key(|&(to, movers, _)| (to, movers));
+        let mapped_mask = permute_mask(mask_x, perm);
+        let (mask_img, row_img) = kernel.raw_row(image)?;
+        let equal = mask_img == mapped_mask
+            && row_img.len() == mapped.len()
+            && row_img
+                .iter()
+                .zip(&mapped)
+                .all(|(&(to, movers, p), &(mto, mmovers, mp))| {
+                    to == mto && movers == mmovers && (p - mp).abs() <= PROB_TOL
+                });
+        if !equal {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// Fallback acceptance for a strictly non-equivariant generator: the
+/// absorbed-mass series (`P(T_L <= k)` for `k = 0, 1, …`) of sampled
+/// configurations and their images must coincide, and so must their
+/// enabled-process counts (terminality in particular).
+fn lumped_generator_soundness<A, L>(
+    kernel: &mut Kernel<'_, A, L>,
+    canon: &GroupCanonicalizer,
+    perm: &[u32],
+) -> Result<(), CoreError>
+where
+    A: Algorithm,
+    L: Legitimacy<A::State>,
+{
+    let total = kernel.ix.total();
+    for full in samples(total, LUMPED_SAMPLES) {
+        let image = canon.apply_perm(full, perm);
+        let mask_x = kernel.row(full)?.1;
+        let mask_img = kernel.row(image)?.1;
+        if mask_x.count_ones() != mask_img.count_ones() {
+            return Err(CoreError::QuotientUnsupported {
+                reason: format!(
+                    "algorithm does not respect the quotient group: {:?} has {} enabled \
+                     processes but its symmetric image {:?} has {}",
+                    kernel.ix.decode(full),
+                    mask_x.count_ones(),
+                    kernel.ix.decode(image),
+                    mask_img.count_ones(),
+                ),
+            });
+        }
+        let series_x = kernel.absorbed_series(full)?;
+        let series_img = kernel.absorbed_series(image)?;
+        let horizon = series_x.len().min(series_img.len());
+        for k in 0..horizon {
+            if (series_x[k] - series_img[k]).abs() > PROB_TOL {
+                return Err(CoreError::QuotientUnsupported {
+                    reason: format!(
+                        "algorithm does not respect the quotient group: the absorption \
+                         dynamics of {:?} and its symmetric image {:?} diverge at step {k} \
+                         (P(T<=k) = {} vs {})",
+                        kernel.ix.decode(full),
+                        kernel.ix.decode(image),
+                        series_x[k],
+                        series_img[k],
+                    ),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Cached Definition 6 kernel rows over full-space indices; `work` counts
+/// row generations so each lumped-fallback evolution can budget itself.
+struct Kernel<'a, A: Algorithm, L> {
+    alg: &'a A,
+    ix: &'a SpaceIndexer<A::State>,
+    daemon: Daemon,
+    spec: &'a L,
+    adjacency: Vec<u64>,
+    gen: RowGen,
+    /// full index → (legitimate, enabled mask, successor distribution
+    /// aggregated by target).
+    rows: HashMap<u64, KernelRow>,
+    /// full index → legitimacy (far cheaper than a row; successors only
+    /// need this).
+    legit: HashMap<u64, bool>,
+    /// Total row generations spent (read per-sample by
+    /// [`Kernel::absorbed_series`] for its budget).
+    work: usize,
+}
+
+impl<A, L> Kernel<'_, A, L>
+where
+    A: Algorithm,
+    L: Legitimacy<A::State>,
+{
+    /// The uncached raw row of `full`: enabled mask plus
+    /// `(to, movers, prob)` edges sorted by `(to, movers)`.
+    #[allow(clippy::type_complexity)]
+    fn raw_row(&mut self, full: u64) -> Result<(u64, Vec<(u64, u64, f64)>), CoreError> {
+        let cfg = self.ix.decode(full);
+        let mut digits = Vec::new();
+        self.ix.write_digits(full, &mut digits);
+        let (mask, _) = self.gen.generate(
+            self.alg,
+            self.ix,
+            self.daemon,
+            &self.adjacency,
+            &cfg,
+            &digits,
+            full,
+        )?;
+        Ok((
+            mask,
+            self.gen
+                .row
+                .iter()
+                .map(|e| (e.to, e.movers, e.prob))
+                .collect(),
+        ))
+    }
+
+    /// The cached legitimacy of `full` (no row generation).
+    fn is_legit(&mut self, full: u64) -> bool {
+        if let Some(&l) = self.legit.get(&full) {
+            return l;
+        }
+        let l = self.spec.is_legitimate(&self.ix.decode(full));
+        self.legit.insert(full, l);
+        l
+    }
+
+    /// The cached kernel row of `full` (distribution aggregated by
+    /// target), counting one unit of work on a cache miss.
+    fn row(&mut self, full: u64) -> Result<&KernelRow, CoreError> {
+        if !self.rows.contains_key(&full) {
+            self.work += 1;
+            let cfg = self.ix.decode(full);
+            let legit = self.spec.is_legitimate(&cfg);
+            let mut digits = Vec::new();
+            self.ix.write_digits(full, &mut digits);
+            let (mask, _) = self.gen.generate(
+                self.alg,
+                self.ix,
+                self.daemon,
+                &self.adjacency,
+                &cfg,
+                &digits,
+                full,
+            )?;
+            // Movers are irrelevant to absorption dynamics: aggregate by
+            // target (rows are already sorted by target first).
+            let mut dist: Vec<(u64, f64)> = Vec::new();
+            for e in &self.gen.row {
+                match dist.last_mut() {
+                    Some(last) if last.0 == e.to => last.1 += e.prob,
+                    _ => dist.push((e.to, e.prob)),
+                }
+            }
+            self.rows.insert(full, (legit, mask, dist));
+        }
+        Ok(&self.rows[&full])
+    }
+
+    /// The absorbed-mass series `P(T_L <= k)` for `k = 0..`, evolved until
+    /// [`LUMPED_MAX_STEPS`], the support cap, or this call's (per-sample)
+    /// work budget truncates it — the first step is always completed, so
+    /// every sample pair is compared at horizon `u_1` at least.
+    fn absorbed_series(&mut self, start: u64) -> Result<Vec<f64>, CoreError> {
+        let work_at_entry = self.work;
+        let mut series = Vec::new();
+        let mut dist: HashMap<u64, f64> = HashMap::new();
+        let mut absorbed = 0.0f64;
+        if self.is_legit(start) {
+            absorbed = 1.0;
+        } else {
+            dist.insert(start, 1.0);
+        }
+        series.push(absorbed);
+        let mut next: HashMap<u64, f64> = HashMap::new();
+        for step in 0..LUMPED_MAX_STEPS {
+            let spent = self.work - work_at_entry;
+            if dist.is_empty()
+                || dist.len() > LUMPED_SUPPORT_CAP
+                || (step > 0 && spent > LUMPED_WORK_BUDGET)
+            {
+                break;
+            }
+            next.clear();
+            let states: Vec<(u64, f64)> = dist.iter().map(|(&s, &p)| (s, p)).collect();
+            for (state, p) in states {
+                let (terminal, row) = {
+                    let entry = self.row(state)?;
+                    (entry.1 == 0, entry.2.clone())
+                };
+                if terminal {
+                    // Terminal illegitimate configuration: mass stays put.
+                    *next.entry(state).or_insert(0.0) += p;
+                    continue;
+                }
+                for (to, q) in row {
+                    if self.is_legit(to) {
+                        absorbed += p * q;
+                    } else {
+                        *next.entry(to).or_insert(0.0) += p * q;
+                    }
+                }
+            }
+            std::mem::swap(&mut dist, &mut next);
+            series.push(absorbed);
+        }
+        Ok(series)
+    }
+}

@@ -10,12 +10,16 @@
 //!   mixed-radix [`ConfigCursor`] enumeration over `0..total`, chunked
 //!   across scoped threads, configuration ids equal to mixed-radix
 //!   indices;
-//! * **full sweep over the rotation quotient**
-//!   ([`ExploreOptions::full().with_ring_quotient()`][ExploreOptions::with_ring_quotient])
-//!   — only the lexicographically-least rotation of each orbit gets an id;
-//!   successor edges are canonicalized, and parallel edges produced by the
-//!   folding are merged with their probabilities summed, so the Definition
-//!   6 chain over the quotient is the exact lumping of the full chain;
+//! * **full sweep over a symmetry quotient**
+//!   ([`ExploreOptions::with_quotient`]: ring rotations, ring dihedral, or
+//!   the topology-derived automorphism group — leaf permutations on stars
+//!   and trees) — only the lexicographically-least orbit member gets an
+//!   id; successor edges are canonicalized (Booth's O(N) algorithm on
+//!   rings, plus a per-row memo of repeated successors), and parallel
+//!   edges produced by the folding are merged with their probabilities
+//!   summed. A per-run equivariance/spec-invariance gate rejects
+//!   algorithm–group combinations the quotient is unsound for
+//!   ([`CoreError::QuotientUnsupported`]);
 //! * **on-the-fly reachable-only BFS** ([`ExploreOptions::reachable`]) —
 //!   breadth-first search from a designated initial set with hash-interned
 //!   configurations: only configurations reachable from the seeds get ids
@@ -85,9 +89,10 @@ use crate::{CoreError, LocalState};
 use super::bitset::BitSet;
 use super::csr::Csr;
 use super::cursor::ConfigCursor;
+use super::equivariance;
 use super::onthefly::{self, ExploreMode, ExploreOptions, Quotient, StateIds, TraversalMode};
 use super::parallel;
-use super::quotient::RingCanonicalizer;
+use super::quotient::GroupCanonicalizer;
 use super::rowgen::RowGen;
 
 /// One transition: activating the processes in `movers` (bit `i` =
@@ -122,8 +127,10 @@ pub struct TransitionSystem {
     deterministic: bool,
     /// id ↔ full-space-index mapping.
     states: StateIds,
-    /// Present when the system is a rotation quotient.
-    canon: Option<RingCanonicalizer>,
+    /// Present when the system is a symmetry quotient.
+    canon: Option<GroupCanonicalizer>,
+    /// Which group the ids quotient by.
+    quotient: Quotient,
     traversal: TraversalMode,
 }
 
@@ -166,8 +173,12 @@ impl TransitionSystem {
     ///
     /// * [`CoreError::TooManyEnabled`] — distributed-daemon enumeration
     ///   past the cap;
-    /// * [`CoreError::QuotientUnsupported`] — quotient requested on a
-    ///   non-ring topology or a ring with unequal state alphabets;
+    /// * [`CoreError::QuotientUnsupported`] — the requested group does not
+    ///   apply to the topology (e.g. a ring quotient on a path), the state
+    ///   alphabets break the symmetry, or the per-run equivariance gate
+    ///   finds the algorithm or the specification not to respect the group
+    ///   (e.g. Dijkstra's rooted ring under any ring quotient, or the
+    ///   oriented token ring under a reflection quotient);
     /// * [`CoreError::StateSpaceTooLarge`] — a reachable-mode BFS interned
     ///   more states than [`ExploreOptions::max_states`].
     ///
@@ -196,16 +207,28 @@ impl TransitionSystem {
         );
         let canon = match opts.quotient {
             Quotient::None => None,
-            Quotient::RingRotation => Some(RingCanonicalizer::new(alg.graph(), ix)?),
+            Quotient::RingRotation => Some(GroupCanonicalizer::ring_rotation(alg.graph(), ix)?),
+            Quotient::RingDihedral => Some(GroupCanonicalizer::ring_dihedral(alg.graph(), ix)?),
+            Quotient::Automorphism => Some(GroupCanonicalizer::automorphism(alg.graph(), ix)?),
         };
+        if let Some(canon) = &canon {
+            equivariance::check_quotient_sound(alg, ix, daemon, spec, canon)?;
+        }
         match (&opts.mode, canon) {
             (ExploreMode::Full, None) => Self::explore_full(alg, ix, daemon, spec),
             (ExploreMode::Full, Some(canon)) => {
-                onthefly::explore_quotient_sweep(alg, ix, daemon, spec, canon)
+                onthefly::explore_quotient_sweep(alg, ix, daemon, spec, canon, opts.quotient)
             }
-            (ExploreMode::Reachable { seeds }, canon) => {
-                onthefly::explore_reachable(alg, ix, daemon, spec, seeds, canon, opts.max_states)
-            }
+            (ExploreMode::Reachable { seeds }, canon) => onthefly::explore_reachable(
+                alg,
+                ix,
+                daemon,
+                spec,
+                seeds,
+                canon,
+                opts.quotient,
+                opts.max_states,
+            ),
         }
     }
 
@@ -264,6 +287,7 @@ impl TransitionSystem {
             deterministic,
             states: StateIds::Dense { total },
             canon: None,
+            quotient: Quotient::None,
             traversal: TraversalMode::Full,
         })
     }
@@ -277,7 +301,8 @@ impl TransitionSystem {
         initial: BitSet,
         deterministic: bool,
         states: StateIds,
-        canon: Option<RingCanonicalizer>,
+        canon: Option<GroupCanonicalizer>,
+        quotient: Quotient,
         traversal: TraversalMode,
     ) -> Self {
         TransitionSystem {
@@ -289,6 +314,7 @@ impl TransitionSystem {
             deterministic,
             states,
             canon,
+            quotient,
             traversal,
         }
     }
@@ -318,6 +344,7 @@ impl TransitionSystem {
             deterministic,
             states: StateIds::Dense { total },
             canon: None,
+            quotient: Quotient::None,
             traversal: TraversalMode::Full,
         }
     }
@@ -342,20 +369,24 @@ impl TransitionSystem {
         self.traversal
     }
 
-    /// Whether ids are orbit representatives of the ring-rotation
-    /// quotient.
+    /// Which symmetry group the ids quotient by ([`Quotient::None`]
+    /// outside quotient mode).
     #[inline]
     pub fn quotient(&self) -> Quotient {
-        if self.canon.is_some() {
-            Quotient::RingRotation
-        } else {
-            Quotient::None
-        }
+        self.quotient
+    }
+
+    /// The order of the quotient group (1 outside quotient mode). Every
+    /// orbit size divides it, so
+    /// `represented_configs() <= n_configs() × group_order()`.
+    #[inline]
+    pub fn group_order(&self) -> u64 {
+        self.canon.as_ref().map_or(1, |c| c.group_order())
     }
 
     /// The quotient canonicalizer, when the system is a quotient.
     #[inline]
-    pub fn canonicalizer(&self) -> Option<&RingCanonicalizer> {
+    pub fn canonicalizer(&self) -> Option<&GroupCanonicalizer> {
         self.canon.as_ref()
     }
 
@@ -383,12 +414,12 @@ impl TransitionSystem {
     }
 
     /// The number of concrete configurations id `id` stands for: its
-    /// rotation-orbit size in a quotient system, 1 otherwise.
+    /// group-orbit size in a quotient system, 1 otherwise.
     #[inline]
     pub fn orbit_size(&self, id: u32) -> u64 {
         match &self.states {
             StateIds::Dense { .. } => 1,
-            StateIds::Interned(table) => table.orbit(id) as u64,
+            StateIds::Interned(table) => table.orbit(id),
         }
     }
 

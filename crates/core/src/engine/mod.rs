@@ -43,11 +43,14 @@
 //!   hash-interned ids in discovery order, CSR built incrementally from
 //!   the frontier; memory scales with the reachable set instead of the
 //!   product space;
-//! * **ring-rotation quotienting**
-//!   ([`ExploreOptions::with_ring_quotient`]) — one id per rotation orbit
-//!   (the lexicographically-least rotation, [`quotient`]); folded parallel
-//!   edges merge with probabilities summed, so [`Edge::prob`] stays the
-//!   exact Definition 6 lumping.
+//! * **symmetry-group quotienting** ([`ExploreOptions::with_quotient`]) —
+//!   one id per orbit of the selected group (ring rotations, ring
+//!   dihedral, or the topology-derived automorphism group — leaf
+//!   permutations on stars and trees), canonicalized by
+//!   [`GroupCanonicalizer`] (Booth's O(N) least rotation on rings); folded
+//!   parallel edges merge with probabilities summed, so [`Edge::prob`]
+//!   stays the exact Definition 6 lumping. A per-run equivariance gate
+//!   rejects unsound algorithm–group combinations.
 //!
 //! Throughput is tracked per PR by `cargo run --release --bin exp_explore`
 //! (crate `stab-bench`), which writes `BENCH_explore.json`; see ROADMAP.md
@@ -56,6 +59,7 @@
 pub mod bitset;
 pub mod csr;
 pub mod cursor;
+mod equivariance;
 pub mod explore;
 pub mod onthefly;
 pub mod parallel;
@@ -67,4 +71,4 @@ pub use csr::Csr;
 pub use cursor::ConfigCursor;
 pub use explore::{node_mask, Edge, TransitionSystem};
 pub use onthefly::{ExploreMode, ExploreOptions, Quotient, TraversalMode};
-pub use quotient::RingCanonicalizer;
+pub use quotient::{least_rotation, CanonScratch, GroupCanonicalizer};

@@ -1,4 +1,4 @@
-//! Traversal selection: the full mixed-radix sweep, the rotation-quotient
+//! Traversal selection: the full mixed-radix sweep, the symmetry-quotient
 //! sweep, and on-the-fly reachable-only BFS with hash-interned
 //! configurations.
 //!
@@ -6,9 +6,11 @@
 //! not speed — caps the largest checkable instance. The two traversals
 //! here push past that cap along independent axes:
 //!
-//! * the **quotient sweep** stores one representative per rotation orbit
-//!   (≈ `total / N` states and edges on an `N`-ring), still visiting every
-//!   index once to find the representatives;
+//! * the **quotient sweep** stores one representative per orbit of the
+//!   selected symmetry group ([`Quotient`]): ≈ `total / N` states on an
+//!   `N`-ring under rotations, ≈ `total / 2N` under the dihedral group,
+//!   up to `∏ |class|!` less on stars and trees under leaf permutations —
+//!   still visiting every index once to find the representatives;
 //! * the **reachable BFS** stores only configurations reachable from a
 //!   designated initial set, discovered frontier by frontier, with a
 //!   `HashMap` interner handing out dense ids in discovery order — the
@@ -30,7 +32,7 @@ use super::bitset::BitSet;
 use super::csr::Csr;
 use super::explore::{adjacency_masks, Edge, TransitionSystem};
 use super::parallel;
-use super::quotient::RingCanonicalizer;
+use super::quotient::{CanonScratch, GroupCanonicalizer};
 use super::rowgen::RowGen;
 
 /// How to traverse the configuration space.
@@ -47,16 +49,31 @@ pub enum ExploreMode<S> {
     },
 }
 
-/// Symmetry reduction applied to configuration ids.
+/// Symmetry reduction applied to configuration ids: which permutation
+/// group of the communication graph the exploration quotients by (one id
+/// per group orbit, see [`GroupCanonicalizer`]).
+///
+/// Every quotient requires the algorithm to respect the group and the
+/// specification to be invariant under it — both are checked per run by
+/// the engine's equivariance gate, which rejects unsound combinations
+/// with [`CoreError::QuotientUnsupported`] *per algorithm*, not per
+/// topology (e.g. Dijkstra's rooted ring is rejected on the very topology
+/// Herman's ring is accepted on).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Quotient {
     /// No reduction: one id per configuration.
     #[default]
     None,
-    /// One id per rotation orbit of a uniform ring (see
-    /// [`RingCanonicalizer`]); requires a rotation-equivariant algorithm
-    /// and a rotation-invariant specification.
+    /// One id per rotation orbit of a uniform ring (cyclic group `C_N`,
+    /// up to `N`-fold reduction).
     RingRotation,
+    /// One id per rotation-or-reflection orbit of a uniform ring
+    /// (dihedral group `D_N`, up to `2N`-fold reduction).
+    RingDihedral,
+    /// The topology-derived full-automorphism quotient: dihedral on
+    /// rings, the leaf-permutation subgroup on stars and trees
+    /// (up to `∏ |class|!`-fold reduction).
+    Automorphism,
 }
 
 /// Which traversal produced a [`TransitionSystem`] (for reporting).
@@ -107,11 +124,24 @@ impl<S> ExploreOptions<S> {
         }
     }
 
-    /// Adds the ring-rotation quotient to the traversal.
+    /// Selects the symmetry group the traversal quotients by.
+    ///
+    /// ```
+    /// use stab_core::engine::{ExploreOptions, Quotient};
+    /// let opts: ExploreOptions<u8> = ExploreOptions::full().with_quotient(Quotient::RingDihedral);
+    /// assert_eq!(opts.quotient, Quotient::RingDihedral);
+    /// ```
     #[must_use]
-    pub fn with_ring_quotient(mut self) -> Self {
-        self.quotient = Quotient::RingRotation;
+    pub fn with_quotient(mut self, quotient: Quotient) -> Self {
+        self.quotient = quotient;
         self
+    }
+
+    /// Adds the ring-rotation quotient to the traversal (shorthand for
+    /// [`ExploreOptions::with_quotient`]`(Quotient::RingRotation)`).
+    #[must_use]
+    pub fn with_ring_quotient(self) -> Self {
+        self.with_quotient(Quotient::RingRotation)
     }
 
     /// Caps the number of interned states in reachable mode.
@@ -135,13 +165,13 @@ pub(super) enum StateIds {
 }
 
 /// The intern table of a non-dense exploration: dense id ↔ full-space
-/// mixed-radix index, plus the rotation-orbit size per id (1 without
+/// mixed-radix index, plus the group-orbit size per id (1 without
 /// quotienting).
 #[derive(Debug, Default)]
 pub(super) struct StateTable {
     full_of: Vec<u64>,
     ids: HashMap<u64, u32>,
-    orbit: Vec<u32>,
+    orbit: Vec<u64>,
 }
 
 impl StateTable {
@@ -154,7 +184,7 @@ impl StateTable {
     /// Interns `full` (computing its orbit size on first sight) and
     /// returns its id.
     #[inline]
-    fn intern(&mut self, full: u64, orbit: impl FnOnce() -> u32) -> u32 {
+    fn intern(&mut self, full: u64, orbit: impl FnOnce() -> u64) -> u32 {
         match self.ids.get(&full) {
             Some(&id) => id,
             None => {
@@ -173,9 +203,9 @@ impl StateTable {
         self.full_of[id as usize]
     }
 
-    /// The rotation-orbit size of `id`.
+    /// The group-orbit size of `id`.
     #[inline]
-    pub fn orbit(&self, id: u32) -> u32 {
+    pub fn orbit(&self, id: u32) -> u64 {
         self.orbit[id as usize]
     }
 
@@ -186,7 +216,7 @@ impl StateTable {
 
     /// Total concrete configurations represented (Σ orbit sizes).
     pub fn represented(&self) -> u64 {
-        self.orbit.iter().map(|&o| o as u64).sum()
+        self.orbit.iter().sum()
     }
 }
 
@@ -208,15 +238,19 @@ fn merge_parallel_edges(row: &mut Vec<Edge>) {
     row.truncate(write + 1);
 }
 
-/// Full sweep over the rotation quotient: pass 1 collects the canonical
+/// Full sweep over a symmetry quotient: pass 1 collects the canonical
 /// representatives (in ascending index order, chunked across threads),
-/// pass 2 explores exactly those rows with successors canonicalized.
+/// pass 2 explores exactly those rows with successors canonicalized
+/// (memoized per row — under the distributed daemon many activations of
+/// one configuration reach the same successor, and one Booth run serves
+/// them all).
 pub(super) fn explore_quotient_sweep<A, L>(
     alg: &A,
     ix: &SpaceIndexer<A::State>,
     daemon: Daemon,
     spec: &L,
-    canon: RingCanonicalizer,
+    canon: GroupCanonicalizer,
+    quotient: Quotient,
 ) -> Result<TransitionSystem, CoreError>
 where
     A: Algorithm + Sync,
@@ -228,11 +262,11 @@ where
     let rep_chunks = parallel::map_chunks(total, |range| -> Result<_, CoreError> {
         let mut fulls = Vec::new();
         let mut orbits = Vec::new();
-        let mut buf = Vec::new();
+        let mut scratch = CanonScratch::default();
         for full in range {
-            if canon.is_canonical(full, &mut buf) {
+            if canon.is_canonical(full, &mut scratch) {
                 fulls.push(full);
-                orbits.push(canon.orbit(full, &mut buf));
+                orbits.push(canon.orbit(full, &mut scratch));
             }
         }
         Ok((fulls, orbits))
@@ -273,8 +307,11 @@ where
         };
         let mut gen = RowGen::new();
         let mut digits = Vec::new();
-        let mut canon_buf = Vec::new();
+        let mut scratch = CanonScratch::default();
         let mut row: Vec<Edge> = Vec::new();
+        // Per-row memo: successors repeat across activations, and each
+        // repeat would otherwise pay a fresh canonicalization.
+        let mut memo: HashMap<u64, u32> = HashMap::new();
         for id in range {
             let full = table_ref.full_of(id as u32);
             let cfg = ix.decode(full);
@@ -285,11 +322,14 @@ where
             chunk.deterministic &= det;
             chunk.enabled.push(mask);
             row.clear();
+            memo.clear();
             for e in &gen.row {
-                let cto = canon_ref.canonical(e.to, &mut canon_buf);
-                let to = table_ref
-                    .lookup(cto)
-                    .expect("canonical successors are representatives");
+                let to = *memo.entry(e.to).or_insert_with(|| {
+                    let cto = canon_ref.canonical(e.to, &mut scratch);
+                    table_ref
+                        .lookup(cto)
+                        .expect("canonical successors are representatives")
+                });
                 row.push(Edge {
                     to,
                     movers: e.movers,
@@ -336,6 +376,7 @@ where
         deterministic,
         StateIds::Interned(table),
         Some(canon),
+        quotient,
         TraversalMode::Full,
     ))
 }
@@ -343,13 +384,15 @@ where
 /// On-the-fly BFS from `seeds`: hash-interned ids in discovery order, CSR
 /// built incrementally from the frontier. With a canonicalizer, every
 /// interned configuration is an orbit representative.
+#[allow(clippy::too_many_arguments)]
 pub(super) fn explore_reachable<A, L>(
     alg: &A,
     ix: &SpaceIndexer<A::State>,
     daemon: Daemon,
     spec: &L,
     seeds: &[Configuration<A::State>],
-    canon: Option<RingCanonicalizer>,
+    canon: Option<GroupCanonicalizer>,
+    quotient: Quotient,
     max_states: u64,
 ) -> Result<TransitionSystem, CoreError>
 where
@@ -359,20 +402,20 @@ where
     let max_states = max_states.min(u32::MAX as u64);
     let adjacency = adjacency_masks(alg);
     let mut table = StateTable::default();
-    let mut canon_buf = Vec::new();
+    let mut scratch = CanonScratch::default();
 
-    let canonical_of = |full: u64, buf: &mut Vec<u32>| match &canon {
+    let canonical_of = |full: u64, scratch: &mut CanonScratch| match &canon {
         None => full,
-        Some(c) => c.canonical(full, buf),
+        Some(c) => c.canonical(full, scratch),
     };
     // Seeds are interned first, so they occupy ids 0..#distinct-seeds and
     // form the system's initial set.
     let mut seed_ids = Vec::with_capacity(seeds.len());
     for cfg in seeds {
-        let full = canonical_of(ix.encode(cfg), &mut canon_buf);
+        let full = canonical_of(ix.encode(cfg), &mut scratch);
         let id = table.intern(full, || match &canon {
             None => 1,
-            Some(c) => c.orbit(full, &mut canon_buf),
+            Some(c) => c.orbit(full, &mut scratch),
         });
         seed_ids.push(id);
     }
@@ -388,6 +431,7 @@ where
 
     // The intern table doubles as the BFS queue: ids are handed out in
     // discovery order and `next` chases the growing tail.
+    let mut memo: HashMap<u64, u32> = HashMap::new();
     let mut next = 0usize;
     while next < table.len() {
         let id = next as u32;
@@ -400,17 +444,24 @@ where
         deterministic &= det;
         enabled.push(mask);
         row.clear();
+        memo.clear();
         for e in &gen.row {
-            let cto = match &canon {
-                None => e.to,
-                Some(c) => c.canonical(e.to, &mut canon_buf),
-            };
-            let to = match table.lookup(cto) {
-                Some(to) => to,
-                None => table.intern(cto, || match &canon {
-                    None => 1,
-                    Some(c) => c.orbit(cto, &mut canon_buf),
-                }),
+            // Per-row memo: repeated successors canonicalize (and intern)
+            // once.
+            let to = match memo.get(&e.to) {
+                Some(&to) => to,
+                None => {
+                    let cto = canonical_of(e.to, &mut scratch);
+                    let to = match table.lookup(cto) {
+                        Some(to) => to,
+                        None => table.intern(cto, || match &canon {
+                            None => 1,
+                            Some(c) => c.orbit(cto, &mut scratch),
+                        }),
+                    };
+                    memo.insert(e.to, to);
+                    to
+                }
             };
             row.push(Edge {
                 to,
@@ -449,6 +500,7 @@ where
         deterministic,
         StateIds::Interned(table),
         canon,
+        quotient,
         TraversalMode::Reachable,
     ))
 }
@@ -462,10 +514,22 @@ mod tests {
     use crate::{Daemon, Predicate};
     use stab_graph::{builders, Graph, NodeId};
 
-    /// One-bit anonymous ring algorithm: flip when differing from the
-    /// predecessor-side neighbour (rotation-equivariant by construction).
+    /// One-bit anonymous ring algorithm: copy the predecessor when
+    /// differing from it. Using the ring *orientation* (not raw port 0,
+    /// which is direction-inconsistent under sorted port numbering — the
+    /// equivariance gate rejects that variant) makes every node's program
+    /// identical up to rotation, hence rotation-equivariant.
     struct CopyRing {
         g: Graph,
+        orient: stab_graph::RingOrientation,
+    }
+
+    impl CopyRing {
+        fn new(n: usize) -> Self {
+            let g = builders::ring(n);
+            let orient = stab_graph::RingOrientation::canonical(&g).unwrap();
+            CopyRing { g, orient }
+        }
     }
 
     impl Algorithm for CopyRing {
@@ -480,10 +544,11 @@ mod tests {
             vec![false, true]
         }
         fn enabled_actions<V: View<bool>>(&self, v: &V) -> ActionMask {
-            ActionMask::when(v.neighbor(0.into()) != v.me(), ActionId::A1)
+            let pred = *v.neighbor(self.orient.pred_port(v.node()));
+            ActionMask::when(pred != *v.me(), ActionId::A1)
         }
         fn apply<V: View<bool>>(&self, v: &V, _a: ActionId) -> Outcomes<bool> {
-            Outcomes::certain(*v.neighbor(0.into()))
+            Outcomes::certain(*v.neighbor(self.orient.pred_port(v.node())))
         }
     }
 
@@ -495,9 +560,7 @@ mod tests {
 
     #[test]
     fn reachable_all_seeds_matches_full_sweep_edge_for_edge() {
-        let alg = CopyRing {
-            g: builders::ring(4),
-        };
+        let alg = CopyRing::new(4);
         let ix = SpaceIndexer::new(&alg, 1 << 20).unwrap();
         let spec = agreement();
         for daemon in Daemon::ALL {
@@ -520,9 +583,7 @@ mod tests {
 
     #[test]
     fn reachable_interns_only_the_reachable_set() {
-        let alg = CopyRing {
-            g: builders::ring(4),
-        };
+        let alg = CopyRing::new(4);
         let ix = SpaceIndexer::new(&alg, 1 << 20).unwrap();
         let spec = agreement();
         // From ⟨T,F,F,F⟩ under the central daemon, the copy dynamics can
@@ -546,9 +607,7 @@ mod tests {
 
     #[test]
     fn reachable_mode_respects_the_state_cap() {
-        let alg = CopyRing {
-            g: builders::ring(5),
-        };
+        let alg = CopyRing::new(5);
         let ix = SpaceIndexer::new(&alg, 1 << 20).unwrap();
         let spec = agreement();
         let seeds: Vec<_> = ix.iter().collect();
@@ -560,9 +619,7 @@ mod tests {
 
     #[test]
     fn quotient_sweep_folds_rotations_exactly() {
-        let alg = CopyRing {
-            g: builders::ring(5),
-        };
+        let alg = CopyRing::new(5);
         let ix = SpaceIndexer::new(&alg, 1 << 20).unwrap();
         let spec = agreement();
         let opts = ExploreOptions::full().with_ring_quotient();
@@ -573,7 +630,7 @@ mod tests {
         assert_eq!(ts.quotient(), Quotient::RingRotation);
         // Representatives are canonical, ids ascend with full index.
         let canon = ts.canonicalizer().unwrap();
-        let mut buf = Vec::new();
+        let mut buf = CanonScratch::default();
         let mut prev = None;
         for id in 0..ts.n_configs() {
             let full = ts.full_index_of(id);
@@ -597,9 +654,7 @@ mod tests {
 
     #[test]
     fn reachable_quotient_composes() {
-        let alg = CopyRing {
-            g: builders::ring(6),
-        };
+        let alg = CopyRing::new(6);
         let ix = SpaceIndexer::new(&alg, 1 << 20).unwrap();
         let spec = agreement();
         let seeds: Vec<_> = ix.iter().collect();

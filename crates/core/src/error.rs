@@ -27,9 +27,10 @@ pub enum CoreError {
         /// The node with no states.
         node: usize,
     },
-    /// Ring-rotation quotienting was requested for a system it does not
-    /// apply to (non-ring topology, or ring nodes with unequal state
-    /// alphabets).
+    /// A symmetry quotient was requested for a system it does not apply
+    /// to: the group does not fit the topology, state alphabets break the
+    /// symmetry, or the per-run equivariance gate found the algorithm or
+    /// specification not to respect the group.
     QuotientUnsupported {
         /// Human-readable reason.
         reason: String,
@@ -51,7 +52,7 @@ impl fmt::Display for CoreError {
                 write!(f, "node {node} has an empty state space")
             }
             CoreError::QuotientUnsupported { reason } => {
-                write!(f, "ring-rotation quotient unsupported: {reason}")
+                write!(f, "symmetry quotient unsupported: {reason}")
             }
         }
     }

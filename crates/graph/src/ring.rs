@@ -235,6 +235,25 @@ impl RingRotations {
             .map(|v| self.rotate(NodeId::new(v), k))
             .collect()
     }
+
+    /// The node permutation of the reflection fixing cycle position 0
+    /// (position `j` ↦ position `(n − j) mod n`). Together with
+    /// [`RingRotations::permutation`]`(1)` it generates the full dihedral
+    /// automorphism group `D_N` of the ring — the symmetry behind the
+    /// engine's `ring-dihedral` quotient.
+    ///
+    /// ```
+    /// use stab_graph::{builders, NodeId, RingRotations};
+    /// let rot = RingRotations::of(&builders::ring(5)).unwrap();
+    /// let refl = rot.reflection();
+    /// // Node 0 is fixed; its cycle neighbours swap.
+    /// assert_eq!(refl[0], NodeId::new(0));
+    /// assert_eq!(refl[1], NodeId::new(4));
+    /// ```
+    pub fn reflection(&self) -> Vec<NodeId> {
+        let n = self.order.len();
+        (0..n).map(|v| self.order[(n - self.pos[v]) % n]).collect()
+    }
 }
 
 #[cfg(test)]
@@ -368,6 +387,36 @@ mod tests {
             assert_eq!(rot.rotate(v, 0), v, "identity");
             assert_eq!(rot.rotate(rot.rotate(v, 3), 4), v, "3 + 4 ≡ 0 (mod 7)");
             assert_eq!(rot.position(rot.rotate(v, 2)), (rot.position(v) + 2) % 7);
+        }
+    }
+
+    #[test]
+    fn reflection_is_an_involutive_automorphism() {
+        for n in [3usize, 4, 5, 8] {
+            let g = builders::ring(n);
+            let rot = RingRotations::of(&g).unwrap();
+            let refl = rot.reflection();
+            // Involution: applying it twice is the identity.
+            for v in g.nodes() {
+                assert_eq!(refl[refl[v.index()].index()], v, "involution on ring({n})");
+            }
+            // Adjacency preserved.
+            for (u, v) in g.edges() {
+                assert!(
+                    g.are_adjacent(refl[u.index()], refl[v.index()]),
+                    "reflection breaks edge ({u}, {v}) on ring({n})"
+                );
+            }
+            // Composing the reflection with all N rotations yields 2N
+            // distinct dihedral elements (N >= 3).
+            let mut seen = std::collections::HashSet::new();
+            for k in 0..n {
+                seen.insert(rot.permutation(k));
+                let r = rot.permutation(k);
+                let composed: Vec<NodeId> = (0..n).map(|v| r[refl[v].index()]).collect();
+                seen.insert(composed);
+            }
+            assert_eq!(seen.len(), 2 * n, "dihedral order on ring({n})");
         }
     }
 

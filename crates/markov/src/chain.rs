@@ -9,17 +9,18 @@
 //! backward closure over the engine's precomputed reverse CSR.
 //!
 //! [`AbsorbingChain::build_with`] accepts the engine's exploration options:
-//! over a **ring-rotation quotient**, the chain is the exact lumping of the
-//! full chain by rotation orbits (rotation equivariance makes the orbit
-//! partition lumpable, and folded edges sum their probabilities), so
-//! per-state hitting times coincide with the full space; in **reachable
-//! mode**, the chain covers exactly the configurations reachable from the
-//! designated initial set.
+//! over a **symmetry quotient** (ring rotations, ring dihedral, or leaf
+//! permutations on stars and trees), the chain runs on one representative
+//! per group orbit with folded edges summing their probabilities, so
+//! per-state hitting times, absorption probabilities and CDFs coincide
+//! with the full space (orbit weights recover uniform-initial averages);
+//! in **reachable mode**, the chain covers exactly the configurations
+//! reachable from the designated initial set.
 
 use std::collections::HashMap;
 use std::sync::OnceLock;
 
-use stab_core::engine::{BitSet, Csr, ExploreOptions, RingCanonicalizer, TransitionSystem};
+use stab_core::engine::{BitSet, Csr, ExploreOptions, GroupCanonicalizer, TransitionSystem};
 use stab_core::{Algorithm, Configuration, Daemon, Legitimacy, LocalState, SpaceIndexer};
 
 use crate::error::MarkovError;
@@ -50,7 +51,7 @@ pub struct AbsorbingChain<S> {
     /// Full index → explored id, for non-dense explorations.
     ids: IdMap,
     /// Canonicalizer of a quotient chain.
-    canon: Option<RingCanonicalizer>,
+    canon: Option<GroupCanonicalizer>,
     /// Number of explored configurations (transient + legitimate).
     n_explored: u32,
     /// Concrete configurations represented by the explored ids.

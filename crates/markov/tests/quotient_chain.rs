@@ -1,15 +1,18 @@
 //! Differential tests of quotient and reachable-mode absorbing chains
 //! against the full-space chain.
 //!
-//! The rotation quotient lumps the Definition 6 chain by rotation orbits.
-//! For rotation-equivariant ring algorithms the orbit partition is exactly
-//! lumpable, so the quotient chain must reproduce — state for state — the
-//! full chain's expected hitting times (every concrete configuration's
-//! time equals its representative's), absorption probabilities, and the
-//! uniform-initial average (orbit-weighted on the quotient side).
+//! A symmetry quotient (rotation, dihedral, leaf permutation) runs the
+//! Definition 6 chain on one representative per group orbit. For every
+//! admitted algorithm the quotient chain must reproduce — state for
+//! state — the full chain's expected hitting times (every concrete
+//! configuration's time equals its representative's), absorption
+//! probabilities, hitting-time CDFs, and the uniform-initial average
+//! (orbit-weighted on the quotient side). The dihedral quotient must
+//! additionally agree with the rotation quotient's lumping state for
+//! state — the half-size chain loses no precision.
 
-use stab_algorithms::{HermanRing, TokenCirculation};
-use stab_core::engine::ExploreOptions;
+use stab_algorithms::{GreedyColoring, HermanRing, TokenCirculation};
+use stab_core::engine::{ExploreOptions, Quotient};
 use stab_core::{Algorithm, Daemon, Legitimacy, ProjectedLegitimacy, SpaceIndexer, Transformed};
 use stab_graph::builders;
 use stab_markov::AbsorbingChain;
@@ -20,15 +23,15 @@ const CAP: u64 = 1 << 22;
 /// pivoting on the lumped system.
 const TOL: f64 = 1e-8;
 
-fn hitting_time_differential<A, L>(alg: &A, daemon: Daemon, spec: &L)
+fn hitting_time_differential_with<A, L>(alg: &A, daemon: Daemon, spec: &L, quotient: Quotient)
 where
     A: Algorithm + Sync,
     A::State: Sync,
     L: Legitimacy<A::State> + Sync,
 {
-    let label = format!("{} under {daemon}", alg.name());
+    let label = format!("{} under {daemon} ({quotient:?})", alg.name());
     let full = AbsorbingChain::build(alg, daemon, spec, CAP).expect("full chain");
-    let opts = ExploreOptions::full().with_ring_quotient();
+    let opts = ExploreOptions::full().with_quotient(quotient);
     let quot = AbsorbingChain::build_with(alg, daemon, spec, CAP, &opts).expect("quotient chain");
 
     assert!(full.validate_stochastic(), "{label}: full stochastic");
@@ -97,12 +100,94 @@ where
     }
 }
 
+fn hitting_time_differential<A, L>(alg: &A, daemon: Daemon, spec: &L)
+where
+    A: Algorithm + Sync,
+    A::State: Sync,
+    L: Legitimacy<A::State> + Sync,
+{
+    hitting_time_differential_with(alg, daemon, spec, Quotient::RingRotation);
+}
+
 #[test]
 fn herman_quotient_hitting_times_match_full() {
     for n in [3, 5, 7] {
         let alg = HermanRing::on_ring(&builders::ring(n)).unwrap();
         hitting_time_differential(&alg, Daemon::Synchronous, &alg.legitimacy());
     }
+}
+
+/// Herman under the dihedral quotient: hitting times, moves, absorption
+/// probabilities and averages all coincide with the full space — even
+/// though Herman's single steps are not reflection-equivariant, its
+/// absorption law is reversal-invariant, which is exactly what the
+/// engine's lumped gate certifies on samples and this suite pins in full.
+#[test]
+fn herman_dihedral_hitting_times_match_full() {
+    for n in [3, 5, 7] {
+        let alg = HermanRing::on_ring(&builders::ring(n)).unwrap();
+        hitting_time_differential_with(
+            &alg,
+            Daemon::Synchronous,
+            &alg.legitimacy(),
+            Quotient::RingDihedral,
+        );
+    }
+}
+
+/// The dihedral quotient agrees with the rotation quotient's lumping
+/// state for state: every concrete configuration gets the same expected
+/// hitting time from both, from ≈ half the states.
+#[test]
+fn herman_dihedral_matches_rotation_quotient_statewise() {
+    let alg = HermanRing::on_ring(&builders::ring(7)).unwrap();
+    let spec = alg.legitimacy();
+    let rot = AbsorbingChain::build_with(
+        &alg,
+        Daemon::Synchronous,
+        &spec,
+        CAP,
+        &ExploreOptions::full().with_quotient(Quotient::RingRotation),
+    )
+    .unwrap();
+    let dih = AbsorbingChain::build_with(
+        &alg,
+        Daemon::Synchronous,
+        &spec,
+        CAP,
+        &ExploreOptions::full().with_quotient(Quotient::RingDihedral),
+    )
+    .unwrap();
+    assert!(dih.n_explored() <= rot.n_explored());
+    assert_eq!(dih.represented_configs(), rot.represented_configs());
+    let t_rot = rot.expected_steps().unwrap();
+    let t_dih = dih.expected_steps().unwrap();
+    let ix = SpaceIndexer::new(&alg, CAP).unwrap();
+    for cfg in ix.iter() {
+        assert!(
+            (rot.expected_from(&t_rot, &cfg) - dih.expected_from(&t_dih, &cfg)).abs() < TOL,
+            "{cfg:?}"
+        );
+    }
+    // Orbit-weighted averages agree too.
+    let avg_rot = t_rot.average_weighted(rot.transient_orbits(), rot.represented_configs());
+    let avg_dih = t_dih.average_weighted(dih.transient_orbits(), dih.represented_configs());
+    assert!((avg_rot - avg_dih).abs() < TOL);
+}
+
+/// Greedy coloring on a star under the leaf-permutation quotient: the
+/// central-daemon chain absorbs almost surely and the lumped hitting
+/// times match the full space on every concrete configuration.
+#[test]
+fn coloring_leaf_quotient_hitting_times_match_full() {
+    let g = builders::star(5);
+    let alg = GreedyColoring::new(&g).unwrap();
+    hitting_time_differential_with(
+        &alg,
+        Daemon::Central,
+        &alg.legitimacy(),
+        Quotient::Automorphism,
+    );
 }
 
 #[test]
@@ -165,23 +250,30 @@ fn reachable_chain_from_strict_seeds() {
 
 /// The uniform-initial hitting-time CDF of a quotient chain matches the
 /// full chain's pointwise: orbit weights make the lumped distribution
-/// evolve exactly like the concrete uniform one.
+/// evolve exactly like the concrete uniform one — for the rotation *and*
+/// the dihedral group.
 #[test]
 fn quotient_cdf_matches_full() {
     let alg = HermanRing::on_ring(&builders::ring(5)).unwrap();
     let spec = alg.legitimacy();
     let full = AbsorbingChain::build(&alg, Daemon::Synchronous, &spec, CAP).unwrap();
-    let opts = ExploreOptions::full().with_ring_quotient();
-    let quot = AbsorbingChain::build_with(&alg, Daemon::Synchronous, &spec, CAP, &opts).unwrap();
     let cdf_full = full.hitting_cdf_uniform(60);
-    let cdf_quot = quot.hitting_cdf_uniform(60);
     // Herman(5): 10 of the 32 configurations are legitimate, so the
     // initially absorbed mass is exactly 10/32 on both sides.
     assert!((cdf_full[0] - 10.0 / 32.0).abs() < 1e-12);
-    for (k, (a, b)) in cdf_full.iter().zip(&cdf_quot).enumerate() {
-        assert!((a - b).abs() < 1e-9, "cdf[{k}]: full {a} vs quotient {b}");
+    for quotient in [Quotient::RingRotation, Quotient::RingDihedral] {
+        let opts = ExploreOptions::full().with_quotient(quotient);
+        let quot =
+            AbsorbingChain::build_with(&alg, Daemon::Synchronous, &spec, CAP, &opts).unwrap();
+        let cdf_quot = quot.hitting_cdf_uniform(60);
+        for (k, (a, b)) in cdf_full.iter().zip(&cdf_quot).enumerate() {
+            assert!(
+                (a - b).abs() < 1e-9,
+                "cdf[{k}] ({quotient:?}): full {a} vs quotient {b}"
+            );
+        }
+        assert!((cdf_quot.last().unwrap() - 1.0).abs() < 1e-6);
     }
-    assert!((cdf_quot.last().unwrap() - 1.0).abs() < 1e-6);
 }
 
 /// Reachable-mode chains refuse to report a (meaningless) expected time

@@ -8,7 +8,8 @@
 //! * [`core`] — the guarded-command kernel: configurations, local views,
 //!   daemons, fairness, step semantics, the `Trans(A)` transformer, and
 //!   the shared CSR exploration engine (full sweep, on-the-fly
-//!   reachable-only BFS, ring-rotation quotient);
+//!   reachable-only BFS, symmetry-group quotients — ring rotation,
+//!   ring dihedral, star/tree leaf permutations);
 //! * [`algorithms`] — the paper's Algorithms 1–3, the center-based leader
 //!   election, and classic baselines (Dijkstra's K-state ring, Herman's
 //!   probabilistic ring, greedy coloring);
