@@ -53,10 +53,10 @@ fn bench_solvers(c: &mut Criterion) {
     group.bench_function("dense_elimination/dijkstra_N4", |b| {
         b.iter(|| {
             let mut a = vec![vec![0.0; m]; m];
-            for (i, row) in chain4.q().rows().enumerate() {
-                a[i][i] = 1.0;
-                for &(j, q) in row {
-                    a[i][j as usize] -= q;
+            for (i, row) in a.iter_mut().enumerate() {
+                row[i] = 1.0;
+                for (j, q) in chain4.q().row_iter(i) {
+                    row[j as usize] -= q;
                 }
             }
             black_box(linalg::solve_dense(a, vec![1.0; m]).unwrap())

@@ -17,24 +17,35 @@
 //!   (2^17 configurations, ≈ 10^8 edges for the full sweep) and token ring
 //!   N=12 (5^12 ≈ 2.4·10^8 configurations).
 //!
-//! JSON schema (`bench_explore/v3`; v2 rows lacked `group_order` and the
-//! `"ring-dihedral"` / `"automorphism"` quotient values; v1 rows
-//! correspond to `mode = "full"`, `quotient = "none"` with
-//! `represented = configs`):
+//! A fourth comparison since schema v4: **flat vs compressed edge store**
+//! (`edge_store` = `"flat"` / `"compressed"`, `edge_bytes` = heap bytes of
+//! the forward store). A flat/compressed row *pair* on identical options
+//! measures the store tradeoff (the compressed row's reference is the
+//! flat-store run), and a compressed-only row covers an instance whose
+//! 24 B/edge flat store exceeds the CI runner's RAM outright (Herman
+//! N=17 full sweep, ≈ 1.3·10⁸ edges ≈ 3.1 GB flat).
+//!
+//! JSON schema (`bench_explore/v4`; v3 rows lacked `edge_store` /
+//! `edge_bytes` and non-null `chain_engine_ms` / `analyze_engine_ms`; v2
+//! rows lacked `group_order` and the `"ring-dihedral"` /
+//! `"automorphism"` quotient values; v1 rows correspond to
+//! `mode = "full"`, `quotient = "none"` with `represented = configs`):
 //!
 //! ```json
 //! {
-//!   "schema": "bench_explore/v3",
+//!   "schema": "bench_explore/v4",
 //!   "threads": 8,
 //!   "results": [
 //!     {
 //!       "case": "herman/N=15/synchronous",
 //!       "mode": "full",
 //!       "quotient": "ring-dihedral",
+//!       "edge_store": "flat",
 //!       "configs": 1182,
 //!       "represented": 32768,
 //!       "group_order": 30,
 //!       "edges": 395200,
+//!       "edge_bytes": 9489640,
 //!       "explore_reference_ms": 3900.0,
 //!       "explore_engine_ms": 270.0,
 //!       "explore_speedup": 14.4,
@@ -50,9 +61,12 @@
 //! Invariants the CI smoke job asserts on every row:
 //! `configs <= represented <= configs × group_order` (orbits are
 //! non-empty and no larger than the group), with `group_order = 1`
-//! outside quotient mode. `explore_reference_ms` / `chain_reference_ms` /
-//! the speedups are `null` when the reference is infeasible on the
-//! runner.
+//! outside quotient mode; `edge_bytes > 0` everywhere; and on at least
+//! one ≥10⁶-edge case both stores are measured with the compressed
+//! bytes/edge strictly below the flat store's. `explore_reference_ms` /
+//! `chain_reference_ms` / the speedups are `null` when the reference is
+//! infeasible on the runner; `chain_engine_ms` / `analyze_engine_ms` are
+//! `null` on explore-only rows (the largest compressed instances).
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -61,7 +75,7 @@ use std::time::Instant;
 use stab_algorithms::{GreedyColoring, HermanRing, TokenCirculation};
 use stab_bench::Table;
 use stab_checker::{analyze_with, ExploredSpace};
-use stab_core::engine::{ExploreMode, ExploreOptions, Quotient};
+use stab_core::engine::{EdgeStoreKind, ExploreMode, ExploreOptions, Quotient};
 use stab_core::{semantics, Algorithm, Configuration, Daemon, Legitimacy, SpaceIndexer};
 use stab_graph::builders;
 use stab_markov::AbsorbingChain;
@@ -165,15 +179,33 @@ struct CaseResult {
     case: String,
     mode: &'static str,
     quotient: &'static str,
+    edge_store: &'static str,
     configs: u64,
     represented: u64,
     group_order: u64,
-    edges: usize,
+    edges: u64,
+    edge_bytes: u64,
     explore_reference_ms: Option<f64>,
     explore_engine_ms: f64,
     chain_reference_ms: Option<f64>,
-    chain_engine_ms: f64,
-    analyze_engine_ms: f64,
+    chain_engine_ms: Option<f64>,
+    analyze_engine_ms: Option<f64>,
+}
+
+fn mode_label<S>(opts: &ExploreOptions<S>) -> &'static str {
+    match opts.mode {
+        ExploreMode::Full => "full",
+        ExploreMode::Reachable { .. } => "reachable",
+    }
+}
+
+fn quotient_label<S>(opts: &ExploreOptions<S>) -> &'static str {
+    match opts.quotient {
+        Quotient::None => "none",
+        Quotient::RingRotation => "ring-rotation",
+        Quotient::RingDihedral => "ring-dihedral",
+        Quotient::Automorphism => "automorphism",
+    }
 }
 
 /// A PR 1 style row: engine full sweep vs the seed implementation.
@@ -199,15 +231,17 @@ where
         case: name.to_string(),
         mode: "full",
         quotient: "none",
+        edge_store: "flat",
         configs: space.total() as u64,
         represented: space.represented_configs(),
         group_order: 1,
         edges: space.transition_system().n_edges(),
+        edge_bytes: space.transition_system().edge_bytes(),
         explore_reference_ms: Some(explore_reference_ms),
         explore_engine_ms,
         chain_reference_ms: Some(chain_reference_ms),
-        chain_engine_ms,
-        analyze_engine_ms,
+        chain_engine_ms: Some(chain_engine_ms),
+        analyze_engine_ms: Some(analyze_engine_ms),
     }
 }
 
@@ -253,25 +287,115 @@ where
     let space = ExploredSpace::explore_with(alg, daemon, spec, cap, opts).expect("mode explore");
     CaseResult {
         case: name.to_string(),
-        mode: match opts.mode {
-            ExploreMode::Full => "full",
-            ExploreMode::Reachable { .. } => "reachable",
-        },
-        quotient: match opts.quotient {
-            Quotient::None => "none",
-            Quotient::RingRotation => "ring-rotation",
-            Quotient::RingDihedral => "ring-dihedral",
-            Quotient::Automorphism => "automorphism",
-        },
+        mode: mode_label(opts),
+        quotient: quotient_label(opts),
+        edge_store: opts.edge_store.label(),
         configs: space.total() as u64,
         represented: space.represented_configs(),
         group_order: space.transition_system().group_order(),
         edges: space.transition_system().n_edges(),
+        edge_bytes: space.transition_system().edge_bytes(),
         explore_reference_ms,
         explore_engine_ms,
         chain_reference_ms,
-        chain_engine_ms,
-        analyze_engine_ms,
+        chain_engine_ms: Some(chain_engine_ms),
+        analyze_engine_ms: Some(analyze_engine_ms),
+    }
+}
+
+/// A schema-v4 store pair: the same options explored onto the flat store
+/// (the baseline row, null references) and onto the compressed store
+/// (referenced against the flat run, so the speedup isolates the store
+/// tradeoff — typically < 1×: the compressed tier pays encode/decode time
+/// for its 4–8× memory reduction).
+fn run_store_pair<A, L>(
+    name: &str,
+    alg: &A,
+    daemon: Daemon,
+    spec: &L,
+    opts: &ExploreOptions<A::State>,
+    cap: u64,
+    reps: usize,
+) -> Vec<CaseResult>
+where
+    A: Algorithm + Sync,
+    A::State: Sync,
+    L: Legitimacy<A::State> + Sync,
+{
+    let mut rows = Vec::new();
+    let mut engine_times = Vec::new();
+    for kind in [EdgeStoreKind::Flat, EdgeStoreKind::Compressed] {
+        let kopts = opts.clone().with_edge_store(kind);
+        let explore_engine_ms = time_ms(reps, || {
+            ExploredSpace::explore_with(alg, daemon, spec, cap, &kopts).expect("store explore")
+        });
+        let chain_engine_ms = time_ms(reps, || {
+            AbsorbingChain::build_with(alg, daemon, spec, cap, &kopts).expect("store chain")
+        });
+        let analyze_engine_ms = time_ms(reps, || {
+            analyze_with(alg, daemon, spec, cap, &kopts).expect("store analyze")
+        });
+        let space =
+            ExploredSpace::explore_with(alg, daemon, spec, cap, &kopts).expect("store explore");
+        let reference = engine_times.first().copied();
+        engine_times.push((explore_engine_ms, chain_engine_ms));
+        rows.push(CaseResult {
+            case: name.to_string(),
+            mode: mode_label(&kopts),
+            quotient: quotient_label(&kopts),
+            edge_store: kind.label(),
+            configs: space.total() as u64,
+            represented: space.represented_configs(),
+            group_order: space.transition_system().group_order(),
+            edges: space.transition_system().n_edges(),
+            edge_bytes: space.transition_system().edge_bytes(),
+            explore_reference_ms: reference.map(|(e, _)| e),
+            explore_engine_ms,
+            chain_reference_ms: reference.map(|(_, c)| c),
+            chain_engine_ms: Some(chain_engine_ms),
+            analyze_engine_ms: Some(analyze_engine_ms),
+        });
+    }
+    rows
+}
+
+/// A compressed-only, explore-only row for an instance whose flat store
+/// is infeasible on the CI runner (24 B/edge exceeds its RAM budget):
+/// references and chain/analyze timings are `null`, the measured
+/// `edge_bytes` documents what the compressed tier actually paid.
+fn run_big_compressed_case<A, L>(
+    name: &str,
+    alg: &A,
+    daemon: Daemon,
+    spec: &L,
+    opts: &ExploreOptions<A::State>,
+    cap: u64,
+) -> CaseResult
+where
+    A: Algorithm + Sync,
+    A::State: Sync,
+    L: Legitimacy<A::State> + Sync,
+{
+    let kopts = opts.clone().with_edge_store(EdgeStoreKind::Compressed);
+    let start = Instant::now();
+    let space =
+        ExploredSpace::explore_with(alg, daemon, spec, cap, &kopts).expect("compressed explore");
+    let explore_engine_ms = start.elapsed().as_secs_f64() * 1e3;
+    CaseResult {
+        case: name.to_string(),
+        mode: mode_label(&kopts),
+        quotient: quotient_label(&kopts),
+        edge_store: "compressed",
+        configs: space.total() as u64,
+        represented: space.represented_configs(),
+        group_order: space.transition_system().group_order(),
+        edges: space.transition_system().n_edges(),
+        edge_bytes: space.transition_system().edge_bytes(),
+        explore_reference_ms: None,
+        explore_engine_ms,
+        chain_reference_ms: None,
+        chain_engine_ms: None,
+        analyze_engine_ms: None,
     }
 }
 
@@ -440,6 +564,36 @@ fn main() {
         true,
     ));
 
+    // ---- PR 4 rows: flat vs compressed edge store ------------------------
+
+    // Store pair on a ≥10^6-edge instance both tiers handle: Herman N=15
+    // full sweep (3^15 ≈ 1.43·10^7 edges; 344 MB flat). The pair measures
+    // the compressed tier's bytes/edge against the flat 24 B/edge and the
+    // time it pays for them.
+    results.extend(run_store_pair(
+        "herman/N=15/synchronous",
+        &herman15,
+        Daemon::Synchronous,
+        &herman15.legitimacy(),
+        &ExploreOptions::full(),
+        CAP,
+        1,
+    ));
+
+    // Beyond the flat store entirely: the Herman N=17 *full sweep*
+    // (3^17 ≈ 1.29·10^8 edges) needs ≈ 3.1 GB at 24 B/edge — the very
+    // instance PR 2/PR 3 could only check through a quotient — but fits
+    // the compressed stream comfortably. Explore-only (chain/analyze
+    // null) to bound the smoke-job wall clock.
+    results.push(run_big_compressed_case(
+        "herman/N=17/synchronous",
+        &herman17,
+        Daemon::Synchronous,
+        &herman17.legitimacy(),
+        &ExploreOptions::full(),
+        BIG_CAP,
+    ));
+
     // Token ring N=12 (m_12 = 5): 5^12 ≈ 2.4·10^8 configurations — full
     // enumeration is out of reach entirely. On-the-fly BFS over canonical
     // representatives from a designated scrambled seed checks the
@@ -464,10 +618,12 @@ fn main() {
         "case",
         "mode",
         "quotient",
+        "store",
         "configs",
         "represented",
         "group order",
         "edges",
+        "B/edge",
         "explore ref (ms)",
         "explore engine (ms)",
         "speedup",
@@ -475,24 +631,27 @@ fn main() {
     ]);
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"schema\": \"bench_explore/v3\",");
+    let _ = writeln!(json, "  \"schema\": \"bench_explore/v4\",");
     let _ = writeln!(json, "  \"threads\": {threads},");
     let _ = writeln!(json, "  \"results\": [");
     for (i, r) in results.iter().enumerate() {
         let explore_speedup = r
             .explore_reference_ms
             .map(|ref_ms| ref_ms / r.explore_engine_ms);
-        let chain_speedup = r
-            .chain_reference_ms
-            .map(|ref_ms| ref_ms / r.chain_engine_ms);
+        let chain_speedup = match (r.chain_reference_ms, r.chain_engine_ms) {
+            (Some(ref_ms), Some(engine_ms)) => Some(ref_ms / engine_ms),
+            _ => None,
+        };
         table.row(vec![
             r.case.clone(),
             r.mode.to_string(),
             r.quotient.to_string(),
+            r.edge_store.to_string(),
             r.configs.to_string(),
             r.represented.to_string(),
             r.group_order.to_string(),
             r.edges.to_string(),
+            format!("{:.2}", r.edge_bytes as f64 / r.edges.max(1) as f64),
             fmt_opt(r.explore_reference_ms),
             format!("{:.3}", r.explore_engine_ms),
             explore_speedup.map_or("—".into(), |s| format!("{s:.2}x")),
@@ -502,10 +661,12 @@ fn main() {
         let _ = writeln!(json, "      \"case\": \"{}\",", r.case);
         let _ = writeln!(json, "      \"mode\": \"{}\",", r.mode);
         let _ = writeln!(json, "      \"quotient\": \"{}\",", r.quotient);
+        let _ = writeln!(json, "      \"edge_store\": \"{}\",", r.edge_store);
         let _ = writeln!(json, "      \"configs\": {},", r.configs);
         let _ = writeln!(json, "      \"represented\": {},", r.represented);
         let _ = writeln!(json, "      \"group_order\": {},", r.group_order);
         let _ = writeln!(json, "      \"edges\": {},", r.edges);
+        let _ = writeln!(json, "      \"edge_bytes\": {},", r.edge_bytes);
         let _ = writeln!(
             json,
             "      \"explore_reference_ms\": {},",
@@ -526,7 +687,11 @@ fn main() {
             "      \"chain_reference_ms\": {},",
             json_opt(r.chain_reference_ms)
         );
-        let _ = writeln!(json, "      \"chain_engine_ms\": {:.6},", r.chain_engine_ms);
+        let _ = writeln!(
+            json,
+            "      \"chain_engine_ms\": {},",
+            json_opt(r.chain_engine_ms)
+        );
         let _ = writeln!(
             json,
             "      \"chain_speedup\": {},",
@@ -534,8 +699,8 @@ fn main() {
         );
         let _ = writeln!(
             json,
-            "      \"analyze_engine_ms\": {:.6}",
-            r.analyze_engine_ms
+            "      \"analyze_engine_ms\": {}",
+            json_opt(r.analyze_engine_ms)
         );
         let _ = writeln!(
             json,

@@ -5,9 +5,11 @@
 //! configurations, and the log-log growth exponent per series.
 
 use stab_algorithms::{DijkstraRing, HermanRing, TokenCirculation};
-use stab_bench::{fmt_ci, log_log_slope, Table};
+use stab_bench::{fmt3, fmt_ci, log_log_slope, Table};
+use stab_core::engine::ExploreOptions;
 use stab_core::{Daemon, ProjectedLegitimacy, Transformed};
 use stab_graph::builders;
+use stab_markov::AbsorbingChain;
 use stab_sim::montecarlo::{estimate, BatchSettings};
 
 fn settings(runs: u64, seed: u64) -> BatchSettings {
@@ -60,8 +62,13 @@ fn main() {
         slopes.push((format!("Trans(token) @ {daemon}"), slope));
     }
 
-    // Herman's ring (synchronous): Θ(N²) expected steps.
+    // Herman's ring (synchronous): Θ(N²) expected steps. Where the
+    // engine's rotation-quotient chain is feasible (N ≤ 15 — far past the
+    // full-sweep cutoff of N ≈ 7), the Monte-Carlo mean is cross-checked
+    // against the *exact* orbit-weighted expectation (ROADMAP open item 2:
+    // the large-N arms drive `ExploreOptions` rather than the full sweep).
     let mut pts = Vec::new();
+    let mut exact = Table::new(vec!["N", "explored states", "exact avg steps", "MC mean"]);
     for n in [5usize, 11, 21, 41] {
         let alg = HermanRing::on_ring(&builders::ring(n)).unwrap();
         let spec = alg.legitimacy();
@@ -81,6 +88,43 @@ fn main() {
             fmt_ci(b.rounds.mean, b.rounds.ci95()),
         ]);
         pts.push((n as f64, b.steps.mean));
+        if n <= 15 {
+            let opts = ExploreOptions::full().with_ring_quotient();
+            let chain =
+                AbsorbingChain::build_with(&alg, Daemon::Synchronous, &spec, 1 << 26, &opts)
+                    .expect("quotient chain");
+            let times = chain.expected_steps().expect("Herman absorbs a.s.");
+            let avg = times.average_weighted(chain.transient_orbits(), chain.represented_configs());
+            assert!(
+                (b.steps.mean - avg).abs() <= 6.0 * b.steps.ci95().max(1e-3),
+                "MC mean {} deviates from exact {} at N={n}",
+                b.steps.mean,
+                avg
+            );
+            exact.row(vec![
+                n.to_string(),
+                chain.n_explored().to_string(),
+                fmt3(avg),
+                fmt3(b.steps.mean),
+            ]);
+        }
+    }
+    // Exact quotient arms past the Monte-Carlo grid's overlap, extending
+    // the exact curve to N=13/15 where the full sweep is long infeasible.
+    for n in [13usize, 15] {
+        let alg = HermanRing::on_ring(&builders::ring(n)).unwrap();
+        let spec = alg.legitimacy();
+        let opts = ExploreOptions::full().with_ring_quotient();
+        let chain = AbsorbingChain::build_with(&alg, Daemon::Synchronous, &spec, 1 << 26, &opts)
+            .expect("quotient chain");
+        let times = chain.expected_steps().expect("Herman absorbs a.s.");
+        let avg = times.average_weighted(chain.transient_orbits(), chain.represented_configs());
+        exact.row(vec![
+            n.to_string(),
+            chain.n_explored().to_string(),
+            fmt3(avg),
+            "—".into(),
+        ]);
     }
     slopes.push(("herman @ synchronous".into(), log_log_slope(&pts)));
 
@@ -109,6 +153,10 @@ fn main() {
     slopes.push(("dijkstra @ central".into(), log_log_slope(&pts)));
 
     print!("{}", table.to_markdown());
+    println!();
+    println!("## Herman: exact rotation-quotient expectations vs Monte-Carlo");
+    println!();
+    print!("{}", exact.to_markdown());
     println!();
     println!("## Growth exponents (log-log slope of mean steps vs N)");
     println!();

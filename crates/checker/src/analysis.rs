@@ -116,7 +116,7 @@ fn check_closure<S: LocalState>(space: &ExploredSpace<S>) -> Verdict {
         if !space.is_legit(id) {
             continue;
         }
-        for e in space.edges(id) {
+        for e in space.edge_iter(id) {
             if !space.is_legit(e.to) {
                 return Verdict::fail(Witness::EscapesLegitimate {
                     from: space.render(id),
@@ -234,7 +234,7 @@ fn find_weakly_fair_component<S: LocalState>(
         let mut moved = 0u64;
         for &v in comp {
             always_enabled &= space.enabled_mask(v);
-            for e in space.edges(v) {
+            for e in space.edge_iter(v) {
                 if in_comp.get(e.to as usize) {
                     moved |= e.movers;
                 }
@@ -261,7 +261,7 @@ fn find_strongly_fair_component<S: LocalState>(
         let mut moved = 0u64;
         for &v in &comp {
             enabled_union |= space.enabled_mask(v);
-            for e in space.edges(v) {
+            for e in space.edge_iter(v) {
                 if in_comp.get(e.to as usize) {
                     moved |= e.movers;
                 }
@@ -305,7 +305,7 @@ fn find_closed_component<S: LocalState>(
         }
         let in_comp = scc::membership(space.total(), comp);
         comp.iter()
-            .all(|&v| space.edges(v).iter().all(|e| in_comp.get(e.to as usize)))
+            .all(|&v| space.edge_iter(v).all(|e| in_comp.get(e.to as usize)))
     })
 }
 

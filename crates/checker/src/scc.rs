@@ -1,10 +1,12 @@
 //! Strongly connected components over configuration subgraphs, and the
 //! fairness-filtered fair-cycle searches built on them.
 //!
-//! Tarjan runs directly over the engine's CSR edge slices; the `alive`
+//! Tarjan walks the engine's edge store through zero-alloc row cursors
+//! ([`EdgeIter`]) — one live cursor per DFS frame — so it runs unchanged
+//! over the flat CSR and the compressed byte-stream tiers; the `alive`
 //! masks are bit-packed [`BitSet`]s, matching the engine's label sets.
 
-use stab_core::engine::BitSet;
+use stab_core::engine::{BitSet, EdgeIter};
 use stab_core::LocalState;
 
 use crate::space::ExploredSpace;
@@ -22,54 +24,57 @@ pub fn sccs<S: LocalState>(space: &ExploredSpace<S>, alive: &BitSet) -> Vec<Vec<
     let mut next_index = 0u32;
     let mut out: Vec<Vec<u32>> = Vec::new();
 
-    // Explicit DFS stack: (node, edge cursor).
-    let mut call: Vec<(u32, usize)> = Vec::new();
+    // Explicit DFS stack: (node, edge cursor). The cursor decodes the
+    // node's row lazily and resumes where the frame left off.
+    let mut call: Vec<(u32, EdgeIter<'_>)> = Vec::new();
     for start in 0..n as u32 {
         if !alive.get(start as usize) || index[start as usize] != u32::MAX {
             continue;
         }
-        call.push((start, 0));
+        call.push((start, space.edge_iter(start)));
         index[start as usize] = next_index;
         low[start as usize] = next_index;
         next_index += 1;
         stack.push(start);
         on_stack.insert(start as usize);
-        while let Some(&(v, cursor)) = call.last() {
-            let edges = space.edges(v);
-            if cursor < edges.len() {
-                call.last_mut().expect("non-empty").1 += 1;
-                let w = edges[cursor].to;
-                if !alive.get(w as usize) {
-                    continue;
-                }
-                if index[w as usize] == u32::MAX {
-                    index[w as usize] = next_index;
-                    low[w as usize] = next_index;
-                    next_index += 1;
-                    stack.push(w);
-                    on_stack.insert(w as usize);
-                    call.push((w, 0));
-                } else if on_stack.get(w as usize) {
-                    low[v as usize] = low[v as usize].min(index[w as usize]);
-                }
-                continue;
-            }
-            // v finished.
-            call.pop();
-            if let Some(&(parent, _)) = call.last() {
-                low[parent as usize] = low[parent as usize].min(low[v as usize]);
-            }
-            if low[v as usize] == index[v as usize] {
-                let mut comp = Vec::new();
-                loop {
-                    let w = stack.pop().expect("tarjan stack underflow");
-                    on_stack.remove(w as usize);
-                    comp.push(w);
-                    if w == v {
-                        break;
+        while let Some(frame) = call.last_mut() {
+            let v = frame.0;
+            match frame.1.next() {
+                Some(e) => {
+                    let w = e.to;
+                    if !alive.get(w as usize) {
+                        continue;
+                    }
+                    if index[w as usize] == u32::MAX {
+                        index[w as usize] = next_index;
+                        low[w as usize] = next_index;
+                        next_index += 1;
+                        stack.push(w);
+                        on_stack.insert(w as usize);
+                        call.push((w, space.edge_iter(w)));
+                    } else if on_stack.get(w as usize) {
+                        low[v as usize] = low[v as usize].min(index[w as usize]);
                     }
                 }
-                out.push(comp);
+                None => {
+                    // v finished.
+                    call.pop();
+                    if let Some(&(parent, _)) = call.last() {
+                        low[parent as usize] = low[parent as usize].min(low[v as usize]);
+                    }
+                    if low[v as usize] == index[v as usize] {
+                        let mut comp = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("tarjan stack underflow");
+                            on_stack.remove(w as usize);
+                            comp.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        out.push(comp);
+                    }
+                }
             }
         }
     }
@@ -86,8 +91,7 @@ pub fn has_internal_edge<S: LocalState>(
     let in_comp = membership(space.total(), comp);
     comp.iter().any(|&v| {
         space
-            .edges(v)
-            .iter()
+            .edge_iter(v)
             .any(|e| alive.get(e.to as usize) && in_comp.get(e.to as usize))
     })
 }
@@ -114,8 +118,7 @@ pub fn some_cycle<S: LocalState>(
         .copied()
         .find(|&v| {
             space
-                .edges(v)
-                .iter()
+                .edge_iter(v)
                 .any(|e| alive.get(e.to as usize) && in_comp.get(e.to as usize))
         })
         .expect("component has an internal edge");
@@ -125,8 +128,7 @@ pub fn some_cycle<S: LocalState>(
     let mut cur = start;
     loop {
         let next = space
-            .edges(cur)
-            .iter()
+            .edge_iter(cur)
             .find(|e| alive.get(e.to as usize) && in_comp.get(e.to as usize))
             .expect("strongly connected component keeps internal edges")
             .to;

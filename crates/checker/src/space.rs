@@ -16,7 +16,7 @@
 //! dense ids only, so it runs unchanged over quotient and reachable-mode
 //! systems.
 
-use stab_core::engine::{BitSet, Csr, ExploreOptions, TransitionSystem};
+use stab_core::engine::{BitSet, EdgeIter, EdgeStorage, ExploreOptions, TransitionSystem};
 use stab_core::{Algorithm, Configuration, CoreError, Daemon, Legitimacy, SpaceIndexer};
 
 /// One transition edge of the explored space; re-exported from the engine.
@@ -147,15 +147,31 @@ impl<S: stab_core::LocalState> ExploredSpace<S> {
         self.ts.deterministic()
     }
 
-    /// Outgoing edges of configuration `id`, sorted by `(to, movers)`.
+    /// Outgoing edges of configuration `id`, sorted by `(to, movers)` —
+    /// **flat edge store only**.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the space was explored onto the compressed edge store
+    /// ([`stab_core::engine::EdgeStoreKind::Compressed`]); iterate
+    /// [`ExploredSpace::edge_iter`] instead, which every analysis in this
+    /// crate does.
     #[inline]
     pub fn edges(&self, id: u32) -> &[Edge] {
         self.ts.edges(id)
     }
 
-    /// The forward CSR of the whole space.
-    pub fn forward_csr(&self) -> &Csr<Edge> {
-        self.ts.forward()
+    /// Zero-alloc cursor over the outgoing edges of `id`, decoded in
+    /// `(to, movers)` order — works on both edge-store tiers.
+    #[inline]
+    pub fn edge_iter(&self, id: u32) -> EdgeIter<'_> {
+        self.ts.edge_iter(id)
+    }
+
+    /// The forward edge store of the whole space (whichever tier the run
+    /// selected).
+    pub fn edge_store(&self) -> &EdgeStorage {
+        self.ts.edge_store()
     }
 
     /// Bitmask of processes enabled in configuration `id`.
@@ -260,7 +276,7 @@ impl<S: stab_core::LocalState> ExploredSpace<S> {
             }
         }
         while let Some(id) = queue.pop_front() {
-            for e in self.edges(id) {
+            for e in self.edge_iter(id) {
                 if parent[e.to as usize] == u32::MAX {
                     parent[e.to as usize] = id;
                     if goal(e.to) {

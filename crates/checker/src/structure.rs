@@ -50,7 +50,7 @@ pub fn scc_summary<S: LocalState>(space: &ExploredSpace<S>) -> SccSummary {
         let in_comp = scc::membership(space.total(), comp);
         let is_closed = comp
             .iter()
-            .all(|&v| space.edges(v).iter().all(|e| in_comp.get(e.to as usize)));
+            .all(|&v| space.edge_iter(v).all(|e| in_comp.get(e.to as usize)));
         if is_closed {
             closed += 1;
         }

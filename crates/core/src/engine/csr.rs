@@ -43,8 +43,18 @@ impl<E> Csr<E> {
 
     /// Builds a CSR from nested rows (convenience for tests and small
     /// call sites; the hot paths assemble flat data directly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any single row holds more than `u32::MAX` entries (the
+    /// per-row counts are u32 — a checked conversion, so oversized rows
+    /// fail loudly instead of silently corrupting the offsets), or if the
+    /// total exceeds `u32::MAX` (as [`Csr::from_counts`]).
     pub fn from_rows(rows: Vec<Vec<E>>) -> Self {
-        let counts: Vec<u32> = rows.iter().map(|r| r.len() as u32).collect();
+        let counts: Vec<u32> = rows
+            .iter()
+            .map(|r| u32::try_from(r.len()).expect("CSR row length exceeds u32::MAX entries"))
+            .collect();
         let data: Vec<E> = rows.into_iter().flatten().collect();
         Self::from_counts(&counts, data)
     }
@@ -141,6 +151,14 @@ mod tests {
     #[should_panic(expected = "do not match")]
     fn mismatched_counts_panic() {
         let _ = Csr::from_counts(&[1], vec![1u8, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds u32 offsets")]
+    fn offset_overflow_panics_before_corrupting() {
+        // The running total is checked against u32::MAX *before* the
+        // data-length comparison, so overflow can never wrap silently.
+        let _ = Csr::<u8>::from_counts(&[u32::MAX, 1], vec![]);
     }
 
     #[test]

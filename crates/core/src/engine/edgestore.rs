@@ -1,0 +1,812 @@
+//! Two-tier edge storage for transition systems: the flat [`Csr<Edge>`]
+//! tier (24 bytes per edge, slice access) and a byte-packed compressed
+//! tier ([`CompressedEdges`]) for 10⁸+-edge systems.
+//!
+//! # Why a second tier
+//!
+//! Reachable-only exploration and symmetry quotients cap the largest
+//! checkable instance by *edge memory*, not time: every [`Edge`] costs
+//! `size_of::<Edge>()` = 24 bytes in the flat CSR, so Herman N=17
+//! (≈ 1.3·10⁸ edges for the full sweep) sits at the RAM ceiling. The
+//! compressed tier stores, per row,
+//!
+//! * the successor ids as **zig-zag varint deltas** — against the row's
+//!   own id for the first edge (delta encoding keeps successors close to
+//!   their source), then against the previous successor (rows are sorted
+//!   by `(to, movers)`, so the gaps are small);
+//! * the activation bitmask as a plain varint (low process bits
+//!   dominate);
+//! * the Definition 6 probability as a varint **index into a deduplicated
+//!   probability table** — distinct probabilities per run are few (powers
+//!   of ½ for Herman, `1/#activations` families elsewhere), so the
+//!   side-channel `Vec<f64>` stays tiny.
+//!
+//! Measured bytes per edge land at 3–6 for the zoo (see
+//! `BENCH_explore.json`, schema v4), a 4–8× reduction over the flat tier.
+//!
+//! Row boundaries are **u64 byte offsets**, and edge counts are tracked
+//! in u64 throughout, so systems past 2³² edges are representable rather
+//! than silently wrapped (the flat tier's u32 offsets *panic* past that
+//! point — see [`Csr::from_counts`]).
+//!
+//! Both tiers implement the [`EdgeStore`] trait; [`EdgeStorage`] is the
+//! runtime-selected store held by
+//! [`TransitionSystem`](super::TransitionSystem), chosen per run with
+//! [`ExploreOptions::with_edge_store`](super::ExploreOptions::with_edge_store).
+//! Decoding is allocation-free: [`EdgeIter`] is a cursor over the byte
+//! stream (or a slice iterator on the flat tier), which is what Tarjan,
+//! the reachability closures and the `Q`-row reads actually need.
+
+use std::collections::HashMap;
+
+use super::csr::Csr;
+use super::explore::Edge;
+
+/// Variable-byte (LEB128) and zig-zag primitives shared by the compressed
+/// edge stream and `stab-markov`'s compressed `Q` store.
+pub mod vbyte {
+    /// Maps a signed delta onto the unsigned varint domain
+    /// (0, −1, 1, −2, … ↦ 0, 1, 2, 3, …).
+    #[inline]
+    pub fn zigzag(v: i64) -> u64 {
+        ((v << 1) ^ (v >> 63)) as u64
+    }
+
+    /// Inverse of [`zigzag`].
+    #[inline]
+    pub fn unzigzag(v: u64) -> i64 {
+        ((v >> 1) as i64) ^ -((v & 1) as i64)
+    }
+
+    /// Appends `v` as an LEB128 varint (7 payload bits per byte,
+    /// continuation in the high bit).
+    #[inline]
+    pub fn write(buf: &mut Vec<u8>, mut v: u64) {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                buf.push(byte);
+                return;
+            }
+            buf.push(byte | 0x80);
+        }
+    }
+
+    /// Reads one LEB128 varint at `*pos`, advancing the cursor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream ends mid-varint (corrupt stream).
+    #[inline]
+    pub fn read(buf: &[u8], pos: &mut usize) -> u64 {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let byte = buf[*pos];
+            *pos += 1;
+            v |= ((byte & 0x7f) as u64) << shift;
+            if byte & 0x80 == 0 {
+                return v;
+            }
+            shift += 7;
+        }
+    }
+}
+
+/// Shared low-level writer for delta-compressed row streams: u64 byte
+/// offsets, zig-zag varint target deltas (base = the row's own index
+/// before its first item, then the previous target), and a dedup-interned
+/// probability table. [`CompressedEdgesBuilder`] and `stab-markov`'s
+/// compressed `Q` builder wrap it with their per-item payloads, so the
+/// subtle parts of the encoding live exactly once.
+#[derive(Debug)]
+pub struct DeltaStreamWriter {
+    offsets: Vec<u64>,
+    stream: Vec<u8>,
+    probs: Vec<f64>,
+    prob_ids: HashMap<u64, u32>,
+    n_items: u64,
+    prev: i64,
+}
+
+impl Default for DeltaStreamWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DeltaStreamWriter {
+    /// An empty stream positioned at row 0.
+    pub fn new() -> Self {
+        DeltaStreamWriter {
+            offsets: vec![0],
+            stream: Vec::new(),
+            probs: Vec::new(),
+            prob_ids: HashMap::new(),
+            n_items: 0,
+            prev: 0,
+        }
+    }
+
+    /// Writes the next item's target as a zig-zag varint delta and counts
+    /// the item. Call first per item, before any payload varints.
+    #[inline]
+    pub fn target(&mut self, target: u32) {
+        vbyte::write(&mut self.stream, vbyte::zigzag(target as i64 - self.prev));
+        self.prev = target as i64;
+        self.n_items += 1;
+    }
+
+    /// Writes a raw payload varint for the current item.
+    #[inline]
+    pub fn raw(&mut self, v: u64) {
+        vbyte::write(&mut self.stream, v);
+    }
+
+    /// Interns `prob` (keyed by its exact bit pattern) and writes its
+    /// table id as a varint.
+    #[inline]
+    pub fn prob(&mut self, prob: f64) {
+        let pid = match self.prob_ids.entry(prob.to_bits()) {
+            std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let id = self.probs.len() as u32;
+                self.probs.push(prob);
+                e.insert(id);
+                id
+            }
+        };
+        vbyte::write(&mut self.stream, pid as u64);
+    }
+
+    /// Closes the current row: records its end offset and re-bases the
+    /// delta encoding on the next row's index.
+    pub fn end_row(&mut self) {
+        self.offsets.push(self.stream.len() as u64);
+        self.prev = (self.offsets.len() - 1) as i64;
+    }
+
+    /// Finalises into `(offsets, stream, probs, n_items)`.
+    pub fn into_parts(self) -> (Vec<u64>, Vec<u8>, Vec<f64>, u64) {
+        (self.offsets, self.stream, self.probs, self.n_items)
+    }
+}
+
+/// The decoding counterpart of [`DeltaStreamWriter`]: a zero-alloc
+/// cursor over one row's span of a delta-compressed stream, holding the
+/// rebase / zig-zag-accumulation / prob-table invariants exactly once
+/// for both the edge tier and `stab-markov`'s `Q` tier.
+#[derive(Debug, Clone)]
+pub struct DeltaStreamReader<'a> {
+    stream: &'a [u8],
+    pos: usize,
+    end: usize,
+    /// Delta base: the row id before the first item, then the previous
+    /// target.
+    prev: i64,
+    probs: &'a [f64],
+}
+
+impl<'a> DeltaStreamReader<'a> {
+    /// A cursor over row `row` spanning `offsets[row]..offsets[row + 1]`.
+    #[inline]
+    pub fn new(stream: &'a [u8], offsets: &[u64], row: usize, probs: &'a [f64]) -> Self {
+        DeltaStreamReader {
+            stream,
+            pos: offsets[row] as usize,
+            end: offsets[row + 1] as usize,
+            prev: row as i64,
+            probs,
+        }
+    }
+
+    /// Whether the row's span is exhausted.
+    #[inline]
+    pub fn done(&self) -> bool {
+        self.pos >= self.end
+    }
+
+    /// Decodes the next item's target (call first per item, mirroring
+    /// [`DeltaStreamWriter::target`]).
+    #[inline]
+    pub fn target(&mut self) -> u32 {
+        self.prev += vbyte::unzigzag(vbyte::read(self.stream, &mut self.pos));
+        self.prev as u32
+    }
+
+    /// Decodes a raw payload varint.
+    #[inline]
+    pub fn raw(&mut self) -> u64 {
+        vbyte::read(self.stream, &mut self.pos)
+    }
+
+    /// Decodes a probability-table id and resolves it.
+    #[inline]
+    pub fn prob(&mut self) -> f64 {
+        self.probs[vbyte::read(self.stream, &mut self.pos) as usize]
+    }
+}
+
+/// Counting-sort inversion shared by the compressed tiers (the flat
+/// tiers use [`Csr::invert`]): builds the u32-offset reverse CSR from a
+/// per-row target cursor, decoding each row twice.
+///
+/// # Panics
+///
+/// Panics if `n_entries` exceeds `u32::MAX` — the reverse CSR is
+/// u32-offset (checked, never silently wrapped).
+pub fn invert_target_rows<I>(
+    n_rows: usize,
+    n_entries: u64,
+    row_targets: impl Fn(usize) -> I,
+) -> Csr<u32>
+where
+    I: Iterator<Item = u32>,
+{
+    assert!(
+        n_entries <= u32::MAX as u64,
+        "reverse CSR is u32-offset; {n_entries} entries exceed it"
+    );
+    let mut counts = vec![0u32; n_rows];
+    for i in 0..n_rows {
+        for t in row_targets(i) {
+            counts[t as usize] += 1;
+        }
+    }
+    // Exclusive prefix sum = the write cursor per target row
+    // (`Csr::from_counts` re-derives the offsets from `counts`).
+    let mut cursor = Vec::with_capacity(n_rows);
+    let mut acc = 0u32;
+    for &c in &counts {
+        cursor.push(acc);
+        acc += c;
+    }
+    let mut data = vec![0u32; n_entries as usize];
+    for i in 0..n_rows {
+        for t in row_targets(i) {
+            data[cursor[t as usize] as usize] = i as u32;
+            cursor[t as usize] += 1;
+        }
+    }
+    Csr::from_counts(&counts, data)
+}
+
+/// Which edge-store tier a run materialises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EdgeStoreKind {
+    /// The flat `Csr<Edge>` tier: 24 B/edge, u32 offsets, slice access —
+    /// the fastest store while edge memory fits.
+    #[default]
+    Flat,
+    /// The byte-packed delta stream: ~3–6 B/edge, u64 offsets, cursor
+    /// access — for instances whose flat store exceeds RAM.
+    Compressed,
+}
+
+impl EdgeStoreKind {
+    /// Stable lower-case label (`"flat"` / `"compressed"`) used by the
+    /// bench JSON schema.
+    pub fn label(self) -> &'static str {
+        match self {
+            EdgeStoreKind::Flat => "flat",
+            EdgeStoreKind::Compressed => "compressed",
+        }
+    }
+}
+
+/// Read access to per-row edge storage, implemented by both tiers and by
+/// the runtime-selected [`EdgeStorage`].
+pub trait EdgeStore {
+    /// Number of rows (explored configurations).
+    fn n_rows(&self) -> usize;
+    /// Total number of stored edges (u64: representable past 2³²).
+    fn n_edges(&self) -> u64;
+    /// Heap bytes held by the store (offsets + edge data + side tables).
+    fn edge_bytes(&self) -> u64;
+    /// Which tier this store is.
+    fn kind(&self) -> EdgeStoreKind;
+    /// Zero-alloc cursor over row `i`'s decoded edges, in `(to, movers)`
+    /// order.
+    fn row_iter(&self, i: usize) -> EdgeIter<'_>;
+    /// Whether row `i` stores no edges (terminal configuration).
+    fn row_is_empty(&self, i: usize) -> bool;
+}
+
+impl EdgeStore for Csr<Edge> {
+    fn n_rows(&self) -> usize {
+        Csr::n_rows(self)
+    }
+
+    fn n_edges(&self) -> u64 {
+        self.n_entries() as u64
+    }
+
+    fn edge_bytes(&self) -> u64 {
+        (self.n_entries() * std::mem::size_of::<Edge>()
+            + (Csr::n_rows(self) + 1) * std::mem::size_of::<u32>()) as u64
+    }
+
+    fn kind(&self) -> EdgeStoreKind {
+        EdgeStoreKind::Flat
+    }
+
+    fn row_iter(&self, i: usize) -> EdgeIter<'_> {
+        EdgeIter::Flat(self.row(i).iter())
+    }
+
+    fn row_is_empty(&self, i: usize) -> bool {
+        self.row(i).is_empty()
+    }
+}
+
+/// The compressed tier: per-row zig-zag varint successor deltas plus a
+/// deduplicated probability table, delimited by u64 byte offsets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompressedEdges {
+    /// Byte offset of each row's encoding in `stream` (`n_rows + 1`
+    /// entries, monotone).
+    offsets: Vec<u64>,
+    /// The packed edge stream.
+    stream: Vec<u8>,
+    /// Deduplicated Definition 6 probabilities, indexed by the stream's
+    /// probability ids.
+    probs: Vec<f64>,
+    /// Total edges across all rows.
+    n_edges: u64,
+}
+
+impl CompressedEdges {
+    /// Number of distinct probabilities interned in the side table.
+    pub fn prob_table_len(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// The byte offsets delimiting each row's encoding.
+    pub fn offsets(&self) -> &[u64] {
+        &self.offsets
+    }
+}
+
+impl EdgeStore for CompressedEdges {
+    fn n_rows(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    fn n_edges(&self) -> u64 {
+        self.n_edges
+    }
+
+    fn edge_bytes(&self) -> u64 {
+        (self.stream.len()
+            + self.offsets.len() * std::mem::size_of::<u64>()
+            + self.probs.len() * std::mem::size_of::<f64>()) as u64
+    }
+
+    fn kind(&self) -> EdgeStoreKind {
+        EdgeStoreKind::Compressed
+    }
+
+    fn row_iter(&self, i: usize) -> EdgeIter<'_> {
+        EdgeIter::Compressed(CompressedRow(DeltaStreamReader::new(
+            &self.stream,
+            &self.offsets,
+            i,
+            &self.probs,
+        )))
+    }
+
+    fn row_is_empty(&self, i: usize) -> bool {
+        self.offsets[i] == self.offsets[i + 1]
+    }
+}
+
+/// Zero-alloc decoding cursor over one compressed edge row.
+#[derive(Debug, Clone)]
+pub struct CompressedRow<'a>(DeltaStreamReader<'a>);
+
+impl Iterator for CompressedRow<'_> {
+    type Item = Edge;
+
+    #[inline]
+    fn next(&mut self) -> Option<Edge> {
+        if self.0.done() {
+            return None;
+        }
+        Some(Edge {
+            to: self.0.target(),
+            movers: self.0.raw(),
+            prob: self.0.prob(),
+        })
+    }
+}
+
+/// Cursor over one row of either tier, yielding decoded [`Edge`]s by
+/// value in `(to, movers)` order.
+#[derive(Debug, Clone)]
+pub enum EdgeIter<'a> {
+    /// Slice walk over the flat tier.
+    Flat(std::slice::Iter<'a, Edge>),
+    /// Varint decode over the compressed tier.
+    Compressed(CompressedRow<'a>),
+}
+
+impl Iterator for EdgeIter<'_> {
+    type Item = Edge;
+
+    #[inline]
+    fn next(&mut self) -> Option<Edge> {
+        match self {
+            EdgeIter::Flat(it) => it.next().copied(),
+            EdgeIter::Compressed(it) => it.next(),
+        }
+    }
+}
+
+/// The per-run edge store of a [`TransitionSystem`](super::TransitionSystem):
+/// whichever tier [`ExploreOptions::with_edge_store`](super::ExploreOptions::with_edge_store)
+/// selected.
+#[derive(Debug)]
+pub enum EdgeStorage {
+    /// Flat `Csr<Edge>` tier.
+    Flat(Csr<Edge>),
+    /// Byte-packed compressed tier.
+    Compressed(CompressedEdges),
+}
+
+impl EdgeStorage {
+    /// Row `i` as a slice — **flat tier only**.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the compressed tier, whose rows exist only in decoded
+    /// form; iterate [`EdgeStore::row_iter`] instead.
+    pub fn row_slice(&self, i: usize) -> &[Edge] {
+        match self {
+            EdgeStorage::Flat(csr) => csr.row(i),
+            EdgeStorage::Compressed(_) => {
+                panic!("edge slices exist only on the flat store; use row_iter / edge_iter")
+            }
+        }
+    }
+
+    /// The reverse adjacency as a `Csr<u32>` (row `j` = predecessors of
+    /// `j`, ascending with multiplicity), built by decoding the stream
+    /// twice on the compressed tier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge count exceeds `u32::MAX` — the reverse CSR is
+    /// u32-offset (checked, never silently wrapped).
+    pub fn invert_targets(&self) -> Csr<u32> {
+        match self {
+            EdgeStorage::Flat(csr) => csr.invert(|e| e.to),
+            EdgeStorage::Compressed(c) => {
+                invert_target_rows(EdgeStore::n_rows(c), c.n_edges(), |i| {
+                    c.row_iter(i).map(|e| e.to)
+                })
+            }
+        }
+    }
+}
+
+impl EdgeStore for EdgeStorage {
+    fn n_rows(&self) -> usize {
+        match self {
+            EdgeStorage::Flat(c) => EdgeStore::n_rows(c),
+            EdgeStorage::Compressed(c) => EdgeStore::n_rows(c),
+        }
+    }
+
+    fn n_edges(&self) -> u64 {
+        match self {
+            EdgeStorage::Flat(c) => EdgeStore::n_edges(c),
+            EdgeStorage::Compressed(c) => c.n_edges(),
+        }
+    }
+
+    fn edge_bytes(&self) -> u64 {
+        match self {
+            EdgeStorage::Flat(c) => EdgeStore::edge_bytes(c),
+            EdgeStorage::Compressed(c) => c.edge_bytes(),
+        }
+    }
+
+    fn kind(&self) -> EdgeStoreKind {
+        match self {
+            EdgeStorage::Flat(_) => EdgeStoreKind::Flat,
+            EdgeStorage::Compressed(_) => EdgeStoreKind::Compressed,
+        }
+    }
+
+    fn row_iter(&self, i: usize) -> EdgeIter<'_> {
+        match self {
+            EdgeStorage::Flat(c) => c.row_iter(i),
+            EdgeStorage::Compressed(c) => c.row_iter(i),
+        }
+    }
+
+    fn row_is_empty(&self, i: usize) -> bool {
+        match self {
+            EdgeStorage::Flat(c) => EdgeStore::row_is_empty(c, i),
+            EdgeStorage::Compressed(c) => c.row_is_empty(i),
+        }
+    }
+}
+
+/// Incremental writer for the compressed tier: rows are appended in id
+/// order, each item encoded as `(target delta, movers, prob id)` through
+/// the shared [`DeltaStreamWriter`].
+#[derive(Debug, Default)]
+pub struct CompressedEdgesBuilder {
+    w: DeltaStreamWriter,
+}
+
+impl CompressedEdgesBuilder {
+    /// An empty stream.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends the next row (edges sorted by `(to, movers)`, as every
+    /// exploration path produces them).
+    pub fn push_row(&mut self, edges: &[Edge]) {
+        for e in edges {
+            self.w.target(e.to);
+            self.w.raw(e.movers);
+            self.w.prob(e.prob);
+        }
+        self.w.end_row();
+    }
+
+    /// Finalises the stream.
+    pub fn finish(self) -> CompressedEdges {
+        let (offsets, stream, probs, n_edges) = self.w.into_parts();
+        CompressedEdges {
+            offsets,
+            stream,
+            probs,
+            n_edges,
+        }
+    }
+}
+
+/// Tier-selected assembly used by the exploration paths: rows (or whole
+/// chunks of rows) are appended in id order and the selected store comes
+/// out of [`EdgeStorageBuilder::finish`].
+#[derive(Debug)]
+pub enum EdgeStorageBuilder {
+    /// Accumulates per-row counts + flat edges for `Csr::from_counts`.
+    Flat {
+        /// Per-row edge counts.
+        counts: Vec<u32>,
+        /// Concatenated row data.
+        edges: Vec<Edge>,
+    },
+    /// Streams rows straight into the compressed encoding.
+    Compressed(CompressedEdgesBuilder),
+}
+
+impl EdgeStorageBuilder {
+    /// An empty builder of the selected tier.
+    pub fn new(kind: EdgeStoreKind) -> Self {
+        match kind {
+            EdgeStoreKind::Flat => EdgeStorageBuilder::Flat {
+                counts: Vec::new(),
+                edges: Vec::new(),
+            },
+            EdgeStoreKind::Compressed => {
+                EdgeStorageBuilder::Compressed(CompressedEdgesBuilder::new())
+            }
+        }
+    }
+
+    /// Appends the next row.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the flat tier if the row holds more than `u32::MAX`
+    /// edges (u32 per-row counts).
+    pub fn push_row(&mut self, row: &[Edge]) {
+        match self {
+            EdgeStorageBuilder::Flat { counts, edges } => {
+                counts.push(u32::try_from(row.len()).expect("row length exceeds u32::MAX edges"));
+                edges.extend_from_slice(row);
+            }
+            EdgeStorageBuilder::Compressed(b) => b.push_row(row),
+        }
+    }
+
+    /// Appends a whole chunk of rows (`chunk_counts[i]` edges each,
+    /// concatenated in `chunk_edges`) — the bulk path of the parallel
+    /// full sweep.
+    pub fn push_chunk(&mut self, chunk_counts: &[u32], chunk_edges: &[Edge]) {
+        match self {
+            EdgeStorageBuilder::Flat { counts, edges } => {
+                counts.extend_from_slice(chunk_counts);
+                edges.extend_from_slice(chunk_edges);
+            }
+            EdgeStorageBuilder::Compressed(b) => {
+                let mut base = 0usize;
+                for &c in chunk_counts {
+                    b.push_row(&chunk_edges[base..base + c as usize]);
+                    base += c as usize;
+                }
+            }
+        }
+    }
+
+    /// Finalises the selected store.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the flat tier past `u32::MAX` total edges
+    /// ([`Csr::from_counts`]'s checked offsets) — the compressed tier is
+    /// the supported representation at that scale.
+    pub fn finish(self) -> EdgeStorage {
+        match self {
+            EdgeStorageBuilder::Flat { counts, edges } => {
+                EdgeStorage::Flat(Csr::from_counts(&counts, edges))
+            }
+            EdgeStorageBuilder::Compressed(b) => EdgeStorage::Compressed(b.finish()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edge(to: u32, movers: u64, prob: f64) -> Edge {
+        Edge { to, movers, prob }
+    }
+
+    #[test]
+    fn vbyte_round_trips_across_widths() {
+        let mut buf = Vec::new();
+        let values = [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX];
+        for &v in &values {
+            vbyte::write(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            assert_eq!(vbyte::read(&buf, &mut pos), v);
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn zigzag_is_a_bijection_on_small_deltas() {
+        for v in [-3i64, -2, -1, 0, 1, 2, 3, i64::MIN / 2, i64::MAX / 2] {
+            assert_eq!(vbyte::unzigzag(vbyte::zigzag(v)), v);
+        }
+        // Small magnitudes stay small: one-byte varints for |δ| < 64.
+        assert!(vbyte::zigzag(-64) < 128);
+        assert!(vbyte::zigzag(63) < 128);
+    }
+
+    #[test]
+    fn compressed_round_trips_rows() {
+        let rows: Vec<Vec<Edge>> = vec![
+            vec![edge(0, 0b1, 0.5), edge(2, 0b10, 0.5)],
+            vec![],
+            vec![edge(0, 0b11, 0.25), edge(1, 0b1, 0.25), edge(1, 0b10, 0.5)],
+        ];
+        let mut b = CompressedEdgesBuilder::new();
+        for r in &rows {
+            b.push_row(r);
+        }
+        let store = b.finish();
+        assert_eq!(EdgeStore::n_rows(&store), 3);
+        assert_eq!(store.n_edges(), 5);
+        // Two distinct probabilities interned.
+        assert_eq!(store.prob_table_len(), 2);
+        for (i, want) in rows.iter().enumerate() {
+            let got: Vec<Edge> = store.row_iter(i).collect();
+            assert_eq!(&got, want, "row {i}");
+            assert_eq!(store.row_is_empty(i), want.is_empty());
+        }
+    }
+
+    #[test]
+    fn offsets_are_monotone_and_bytes_accounted() {
+        let mut b = CompressedEdgesBuilder::new();
+        for i in 0..50u32 {
+            let row: Vec<Edge> = (0..i % 7)
+                .map(|j| edge(i + j, 1 << (j % 8), 0.125))
+                .collect();
+            b.push_row(&row);
+        }
+        let store = b.finish();
+        for w in store.offsets().windows(2) {
+            assert!(w[0] <= w[1], "offsets monotone");
+        }
+        assert_eq!(
+            *store.offsets().last().unwrap() as usize,
+            store.edge_bytes() as usize - store.offsets().len() * 8 - store.prob_table_len() * 8
+        );
+    }
+
+    #[test]
+    fn storage_matches_between_tiers() {
+        let rows: Vec<Vec<Edge>> = (0..20)
+            .map(|i| {
+                (0..(i % 5))
+                    .map(|j| edge((i * 7 + j * 3) % 20, (1 << j) | 1, 1.0 / (j + 1) as f64))
+                    .collect()
+            })
+            .collect();
+        let mut flat = EdgeStorageBuilder::new(EdgeStoreKind::Flat);
+        let mut comp = EdgeStorageBuilder::new(EdgeStoreKind::Compressed);
+        for r in &rows {
+            flat.push_row(r);
+            comp.push_row(r);
+        }
+        let flat = flat.finish();
+        let comp = comp.finish();
+        assert_eq!(flat.kind(), EdgeStoreKind::Flat);
+        assert_eq!(comp.kind(), EdgeStoreKind::Compressed);
+        assert_eq!(flat.n_edges(), comp.n_edges());
+        for i in 0..rows.len() {
+            let a: Vec<Edge> = flat.row_iter(i).collect();
+            let b: Vec<Edge> = comp.row_iter(i).collect();
+            assert_eq!(a, b, "row {i}");
+        }
+        // The compressed tier beats 24 B/edge even on this tiny system.
+        assert!(comp.edge_bytes() < flat.edge_bytes());
+    }
+
+    #[test]
+    fn push_chunk_equals_per_row_pushes() {
+        let rows: Vec<Vec<Edge>> = vec![
+            vec![edge(1, 1, 0.5)],
+            vec![edge(0, 2, 0.25), edge(3, 1, 0.75)],
+            vec![],
+            vec![edge(2, 4, 1.0)],
+        ];
+        let counts: Vec<u32> = rows.iter().map(|r| r.len() as u32).collect();
+        let flat_edges: Vec<Edge> = rows.iter().flatten().copied().collect();
+        for kind in [EdgeStoreKind::Flat, EdgeStoreKind::Compressed] {
+            let mut by_row = EdgeStorageBuilder::new(kind);
+            for r in &rows {
+                by_row.push_row(r);
+            }
+            let mut by_chunk = EdgeStorageBuilder::new(kind);
+            by_chunk.push_chunk(&counts, &flat_edges);
+            let (a, b) = (by_row.finish(), by_chunk.finish());
+            for i in 0..rows.len() {
+                let ra: Vec<Edge> = a.row_iter(i).collect();
+                let rb: Vec<Edge> = b.row_iter(i).collect();
+                assert_eq!(ra, rb);
+            }
+        }
+    }
+
+    #[test]
+    fn invert_targets_agrees_between_tiers() {
+        let rows: Vec<Vec<Edge>> = vec![
+            vec![edge(1, 1, 1.0), edge(2, 2, 1.0)],
+            vec![edge(2, 1, 1.0)],
+            vec![edge(0, 1, 0.5), edge(2, 2, 0.5)],
+        ];
+        let mut flat = EdgeStorageBuilder::new(EdgeStoreKind::Flat);
+        let mut comp = EdgeStorageBuilder::new(EdgeStoreKind::Compressed);
+        for r in &rows {
+            flat.push_row(r);
+            comp.push_row(r);
+        }
+        let (flat, comp) = (flat.finish(), comp.finish());
+        let (ra, rb) = (flat.invert_targets(), comp.invert_targets());
+        assert_eq!(ra, rb);
+        assert_eq!(rb.row(2), &[0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "edge slices exist only on the flat store")]
+    fn compressed_row_slice_panics() {
+        let mut b = EdgeStorageBuilder::new(EdgeStoreKind::Compressed);
+        b.push_row(&[edge(0, 1, 1.0)]);
+        let store = b.finish();
+        let _ = store.row_slice(0);
+    }
+}

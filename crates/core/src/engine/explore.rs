@@ -89,11 +89,17 @@ use crate::{CoreError, LocalState};
 use super::bitset::BitSet;
 use super::csr::Csr;
 use super::cursor::ConfigCursor;
+use super::edgestore::{EdgeIter, EdgeStorage, EdgeStorageBuilder, EdgeStore, EdgeStoreKind};
 use super::equivariance;
 use super::onthefly::{self, ExploreMode, ExploreOptions, Quotient, StateIds, TraversalMode};
 use super::parallel;
 use super::quotient::GroupCanonicalizer;
 use super::rowgen::RowGen;
+
+/// Configurations per sequential batch when streaming a compressed store:
+/// bounds the transient flat rows to one batch while the byte stream
+/// grows, which is the whole point of the compressed tier.
+pub(super) const COMPRESSED_BATCH: u64 = 2048;
 
 /// One transition: activating the processes in `movers` (bit `i` =
 /// process `Pi`) can lead to configuration `to`, and does so with
@@ -118,7 +124,7 @@ pub struct Edge {
 /// id ↔ configuration mapping of the traversal that built it.
 #[derive(Debug)]
 pub struct TransitionSystem {
-    forward: Csr<Edge>,
+    forward: EdgeStorage,
     reverse: OnceLock<Csr<u32>>,
     /// Bitmask of enabled processes per configuration.
     enabled: Vec<u64>,
@@ -215,29 +221,33 @@ impl TransitionSystem {
             equivariance::check_quotient_sound(alg, ix, daemon, spec, canon)?;
         }
         match (&opts.mode, canon) {
-            (ExploreMode::Full, None) => Self::explore_full(alg, ix, daemon, spec),
-            (ExploreMode::Full, Some(canon)) => {
-                onthefly::explore_quotient_sweep(alg, ix, daemon, spec, canon, opts.quotient)
-            }
-            (ExploreMode::Reachable { seeds }, canon) => onthefly::explore_reachable(
+            (ExploreMode::Full, None) => Self::explore_full(alg, ix, daemon, spec, opts.edge_store),
+            (ExploreMode::Full, Some(canon)) => onthefly::explore_quotient_sweep(
                 alg,
                 ix,
                 daemon,
                 spec,
-                seeds,
                 canon,
                 opts.quotient,
-                opts.max_states,
+                opts.edge_store,
             ),
+            (ExploreMode::Reachable { seeds }, canon) => {
+                onthefly::explore_reachable(alg, ix, daemon, spec, seeds, canon, opts)
+            }
         }
     }
 
-    /// The PR 1 full sweep: dense ids, parallel chunking.
+    /// The PR 1 full sweep: dense ids, parallel chunking onto the flat
+    /// store. With a compressed store the sweep runs in bounded
+    /// *sequential* batches instead, streaming each batch's rows into the
+    /// byte encoding so peak memory stays `O(stream + batch)` rather than
+    /// `O(flat edges)` — memory, not time, is what that tier is for.
     fn explore_full<A, L>(
         alg: &A,
         ix: &SpaceIndexer<A::State>,
         daemon: Daemon,
         spec: &L,
+        kind: EdgeStoreKind,
     ) -> Result<Self, CoreError>
     where
         A: Algorithm + Sync,
@@ -250,36 +260,29 @@ impl TransitionSystem {
             "configuration ids must fit in u32"
         );
         let adjacency = adjacency_masks(alg);
-        let chunks = parallel::map_chunks(total, |range| {
-            explore_chunk(alg, ix, daemon, spec, &adjacency, range)
-        })?;
-
-        let mut counts: Vec<u32> = Vec::with_capacity(total as usize);
-        let mut edges: Vec<Edge> = Vec::new();
-        let mut enabled: Vec<u64> = Vec::with_capacity(total as usize);
-        let mut legit = BitSet::new(total as usize);
-        let mut initial = BitSet::new(total as usize);
-        let mut deterministic = true;
-        let mut base = 0usize;
-        for chunk in chunks {
-            counts.extend_from_slice(&chunk.counts);
-            edges.extend_from_slice(&chunk.edges);
-            enabled.extend_from_slice(&chunk.enabled);
-            for (i, &l) in chunk.legit.iter().enumerate() {
-                if l {
-                    legit.insert(base + i);
+        let mut merge = MergeState::new(kind, total as usize);
+        match kind {
+            EdgeStoreKind::Flat => {
+                let chunks = parallel::map_chunks(total, |range| {
+                    explore_chunk(alg, ix, daemon, spec, &adjacency, range)
+                })?;
+                for chunk in chunks {
+                    merge.absorb(chunk);
                 }
             }
-            for (i, &l) in chunk.initial.iter().enumerate() {
-                if l {
-                    initial.insert(base + i);
+            EdgeStoreKind::Compressed => {
+                let mut start = 0u64;
+                while start < total {
+                    let end = (start + COMPRESSED_BATCH).min(total);
+                    let chunk = explore_chunk(alg, ix, daemon, spec, &adjacency, start..end)?;
+                    merge.absorb(chunk);
+                    start = end;
                 }
             }
-            deterministic &= chunk.deterministic;
-            base += chunk.counts.len();
         }
+        let (forward, enabled, legit, initial, deterministic) = merge.finish();
         Ok(TransitionSystem {
-            forward: Csr::from_counts(&counts, edges),
+            forward,
             reverse: OnceLock::new(),
             enabled,
             legit,
@@ -295,7 +298,7 @@ impl TransitionSystem {
     /// Assembles a system from the non-dense exploration paths.
     #[allow(clippy::too_many_arguments)]
     pub(super) fn assemble(
-        forward: Csr<Edge>,
+        forward: EdgeStorage,
         enabled: Vec<u64>,
         legit: BitSet,
         initial: BitSet,
@@ -336,7 +339,7 @@ impl TransitionSystem {
         assert_eq!(forward.n_rows(), initial.len());
         let total = forward.n_rows() as u64;
         TransitionSystem {
-            forward,
+            forward: EdgeStorage::Flat(forward),
             reverse: OnceLock::new(),
             enabled,
             legit,
@@ -356,10 +359,25 @@ impl TransitionSystem {
         self.forward.n_rows() as u32
     }
 
-    /// Total number of stored edges.
+    /// Total number of stored edges (u64 — representable past 2³² on the
+    /// compressed store).
     #[inline]
-    pub fn n_edges(&self) -> usize {
-        self.forward.n_entries()
+    pub fn n_edges(&self) -> u64 {
+        self.forward.n_edges()
+    }
+
+    /// Which edge-store tier holds the forward edges.
+    #[inline]
+    pub fn edge_store_kind(&self) -> EdgeStoreKind {
+        self.forward.kind()
+    }
+
+    /// Heap bytes held by the forward edge store (offsets + edge data +
+    /// side tables) — the quantity `BENCH_explore.json` reports as
+    /// `edge_bytes`.
+    #[inline]
+    pub fn edge_bytes(&self) -> u64 {
+        self.forward.edge_bytes()
     }
 
     /// How the system was traversed ([`TraversalMode::Full`] sweep or
@@ -433,22 +451,42 @@ impl TransitionSystem {
         }
     }
 
-    /// Outgoing edges of configuration `id`, sorted by `(to, movers)`.
+    /// Outgoing edges of configuration `id`, sorted by `(to, movers)` —
+    /// **flat store only**.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a compressed store, whose rows exist only in decoded
+    /// form; use [`TransitionSystem::edge_iter`] instead.
     #[inline]
     pub fn edges(&self, id: u32) -> &[Edge] {
-        self.forward.row(id as usize)
+        self.forward.row_slice(id as usize)
     }
 
-    /// The forward CSR itself.
+    /// Zero-alloc cursor over the outgoing edges of `id`, in `(to,
+    /// movers)` order — works on both store tiers.
     #[inline]
-    pub fn forward(&self) -> &Csr<Edge> {
+    pub fn edge_iter(&self, id: u32) -> EdgeIter<'_> {
+        self.forward.row_iter(id as usize)
+    }
+
+    /// Whether configuration `id` stores no outgoing edges.
+    #[inline]
+    pub fn edge_row_is_empty(&self, id: u32) -> bool {
+        self.forward.row_is_empty(id as usize)
+    }
+
+    /// The forward edge store itself (whichever tier the run selected).
+    #[inline]
+    pub fn edge_store(&self) -> &EdgeStorage {
         &self.forward
     }
 
     /// The reverse CSR: row `j` lists the predecessors of `j` (with
-    /// multiplicity, ascending). Built once on first use.
+    /// multiplicity, ascending). Built once on first use — from the
+    /// decoded stream on the compressed tier.
     pub fn reverse(&self) -> &Csr<u32> {
-        self.reverse.get_or_init(|| self.forward.invert(|e| e.to))
+        self.reverse.get_or_init(|| self.forward.invert_targets())
     }
 
     /// Bitmask of processes enabled in configuration `id`.
@@ -507,7 +545,7 @@ impl TransitionSystem {
         let mut seen = seeds.clone();
         let mut stack: Vec<u32> = seeds.ones().map(|i| i as u32).collect();
         while let Some(id) = stack.pop() {
-            for e in self.edges(id) {
+            for e in self.edge_iter(id) {
                 if !seen.get(e.to as usize) {
                     seen.insert(e.to as usize);
                     stack.push(e.to);
@@ -548,14 +586,81 @@ pub(super) fn adjacency_masks<A: Algorithm>(alg: &A) -> Vec<u64> {
         .collect()
 }
 
-/// Per-chunk exploration output, merged in chunk order.
-struct Chunk {
-    counts: Vec<u32>,
-    edges: Vec<Edge>,
+/// Per-chunk exploration output, merged in chunk order (shared with the
+/// quotient sweep in `onthefly`).
+pub(super) struct Chunk {
+    pub(super) counts: Vec<u32>,
+    pub(super) edges: Vec<Edge>,
+    pub(super) enabled: Vec<u64>,
+    pub(super) legit: Vec<bool>,
+    pub(super) initial: Vec<bool>,
+    pub(super) deterministic: bool,
+}
+
+impl Chunk {
+    pub(super) fn with_capacity(size: usize) -> Self {
+        Chunk {
+            counts: Vec::with_capacity(size),
+            edges: Vec::new(),
+            enabled: Vec::with_capacity(size),
+            legit: Vec::with_capacity(size),
+            initial: Vec::with_capacity(size),
+            deterministic: true,
+        }
+    }
+}
+
+/// Chunk-order accumulator feeding the selected edge store plus the
+/// per-configuration label vectors (shared by the full and quotient
+/// sweeps).
+pub(super) struct MergeState {
+    builder: EdgeStorageBuilder,
     enabled: Vec<u64>,
-    legit: Vec<bool>,
-    initial: Vec<bool>,
+    legit: BitSet,
+    initial: BitSet,
     deterministic: bool,
+    base: usize,
+}
+
+impl MergeState {
+    pub(super) fn new(kind: EdgeStoreKind, total: usize) -> Self {
+        MergeState {
+            builder: EdgeStorageBuilder::new(kind),
+            enabled: Vec::with_capacity(total),
+            legit: BitSet::new(total),
+            initial: BitSet::new(total),
+            deterministic: true,
+            base: 0,
+        }
+    }
+
+    pub(super) fn absorb(&mut self, chunk: Chunk) {
+        self.builder.push_chunk(&chunk.counts, &chunk.edges);
+        self.enabled.extend_from_slice(&chunk.enabled);
+        for (i, &l) in chunk.legit.iter().enumerate() {
+            if l {
+                self.legit.insert(self.base + i);
+            }
+        }
+        for (i, &l) in chunk.initial.iter().enumerate() {
+            if l {
+                self.initial.insert(self.base + i);
+            }
+        }
+        self.deterministic &= chunk.deterministic;
+        self.base += chunk.counts.len();
+    }
+
+    #[allow(clippy::type_complexity)]
+    pub(super) fn finish(self) -> (EdgeStorage, Vec<u64>, BitSet, BitSet, bool) {
+        (
+            self.builder.finish(),
+            self.enabled,
+            self.legit,
+            self.initial,
+            self.deterministic,
+        )
+    }
 }
 
 fn explore_chunk<A, L>(
@@ -572,14 +677,7 @@ where
     L: Legitimacy<A::State>,
 {
     let size = (range.end - range.start) as usize;
-    let mut chunk = Chunk {
-        counts: Vec::with_capacity(size),
-        edges: Vec::new(),
-        enabled: Vec::with_capacity(size),
-        legit: Vec::with_capacity(size),
-        initial: Vec::with_capacity(size),
-        deterministic: true,
-    };
+    let mut chunk = Chunk::with_capacity(size);
     if size == 0 {
         return Ok(chunk);
     }

@@ -59,6 +59,7 @@
 pub mod bitset;
 pub mod csr;
 pub mod cursor;
+pub mod edgestore;
 mod equivariance;
 pub mod explore;
 pub mod onthefly;
@@ -69,6 +70,10 @@ mod rowgen;
 pub use bitset::BitSet;
 pub use csr::Csr;
 pub use cursor::ConfigCursor;
+pub use edgestore::{
+    CompressedEdges, CompressedEdgesBuilder, EdgeIter, EdgeStorage, EdgeStorageBuilder, EdgeStore,
+    EdgeStoreKind,
+};
 pub use explore::{node_mask, Edge, TransitionSystem};
 pub use onthefly::{ExploreMode, ExploreOptions, Quotient, TraversalMode};
 pub use quotient::{least_rotation, CanonScratch, GroupCanonicalizer};

@@ -29,8 +29,10 @@ use crate::spec::Legitimacy;
 use crate::CoreError;
 
 use super::bitset::BitSet;
-use super::csr::Csr;
-use super::explore::{adjacency_masks, Edge, TransitionSystem};
+use super::edgestore::{EdgeStorageBuilder, EdgeStoreKind};
+use super::explore::{
+    adjacency_masks, Chunk, Edge, MergeState, TransitionSystem, COMPRESSED_BATCH,
+};
 use super::parallel;
 use super::quotient::{CanonScratch, GroupCanonicalizer};
 use super::rowgen::RowGen;
@@ -101,17 +103,23 @@ pub struct ExploreOptions<S> {
     pub quotient: Quotient,
     /// Reachable-mode safety valve: the BFS fails with
     /// [`CoreError::StateSpaceTooLarge`] once more states than this are
-    /// interned (default `u32::MAX`, the id-width limit).
+    /// interned (default `u32::MAX`, the id-width limit; larger caps are
+    /// rejected with [`CoreError::StateCapExceedsIdWidth`]).
     pub max_states: u64,
+    /// Which edge-store tier the exploration materialises (default
+    /// [`EdgeStoreKind::Flat`]; select [`EdgeStoreKind::Compressed`] for
+    /// instances whose 24 B/edge flat store exceeds RAM).
+    pub edge_store: EdgeStoreKind,
 }
 
 impl<S> ExploreOptions<S> {
-    /// The default traversal: full sweep, no quotient.
+    /// The default traversal: full sweep, no quotient, flat edge store.
     pub fn full() -> Self {
         ExploreOptions {
             mode: ExploreMode::Full,
             quotient: Quotient::None,
             max_states: u32::MAX as u64,
+            edge_store: EdgeStoreKind::Flat,
         }
     }
 
@@ -121,6 +129,7 @@ impl<S> ExploreOptions<S> {
             mode: ExploreMode::Reachable { seeds },
             quotient: Quotient::None,
             max_states: u32::MAX as u64,
+            edge_store: EdgeStoreKind::Flat,
         }
     }
 
@@ -148,6 +157,20 @@ impl<S> ExploreOptions<S> {
     #[must_use]
     pub fn with_max_states(mut self, max_states: u64) -> Self {
         self.max_states = max_states;
+        self
+    }
+
+    /// Selects the edge-store tier the exploration materialises.
+    ///
+    /// ```
+    /// use stab_core::engine::{EdgeStoreKind, ExploreOptions};
+    /// let opts: ExploreOptions<u8> =
+    ///     ExploreOptions::full().with_edge_store(EdgeStoreKind::Compressed);
+    /// assert_eq!(opts.edge_store, EdgeStoreKind::Compressed);
+    /// ```
+    #[must_use]
+    pub fn with_edge_store(mut self, edge_store: EdgeStoreKind) -> Self {
+        self.edge_store = edge_store;
         self
     }
 }
@@ -251,6 +274,7 @@ pub(super) fn explore_quotient_sweep<A, L>(
     spec: &L,
     canon: GroupCanonicalizer,
     quotient: Quotient,
+    kind: EdgeStoreKind,
 ) -> Result<TransitionSystem, CoreError>
 where
     A: Algorithm + Sync,
@@ -284,27 +308,15 @@ where
     );
 
     // Pass 2: explore the representative rows; successors canonicalize to
-    // representatives, which are all in the table by construction.
+    // representatives, which are all in the table by construction. With a
+    // flat store the rows are produced by parallel chunks; a compressed
+    // store streams bounded sequential batches instead, so peak memory is
+    // the byte stream plus one batch of flat rows.
     let adjacency = adjacency_masks(alg);
     let table_ref = &table;
     let canon_ref = &canon;
-    struct QChunk {
-        counts: Vec<u32>,
-        edges: Vec<Edge>,
-        enabled: Vec<u64>,
-        legit: Vec<bool>,
-        initial: Vec<bool>,
-        deterministic: bool,
-    }
-    let chunks = parallel::map_chunks(n_reps as u64, |range| -> Result<QChunk, CoreError> {
-        let mut chunk = QChunk {
-            counts: Vec::new(),
-            edges: Vec::new(),
-            enabled: Vec::new(),
-            legit: Vec::new(),
-            initial: Vec::new(),
-            deterministic: true,
-        };
+    let explore_range = |range: std::ops::Range<u64>| -> Result<Chunk, CoreError> {
+        let mut chunk = Chunk::with_capacity((range.end - range.start) as usize);
         let mut gen = RowGen::new();
         let mut digits = Vec::new();
         let mut scratch = CanonScratch::default();
@@ -342,34 +354,26 @@ where
             chunk.edges.extend_from_slice(&row);
         }
         Ok(chunk)
-    })?;
-
-    let mut counts = Vec::with_capacity(n_reps);
-    let mut edges = Vec::new();
-    let mut enabled = Vec::with_capacity(n_reps);
-    let mut legit = BitSet::new(n_reps);
-    let mut initial = BitSet::new(n_reps);
-    let mut deterministic = true;
-    let mut base = 0usize;
-    for chunk in chunks {
-        counts.extend_from_slice(&chunk.counts);
-        edges.extend_from_slice(&chunk.edges);
-        enabled.extend_from_slice(&chunk.enabled);
-        for (i, &l) in chunk.legit.iter().enumerate() {
-            if l {
-                legit.insert(base + i);
+    };
+    let mut merge = MergeState::new(kind, n_reps);
+    match kind {
+        EdgeStoreKind::Flat => {
+            for chunk in parallel::map_chunks(n_reps as u64, explore_range)? {
+                merge.absorb(chunk);
             }
         }
-        for (i, &l) in chunk.initial.iter().enumerate() {
-            if l {
-                initial.insert(base + i);
+        EdgeStoreKind::Compressed => {
+            let mut start = 0u64;
+            while start < n_reps as u64 {
+                let end = (start + COMPRESSED_BATCH).min(n_reps as u64);
+                merge.absorb(explore_range(start..end)?);
+                start = end;
             }
         }
-        deterministic &= chunk.deterministic;
-        base += chunk.counts.len();
     }
+    let (forward, enabled, legit, initial, deterministic) = merge.finish();
     Ok(TransitionSystem::assemble(
-        Csr::from_counts(&counts, edges),
+        forward,
         enabled,
         legit,
         initial,
@@ -381,10 +385,11 @@ where
     ))
 }
 
-/// On-the-fly BFS from `seeds`: hash-interned ids in discovery order, CSR
-/// built incrementally from the frontier. With a canonicalizer, every
-/// interned configuration is an orbit representative.
-#[allow(clippy::too_many_arguments)]
+/// On-the-fly BFS from `seeds`: hash-interned ids in discovery order, the
+/// selected edge store built incrementally from the frontier (the BFS is
+/// row-at-a-time by nature, so the compressed tier streams with no
+/// batching at all). With a canonicalizer, every interned configuration
+/// is an orbit representative.
 pub(super) fn explore_reachable<A, L>(
     alg: &A,
     ix: &SpaceIndexer<A::State>,
@@ -392,14 +397,21 @@ pub(super) fn explore_reachable<A, L>(
     spec: &L,
     seeds: &[Configuration<A::State>],
     canon: Option<GroupCanonicalizer>,
-    quotient: Quotient,
-    max_states: u64,
+    opts: &ExploreOptions<A::State>,
 ) -> Result<TransitionSystem, CoreError>
 where
     A: Algorithm,
     L: Legitimacy<A::State>,
 {
-    let max_states = max_states.min(u32::MAX as u64);
+    let max_states = opts.max_states;
+    // A cap above the id width could never be enforced — interning fails
+    // at u32 ids first — so reject it instead of silently clamping.
+    if max_states > u32::MAX as u64 {
+        return Err(CoreError::StateCapExceedsIdWidth {
+            requested: max_states,
+            limit: u32::MAX as u64,
+        });
+    }
     let adjacency = adjacency_masks(alg);
     let mut table = StateTable::default();
     let mut scratch = CanonScratch::default();
@@ -423,8 +435,7 @@ where
     let mut gen = RowGen::new();
     let mut digits = Vec::new();
     let mut row: Vec<Edge> = Vec::new();
-    let mut counts: Vec<u32> = Vec::new();
-    let mut edges: Vec<Edge> = Vec::new();
+    let mut builder = EdgeStorageBuilder::new(opts.edge_store);
     let mut enabled: Vec<u64> = Vec::new();
     let mut legit_flags: Vec<bool> = Vec::new();
     let mut deterministic = true;
@@ -477,8 +488,7 @@ where
         }
         row.sort_unstable_by_key(|e| (e.to, e.movers));
         merge_parallel_edges(&mut row);
-        counts.push(row.len() as u32);
-        edges.extend_from_slice(&row);
+        builder.push_row(&row);
     }
 
     let n = table.len();
@@ -493,14 +503,14 @@ where
         initial.insert(id as usize);
     }
     Ok(TransitionSystem::assemble(
-        Csr::from_counts(&counts, edges),
+        builder.finish(),
         enabled,
         legit,
         initial,
         deterministic,
         StateIds::Interned(table),
         canon,
-        quotient,
+        opts.quotient,
         TraversalMode::Reachable,
     ))
 }
@@ -650,6 +660,78 @@ mod tests {
         }
         // The two all-equal configurations are terminal representatives.
         assert_eq!(ts.legit_count(), 2);
+    }
+
+    #[test]
+    fn oversized_state_cap_is_rejected_not_clamped() {
+        let alg = CopyRing::new(4);
+        let ix = SpaceIndexer::new(&alg, 1 << 20).unwrap();
+        let spec = agreement();
+        let seeds: Vec<_> = ix.iter().collect();
+        let opts = ExploreOptions::reachable(seeds).with_max_states(u32::MAX as u64 + 1);
+        let err =
+            TransitionSystem::explore_with(&alg, &ix, Daemon::Central, &spec, &opts).unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::StateCapExceedsIdWidth {
+                requested,
+                limit,
+            } if requested == u32::MAX as u64 + 1 && limit == u32::MAX as u64
+        ));
+        // The id-width cap itself is fine.
+        let seeds: Vec<_> = ix.iter().collect();
+        let opts = ExploreOptions::reachable(seeds).with_max_states(u32::MAX as u64);
+        assert!(TransitionSystem::explore_with(&alg, &ix, Daemon::Central, &spec, &opts).is_ok());
+    }
+
+    #[test]
+    fn compressed_store_matches_flat_across_modes() {
+        use super::super::edgestore::EdgeStoreKind;
+        let alg = CopyRing::new(5);
+        let ix = SpaceIndexer::new(&alg, 1 << 20).unwrap();
+        let spec = agreement();
+        let seeds: Vec<_> = ix.iter().collect();
+        let mode_opts: Vec<ExploreOptions<bool>> = vec![
+            ExploreOptions::full(),
+            ExploreOptions::full().with_ring_quotient(),
+            ExploreOptions::reachable(seeds.clone()),
+            ExploreOptions::reachable(seeds).with_ring_quotient(),
+        ];
+        for daemon in Daemon::ALL {
+            for opts in &mode_opts {
+                let flat = TransitionSystem::explore_with(&alg, &ix, daemon, &spec, opts).unwrap();
+                let comp = TransitionSystem::explore_with(
+                    &alg,
+                    &ix,
+                    daemon,
+                    &spec,
+                    &opts.clone().with_edge_store(EdgeStoreKind::Compressed),
+                )
+                .unwrap();
+                assert_eq!(comp.edge_store_kind(), EdgeStoreKind::Compressed);
+                assert_eq!(comp.n_configs(), flat.n_configs());
+                assert_eq!(comp.n_edges(), flat.n_edges());
+                assert_eq!(comp.legit(), flat.legit());
+                assert_eq!(comp.initial(), flat.initial());
+                for id in 0..flat.n_configs() {
+                    assert_eq!(comp.full_index_of(id), flat.full_index_of(id));
+                    assert_eq!(comp.enabled_mask(id), flat.enabled_mask(id));
+                    assert_eq!(comp.edge_row_is_empty(id), flat.edge_row_is_empty(id));
+                    let a: Vec<Edge> = flat.edge_iter(id).collect();
+                    let b: Vec<Edge> = comp.edge_iter(id).collect();
+                    assert_eq!(a, b, "row {id} under {daemon} with {:?}", opts.quotient);
+                }
+                // The reverse CSR decodes to the same predecessor lists.
+                assert_eq!(comp.reverse(), flat.reverse());
+                // And the compressed tier actually compresses.
+                assert!(
+                    comp.edge_bytes() < flat.edge_bytes(),
+                    "{} vs {} bytes",
+                    comp.edge_bytes(),
+                    flat.edge_bytes()
+                );
+            }
+        }
     }
 
     #[test]

@@ -35,6 +35,16 @@ pub enum CoreError {
         /// Human-readable reason.
         reason: String,
     },
+    /// A reachable-mode `max_states` cap above the engine's u32
+    /// configuration-id width was requested. Such a cap could never be
+    /// enforced (interning fails at the id width first), so it is
+    /// rejected up front rather than silently clamped.
+    StateCapExceedsIdWidth {
+        /// The requested cap.
+        requested: u64,
+        /// The enforceable maximum (`u32::MAX`).
+        limit: u64,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -54,6 +64,10 @@ impl fmt::Display for CoreError {
             CoreError::QuotientUnsupported { reason } => {
                 write!(f, "symmetry quotient unsupported: {reason}")
             }
+            CoreError::StateCapExceedsIdWidth { requested, limit } => write!(
+                f,
+                "reachable-mode max_states {requested} exceeds the u32 configuration-id limit {limit}"
+            ),
         }
     }
 }
@@ -82,6 +96,12 @@ mod tests {
             reason: "not a ring".into(),
         };
         assert!(e.to_string().contains("not a ring"));
+        let e = CoreError::StateCapExceedsIdWidth {
+            requested: 1 << 40,
+            limit: u32::MAX as u64,
+        };
+        assert!(e.to_string().contains("1099511627776"));
+        assert!(e.to_string().contains("4294967295"));
     }
 
     #[test]

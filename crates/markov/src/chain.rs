@@ -20,14 +20,17 @@
 use std::collections::HashMap;
 use std::sync::OnceLock;
 
-use stab_core::engine::{BitSet, Csr, ExploreOptions, GroupCanonicalizer, TransitionSystem};
+use stab_core::engine::{BitSet, ExploreOptions, GroupCanonicalizer, TransitionSystem};
 use stab_core::{Algorithm, Configuration, Daemon, Legitimacy, LocalState, SpaceIndexer};
 
 use crate::error::MarkovError;
+use crate::qstore::{QStorage, QStorageBuilder};
 
-/// The sparse transient-to-transient matrix `Q` in CSR form: row `i` holds
-/// `(j, Q_ij)` entries sorted by `j`.
-pub type QMatrix = Csr<(u32, f64)>;
+/// The flat sparse transient-to-transient matrix `Q` in CSR form: row `i`
+/// holds `(j, Q_ij)` entries sorted by `j` (re-exported from
+/// [`crate::qstore`]; the chain itself holds a tier-selected
+/// [`QStorage`]).
+pub use crate::qstore::QMatrix;
 
 /// The absorbing chain: transient states are the illegitimate
 /// configurations, the legitimate set `L` is lumped into one absorbing
@@ -56,8 +59,9 @@ pub struct AbsorbingChain<S> {
     n_explored: u32,
     /// Concrete configurations represented by the explored ids.
     represented: u64,
-    /// Sparse `Q` rows over transient indices, CSR-packed.
-    q: QMatrix,
+    /// Sparse `Q` rows over transient indices, stored in the tier
+    /// matching the exploration's edge store.
+    q: QStorage,
     /// One-step absorption probability per transient state.
     absorb: Vec<f64>,
     /// Expected number of process activations in one step from each
@@ -171,8 +175,9 @@ impl<S: LocalState> AbsorbingChain<S> {
             }
         }
         let n = full_of.len();
-        let mut counts: Vec<u32> = Vec::with_capacity(n);
-        let mut entries: Vec<(u32, f64)> = Vec::new();
+        // The Q store mirrors the exploration's edge-store tier, so a
+        // compressed run keeps its memory profile through the chain.
+        let mut builder = QStorageBuilder::new(ts.edge_store_kind());
         let mut absorb = Vec::with_capacity(n);
         let mut step_moves = Vec::with_capacity(n);
         let mut row: Vec<(u32, f64)> = Vec::new();
@@ -180,11 +185,9 @@ impl<S: LocalState> AbsorbingChain<S> {
             if ts.is_legit(id) {
                 continue;
             }
-            let edges = ts.edges(id);
-            if edges.is_empty() {
+            if ts.edge_row_is_empty(id) {
                 // Terminal illegitimate configuration: stays put forever.
-                counts.push(1);
-                entries.push((transient_of[id as usize], 1.0));
+                builder.push_row(&[(transient_of[id as usize], 1.0)]);
                 absorb.push(0.0);
                 step_moves.push(0.0);
                 continue;
@@ -192,7 +195,7 @@ impl<S: LocalState> AbsorbingChain<S> {
             row.clear();
             let mut absorbed = 0.0;
             let mut moves = 0.0;
-            for e in edges {
+            for e in ts.edge_iter(id) {
                 moves += e.prob * e.movers.count_ones() as f64;
                 let t = transient_of[e.to as usize];
                 if t == u32::MAX {
@@ -207,12 +210,11 @@ impl<S: LocalState> AbsorbingChain<S> {
                     }
                 }
             }
-            counts.push(row.len() as u32);
-            entries.extend_from_slice(&row);
+            builder.push_row(&row);
             absorb.push(absorbed);
             step_moves.push(moves);
         }
-        let q = QMatrix::from_counts(&counts, entries);
+        let q = builder.finish();
         AbsorbingChain {
             indexer,
             daemon,
@@ -269,8 +271,11 @@ impl<S: LocalState> AbsorbingChain<S> {
         self.daemon
     }
 
-    /// The sparse `Q` matrix (transient-to-transient probabilities).
-    pub fn q(&self) -> &QMatrix {
+    /// The sparse `Q` store (transient-to-transient probabilities), in
+    /// whichever tier the exploration selected. Iterate rows with
+    /// [`QStorage::row_iter`]; the solvers accept it directly through the
+    /// [`crate::qstore::QRows`] trait.
+    pub fn q(&self) -> &QStorage {
         &self.q
     }
 
@@ -324,8 +329,8 @@ impl<S: LocalState> AbsorbingChain<S> {
     /// Verifies row stochasticity: every transient row plus its absorption
     /// mass sums to 1 (within `1e-9`).
     pub fn validate_stochastic(&self) -> bool {
-        self.q.rows().zip(&self.absorb).all(|(row, a)| {
-            let total: f64 = row.iter().map(|(_, p)| p).sum::<f64>() + a;
+        (0..self.q.n_rows()).all(|i| {
+            let total: f64 = self.q.row_iter(i).map(|(_, p)| p).sum::<f64>() + self.absorb[i];
             (total - 1.0).abs() < 1e-9
         })
     }
@@ -338,7 +343,7 @@ impl<S: LocalState> AbsorbingChain<S> {
     pub fn almost_surely_absorbing(&self) -> Result<(), MarkovError> {
         let outcome = self.absorbing.get_or_init(|| {
             let n = self.n_transient();
-            let reverse = self.q.invert(|&(j, _)| j);
+            let reverse = self.q.invert_targets();
             let mut can = BitSet::new(n);
             let mut stack: Vec<u32> = Vec::new();
             for (i, &a) in self.absorb.iter().enumerate() {
@@ -444,7 +449,8 @@ mod tests {
         let a = Transformed::new(TwoProcessToggle::new());
         let spec = ProjectedLegitimacy::new(TwoProcessToggle::new().legitimacy());
         let chain = AbsorbingChain::build(&a, Daemon::Distributed, &spec, 1 << 12).unwrap();
-        for row in chain.q().rows() {
+        for i in 0..chain.q().n_rows() {
+            let row = chain.q().row_vec(i);
             for w in row.windows(2) {
                 assert!(w[0].0 < w[1].0, "strictly ascending column indices");
             }

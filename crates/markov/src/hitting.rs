@@ -94,10 +94,10 @@ impl<S: LocalState> AbsorbingChain<S> {
         let b = vec![1.0; n];
         let times = if n <= DENSE_LIMIT {
             let mut a = vec![vec![0.0; n]; n];
-            for (i, row) in self.q().rows().enumerate() {
-                a[i][i] = 1.0;
-                for &(j, q) in row {
-                    a[i][j as usize] -= q;
+            for (i, row) in a.iter_mut().enumerate() {
+                row[i] = 1.0;
+                for (j, q) in self.q().row_iter(i) {
+                    row[j as usize] -= q;
                 }
             }
             linalg::solve_dense(a, b)?
@@ -150,10 +150,10 @@ impl<S: LocalState> AbsorbingChain<S> {
         let b = reward.to_vec();
         let times = if n <= DENSE_LIMIT {
             let mut a = vec![vec![0.0; n]; n];
-            for (i, row) in self.q().rows().enumerate() {
-                a[i][i] = 1.0;
-                for &(j, q) in row {
-                    a[i][j as usize] -= q;
+            for (i, row) in a.iter_mut().enumerate() {
+                row[i] = 1.0;
+                for (j, q) in self.q().row_iter(i) {
+                    row[j as usize] -= q;
                 }
             }
             linalg::solve_dense(a, b)?
@@ -192,10 +192,10 @@ impl<S: LocalState> AbsorbingChain<S> {
         let b = self.absorb().to_vec();
         if n <= DENSE_LIMIT {
             let mut a = vec![vec![0.0; n]; n];
-            for (i, row) in self.q().rows().enumerate() {
-                a[i][i] = 1.0;
-                for &(j, q) in row {
-                    a[i][j as usize] -= q;
+            for (i, row) in a.iter_mut().enumerate() {
+                row[i] = 1.0;
+                for (j, q) in self.q().row_iter(i) {
+                    row[j as usize] -= q;
                 }
             }
             linalg::solve_dense(a, b)
@@ -229,13 +229,12 @@ impl<S: LocalState> AbsorbingChain<S> {
         cdf.push(absorbed);
         for _ in 0..horizon {
             let mut next = vec![0.0; n];
-            for (i, row) in self.q().rows().enumerate() {
-                let m = mass[i];
+            for (i, &m) in mass.iter().enumerate() {
                 if m == 0.0 {
                     continue;
                 }
                 absorbed += m * self.absorb()[i];
-                for &(j, q) in row {
+                for (j, q) in self.q().row_iter(i) {
                     next[j as usize] += m * q;
                 }
             }

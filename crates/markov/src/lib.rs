@@ -46,7 +46,9 @@ pub mod chain;
 pub mod error;
 pub mod hitting;
 pub mod linalg;
+pub mod qstore;
 
-pub use chain::{AbsorbingChain, QMatrix};
+pub use chain::AbsorbingChain;
 pub use error::MarkovError;
 pub use hitting::HittingTimes;
+pub use qstore::{CompressedQ, QMatrix, QRows, QStorage};

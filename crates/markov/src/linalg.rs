@@ -2,9 +2,15 @@
 //! dense Gaussian elimination with partial pivoting for small systems, and
 //! sparse Gauss–Seidel for large ones (convergent because `Q` is
 //! substochastic with almost-sure absorption).
+//!
+//! The sparse solver is generic over [`QRows`], so it runs unchanged over
+//! the flat [`QMatrix`](crate::QMatrix) and the compressed
+//! [`QStorage`](crate::QStorage) tiers — the latter re-decodes its byte
+//! stream every sweep, trading time for the memory that lets 10⁸-entry
+//! chains fit.
 
-use crate::chain::QMatrix;
 use crate::error::MarkovError;
+use crate::qstore::QRows;
 
 /// Solves the dense system `A x = b` by Gaussian elimination with partial
 /// pivoting, consuming the inputs.
@@ -64,8 +70,8 @@ pub fn solve_dense(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>, Ma
 ///
 /// [`MarkovError::SolverDiverged`] if the max-update falls below `tol`
 /// within `max_iter` sweeps.
-pub fn gauss_seidel(
-    q: &QMatrix,
+pub fn gauss_seidel<M: QRows>(
+    q: &M,
     b: &[f64],
     tol: f64,
     max_iter: usize,
@@ -79,7 +85,7 @@ pub fn gauss_seidel(
         for i in 0..n {
             let mut acc = b[i];
             let mut diag = 0.0;
-            for &(j, p) in q.row(i) {
+            for (j, p) in q.row_iter(i) {
                 if j as usize == i {
                     diag += p;
                 } else {
@@ -113,6 +119,7 @@ pub fn gauss_seidel(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::qstore::QMatrix;
 
     #[test]
     fn dense_solves_identity() {

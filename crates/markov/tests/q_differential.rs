@@ -87,7 +87,7 @@ where
         let (rows, absorb, step_moves) = reference_chain(alg, daemon, spec);
         assert_eq!(chain.n_transient(), rows.len(), "{label}: transient count");
         for (i, want) in rows.iter().enumerate() {
-            let got = chain.q().row(i);
+            let got = chain.q().row_vec(i);
             assert_eq!(got.len(), want.len(), "{label}: row {i} length");
             for (&(gj, gp), &(wj, wp)) in got.iter().zip(want) {
                 assert_eq!(gj, wj, "{label}: row {i} column");
