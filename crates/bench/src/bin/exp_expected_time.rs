@@ -5,6 +5,14 @@
 //! For each system × scheduler: worst-case expected steps over initial
 //! configurations, the uniform-initial average, and the numeric absorption
 //! check (`min absorption probability`, which Theorems 7–9 predict to be 1).
+//!
+//! Since PR 5 every row is one `Study::run()` — a single shared
+//! exploration feeding the chain, with the hitting-time summaries read
+//! off the serializable `StudyReport` instead of hand-assembled from
+//! `AbsorbingChain` calls. The large-N arms force the PR 2–4 expert
+//! options (rotation quotient, compressed tier) through
+//! `Study::options`; the small rows force the plain full sweep so the
+//! table stays comparable across PRs.
 
 use stab_algorithms::{
     CenterLeader, DijkstraRing, GreedyColoring, HermanRing, ParentLeader, TokenCirculation,
@@ -14,7 +22,7 @@ use stab_bench::{fmt3, Table};
 use stab_core::engine::{EdgeStoreKind, ExploreOptions};
 use stab_core::{Algorithm, Daemon, Legitimacy, LocalState, ProjectedLegitimacy, Transformed};
 use stab_graph::builders;
-use stab_markov::AbsorbingChain;
+use weak_stabilization::study::Study;
 
 const CAP: u64 = 1 << 22;
 
@@ -24,24 +32,30 @@ where
     A::State: LocalState + Sync,
     L: Legitimacy<A::State> + Sync,
 {
-    let chain = AbsorbingChain::build(alg, daemon, spec, CAP).expect("chain build");
-    let min_absorb = chain
-        .absorption_probabilities()
-        .expect("solver")
-        .into_iter()
-        .fold(1.0f64, f64::min);
-    let times = chain.expected_steps().expect("almost-sure absorption");
+    let report = Study::of(alg)
+        .daemon(daemon)
+        .spec(spec)
+        .cap(CAP)
+        .expected_times()
+        .options(ExploreOptions::full())
+        .run()
+        .expect("study run");
+    let times = report
+        .expected_times
+        .as_ref()
+        .and_then(|e| e.solved())
+        .expect("almost-sure absorption");
     table.row(vec![
         alg.name(),
         daemon.to_string(),
-        chain.n_configs().to_string(),
-        chain.n_transient().to_string(),
-        fmt3(times.worst_case()),
-        fmt3(times.average_uniform(chain.n_configs())),
-        fmt3(min_absorb),
+        report.plan.total_configs.to_string(),
+        times.n_transient.to_string(),
+        fmt3(times.worst_case),
+        fmt3(times.average),
+        fmt3(times.min_absorption),
     ]);
     assert!(
-        (min_absorb - 1.0).abs() < 1e-9,
+        (times.min_absorption - 1.0).abs() < 1e-9,
         "absorption must be almost sure for {}",
         alg.name()
     );
@@ -134,9 +148,10 @@ fn main() {
     // The rows above stop where full enumeration stops (token rings N ≤ 6,
     // Herman N ≤ 7). The engine's rotation quotient extends the exact
     // curves: per-state hitting times coincide with the full space, and
-    // the orbit-weighted average recovers the uniform-initial expectation.
-    // The largest arm runs on the compressed edge store, so both tiers
-    // stay exercised in this binary.
+    // the orbit-weighted average recovers the uniform-initial expectation
+    // (which is exactly what the study's `average` reports on a quotient
+    // chain). The largest arm runs on the compressed edge store, so both
+    // tiers stay exercised in this binary.
     println!("## Beyond the full sweep: rotation-quotient chains");
     println!();
     let mut tq = Table::new(vec![
@@ -155,28 +170,33 @@ fn main() {
         let opts = ExploreOptions::full()
             .with_ring_quotient()
             .with_edge_store(kind);
-        let chain = AbsorbingChain::build_with(alg, Daemon::Synchronous, &spec, CAP, &opts)
-            .expect("quotient chain");
-        let min_absorb = chain
-            .absorption_probabilities()
-            .expect("solver")
-            .into_iter()
-            .fold(1.0f64, f64::min);
+        let report = Study::of(alg)
+            .daemon(Daemon::Synchronous)
+            .spec(&spec)
+            .cap(CAP)
+            .expected_times()
+            .options(opts)
+            .run()
+            .expect("quotient study");
+        let times = report
+            .expected_times
+            .as_ref()
+            .and_then(|e| e.solved())
+            .expect("almost-sure absorption");
         assert!(
-            (min_absorb - 1.0).abs() < 1e-9,
+            (times.min_absorption - 1.0).abs() < 1e-9,
             "Herman absorbs almost surely at N={n}"
         );
-        let times = chain.expected_steps().expect("almost-sure absorption");
         tq.row(vec![
             alg.name(),
             "synchronous".into(),
             n.to_string(),
-            chain.n_explored().to_string(),
-            chain.represented_configs().to_string(),
-            kind.label().into(),
-            fmt3(times.worst_case()),
-            fmt3(times.average_weighted(chain.transient_orbits(), chain.represented_configs())),
-            fmt3(min_absorb),
+            report.space.configs.to_string(),
+            report.space.represented.to_string(),
+            report.plan.edge_store.clone(),
+            fmt3(times.worst_case),
+            fmt3(times.average),
+            fmt3(times.min_absorption),
         ]);
     };
     for n in [9usize, 11, 13] {

@@ -1,39 +1,38 @@
 //! E0 — transition-engine throughput across exploration modes, recorded to
 //! `BENCH_explore.json` so the speedups are tracked across PRs.
 //!
-//! Three comparisons per release:
+//! Since schema v5 the engine side of every row is measured through the
+//! facade's `Study` pipeline: **one** exploration per run, with the
+//! checker, Markov and counter stages reading the shared
+//! `TransitionSystem`. Consequences for the recorded numbers:
 //!
-//! * **engine vs seed** (the PR 1 measurement, `mode = "full"`,
-//!   `quotient = "none"`): the CSR engine against a faithful reproduction
-//!   of the seed implementation (one `decode` per configuration,
-//!   `semantics::all_steps`, one `encode` per successor, nested rows);
-//! * **quotient vs full** (`quotient = "ring-rotation"` /
-//!   `"ring-dihedral"` / `"automorphism"`): the symmetry-quotient sweep
-//!   against the engine's own full sweep — the reference here is the
-//!   previous fastest path, so the speedup isolates the quotient's gain;
-//! * **beyond-full-reach instances**: cases whose full space is infeasible
-//!   to materialise (`explore_reference_ms = null`) but which the quotient
-//!   and/or reachable-only modes check outright — e.g. Herman N=17
-//!   (2^17 configurations, ≈ 10^8 edges for the full sweep) and token ring
-//!   N=12 (5^12 ≈ 2.4·10^8 configurations).
+//! * `explore_engine_ms` is the shared exploration itself (as before);
+//! * `chain_engine_ms` is the Markov stage's `Q` extraction *alone*
+//!   (v4 and earlier re-explored inside `AbsorbingChain::build`, so the
+//!   old number bundled an exploration with the extraction);
+//! * `analyze_engine_ms` is the checker analyses *alone* (same caveat);
+//! * every row carries `planned: bool` — whether the run's quotient and
+//!   edge-store tier were chosen by the auto-planner
+//!   (`stab_core::engine::Plan`) rather than hand-tuned. The one planned
+//!   row doubles as the serialized `StudyReport` showcase: its full
+//!   report is written to `STUDY_report.json` (schema `study_report/v1`)
+//!   and validated by CI, which also asserts the planner's tier choice
+//!   matches the measured-cheaper tier of the flat/compressed pair.
 //!
-//! A fourth comparison since schema v4: **flat vs compressed edge store**
-//! (`edge_store` = `"flat"` / `"compressed"`, `edge_bytes` = heap bytes of
-//! the forward store). A flat/compressed row *pair* on identical options
-//! measures the store tradeoff (the compressed row's reference is the
-//! flat-store run), and a compressed-only row covers an instance whose
-//! 24 B/edge flat store exceeds the CI runner's RAM outright (Herman
-//! N=17 full sweep, ≈ 1.3·10⁸ edges ≈ 3.1 GB flat).
+//! The *references* are unchanged: seed-faithful reimplementations for
+//! the PR 1 rows, the engine's own full sweep for mode rows, the
+//! flat-store run for compressed rows, `null` where the reference is
+//! infeasible on the runner.
 //!
-//! JSON schema (`bench_explore/v4`; v3 rows lacked `edge_store` /
-//! `edge_bytes` and non-null `chain_engine_ms` / `analyze_engine_ms`; v2
-//! rows lacked `group_order` and the `"ring-dihedral"` /
-//! `"automorphism"` quotient values; v1 rows correspond to
-//! `mode = "full"`, `quotient = "none"` with `represented = configs`):
+//! JSON schema (`bench_explore/v5`; v4 rows lacked `planned` and timed
+//! chain/analyze including their own exploration; v3 rows lacked
+//! `edge_store` / `edge_bytes`; v2 rows lacked `group_order`; v1 rows
+//! correspond to `mode = "full"`, `quotient = "none"`,
+//! `represented = configs`):
 //!
 //! ```json
 //! {
-//!   "schema": "bench_explore/v4",
+//!   "schema": "bench_explore/v5",
 //!   "threads": 8,
 //!   "results": [
 //!     {
@@ -41,6 +40,7 @@
 //!       "mode": "full",
 //!       "quotient": "ring-dihedral",
 //!       "edge_store": "flat",
+//!       "planned": false,
 //!       "configs": 1182,
 //!       "represented": 32768,
 //!       "group_order": 30,
@@ -59,14 +59,13 @@
 //! ```
 //!
 //! Invariants the CI smoke job asserts on every row:
-//! `configs <= represented <= configs × group_order` (orbits are
-//! non-empty and no larger than the group), with `group_order = 1`
-//! outside quotient mode; `edge_bytes > 0` everywhere; and on at least
-//! one ≥10⁶-edge case both stores are measured with the compressed
-//! bytes/edge strictly below the flat store's. `explore_reference_ms` /
-//! `chain_reference_ms` / the speedups are `null` when the reference is
-//! infeasible on the runner; `chain_engine_ms` / `analyze_engine_ms` are
-//! `null` on explore-only rows (the largest compressed instances).
+//! `configs <= represented <= configs × group_order`, `group_order = 1`
+//! outside quotient mode, `edge_bytes > 0`, `planned` boolean present;
+//! at least one ≥10⁶-edge case measures both stores with compressed
+//! bytes/edge strictly below flat; at least one ≥10⁷-edge compressed row
+//! has no flat reference; at least one row is `planned = true`; and the
+//! planned row's tier equals the measured-cheaper tier of the store
+//! pair.
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -74,11 +73,14 @@ use std::time::Instant;
 
 use stab_algorithms::{GreedyColoring, HermanRing, TokenCirculation};
 use stab_bench::Table;
-use stab_checker::{analyze_with, ExploredSpace};
+use stab_checker::ExploredSpace;
 use stab_core::engine::{EdgeStoreKind, ExploreMode, ExploreOptions, Quotient};
-use stab_core::{semantics, Algorithm, Configuration, Daemon, Legitimacy, SpaceIndexer};
+use stab_core::{
+    semantics, Algorithm, Configuration, Daemon, FairnessSet, Legitimacy, SpaceIndexer,
+};
 use stab_graph::builders;
 use stab_markov::AbsorbingChain;
+use weak_stabilization::study::{Study, StudyReport};
 
 const CAP: u64 = 1 << 26;
 /// Cap for the beyond-full-reach cases: the indexer must span the space
@@ -178,8 +180,9 @@ where
 struct CaseResult {
     case: String,
     mode: &'static str,
-    quotient: &'static str,
-    edge_store: &'static str,
+    quotient: String,
+    edge_store: String,
+    planned: bool,
     configs: u64,
     represented: u64,
     group_order: u64,
@@ -199,12 +202,80 @@ fn mode_label<S>(opts: &ExploreOptions<S>) -> &'static str {
     }
 }
 
-fn quotient_label<S>(opts: &ExploreOptions<S>) -> &'static str {
-    match opts.quotient {
-        Quotient::None => "none",
-        Quotient::RingRotation => "ring-rotation",
-        Quotient::RingDihedral => "ring-dihedral",
-        Quotient::Automorphism => "automorphism",
+/// Runs one `Study` per rep (each performing exactly one exploration,
+/// shared by the chain-extraction and checker stages), keeping the best
+/// per-stage time and the last report.
+fn measure_study<A, L>(
+    alg: &A,
+    daemon: Daemon,
+    spec: &L,
+    opts: Option<&ExploreOptions<A::State>>,
+    cap: u64,
+    reps: usize,
+    stages: bool,
+) -> (StudyReport, f64, Option<f64>, Option<f64>)
+where
+    A: Algorithm + Sync,
+    A::State: Sync,
+    L: Legitimacy<A::State> + Sync,
+{
+    let mut study = Study::of(alg).daemon(daemon).spec(spec).cap(cap);
+    if stages {
+        study = study.verdicts(FairnessSet::ALL).chain_build();
+    }
+    if let Some(opts) = opts {
+        study = study.options(opts.clone());
+    }
+    let mut best_explore = f64::INFINITY;
+    let mut best_chain: Option<f64> = None;
+    let mut best_analyze: Option<f64> = None;
+    let mut last = None;
+    for _ in 0..reps.max(1) {
+        let report = study.run().expect("study run");
+        best_explore = best_explore.min(report.timings_ms.explore);
+        if let Some(ms) = report.timings_ms.chain_build {
+            best_chain = Some(best_chain.map_or(ms, |b: f64| b.min(ms)));
+        }
+        if let Some(ms) = report.timings_ms.verdicts {
+            best_analyze = Some(best_analyze.map_or(ms, |b: f64| b.min(ms)));
+        }
+        last = Some(report);
+    }
+    (
+        last.expect("reps >= 1"),
+        best_explore,
+        best_chain,
+        best_analyze,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn case_from_report(
+    name: &str,
+    mode: &'static str,
+    report: &StudyReport,
+    explore_engine_ms: f64,
+    chain_engine_ms: Option<f64>,
+    analyze_engine_ms: Option<f64>,
+    explore_reference_ms: Option<f64>,
+    chain_reference_ms: Option<f64>,
+) -> CaseResult {
+    CaseResult {
+        case: name.to_string(),
+        mode,
+        quotient: report.plan.quotient.clone(),
+        edge_store: report.plan.edge_store.clone(),
+        planned: report.plan.planned,
+        configs: report.space.configs,
+        represented: report.space.represented,
+        group_order: report.space.group_order,
+        edges: report.space.edges,
+        edge_bytes: report.space.edge_bytes,
+        explore_reference_ms,
+        explore_engine_ms,
+        chain_reference_ms,
+        chain_engine_ms,
+        analyze_engine_ms,
     }
 }
 
@@ -216,36 +287,23 @@ where
     L: Legitimacy<A::State> + Sync,
 {
     let explore_reference_ms = time_ms(reps, || reference_explore(alg, daemon, spec));
-    let explore_engine_ms = time_ms(reps, || {
-        ExploredSpace::explore(alg, daemon, spec, CAP).expect("engine explore")
-    });
     let chain_reference_ms = time_ms(reps, || reference_chain(alg, daemon, spec));
-    let chain_engine_ms = time_ms(reps, || {
-        AbsorbingChain::build(alg, daemon, spec, CAP).expect("engine chain")
-    });
-    let analyze_engine_ms = time_ms(reps, || {
-        analyze_with(alg, daemon, spec, CAP, &ExploreOptions::full()).expect("engine analyze")
-    });
-    let space = ExploredSpace::explore(alg, daemon, spec, CAP).expect("engine explore");
-    CaseResult {
-        case: name.to_string(),
-        mode: "full",
-        quotient: "none",
-        edge_store: "flat",
-        configs: space.total() as u64,
-        represented: space.represented_configs(),
-        group_order: 1,
-        edges: space.transition_system().n_edges(),
-        edge_bytes: space.transition_system().edge_bytes(),
-        explore_reference_ms: Some(explore_reference_ms),
-        explore_engine_ms,
-        chain_reference_ms: Some(chain_reference_ms),
-        chain_engine_ms: Some(chain_engine_ms),
-        analyze_engine_ms: Some(analyze_engine_ms),
-    }
+    let opts = ExploreOptions::full();
+    let (report, explore_ms, chain_ms, analyze_ms) =
+        measure_study(alg, daemon, spec, Some(&opts), CAP, reps, true);
+    case_from_report(
+        name,
+        "full",
+        &report,
+        explore_ms,
+        chain_ms,
+        analyze_ms,
+        Some(explore_reference_ms),
+        Some(chain_reference_ms),
+    )
 }
 
-/// A PR 2 mode row: quotient and/or reachable exploration against the
+/// A PR 2/3 mode row: quotient and/or reachable exploration against the
 /// engine's own full sweep (the previous fastest path), or against
 /// nothing when the full sweep is infeasible on the runner
 /// (`full_feasible = false` → `null` references).
@@ -275,36 +333,22 @@ where
             AbsorbingChain::build(alg, daemon, spec, cap).expect("full chain")
         })
     });
-    let explore_engine_ms = time_ms(reps, || {
-        ExploredSpace::explore_with(alg, daemon, spec, cap, opts).expect("mode explore")
-    });
-    let chain_engine_ms = time_ms(reps, || {
-        AbsorbingChain::build_with(alg, daemon, spec, cap, opts).expect("mode chain")
-    });
-    let analyze_engine_ms = time_ms(reps, || {
-        analyze_with(alg, daemon, spec, cap, opts).expect("mode analyze")
-    });
-    let space = ExploredSpace::explore_with(alg, daemon, spec, cap, opts).expect("mode explore");
-    CaseResult {
-        case: name.to_string(),
-        mode: mode_label(opts),
-        quotient: quotient_label(opts),
-        edge_store: opts.edge_store.label(),
-        configs: space.total() as u64,
-        represented: space.represented_configs(),
-        group_order: space.transition_system().group_order(),
-        edges: space.transition_system().n_edges(),
-        edge_bytes: space.transition_system().edge_bytes(),
+    let (report, explore_ms, chain_ms, analyze_ms) =
+        measure_study(alg, daemon, spec, Some(opts), cap, reps, true);
+    case_from_report(
+        name,
+        mode_label(opts),
+        &report,
+        explore_ms,
+        chain_ms,
+        analyze_ms,
         explore_reference_ms,
-        explore_engine_ms,
         chain_reference_ms,
-        chain_engine_ms: Some(chain_engine_ms),
-        analyze_engine_ms: Some(analyze_engine_ms),
-    }
+    )
 }
 
-/// A schema-v4 store pair: the same options explored onto the flat store
-/// (the baseline row, null references) and onto the compressed store
+/// A store pair: the same options explored onto the flat store (the
+/// baseline row, null references) and onto the compressed store
 /// (referenced against the flat run, so the speedup isolates the store
 /// tradeoff — typically < 1×: the compressed tier pays encode/decode time
 /// for its 4–8× memory reduction).
@@ -323,38 +367,22 @@ where
     L: Legitimacy<A::State> + Sync,
 {
     let mut rows = Vec::new();
-    let mut engine_times = Vec::new();
+    let mut reference: Option<(f64, Option<f64>)> = None;
     for kind in [EdgeStoreKind::Flat, EdgeStoreKind::Compressed] {
         let kopts = opts.clone().with_edge_store(kind);
-        let explore_engine_ms = time_ms(reps, || {
-            ExploredSpace::explore_with(alg, daemon, spec, cap, &kopts).expect("store explore")
-        });
-        let chain_engine_ms = time_ms(reps, || {
-            AbsorbingChain::build_with(alg, daemon, spec, cap, &kopts).expect("store chain")
-        });
-        let analyze_engine_ms = time_ms(reps, || {
-            analyze_with(alg, daemon, spec, cap, &kopts).expect("store analyze")
-        });
-        let space =
-            ExploredSpace::explore_with(alg, daemon, spec, cap, &kopts).expect("store explore");
-        let reference = engine_times.first().copied();
-        engine_times.push((explore_engine_ms, chain_engine_ms));
-        rows.push(CaseResult {
-            case: name.to_string(),
-            mode: mode_label(&kopts),
-            quotient: quotient_label(&kopts),
-            edge_store: kind.label(),
-            configs: space.total() as u64,
-            represented: space.represented_configs(),
-            group_order: space.transition_system().group_order(),
-            edges: space.transition_system().n_edges(),
-            edge_bytes: space.transition_system().edge_bytes(),
-            explore_reference_ms: reference.map(|(e, _)| e),
-            explore_engine_ms,
-            chain_reference_ms: reference.map(|(_, c)| c),
-            chain_engine_ms: Some(chain_engine_ms),
-            analyze_engine_ms: Some(analyze_engine_ms),
-        });
+        let (report, explore_ms, chain_ms, analyze_ms) =
+            measure_study(alg, daemon, spec, Some(&kopts), cap, reps, true);
+        rows.push(case_from_report(
+            name,
+            mode_label(&kopts),
+            &report,
+            explore_ms,
+            chain_ms,
+            analyze_ms,
+            reference.map(|(e, _)| e),
+            reference.and_then(|(_, c)| c),
+        ));
+        reference = Some((explore_ms, chain_ms));
     }
     rows
 }
@@ -377,26 +405,53 @@ where
     L: Legitimacy<A::State> + Sync,
 {
     let kopts = opts.clone().with_edge_store(EdgeStoreKind::Compressed);
-    let start = Instant::now();
-    let space =
-        ExploredSpace::explore_with(alg, daemon, spec, cap, &kopts).expect("compressed explore");
-    let explore_engine_ms = start.elapsed().as_secs_f64() * 1e3;
-    CaseResult {
-        case: name.to_string(),
-        mode: mode_label(&kopts),
-        quotient: quotient_label(&kopts),
-        edge_store: "compressed",
-        configs: space.total() as u64,
-        represented: space.represented_configs(),
-        group_order: space.transition_system().group_order(),
-        edges: space.transition_system().n_edges(),
-        edge_bytes: space.transition_system().edge_bytes(),
-        explore_reference_ms: None,
-        explore_engine_ms,
-        chain_reference_ms: None,
-        chain_engine_ms: None,
-        analyze_engine_ms: None,
+    let (report, explore_ms, _, _) = measure_study(alg, daemon, spec, Some(&kopts), cap, 1, false);
+    case_from_report(
+        name,
+        mode_label(&kopts),
+        &report,
+        explore_ms,
+        None,
+        None,
+        None,
+        None,
+    )
+}
+
+/// The fully auto-planned showcase row: no options, no budget override —
+/// the planner consults the equivariance gate and the byte budget on its
+/// own. Its serialized `StudyReport` is written to `STUDY_report.json`
+/// for the CI shape check and the planner-vs-measured tier assertion.
+fn run_planned_case<A, L>(name: &str, alg: &A, daemon: Daemon, spec: &L, cap: u64) -> CaseResult
+where
+    A: Algorithm + Sync,
+    A::State: Sync,
+    L: Legitimacy<A::State> + Sync,
+{
+    // Unlike the timing rows, the showcase runs the *full* study —
+    // verdicts and solved expected times — so the serialized report
+    // exercises every study_report/v1 section.
+    let report = Study::of(alg)
+        .daemon(daemon)
+        .spec(spec)
+        .cap(cap)
+        .verdicts(FairnessSet::ALL)
+        .expected_times()
+        .run()
+        .expect("planned study");
+    let explore_ms = report.timings_ms.explore;
+    let chain_ms = report.timings_ms.chain_build;
+    let analyze_ms = report.timings_ms.verdicts;
+    assert!(report.plan.planned, "no overrides: the row must be planned");
+    std::fs::write("STUDY_report.json", report.to_json_string()).expect("write STUDY_report.json");
+    println!("## Auto-planned study: {name}\n");
+    for d in &report.plan.decisions {
+        println!("* {d:?}");
     }
+    println!();
+    case_from_report(
+        name, "full", &report, explore_ms, chain_ms, analyze_ms, None, None,
+    )
 }
 
 fn fmt_opt(x: Option<f64>) -> String {
@@ -612,6 +667,21 @@ fn main() {
         false,
     ));
 
+    // ---- PR 5 row: the fully auto-planned study --------------------------
+
+    // Herman N=15 with zero tuning: the planner consults the equivariance
+    // gate (→ dihedral quotient) and the byte budget (3^15 × 24 B ≈
+    // 344 MB estimated flat full sweep ≫ 32 MiB → compressed tier). The
+    // serialized report backs the CI assertions that the auto tier choice
+    // matches the measured-cheaper tier of the store pair above.
+    results.push(run_planned_case(
+        "herman/N=15/synchronous",
+        &herman15,
+        Daemon::Synchronous,
+        &herman15.legitimacy(),
+        CAP,
+    ));
+
     // ---- Report ---------------------------------------------------------
 
     let mut table = Table::new(vec![
@@ -619,6 +689,7 @@ fn main() {
         "mode",
         "quotient",
         "store",
+        "planned",
         "configs",
         "represented",
         "group order",
@@ -631,7 +702,7 @@ fn main() {
     ]);
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"schema\": \"bench_explore/v4\",");
+    let _ = writeln!(json, "  \"schema\": \"bench_explore/v5\",");
     let _ = writeln!(json, "  \"threads\": {threads},");
     let _ = writeln!(json, "  \"results\": [");
     for (i, r) in results.iter().enumerate() {
@@ -645,8 +716,9 @@ fn main() {
         table.row(vec![
             r.case.clone(),
             r.mode.to_string(),
-            r.quotient.to_string(),
-            r.edge_store.to_string(),
+            r.quotient.clone(),
+            r.edge_store.clone(),
+            r.planned.to_string(),
             r.configs.to_string(),
             r.represented.to_string(),
             r.group_order.to_string(),
@@ -662,6 +734,7 @@ fn main() {
         let _ = writeln!(json, "      \"mode\": \"{}\",", r.mode);
         let _ = writeln!(json, "      \"quotient\": \"{}\",", r.quotient);
         let _ = writeln!(json, "      \"edge_store\": \"{}\",", r.edge_store);
+        let _ = writeln!(json, "      \"planned\": {},", r.planned);
         let _ = writeln!(json, "      \"configs\": {},", r.configs);
         let _ = writeln!(json, "      \"represented\": {},", r.represented);
         let _ = writeln!(json, "      \"group_order\": {},", r.group_order);
@@ -714,5 +787,5 @@ fn main() {
     println!("# E0 — transition-engine throughput across exploration modes\n");
     println!("{}", table.to_markdown());
     std::fs::write("BENCH_explore.json", &json).expect("write BENCH_explore.json");
-    println!("wrote BENCH_explore.json");
+    println!("wrote BENCH_explore.json + STUDY_report.json");
 }

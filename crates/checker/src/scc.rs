@@ -195,7 +195,7 @@ mod tests {
             let from = cycle[i];
             let to = cycle[(i + 1) % cycle.len()];
             assert!(
-                space.edges(from).iter().any(|e| e.to == to),
+                space.edges(from).unwrap().iter().any(|e| e.to == to),
                 "cycle edge {from}->{to} missing"
             );
         }

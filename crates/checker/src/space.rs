@@ -110,6 +110,28 @@ impl<S: stab_core::LocalState> ExploredSpace<S> {
         })
     }
 
+    /// Adopts an already-explored transition system together with the
+    /// indexer of its full space. This is the sharing constructor of the
+    /// facade's `Study` pipeline: one [`TransitionSystem::explore_with`]
+    /// feeds the checker analyses through this wrapper *and* the Markov
+    /// builder through `AbsorbingChain::from_transition_system`, instead
+    /// of each stage re-exploring the same `(algorithm, daemon)` space.
+    ///
+    /// The system may be any traversal of the indexer's space (full,
+    /// quotient, or reachable-only) — id ↔ configuration mapping goes
+    /// through the system's own state table.
+    pub fn from_transition_system(
+        indexer: SpaceIndexer<S>,
+        daemon: Daemon,
+        ts: TransitionSystem,
+    ) -> Self {
+        ExploredSpace {
+            indexer,
+            daemon,
+            ts,
+        }
+    }
+
     /// Wraps an already-built transition system (differential tests build
     /// reference systems by independent means and compare analyses).
     #[doc(hidden)]
@@ -119,11 +141,7 @@ impl<S: stab_core::LocalState> ExploredSpace<S> {
             ts.n_configs() as u64,
             "indexer/system size mismatch"
         );
-        ExploredSpace {
-            indexer,
-            daemon,
-            ts,
-        }
+        Self::from_transition_system(indexer, daemon, ts)
     }
 
     /// The underlying engine output.
@@ -147,17 +165,18 @@ impl<S: stab_core::LocalState> ExploredSpace<S> {
         self.ts.deterministic()
     }
 
-    /// Outgoing edges of configuration `id`, sorted by `(to, movers)` —
-    /// **flat edge store only**.
+    /// Outgoing edges of configuration `id`, sorted by `(to, movers)`, as
+    /// a borrowed slice — **flat edge store only**.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when the space was explored onto the compressed edge store
-    /// ([`stab_core::engine::EdgeStoreKind::Compressed`]); iterate
-    /// [`ExploredSpace::edge_iter`] instead, which every analysis in this
-    /// crate does.
+    /// [`CoreError::FlatStoreRequired`] when the space was explored onto
+    /// the compressed edge store
+    /// ([`stab_core::engine::EdgeStoreKind::Compressed`]), whose rows
+    /// exist only in decoded form; iterate [`ExploredSpace::edge_iter`]
+    /// instead, which every analysis in this crate does.
     #[inline]
-    pub fn edges(&self, id: u32) -> &[Edge] {
+    pub fn edges(&self, id: u32) -> Result<&[Edge], CoreError> {
         self.ts.edges(id)
     }
 
@@ -315,11 +334,11 @@ mod tests {
         let tt = space.id_of(&stab_core::Configuration::from_vec(vec![true, true]));
         assert!(space.is_terminal(tt));
         let ff = space.id_of(&stab_core::Configuration::from_vec(vec![false, false]));
-        assert_eq!(space.edges(ff).len(), 3);
+        assert_eq!(space.edges(ff).unwrap().len(), 3);
         assert_eq!(space.enabled_mask(ff), 0b11);
         // Each of the three activations is equiprobable under the
         // randomized scheduler.
-        for e in space.edges(ff) {
+        for e in space.edges(ff).unwrap() {
             assert!((e.prob - 1.0 / 3.0).abs() < 1e-12);
         }
     }
@@ -330,7 +349,10 @@ mod tests {
         let spec = a.legitimacy();
         let space = ExploredSpace::explore(&a, Daemon::Synchronous, &spec, 1 << 10).unwrap();
         for id in 0..space.total() {
-            assert!(space.edges(id).len() <= 1, "deterministic synchronous step");
+            assert!(
+                space.edges(id).unwrap().len() <= 1,
+                "deterministic synchronous step"
+            );
         }
     }
 

@@ -111,8 +111,8 @@ fn assert_systems_equal(engine: &TransitionSystem, reference: &TransitionSystem,
             reference.enabled_mask(id),
             "{label}: enabled mask of {id}"
         );
-        let got = engine.edges(id);
-        let want = reference.edges(id);
+        let got = engine.edges(id).unwrap();
+        let want = reference.edges(id).unwrap();
         assert_eq!(got.len(), want.len(), "{label}: edge count of {id}");
         for (g, w) in got.iter().zip(want) {
             assert_eq!((g.to, g.movers), (w.to, w.movers), "{label}: edge of {id}");

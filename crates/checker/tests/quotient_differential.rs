@@ -124,7 +124,7 @@ where
             if quot.is_terminal(id) {
                 continue;
             }
-            let mass: f64 = quot.edges(id).iter().map(|e| e.prob).sum();
+            let mass: f64 = quot.edges(id).unwrap().iter().map(|e| e.prob).sum();
             assert!((mass - 1.0).abs() < 1e-9, "{label}: row {id} mass {mass}");
         }
 
@@ -250,7 +250,7 @@ fn automorphism_quotient_on_rings_is_dihedral() {
     assert_eq!(auto.transition_system().group_order(), 10);
     for id in 0..auto.total() {
         assert_eq!(auto.config(id), dihedral.config(id));
-        assert_eq!(auto.edges(id), dihedral.edges(id));
+        assert_eq!(auto.edges(id).unwrap(), dihedral.edges(id).unwrap());
     }
 }
 
@@ -403,7 +403,11 @@ fn reachable_with_all_seeds_equals_full() {
         assert_eq!(reach.total(), full.total(), "{label}");
         for id in 0..full.total() {
             assert_eq!(reach.config(id), full.config(id), "{label}: config {id}");
-            assert_eq!(reach.edges(id), full.edges(id), "{label}: row {id}");
+            assert_eq!(
+                reach.edges(id).unwrap(),
+                full.edges(id).unwrap(),
+                "{label}: row {id}"
+            );
             assert_eq!(
                 reach.enabled_mask(id),
                 full.enabled_mask(id),

@@ -22,7 +22,7 @@
 //!   side-channel `Vec<f64>` stays tiny.
 //!
 //! Measured bytes per edge land at 3–6 for the zoo (see
-//! `BENCH_explore.json`, schema v4), a 4–8× reduction over the flat tier.
+//! `BENCH_explore.json`, schema v4+), a 4–8× reduction over the flat tier.
 //!
 //! Row boundaries are **u64 byte offsets**, and edge counts are tracked
 //! in u64 throughout, so systems past 2³² edges are representable rather
@@ -455,19 +455,27 @@ pub enum EdgeStorage {
 }
 
 impl EdgeStorage {
+    /// Row `i` as a slice — **flat tier only**: `None` on the compressed
+    /// tier, whose rows exist only in decoded form (iterate
+    /// [`EdgeStore::row_iter`] instead).
+    pub fn try_row_slice(&self, i: usize) -> Option<&[Edge]> {
+        match self {
+            EdgeStorage::Flat(csr) => Some(csr.row(i)),
+            EdgeStorage::Compressed(_) => None,
+        }
+    }
+
     /// Row `i` as a slice — **flat tier only**.
     ///
     /// # Panics
     ///
-    /// Panics on the compressed tier, whose rows exist only in decoded
-    /// form; iterate [`EdgeStore::row_iter`] instead.
+    /// Panics on the compressed tier; prefer
+    /// [`EdgeStorage::try_row_slice`] (or the typed
+    /// `CoreError::FlatStoreRequired` surface of
+    /// `TransitionSystem::edges`).
     pub fn row_slice(&self, i: usize) -> &[Edge] {
-        match self {
-            EdgeStorage::Flat(csr) => csr.row(i),
-            EdgeStorage::Compressed(_) => {
-                panic!("edge slices exist only on the flat store; use row_iter / edge_iter")
-            }
-        }
+        self.try_row_slice(i)
+            .expect("edge slices exist only on the flat store; use row_iter / edge_iter")
     }
 
     /// The reverse adjacency as a `Csr<u32>` (row `j` = predecessors of

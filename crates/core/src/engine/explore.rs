@@ -76,6 +76,7 @@
 //! ```
 
 use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
 
 use stab_graph::NodeId;
@@ -100,6 +101,19 @@ use super::rowgen::RowGen;
 /// bounds the transient flat rows to one batch while the byte stream
 /// grows, which is the whole point of the compressed tier.
 pub(super) const COMPRESSED_BATCH: u64 = 2048;
+
+/// Process-wide exploration counter, incremented once per
+/// [`TransitionSystem::explore_with`] entry.
+static EXPLORE_CALLS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of engine explorations performed by this process so far.
+/// Exploration is the dominant cost of every pipeline, so pipelines that
+/// promise to *share* one exploration across stages (the facade `Study`)
+/// pin that promise by asserting this counter advanced exactly once per
+/// run.
+pub fn explore_count() -> u64 {
+    EXPLORE_CALLS.load(Ordering::Relaxed)
+}
 
 /// One transition: activating the processes in `movers` (bit `i` =
 /// process `Pi`) can lead to configuration `to`, and does so with
@@ -205,6 +219,7 @@ impl TransitionSystem {
         A::State: Sync,
         L: Legitimacy<A::State> + Sync,
     {
+        EXPLORE_CALLS.fetch_add(1, Ordering::Relaxed);
         let n = alg.n();
         assert!(n <= 64, "bitmask encoding supports at most 64 processes");
         assert!(
@@ -451,16 +466,22 @@ impl TransitionSystem {
         }
     }
 
-    /// Outgoing edges of configuration `id`, sorted by `(to, movers)` —
-    /// **flat store only**.
+    /// Outgoing edges of configuration `id`, sorted by `(to, movers)`, as
+    /// a borrowed slice — **flat store only**.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on a compressed store, whose rows exist only in decoded
-    /// form; use [`TransitionSystem::edge_iter`] instead.
+    /// [`CoreError::FlatStoreRequired`] on a compressed store, whose rows
+    /// exist only in decoded form; iterate
+    /// [`TransitionSystem::edge_iter`] instead, which works on both
+    /// tiers (every analysis in the checker does).
     #[inline]
-    pub fn edges(&self, id: u32) -> &[Edge] {
-        self.forward.row_slice(id as usize)
+    pub fn edges(&self, id: u32) -> Result<&[Edge], CoreError> {
+        self.forward
+            .try_row_slice(id as usize)
+            .ok_or(CoreError::FlatStoreRequired {
+                op: "TransitionSystem::edges",
+            })
     }
 
     /// Zero-alloc cursor over the outgoing edges of `id`, in `(to,
@@ -741,6 +762,7 @@ mod tests {
                 expect.dedup();
                 let got: Vec<(u32, u64)> = ts
                     .edges(idv as u32)
+                    .unwrap()
                     .iter()
                     .map(|e| (e.to, e.movers))
                     .collect();
@@ -759,10 +781,10 @@ mod tests {
             let (_, _, ts) = infection_system(daemon);
             for id in 0..ts.n_configs() {
                 if ts.is_terminal(id) {
-                    assert!(ts.edges(id).is_empty());
+                    assert!(ts.edges(id).unwrap().is_empty());
                     continue;
                 }
-                let mass: f64 = ts.edges(id).iter().map(|e| e.prob).sum();
+                let mass: f64 = ts.edges(id).unwrap().iter().map(|e| e.prob).sum();
                 assert!(
                     (mass - 1.0).abs() < 1e-9,
                     "config {id} mass {mass} under {daemon}"
@@ -813,7 +835,7 @@ mod tests {
         let (_, _, ts) = infection_system(Daemon::LocallyCentral);
         let g = builders::path(3);
         for id in 0..ts.n_configs() {
-            for e in ts.edges(id) {
+            for e in ts.edges(id).unwrap() {
                 let nodes: Vec<NodeId> = (0..3)
                     .filter(|i| e.movers & (1 << i) != 0)
                     .map(NodeId::new)

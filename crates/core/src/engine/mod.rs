@@ -64,6 +64,7 @@ mod equivariance;
 pub mod explore;
 pub mod onthefly;
 pub mod parallel;
+pub mod plan;
 pub mod quotient;
 mod rowgen;
 
@@ -74,6 +75,7 @@ pub use edgestore::{
     CompressedEdges, CompressedEdgesBuilder, EdgeIter, EdgeStorage, EdgeStorageBuilder, EdgeStore,
     EdgeStoreKind,
 };
-pub use explore::{node_mask, Edge, TransitionSystem};
+pub use explore::{explore_count, node_mask, Edge, TransitionSystem};
 pub use onthefly::{ExploreMode, ExploreOptions, Quotient, TraversalMode};
+pub use plan::{Plan, PlanDecision, PlanRequest, DEFAULT_BYTE_BUDGET};
 pub use quotient::{least_rotation, CanonScratch, GroupCanonicalizer};

@@ -78,6 +78,20 @@ pub enum Quotient {
     Automorphism,
 }
 
+impl Quotient {
+    /// Stable lower-case label (`"none"` / `"ring-rotation"` /
+    /// `"ring-dihedral"` / `"automorphism"`) used by plan records and the
+    /// `BENCH_explore.json` schema.
+    pub fn label(self) -> &'static str {
+        match self {
+            Quotient::None => "none",
+            Quotient::RingRotation => "ring-rotation",
+            Quotient::RingDihedral => "ring-dihedral",
+            Quotient::Automorphism => "automorphism",
+        }
+    }
+}
+
 /// Which traversal produced a [`TransitionSystem`] (for reporting).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TraversalMode {
@@ -586,7 +600,11 @@ mod tests {
             for id in 0..full.n_configs() {
                 assert_eq!(reach.full_index_of(id), id as u64);
                 assert_eq!(reach.enabled_mask(id), full.enabled_mask(id));
-                assert_eq!(reach.edges(id), full.edges(id), "row {id} under {daemon}");
+                assert_eq!(
+                    reach.edges(id).unwrap(),
+                    full.edges(id).unwrap(),
+                    "row {id} under {daemon}"
+                );
             }
         }
     }
@@ -655,7 +673,7 @@ mod tests {
             if ts.is_terminal(id) {
                 continue;
             }
-            let mass: f64 = ts.edges(id).iter().map(|e| e.prob).sum();
+            let mass: f64 = ts.edges(id).unwrap().iter().map(|e| e.prob).sum();
             assert!((mass - 1.0).abs() < 1e-9, "row {id} mass {mass}");
         }
         // The two all-equal configurations are terminal representatives.

@@ -1,0 +1,557 @@
+//! Exploration planning: resolve *what to explore and how* before paying
+//! for the exploration.
+//!
+//! PRs 2–4 made [`ExploreOptions`] powerful but expert-only: picking the
+//! right symmetry quotient requires knowing which groups the algorithm
+//! respects (and the equivariance gate rejects the rest per run), and
+//! picking the edge-store tier requires estimating the flat store's
+//! 24 B/edge footprint against the machine's RAM. [`Plan::compute`] makes
+//! both choices mechanically, *before* exploring:
+//!
+//! 1. **Size estimate** — the full space size comes straight off the
+//!    [`SpaceIndexer`]; the edge count is estimated by generating a
+//!    deterministic stride sample of successor rows (the same `rowgen`
+//!    path the exploration itself uses) and extrapolating the mean
+//!    out-degree.
+//! 2. **Quotient auto-selection** — candidate groups are tried best
+//!    first ([`Quotient::Automorphism`], then [`Quotient::RingRotation`])
+//!    through the *same* per-run equivariance gate the exploration
+//!    enforces, so the plan never proposes a quotient the run would
+//!    reject. The first sound group with order > 1 wins; if none is
+//!    sound, the plan records why each candidate was rejected and falls
+//!    back to [`Quotient::None`].
+//! 3. **Edge-store auto-selection** — if the *estimated full-sweep* flat
+//!    store fits the byte budget ([`PlanRequest::byte_budget`], default
+//!    [`DEFAULT_BYTE_BUDGET`]), the flat tier is chosen (fastest while
+//!    RAM lasts); otherwise the compressed tier. The full-sweep estimate
+//!    is used deliberately even when a quotient was selected: quotient
+//!    folding merges parallel edges nonuniformly, so the post-quotient
+//!    edge count is not reliably predictable from the group order alone,
+//!    and the planner prefers to err toward the memory-frugal tier.
+//!
+//! Every decision — auto or forced — is recorded as a [`PlanDecision`]
+//! with its reason, so reports built on a plan (the facade `Study`, the
+//! bench rows) can show *why* a run was configured the way it was.
+//!
+//! ```
+//! use stab_core::engine::{EdgeStoreKind, Plan, PlanRequest, Quotient};
+//! use stab_core::{Daemon, SpaceIndexer};
+//! # use stab_core::{ActionId, ActionMask, Algorithm, Outcomes, Predicate, View};
+//! # use stab_graph::{builders, Graph, NodeId};
+//! # struct Flip { g: Graph }
+//! # impl Algorithm for Flip {
+//! #     type State = bool;
+//! #     fn graph(&self) -> &Graph { &self.g }
+//! #     fn name(&self) -> String { "flip".into() }
+//! #     fn state_space(&self, _v: NodeId) -> Vec<bool> { vec![false, true] }
+//! #     fn enabled_actions<V: View<bool>>(&self, v: &V) -> ActionMask {
+//! #         let differs = (0..v.degree()).any(|p| v.neighbor(p.into()) != v.me());
+//! #         ActionMask::when(differs, ActionId::A1)
+//! #     }
+//! #     fn apply<V: View<bool>>(&self, v: &V, _a: ActionId) -> Outcomes<bool> {
+//! #         Outcomes::certain(!*v.me())
+//! #     }
+//! # }
+//! let alg = Flip { g: builders::ring(6) };
+//! let ix = SpaceIndexer::new(&alg, 1 << 20).unwrap();
+//! let spec = Predicate::new("agreement", |c: &stab_core::Configuration<bool>| {
+//!     c.states().iter().all(|&b| b) || c.states().iter().all(|&b| !b)
+//! });
+//! let plan = Plan::compute(&alg, &ix, Daemon::Central, &spec, &PlanRequest::default()).unwrap();
+//! // Anonymous uniform ring + invariant spec: the full dihedral group is
+//! // sound, and 64 configurations sit far below any byte budget.
+//! assert_eq!(plan.quotient, Quotient::Automorphism);
+//! assert_eq!(plan.edge_store, EdgeStoreKind::Flat);
+//! let opts = plan.options::<bool>();
+//! assert_eq!(opts.quotient, Quotient::Automorphism);
+//! ```
+
+use std::fmt;
+use std::mem::size_of;
+
+use crate::algorithm::Algorithm;
+use crate::scheduler::Daemon;
+use crate::space::SpaceIndexer;
+use crate::spec::Legitimacy;
+use crate::CoreError;
+
+use super::edgestore::EdgeStoreKind;
+use super::equivariance;
+use super::explore::adjacency_masks;
+use super::onthefly::{ExploreOptions, Quotient};
+use super::quotient::GroupCanonicalizer;
+use super::rowgen::RowGen;
+
+/// Default byte budget for the edge-store decision: 32 MiB of flat
+/// edges (≈ 1.4 × 10⁶ edges at 24 B each). Conservative on purpose — the
+/// compressed tier costs little time (it has even been measured *faster*
+/// on large sweeps, writing 4–6× fewer bytes) while the flat tier's
+/// failure mode is exhausting RAM.
+pub const DEFAULT_BYTE_BUDGET: u64 = 32 << 20;
+
+/// Default number of successor rows sampled for the edge estimate.
+pub const DEFAULT_SAMPLE_ROWS: u64 = 64;
+
+/// Flat-tier cost per stored edge (`size_of::<Edge>()`).
+const FLAT_BYTES_PER_EDGE: u64 = 24;
+
+/// What the planner may decide, and within which budget.
+///
+/// `None` fields are decided automatically; `Some` fields are forced and
+/// recorded as non-auto decisions (a forced choice still appears in the
+/// plan, so reports show the complete configuration either way).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanRequest {
+    /// Byte budget for the flat edge store; estimated full-sweep stores
+    /// above it select the compressed tier.
+    pub byte_budget: u64,
+    /// Number of rows sampled for the edge estimate.
+    pub sample_rows: u64,
+    /// Forced quotient (`None` = auto-select through the equivariance
+    /// gate).
+    pub quotient: Option<Quotient>,
+    /// Forced edge-store tier (`None` = auto-select under the budget).
+    pub edge_store: Option<EdgeStoreKind>,
+}
+
+impl Default for PlanRequest {
+    fn default() -> Self {
+        PlanRequest {
+            byte_budget: DEFAULT_BYTE_BUDGET,
+            sample_rows: DEFAULT_SAMPLE_ROWS,
+            quotient: None,
+            edge_store: None,
+        }
+    }
+}
+
+impl PlanRequest {
+    /// Replaces the byte budget.
+    #[must_use]
+    pub fn with_byte_budget(mut self, byte_budget: u64) -> Self {
+        self.byte_budget = byte_budget;
+        self
+    }
+
+    /// Forces the quotient instead of auto-selecting.
+    #[must_use]
+    pub fn with_quotient(mut self, quotient: Quotient) -> Self {
+        self.quotient = Some(quotient);
+        self
+    }
+
+    /// Forces the edge-store tier instead of auto-selecting.
+    #[must_use]
+    pub fn with_edge_store(mut self, edge_store: EdgeStoreKind) -> Self {
+        self.edge_store = Some(edge_store);
+        self
+    }
+}
+
+/// One recorded planner decision: which setting, what was chosen, whether
+/// the planner chose it (vs a forced override), and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanDecision {
+    /// The setting decided (`"quotient"` or `"edge_store"`).
+    pub setting: &'static str,
+    /// The chosen value's stable label.
+    pub choice: String,
+    /// Whether the planner made the choice (false = forced by the
+    /// caller).
+    pub auto: bool,
+    /// Human-readable rationale (includes rejected candidates).
+    pub reason: String,
+}
+
+impl fmt::Display for PlanDecision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} = {} ({}): {}",
+            self.setting,
+            self.choice,
+            if self.auto { "auto" } else { "forced" },
+            self.reason
+        )
+    }
+}
+
+/// A resolved exploration plan: size estimates, the selected quotient and
+/// edge-store tier, and the decision record. Convert to engine options
+/// with [`Plan::options`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    /// Full configuration-space size (`SpaceIndexer::total`).
+    pub total_configs: u64,
+    /// Rows actually sampled for the edge estimate.
+    pub sampled_rows: u64,
+    /// Mean out-degree over the sample.
+    pub est_edges_per_config: f64,
+    /// Estimated edge count of the full sweep.
+    pub est_full_edges: u64,
+    /// Estimated flat-store bytes of the full sweep (edges + offsets).
+    pub est_full_flat_bytes: u64,
+    /// The byte budget the store decision was made against.
+    pub byte_budget: u64,
+    /// The selected quotient ([`Quotient::None`] when no sound group was
+    /// found or none was wanted).
+    pub quotient: Quotient,
+    /// Order of the selected group (1 without a quotient).
+    pub group_order: u64,
+    /// Estimated explored states after quotienting
+    /// (≈ `total / group_order`, and exactly `total` without a quotient).
+    pub est_explored_configs: u64,
+    /// The selected edge-store tier.
+    pub edge_store: EdgeStoreKind,
+    /// Every decision made, with rationale.
+    pub decisions: Vec<PlanDecision>,
+}
+
+impl Plan {
+    /// Computes a plan for exploring `alg` under `daemon` against `spec`.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::TooManyEnabled`] — row sampling hit the
+    ///   distributed-daemon enumeration cap (the exploration would too);
+    /// * [`CoreError::QuotientUnsupported`] — only when a quotient was
+    ///   *forced* and fails structural validation (auto mode records the
+    ///   rejection and falls back instead).
+    pub fn compute<A, L>(
+        alg: &A,
+        ix: &SpaceIndexer<A::State>,
+        daemon: Daemon,
+        spec: &L,
+        req: &PlanRequest,
+    ) -> Result<Plan, CoreError>
+    where
+        A: Algorithm,
+        L: Legitimacy<A::State>,
+    {
+        let total = ix.total();
+        let (sampled_rows, est_edges_per_config) = estimate_out_degree(alg, ix, daemon, req)?;
+        let est_full_edges = (est_edges_per_config * total as f64).ceil() as u64;
+        let est_full_flat_bytes =
+            est_full_edges * FLAT_BYTES_PER_EDGE + (total + 1) * size_of::<u32>() as u64;
+
+        let mut decisions = Vec::new();
+        let (quotient, group_order) = match req.quotient {
+            Some(q) => {
+                let order = forced_group_order(alg, ix, q)?;
+                decisions.push(PlanDecision {
+                    setting: "quotient",
+                    choice: q.label().to_string(),
+                    auto: false,
+                    reason: "forced by caller".to_string(),
+                });
+                (q, order)
+            }
+            None => auto_quotient(alg, ix, daemon, spec, &mut decisions)?,
+        };
+        let est_explored_configs = (total / group_order).max(1);
+
+        let edge_store = match req.edge_store {
+            Some(kind) => {
+                decisions.push(PlanDecision {
+                    setting: "edge_store",
+                    choice: kind.label().to_string(),
+                    auto: false,
+                    reason: "forced by caller".to_string(),
+                });
+                kind
+            }
+            None => {
+                let kind = if est_full_flat_bytes <= req.byte_budget {
+                    EdgeStoreKind::Flat
+                } else {
+                    EdgeStoreKind::Compressed
+                };
+                decisions.push(PlanDecision {
+                    setting: "edge_store",
+                    choice: kind.label().to_string(),
+                    auto: true,
+                    reason: format!(
+                        "estimated full-sweep flat store ≈ {} bytes ({} edges × {} B + offsets) \
+                         {} the {}-byte budget",
+                        est_full_flat_bytes,
+                        est_full_edges,
+                        FLAT_BYTES_PER_EDGE,
+                        if kind == EdgeStoreKind::Flat {
+                            "within"
+                        } else {
+                            "exceeds"
+                        },
+                        req.byte_budget,
+                    ),
+                });
+                kind
+            }
+        };
+
+        Ok(Plan {
+            total_configs: total,
+            sampled_rows,
+            est_edges_per_config,
+            est_full_edges,
+            est_full_flat_bytes,
+            byte_budget: req.byte_budget,
+            quotient,
+            group_order,
+            est_explored_configs,
+            edge_store,
+            decisions,
+        })
+    }
+
+    /// The engine options this plan resolves to (always a full sweep —
+    /// stabilization checks quantify over *every* initial configuration,
+    /// which is what the planner plans for; reachable-mode runs remain an
+    /// explicit expert option).
+    pub fn options<S>(&self) -> ExploreOptions<S> {
+        ExploreOptions::full()
+            .with_quotient(self.quotient)
+            .with_edge_store(self.edge_store)
+    }
+
+    /// Whether both the quotient and the edge-store tier were chosen by
+    /// the planner (no forced overrides).
+    pub fn fully_auto(&self) -> bool {
+        self.decisions.iter().all(|d| d.auto)
+    }
+}
+
+/// Samples successor rows on a deterministic stride and returns
+/// `(rows sampled, mean out-degree)`.
+fn estimate_out_degree<A>(
+    alg: &A,
+    ix: &SpaceIndexer<A::State>,
+    daemon: Daemon,
+    req: &PlanRequest,
+) -> Result<(u64, f64), CoreError>
+where
+    A: Algorithm,
+{
+    let total = ix.total();
+    let count = req.sample_rows.clamp(1, total);
+    let stride = (total / count).max(1);
+    let adjacency = adjacency_masks(alg);
+    let mut gen = RowGen::new();
+    let mut digits = Vec::new();
+    let mut edges = 0u64;
+    for i in 0..count {
+        let full = i * stride;
+        let cfg = ix.decode(full);
+        ix.write_digits(full, &mut digits);
+        gen.generate(alg, ix, daemon, &adjacency, &cfg, &digits, full)?;
+        edges += gen.row.len() as u64;
+    }
+    Ok((count, edges as f64 / count as f64))
+}
+
+/// Group order of a forced quotient (propagating structural failures —
+/// the forced run would fail identically).
+fn forced_group_order<A>(
+    alg: &A,
+    ix: &SpaceIndexer<A::State>,
+    quotient: Quotient,
+) -> Result<u64, CoreError>
+where
+    A: Algorithm,
+{
+    Ok(match quotient {
+        Quotient::None => 1,
+        Quotient::RingRotation => GroupCanonicalizer::ring_rotation(alg.graph(), ix)?.group_order(),
+        Quotient::RingDihedral => GroupCanonicalizer::ring_dihedral(alg.graph(), ix)?.group_order(),
+        Quotient::Automorphism => GroupCanonicalizer::automorphism(alg.graph(), ix)?.group_order(),
+    })
+}
+
+/// Tries candidate groups best-first through the equivariance gate and
+/// returns the first sound one (or [`Quotient::None`] with every
+/// rejection recorded).
+fn auto_quotient<A, L>(
+    alg: &A,
+    ix: &SpaceIndexer<A::State>,
+    daemon: Daemon,
+    spec: &L,
+    decisions: &mut Vec<PlanDecision>,
+) -> Result<(Quotient, u64), CoreError>
+where
+    A: Algorithm,
+    L: Legitimacy<A::State>,
+{
+    let mut rejections = Vec::new();
+    // Automorphism resolves to the topology's full group (dihedral on
+    // rings, leaf permutations on stars/trees) — the largest reduction —
+    // and RingRotation catches oriented ring protocols whose reflection
+    // image the gate rejects.
+    for candidate in [Quotient::Automorphism, Quotient::RingRotation] {
+        let canon = match candidate {
+            Quotient::Automorphism => GroupCanonicalizer::automorphism(alg.graph(), ix),
+            Quotient::RingRotation => GroupCanonicalizer::ring_rotation(alg.graph(), ix),
+            _ => unreachable!("candidate list"),
+        };
+        let canon = match canon {
+            Ok(c) => c,
+            Err(CoreError::QuotientUnsupported { reason }) => {
+                rejections.push(format!("{}: {reason}", candidate.label()));
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        if canon.group_order() <= 1 {
+            rejections.push(format!("{}: trivial group", candidate.label()));
+            continue;
+        }
+        match equivariance::check_quotient_sound(alg, ix, daemon, spec, &canon) {
+            Ok(()) => {
+                let order = canon.group_order();
+                decisions.push(PlanDecision {
+                    setting: "quotient",
+                    choice: candidate.label().to_string(),
+                    auto: true,
+                    reason: format!(
+                        "group of order {order} passed the equivariance gate{}",
+                        if rejections.is_empty() {
+                            String::new()
+                        } else {
+                            format!(" (rejected: {})", rejections.join("; "))
+                        }
+                    ),
+                });
+                return Ok((candidate, order));
+            }
+            Err(CoreError::QuotientUnsupported { reason }) => {
+                rejections.push(format!("{}: {reason}", candidate.label()));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    decisions.push(PlanDecision {
+        setting: "quotient",
+        choice: Quotient::None.label().to_string(),
+        auto: true,
+        reason: format!("no sound symmetry group ({})", rejections.join("; ")),
+    });
+    Ok((Quotient::None, 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::test_support::Infection;
+    use crate::engine::TransitionSystem;
+    use crate::{Configuration, Predicate};
+    use stab_graph::builders;
+
+    fn all_ones(c: &Configuration<u8>) -> bool {
+        c.states().iter().all(|&s| s == 1)
+    }
+
+    fn infection() -> (Infection, Predicate<u8>) {
+        let alg = Infection {
+            g: builders::path(3),
+        };
+        (alg, Predicate::new("all-ones", all_ones))
+    }
+
+    #[test]
+    fn small_space_estimates_exactly_and_stays_flat() {
+        let (alg, spec) = infection();
+        let ix = SpaceIndexer::new(&alg, 1 << 20).unwrap();
+        let plan =
+            Plan::compute(&alg, &ix, Daemon::Central, &spec, &PlanRequest::default()).unwrap();
+        // 8 configurations < 64 samples: the estimate is exhaustive, so
+        // it matches the real exploration exactly.
+        let ts = TransitionSystem::explore(&alg, &ix, Daemon::Central, &spec).unwrap();
+        assert_eq!(plan.sampled_rows, 8);
+        assert_eq!(plan.est_full_edges, ts.n_edges());
+        assert_eq!(plan.edge_store, EdgeStoreKind::Flat);
+        assert!(plan.fully_auto());
+        // Paths of length 3 have a nontrivial automorphism (reflection),
+        // but infection is symmetric, so any outcome of the gate is
+        // acceptable here — what matters is that the plan's options run.
+        let opts = plan.options::<u8>();
+        let planned = TransitionSystem::explore_with(&alg, &ix, Daemon::Central, &spec, &opts);
+        assert!(planned.is_ok());
+    }
+
+    #[test]
+    fn tiny_budget_selects_compressed() {
+        let (alg, spec) = infection();
+        let ix = SpaceIndexer::new(&alg, 1 << 20).unwrap();
+        let req = PlanRequest::default().with_byte_budget(8);
+        let plan = Plan::compute(&alg, &ix, Daemon::Central, &spec, &req).unwrap();
+        assert_eq!(plan.edge_store, EdgeStoreKind::Compressed);
+        let store = plan
+            .decisions
+            .iter()
+            .find(|d| d.setting == "edge_store")
+            .unwrap();
+        assert!(store.auto);
+        assert!(store.reason.contains("exceeds"));
+    }
+
+    #[test]
+    fn forced_choices_are_recorded_as_forced() {
+        let (alg, spec) = infection();
+        let ix = SpaceIndexer::new(&alg, 1 << 20).unwrap();
+        let req = PlanRequest::default()
+            .with_quotient(Quotient::None)
+            .with_edge_store(EdgeStoreKind::Compressed);
+        let plan = Plan::compute(&alg, &ix, Daemon::Central, &spec, &req).unwrap();
+        assert_eq!(plan.quotient, Quotient::None);
+        assert_eq!(plan.group_order, 1);
+        assert_eq!(plan.edge_store, EdgeStoreKind::Compressed);
+        assert!(!plan.fully_auto());
+        assert!(plan.decisions.iter().all(|d| !d.auto));
+        assert!(plan.decisions[0].to_string().contains("forced"));
+    }
+
+    #[test]
+    fn unsound_algorithms_fall_back_to_no_quotient_with_reasons() {
+        // A rooted (non-anonymous) ring algorithm: node 0 runs a
+        // different program, so no ring quotient is sound. The spec
+        // singles out node 0 as well.
+        struct Rooted {
+            g: stab_graph::Graph,
+        }
+        impl Algorithm for Rooted {
+            type State = bool;
+            fn graph(&self) -> &stab_graph::Graph {
+                &self.g
+            }
+            fn name(&self) -> String {
+                "rooted".into()
+            }
+            fn state_space(&self, _v: stab_graph::NodeId) -> Vec<bool> {
+                vec![false, true]
+            }
+            fn enabled_actions<V: crate::View<bool>>(&self, v: &V) -> crate::ActionMask {
+                crate::ActionMask::when(v.node().index() == 0 && !*v.me(), crate::ActionId::A1)
+            }
+            fn apply<V: crate::View<bool>>(&self, _v: &V, _a: crate::ActionId) -> Outcomes {
+                crate::Outcomes::certain(true)
+            }
+        }
+        type Outcomes = crate::Outcomes<bool>;
+        let alg = Rooted {
+            g: builders::ring(4),
+        };
+        let ix = SpaceIndexer::new(&alg, 1 << 20).unwrap();
+        let spec = Predicate::new("root-set", |c: &Configuration<bool>| *c.get(0.into()));
+        let plan =
+            Plan::compute(&alg, &ix, Daemon::Central, &spec, &PlanRequest::default()).unwrap();
+        assert_eq!(plan.quotient, Quotient::None);
+        assert_eq!(plan.group_order, 1);
+        let q = plan
+            .decisions
+            .iter()
+            .find(|d| d.setting == "quotient")
+            .unwrap();
+        assert!(q.auto);
+        assert!(q.reason.contains("no sound symmetry group"));
+        assert!(q.reason.contains("automorphism"));
+        assert!(q.reason.contains("ring-rotation"));
+    }
+}

@@ -45,6 +45,14 @@ pub enum CoreError {
         /// The enforceable maximum (`u32::MAX`).
         limit: u64,
     },
+    /// An operation that exists only on the flat edge-store tier (borrowed
+    /// `&[Edge]` row slices) was requested on the compressed tier, whose
+    /// rows exist only in decoded form. Iterate the row cursor
+    /// (`edge_iter` / `row_iter`) instead, which works on both tiers.
+    FlatStoreRequired {
+        /// The operation that was attempted.
+        op: &'static str,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -67,6 +75,10 @@ impl fmt::Display for CoreError {
             CoreError::StateCapExceedsIdWidth { requested, limit } => write!(
                 f,
                 "reachable-mode max_states {requested} exceeds the u32 configuration-id limit {limit}"
+            ),
+            CoreError::FlatStoreRequired { op } => write!(
+                f,
+                "{op} requires the flat edge store; compressed rows exist only in decoded form — iterate edge_iter/row_iter instead"
             ),
         }
     }
@@ -102,6 +114,9 @@ mod tests {
         };
         assert!(e.to_string().contains("1099511627776"));
         assert!(e.to_string().contains("4294967295"));
+        let e = CoreError::FlatStoreRequired { op: "edges()" };
+        assert!(e.to_string().contains("edges()"));
+        assert!(e.to_string().contains("flat edge store"));
     }
 
     #[test]

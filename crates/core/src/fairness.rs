@@ -73,6 +73,95 @@ impl fmt::Display for Fairness {
     }
 }
 
+/// A set of fairness assumptions, e.g. the self-stabilization verdicts a
+/// study should report. Backed by one byte; iteration order is always
+/// weakest constraint first ([`Fairness::ALL`] order).
+///
+/// ```
+/// use stab_core::{Fairness, FairnessSet};
+/// let set = FairnessSet::of(&[Fairness::Gouda, Fairness::StronglyFair]);
+/// assert!(set.contains(Fairness::Gouda));
+/// assert!(!set.contains(Fairness::Unfair));
+/// assert_eq!(set.len(), 2);
+/// let all: Vec<Fairness> = FairnessSet::ALL.iter().collect();
+/// assert_eq!(all, Fairness::ALL);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FairnessSet(u8);
+
+impl FairnessSet {
+    /// The empty set.
+    pub const EMPTY: FairnessSet = FairnessSet(0);
+    /// Every fairness assumption.
+    pub const ALL: FairnessSet = FairnessSet(0b1111);
+
+    fn bit(f: Fairness) -> u8 {
+        match f {
+            Fairness::Unfair => 1,
+            Fairness::WeaklyFair => 1 << 1,
+            Fairness::StronglyFair => 1 << 2,
+            Fairness::Gouda => 1 << 3,
+        }
+    }
+
+    /// The set holding exactly `fairness`.
+    pub fn of(fairness: &[Fairness]) -> Self {
+        fairness.iter().fold(Self::EMPTY, |s, &f| s.with(f))
+    }
+
+    /// This set plus `fairness`.
+    #[must_use]
+    pub fn with(self, fairness: Fairness) -> Self {
+        FairnessSet(self.0 | Self::bit(fairness))
+    }
+
+    /// Whether `fairness` is in the set.
+    pub fn contains(self, fairness: Fairness) -> bool {
+        self.0 & Self::bit(fairness) != 0
+    }
+
+    /// Number of members.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Members, weakest constraint first.
+    pub fn iter(self) -> impl Iterator<Item = Fairness> {
+        Fairness::ALL.into_iter().filter(move |&f| self.contains(f))
+    }
+}
+
+impl Default for FairnessSet {
+    /// The default verdict set: everything.
+    fn default() -> Self {
+        Self::ALL
+    }
+}
+
+impl FromIterator<Fairness> for FairnessSet {
+    fn from_iter<T: IntoIterator<Item = Fairness>>(iter: T) -> Self {
+        iter.into_iter().fold(Self::EMPTY, FairnessSet::with)
+    }
+}
+
+impl fmt::Display for FairnessSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, fair) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{fair}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -103,6 +192,26 @@ mod tests {
         for f in Fairness::ALL {
             assert!(f.refines(Fairness::Unfair));
         }
+    }
+
+    #[test]
+    fn fairness_set_operations() {
+        let set = FairnessSet::of(&[Fairness::WeaklyFair, Fairness::Gouda]);
+        assert_eq!(set.len(), 2);
+        assert!(!set.is_empty());
+        assert!(set.contains(Fairness::WeaklyFair));
+        assert!(!set.contains(Fairness::StronglyFair));
+        assert_eq!(set.with(Fairness::WeaklyFair), set, "idempotent insert");
+        assert_eq!(
+            set.iter().collect::<Vec<_>>(),
+            vec![Fairness::WeaklyFair, Fairness::Gouda],
+            "weakest first"
+        );
+        assert_eq!(set.to_string(), "{weakly-fair, gouda}");
+        assert!(FairnessSet::EMPTY.is_empty());
+        assert_eq!(FairnessSet::default(), FairnessSet::ALL);
+        let collected: FairnessSet = Fairness::ALL.into_iter().collect();
+        assert_eq!(collected, FairnessSet::ALL);
     }
 
     #[test]

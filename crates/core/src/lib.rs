@@ -82,7 +82,7 @@ pub use algorithm::{Algorithm, LocalState};
 pub use config::Configuration;
 pub use error::CoreError;
 pub use exec::Trace;
-pub use fairness::Fairness;
+pub use fairness::{Fairness, FairnessSet};
 pub use outcome::Outcomes;
 pub use restricted::Restricted;
 pub use scheduler::{Activation, Daemon};

@@ -143,8 +143,13 @@ impl<S: LocalState> AbsorbingChain<S> {
         Ok(Self::from_transition_system(indexer, daemon, &ts))
     }
 
-    /// Builds the chain from an already-explored transition system (the
-    /// checker and the Markov study can share one exploration).
+    /// Builds the chain from an already-explored transition system — the
+    /// sharing constructor of the facade's `Study` pipeline: the checker
+    /// (via `ExploredSpace::from_transition_system`) and this chain read
+    /// one exploration instead of each paying for their own. The system
+    /// is only *borrowed*: every lookup structure the chain needs is
+    /// copied out, so the caller can hand the system on to the checker
+    /// afterwards.
     pub fn from_transition_system(
         indexer: SpaceIndexer<S>,
         daemon: Daemon,

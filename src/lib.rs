@@ -20,11 +20,16 @@
 //!   chains (the quantitative study the paper lists as future work);
 //! * [`sim`] — seeded Monte-Carlo simulation with confidence intervals.
 //!
-//! This facade crate re-exports all sub-crates under one name, and hosts the
-//! runnable examples (`examples/`) and cross-crate integration tests
-//! (`tests/`).
+//! This facade crate re-exports all sub-crates under one name, hosts the
+//! scenario-level [`study`] pipeline (one planned exploration driving
+//! checker, Markov and Monte-Carlo, returning a serializable
+//! [`StudyReport`](study::StudyReport)), the runnable examples
+//! (`examples/`) and cross-crate integration tests (`tests/`).
 //!
 //! ## Quickstart
+//!
+//! The paper's weak-vs-self-vs-probabilistic comparison is **one
+//! study** — one exploration, every verdict, a versioned JSON record:
 //!
 //! ```
 //! use weak_stabilization::prelude::*;
@@ -36,13 +41,27 @@
 //!
 //! // It is weak-stabilizing but not self-stabilizing under the
 //! // distributed strongly fair scheduler (Theorem 2 + Theorem 6).
-//! let report = stab_checker::analyze(&alg, Daemon::Distributed, &spec, 1 << 22).unwrap();
-//! assert!(report.closure.holds());
-//! assert!(report.weak.holds());
-//! assert!(!report.self_under(Fairness::StronglyFair).holds());
-//! assert!(report.self_under(Fairness::Gouda).holds());
-//! assert!(report.probabilistic.holds());
+//! let report = Study::of(&alg)
+//!     .daemon(Daemon::Distributed)
+//!     .spec(&spec)
+//!     .verdicts(FairnessSet::ALL)
+//!     .run()
+//!     .unwrap();
+//! let verdicts = report.verdicts.as_ref().unwrap();
+//! assert!(verdicts.closure.holds);
+//! assert!(verdicts.weak.holds);
+//! assert!(!verdicts.self_under(Fairness::StronglyFair).unwrap().holds);
+//! assert!(verdicts.self_under(Fairness::Gouda).unwrap().holds);
+//! assert!(verdicts.probabilistic.holds);
+//!
+//! // The report serializes and parses back, bit for bit.
+//! let text = report.to_json_string();
+//! assert_eq!(StudyReport::from_json_str(&text).unwrap(), report);
 //! ```
+//!
+//! The per-layer entry points (`stab_checker::analyze`,
+//! `AbsorbingChain::build`, `stab_sim::montecarlo::estimate`) remain
+//! available for single-stage work.
 
 pub use stab_algorithms as algorithms;
 pub use stab_checker as checker;
@@ -51,13 +70,16 @@ pub use stab_graph as graph;
 pub use stab_markov as markov;
 pub use stab_sim as sim;
 
+pub mod study;
+
 /// Convenient single-import surface for examples and downstream users.
 pub mod prelude {
+    pub use crate::study::{McConfig, Study, StudyReport};
     pub use stab_algorithms;
     pub use stab_checker;
     pub use stab_core::{
-        ActionId, ActionMask, Activation, Algorithm, Configuration, Daemon, Fairness, Legitimacy,
-        Outcomes, Trace, Transformed, View,
+        ActionId, ActionMask, Activation, Algorithm, Configuration, Daemon, Fairness, FairnessSet,
+        Legitimacy, Outcomes, Trace, Transformed, View,
     };
     pub use stab_graph::{self, builders, Graph, NodeId, PortId};
     pub use stab_markov;

@@ -1,0 +1,472 @@
+//! One planned exploration driving checker, Markov and Monte-Carlo: the
+//! scenario-level entry point of the library.
+//!
+//! The paper's central contribution is a *comparison* — weak vs. self vs.
+//! probabilistic stabilization of one algorithm under one scheduler — yet
+//! running that comparison through the layer APIs takes three separate
+//! calls (`stab_checker::analyze`, `AbsorbingChain::build`,
+//! `stab_sim::montecarlo::estimate`), each re-exploring the same
+//! `(algorithm, daemon)` space and each wanting hand-tuned
+//! [`ExploreOptions`]. [`Study`] replaces that with one typed builder:
+//!
+//! ```
+//! use weak_stabilization::study::Study;
+//! use stab_algorithms::TokenCirculation;
+//! use stab_core::{Daemon, Fairness, FairnessSet};
+//! use stab_graph::builders;
+//!
+//! // Theorems 2 + 5/6 as ONE study: Algorithm 1 on the paper's ring.
+//! let alg = TokenCirculation::on_ring(&builders::ring(5)).unwrap();
+//! let spec = alg.legitimacy();
+//! let report = Study::of(&alg)
+//!     .daemon(Daemon::Distributed)
+//!     .spec(&spec)
+//!     .verdicts(FairnessSet::ALL)
+//!     .run()
+//!     .unwrap();
+//! let verdicts = report.verdicts.as_ref().unwrap();
+//! assert!(verdicts.weak.holds, "Theorem 2: weak-stabilizing");
+//! assert!(
+//!     !verdicts.self_under(Fairness::StronglyFair).unwrap().holds,
+//!     "Theorem 6: not self-stabilizing even under strong fairness"
+//! );
+//! assert!(verdicts.self_under(Fairness::Gouda).unwrap().holds, "Theorem 5");
+//! assert!(verdicts.probabilistic.holds, "Theorem 7");
+//! // The report serializes; CI and bench bins consume the same object.
+//! let text = report.to_json_string();
+//! assert!(text.contains("study_report/v1"));
+//! ```
+//!
+//! # What `run()` does
+//!
+//! 1. **Plan** — estimate the space from the algorithm's alphabet and
+//!    topology, consult the engine's equivariance gate to pick the best
+//!    sound symmetry quotient (or none), and pick the edge-store tier
+//!    under a byte budget ([`stab_core::engine::Plan`]). Every decision
+//!    is recorded in the report; [`Study::options`] overrides the
+//!    planner wholesale, [`Study::byte_budget`] just moves the budget.
+//! 2. **Explore once** — a single
+//!    [`TransitionSystem`](stab_core::engine::TransitionSystem)
+//!    materialises the space; the checker borrows it through
+//!    [`ExploredSpace::from_transition_system`] and the Markov stage
+//!    through [`AbsorbingChain::from_transition_system`]. No stage
+//!    re-explores (pinned by `stab_core::engine::explore_count`).
+//! 3. **Stages** — each chained stage ([`Study::verdicts`],
+//!    [`Study::expected_times`], [`Study::monte_carlo`]) contributes a
+//!    section to the [`StudyReport`]; unrequested stages cost nothing.
+//!
+//! The report is versioned (`study_report/v1`) and round-trips through
+//! JSON bit-for-bit, so the bench binaries and CI validate exactly the
+//! object users see.
+
+mod json;
+mod report;
+
+pub use json::Json;
+pub use report::{
+    DecisionRecord, EstimateRecord, ExpectedSection, ExpectedTimes, FairnessVerdict, McSection,
+    PlanSection, SpaceSection, StudyReport, Timings, VerdictRecord, VerdictsSection, SCHEMA,
+};
+
+use std::time::Instant;
+
+use stab_checker::{analyze_space, ExploredSpace, Verdict};
+use stab_core::engine::{ExploreMode, ExploreOptions, Plan, PlanRequest, TransitionSystem};
+use stab_core::{Algorithm, CoreError, Daemon, FairnessSet, Legitimacy, SpaceIndexer};
+use stab_markov::AbsorbingChain;
+use stab_sim::montecarlo::{estimate, BatchSettings};
+
+/// Default configuration-space cap: the engine's u32 id width (larger
+/// spaces cannot be fully explored anyway).
+pub const DEFAULT_CAP: u64 = u32::MAX as u64;
+
+/// Marker for a [`Study`] whose specification has not been supplied yet;
+/// `run()` only exists after [`Study::spec`] replaces it.
+#[derive(Debug, Clone, Copy)]
+pub struct NoSpec;
+
+/// Seeded Monte-Carlo stage configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct McConfig {
+    /// Number of runs.
+    pub runs: u64,
+    /// Per-run step budget; runs exceeding it count as failures.
+    pub max_steps: u64,
+    /// Base seed; the batch is deterministic in (config, algorithm).
+    pub seed: u64,
+    /// Worker threads (1 = sequential).
+    pub threads: usize,
+}
+
+impl Default for McConfig {
+    fn default() -> Self {
+        let b = BatchSettings::default();
+        McConfig {
+            runs: b.runs,
+            max_steps: b.max_steps,
+            seed: b.seed,
+            threads: b.threads,
+        }
+    }
+}
+
+impl McConfig {
+    fn settings(&self) -> BatchSettings {
+        BatchSettings {
+            runs: self.runs,
+            max_steps: self.max_steps,
+            seed: self.seed,
+            threads: self.threads,
+        }
+    }
+}
+
+/// A planned, staged study of one `(algorithm, daemon, specification)`
+/// triple — see the [module docs](self) for the full pipeline.
+///
+/// Built with [`Study::of`]; the `Sp` parameter is [`NoSpec`] until
+/// [`Study::spec`] supplies a specification, which is what makes
+/// [`Study::run`] available (the builder is *typed*: an unspecified study
+/// does not compile into a run).
+#[derive(Debug, Clone)]
+pub struct Study<'a, A: Algorithm, Sp = NoSpec> {
+    alg: &'a A,
+    spec: Sp,
+    daemon: Daemon,
+    cap: u64,
+    verdicts: Option<FairnessSet>,
+    expected: bool,
+    chain_only: bool,
+    cdf_horizon: Option<usize>,
+    monte_carlo: Option<McConfig>,
+    options: Option<ExploreOptions<A::State>>,
+    plan_req: PlanRequest,
+}
+
+impl<'a, A: Algorithm> Study<'a, A, NoSpec> {
+    /// Starts a study of `alg` (distributed daemon by default — the
+    /// paper's weakest scheduling assumption).
+    pub fn of(alg: &'a A) -> Self {
+        Study {
+            alg,
+            spec: NoSpec,
+            daemon: Daemon::Distributed,
+            cap: DEFAULT_CAP,
+            verdicts: None,
+            expected: false,
+            chain_only: false,
+            cdf_horizon: None,
+            monte_carlo: None,
+            options: None,
+            plan_req: PlanRequest::default(),
+        }
+    }
+}
+
+impl<'a, A: Algorithm, Sp> Study<'a, A, Sp> {
+    /// Selects the scheduler.
+    #[must_use]
+    pub fn daemon(mut self, daemon: Daemon) -> Self {
+        self.daemon = daemon;
+        self
+    }
+
+    /// Supplies the legitimacy specification, making [`Study::run`]
+    /// available.
+    pub fn spec<L>(self, spec: &'a L) -> Study<'a, A, &'a L>
+    where
+        L: Legitimacy<A::State>,
+    {
+        Study {
+            alg: self.alg,
+            spec,
+            daemon: self.daemon,
+            cap: self.cap,
+            verdicts: self.verdicts,
+            expected: self.expected,
+            chain_only: self.chain_only,
+            cdf_horizon: self.cdf_horizon,
+            monte_carlo: self.monte_carlo,
+            options: self.options,
+            plan_req: self.plan_req,
+        }
+    }
+
+    /// Caps the configuration-space size (default: the u32 id width).
+    #[must_use]
+    pub fn cap(mut self, cap: u64) -> Self {
+        self.cap = cap;
+        self
+    }
+
+    /// Enables the checker stage: closure, weak and probabilistic
+    /// convergence always, plus the self-stabilization verdict under each
+    /// fairness assumption in `set`.
+    #[must_use]
+    pub fn verdicts(mut self, set: FairnessSet) -> Self {
+        self.verdicts = Some(set);
+        self
+    }
+
+    /// Enables the exact expected-stabilization-time stage (absorbing
+    /// Markov chain over the shared exploration).
+    #[must_use]
+    pub fn expected_times(mut self) -> Self {
+        self.expected = true;
+        self
+    }
+
+    /// Also records the hitting-time CDF up to `horizon` steps (implies
+    /// [`Study::expected_times`]).
+    #[must_use]
+    pub fn hitting_cdf(mut self, horizon: usize) -> Self {
+        self.expected = true;
+        self.cdf_horizon = Some(horizon);
+        self
+    }
+
+    /// Builds the absorbing chain off the shared exploration — recording
+    /// its `Q`-extraction cost in the report's `chain_build` timing —
+    /// *without* solving for expected times. The bench smoke uses this to
+    /// time the Markov stage on instances whose solves would dominate the
+    /// wall clock; implied by (and subsumed under)
+    /// [`Study::expected_times`].
+    #[must_use]
+    pub fn chain_build(mut self) -> Self {
+        self.chain_only = true;
+        self
+    }
+
+    /// Enables the seeded Monte-Carlo cross-check stage.
+    #[must_use]
+    pub fn monte_carlo(mut self, config: McConfig) -> Self {
+        self.monte_carlo = Some(config);
+        self
+    }
+
+    /// Replaces the auto-planner's choices wholesale with explicit engine
+    /// options (the expert escape hatch). The plan section still records
+    /// the estimates, with `planned = false`.
+    #[must_use]
+    pub fn options(mut self, options: ExploreOptions<A::State>) -> Self {
+        self.options = Some(options);
+        self
+    }
+
+    /// Moves the planner's flat-store byte budget (default
+    /// [`stab_core::engine::DEFAULT_BYTE_BUDGET`]): estimated full-sweep
+    /// flat stores above it select the compressed tier.
+    #[must_use]
+    pub fn byte_budget(mut self, bytes: u64) -> Self {
+        self.plan_req = self.plan_req.with_byte_budget(bytes);
+        self
+    }
+}
+
+fn ms(start: Instant) -> f64 {
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+fn record(verdict: &Verdict) -> VerdictRecord {
+    VerdictRecord {
+        holds: verdict.holds(),
+        witness: verdict.witness().map(|w| w.to_string()),
+    }
+}
+
+impl<'a, A, L> Study<'a, A, &'a L>
+where
+    A: Algorithm + Sync,
+    A::State: Sync,
+    L: Legitimacy<A::State> + Sync,
+{
+    /// Plans, explores **once**, runs the requested stages against the
+    /// shared exploration, and returns the structured report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoreError`] from planning and exploration (space cap,
+    /// enabled-set enumeration, forced-quotient validation). Markov-stage
+    /// failures (absorption not almost sure, solver divergence) are *not*
+    /// errors: they are recorded in the report's
+    /// [`ExpectedSection::Unsolvable`], because "expected time is
+    /// infinite" is a finding, not a crash.
+    ///
+    /// # Panics
+    ///
+    /// The Monte-Carlo stage inherits `stab_sim`'s panics: zero runs, or
+    /// no run converging within its step budget.
+    pub fn run(&self) -> Result<StudyReport, CoreError> {
+        let total_start = Instant::now();
+        let ix = SpaceIndexer::new(self.alg, self.cap)?;
+
+        // ---- Stage 0: plan -------------------------------------------
+        let plan_start = Instant::now();
+        let req = match &self.options {
+            None => self.plan_req.clone(),
+            // Explicit options: the planner still estimates (the report
+            // should say what the run was up against), but every choice
+            // is forced from the supplied options.
+            Some(o) => self
+                .plan_req
+                .clone()
+                .with_quotient(o.quotient)
+                .with_edge_store(o.edge_store),
+        };
+        let plan = Plan::compute(self.alg, &ix, self.daemon, self.spec, &req)?;
+        let opts = match &self.options {
+            Some(o) => o.clone(),
+            None => plan.options(),
+        };
+        let mut decisions: Vec<DecisionRecord> = plan
+            .decisions
+            .iter()
+            .map(|d| DecisionRecord {
+                setting: d.setting.to_string(),
+                choice: d.choice.clone(),
+                auto: d.auto,
+                reason: d.reason.clone(),
+            })
+            .collect();
+        if self.options.is_some() {
+            decisions.push(DecisionRecord {
+                setting: "options".to_string(),
+                choice: match &opts.mode {
+                    ExploreMode::Full => "explicit-full".to_string(),
+                    ExploreMode::Reachable { seeds } => {
+                        format!("explicit-reachable({} seeds)", seeds.len())
+                    }
+                },
+                auto: false,
+                reason: "ExploreOptions supplied by caller; planner estimates are advisory"
+                    .to_string(),
+            });
+        }
+        let planned = self.options.is_none() && plan.fully_auto();
+        let plan_section = PlanSection {
+            planned,
+            total_configs: plan.total_configs,
+            sampled_rows: plan.sampled_rows,
+            est_edges_per_config: plan.est_edges_per_config,
+            est_full_edges: plan.est_full_edges,
+            est_full_flat_bytes: plan.est_full_flat_bytes,
+            byte_budget: plan.byte_budget,
+            quotient: opts.quotient.label().to_string(),
+            group_order: plan.group_order,
+            edge_store: opts.edge_store.label().to_string(),
+            decisions,
+        };
+        let plan_ms = ms(plan_start);
+
+        // ---- Stage 1: the one exploration ----------------------------
+        let explore_start = Instant::now();
+        let ts = TransitionSystem::explore_with(self.alg, &ix, self.daemon, self.spec, &opts)?;
+        let explore_ms = ms(explore_start);
+        let space_section = SpaceSection {
+            configs: ts.n_configs() as u64,
+            represented: ts.represented_configs(),
+            group_order: ts.group_order(),
+            edges: ts.n_edges(),
+            edge_bytes: ts.edge_bytes(),
+            legitimate: ts.legit_count(),
+            deterministic: ts.deterministic(),
+        };
+
+        // ---- Stage 2: Markov Q extraction (borrows the shared system)
+        let mut chain_build_ms = None;
+        let chain = if self.expected || self.chain_only {
+            let start = Instant::now();
+            let chain = AbsorbingChain::from_transition_system(ix.clone(), self.daemon, &ts);
+            chain_build_ms = Some(ms(start));
+            Some(chain)
+        } else {
+            None
+        };
+
+        // ---- Stage 3: checker verdicts (adopts the shared system) ----
+        let space = ExploredSpace::from_transition_system(ix, self.daemon, ts);
+        let mut verdicts_ms = None;
+        let verdicts = self.verdicts.map(|set| {
+            let start = Instant::now();
+            let report = analyze_space(&space, self.alg.name(), self.spec.name());
+            let section = VerdictsSection {
+                closure: record(&report.closure),
+                weak: record(&report.weak),
+                probabilistic: record(&report.probabilistic),
+                self_stabilizing: set
+                    .iter()
+                    .map(|f| FairnessVerdict {
+                        fairness: f.name().to_string(),
+                        verdict: record(report.self_under(f)),
+                    })
+                    .collect(),
+            };
+            verdicts_ms = Some(ms(start));
+            section
+        });
+
+        // ---- Stage 4: exact expected times ---------------------------
+        let mut expected_solve_ms = None;
+        let expected_times = chain.filter(|_| self.expected).map(|chain| {
+            let start = Instant::now();
+            let section = match (chain.expected_steps(), chain.absorption_probabilities()) {
+                (Ok(times), Ok(probs)) => {
+                    let min_absorption = probs.into_iter().fold(1.0f64, f64::min);
+                    ExpectedSection::Solved(ExpectedTimes {
+                        n_transient: chain.n_transient() as u64,
+                        worst_case: times.worst_case(),
+                        average: times.average_weighted(
+                            chain.transient_orbits(),
+                            chain.represented_configs(),
+                        ),
+                        min_absorption,
+                        cdf: self.cdf_horizon.map(|h| chain.hitting_cdf_uniform(h)),
+                    })
+                }
+                (Err(e), _) | (_, Err(e)) => ExpectedSection::Unsolvable {
+                    error: e.to_string(),
+                },
+            };
+            expected_solve_ms = Some(ms(start));
+            section
+        });
+
+        // ---- Stage 5: seeded Monte-Carlo -----------------------------
+        let mut monte_carlo_ms = None;
+        let monte_carlo = self.monte_carlo.as_ref().map(|config| {
+            let start = Instant::now();
+            let batch = estimate(self.alg, self.daemon, self.spec, &config.settings());
+            let section = McSection {
+                runs: batch.runs,
+                failures: batch.failures,
+                seed: config.seed,
+                max_steps: config.max_steps,
+                steps: EstimateRecord::from(&batch.steps),
+                moves: EstimateRecord::from(&batch.moves),
+                rounds: EstimateRecord::from(&batch.rounds),
+            };
+            monte_carlo_ms = Some(ms(start));
+            section
+        });
+
+        Ok(StudyReport {
+            algorithm: self.alg.name(),
+            spec: self.spec.name(),
+            daemon: self.daemon,
+            plan: plan_section,
+            space: space_section,
+            verdicts,
+            expected_times,
+            monte_carlo,
+            timings_ms: Timings {
+                plan: plan_ms,
+                explore: explore_ms,
+                verdicts: verdicts_ms,
+                chain_build: chain_build_ms,
+                expected_solve: expected_solve_ms,
+                monte_carlo: monte_carlo_ms,
+                total: ms(total_start),
+            },
+        })
+    }
+}

@@ -1,0 +1,293 @@
+//! Differential suite for the `Study` pipeline: one `Study::run()` over a
+//! shared exploration must reproduce the legacy three-call pipeline
+//! (`stab_checker::analyze`, `AbsorbingChain::build`,
+//! `stab_sim::montecarlo::estimate`) **bit for bit** — verdicts with their
+//! witnesses, hitting-time summaries, CDFs, and Monte-Carlo estimates —
+//! across the algorithm zoo under every daemon. Every report is also
+//! pushed through its JSON serialization and back.
+
+use weak_stabilization::study::{ExpectedSection, McConfig, Study, StudyReport};
+
+use stab_algorithms::{
+    DijkstraRing, GreedyColoring, HermanRing, TokenCirculation, TwoProcessToggle,
+};
+use stab_checker::{analyze, StabilizationReport, Verdict};
+use stab_core::engine::ExploreOptions;
+use stab_core::{
+    Algorithm, Daemon, Fairness, FairnessSet, Legitimacy, ProjectedLegitimacy, Transformed,
+};
+use stab_graph::builders;
+use stab_markov::AbsorbingChain;
+use stab_sim::montecarlo::{estimate, BatchSettings};
+
+const CAP: u64 = 1 << 22;
+const CDF_HORIZON: usize = 60;
+
+fn assert_verdict_matches(
+    study: &weak_stabilization::study::VerdictRecord,
+    legacy: &Verdict,
+    label: &str,
+) {
+    assert_eq!(study.holds, legacy.holds(), "{label}: holds");
+    assert_eq!(
+        study.witness,
+        legacy.witness().map(|w| w.to_string()),
+        "{label}: witness"
+    );
+}
+
+fn assert_bits_equal(a: f64, b: f64, label: &str) {
+    assert_eq!(a.to_bits(), b.to_bits(), "{label}: {a} vs {b}");
+}
+
+fn roundtrip(report: &StudyReport, label: &str) {
+    let text = report.to_json_string();
+    let back = StudyReport::from_json_str(&text)
+        .unwrap_or_else(|e| panic!("{label}: JSON parse failed: {e}"));
+    assert_eq!(&back, report, "{label}: JSON round trip");
+    assert_eq!(back.to_json_string(), text, "{label}: render fixed point");
+}
+
+/// The full differential for one `(algorithm, spec, daemon)` triple, on
+/// the legacy pipeline's own exploration shape (explicit full sweep, so
+/// value equality is bit-for-bit by construction sharing).
+fn differential<A, L>(alg: &A, spec: &L, daemon: Daemon)
+where
+    A: Algorithm + Sync,
+    A::State: Sync,
+    L: Legitimacy<A::State> + Sync,
+{
+    let label = format!("{} under {daemon}", alg.name());
+
+    let report = Study::of(alg)
+        .daemon(daemon)
+        .spec(spec)
+        .cap(CAP)
+        .verdicts(FairnessSet::ALL)
+        .hitting_cdf(CDF_HORIZON)
+        .options(ExploreOptions::full())
+        .run()
+        .unwrap_or_else(|e| panic!("{label}: study failed: {e}"));
+    assert!(!report.plan.planned, "{label}: explicit options ≠ planned");
+    roundtrip(&report, &label);
+
+    // ---- Checker stage vs stab_checker::analyze ----------------------
+    let legacy: StabilizationReport = analyze(alg, daemon, spec, CAP).unwrap();
+    assert_eq!(report.space.configs, legacy.states, "{label}: states");
+    assert_eq!(
+        report.space.legitimate, legacy.legitimate,
+        "{label}: legitimate"
+    );
+    assert_eq!(
+        report.space.deterministic, legacy.deterministic,
+        "{label}: determinism audit"
+    );
+    let verdicts = report.verdicts.as_ref().expect("verdict stage ran");
+    assert_verdict_matches(&verdicts.closure, &legacy.closure, &label);
+    assert_verdict_matches(&verdicts.weak, &legacy.weak, &label);
+    assert_verdict_matches(&verdicts.probabilistic, &legacy.probabilistic, &label);
+    for fairness in Fairness::ALL {
+        assert_verdict_matches(
+            verdicts.self_under(fairness).unwrap(),
+            legacy.self_under(fairness),
+            &format!("{label} @ {fairness}"),
+        );
+    }
+
+    // ---- Markov stage vs AbsorbingChain::build -----------------------
+    let chain = AbsorbingChain::build(alg, daemon, spec, CAP).unwrap();
+    let expected = report.expected_times.as_ref().expect("expected stage ran");
+    match chain.expected_steps() {
+        Ok(times) => {
+            let solved = expected
+                .solved()
+                .unwrap_or_else(|| panic!("{label}: legacy solved, study did not"));
+            assert_eq!(
+                solved.n_transient,
+                chain.n_transient() as u64,
+                "{label}: transient count"
+            );
+            assert_bits_equal(
+                solved.worst_case,
+                times.worst_case(),
+                &format!("{label}: worst case"),
+            );
+            assert_bits_equal(
+                solved.average,
+                times.average_uniform(chain.n_configs()),
+                &format!("{label}: uniform average"),
+            );
+            let min_absorb = chain
+                .absorption_probabilities()
+                .unwrap()
+                .into_iter()
+                .fold(1.0f64, f64::min);
+            assert_bits_equal(
+                solved.min_absorption,
+                min_absorb,
+                &format!("{label}: min absorption"),
+            );
+            let cdf = solved.cdf.as_ref().expect("cdf requested");
+            let legacy_cdf = chain.hitting_cdf_uniform(CDF_HORIZON);
+            assert_eq!(cdf.len(), legacy_cdf.len(), "{label}: cdf length");
+            for (k, (a, b)) in cdf.iter().zip(&legacy_cdf).enumerate() {
+                assert_bits_equal(*a, *b, &format!("{label}: cdf[{k}]"));
+            }
+        }
+        Err(e) => match expected {
+            ExpectedSection::Unsolvable { error } => {
+                assert_eq!(error, &e.to_string(), "{label}: unsolvable reason");
+            }
+            ExpectedSection::Solved(_) => {
+                panic!("{label}: legacy chain unsolvable ({e}), study solved")
+            }
+        },
+    }
+}
+
+#[test]
+fn token_circulation_matches_legacy_under_every_daemon() {
+    let alg = TokenCirculation::on_ring(&builders::ring(4)).unwrap();
+    let spec = alg.legitimacy();
+    for daemon in Daemon::ALL {
+        differential(&alg, &spec, daemon);
+    }
+}
+
+#[test]
+fn two_process_toggle_matches_legacy_under_every_daemon() {
+    let alg = TwoProcessToggle::new();
+    let spec = alg.legitimacy();
+    for daemon in Daemon::ALL {
+        // Includes the central-daemon case, where absorption fails and the
+        // study must report the same typed reason the legacy solver does.
+        differential(&alg, &spec, daemon);
+    }
+}
+
+#[test]
+fn coloring_matches_legacy_under_every_daemon() {
+    let g = builders::path(3);
+    let alg = GreedyColoring::new(&g).unwrap();
+    let spec = alg.legitimacy();
+    for daemon in Daemon::ALL {
+        differential(&alg, &spec, daemon);
+    }
+}
+
+#[test]
+fn herman_matches_legacy_under_synchronous() {
+    let alg = HermanRing::on_ring(&builders::ring(7)).unwrap();
+    let spec = alg.legitimacy();
+    differential(&alg, &spec, Daemon::Synchronous);
+}
+
+#[test]
+fn dijkstra_matches_legacy_under_central() {
+    let alg = DijkstraRing::on_ring(&builders::ring(4)).unwrap();
+    let spec = alg.legitimacy();
+    differential(&alg, &spec, Daemon::Central);
+}
+
+#[test]
+fn transformed_toggle_matches_legacy_under_synchronous() {
+    let alg = Transformed::new(TwoProcessToggle::new());
+    let spec = ProjectedLegitimacy::new(TwoProcessToggle::new().legitimacy());
+    differential(&alg, &spec, Daemon::Synchronous);
+}
+
+/// The Monte-Carlo stage is the same seeded batch the legacy call runs:
+/// identical settings must give identical estimates, not just close ones.
+#[test]
+fn monte_carlo_stage_matches_legacy_estimate_bit_for_bit() {
+    let alg = Transformed::new(TwoProcessToggle::new());
+    let spec = ProjectedLegitimacy::new(TwoProcessToggle::new().legitimacy());
+    // A seed above 2^53 doubles as the integer-fidelity probe: it must
+    // survive the JSON round trip exactly (u64 fields never route
+    // through f64).
+    let config = McConfig {
+        runs: 500,
+        max_steps: 100_000,
+        seed: (1 << 60) + 3,
+        threads: 2,
+    };
+    let report = Study::of(&alg)
+        .daemon(Daemon::Synchronous)
+        .spec(&spec)
+        .cap(CAP)
+        .monte_carlo(config.clone())
+        .run()
+        .unwrap();
+    let mc = report.monte_carlo.as_ref().expect("mc stage ran");
+    let legacy = estimate(
+        &alg,
+        Daemon::Synchronous,
+        &spec,
+        &BatchSettings {
+            runs: config.runs,
+            max_steps: config.max_steps,
+            seed: config.seed,
+            threads: config.threads,
+        },
+    );
+    assert_eq!(mc.runs, legacy.runs);
+    assert_eq!(mc.failures, legacy.failures);
+    assert_bits_equal(mc.steps.mean, legacy.steps.mean, "steps mean");
+    assert_bits_equal(mc.steps.std_err, legacy.steps.std_err, "steps stderr");
+    assert_bits_equal(mc.moves.mean, legacy.moves.mean, "moves mean");
+    assert_bits_equal(mc.rounds.mean, legacy.rounds.mean, "rounds mean");
+    assert_eq!(mc.seed, (1 << 60) + 3, "u64 seed recorded exactly");
+    roundtrip(&report, "mc stage");
+}
+
+/// A stage that was not requested contributes nothing: no section, no
+/// timing — and the report still serializes.
+#[test]
+fn unrequested_stages_are_absent() {
+    let alg = TwoProcessToggle::new();
+    let spec = alg.legitimacy();
+    let report = Study::of(&alg)
+        .daemon(Daemon::Distributed)
+        .spec(&spec)
+        .cap(CAP)
+        .run()
+        .unwrap();
+    assert!(report.verdicts.is_none());
+    assert!(report.expected_times.is_none());
+    assert!(report.monte_carlo.is_none());
+    assert!(report.timings_ms.verdicts.is_none());
+    assert!(report.timings_ms.chain_build.is_none());
+    assert!(report.timings_ms.expected_solve.is_none());
+    assert!(report.timings_ms.monte_carlo.is_none());
+    assert!(report.space.configs > 0);
+    roundtrip(&report, "counters-only study");
+}
+
+/// Narrowed verdict sets report exactly the requested fairness rows.
+#[test]
+fn verdict_set_selects_fairness_rows() {
+    let alg = TokenCirculation::on_ring(&builders::ring(4)).unwrap();
+    let spec = alg.legitimacy();
+    let report = Study::of(&alg)
+        .daemon(Daemon::Distributed)
+        .spec(&spec)
+        .cap(CAP)
+        .verdicts(FairnessSet::of(&[Fairness::StronglyFair, Fairness::Gouda]))
+        .run()
+        .unwrap();
+    let verdicts = report.verdicts.as_ref().unwrap();
+    assert_eq!(verdicts.self_stabilizing.len(), 2);
+    assert!(verdicts.self_under(Fairness::Unfair).is_none());
+    assert!(verdicts.self_under(Fairness::StronglyFair).is_some());
+    assert!(verdicts.self_under(Fairness::Gouda).is_some());
+    roundtrip(&report, "narrowed verdicts");
+}
+
+/// Malformed and wrong-schema documents are typed parse errors.
+#[test]
+fn parse_rejects_wrong_schema_and_garbage() {
+    assert!(StudyReport::from_json_str("not json").is_err());
+    assert!(StudyReport::from_json_str("{}").is_err());
+    let err = StudyReport::from_json_str(r#"{"schema": "study_report/v0"}"#).unwrap_err();
+    assert!(err.contains("study_report/v0"), "{err}");
+}

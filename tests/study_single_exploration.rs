@@ -1,0 +1,176 @@
+//! The `Study` contract the whole redesign exists for: **one**
+//! `Study::run()` performs exactly one engine exploration, shared by the
+//! checker, Markov and Monte-Carlo stages — and the auto-planner's
+//! choices on a large instance (Herman N=13: symmetry quotient plus
+//! compressed edge store, both chosen automatically) reproduce the
+//! hand-tuned PR 4 pipeline's exact expected times bit for bit.
+//!
+//! The exploration counter is process-wide, and libtest runs the tests
+//! of this binary on parallel threads: every counter window below holds
+//! [`COUNTER_LOCK`] so a sibling test's explorations can never land
+//! inside it (living in a separate integration-test binary isolates us
+//! from the rest of the suite, but not from ourselves).
+
+use std::sync::Mutex;
+
+use weak_stabilization::study::Study;
+
+use stab_algorithms::{HermanRing, TokenCirculation};
+use stab_core::engine::{
+    explore_count, EdgeStoreKind, ExploreOptions, Quotient, DEFAULT_BYTE_BUDGET,
+};
+use stab_core::{Daemon, FairnessSet};
+use stab_graph::builders;
+use stab_markov::AbsorbingChain;
+
+/// Serializes the `explore_count()` before/after windows across this
+/// binary's parallel test threads.
+static COUNTER_LOCK: Mutex<()> = Mutex::new(());
+
+/// All three stages on one exploration: the counter advances exactly
+/// once per `run()`. (The legacy pipeline paid three explorations for
+/// the same report — one per stage.)
+#[test]
+fn one_run_is_one_exploration() {
+    let _window = COUNTER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let alg = TokenCirculation::on_ring(&builders::ring(4)).unwrap();
+    let spec = alg.legitimacy();
+
+    let before = explore_count();
+    let report = Study::of(&alg)
+        .daemon(Daemon::Distributed)
+        .spec(&spec)
+        .cap(1 << 22)
+        .verdicts(FairnessSet::ALL)
+        .expected_times()
+        .monte_carlo(weak_stabilization::study::McConfig {
+            runs: 50,
+            max_steps: 100_000,
+            seed: 7,
+            threads: 1,
+        })
+        .options(ExploreOptions::full())
+        .run()
+        .unwrap();
+    let after = explore_count();
+
+    assert_eq!(
+        after - before,
+        1,
+        "checker, Markov and sim stages must share ONE exploration"
+    );
+    assert!(report.verdicts.is_some());
+    assert!(report.expected_times.is_some());
+    assert!(report.monte_carlo.is_some());
+}
+
+/// Auto-planned runs pay one extra *gate* consultation but still exactly
+/// one exploration.
+#[test]
+fn auto_planned_run_is_one_exploration() {
+    let _window = COUNTER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let alg = HermanRing::on_ring(&builders::ring(7)).unwrap();
+    let spec = alg.legitimacy();
+
+    let before = explore_count();
+    let report = Study::of(&alg)
+        .daemon(Daemon::Synchronous)
+        .spec(&spec)
+        .verdicts(FairnessSet::of(&[stab_core::Fairness::Gouda]))
+        .expected_times()
+        .run()
+        .unwrap();
+    let after = explore_count();
+
+    assert_eq!(after - before, 1, "planning must not explore");
+    assert!(report.plan.planned, "no overrides: fully auto");
+    // The equivariance gate admits Herman's full dihedral group.
+    assert_eq!(report.plan.quotient, "automorphism");
+    assert_eq!(report.plan.group_order, 14);
+    assert_eq!(report.space.represented, 1 << 7);
+}
+
+/// The acceptance case: Herman N=13 under the default byte budget. The
+/// planner must pick the quotient *and* the compressed tier on its own
+/// (3^13 estimated edges ≈ 38 MB flat > the 32 MiB default budget), and
+/// the resulting expected times must equal the hand-tuned PR 4 pipeline
+/// (same options through `AbsorbingChain::build_with`) bit for bit —
+/// plus the PR 4 rotation-quotient flat-tier arm up to solver tolerance.
+#[test]
+fn herman13_auto_plan_picks_quotient_and_compressed_and_matches_pr4() {
+    let alg = HermanRing::on_ring(&builders::ring(13)).unwrap();
+    let spec = alg.legitimacy();
+
+    let report = Study::of(&alg)
+        .daemon(Daemon::Synchronous)
+        .spec(&spec)
+        .expected_times()
+        .run()
+        .unwrap();
+
+    // Both decisions were automatic, and both picked the scaling option.
+    assert!(report.plan.planned);
+    assert_eq!(report.plan.byte_budget, DEFAULT_BYTE_BUDGET);
+    assert_eq!(report.plan.quotient, "automorphism", "dihedral on rings");
+    assert_eq!(report.plan.group_order, 26);
+    assert_eq!(report.plan.edge_store, "compressed");
+    assert!(
+        report.plan.est_full_flat_bytes > DEFAULT_BYTE_BUDGET,
+        "the estimate is what forces the compressed tier: {} bytes",
+        report.plan.est_full_flat_bytes
+    );
+    for decision in &report.plan.decisions {
+        assert!(decision.auto, "unexpected forced decision: {decision:?}");
+    }
+    assert_eq!(report.space.represented, 1 << 13);
+    assert!(report.space.configs < (1 << 13) / 2);
+
+    // Bit-for-bit against the expert pipeline on the same (auto-chosen)
+    // options: shared-exploration refactor changed no value.
+    let opts = ExploreOptions::full()
+        .with_quotient(Quotient::Automorphism)
+        .with_edge_store(EdgeStoreKind::Compressed);
+    let chain =
+        AbsorbingChain::build_with(&alg, Daemon::Synchronous, &spec, 1 << 22, &opts).unwrap();
+    let times = chain.expected_steps().unwrap();
+    let solved = report.expected_times.as_ref().unwrap().solved().unwrap();
+    assert_eq!(solved.n_transient, chain.n_transient() as u64);
+    assert_eq!(
+        solved.worst_case.to_bits(),
+        times.worst_case().to_bits(),
+        "worst case must be bit-for-bit"
+    );
+    assert_eq!(
+        solved.average.to_bits(),
+        times
+            .average_weighted(chain.transient_orbits(), chain.represented_configs())
+            .to_bits(),
+        "uniform average must be bit-for-bit"
+    );
+
+    // And against PR 4's committed exp_expected_time arm (rotation
+    // quotient, flat tier) up to solver tolerance: a different
+    // representative set and solver path, same chain semantics.
+    let pr4_opts = ExploreOptions::full()
+        .with_ring_quotient()
+        .with_edge_store(EdgeStoreKind::Flat);
+    let pr4_chain =
+        AbsorbingChain::build_with(&alg, Daemon::Synchronous, &spec, 1 << 22, &pr4_opts).unwrap();
+    let pr4_times = pr4_chain.expected_steps().unwrap();
+    let pr4_avg = pr4_times.average_weighted(
+        pr4_chain.transient_orbits(),
+        pr4_chain.represented_configs(),
+    );
+    assert!(
+        (solved.worst_case - pr4_times.worst_case()).abs() < 1e-6,
+        "{} vs PR4 {}",
+        solved.worst_case,
+        pr4_times.worst_case()
+    );
+    assert!(
+        (solved.average - pr4_avg).abs() < 1e-6,
+        "{} vs PR4 {}",
+        solved.average,
+        pr4_avg
+    );
+}
