@@ -191,8 +191,13 @@ fn main() {
             alg.name(),
             "synchronous".into(),
             n.to_string(),
-            report.space.configs.to_string(),
-            report.space.represented.to_string(),
+            report.space.as_ref().expect("explored").configs.to_string(),
+            report
+                .space
+                .as_ref()
+                .expect("explored")
+                .represented
+                .to_string(),
             report.plan.edge_store.clone(),
             fmt3(times.worst_case),
             fmt3(times.average),

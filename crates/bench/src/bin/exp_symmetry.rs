@@ -65,6 +65,7 @@ fn main() {
     // equivariance under the order-reversing mirror.
     let g = builders::path(4);
     let canonical_mirror = Automorphism::all(&g)
+        .unwrap()
         .into_iter()
         .find(|a| !a.is_identity())
         .unwrap();
@@ -125,6 +126,7 @@ fn main() {
         (builders::path(4), "4-chain"),
     ] {
         let mirror = Automorphism::all(&g)
+            .unwrap()
             .into_iter()
             .find(|a| !a.is_identity())
             .unwrap();

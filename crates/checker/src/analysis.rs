@@ -4,7 +4,7 @@
 
 use std::fmt;
 
-use stab_core::engine::BitSet;
+use stab_core::engine::{BitSet, Budget};
 use stab_core::{Algorithm, CoreError, Daemon, Fairness, Legitimacy, LocalState};
 
 use crate::scc;
@@ -72,8 +72,31 @@ pub fn analyze_space<S: LocalState>(
     algorithm: String,
     spec: String,
 ) -> StabilizationReport {
+    analyze_space_budgeted(space, algorithm, spec, &Budget::unlimited())
+        .expect("unlimited budget cannot be exhausted")
+}
+
+/// [`analyze_space`] under a cooperative [`Budget`]: the reachability
+/// closures and every Tarjan walk probe the `verdicts` stage, so an
+/// exhausted wall-clock or state budget yields a typed
+/// [`CoreError::BudgetExhausted`] instead of an unbounded analysis.
+///
+/// # Errors
+///
+/// [`CoreError::BudgetExhausted`] when a probe trips; no partial report is
+/// produced (the facade's `Study` records the stage as degraded instead).
+pub fn analyze_space_budgeted<S: LocalState>(
+    space: &ExploredSpace<S>,
+    algorithm: String,
+    spec: String,
+    budget: &Budget,
+) -> Result<StabilizationReport, CoreError> {
+    let states = u64::from(space.total());
+    budget.probe("verdicts", 0, 0)?;
     let reachable = space.reachable_from_initial();
+    budget.probe("verdicts", 0, states)?;
     let can_reach = space.can_reach_legit();
+    budget.probe("verdicts", 0, states)?;
 
     let closure = check_closure(space);
     let weak = check_weak(space, &can_reach);
@@ -84,16 +107,16 @@ pub fn analyze_space<S: LocalState>(
     // so its recurrent behaviour lives entirely outside L.
     let alive = reachable.and_not(space.transition_system().legit());
 
-    let self_unfair = fairness_verdict(space, &alive, &deadlock, FairKind::Unfair);
-    let self_weakly_fair = fairness_verdict(space, &alive, &deadlock, FairKind::Weak);
-    let self_strongly_fair = fairness_verdict(space, &alive, &deadlock, FairKind::Strong);
-    let self_gouda = fairness_verdict(space, &alive, &deadlock, FairKind::Gouda);
+    let self_unfair = fairness_verdict(space, &alive, &deadlock, FairKind::Unfair, budget)?;
+    let self_weakly_fair = fairness_verdict(space, &alive, &deadlock, FairKind::Weak, budget)?;
+    let self_strongly_fair = fairness_verdict(space, &alive, &deadlock, FairKind::Strong, budget)?;
+    let self_gouda = fairness_verdict(space, &alive, &deadlock, FairKind::Gouda, budget)?;
 
     // Probabilistic convergence via the independent a.s.-reachability
     // criterion: from every reachable configuration, L is reachable.
     let probabilistic = check_probabilistic(space, &reachable, &can_reach);
 
-    StabilizationReport {
+    Ok(StabilizationReport {
         algorithm,
         spec,
         daemon: space.daemon(),
@@ -107,7 +130,7 @@ pub fn analyze_space<S: LocalState>(
         self_strongly_fair,
         self_gouda,
         probabilistic,
-    }
+    })
 }
 
 /// Strong closure: every step from `L` stays in `L`.
@@ -179,19 +202,20 @@ fn fairness_verdict<S: LocalState>(
     alive: &BitSet,
     deadlock: &Option<u32>,
     kind: FairKind,
-) -> Verdict {
+    budget: &Budget,
+) -> Result<Verdict, CoreError> {
     if let Some(id) = *deadlock {
-        return Verdict::fail(Witness::DeadlockOutsideLegitimate {
+        return Ok(Verdict::fail(Witness::DeadlockOutsideLegitimate {
             config: space.render(id),
-        });
+        }));
     }
     let comp = match kind {
-        FairKind::Unfair => find_any_cycle_component(space, alive),
-        FairKind::Weak => find_weakly_fair_component(space, alive),
-        FairKind::Strong => find_strongly_fair_component(space, alive),
-        FairKind::Gouda => find_closed_component(space, alive),
+        FairKind::Unfair => find_any_cycle_component(space, alive, budget)?,
+        FairKind::Weak => find_weakly_fair_component(space, alive, budget)?,
+        FairKind::Strong => find_strongly_fair_component(space, alive, budget)?,
+        FairKind::Gouda => find_closed_component(space, alive, budget)?,
     };
-    match comp {
+    Ok(match comp {
         None => Verdict::pass(),
         Some(comp) => {
             let in_comp = scc::membership(space.total(), comp.as_slice());
@@ -204,17 +228,18 @@ fn fairness_verdict<S: LocalState>(
                 cycle: cycle.into_iter().map(|id| space.render(id)).collect(),
             })
         }
-    }
+    })
 }
 
 /// Any SCC with an internal edge: an (unfair) infinite execution.
 fn find_any_cycle_component<S: LocalState>(
     space: &ExploredSpace<S>,
     alive: &BitSet,
-) -> Option<Vec<u32>> {
-    scc::sccs(space, alive)
+    budget: &Budget,
+) -> Result<Option<Vec<u32>>, CoreError> {
+    Ok(scc::sccs_budgeted(space, alive, budget)?
         .into_iter()
-        .find(|comp| scc::has_internal_edge(space, comp, alive))
+        .find(|comp| scc::has_internal_edge(space, comp, alive)))
 }
 
 /// Generalized-Büchi check for weak fairness: a component supports a
@@ -224,24 +249,27 @@ fn find_any_cycle_component<S: LocalState>(
 fn find_weakly_fair_component<S: LocalState>(
     space: &ExploredSpace<S>,
     alive: &BitSet,
-) -> Option<Vec<u32>> {
-    scc::sccs(space, alive).into_iter().find(|comp| {
-        if !scc::has_internal_edge(space, comp, alive) {
-            return false;
-        }
-        let in_comp = scc::membership(space.total(), comp);
-        let mut always_enabled = u64::MAX;
-        let mut moved = 0u64;
-        for &v in comp {
-            always_enabled &= space.enabled_mask(v);
-            for e in space.edge_iter(v) {
-                if in_comp.get(e.to as usize) {
-                    moved |= e.movers;
+    budget: &Budget,
+) -> Result<Option<Vec<u32>>, CoreError> {
+    Ok(scc::sccs_budgeted(space, alive, budget)?
+        .into_iter()
+        .find(|comp| {
+            if !scc::has_internal_edge(space, comp, alive) {
+                return false;
+            }
+            let in_comp = scc::membership(space.total(), comp);
+            let mut always_enabled = u64::MAX;
+            let mut moved = 0u64;
+            for &v in comp {
+                always_enabled &= space.enabled_mask(v);
+                for e in space.edge_iter(v) {
+                    if in_comp.get(e.to as usize) {
+                        moved |= e.movers;
+                    }
                 }
             }
-        }
-        always_enabled & !moved == 0
-    })
+            always_enabled & !moved == 0
+        }))
 }
 
 /// Streett-style recursive refinement for strong fairness: a component is
@@ -251,8 +279,9 @@ fn find_weakly_fair_component<S: LocalState>(
 fn find_strongly_fair_component<S: LocalState>(
     space: &ExploredSpace<S>,
     alive: &BitSet,
-) -> Option<Vec<u32>> {
-    for comp in scc::sccs(space, alive) {
+    budget: &Budget,
+) -> Result<Option<Vec<u32>>, CoreError> {
+    for comp in scc::sccs_budgeted(space, alive, budget)? {
         if !scc::has_internal_edge(space, &comp, alive) {
             continue;
         }
@@ -269,7 +298,7 @@ fn find_strongly_fair_component<S: LocalState>(
         }
         let bad = enabled_union & !moved;
         if bad == 0 {
-            return Some(comp);
+            return Ok(Some(comp));
         }
         // An execution confined to this component that starves a `bad`
         // process must avoid the configurations where it is enabled.
@@ -286,11 +315,11 @@ fn find_strongly_fair_component<S: LocalState>(
             shrunk,
             "a bad process is enabled somewhere in the component"
         );
-        if let Some(found) = find_strongly_fair_component(space, &refined) {
-            return Some(found);
+        if let Some(found) = find_strongly_fair_component(space, &refined, budget)? {
+            return Ok(Some(found));
         }
     }
-    None
+    Ok(None)
 }
 
 /// Gouda fairness: a non-converging Gouda-fair execution requires a
@@ -298,15 +327,18 @@ fn find_strongly_fair_component<S: LocalState>(
 fn find_closed_component<S: LocalState>(
     space: &ExploredSpace<S>,
     alive: &BitSet,
-) -> Option<Vec<u32>> {
-    scc::sccs(space, alive).into_iter().find(|comp| {
-        if !scc::has_internal_edge(space, comp, alive) {
-            return false;
-        }
-        let in_comp = scc::membership(space.total(), comp);
-        comp.iter()
-            .all(|&v| space.edge_iter(v).all(|e| in_comp.get(e.to as usize)))
-    })
+    budget: &Budget,
+) -> Result<Option<Vec<u32>>, CoreError> {
+    Ok(scc::sccs_budgeted(space, alive, budget)?
+        .into_iter()
+        .find(|comp| {
+            if !scc::has_internal_edge(space, comp, alive) {
+                return false;
+            }
+            let in_comp = scc::membership(space.total(), comp);
+            comp.iter()
+                .all(|&v| space.edge_iter(v).all(|e| in_comp.get(e.to as usize)))
+        }))
 }
 
 /// The full verdict sheet of one `(algorithm, daemon, specification)`
@@ -557,6 +589,33 @@ mod tests {
                 r.daemon
             );
         }
+    }
+
+    #[test]
+    fn budgeted_analysis_degrades_instead_of_running_unbounded() {
+        let alg = TwoProcessToggle::new();
+        let spec = alg.legitimacy();
+        let space = ExploredSpace::explore(&alg, Daemon::Distributed, &spec, CAP).unwrap();
+        let expired = Budget::unlimited().with_wall_time(std::time::Duration::ZERO);
+        let err = analyze_space_budgeted(&space, "toggle".into(), "all-true".into(), &expired)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::BudgetExhausted {
+                stage: "verdicts",
+                ..
+            }
+        ));
+        // An unlimited budget reproduces the plain analysis verbatim.
+        let plain = analyze_space(&space, "toggle".into(), "all-true".into());
+        let budgeted = analyze_space_budgeted(
+            &space,
+            "toggle".into(),
+            "all-true".into(),
+            &Budget::unlimited(),
+        )
+        .unwrap();
+        assert_eq!(plain.table_row(), budgeted.table_row());
     }
 
     #[test]

@@ -53,7 +53,9 @@ pub mod symmetry;
 pub mod theorems;
 pub mod verdict;
 
-pub use analysis::{analyze, analyze_space, analyze_with, StabilizationReport};
+pub use analysis::{
+    analyze, analyze_space, analyze_space_budgeted, analyze_with, StabilizationReport,
+};
 pub use space::ExploredSpace;
 pub use structure::{scc_summary, SccSummary};
 pub use symmetry::{Automorphism, SymmetryVerdict};

@@ -6,16 +6,38 @@
 //! over the flat CSR and the compressed byte-stream tiers; the `alive`
 //! masks are bit-packed [`BitSet`]s, matching the engine's label sets.
 
-use stab_core::engine::{BitSet, EdgeIter};
-use stab_core::LocalState;
+use stab_core::engine::{BitSet, Budget, EdgeIter};
+use stab_core::{CoreError, LocalState};
 
 use crate::space::ExploredSpace;
+
+/// Nodes discovered between two cooperative budget probes of
+/// [`sccs_budgeted`].
+const PROBE_STRIDE: u32 = 4096;
 
 /// Iterative Tarjan SCC over the subgraph induced by `alive`. Returns the
 /// components (each a list of configuration ids); single nodes without a
 /// self-loop are included as singleton components.
 pub fn sccs<S: LocalState>(space: &ExploredSpace<S>, alive: &BitSet) -> Vec<Vec<u32>> {
+    sccs_budgeted(space, alive, &Budget::unlimited()).expect("unlimited budget cannot be exhausted")
+}
+
+/// [`sccs`] under a cooperative [`Budget`]: probes the `verdicts` stage at
+/// entry and every [`PROBE_STRIDE`] discovered nodes, so an exhausted
+/// wall-clock or state budget surfaces as
+/// [`CoreError::BudgetExhausted`] instead of an unbounded walk.
+///
+/// # Errors
+///
+/// [`CoreError::BudgetExhausted`] when a probe trips; the partially built
+/// component list is discarded.
+pub fn sccs_budgeted<S: LocalState>(
+    space: &ExploredSpace<S>,
+    alive: &BitSet,
+    budget: &Budget,
+) -> Result<Vec<Vec<u32>>, CoreError> {
     let n = space.total() as usize;
+    budget.probe("verdicts", 0, 0)?;
     debug_assert_eq!(alive.len(), n);
     let mut index = vec![u32::MAX; n];
     let mut low = vec![0u32; n];
@@ -35,6 +57,9 @@ pub fn sccs<S: LocalState>(space: &ExploredSpace<S>, alive: &BitSet) -> Vec<Vec<
         index[start as usize] = next_index;
         low[start as usize] = next_index;
         next_index += 1;
+        if next_index.is_multiple_of(PROBE_STRIDE) {
+            budget.probe("verdicts", 0, next_index as u64)?;
+        }
         stack.push(start);
         on_stack.insert(start as usize);
         while let Some(frame) = call.last_mut() {
@@ -49,6 +74,9 @@ pub fn sccs<S: LocalState>(space: &ExploredSpace<S>, alive: &BitSet) -> Vec<Vec<
                         index[w as usize] = next_index;
                         low[w as usize] = next_index;
                         next_index += 1;
+                        if next_index.is_multiple_of(PROBE_STRIDE) {
+                            budget.probe("verdicts", 0, next_index as u64)?;
+                        }
                         stack.push(w);
                         on_stack.insert(w as usize);
                         call.push((w, space.edge_iter(w)));
@@ -78,7 +106,7 @@ pub fn sccs<S: LocalState>(space: &ExploredSpace<S>, alive: &BitSet) -> Vec<Vec<
             }
         }
     }
-    out
+    Ok(out)
 }
 
 /// Whether a component contains at least one internal edge (including
@@ -180,6 +208,21 @@ mod tests {
         let comps = sccs(&space, &alive);
         assert_eq!(comps.len(), 3);
         assert!(comps.iter().all(|c| !has_internal_edge(&space, c, &alive)));
+    }
+
+    #[test]
+    fn exhausted_budget_stops_tarjan_with_typed_error() {
+        let space = toggle_space();
+        let alive = BitSet::full(space.total() as usize);
+        let budget = Budget::unlimited().with_wall_time(std::time::Duration::ZERO);
+        assert!(matches!(
+            sccs_budgeted(&space, &alive, &budget),
+            Err(CoreError::BudgetExhausted {
+                stage: "verdicts",
+                resource: "wall-time-ms",
+                ..
+            })
+        ));
     }
 
     #[test]

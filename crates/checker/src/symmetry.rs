@@ -58,11 +58,13 @@ impl Automorphism {
     ///   of searching `(k+1)!` node orders;
     /// * anything else — brute-force search, still capped at 9 nodes.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the group itself is impractically large (a star with more
-    /// than 9 leaves) or an unrecognised topology has more than 9 nodes.
-    pub fn all(g: &Graph) -> Vec<Automorphism> {
+    /// [`CoreError::SymmetryGroupTooLarge`] when the group itself is
+    /// impractically large (a star with more than 9 leaves) or an
+    /// unrecognised topology has more than 9 nodes (this used to panic).
+    pub fn all(g: &Graph) -> Result<Vec<Automorphism>, CoreError> {
+        const CAP: usize = 9;
         if let Ok(rot) = RingRotations::of(g) {
             let n = g.n();
             let refl = rot.reflection();
@@ -76,14 +78,15 @@ impl Automorphism {
             debug_assert!(out
                 .iter()
                 .all(|a| Automorphism::new(g, a.perm.clone()).is_some()));
-            return out;
+            return Ok(out);
         }
         if let Some((_, leaves)) = star_shape(g) {
-            assert!(
-                leaves.len() <= 9,
-                "the {}-leaf star's automorphism group is impractically large",
-                leaves.len()
-            );
+            if leaves.len() > CAP {
+                return Err(CoreError::SymmetryGroupTooLarge {
+                    size: leaves.len(),
+                    cap: CAP,
+                });
+            }
             let mut out = Vec::new();
             let mut arrangement = leaves.clone();
             permute(&mut arrangement, 0, &mut |p| {
@@ -96,12 +99,14 @@ impl Automorphism {
             debug_assert!(out
                 .iter()
                 .all(|a| Automorphism::new(g, a.perm.clone()).is_some()));
-            return out;
+            return Ok(out);
         }
-        assert!(
-            g.n() <= 9,
-            "brute-force automorphism search is capped at 9 nodes"
-        );
+        if g.n() > CAP {
+            return Err(CoreError::SymmetryGroupTooLarge {
+                size: g.n(),
+                cap: CAP,
+            });
+        }
         let mut out = Vec::new();
         let mut perm: Vec<NodeId> = g.nodes().collect();
         permute(&mut perm, 0, &mut |p| {
@@ -109,7 +114,7 @@ impl Automorphism {
                 out.push(a);
             }
         });
-        out
+        Ok(out)
     }
 
     /// A generator set for (a sound subgroup of) `Aut(g)`, sized
@@ -120,16 +125,22 @@ impl Automorphism {
     /// non-identity automorphisms from brute-force search elsewhere
     /// (capped at 9 nodes). This is the set to feed
     /// `stab_core::engine::GroupCanonicalizer::from_permutations`.
-    pub fn generators(g: &Graph) -> Vec<Automorphism> {
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::SymmetryGroupTooLarge`] when the brute-force fallback
+    /// would have to search an unrecognised topology with more than 9
+    /// nodes (rings, stars and trees never hit this).
+    pub fn generators(g: &Graph) -> Result<Vec<Automorphism>, CoreError> {
         if let Ok(rot) = RingRotations::of(g) {
-            return vec![
+            return Ok(vec![
                 Automorphism {
                     perm: rot.permutation(1),
                 },
                 Automorphism {
                     perm: rot.reflection(),
                 },
-            ];
+            ]);
         }
         let classes = leaf_classes(g);
         if !classes.is_empty() {
@@ -141,12 +152,12 @@ impl Automorphism {
                     out.push(Automorphism { perm });
                 }
             }
-            return out;
+            return Ok(out);
         }
-        Automorphism::all(g)
+        Ok(Automorphism::all(g)?
             .into_iter()
             .filter(|a| !a.is_identity())
-            .collect()
+            .collect())
     }
 
     /// The image of a node.
@@ -318,12 +329,10 @@ impl SymmetryVerdict {
 ///
 /// # Errors
 ///
-/// Propagates [`CoreError`] from state-space enumeration.
-///
-/// # Panics
-///
-/// Panics if the algorithm is probabilistic on some configuration —
-/// Theorem 3 concerns deterministic systems.
+/// Propagates [`CoreError`] from state-space enumeration, and returns
+/// [`CoreError::DeterminismRequired`] if the algorithm is probabilistic on
+/// some configuration — Theorem 3 concerns deterministic systems (this
+/// used to panic).
 pub fn check_synchronous_symmetry<A, L, F>(
     alg: &A,
     spec: &L,
@@ -347,10 +356,11 @@ where
     let mut cursor = ConfigCursor::new(&ix, 0);
     loop {
         let cfg = cursor.config();
-        assert!(
-            semantics::is_deterministic_at(alg, cfg),
-            "Theorem 3 analysis requires a deterministic algorithm"
-        );
+        if !semantics::is_deterministic_at(alg, cfg) {
+            return Err(CoreError::DeterminismRequired {
+                context: "the Theorem 3 synchronous-symmetry analysis",
+            });
+        }
         let image = auto.apply_config(g, cfg, &map_state);
         let succ = sync_successor(alg, cfg);
         let image_succ = sync_successor(alg, &image);
@@ -402,7 +412,7 @@ mod tests {
     #[test]
     fn path4_has_mirror_automorphism() {
         let g = builders::path(4);
-        let autos = Automorphism::all(&g);
+        let autos = Automorphism::all(&g).unwrap();
         // Identity and the reversal.
         assert_eq!(autos.len(), 2);
         let mirror = autos.iter().find(|a| !a.is_identity()).unwrap();
@@ -415,7 +425,7 @@ mod tests {
     #[test]
     fn ring_automorphism_count_is_dihedral() {
         let g = builders::ring(5);
-        let autos = Automorphism::all(&g);
+        let autos = Automorphism::all(&g).unwrap();
         assert_eq!(autos.len(), 10); // dihedral group D5
                                      // The construction is direct now; every element must still be a
                                      // distinct valid automorphism.
@@ -433,7 +443,7 @@ mod tests {
     fn large_ring_automorphisms_no_longer_factorial() {
         for n in [10usize, 12, 17, 40] {
             let g = builders::ring(n);
-            let autos = Automorphism::all(&g);
+            let autos = Automorphism::all(&g).unwrap();
             assert_eq!(autos.len(), 2 * n, "D_{n} on ring({n})");
             let mut seen = std::collections::HashSet::new();
             for a in &autos {
@@ -441,10 +451,18 @@ mod tests {
             }
         }
         // Generator sets stay O(1)–O(N), never factorial.
-        assert_eq!(Automorphism::generators(&builders::ring(40)).len(), 2);
-        assert_eq!(Automorphism::generators(&builders::star(12)).len(), 10);
         assert_eq!(
-            Automorphism::generators(&builders::caterpillar(3, 2)).len(),
+            Automorphism::generators(&builders::ring(40)).unwrap().len(),
+            2
+        );
+        assert_eq!(
+            Automorphism::generators(&builders::star(12)).unwrap().len(),
+            10
+        );
+        assert_eq!(
+            Automorphism::generators(&builders::caterpillar(3, 2))
+                .unwrap()
+                .len(),
             3
         );
     }
@@ -452,10 +470,10 @@ mod tests {
     #[test]
     fn star_automorphisms_permute_leaves() {
         let g = builders::star(4);
-        assert_eq!(Automorphism::all(&g).len(), 6); // 3! leaf permutations
-                                                    // Direct leaf enumeration scales past the old 9-node search cap.
+        assert_eq!(Automorphism::all(&g).unwrap().len(), 6); // 3! leaf permutations
+                                                             // Direct leaf enumeration scales past the old 9-node search cap.
         let g = builders::star(10);
-        let autos = Automorphism::all(&g);
+        let autos = Automorphism::all(&g).unwrap();
         assert_eq!(autos.len(), 362_880); // 9! leaf permutations
         assert!(autos
             .iter()
@@ -470,7 +488,7 @@ mod tests {
             builders::caterpillar(2, 3),
             builders::path(4),
         ] {
-            for a in Automorphism::generators(&g) {
+            for a in Automorphism::generators(&g).unwrap() {
                 assert!(
                     Automorphism::new(&g, a.perm.clone()).is_some(),
                     "invalid generator on {g:?}"
@@ -480,10 +498,38 @@ mod tests {
         }
     }
 
+    /// The old panics are now typed errors: oversized groups report
+    /// [`CoreError::SymmetryGroupTooLarge`], probabilistic algorithms
+    /// [`CoreError::DeterminismRequired`].
+    #[test]
+    fn oversized_groups_and_probabilistic_algorithms_yield_typed_errors() {
+        // An 11-leaf star's automorphism group has 11! elements; `all`
+        // must refuse rather than enumerate it.
+        let wide = builders::star(12);
+        assert!(matches!(
+            Automorphism::all(&wide),
+            Err(CoreError::SymmetryGroupTooLarge { size: 11, cap: 9 })
+        ));
+        // Probabilistic algorithm under the Theorem 3 analysis.
+        let g = builders::ring(3);
+        let alg = stab_algorithms::HermanRing::on_ring(&g).unwrap();
+        let spec = alg.legitimacy();
+        let mirror = Automorphism::all(&g)
+            .unwrap()
+            .into_iter()
+            .find(|a| !a.is_identity())
+            .unwrap();
+        assert!(matches!(
+            check_synchronous_symmetry(&alg, &spec, &mirror, state_maps::value(), 1 << 20),
+            Err(CoreError::DeterminismRequired { .. })
+        ));
+    }
+
     #[test]
     fn port_image_is_consistent() {
         let g = builders::path(4);
         let mirror = Automorphism::all(&g)
+            .unwrap()
             .into_iter()
             .find(|a| !a.is_identity())
             .unwrap();
@@ -537,6 +583,7 @@ mod tests {
     fn canonical_path4_mirror_is_not_port_preserving() {
         let g = builders::path(4);
         let mirror = Automorphism::all(&g)
+            .unwrap()
             .into_iter()
             .find(|a| !a.is_identity())
             .unwrap();
@@ -561,6 +608,7 @@ mod tests {
         let alg = GreedyColoring::new(&g).unwrap();
         let spec = alg.legitimacy();
         let mirror = Automorphism::all(&g)
+            .unwrap()
             .into_iter()
             .find(|a| !a.is_identity())
             .unwrap();
@@ -585,6 +633,7 @@ mod tests {
         let alg = GreedyColoring::new(&g).unwrap();
         let spec = alg.legitimacy();
         let mirror = Automorphism::all(&g)
+            .unwrap()
             .into_iter()
             .find(|a| !a.is_identity())
             .unwrap();

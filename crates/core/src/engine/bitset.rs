@@ -48,6 +48,25 @@ impl BitSet {
         Self::from_fn(bools.len(), |i| bools[i])
     }
 
+    /// The backing 64-bit words (bit `i` of the set is bit `i % 64` of
+    /// word `i / 64`) — the checkpoint serialization surface.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuilds a set from its backing words (inverse of
+    /// [`BitSet::words`]). Bits past `len` in the last word are cleared.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is not exactly `len.div_ceil(64)` long.
+    pub fn from_words(len: usize, words: Vec<u64>) -> Self {
+        assert_eq!(words.len(), len.div_ceil(64), "word count mismatch");
+        let mut s = BitSet { words, len };
+        s.trim();
+        s
+    }
+
     /// Universe size (number of ids, not number of members).
     #[inline]
     pub fn len(&self) -> usize {

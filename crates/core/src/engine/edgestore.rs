@@ -171,6 +171,42 @@ impl DeltaStreamWriter {
     pub fn into_parts(self) -> (Vec<u64>, Vec<u8>, Vec<f64>, u64) {
         (self.offsets, self.stream, self.probs, self.n_items)
     }
+
+    /// Borrowed view of the in-progress stream
+    /// `(offsets, stream, probs, n_items)` — the checkpoint snapshot
+    /// surface (valid only at a row boundary, i.e. right after
+    /// [`DeltaStreamWriter::end_row`]).
+    pub fn parts(&self) -> (&[u64], &[u8], &[f64], u64) {
+        (&self.offsets, &self.stream, &self.probs, self.n_items)
+    }
+
+    /// Rebuilds an in-progress writer from checkpointed parts, positioned
+    /// at the row boundary the parts were captured at: the prob-intern
+    /// map is rebuilt from `probs` (ids are insertion order) and the
+    /// delta base is re-derived from the offsets length, exactly as
+    /// [`DeltaStreamWriter::end_row`] left it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offsets` is empty (a valid stream always starts with
+    /// offset 0).
+    pub fn from_parts(offsets: Vec<u64>, stream: Vec<u8>, probs: Vec<f64>, n_items: u64) -> Self {
+        assert!(!offsets.is_empty(), "offsets must start with 0");
+        let prob_ids = probs
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.to_bits(), i as u32))
+            .collect();
+        let prev = (offsets.len() - 1) as i64;
+        DeltaStreamWriter {
+            offsets,
+            stream,
+            probs,
+            prob_ids,
+            n_items,
+            prev,
+        }
+    }
 }
 
 /// The decoding counterpart of [`DeltaStreamWriter`]: a zero-alloc
@@ -365,6 +401,27 @@ impl CompressedEdges {
     /// The byte offsets delimiting each row's encoding.
     pub fn offsets(&self) -> &[u64] {
         &self.offsets
+    }
+
+    /// The packed edge stream bytes.
+    pub fn stream(&self) -> &[u8] {
+        &self.stream
+    }
+
+    /// The deduplicated probability table.
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// Reassembles a store from checkpointed parts (inverse of the
+    /// accessors above).
+    pub fn from_parts(offsets: Vec<u64>, stream: Vec<u8>, probs: Vec<f64>, n_edges: u64) -> Self {
+        CompressedEdges {
+            offsets,
+            stream,
+            probs,
+            n_edges,
+        }
     }
 }
 
@@ -577,6 +634,16 @@ impl CompressedEdgesBuilder {
             n_edges,
         }
     }
+
+    /// The underlying writer (checkpoint snapshot surface).
+    pub fn writer(&self) -> &DeltaStreamWriter {
+        &self.w
+    }
+
+    /// Rebuilds a builder around a restored writer.
+    pub fn from_writer(w: DeltaStreamWriter) -> Self {
+        CompressedEdgesBuilder { w }
+    }
 }
 
 /// Tier-selected assembly used by the exploration paths: rows (or whole
@@ -605,6 +672,20 @@ impl EdgeStorageBuilder {
             },
             EdgeStoreKind::Compressed => {
                 EdgeStorageBuilder::Compressed(CompressedEdgesBuilder::new())
+            }
+        }
+    }
+
+    /// Heap bytes currently held by the under-construction store — the
+    /// usage an exploration reports at each budget probe.
+    pub fn bytes_estimate(&self) -> u64 {
+        match self {
+            EdgeStorageBuilder::Flat { counts, edges } => {
+                (edges.len() * std::mem::size_of::<Edge>() + counts.len() * 4) as u64
+            }
+            EdgeStorageBuilder::Compressed(b) => {
+                let (offsets, stream, probs, _) = b.writer().parts();
+                (stream.len() + offsets.len() * 8 + probs.len() * 8) as u64
             }
         }
     }

@@ -95,6 +95,9 @@ use super::equivariance;
 use super::onthefly::{self, ExploreMode, ExploreOptions, Quotient, StateIds, TraversalMode};
 use super::parallel;
 use super::quotient::GroupCanonicalizer;
+use super::resilience::{
+    self, Checkpointer, FinalMeta, Fnv, LabelBits, Replay, RunGuard, SnapshotSource,
+};
 use super::rowgen::RowGen;
 
 /// Configurations per sequential batch when streaming a compressed store:
@@ -219,6 +222,30 @@ impl TransitionSystem {
         A::State: Sync,
         L: Legitimacy<A::State> + Sync,
     {
+        Self::explore_guarded(alg, ix, daemon, spec, opts, &RunGuard::default())
+    }
+
+    /// [`TransitionSystem::explore_with`] under a [`RunGuard`]: the
+    /// guard's [`Budget`](super::Budget) is probed cooperatively at batch
+    /// boundaries (exhaustion surfaces as
+    /// [`CoreError::BudgetExhausted`] instead of an OOM kill), and its
+    /// [`FaultPlan`](super::FaultPlan) injects deterministic kill-points
+    /// after durable checkpoint frames
+    /// ([`CoreError::Interrupted`]). Guarded runs traverse sequentially
+    /// so every probe and frame sees a deterministic prefix.
+    pub fn explore_guarded<A, L>(
+        alg: &A,
+        ix: &SpaceIndexer<A::State>,
+        daemon: Daemon,
+        spec: &L,
+        opts: &ExploreOptions<A::State>,
+        guard: &RunGuard,
+    ) -> Result<Self, CoreError>
+    where
+        A: Algorithm + Sync,
+        A::State: Sync,
+        L: Legitimacy<A::State> + Sync,
+    {
         EXPLORE_CALLS.fetch_add(1, Ordering::Relaxed);
         let n = alg.n();
         assert!(n <= 64, "bitmask encoding supports at most 64 processes");
@@ -236,39 +263,56 @@ impl TransitionSystem {
             equivariance::check_quotient_sound(alg, ix, daemon, spec, canon)?;
         }
         match (&opts.mode, canon) {
-            (ExploreMode::Full, None) => Self::explore_full(alg, ix, daemon, spec, opts.edge_store),
-            (ExploreMode::Full, Some(canon)) => onthefly::explore_quotient_sweep(
-                alg,
-                ix,
-                daemon,
-                spec,
-                canon,
-                opts.quotient,
-                opts.edge_store,
-            ),
+            (ExploreMode::Full, None) => Self::explore_full(alg, ix, daemon, spec, opts, guard),
+            (ExploreMode::Full, Some(canon)) => {
+                onthefly::explore_quotient_sweep(alg, ix, daemon, spec, canon, opts, guard)
+            }
             (ExploreMode::Reachable { seeds }, canon) => {
-                onthefly::explore_reachable(alg, ix, daemon, spec, seeds, canon, opts)
+                onthefly::explore_reachable(alg, ix, daemon, spec, seeds, canon, opts, guard)
             }
         }
     }
 
+    /// Reconstructs the completed exploration checkpointed under `dir`
+    /// (see [`ExploreOptions::with_checkpoint`]) — bit-identical to the
+    /// system the original run returned, without re-running the
+    /// algorithm.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::CheckpointIncomplete`] — the frame chain has no
+    ///   final frame (the exploration never finished; re-run it with the
+    ///   same checkpoint directory to continue);
+    /// * [`CoreError::CheckpointIo`] — the directory is unreadable.
+    ///
+    /// A torn or corrupted frame simply ends the chain early (CRC32 and
+    /// structural validation), which reads as an incomplete chain here —
+    /// never as a wrong system.
+    pub fn resume(dir: impl AsRef<std::path::Path>) -> Result<Self, CoreError> {
+        resilience::resume_from_dir(dir.as_ref())
+    }
+
     /// The PR 1 full sweep: dense ids, parallel chunking onto the flat
-    /// store. With a compressed store the sweep runs in bounded
-    /// *sequential* batches instead, streaming each batch's rows into the
-    /// byte encoding so peak memory stays `O(stream + batch)` rather than
-    /// `O(flat edges)` — memory, not time, is what that tier is for.
+    /// store. With a compressed store — or any checkpoint or active
+    /// guard — the sweep runs in bounded *sequential* batches instead:
+    /// the compressed tier streams each batch's rows into the byte
+    /// encoding so peak memory stays `O(stream + batch)` rather than
+    /// `O(flat edges)`, and checkpoint frames / budget probes need a
+    /// deterministic prefix to snapshot.
     fn explore_full<A, L>(
         alg: &A,
         ix: &SpaceIndexer<A::State>,
         daemon: Daemon,
         spec: &L,
-        kind: EdgeStoreKind,
+        opts: &ExploreOptions<A::State>,
+        guard: &RunGuard,
     ) -> Result<Self, CoreError>
     where
         A: Algorithm + Sync,
         A::State: Sync,
         L: Legitimacy<A::State> + Sync,
     {
+        let kind = opts.edge_store;
         let total = ix.total();
         assert!(
             total <= u32::MAX as u64,
@@ -276,23 +320,56 @@ impl TransitionSystem {
         );
         let adjacency = adjacency_masks(alg);
         let mut merge = MergeState::new(kind, total as usize);
-        match kind {
-            EdgeStoreKind::Flat => {
-                let chunks = parallel::map_chunks(total, |range| {
-                    explore_chunk(alg, ix, daemon, spec, &adjacency, range)
-                })?;
-                for chunk in chunks {
-                    merge.absorb(chunk);
+        let mut ck = match &opts.checkpoint {
+            Some(cfg) => Some(Checkpointer::open(
+                cfg,
+                run_fingerprint(alg, ix, daemon, opts),
+                kind,
+                guard.faults(),
+            )?),
+            None => None,
+        };
+        let sequential = kind == EdgeStoreKind::Compressed || ck.is_some() || guard.is_active();
+        if !sequential {
+            let chunks = parallel::map_chunks(total, |range| {
+                explore_chunk(alg, ix, daemon, spec, &adjacency, range)
+            })?;
+            for chunk in chunks {
+                merge.absorb(chunk);
+            }
+        } else {
+            let mut start = 0u64;
+            if let Some(ck) = &mut ck {
+                if let Some(replay) = ck.take_replay() {
+                    if replay.complete.is_some() {
+                        let dir = &opts.checkpoint.as_ref().expect("checkpoint configured").dir;
+                        return replay.into_transition_system(dir);
+                    }
+                    start = replay.cursor;
+                    merge = MergeState::from_replay(kind, total as usize, replay);
                 }
             }
-            EdgeStoreKind::Compressed => {
-                let mut start = 0u64;
-                while start < total {
-                    let end = (start + COMPRESSED_BATCH).min(total);
-                    let chunk = explore_chunk(alg, ix, daemon, spec, &adjacency, start..end)?;
-                    merge.absorb(chunk);
-                    start = end;
+            while start < total {
+                guard.probe("explore", merge.bytes_estimate(), start)?;
+                let end = (start + COMPRESSED_BATCH).min(total);
+                let chunk = explore_chunk(alg, ix, daemon, spec, &adjacency, start..end)?;
+                merge.absorb(chunk);
+                start = end;
+                if let Some(ck) = &mut ck {
+                    ck.tick(start, &merge.snapshot_source(None, &[]))?;
                 }
+            }
+            if let Some(ck) = &mut ck {
+                ck.finalize(
+                    total,
+                    &merge.snapshot_source(None, &[]),
+                    FinalMeta {
+                        dense_total: Some(total),
+                        canon: None,
+                        quotient: Quotient::None,
+                        traversal: TraversalMode::Full,
+                    },
+                )?;
             }
         }
         let (forward, enabled, legit, initial, deterministic) = merge.finish();
@@ -561,6 +638,39 @@ impl TransitionSystem {
         self.deterministic
     }
 
+    /// FNV-1a digest over the system's entire observable content: every
+    /// edge (including exact probability bits), enabled mask, label bit,
+    /// id ↔ full-index mapping, orbit size, and the quotient/traversal
+    /// identity. Two systems with equal digests are bit-identical for
+    /// every analysis downstream — the resilience test campaigns pin
+    /// "resume equals uninterrupted run" on this.
+    pub fn content_digest(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.write_u64(self.n_configs() as u64);
+        h.write_u64(self.n_edges());
+        for id in 0..self.n_configs() {
+            h.write_u64(self.enabled[id as usize]);
+            h.write_u64(self.full_index_of(id));
+            h.write_u64(self.orbit_size(id));
+            for e in self.edge_iter(id) {
+                h.write_u64(e.to as u64);
+                h.write_u64(e.movers);
+                h.write_u64(e.prob.to_bits());
+            }
+        }
+        for &w in self.legit.words() {
+            h.write_u64(w);
+        }
+        for &w in self.initial.words() {
+            h.write_u64(w);
+        }
+        h.write_u64(self.deterministic as u64);
+        h.write(self.quotient.label().as_bytes());
+        h.write_u64(self.group_order());
+        h.write_u64(matches!(self.traversal, TraversalMode::Reachable) as u64);
+        h.finish()
+    }
+
     /// The forward-reachable closure of `seeds`.
     pub fn forward_closure(&self, seeds: &BitSet) -> BitSet {
         let mut seen = seeds.clone();
@@ -682,6 +792,87 @@ impl MergeState {
             self.deterministic,
         )
     }
+
+    /// Heap bytes the edge builder currently holds (budget-probe input).
+    pub(super) fn bytes_estimate(&self) -> u64 {
+        self.builder.bytes_estimate()
+    }
+
+    /// The checkpoint view of the accumulated state (see
+    /// [`SnapshotSource`]); `table`/`seeds` are the traversal's
+    /// non-dense extras, empty for the plain full sweep.
+    pub(super) fn snapshot_source<'a>(
+        &'a self,
+        table: Option<&'a onthefly::StateTable>,
+        seeds: &'a [u32],
+    ) -> SnapshotSource<'a> {
+        SnapshotSource {
+            builder: &self.builder,
+            enabled: &self.enabled,
+            legit: LabelBits::Bits(&self.legit),
+            initial: LabelBits::Bits(&self.initial),
+            deterministic: self.deterministic,
+            table,
+            seeds,
+        }
+    }
+
+    /// Rebuilds the accumulator from a checkpoint replay so the sweep
+    /// continues from `replay.cursor` as if it had never stopped.
+    pub(super) fn from_replay(kind: EdgeStoreKind, total: usize, replay: Replay) -> Self {
+        debug_assert_eq!(replay.tier, kind);
+        let base = replay.cursor as usize;
+        let mut legit = BitSet::new(total);
+        for (i, &l) in replay.legit.iter().enumerate() {
+            if l {
+                legit.insert(i);
+            }
+        }
+        let mut initial = BitSet::new(total);
+        for (i, &l) in replay.initial.iter().enumerate() {
+            if l {
+                initial.insert(i);
+            }
+        }
+        MergeState {
+            builder: replay.builder.into_builder(),
+            enabled: replay.enabled,
+            legit,
+            initial,
+            deterministic: replay.deterministic,
+            base,
+        }
+    }
+}
+
+/// FNV-1a fingerprint of a run's identity — algorithm, space, daemon,
+/// traversal mode (with seed indices), quotient, and edge-store tier. A
+/// checkpoint directory records it in every frame so a resumed run only
+/// adopts frames written by the same exploration.
+pub(super) fn run_fingerprint<A: Algorithm>(
+    alg: &A,
+    ix: &SpaceIndexer<A::State>,
+    daemon: Daemon,
+    opts: &ExploreOptions<A::State>,
+) -> u64 {
+    let mut h = Fnv::new();
+    h.write(alg.name().as_bytes());
+    h.write_u64(alg.n() as u64);
+    h.write_u64(ix.total());
+    h.write(daemon.name().as_bytes());
+    h.write(opts.quotient.label().as_bytes());
+    h.write(opts.edge_store.label().as_bytes());
+    match &opts.mode {
+        ExploreMode::Full => h.write_u64(0),
+        ExploreMode::Reachable { seeds } => {
+            h.write_u64(1);
+            h.write_u64(seeds.len() as u64);
+            for cfg in seeds {
+                h.write_u64(ix.encode(cfg));
+            }
+        }
+    }
+    h.finish()
 }
 
 fn explore_chunk<A, L>(

@@ -66,6 +66,7 @@ pub mod onthefly;
 pub mod parallel;
 pub mod plan;
 pub mod quotient;
+pub mod resilience;
 mod rowgen;
 
 pub use bitset::BitSet;
@@ -79,3 +80,4 @@ pub use explore::{explore_count, node_mask, Edge, TransitionSystem};
 pub use onthefly::{ExploreMode, ExploreOptions, Quotient, TraversalMode};
 pub use plan::{Plan, PlanDecision, PlanRequest, DEFAULT_BYTE_BUDGET};
 pub use quotient::{least_rotation, CanonScratch, GroupCanonicalizer};
+pub use resilience::{Budget, CheckpointConfig, FaultPlan, RunGuard};

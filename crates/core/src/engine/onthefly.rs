@@ -31,10 +31,13 @@ use crate::CoreError;
 use super::bitset::BitSet;
 use super::edgestore::{EdgeStorageBuilder, EdgeStoreKind};
 use super::explore::{
-    adjacency_masks, Chunk, Edge, MergeState, TransitionSystem, COMPRESSED_BATCH,
+    adjacency_masks, run_fingerprint, Chunk, Edge, MergeState, TransitionSystem, COMPRESSED_BATCH,
 };
 use super::parallel;
 use super::quotient::{CanonScratch, GroupCanonicalizer};
+use super::resilience::{
+    CheckpointConfig, Checkpointer, FinalMeta, LabelBits, RunGuard, SnapshotSource,
+};
 use super::rowgen::RowGen;
 
 /// How to traverse the configuration space.
@@ -124,6 +127,12 @@ pub struct ExploreOptions<S> {
     /// [`EdgeStoreKind::Flat`]; select [`EdgeStoreKind::Compressed`] for
     /// instances whose 24 B/edge flat store exceeds RAM).
     pub edge_store: EdgeStoreKind,
+    /// Periodic checkpointing of exploration state to a frame directory
+    /// (default off). With checkpointing the exploration runs
+    /// sequentially so every frame snapshots a deterministic prefix; a
+    /// re-run with the same options resumes from the frames on disk, and
+    /// [`TransitionSystem::resume`] reconstructs a completed run.
+    pub checkpoint: Option<CheckpointConfig>,
 }
 
 impl<S> ExploreOptions<S> {
@@ -134,6 +143,7 @@ impl<S> ExploreOptions<S> {
             quotient: Quotient::None,
             max_states: u32::MAX as u64,
             edge_store: EdgeStoreKind::Flat,
+            checkpoint: None,
         }
     }
 
@@ -144,6 +154,7 @@ impl<S> ExploreOptions<S> {
             quotient: Quotient::None,
             max_states: u32::MAX as u64,
             edge_store: EdgeStoreKind::Flat,
+            checkpoint: None,
         }
     }
 
@@ -185,6 +196,23 @@ impl<S> ExploreOptions<S> {
     #[must_use]
     pub fn with_edge_store(mut self, edge_store: EdgeStoreKind) -> Self {
         self.edge_store = edge_store;
+        self
+    }
+
+    /// Checkpoints exploration state under `dir` every `every_n_states`
+    /// explored states, as a chain of CRC32-framed delta files written
+    /// atomically (temp file + rename). A re-run with the same options
+    /// and directory resumes from the longest valid frame prefix instead
+    /// of starting over; a corrupted or torn frame falls back to the
+    /// previous one. Checkpointed explorations run sequentially so every
+    /// frame snapshots a deterministic prefix of the traversal.
+    #[must_use]
+    pub fn with_checkpoint(
+        mut self,
+        dir: impl Into<std::path::PathBuf>,
+        every_n_states: u64,
+    ) -> Self {
+        self.checkpoint = Some(CheckpointConfig::new(dir, every_n_states));
         self
     }
 }
@@ -255,6 +283,28 @@ impl StateTable {
     pub fn represented(&self) -> u64 {
         self.orbit.iter().sum()
     }
+
+    /// The persisted columns (full-space index and orbit size, in id
+    /// order) — the checkpoint snapshot surface.
+    pub(super) fn parts(&self) -> (&[u64], &[u64]) {
+        (&self.full_of, &self.orbit)
+    }
+
+    /// Rebuilds a table from its persisted columns (inverse of
+    /// [`StateTable::parts`]); the hash index is rederived, so the result
+    /// interns identically to the original.
+    pub(super) fn from_parts(full_of: Vec<u64>, orbit: Vec<u64>) -> Self {
+        let ids = full_of
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| (f, i as u32))
+            .collect();
+        StateTable {
+            full_of,
+            ids,
+            orbit,
+        }
+    }
 }
 
 /// Merges consecutive equal `(to, movers)` edges of a sorted row, summing
@@ -287,8 +337,8 @@ pub(super) fn explore_quotient_sweep<A, L>(
     daemon: Daemon,
     spec: &L,
     canon: GroupCanonicalizer,
-    quotient: Quotient,
-    kind: EdgeStoreKind,
+    opts: &ExploreOptions<A::State>,
+    guard: &RunGuard,
 ) -> Result<TransitionSystem, CoreError>
 where
     A: Algorithm + Sync,
@@ -296,30 +346,66 @@ where
     L: Legitimacy<A::State> + Sync,
 {
     let total = ix.total();
-    // Pass 1: representatives and their orbit sizes.
-    let rep_chunks = parallel::map_chunks(total, |range| -> Result<_, CoreError> {
-        let mut fulls = Vec::new();
-        let mut orbits = Vec::new();
-        let mut scratch = CanonScratch::default();
-        for full in range {
-            if canon.is_canonical(full, &mut scratch) {
-                fulls.push(full);
-                orbits.push(canon.orbit(full, &mut scratch));
-            }
-        }
-        Ok((fulls, orbits))
-    })?;
-    let mut table = StateTable::default();
-    for (fulls, orbits) in rep_chunks {
-        for (full, orbit) in fulls.into_iter().zip(orbits) {
-            table.intern(full, || orbit);
-        }
+    let kind = opts.edge_store;
+    let quotient = opts.quotient;
+    let mut ck = match &opts.checkpoint {
+        Some(cfg) => Some(Checkpointer::open(
+            cfg,
+            run_fingerprint(alg, ix, daemon, opts),
+            kind,
+            guard.faults(),
+        )?),
+        None => None,
+    };
+    let mut replay = ck.as_mut().and_then(Checkpointer::take_replay);
+    if replay.as_ref().is_some_and(|r| r.complete.is_some()) {
+        let dir = &opts.checkpoint.as_ref().expect("checkpoint configured").dir;
+        return replay
+            .take()
+            .expect("checked above")
+            .into_transition_system(dir);
     }
+    guard.probe("explore", 0, 0)?;
+    // Pass 1: representatives and their orbit sizes. A resumed run skips
+    // the pass — its first frame carried the whole table.
+    let mut start = 0u64;
+    let mut restored: Option<MergeState> = None;
+    let table = match replay {
+        Some(r) => {
+            let (full_of, orbit): (Vec<u64>, Vec<u64>) = r.table.iter().copied().unzip();
+            let t = StateTable::from_parts(full_of, orbit);
+            start = r.cursor;
+            restored = Some(MergeState::from_replay(kind, t.len(), r));
+            t
+        }
+        None => {
+            let rep_chunks = parallel::map_chunks(total, |range| -> Result<_, CoreError> {
+                let mut fulls = Vec::new();
+                let mut orbits = Vec::new();
+                let mut scratch = CanonScratch::default();
+                for full in range {
+                    if canon.is_canonical(full, &mut scratch) {
+                        fulls.push(full);
+                        orbits.push(canon.orbit(full, &mut scratch));
+                    }
+                }
+                Ok((fulls, orbits))
+            })?;
+            let mut table = StateTable::default();
+            for (fulls, orbits) in rep_chunks {
+                for (full, orbit) in fulls.into_iter().zip(orbits) {
+                    table.intern(full, || orbit);
+                }
+            }
+            table
+        }
+    };
     let n_reps = table.len();
     assert!(
         n_reps <= u32::MAX as usize,
         "quotient representatives must fit in u32 ids"
     );
+    guard.probe("explore", 0, n_reps as u64)?;
 
     // Pass 2: explore the representative rows; successors canonicalize to
     // representatives, which are all in the table by construction. With a
@@ -369,20 +455,35 @@ where
         }
         Ok(chunk)
     };
-    let mut merge = MergeState::new(kind, n_reps);
-    match kind {
-        EdgeStoreKind::Flat => {
-            for chunk in parallel::map_chunks(n_reps as u64, explore_range)? {
-                merge.absorb(chunk);
+    let mut merge = restored.unwrap_or_else(|| MergeState::new(kind, n_reps));
+    // Checkpointed or guarded runs take the sequential path regardless of
+    // tier, so frames and probes see a deterministic prefix.
+    let sequential = kind == EdgeStoreKind::Compressed || ck.is_some() || guard.is_active();
+    if !sequential {
+        for chunk in parallel::map_chunks(n_reps as u64, explore_range)? {
+            merge.absorb(chunk);
+        }
+    } else {
+        while start < n_reps as u64 {
+            guard.probe("explore", merge.bytes_estimate(), start)?;
+            let end = (start + COMPRESSED_BATCH).min(n_reps as u64);
+            merge.absorb(explore_range(start..end)?);
+            start = end;
+            if let Some(ck) = &mut ck {
+                ck.tick(start, &merge.snapshot_source(Some(&table), &[]))?;
             }
         }
-        EdgeStoreKind::Compressed => {
-            let mut start = 0u64;
-            while start < n_reps as u64 {
-                let end = (start + COMPRESSED_BATCH).min(n_reps as u64);
-                merge.absorb(explore_range(start..end)?);
-                start = end;
-            }
+        if let Some(ck) = &mut ck {
+            ck.finalize(
+                n_reps as u64,
+                &merge.snapshot_source(Some(&table), &[]),
+                FinalMeta {
+                    dense_total: None,
+                    canon: Some(&canon),
+                    quotient,
+                    traversal: TraversalMode::Full,
+                },
+            )?;
         }
     }
     let (forward, enabled, legit, initial, deterministic) = merge.finish();
@@ -404,6 +505,7 @@ where
 /// row-at-a-time by nature, so the compressed tier streams with no
 /// batching at all). With a canonicalizer, every interned configuration
 /// is an orbit representative.
+#[allow(clippy::too_many_arguments)]
 pub(super) fn explore_reachable<A, L>(
     alg: &A,
     ix: &SpaceIndexer<A::State>,
@@ -412,6 +514,7 @@ pub(super) fn explore_reachable<A, L>(
     seeds: &[Configuration<A::State>],
     canon: Option<GroupCanonicalizer>,
     opts: &ExploreOptions<A::State>,
+    guard: &RunGuard,
 ) -> Result<TransitionSystem, CoreError>
 where
     A: Algorithm,
@@ -453,12 +556,42 @@ where
     let mut enabled: Vec<u64> = Vec::new();
     let mut legit_flags: Vec<bool> = Vec::new();
     let mut deterministic = true;
+    let mut next = 0usize;
+
+    let mut ck = match &opts.checkpoint {
+        Some(cfg) => Some(Checkpointer::open(
+            cfg,
+            run_fingerprint(alg, ix, daemon, opts),
+            opts.edge_store,
+            guard.faults(),
+        )?),
+        None => None,
+    };
+    if let Some(c) = &mut ck {
+        if let Some(r) = c.take_replay() {
+            if r.complete.is_some() {
+                let dir = &opts.checkpoint.as_ref().expect("checkpoint configured").dir;
+                return r.into_transition_system(dir);
+            }
+            // The persisted table already contains the seeds and the
+            // un-explored frontier (entries past the cursor), so the
+            // fresh interning above is discarded wholesale.
+            let (full_of, orbit): (Vec<u64>, Vec<u64>) = r.table.iter().copied().unzip();
+            table = StateTable::from_parts(full_of, orbit);
+            seed_ids = r.seeds.clone();
+            next = r.cursor as usize;
+            enabled = r.enabled;
+            legit_flags = r.legit;
+            deterministic = r.deterministic;
+            builder = r.builder.into_builder();
+        }
+    }
 
     // The intern table doubles as the BFS queue: ids are handed out in
     // discovery order and `next` chases the growing tail.
     let mut memo: HashMap<u64, u32> = HashMap::new();
-    let mut next = 0usize;
     while next < table.len() {
+        guard.probe("explore", builder.bytes_estimate(), next as u64)?;
         let id = next as u32;
         next += 1;
         let full = table.full_of(id);
@@ -503,6 +636,40 @@ where
         row.sort_unstable_by_key(|e| (e.to, e.movers));
         merge_parallel_edges(&mut row);
         builder.push_row(&row);
+        if let Some(c) = &mut ck {
+            c.tick(
+                next as u64,
+                &SnapshotSource {
+                    builder: &builder,
+                    enabled: &enabled,
+                    legit: LabelBits::Flags(&legit_flags),
+                    initial: LabelBits::Empty,
+                    deterministic,
+                    table: Some(&table),
+                    seeds: &seed_ids,
+                },
+            )?;
+        }
+    }
+    if let Some(c) = &mut ck {
+        c.finalize(
+            next as u64,
+            &SnapshotSource {
+                builder: &builder,
+                enabled: &enabled,
+                legit: LabelBits::Flags(&legit_flags),
+                initial: LabelBits::Empty,
+                deterministic,
+                table: Some(&table),
+                seeds: &seed_ids,
+            },
+            FinalMeta {
+                dense_total: None,
+                canon: canon.as_ref(),
+                quotient: opts.quotient,
+                traversal: TraversalMode::Reachable,
+            },
+        )?;
     }
 
     let n = table.len();
@@ -748,6 +915,212 @@ mod tests {
                     comp.edge_bytes(),
                     flat.edge_bytes()
                 );
+            }
+        }
+    }
+
+    mod resilience {
+        use super::*;
+        use crate::engine::{Budget, EdgeStoreKind, FaultPlan, RunGuard};
+        use std::path::PathBuf;
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+        fn tmp_dir(tag: &str) -> PathBuf {
+            let d = std::env::temp_dir().join(format!(
+                "stab-explore-ckpt-{}-{}-{}",
+                std::process::id(),
+                tag,
+                DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+            ));
+            std::fs::create_dir_all(&d).unwrap();
+            d
+        }
+
+        fn variants(ix: &SpaceIndexer<bool>) -> Vec<ExploreOptions<bool>> {
+            let seeds: Vec<_> = ix.iter().collect();
+            vec![
+                ExploreOptions::full(),
+                ExploreOptions::full().with_edge_store(EdgeStoreKind::Compressed),
+                ExploreOptions::full().with_ring_quotient(),
+                ExploreOptions::full()
+                    .with_ring_quotient()
+                    .with_edge_store(EdgeStoreKind::Compressed),
+                ExploreOptions::reachable(seeds.clone()),
+                ExploreOptions::reachable(vec![seeds[1].clone()])
+                    .with_edge_store(EdgeStoreKind::Compressed),
+                ExploreOptions::reachable(seeds).with_ring_quotient(),
+            ]
+        }
+
+        #[test]
+        fn checkpointed_runs_match_plain_runs_and_resume_bit_for_bit() {
+            let alg = CopyRing::new(5);
+            let ix = SpaceIndexer::new(&alg, 1 << 20).unwrap();
+            let spec = agreement();
+            for daemon in Daemon::ALL {
+                for opts in variants(&ix) {
+                    let plain =
+                        TransitionSystem::explore_with(&alg, &ix, daemon, &spec, &opts).unwrap();
+                    let dir = tmp_dir("match");
+                    let ck_opts = opts.with_checkpoint(&dir, 4);
+                    let ck =
+                        TransitionSystem::explore_with(&alg, &ix, daemon, &spec, &ck_opts).unwrap();
+                    assert_eq!(
+                        ck.content_digest(),
+                        plain.content_digest(),
+                        "checkpointing changed the system under {daemon}"
+                    );
+                    // Cold reconstruction from the frames alone.
+                    let resumed = TransitionSystem::resume(&dir).unwrap();
+                    assert_eq!(resumed.content_digest(), plain.content_digest());
+                    // A re-run over the complete chain short-circuits to
+                    // the same system (and must not re-explore).
+                    let again =
+                        TransitionSystem::explore_with(&alg, &ix, daemon, &spec, &ck_opts).unwrap();
+                    assert_eq!(again.content_digest(), plain.content_digest());
+                    std::fs::remove_dir_all(&dir).unwrap();
+                }
+            }
+        }
+
+        #[test]
+        fn resume_after_any_kill_point_matches_the_uninterrupted_run() {
+            let alg = CopyRing::new(5);
+            let ix = SpaceIndexer::new(&alg, 1 << 20).unwrap();
+            let spec = agreement();
+            for opts in variants(&ix) {
+                let plain =
+                    TransitionSystem::explore_with(&alg, &ix, Daemon::Central, &spec, &opts)
+                        .unwrap();
+                for kill in 1..=4u64 {
+                    let dir = tmp_dir("kill");
+                    let ck_opts = opts.clone().with_checkpoint(&dir, 2);
+                    let guard = RunGuard::new(
+                        Budget::unlimited(),
+                        FaultPlan::none().with_kill_after_frames(kill),
+                    );
+                    let first = TransitionSystem::explore_guarded(
+                        &alg,
+                        &ix,
+                        Daemon::Central,
+                        &spec,
+                        &ck_opts,
+                        &guard,
+                    );
+                    let digest = match first {
+                        // Death injected after the kill-th durable frame:
+                        // a plain re-run resumes from disk and finishes.
+                        Err(CoreError::Interrupted { after_frames }) => {
+                            assert_eq!(after_frames, kill);
+                            TransitionSystem::explore_with(
+                                &alg,
+                                &ix,
+                                Daemon::Central,
+                                &spec,
+                                &ck_opts,
+                            )
+                            .unwrap()
+                            .content_digest()
+                        }
+                        // The run wrote fewer frames than the kill point.
+                        Ok(ts) => ts.content_digest(),
+                        Err(e) => panic!("unexpected error: {e}"),
+                    };
+                    assert_eq!(
+                        digest,
+                        plain.content_digest(),
+                        "kill after frame {kill} diverged"
+                    );
+                    std::fs::remove_dir_all(&dir).unwrap();
+                }
+            }
+        }
+
+        #[test]
+        fn corrupted_tail_frame_falls_back_and_reexploration_heals_it() {
+            let alg = CopyRing::new(5);
+            let ix = SpaceIndexer::new(&alg, 1 << 20).unwrap();
+            let spec = agreement();
+            let plain = TransitionSystem::explore_with(
+                &alg,
+                &ix,
+                Daemon::Central,
+                &spec,
+                &ExploreOptions::full(),
+            )
+            .unwrap();
+            let dir = tmp_dir("corrupt");
+            let opts: ExploreOptions<bool> = ExploreOptions::full().with_checkpoint(&dir, 2);
+            TransitionSystem::explore_with(&alg, &ix, Daemon::Central, &spec, &opts).unwrap();
+            let frames = crate::engine::resilience::list_frames(&dir);
+            FaultPlan::flip_bit(frames.last().unwrap(), 123).unwrap();
+            // The final frame is gone, so cold resume refuses...
+            assert!(matches!(
+                TransitionSystem::resume(&dir),
+                Err(CoreError::CheckpointIncomplete { .. })
+            ));
+            // ...but re-exploring adopts the valid prefix and heals.
+            let healed =
+                TransitionSystem::explore_with(&alg, &ix, Daemon::Central, &spec, &opts).unwrap();
+            assert_eq!(healed.content_digest(), plain.content_digest());
+            assert_eq!(
+                TransitionSystem::resume(&dir).unwrap().content_digest(),
+                plain.content_digest()
+            );
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+
+        #[test]
+        fn exhausted_budgets_surface_as_typed_errors_not_panics() {
+            let alg = CopyRing::new(5);
+            let ix = SpaceIndexer::new(&alg, 1 << 20).unwrap();
+            let spec = agreement();
+            // State budget: the BFS probes per row.
+            let seeds: Vec<_> = ix.iter().collect();
+            let guard = RunGuard::new(Budget::unlimited().with_max_states(10), FaultPlan::none());
+            let err = TransitionSystem::explore_guarded(
+                &alg,
+                &ix,
+                Daemon::Central,
+                &spec,
+                &ExploreOptions::reachable(seeds),
+                &guard,
+            )
+            .unwrap_err();
+            assert!(matches!(
+                err,
+                CoreError::BudgetExhausted {
+                    stage: "explore",
+                    resource: "states",
+                    limit: 10,
+                    ..
+                }
+            ));
+            // An already-expired wall clock trips the first probe of any
+            // traversal.
+            for opts in variants(&ix) {
+                let guard = RunGuard::new(
+                    Budget::unlimited().with_wall_time(std::time::Duration::ZERO),
+                    FaultPlan::none(),
+                );
+                let err = TransitionSystem::explore_guarded(
+                    &alg,
+                    &ix,
+                    Daemon::Central,
+                    &spec,
+                    &opts,
+                    &guard,
+                )
+                .unwrap_err();
+                assert!(matches!(
+                    err,
+                    CoreError::BudgetExhausted {
+                        resource: "wall-time-ms",
+                        ..
+                    }
+                ));
             }
         }
     }

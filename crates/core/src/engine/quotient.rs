@@ -103,7 +103,7 @@ pub struct CanonScratch {
 
 /// The group structure a [`GroupCanonicalizer`] exploits.
 #[derive(Debug, Clone)]
-enum Strategy {
+pub(super) enum Strategy {
     /// Cyclic rotations of a ring (positions in cycle order).
     Cycle,
     /// Rotations and reflections of a ring (positions in cycle order).
@@ -379,6 +379,48 @@ impl GroupCanonicalizer {
     /// equivariance gate.
     pub fn generators(&self) -> &[Vec<u32>] {
         &self.generators
+    }
+
+    /// Borrowed view of every field — the checkpoint snapshot surface
+    /// (the canonicalizer is pure data, so a final frame can embed it and
+    /// [`resume`](super::TransitionSystem::resume) can reconstruct
+    /// quotient systems without re-deriving the group).
+    #[allow(clippy::type_complexity)]
+    pub(super) fn snapshot_parts(
+        &self,
+    ) -> (&[u64], &[u64], &[u64], &[u64], &Strategy, u64, &[Vec<u32>]) {
+        (
+            &self.pos_weights,
+            &self.pos_radix,
+            &self.node_weights,
+            &self.node_radix,
+            &self.strategy,
+            self.group_order,
+            &self.generators,
+        )
+    }
+
+    /// Reassembles a canonicalizer from checkpointed parts (inverse of
+    /// [`GroupCanonicalizer::snapshot_parts`]).
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn from_snapshot_parts(
+        pos_weights: Vec<u64>,
+        pos_radix: Vec<u64>,
+        node_weights: Vec<u64>,
+        node_radix: Vec<u64>,
+        strategy: Strategy,
+        group_order: u64,
+        generators: Vec<Vec<u32>>,
+    ) -> Self {
+        GroupCanonicalizer {
+            pos_weights,
+            pos_radix,
+            node_weights,
+            node_radix,
+            strategy,
+            group_order,
+            generators,
+        }
     }
 
     /// Applies a node permutation to a configuration index:

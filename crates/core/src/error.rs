@@ -53,6 +53,70 @@ pub enum CoreError {
         /// The operation that was attempted.
         op: &'static str,
     },
+    /// A cooperative [`Budget`](crate::engine::Budget) probe found a
+    /// resource limit exhausted. Stages that receive this degrade
+    /// gracefully (a `Degraded` status in the study report) instead of
+    /// panicking or overcommitting memory.
+    BudgetExhausted {
+        /// The pipeline stage that hit the limit.
+        stage: &'static str,
+        /// Which resource ran out (`"wall-time-ms"` / `"bytes"` /
+        /// `"states"` / `"fault-injected"`).
+        resource: &'static str,
+        /// The configured limit.
+        limit: u64,
+        /// The usage observed at the probe.
+        used: u64,
+    },
+    /// A fault-injection kill-point fired: the
+    /// [`FaultPlan`](crate::engine::FaultPlan) requested the run die right
+    /// after the k-th durable checkpoint frame, simulating an abrupt
+    /// process death whose on-disk frames survive. Re-running the same
+    /// exploration with the same checkpoint directory resumes from those
+    /// frames.
+    Interrupted {
+        /// Number of durable frames written before the injected death.
+        after_frames: u64,
+    },
+    /// A checkpoint file could not be read or written.
+    CheckpointIo {
+        /// The offending path (or directory).
+        path: String,
+        /// The underlying I/O error, rendered.
+        detail: String,
+    },
+    /// A checkpoint frame failed validation (bad magic, truncated payload,
+    /// CRC32 mismatch, or an inconsistent field) and no usable earlier
+    /// state exists behind it.
+    CheckpointCorrupt {
+        /// The offending frame path.
+        path: String,
+        /// What failed.
+        detail: String,
+    },
+    /// [`TransitionSystem::resume`](crate::engine::TransitionSystem::resume)
+    /// was called on a checkpoint directory whose frame chain does not end
+    /// in a final frame: the exploration never completed. Re-run the
+    /// exploration with the same checkpoint directory to continue it.
+    CheckpointIncomplete {
+        /// The checkpoint directory.
+        dir: String,
+    },
+    /// A symmetry group too large to enumerate was requested (e.g. the
+    /// factorial automorphism group of a wide star, or brute-force search
+    /// over too many nodes).
+    SymmetryGroupTooLarge {
+        /// Size driving the blow-up (leaves or nodes).
+        size: usize,
+        /// The enumeration cap.
+        cap: usize,
+    },
+    /// An analysis that is only sound for deterministic algorithms was
+    /// invoked on a nondeterministic one.
+    DeterminismRequired {
+        /// The analysis that requires determinism.
+        context: &'static str,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -80,6 +144,38 @@ impl fmt::Display for CoreError {
                 f,
                 "{op} requires the flat edge store; compressed rows exist only in decoded form — iterate edge_iter/row_iter instead"
             ),
+            CoreError::BudgetExhausted {
+                stage,
+                resource,
+                limit,
+                used,
+            } => write!(
+                f,
+                "budget exhausted in stage `{stage}`: {resource} used {used} of {limit}"
+            ),
+            CoreError::Interrupted { after_frames } => write!(
+                f,
+                "fault injection killed the run after {after_frames} durable checkpoint frames; \
+                 re-run with the same checkpoint directory to resume"
+            ),
+            CoreError::CheckpointIo { path, detail } => {
+                write!(f, "checkpoint I/O failed at {path}: {detail}")
+            }
+            CoreError::CheckpointCorrupt { path, detail } => {
+                write!(f, "checkpoint frame {path} is corrupt: {detail}")
+            }
+            CoreError::CheckpointIncomplete { dir } => write!(
+                f,
+                "checkpoint directory {dir} holds no completed exploration (no final frame); \
+                 re-run the exploration with the same checkpoint directory to continue it"
+            ),
+            CoreError::SymmetryGroupTooLarge { size, cap } => write!(
+                f,
+                "symmetry group over {size} elements is too large to enumerate (cap {cap})"
+            ),
+            CoreError::DeterminismRequired { context } => {
+                write!(f, "{context} requires a deterministic algorithm")
+            }
         }
     }
 }
@@ -117,6 +213,33 @@ mod tests {
         let e = CoreError::FlatStoreRequired { op: "edges()" };
         assert!(e.to_string().contains("edges()"));
         assert!(e.to_string().contains("flat edge store"));
+        let e = CoreError::BudgetExhausted {
+            stage: "explore",
+            resource: "bytes",
+            limit: 1024,
+            used: 2048,
+        };
+        assert!(e.to_string().contains("explore"));
+        assert!(e.to_string().contains("2048 of 1024"));
+        let e = CoreError::Interrupted { after_frames: 3 };
+        assert!(e.to_string().contains("after 3 durable"));
+        let e = CoreError::CheckpointCorrupt {
+            path: "ckpt-000001.bin".into(),
+            detail: "crc mismatch".into(),
+        };
+        assert!(e.to_string().contains("ckpt-000001.bin"));
+        assert!(e.to_string().contains("crc mismatch"));
+        let e = CoreError::CheckpointIncomplete {
+            dir: "/tmp/x".into(),
+        };
+        assert!(e.to_string().contains("no final frame"));
+        let e = CoreError::SymmetryGroupTooLarge { size: 12, cap: 9 };
+        assert!(e.to_string().contains("12"));
+        assert!(e.to_string().contains("cap 9"));
+        let e = CoreError::DeterminismRequired {
+            context: "synchronous symmetry checking",
+        };
+        assert!(e.to_string().contains("deterministic"));
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Expected hitting times and hitting-time distributions.
 
+use stab_core::engine::Budget;
 use stab_core::{Configuration, LocalState};
 
 use crate::chain::AbsorbingChain;
@@ -79,20 +80,15 @@ impl HittingTimes {
 }
 
 impl<S: LocalState> AbsorbingChain<S> {
-    /// Solves `(I − Q) t = 1` for the expected stabilization times.
-    ///
-    /// # Errors
-    ///
-    /// [`MarkovError::NotAbsorbing`] if some configuration cannot reach
-    /// `L` (infinite expected time); solver errors otherwise.
-    pub fn expected_steps(&self) -> Result<HittingTimes, MarkovError> {
-        self.almost_surely_absorbing()?;
+    /// Solves `(I − Q) x = b` by the size-appropriate solver: dense
+    /// Gaussian elimination below [`DENSE_LIMIT`], budget-probed
+    /// Gauss–Seidel above it. One entry probe of the `solver` stage covers
+    /// the dense path (whose runtime is bounded by the limit).
+    fn solve_fundamental(&self, b: Vec<f64>, budget: &Budget) -> Result<Vec<f64>, MarkovError> {
         let n = self.n_transient();
-        if n == 0 {
-            return Ok(HittingTimes { times: Vec::new() });
-        }
-        let b = vec![1.0; n];
-        let times = if n <= DENSE_LIMIT {
+        debug_assert_eq!(b.len(), n);
+        budget.probe("solver", 0, 0)?;
+        if n <= DENSE_LIMIT {
             let mut a = vec![vec![0.0; n]; n];
             for (i, row) in a.iter_mut().enumerate() {
                 row[i] = 1.0;
@@ -100,10 +96,38 @@ impl<S: LocalState> AbsorbingChain<S> {
                     row[j as usize] -= q;
                 }
             }
-            linalg::solve_dense(a, b)?
+            linalg::solve_dense(a, b)
         } else {
-            linalg::gauss_seidel(self.q(), &b, TOL, 1_000_000)?
-        };
+            linalg::gauss_seidel_budgeted(self.q(), &b, TOL, 1_000_000, budget)
+        }
+    }
+
+    /// Solves `(I − Q) t = 1` for the expected stabilization times.
+    ///
+    /// # Errors
+    ///
+    /// [`MarkovError::NotAbsorbing`] if some configuration cannot reach
+    /// `L` (infinite expected time); solver errors otherwise.
+    pub fn expected_steps(&self) -> Result<HittingTimes, MarkovError> {
+        self.expected_steps_with(&Budget::unlimited())
+    }
+
+    /// [`AbsorbingChain::expected_steps`] under a cooperative [`Budget`]:
+    /// the iterative solver probes the `solver` stage each sweep, so an
+    /// exhausted wall-clock budget surfaces as
+    /// [`MarkovError::Core`]`(BudgetExhausted)` instead of iterating to
+    /// the sweep cap.
+    ///
+    /// # Errors
+    ///
+    /// As [`AbsorbingChain::expected_steps`], plus the budget error above.
+    pub fn expected_steps_with(&self, budget: &Budget) -> Result<HittingTimes, MarkovError> {
+        self.almost_surely_absorbing()?;
+        let n = self.n_transient();
+        if n == 0 {
+            return Ok(HittingTimes { times: Vec::new() });
+        }
+        let times = self.solve_fundamental(vec![1.0; n], budget)?;
         Ok(HittingTimes { times })
     }
 
@@ -143,23 +167,10 @@ impl<S: LocalState> AbsorbingChain<S> {
     pub fn expected_reward(&self, reward: &[f64]) -> Result<HittingTimes, MarkovError> {
         assert_eq!(reward.len(), self.n_transient(), "reward length mismatch");
         self.almost_surely_absorbing()?;
-        let n = self.n_transient();
-        if n == 0 {
+        if self.n_transient() == 0 {
             return Ok(HittingTimes { times: Vec::new() });
         }
-        let b = reward.to_vec();
-        let times = if n <= DENSE_LIMIT {
-            let mut a = vec![vec![0.0; n]; n];
-            for (i, row) in a.iter_mut().enumerate() {
-                row[i] = 1.0;
-                for (j, q) in self.q().row_iter(i) {
-                    row[j as usize] -= q;
-                }
-            }
-            linalg::solve_dense(a, b)?
-        } else {
-            linalg::gauss_seidel(self.q(), &b, TOL, 1_000_000)?
-        };
+        let times = self.solve_fundamental(reward.to_vec(), &Budget::unlimited())?;
         Ok(HittingTimes { times })
     }
 
@@ -185,23 +196,22 @@ impl<S: LocalState> AbsorbingChain<S> {
     ///
     /// Solver errors only; this does not require almost-sure absorption.
     pub fn absorption_probabilities(&self) -> Result<Vec<f64>, MarkovError> {
-        let n = self.n_transient();
-        if n == 0 {
+        self.absorption_probabilities_with(&Budget::unlimited())
+    }
+
+    /// [`AbsorbingChain::absorption_probabilities`] under a cooperative
+    /// [`Budget`] (`solver`-stage probes, as
+    /// [`AbsorbingChain::expected_steps_with`]).
+    ///
+    /// # Errors
+    ///
+    /// Solver errors, plus [`MarkovError::Core`]`(BudgetExhausted)` when a
+    /// probe trips.
+    pub fn absorption_probabilities_with(&self, budget: &Budget) -> Result<Vec<f64>, MarkovError> {
+        if self.n_transient() == 0 {
             return Ok(Vec::new());
         }
-        let b = self.absorb().to_vec();
-        if n <= DENSE_LIMIT {
-            let mut a = vec![vec![0.0; n]; n];
-            for (i, row) in a.iter_mut().enumerate() {
-                row[i] = 1.0;
-                for (j, q) in self.q().row_iter(i) {
-                    row[j as usize] -= q;
-                }
-            }
-            linalg::solve_dense(a, b)
-        } else {
-            linalg::gauss_seidel(self.q(), &b, TOL, 1_000_000)
-        }
+        self.solve_fundamental(self.absorb().to_vec(), budget)
     }
 
     /// The CDF of the stabilization time from the uniform initial
@@ -368,6 +378,29 @@ mod tests {
             (cdf.last().unwrap() - 1.0).abs() < 1e-6,
             "mass absorbs eventually"
         );
+    }
+
+    #[test]
+    fn budgeted_solves_degrade_or_match_unlimited() {
+        let a = Transformed::new(TwoProcessToggle::new());
+        let spec = ProjectedLegitimacy::new(TwoProcessToggle::new().legitimacy());
+        let chain = AbsorbingChain::build(&a, Daemon::Synchronous, &spec, 1 << 12).unwrap();
+        let expired = Budget::unlimited().with_wall_time(std::time::Duration::ZERO);
+        assert!(matches!(
+            chain.expected_steps_with(&expired),
+            Err(MarkovError::Core(stab_core::CoreError::BudgetExhausted {
+                stage: "solver",
+                ..
+            }))
+        ));
+        assert!(matches!(
+            chain.absorption_probabilities_with(&expired),
+            Err(MarkovError::Core(_))
+        ));
+        // Unlimited budgets reproduce the plain results exactly.
+        let plain = chain.expected_steps().unwrap();
+        let budgeted = chain.expected_steps_with(&Budget::unlimited()).unwrap();
+        assert_eq!(plain.as_slice(), budgeted.as_slice());
     }
 
     #[test]

@@ -9,6 +9,8 @@
 //! stream every sweep, trading time for the memory that lets 10⁸-entry
 //! chains fit.
 
+use stab_core::engine::Budget;
+
 use crate::error::MarkovError;
 use crate::qstore::QRows;
 
@@ -76,11 +78,34 @@ pub fn gauss_seidel<M: QRows>(
     tol: f64,
     max_iter: usize,
 ) -> Result<Vec<f64>, MarkovError> {
+    gauss_seidel_budgeted(q, b, tol, max_iter, &Budget::unlimited())
+}
+
+/// [`gauss_seidel`] under a cooperative [`Budget`]: each sweep probes the
+/// `solver` stage, so an exhausted wall-clock budget interrupts a slowly
+/// converging iteration with a typed error instead of spinning to
+/// `max_iter`.
+///
+/// # Errors
+///
+/// As [`gauss_seidel`], plus
+/// [`MarkovError::Core`]`(`[`CoreError::BudgetExhausted`]`)` when a probe
+/// trips.
+///
+/// [`CoreError::BudgetExhausted`]: stab_core::CoreError::BudgetExhausted
+pub fn gauss_seidel_budgeted<M: QRows>(
+    q: &M,
+    b: &[f64],
+    tol: f64,
+    max_iter: usize,
+    budget: &Budget,
+) -> Result<Vec<f64>, MarkovError> {
     let n = q.n_rows();
     assert_eq!(b.len(), n, "dimension mismatch");
     let mut x = b.to_vec();
     let mut residual = f64::INFINITY;
-    for _ in 0..max_iter {
+    for sweep in 0..max_iter {
+        budget.probe("solver", 0, sweep as u64)?;
         residual = 0.0;
         for i in 0..n {
             let mut acc = b[i];
@@ -191,6 +216,20 @@ mod tests {
                 dense[i]
             );
         }
+    }
+
+    #[test]
+    fn gauss_seidel_budget_trips_as_typed_core_error() {
+        let q = QMatrix::from_rows(vec![vec![(0u32, 0.5)]]);
+        let expired = Budget::unlimited().with_wall_time(std::time::Duration::ZERO);
+        let err = gauss_seidel_budgeted(&q, &[1.0], 1e-12, 10_000, &expired).unwrap_err();
+        assert!(matches!(
+            err,
+            MarkovError::Core(stab_core::CoreError::BudgetExhausted {
+                stage: "solver",
+                ..
+            })
+        ));
     }
 
     #[test]

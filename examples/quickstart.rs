@@ -57,7 +57,7 @@ fn main() {
     assert!(verdicts.probabilistic.holds, "Theorem 7");
     println!(
         "\nweak ✓   self@strongly-fair ✗   self@Gouda ✓   probabilistic ✓   ({} states)",
-        report.space.configs
+        report.space.as_ref().expect("explored").configs
     );
 
     // 3. The transformer of §4: guard → coin toss; one more study gives
@@ -110,7 +110,7 @@ fn main() {
     // The whole run is one versioned, serializable record.
     let json = quantitative.to_json_string();
     println!(
-        "\nStudyReport round-trips through {} bytes of study_report/v1 JSON ✓",
+        "\nStudyReport round-trips through {} bytes of study_report/v2 JSON ✓",
         json.len()
     );
     assert_eq!(

@@ -74,9 +74,10 @@ pub mod study;
 
 /// Convenient single-import surface for examples and downstream users.
 pub mod prelude {
-    pub use crate::study::{McConfig, Study, StudyReport};
+    pub use crate::study::{McConfig, Outcome, StatusSection, Study, StudyReport};
     pub use stab_algorithms;
     pub use stab_checker;
+    pub use stab_core::engine::{Budget, FaultPlan};
     pub use stab_core::{
         ActionId, ActionMask, Activation, Algorithm, Configuration, Daemon, Fairness, FairnessSet,
         Legitimacy, Outcomes, Trace, Transformed, View,

@@ -34,7 +34,7 @@
 //! assert!(verdicts.probabilistic.holds, "Theorem 7");
 //! // The report serializes; CI and bench bins consume the same object.
 //! let text = report.to_json_string();
-//! assert!(text.contains("study_report/v1"));
+//! assert!(text.contains("study_report/v2"));
 //! ```
 //!
 //! # What `run()` does
@@ -55,9 +55,29 @@
 //!    [`Study::expected_times`], [`Study::monte_carlo`]) contributes a
 //!    section to the [`StudyReport`]; unrequested stages cost nothing.
 //!
-//! The report is versioned (`study_report/v1`) and round-trips through
+//! The report is versioned (`study_report/v2`) and round-trips through
 //! JSON bit-for-bit, so the bench binaries and CI validate exactly the
 //! object users see.
+//!
+//! # Resilience
+//!
+//! Three builders make a study survive hostile environments (see the
+//! engine's `resilience` module for the machinery):
+//!
+//! * [`Study::budget`] threads a [`Budget`] through exploration, the
+//!   checker's Tarjan/verdict analyses and the Gauss–Seidel solver.
+//!   Exhaustion does **not** fail the run: the starved stage records
+//!   [`Outcome::Degraded`] in the report's [`StatusSection`], downstream
+//!   stages that needed its output record [`Outcome::Skipped`], and
+//!   `run()` still returns `Ok` — "the space was too big for the budget"
+//!   is a finding, not a crash.
+//! * [`Study::checkpoint`] persists exploration progress as a CRC-framed
+//!   delta-frame chain, so a killed process loses at most one frame
+//!   interval of work ([`TransitionSystem::resume`] rebuilds the system
+//!   bit-for-bit).
+//! * [`Study::faults`] injects deterministic kill-points and budget
+//!   trips (test/bench harness; a triggered kill surfaces as the real
+//!   [`CoreError::Interrupted`] a SIGKILL would leave behind).
 
 mod json;
 mod report;
@@ -65,15 +85,19 @@ mod report;
 pub use json::Json;
 pub use report::{
     DecisionRecord, EstimateRecord, ExpectedSection, ExpectedTimes, FairnessVerdict, McSection,
-    PlanSection, SpaceSection, StudyReport, Timings, VerdictRecord, VerdictsSection, SCHEMA,
+    Outcome, PlanSection, SpaceSection, StatusSection, StudyReport, Timings, VerdictRecord,
+    VerdictsSection, SCHEMA,
 };
 
+use std::path::PathBuf;
 use std::time::Instant;
 
-use stab_checker::{analyze_space, ExploredSpace, Verdict};
-use stab_core::engine::{ExploreMode, ExploreOptions, Plan, PlanRequest, TransitionSystem};
+use stab_checker::{analyze_space_budgeted, ExploredSpace, Verdict};
+use stab_core::engine::{
+    Budget, ExploreMode, ExploreOptions, FaultPlan, Plan, PlanRequest, RunGuard, TransitionSystem,
+};
 use stab_core::{Algorithm, CoreError, Daemon, FairnessSet, Legitimacy, SpaceIndexer};
-use stab_markov::AbsorbingChain;
+use stab_markov::{AbsorbingChain, MarkovError};
 use stab_sim::montecarlo::{estimate, BatchSettings};
 
 /// Default configuration-space cap: the engine's u32 id width (larger
@@ -141,6 +165,9 @@ pub struct Study<'a, A: Algorithm, Sp = NoSpec> {
     monte_carlo: Option<McConfig>,
     options: Option<ExploreOptions<A::State>>,
     plan_req: PlanRequest,
+    budget: Budget,
+    checkpoint: Option<(PathBuf, u64)>,
+    faults: FaultPlan,
 }
 
 impl<'a, A: Algorithm> Study<'a, A, NoSpec> {
@@ -159,6 +186,9 @@ impl<'a, A: Algorithm> Study<'a, A, NoSpec> {
             monte_carlo: None,
             options: None,
             plan_req: PlanRequest::default(),
+            budget: Budget::unlimited(),
+            checkpoint: None,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -189,6 +219,9 @@ impl<'a, A: Algorithm, Sp> Study<'a, A, Sp> {
             monte_carlo: self.monte_carlo,
             options: self.options,
             plan_req: self.plan_req,
+            budget: self.budget,
+            checkpoint: self.checkpoint,
+            faults: self.faults,
         }
     }
 
@@ -261,6 +294,39 @@ impl<'a, A: Algorithm, Sp> Study<'a, A, Sp> {
         self.plan_req = self.plan_req.with_byte_budget(bytes);
         self
     }
+
+    /// Caps the run's resources (wall time, bytes, states). Exhaustion
+    /// degrades the starved stage in the report's [`StatusSection`]
+    /// instead of failing the run — see the [module docs](self).
+    ///
+    /// A limited budget (like a checkpoint or an active fault plan)
+    /// routes exploration through the engine's sequential path, so
+    /// budgeted runs trade the parallel sweep for interruptibility.
+    #[must_use]
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Writes a checkpoint frame into `dir` every `every_n_states`
+    /// explored states; a killed run resumes via
+    /// [`TransitionSystem::resume`] (or by re-running the study with the
+    /// same directory — exploration restarts, but the frame chain is
+    /// replaced atomically, never torn).
+    #[must_use]
+    pub fn checkpoint(mut self, dir: impl Into<PathBuf>, every_n_states: u64) -> Self {
+        self.checkpoint = Some((dir.into(), every_n_states));
+        self
+    }
+
+    /// Installs a deterministic fault plan (kill after N checkpoint
+    /// frames, budget trip at the k-th probe) — the test/bench harness
+    /// for the resilience machinery.
+    #[must_use]
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
 }
 
 fn ms(start: Instant) -> f64 {
@@ -286,11 +352,19 @@ where
     /// # Errors
     ///
     /// Propagates [`CoreError`] from planning and exploration (space cap,
-    /// enabled-set enumeration, forced-quotient validation). Markov-stage
-    /// failures (absorption not almost sure, solver divergence) are *not*
-    /// errors: they are recorded in the report's
-    /// [`ExpectedSection::Unsolvable`], because "expected time is
-    /// infinite" is a finding, not a crash.
+    /// enabled-set enumeration, forced-quotient validation), including
+    /// [`CoreError::Interrupted`] from an injected kill — a killed
+    /// process has no report. Two failure families are *not* errors:
+    ///
+    /// * Markov-stage findings (absorption not almost sure, solver
+    ///   divergence) are recorded in the report's
+    ///   [`ExpectedSection::Unsolvable`], because "expected time is
+    ///   infinite" is a finding, not a crash.
+    /// * [`CoreError::BudgetExhausted`] from a [`Study::budget`] is
+    ///   recorded as [`Outcome::Degraded`] for the starved stage in the
+    ///   report's [`StatusSection`] ([`Outcome::Skipped`] for stages it
+    ///   starved downstream), because a resource-capped run must exit
+    ///   cleanly with whatever it finished.
     ///
     /// # Panics
     ///
@@ -359,79 +433,146 @@ where
         let plan_ms = ms(plan_start);
 
         // ---- Stage 1: the one exploration ----------------------------
+        let guard = RunGuard::new(self.budget.clone(), self.faults.clone());
+        let opts = match &self.checkpoint {
+            Some((dir, every)) => opts.with_checkpoint(dir, *every),
+            None => opts,
+        };
         let explore_start = Instant::now();
-        let ts = TransitionSystem::explore_with(self.alg, &ix, self.daemon, self.spec, &opts)?;
+        let explored = match TransitionSystem::explore_guarded(
+            self.alg,
+            &ix,
+            self.daemon,
+            self.spec,
+            &opts,
+            &guard,
+        ) {
+            Ok(ts) => Ok(ts),
+            Err(e @ CoreError::BudgetExhausted { .. }) => Err(e.to_string()),
+            Err(e) => return Err(e),
+        };
         let explore_ms = ms(explore_start);
-        let space_section = SpaceSection {
-            configs: ts.n_configs() as u64,
-            represented: ts.represented_configs(),
-            group_order: ts.group_order(),
-            edges: ts.n_edges(),
-            edge_bytes: ts.edge_bytes(),
-            legitimate: ts.legit_count(),
-            deterministic: ts.deterministic(),
-        };
-
-        // ---- Stage 2: Markov Q extraction (borrows the shared system)
-        let mut chain_build_ms = None;
-        let chain = if self.expected || self.chain_only {
-            let start = Instant::now();
-            let chain = AbsorbingChain::from_transition_system(ix.clone(), self.daemon, &ts);
-            chain_build_ms = Some(ms(start));
-            Some(chain)
-        } else {
-            None
-        };
-
-        // ---- Stage 3: checker verdicts (adopts the shared system) ----
-        let space = ExploredSpace::from_transition_system(ix, self.daemon, ts);
-        let mut verdicts_ms = None;
-        let verdicts = self.verdicts.map(|set| {
-            let start = Instant::now();
-            let report = analyze_space(&space, self.alg.name(), self.spec.name());
-            let section = VerdictsSection {
-                closure: record(&report.closure),
-                weak: record(&report.weak),
-                probabilistic: record(&report.probabilistic),
-                self_stabilizing: set
-                    .iter()
-                    .map(|f| FairnessVerdict {
-                        fairness: f.name().to_string(),
-                        verdict: record(report.self_under(f)),
-                    })
-                    .collect(),
-            };
-            verdicts_ms = Some(ms(start));
-            section
-        });
-
-        // ---- Stage 4: exact expected times ---------------------------
-        let mut expected_solve_ms = None;
-        let expected_times = chain.filter(|_| self.expected).map(|chain| {
-            let start = Instant::now();
-            let section = match (chain.expected_steps(), chain.absorption_probabilities()) {
-                (Ok(times), Ok(probs)) => {
-                    let min_absorption = probs.into_iter().fold(1.0f64, f64::min);
-                    ExpectedSection::Solved(ExpectedTimes {
-                        n_transient: chain.n_transient() as u64,
-                        worst_case: times.worst_case(),
-                        average: times.average_weighted(
-                            chain.transient_orbits(),
-                            chain.represented_configs(),
-                        ),
-                        min_absorption,
-                        cdf: self.cdf_horizon.map(|h| chain.hitting_cdf_uniform(h)),
-                    })
-                }
-                (Err(e), _) | (_, Err(e)) => ExpectedSection::Unsolvable {
-                    error: e.to_string(),
+        let (space_section, explore_outcome) = match &explored {
+            Ok(ts) => (
+                Some(SpaceSection {
+                    configs: ts.n_configs() as u64,
+                    represented: ts.represented_configs(),
+                    group_order: ts.group_order(),
+                    edges: ts.n_edges(),
+                    edge_bytes: ts.edge_bytes(),
+                    legitimate: ts.legit_count(),
+                    deterministic: ts.deterministic(),
+                }),
+                Outcome::Complete,
+            ),
+            Err(reason) => (
+                None,
+                Outcome::Degraded {
+                    reason: reason.clone(),
                 },
-            };
-            expected_solve_ms = Some(ms(start));
-            section
-        });
+            ),
+        };
 
-        // ---- Stage 5: seeded Monte-Carlo -----------------------------
+        let mut chain_build_ms = None;
+        let mut verdicts_ms = None;
+        let mut expected_solve_ms = None;
+        let mut verdicts = None;
+        let mut expected_times = None;
+        // A degraded exploration starves everything that needed the
+        // shared system; those stages stay `Skipped`.
+        let mut chain_build_outcome = Outcome::Skipped;
+        let mut verdicts_outcome = Outcome::Skipped;
+        let mut expected_outcome = Outcome::Skipped;
+
+        if let Ok(ts) = explored {
+            // ---- Stage 2: Markov Q extraction (borrows the system) ---
+            let chain = if self.expected || self.chain_only {
+                let start = Instant::now();
+                let chain = AbsorbingChain::from_transition_system(ix.clone(), self.daemon, &ts);
+                chain_build_ms = Some(ms(start));
+                chain_build_outcome = Outcome::Complete;
+                Some(chain)
+            } else {
+                None
+            };
+
+            // ---- Stage 3: checker verdicts (adopts the system) -------
+            let space = ExploredSpace::from_transition_system(ix, self.daemon, ts);
+            if let Some(set) = self.verdicts {
+                let start = Instant::now();
+                match analyze_space_budgeted(
+                    &space,
+                    self.alg.name(),
+                    self.spec.name(),
+                    guard.budget(),
+                ) {
+                    Ok(report) => {
+                        verdicts = Some(VerdictsSection {
+                            closure: record(&report.closure),
+                            weak: record(&report.weak),
+                            probabilistic: record(&report.probabilistic),
+                            self_stabilizing: set
+                                .iter()
+                                .map(|f| FairnessVerdict {
+                                    fairness: f.name().to_string(),
+                                    verdict: record(report.self_under(f)),
+                                })
+                                .collect(),
+                        });
+                        verdicts_outcome = Outcome::Complete;
+                    }
+                    Err(e @ CoreError::BudgetExhausted { .. }) => {
+                        verdicts_outcome = Outcome::Degraded {
+                            reason: e.to_string(),
+                        };
+                    }
+                    Err(e) => return Err(e),
+                }
+                verdicts_ms = Some(ms(start));
+            }
+
+            // ---- Stage 4: exact expected times -----------------------
+            if let Some(chain) = chain.filter(|_| self.expected) {
+                let start = Instant::now();
+                let budget = guard.budget();
+                match (
+                    chain.expected_steps_with(budget),
+                    chain.absorption_probabilities_with(budget),
+                ) {
+                    (Ok(times), Ok(probs)) => {
+                        let min_absorption = probs.into_iter().fold(1.0f64, f64::min);
+                        expected_times = Some(ExpectedSection::Solved(ExpectedTimes {
+                            n_transient: chain.n_transient() as u64,
+                            worst_case: times.worst_case(),
+                            average: times.average_weighted(
+                                chain.transient_orbits(),
+                                chain.represented_configs(),
+                            ),
+                            min_absorption,
+                            cdf: self.cdf_horizon.map(|h| chain.hitting_cdf_uniform(h)),
+                        }));
+                        expected_outcome = Outcome::Complete;
+                    }
+                    (Err(MarkovError::Core(e @ CoreError::BudgetExhausted { .. })), _)
+                    | (_, Err(MarkovError::Core(e @ CoreError::BudgetExhausted { .. }))) => {
+                        expected_outcome = Outcome::Degraded {
+                            reason: e.to_string(),
+                        };
+                    }
+                    (Err(e), _) | (_, Err(e)) => {
+                        // "No finite expected time" is itself a result.
+                        expected_times = Some(ExpectedSection::Unsolvable {
+                            error: e.to_string(),
+                        });
+                        expected_outcome = Outcome::Complete;
+                    }
+                }
+                expected_solve_ms = Some(ms(start));
+            }
+        }
+
+        // ---- Stage 5: seeded Monte-Carlo (needs no exploration, so it
+        // runs even when the explore stage degraded) -------------------
         let mut monte_carlo_ms = None;
         let monte_carlo = self.monte_carlo.as_ref().map(|config| {
             let start = Instant::now();
@@ -454,6 +595,18 @@ where
             spec: self.spec.name(),
             daemon: self.daemon,
             plan: plan_section,
+            status: StatusSection {
+                plan: Outcome::Complete,
+                explore: explore_outcome,
+                verdicts: verdicts_outcome,
+                chain_build: chain_build_outcome,
+                expected_solve: expected_outcome,
+                monte_carlo: if monte_carlo.is_some() {
+                    Outcome::Complete
+                } else {
+                    Outcome::Skipped
+                },
+            },
             space: space_section,
             verdicts,
             expected_times,

@@ -1,15 +1,103 @@
 //! The serializable record of one [`Study`](super::Study) run.
 //!
-//! [`StudyReport`] is versioned (`study_report/v1`) and round-trips
+//! [`StudyReport`] is versioned (`study_report/v2`) and round-trips
 //! through its JSON form bit-for-bit — bench binaries, CI validators and
 //! downstream consumers all read the same object users see in code.
+//!
+//! v2 adds the [`StatusSection`]: one [`Outcome`] per stage, so a study
+//! interrupted by an exhausted [`Budget`](stab_core::engine::Budget)
+//! still produces a well-formed report — the starved stage reads
+//! `Degraded` with the budget's rendered reason, stages that never ran
+//! read `Skipped`, and `space` became optional because a degraded
+//! exploration has no counters to report.
 
 use stab_core::{Daemon, Fairness};
 
 use super::json::Json;
 
 /// The schema tag every serialized report carries.
-pub const SCHEMA: &str = "study_report/v1";
+pub const SCHEMA: &str = "study_report/v2";
+
+/// How one stage of a study ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// The stage ran to completion.
+    Complete,
+    /// A budget probe tripped mid-stage: the stage's section is absent
+    /// (or partial) and `reason` carries the rendered
+    /// [`CoreError::BudgetExhausted`](stab_core::CoreError::BudgetExhausted).
+    Degraded {
+        /// The rendered exhaustion error.
+        reason: String,
+    },
+    /// The stage never ran — not requested, or starved by an upstream
+    /// degradation.
+    Skipped,
+}
+
+impl Outcome {
+    /// Whether this stage degraded.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, Outcome::Degraded { .. })
+    }
+
+    fn to_json(&self) -> Json {
+        match self {
+            Outcome::Complete => Json::Str("complete".to_string()),
+            Outcome::Skipped => Json::Str("skipped".to_string()),
+            Outcome::Degraded { reason } => obj(vec![("degraded", Json::Str(reason.clone()))]),
+        }
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        if let Some(tag) = v.as_str() {
+            return match tag {
+                "complete" => Ok(Outcome::Complete),
+                "skipped" => Ok(Outcome::Skipped),
+                other => Err(format!("unknown stage outcome `{other}`")),
+            };
+        }
+        v.get("degraded")
+            .and_then(Json::as_str)
+            .map(|reason| Outcome::Degraded {
+                reason: reason.to_string(),
+            })
+            .ok_or_else(|| "stage outcome is not `complete`/`skipped`/{degraded}".to_string())
+    }
+}
+
+/// Per-stage outcomes (same stage names as [`Timings`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatusSection {
+    /// Planning.
+    pub plan: Outcome,
+    /// The one shared exploration.
+    pub explore: Outcome,
+    /// Checker analyses.
+    pub verdicts: Outcome,
+    /// `Q`-row extraction.
+    pub chain_build: Outcome,
+    /// Hitting-time / absorption solves.
+    pub expected_solve: Outcome,
+    /// Monte-Carlo batch.
+    pub monte_carlo: Outcome,
+}
+
+impl StatusSection {
+    /// Whether any stage degraded.
+    pub fn any_degraded(&self) -> bool {
+        [
+            &self.plan,
+            &self.explore,
+            &self.verdicts,
+            &self.chain_build,
+            &self.expected_solve,
+            &self.monte_carlo,
+        ]
+        .into_iter()
+        .any(Outcome::is_degraded)
+    }
+}
 
 /// What the planner decided before exploring (mirrors
 /// `stab_core::engine::Plan`, flattened to stable labels).
@@ -239,8 +327,11 @@ pub struct StudyReport {
     pub daemon: Daemon,
     /// What was decided before exploring, and why.
     pub plan: PlanSection,
-    /// Measured counters of the shared exploration.
-    pub space: SpaceSection,
+    /// How each stage ended (complete / degraded / skipped).
+    pub status: StatusSection,
+    /// Measured counters of the shared exploration (`None` when the
+    /// exploration itself degraded).
+    pub space: Option<SpaceSection>,
     /// Checker verdicts (when the stage was requested).
     pub verdicts: Option<VerdictsSection>,
     /// Exact expected times (when the stage was requested).
@@ -277,7 +368,13 @@ impl StudyReport {
             ("spec", Json::Str(self.spec.clone())),
             ("daemon", Json::Str(self.daemon.name().to_string())),
             ("plan", self.plan.to_json()),
-            ("space", self.space.to_json()),
+            ("status", self.status.to_json()),
+            (
+                "space",
+                self.space
+                    .as_ref()
+                    .map_or(Json::Null, SpaceSection::to_json),
+            ),
             (
                 "verdicts",
                 self.verdicts
@@ -330,7 +427,8 @@ impl StudyReport {
             spec: str_field(&v, "spec")?.to_string(),
             daemon,
             plan: PlanSection::from_json(field(&v, "plan")?)?,
-            space: SpaceSection::from_json(field(&v, "space")?)?,
+            status: StatusSection::from_json(field(&v, "status")?)?,
+            space: nullable(&v, "space", SpaceSection::from_json)?,
             verdicts: nullable(&v, "verdicts", VerdictsSection::from_json)?,
             expected_times: nullable(&v, "expected_times", ExpectedSection::from_json)?,
             monte_carlo: nullable(&v, "monte_carlo", McSection::from_json)?,
@@ -453,6 +551,30 @@ impl DecisionRecord {
             choice: str_field(v, "choice")?.to_string(),
             auto: bool_field(v, "auto")?,
             reason: str_field(v, "reason")?.to_string(),
+        })
+    }
+}
+
+impl StatusSection {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("plan", self.plan.to_json()),
+            ("explore", self.explore.to_json()),
+            ("verdicts", self.verdicts.to_json()),
+            ("chain_build", self.chain_build.to_json()),
+            ("expected_solve", self.expected_solve.to_json()),
+            ("monte_carlo", self.monte_carlo.to_json()),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(StatusSection {
+            plan: Outcome::from_json(field(v, "plan")?)?,
+            explore: Outcome::from_json(field(v, "explore")?)?,
+            verdicts: Outcome::from_json(field(v, "verdicts")?)?,
+            chain_build: Outcome::from_json(field(v, "chain_build")?)?,
+            expected_solve: Outcome::from_json(field(v, "expected_solve")?)?,
+            monte_carlo: Outcome::from_json(field(v, "monte_carlo")?)?,
         })
     }
 }

@@ -87,7 +87,7 @@ fn auto_planned_run_is_one_exploration() {
     // The equivariance gate admits Herman's full dihedral group.
     assert_eq!(report.plan.quotient, "automorphism");
     assert_eq!(report.plan.group_order, 14);
-    assert_eq!(report.space.represented, 1 << 7);
+    assert_eq!(report.space.as_ref().unwrap().represented, 1 << 7);
 }
 
 /// The acceptance case: Herman N=13 under the default byte budget. The
@@ -122,8 +122,9 @@ fn herman13_auto_plan_picks_quotient_and_compressed_and_matches_pr4() {
     for decision in &report.plan.decisions {
         assert!(decision.auto, "unexpected forced decision: {decision:?}");
     }
-    assert_eq!(report.space.represented, 1 << 13);
-    assert!(report.space.configs < (1 << 13) / 2);
+    let space = report.space.as_ref().unwrap();
+    assert_eq!(space.represented, 1 << 13);
+    assert!(space.configs < (1 << 13) / 2);
 
     // Bit-for-bit against the expert pipeline on the same (auto-chosen)
     // options: shared-exploration refactor changed no value.

@@ -83,6 +83,7 @@ fn fixed_point_free_mirror_is_essential() {
 
     let g3 = builders::path(3);
     let mirror3 = Automorphism::all(&g3)
+        .unwrap()
         .into_iter()
         .find(|a| !a.is_identity())
         .unwrap();
@@ -110,6 +111,7 @@ fn port_labeling_subtlety_is_documented_by_the_checker() {
     // informal proof skips this; the reproduction surfaces it.)
     let g = builders::path(4);
     let mirror = Automorphism::all(&g)
+        .unwrap()
         .into_iter()
         .find(|a| !a.is_identity())
         .unwrap();
