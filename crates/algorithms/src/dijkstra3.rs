@@ -1,0 +1,253 @@
+//! Dijkstra's three-state token ring (CACM 1974, second solution): the
+//! minimal-alphabet deterministic self-stabilizing baseline, and the
+//! second half of the oracle pair pinning the checker against published
+//! proofs.
+//!
+//! Machines `0..N` sit on a bidirectional ring with two exceptional
+//! machines adjacent to each other: the *bottom* (machine 0) and the
+//! *top* (machine `N−1`). Each state is `S ∈ {0, 1, 2}` and arithmetic is
+//! mod 3; `L`/`R` are the counter-clockwise/clockwise neighbours, and the
+//! top machine's clockwise neighbour is the bottom machine `B`:
+//!
+//! ```text
+//! bottom :: S+1 = R            → S ← S−1
+//! normal :: S+1 = L            → S ← L
+//!           S+1 = R            → S ← R
+//! top    :: L = B ∧ L+1 ≠ S    → S ← L+1
+//! ```
+//!
+//! A machine is *privileged* iff some guard holds; legitimacy is "exactly
+//! one privilege". Dijkstra's theorem: for `N ≥ 3` the system
+//! self-stabilizes under the central daemon — with only three states per
+//! machine, independent of `N` (the K-state solution needs `K ≥ N`).
+//! Both normal-machine moves assign `S+1`, so they fold into one action
+//! guarded by the disjunction and the machine is honestly deterministic
+//! (the checker's determinism audit counts multi-action masks against the
+//! protocol even when the outcomes coincide).
+
+use stab_core::{ActionId, ActionMask, Algorithm, Configuration, Legitimacy, Outcomes, View};
+use stab_graph::{Graph, GraphError, NodeId, RingOrientation};
+
+/// Dijkstra's three-state protocol on an oriented ring: bottom machine 0,
+/// top machine `N−1`.
+#[derive(Debug, Clone)]
+pub struct DijkstraThreeState {
+    g: Graph,
+    orient: RingOrientation,
+    bottom: NodeId,
+    top: NodeId,
+}
+
+impl DijkstraThreeState {
+    /// Instantiates the protocol on `g`. The bottom machine is node 0 and
+    /// the top machine is node `N−1`, adjacent along the canonical
+    /// orientation (as [`builders::ring`](stab_graph::builders::ring)
+    /// labels them).
+    ///
+    /// Like the K-state ring, the exceptional machines break anonymity,
+    /// so the protocol is not rotation-equivariant and must not be
+    /// explored under a ring quotient.
+    ///
+    /// ```
+    /// use stab_algorithms::DijkstraThreeState;
+    /// use stab_core::Algorithm;
+    /// use stab_graph::builders;
+    ///
+    /// let alg = DijkstraThreeState::on_ring(&builders::ring(5)).unwrap();
+    /// assert_eq!(alg.n(), 5);
+    /// assert!(DijkstraThreeState::on_ring(&builders::path(4)).is_err());
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NotARing`] if `g` is not a ring.
+    pub fn on_ring(g: &Graph) -> Result<Self, GraphError> {
+        let orient = RingOrientation::canonical(g)?;
+        Ok(DijkstraThreeState {
+            bottom: NodeId::new(0),
+            top: NodeId::new(g.n() - 1),
+            g: g.clone(),
+            orient,
+        })
+    }
+
+    /// The bottom machine (node 0).
+    pub fn bottom(&self) -> NodeId {
+        self.bottom
+    }
+
+    /// The top machine (node `N−1`).
+    pub fn top(&self) -> NodeId {
+        self.top
+    }
+
+    /// The privileged machines of `cfg` (those with a holding guard).
+    pub fn privileged(&self, cfg: &Configuration<u8>) -> Vec<NodeId> {
+        self.enabled_nodes(cfg)
+    }
+
+    /// Legitimacy: exactly one privilege.
+    pub fn legitimacy(&self) -> ThreeStatePrivilege {
+        ThreeStatePrivilege { alg: self.clone() }
+    }
+}
+
+impl Algorithm for DijkstraThreeState {
+    type State = u8;
+
+    fn graph(&self) -> &Graph {
+        &self.g
+    }
+
+    fn name(&self) -> String {
+        format!("dijkstra-three-state(N={})", self.g.n())
+    }
+
+    fn state_space(&self, _node: NodeId) -> Vec<u8> {
+        vec![0, 1, 2]
+    }
+
+    fn enabled_actions<V: View<u8>>(&self, view: &V) -> ActionMask {
+        let me = *view.me();
+        let v = view.node();
+        // Counter-clockwise neighbour L = predecessor, clockwise R =
+        // successor; the top machine's successor is the bottom machine B.
+        if v == self.bottom {
+            let r = *view.neighbor(self.orient.succ_port(v));
+            ActionMask::when((me + 1) % 3 == r, ActionId::A1)
+        } else if v == self.top {
+            let l = *view.neighbor(self.orient.pred_port(v));
+            let b = *view.neighbor(self.orient.succ_port(v));
+            ActionMask::when(l == b && (l + 1) % 3 != me, ActionId::A1)
+        } else {
+            let l = *view.neighbor(self.orient.pred_port(v));
+            let r = *view.neighbor(self.orient.succ_port(v));
+            let next = (me + 1) % 3;
+            ActionMask::when(next == l || next == r, ActionId::A1)
+        }
+    }
+
+    fn apply<V: View<u8>>(&self, view: &V, _action: ActionId) -> Outcomes<u8> {
+        let me = *view.me();
+        let v = view.node();
+        if v == self.bottom {
+            Outcomes::certain((me + 2) % 3)
+        } else if v == self.top {
+            let l = *view.neighbor(self.orient.pred_port(v));
+            Outcomes::certain((l + 1) % 3)
+        } else {
+            // Both of Dijkstra's normal moves copy the matching neighbour,
+            // and whichever matches equals S+1.
+            Outcomes::certain((me + 1) % 3)
+        }
+    }
+}
+
+/// Exactly one privileged machine.
+#[derive(Debug, Clone)]
+pub struct ThreeStatePrivilege {
+    alg: DijkstraThreeState,
+}
+
+impl Legitimacy<u8> for ThreeStatePrivilege {
+    fn name(&self) -> String {
+        "single-privilege".into()
+    }
+
+    fn is_legitimate(&self, cfg: &Configuration<u8>) -> bool {
+        let mut count = 0;
+        for v in self.alg.g.nodes() {
+            if self.alg.is_enabled(cfg, v) {
+                count += 1;
+                if count > 1 {
+                    return false;
+                }
+            }
+        }
+        count == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stab_core::{semantics, Activation, SpaceIndexer};
+    use stab_graph::builders;
+
+    fn alg(n: usize) -> DijkstraThreeState {
+        DijkstraThreeState::on_ring(&builders::ring(n)).unwrap()
+    }
+
+    /// Dijkstra's invariant: at least one machine is always privileged.
+    #[test]
+    fn no_deadlock_anywhere() {
+        for n in [3usize, 4, 5] {
+            let a = alg(n);
+            let ix = SpaceIndexer::new(&a, 1 << 22).unwrap();
+            for cfg in ix.iter() {
+                assert!(
+                    !a.privileged(&cfg).is_empty(),
+                    "deadlocked configuration {cfg:?} (N={n})"
+                );
+            }
+        }
+    }
+
+    /// Central-daemon self-stabilization by brute force on a small ring:
+    /// every greedy sequential execution converges to a single privilege.
+    #[test]
+    fn sequential_runs_converge() {
+        let a = alg(4);
+        let spec = a.legitimacy();
+        let ix = SpaceIndexer::new(&a, 1 << 22).unwrap();
+        for cfg0 in ix.iter() {
+            let mut cfg = cfg0.clone();
+            let mut moves = 0usize;
+            while !spec.is_legitimate(&cfg) {
+                let v = *a.enabled_nodes(&cfg).last().expect("no deadlock");
+                cfg = semantics::deterministic_successor(&a, &cfg, &Activation::singleton(v));
+                moves += 1;
+                assert!(moves < 1000, "no convergence from {cfg0:?}");
+            }
+        }
+    }
+
+    /// Closure: the single privilege circulates without duplicating.
+    #[test]
+    fn closure_and_circulation() {
+        let a = alg(5);
+        let spec = a.legitimacy();
+        // All-equal is legitimate: only the bottom guard can fire... not
+        // here — with S ≡ 2 everywhere, L = B holds at the top and
+        // L+1 = 0 ≠ 2, so exactly the top is privileged.
+        let mut cfg = Configuration::from_vec(vec![2u8; 5]);
+        assert_eq!(a.privileged(&cfg), vec![a.top()]);
+        let mut seen_privileged = std::collections::HashSet::new();
+        for _ in 0..30 {
+            assert!(spec.is_legitimate(&cfg), "closure violated at {cfg:?}");
+            let p = a.privileged(&cfg)[0];
+            seen_privileged.insert(p);
+            cfg = semantics::deterministic_successor(&a, &cfg, &Activation::singleton(p));
+        }
+        assert_eq!(seen_privileged.len(), 5, "every machine gets the privilege");
+    }
+
+    #[test]
+    fn three_states_regardless_of_n() {
+        for n in [3usize, 7, 11] {
+            let a = alg(n);
+            for v in a.graph().nodes() {
+                assert_eq!(a.state_space(v), vec![0, 1, 2]);
+            }
+        }
+    }
+
+    #[test]
+    fn name_and_topology_validation() {
+        assert_eq!(alg(4).name(), "dijkstra-three-state(N=4)");
+        assert!(matches!(
+            DijkstraThreeState::on_ring(&builders::path(4)),
+            Err(GraphError::NotARing)
+        ));
+    }
+}

@@ -1,0 +1,328 @@
+//! Dijkstra's four-state protocol on a line (CACM 1974, third solution):
+//! the token-passing oracle on a *path* topology, completing the oracle
+//! zoo's coverage of Dijkstra's three published machines.
+//!
+//! Machines `0..N` form a chain; the *bottom* (one end) has `up ≡ true`
+//! and the *top* (other end) `up ≡ false` by definition, so their state
+//! is one boolean `x` while normal machines carry `(x, up)`:
+//!
+//! ```text
+//! bottom :: x = xR ∧ ¬upR        → x ← ¬x
+//! normal :: x ≠ xL               → x ← ¬x, up ← true
+//!           x = xR ∧ up ∧ ¬upR   → up ← false
+//! top    :: x ≠ xL               → x ← ¬x
+//! ```
+//!
+//! A machine is *privileged* iff some guard holds; legitimacy is "exactly
+//! one privilege", and the privilege bounces between bottom and top.
+//! Dijkstra's theorem: the system self-stabilizes under the central
+//! daemon with four states per machine on a line — no wrap-around link,
+//! unlike both token rings.
+//!
+//! Dijkstra's two normal-machine rules are not mutually exclusive; when
+//! both hold we fire the first, and bake that priority into the second
+//! guard (`x = xL ∧ …`). Restricting the nondeterminism only removes
+//! executions and leaves the enabled set untouched, so closure and
+//! convergence survive the refinement — and the determinism audit sees a
+//! genuinely deterministic machine.
+//!
+//! States are packed as `x + 2·up`; the per-node alphabets restrict the
+//! exceptional machines to their fixed `up` ([`Algorithm::state_space`]
+//! returns 2 states for bottom/top, 4 for normal machines — the engine's
+//! mixed-radix indexer handles ragged alphabets natively).
+
+use stab_core::{ActionId, ActionMask, Algorithm, Configuration, Legitimacy, Outcomes, View};
+use stab_graph::{Graph, GraphError, NodeId, PortId};
+
+/// `x` bit of a packed state.
+#[inline]
+fn x(s: u8) -> bool {
+    s & 1 != 0
+}
+
+/// `up` bit of a packed state.
+#[inline]
+fn up(s: u8) -> bool {
+    s & 2 != 0
+}
+
+/// Packs `(x, up)`.
+#[inline]
+fn pack(x: bool, up: bool) -> u8 {
+    u8::from(x) | (u8::from(up) << 1)
+}
+
+/// Dijkstra's four-state protocol on a path: bottom at the
+/// smaller-labelled leaf, top at the other.
+#[derive(Debug, Clone)]
+pub struct DijkstraFourState {
+    g: Graph,
+    /// Port towards the bottom end (`None` at the bottom itself).
+    pred_port: Vec<Option<PortId>>,
+    /// Port towards the top end (`None` at the top itself).
+    succ_port: Vec<Option<PortId>>,
+    bottom: NodeId,
+    top: NodeId,
+}
+
+impl DijkstraFourState {
+    /// Instantiates the protocol on the path `g` (any labelling; the
+    /// chain is walked from the smaller-labelled leaf, which becomes the
+    /// bottom machine).
+    ///
+    /// ```
+    /// use stab_algorithms::DijkstraFourState;
+    /// use stab_core::Algorithm;
+    /// use stab_graph::builders;
+    ///
+    /// let alg = DijkstraFourState::on_path(&builders::path(4)).unwrap();
+    /// assert_eq!(alg.n(), 4);
+    /// assert!(DijkstraFourState::on_path(&builders::star(4)).is_err());
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NotAPath`] if `g` is not a chain of at least
+    /// two machines.
+    pub fn on_path(g: &Graph) -> Result<Self, GraphError> {
+        let n = g.n();
+        if n < 2 || !g.is_tree() || g.nodes().any(|v| g.degree(v) > 2) {
+            return Err(GraphError::NotAPath);
+        }
+        let leaves = g.leaves();
+        debug_assert_eq!(leaves.len(), 2, "a chain tree has exactly two leaves");
+        let bottom = std::cmp::min(leaves[0], leaves[1]);
+        let mut pred_port = vec![None; n];
+        let mut succ_port = vec![None; n];
+        let mut prev: Option<NodeId> = None;
+        let mut cur = bottom;
+        loop {
+            if let Some(p) = prev {
+                let towards = (0..g.degree(cur))
+                    .map(PortId::new)
+                    .find(|&q| g.neighbor(cur, q) == p)
+                    .expect("predecessor is a neighbour");
+                pred_port[cur.index()] = Some(towards);
+            }
+            let next = g.neighbors(cur).iter().copied().find(|&w| Some(w) != prev);
+            match next {
+                Some(w) => {
+                    let towards = (0..g.degree(cur))
+                        .map(PortId::new)
+                        .find(|&q| g.neighbor(cur, q) == w)
+                        .expect("successor is a neighbour");
+                    succ_port[cur.index()] = Some(towards);
+                    prev = Some(cur);
+                    cur = w;
+                }
+                None => break,
+            }
+        }
+        Ok(DijkstraFourState {
+            g: g.clone(),
+            pred_port,
+            succ_port,
+            bottom,
+            top: cur,
+        })
+    }
+
+    /// The bottom machine (`up ≡ true`).
+    pub fn bottom(&self) -> NodeId {
+        self.bottom
+    }
+
+    /// The top machine (`up ≡ false`).
+    pub fn top(&self) -> NodeId {
+        self.top
+    }
+
+    /// The privileged machines of `cfg` (those with a holding guard).
+    pub fn privileged(&self, cfg: &Configuration<u8>) -> Vec<NodeId> {
+        self.enabled_nodes(cfg)
+    }
+
+    /// Legitimacy: exactly one privilege.
+    pub fn legitimacy(&self) -> FourStatePrivilege {
+        FourStatePrivilege { alg: self.clone() }
+    }
+}
+
+impl Algorithm for DijkstraFourState {
+    type State = u8;
+
+    fn graph(&self) -> &Graph {
+        &self.g
+    }
+
+    fn name(&self) -> String {
+        format!("dijkstra-four-state(N={})", self.g.n())
+    }
+
+    fn state_space(&self, node: NodeId) -> Vec<u8> {
+        if node == self.bottom {
+            vec![pack(false, true), pack(true, true)]
+        } else if node == self.top {
+            vec![pack(false, false), pack(true, false)]
+        } else {
+            vec![0, 1, 2, 3]
+        }
+    }
+
+    fn enabled_actions<V: View<u8>>(&self, view: &V) -> ActionMask {
+        let me = *view.me();
+        let v = view.node();
+        if v == self.bottom {
+            let r = *view.neighbor(self.succ_port[v.index()].expect("bottom has a successor"));
+            ActionMask::when(x(me) == x(r) && !up(r), ActionId::A1)
+        } else if v == self.top {
+            let l = *view.neighbor(self.pred_port[v.index()].expect("top has a predecessor"));
+            ActionMask::when(x(me) != x(l), ActionId::A1)
+        } else {
+            let l = *view.neighbor(self.pred_port[v.index()].expect("normal has a predecessor"));
+            let r = *view.neighbor(self.succ_port[v.index()].expect("normal has a successor"));
+            ActionMask::when(x(me) != x(l), ActionId::A1).union(ActionMask::when(
+                x(me) == x(l) && x(me) == x(r) && up(me) && !up(r),
+                ActionId::A2,
+            ))
+        }
+    }
+
+    fn apply<V: View<u8>>(&self, view: &V, action: ActionId) -> Outcomes<u8> {
+        let me = *view.me();
+        let v = view.node();
+        if v == self.bottom {
+            Outcomes::certain(pack(!x(me), true))
+        } else if v == self.top {
+            Outcomes::certain(pack(!x(me), false))
+        } else if action == ActionId::A1 {
+            Outcomes::certain(pack(!x(me), true))
+        } else {
+            Outcomes::certain(pack(x(me), false))
+        }
+    }
+}
+
+/// Exactly one privileged machine.
+#[derive(Debug, Clone)]
+pub struct FourStatePrivilege {
+    alg: DijkstraFourState,
+}
+
+impl Legitimacy<u8> for FourStatePrivilege {
+    fn name(&self) -> String {
+        "single-privilege".into()
+    }
+
+    fn is_legitimate(&self, cfg: &Configuration<u8>) -> bool {
+        let mut count = 0;
+        for v in self.alg.g.nodes() {
+            if self.alg.is_enabled(cfg, v) {
+                count += 1;
+                if count > 1 {
+                    return false;
+                }
+            }
+        }
+        count == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stab_core::{semantics, Activation, SpaceIndexer};
+    use stab_graph::builders;
+
+    fn alg(n: usize) -> DijkstraFourState {
+        DijkstraFourState::on_path(&builders::path(n)).unwrap()
+    }
+
+    #[test]
+    fn exceptional_machines_have_two_states() {
+        let a = alg(5);
+        assert_eq!(a.state_space(a.bottom()), vec![2, 3]); // up ≡ true
+        assert_eq!(a.state_space(a.top()), vec![0, 1]); // up ≡ false
+        assert_eq!(a.state_space(NodeId::new(2)).len(), 4);
+        // Space size: 2 · 4^(N−2) · 2.
+        let ix = SpaceIndexer::new(&a, 1 << 22).unwrap();
+        assert_eq!(ix.total(), 2 * 4 * 4 * 4 * 2);
+    }
+
+    /// Dijkstra's invariant: at least one machine is always privileged.
+    #[test]
+    fn no_deadlock_anywhere() {
+        for n in [2usize, 3, 4, 5] {
+            let a = alg(n);
+            let ix = SpaceIndexer::new(&a, 1 << 22).unwrap();
+            for cfg in ix.iter() {
+                assert!(
+                    !a.privileged(&cfg).is_empty(),
+                    "deadlocked configuration {cfg:?} (N={n})"
+                );
+            }
+        }
+    }
+
+    /// Central-daemon self-stabilization by brute force: every greedy
+    /// sequential execution converges to a single privilege.
+    #[test]
+    fn sequential_runs_converge() {
+        let a = alg(4);
+        let spec = a.legitimacy();
+        let ix = SpaceIndexer::new(&a, 1 << 22).unwrap();
+        for cfg0 in ix.iter() {
+            let mut cfg = cfg0.clone();
+            let mut moves = 0usize;
+            while !spec.is_legitimate(&cfg) {
+                let v = *a.enabled_nodes(&cfg).last().expect("no deadlock");
+                cfg = semantics::deterministic_successor(&a, &cfg, &Activation::singleton(v));
+                moves += 1;
+                assert!(moves < 1000, "no convergence from {cfg0:?}");
+            }
+        }
+    }
+
+    /// Closure: the privilege bounces between the ends of the line.
+    #[test]
+    fn closure_and_bouncing_privilege() {
+        let a = alg(4);
+        let spec = a.legitimacy();
+        // x ≡ false everywhere, up true only at the bottom: exactly the
+        // bottom is privileged (its right neighbour agrees on x, ¬upR).
+        let mut cfg = Configuration::from_vec(vec![pack(false, true), 0, 0, 0]);
+        assert_eq!(a.privileged(&cfg), vec![a.bottom()]);
+        let mut seen_privileged = std::collections::HashSet::new();
+        for _ in 0..24 {
+            assert!(spec.is_legitimate(&cfg), "closure violated at {cfg:?}");
+            let p = a.privileged(&cfg)[0];
+            seen_privileged.insert(p);
+            cfg = semantics::deterministic_successor(&a, &cfg, &Activation::singleton(p));
+        }
+        assert_eq!(seen_privileged.len(), 4, "every machine gets the privilege");
+    }
+
+    #[test]
+    fn arbitrary_path_labellings_are_walked() {
+        // The chain 2 − 0 − 3 − 1: leaves are 1 and 2, bottom = 1.
+        let g = Graph::from_edges(4, &[(2, 0), (0, 3), (3, 1)]).unwrap();
+        let a = DijkstraFourState::on_path(&g).unwrap();
+        assert_eq!(a.bottom(), NodeId::new(1));
+        assert_eq!(a.top(), NodeId::new(2));
+        let ix = SpaceIndexer::new(&a, 1 << 22).unwrap();
+        for cfg in ix.iter() {
+            assert!(!a.privileged(&cfg).is_empty());
+        }
+    }
+
+    #[test]
+    fn name_and_topology_validation() {
+        assert_eq!(alg(4).name(), "dijkstra-four-state(N=4)");
+        for g in [builders::ring(4), builders::star(4), builders::path(1)] {
+            assert!(matches!(
+                DijkstraFourState::on_path(&g),
+                Err(GraphError::NotAPath)
+            ));
+        }
+    }
+}

@@ -266,9 +266,9 @@ fn main() {
         "Coloring: self ✓ @ central, weak-not-self @ distributed",
         rows.iter()
             .filter(|r| r.algorithm.starts_with("greedy-coloring"))
-            .all(|r| match r.daemon {
-                Daemon::Central => r.is_self_stabilizing(Fairness::Unfair),
-                Daemon::Distributed => {
+            .all(|r| match r.daemon.legacy() {
+                Some(Daemon::Central) => r.is_self_stabilizing(Fairness::Unfair),
+                Some(Daemon::Distributed) => {
                     r.is_weak_stabilizing() && !r.self_under(Fairness::StronglyFair).holds()
                 }
                 _ => true,

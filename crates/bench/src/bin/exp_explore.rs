@@ -15,7 +15,7 @@
 //!   edge-store tier were chosen by the auto-planner
 //!   (`stab_core::engine::Plan`) rather than hand-tuned. The one planned
 //!   row doubles as the serialized `StudyReport` showcase: its full
-//!   report is written to `STUDY_report.json` (schema `study_report/v2`)
+//!   report is written to `STUDY_report.json` (schema `study_report/v3`)
 //!   and validated by CI, which also asserts the planner's tier choice
 //!   matches the measured-cheaper tier of the flat/compressed pair.
 //!
@@ -86,8 +86,9 @@
 //! bytes/edge strictly below flat; at least one ≥10⁷-edge compressed row
 //! has no flat reference; at least one row is `planned = true`; the
 //! planned row's tier equals the measured-cheaper tier of the store
-//! pair; and exactly one row carries a non-null
-//! `checkpoint_overhead_pct` below the 5% target.
+//! pair; exactly one row carries a non-null `checkpoint_overhead_pct`
+//! below the 5% target; and at least one grid-topology row is
+//! quotiented by a non-trivial automorphism group (`group_order > 1`).
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -534,7 +535,7 @@ where
 {
     // Unlike the timing rows, the showcase runs the *full* study —
     // verdicts and solved expected times — so the serialized report
-    // exercises every study_report/v2 section.
+    // exercises every study_report/v3 section.
     let report = Study::of(alg)
         .daemon(daemon)
         .spec(spec)
@@ -760,6 +761,23 @@ fn main() {
         &star12,
         Daemon::Central,
         &star12.legitimacy(),
+        &ExploreOptions::full().with_quotient(Quotient::Automorphism),
+        CAP,
+        3,
+        true,
+    ));
+
+    // Grid-reflection (automorphism) quotient: greedy coloring on a 2×4
+    // grid. The builder-labelled grid is recognised structurally and
+    // quotiented by its reflection group (row flip × column flip, order
+    // 4) — the first automorphism decision in the bench that is neither
+    // a ring nor a star.
+    let grid24 = GreedyColoring::new(&builders::grid(2, 4)).unwrap();
+    results.push(run_mode_case(
+        "coloring/grid(2x4)/central",
+        &grid24,
+        Daemon::Central,
+        &grid24.legitimacy(),
         &ExploreOptions::full().with_quotient(Quotient::Automorphism),
         CAP,
         3,

@@ -17,7 +17,7 @@
 //! (`FaultPlan::with_kill_after_frames`), so the process dies at an
 //! *exact* frame boundary instead of wherever a racy external SIGKILL
 //! lands; it still exits with the SIGKILL status (137) so the CI job
-//! treats it like the real thing. `diff` parses both `study_report/v2`
+//! treats it like the real thing. `diff` parses both `study_report/v3`
 //! documents, zeroes the wall-clock timings (the one part two runs can
 //! never share), and demands full structural equality.
 //!

@@ -5,7 +5,7 @@
 use std::fmt;
 
 use stab_core::engine::{BitSet, Budget};
-use stab_core::{Algorithm, CoreError, Daemon, Fairness, Legitimacy, LocalState};
+use stab_core::{Algorithm, CoreError, DaemonSpec, Fairness, Legitimacy, LocalState};
 
 use crate::scc;
 use crate::space::ExploredSpace;
@@ -20,7 +20,7 @@ use crate::verdict::{Verdict, Witness};
 /// enumeration too large for `cap`).
 pub fn analyze<A, L>(
     alg: &A,
-    daemon: Daemon,
+    daemon: impl Into<DaemonSpec>,
     spec: &L,
     cap: u64,
 ) -> Result<StabilizationReport, CoreError>
@@ -52,7 +52,7 @@ where
 /// [`CoreError::QuotientUnsupported`] for non-ring quotient requests.
 pub fn analyze_with<A, L>(
     alg: &A,
-    daemon: Daemon,
+    daemon: impl Into<DaemonSpec>,
     spec: &L,
     cap: u64,
     opts: &stab_core::engine::ExploreOptions<A::State>,
@@ -349,8 +349,9 @@ pub struct StabilizationReport {
     pub algorithm: String,
     /// Specification name.
     pub spec: String,
-    /// Scheduler the space was explored under.
-    pub daemon: Daemon,
+    /// Scheduler the space was explored under (a lattice point; the
+    /// paper's four daemons are the named legacy points).
+    pub daemon: DaemonSpec,
     /// Number of configurations.
     pub states: u64,
     /// Number of legitimate configurations.
@@ -457,6 +458,7 @@ impl fmt::Display for StabilizationReport {
 mod tests {
     use super::*;
     use stab_algorithms::{DijkstraRing, GreedyColoring, TokenCirculation, TwoProcessToggle};
+    use stab_core::Daemon;
     use stab_graph::builders;
 
     const CAP: u64 = 1 << 22;

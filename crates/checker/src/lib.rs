@@ -46,6 +46,7 @@
 //! ```
 
 pub mod analysis;
+pub mod lattice;
 pub mod scc;
 pub mod space;
 pub mod structure;
@@ -56,6 +57,7 @@ pub mod verdict;
 pub use analysis::{
     analyze, analyze_space, analyze_space_budgeted, analyze_with, StabilizationReport,
 };
+pub use lattice::{Implied, VerdictPropagator};
 pub use space::ExploredSpace;
 pub use structure::{scc_summary, SccSummary};
 pub use symmetry::{Automorphism, SymmetryVerdict};

@@ -23,7 +23,7 @@ pub fn sccs<S: LocalState>(space: &ExploredSpace<S>, alive: &BitSet) -> Vec<Vec<
 }
 
 /// [`sccs`] under a cooperative [`Budget`]: probes the `verdicts` stage at
-/// entry and every [`PROBE_STRIDE`] discovered nodes, so an exhausted
+/// entry and every `PROBE_STRIDE` discovered nodes, so an exhausted
 /// wall-clock or state budget surfaces as
 /// [`CoreError::BudgetExhausted`] instead of an unbounded walk.
 ///

@@ -17,7 +17,7 @@
 //! systems.
 
 use stab_core::engine::{BitSet, EdgeIter, EdgeStorage, ExploreOptions, TransitionSystem};
-use stab_core::{Algorithm, Configuration, CoreError, Daemon, Legitimacy, SpaceIndexer};
+use stab_core::{Algorithm, Configuration, CoreError, DaemonSpec, Legitimacy, SpaceIndexer};
 
 /// One transition edge of the explored space; re-exported from the engine.
 ///
@@ -32,7 +32,7 @@ pub use stab_core::engine::Edge;
 #[derive(Debug)]
 pub struct ExploredSpace<S> {
     indexer: SpaceIndexer<S>,
-    daemon: Daemon,
+    daemon: DaemonSpec,
     ts: TransitionSystem,
 }
 
@@ -50,7 +50,12 @@ impl<S: stab_core::LocalState> ExploredSpace<S> {
     ///
     /// Panics if the network has more than 64 processes (bitmask encoding);
     /// exhaustive checking far below that limit is already intractable.
-    pub fn explore<A, L>(alg: &A, daemon: Daemon, spec: &L, cap: u64) -> Result<Self, CoreError>
+    pub fn explore<A, L>(
+        alg: &A,
+        daemon: impl Into<DaemonSpec>,
+        spec: &L,
+        cap: u64,
+    ) -> Result<Self, CoreError>
     where
         A: Algorithm<State = S> + Sync,
         L: Legitimacy<S> + Sync,
@@ -91,7 +96,7 @@ impl<S: stab_core::LocalState> ExploredSpace<S> {
     /// ```
     pub fn explore_with<A, L>(
         alg: &A,
-        daemon: Daemon,
+        daemon: impl Into<DaemonSpec>,
         spec: &L,
         cap: u64,
         opts: &ExploreOptions<S>,
@@ -101,6 +106,7 @@ impl<S: stab_core::LocalState> ExploredSpace<S> {
         L: Legitimacy<S> + Sync,
         S: Sync,
     {
+        let daemon = daemon.into();
         let indexer = SpaceIndexer::new(alg, cap)?;
         let ts = TransitionSystem::explore_with(alg, &indexer, daemon, spec, opts)?;
         Ok(ExploredSpace {
@@ -122,12 +128,12 @@ impl<S: stab_core::LocalState> ExploredSpace<S> {
     /// through the system's own state table.
     pub fn from_transition_system(
         indexer: SpaceIndexer<S>,
-        daemon: Daemon,
+        daemon: impl Into<DaemonSpec>,
         ts: TransitionSystem,
     ) -> Self {
         ExploredSpace {
             indexer,
-            daemon,
+            daemon: daemon.into(),
             ts,
         }
     }
@@ -135,7 +141,11 @@ impl<S: stab_core::LocalState> ExploredSpace<S> {
     /// Wraps an already-built transition system (differential tests build
     /// reference systems by independent means and compare analyses).
     #[doc(hidden)]
-    pub fn from_parts(indexer: SpaceIndexer<S>, daemon: Daemon, ts: TransitionSystem) -> Self {
+    pub fn from_parts(
+        indexer: SpaceIndexer<S>,
+        daemon: impl Into<DaemonSpec>,
+        ts: TransitionSystem,
+    ) -> Self {
         assert_eq!(
             indexer.total(),
             ts.n_configs() as u64,
@@ -154,8 +164,8 @@ impl<S: stab_core::LocalState> ExploredSpace<S> {
         self.ts.n_configs()
     }
 
-    /// The daemon the space was explored under.
-    pub fn daemon(&self) -> Daemon {
+    /// The lattice point the space was explored under.
+    pub fn daemon(&self) -> DaemonSpec {
         self.daemon
     }
 
@@ -320,6 +330,7 @@ impl<S: stab_core::LocalState> ExploredSpace<S> {
 mod tests {
     use super::*;
     use stab_algorithms::{TokenCirculation, TwoProcessToggle};
+    use stab_core::Daemon;
     use stab_graph::builders;
 
     #[test]

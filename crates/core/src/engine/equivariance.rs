@@ -38,12 +38,12 @@
 use std::collections::HashMap;
 
 use crate::algorithm::Algorithm;
-use crate::scheduler::Daemon;
+use crate::scheduler::DaemonSpec;
 use crate::space::SpaceIndexer;
 use crate::spec::Legitimacy;
 use crate::CoreError;
 
-use super::explore::adjacency_masks;
+use super::explore::conflict_masks;
 use super::quotient::GroupCanonicalizer;
 use super::rowgen::RowGen;
 
@@ -102,7 +102,7 @@ fn permute_mask(mask: u64, perm: &[u32]) -> u64 {
 pub(super) fn check_quotient_sound<A, L>(
     alg: &A,
     ix: &SpaceIndexer<A::State>,
-    daemon: Daemon,
+    daemon: DaemonSpec,
     spec: &L,
     canon: &GroupCanonicalizer,
 ) -> Result<(), CoreError>
@@ -133,13 +133,13 @@ where
     // Pass 2 (+3): row equivariance per generator, with the lumped
     // absorption-dynamics fallback for generators that conjugate the
     // algorithm into its mirror image.
-    let adjacency = adjacency_masks(alg);
+    let conflicts = conflict_masks(alg, daemon);
     let mut kernel = Kernel {
         alg,
         ix,
         daemon,
         spec,
-        adjacency,
+        conflicts,
         gen: RowGen::new(),
         rows: HashMap::new(),
         legit: HashMap::new(),
@@ -249,9 +249,9 @@ where
 struct Kernel<'a, A: Algorithm, L> {
     alg: &'a A,
     ix: &'a SpaceIndexer<A::State>,
-    daemon: Daemon,
+    daemon: DaemonSpec,
     spec: &'a L,
-    adjacency: Vec<u64>,
+    conflicts: Vec<u64>,
     gen: RowGen,
     /// full index → (legitimate, enabled mask, successor distribution
     /// aggregated by target).
@@ -280,7 +280,7 @@ where
             self.alg,
             self.ix,
             self.daemon,
-            &self.adjacency,
+            &self.conflicts,
             &cfg,
             &digits,
             full,
@@ -318,7 +318,7 @@ where
                 self.alg,
                 self.ix,
                 self.daemon,
-                &self.adjacency,
+                &self.conflicts,
                 &cfg,
                 &digits,
                 full,

@@ -82,7 +82,7 @@ use std::sync::OnceLock;
 use stab_graph::NodeId;
 
 use crate::algorithm::Algorithm;
-use crate::scheduler::Daemon;
+use crate::scheduler::{DaemonSpec, Distribution};
 use crate::space::SpaceIndexer;
 use crate::spec::Legitimacy;
 use crate::{CoreError, LocalState};
@@ -158,14 +158,15 @@ pub struct TransitionSystem {
 }
 
 impl TransitionSystem {
-    /// Explores the full configuration space of `alg` under `daemon`,
-    /// labelling configurations with `spec`. `ix` must be the indexer of
-    /// `alg`'s space. Equivalent to [`TransitionSystem::explore_with`]
-    /// under [`ExploreOptions::full`].
+    /// Explores the full configuration space of `alg` under `daemon` (any
+    /// [`DaemonSpec`] lattice point, or a legacy
+    /// [`Daemon`](crate::Daemon) value), labelling configurations with
+    /// `spec`. `ix` must be the indexer of `alg`'s space. Equivalent to
+    /// [`TransitionSystem::explore_with`] under [`ExploreOptions::full`].
     ///
     /// # Errors
     ///
-    /// Propagates [`CoreError::TooManyEnabled`] from distributed-daemon
+    /// Propagates [`CoreError::TooManyEnabled`] from subset-daemon
     /// enumeration past
     /// [`DISTRIBUTED_ENUM_CAP`](crate::scheduler::DISTRIBUTED_ENUM_CAP)
     /// simultaneously enabled processes.
@@ -177,7 +178,7 @@ impl TransitionSystem {
     pub fn explore<A, L>(
         alg: &A,
         ix: &SpaceIndexer<A::State>,
-        daemon: Daemon,
+        daemon: impl Into<DaemonSpec>,
         spec: &L,
     ) -> Result<Self, CoreError>
     where
@@ -194,7 +195,7 @@ impl TransitionSystem {
     ///
     /// # Errors
     ///
-    /// * [`CoreError::TooManyEnabled`] — distributed-daemon enumeration
+    /// * [`CoreError::TooManyEnabled`] — subset-daemon enumeration
     ///   past the cap;
     /// * [`CoreError::QuotientUnsupported`] — the requested group does not
     ///   apply to the topology (e.g. a ring quotient on a path), the state
@@ -213,7 +214,7 @@ impl TransitionSystem {
     pub fn explore_with<A, L>(
         alg: &A,
         ix: &SpaceIndexer<A::State>,
-        daemon: Daemon,
+        daemon: impl Into<DaemonSpec>,
         spec: &L,
         opts: &ExploreOptions<A::State>,
     ) -> Result<Self, CoreError>
@@ -236,7 +237,7 @@ impl TransitionSystem {
     pub fn explore_guarded<A, L>(
         alg: &A,
         ix: &SpaceIndexer<A::State>,
-        daemon: Daemon,
+        daemon: impl Into<DaemonSpec>,
         spec: &L,
         opts: &ExploreOptions<A::State>,
         guard: &RunGuard,
@@ -246,6 +247,7 @@ impl TransitionSystem {
         A::State: Sync,
         L: Legitimacy<A::State> + Sync,
     {
+        let daemon = daemon.into();
         EXPLORE_CALLS.fetch_add(1, Ordering::Relaxed);
         let n = alg.n();
         assert!(n <= 64, "bitmask encoding supports at most 64 processes");
@@ -302,7 +304,7 @@ impl TransitionSystem {
     fn explore_full<A, L>(
         alg: &A,
         ix: &SpaceIndexer<A::State>,
-        daemon: Daemon,
+        daemon: DaemonSpec,
         spec: &L,
         opts: &ExploreOptions<A::State>,
         guard: &RunGuard,
@@ -318,7 +320,7 @@ impl TransitionSystem {
             total <= u32::MAX as u64,
             "configuration ids must fit in u32"
         );
-        let adjacency = adjacency_masks(alg);
+        let conflicts = conflict_masks(alg, daemon);
         let mut merge = MergeState::new(kind, total as usize);
         let mut ck = match &opts.checkpoint {
             Some(cfg) => Some(Checkpointer::open(
@@ -332,7 +334,7 @@ impl TransitionSystem {
         let sequential = kind == EdgeStoreKind::Compressed || ck.is_some() || guard.is_active();
         if !sequential {
             let chunks = parallel::map_chunks(total, |range| {
-                explore_chunk(alg, ix, daemon, spec, &adjacency, range)
+                explore_chunk(alg, ix, daemon, spec, &conflicts, range)
             })?;
             for chunk in chunks {
                 merge.absorb(chunk);
@@ -352,7 +354,7 @@ impl TransitionSystem {
             while start < total {
                 guard.probe("explore", merge.bytes_estimate(), start)?;
                 let end = (start + COMPRESSED_BATCH).min(total);
-                let chunk = explore_chunk(alg, ix, daemon, spec, &adjacency, start..end)?;
+                let chunk = explore_chunk(alg, ix, daemon, spec, &conflicts, start..end)?;
                 merge.absorb(chunk);
                 start = end;
                 if let Some(ck) = &mut ck {
@@ -717,6 +719,49 @@ pub(super) fn adjacency_masks<A: Algorithm>(alg: &A) -> Vec<u64> {
         .collect()
 }
 
+/// Per-node conflict bitmasks for `daemon`'s pairwise-spread constraint:
+/// `masks[v]` holds every node within the spec's locality radius of `v`
+/// (excluding `v`). Radius 0 yields all-zero masks (no constraint — the
+/// distributed point), radius 1 the adjacency masks (locally central),
+/// larger radii a bounded BFS ball per node.
+pub(super) fn conflict_masks<A: Algorithm>(alg: &A, daemon: DaemonSpec) -> Vec<u64> {
+    let radius = match daemon.distribution {
+        Distribution::KCentral { radius, .. } => radius,
+        Distribution::Synchronous => 0,
+    };
+    match radius {
+        0 => vec![0u64; alg.n()],
+        1 => adjacency_masks(alg),
+        r => {
+            let graph = alg.graph();
+            let n = alg.n();
+            (0..n)
+                .map(|v| {
+                    let start = NodeId::new(v);
+                    let mut dist = vec![u32::MAX; n];
+                    dist[v] = 0;
+                    let mut queue = std::collections::VecDeque::from([start]);
+                    let mut mask = 0u64;
+                    while let Some(u) = queue.pop_front() {
+                        let d = dist[u.index()];
+                        if d >= r {
+                            continue;
+                        }
+                        for &w in graph.neighbors(u) {
+                            if dist[w.index()] == u32::MAX {
+                                dist[w.index()] = d + 1;
+                                mask |= 1u64 << w.index();
+                                queue.push_back(w);
+                            }
+                        }
+                    }
+                    mask
+                })
+                .collect()
+        }
+    }
+}
+
 /// Per-chunk exploration output, merged in chunk order (shared with the
 /// quotient sweep in `onthefly`).
 pub(super) struct Chunk {
@@ -852,7 +897,7 @@ impl MergeState {
 pub(super) fn run_fingerprint<A: Algorithm>(
     alg: &A,
     ix: &SpaceIndexer<A::State>,
-    daemon: Daemon,
+    daemon: DaemonSpec,
     opts: &ExploreOptions<A::State>,
 ) -> u64 {
     let mut h = Fnv::new();
@@ -878,9 +923,9 @@ pub(super) fn run_fingerprint<A: Algorithm>(
 fn explore_chunk<A, L>(
     alg: &A,
     ix: &SpaceIndexer<A::State>,
-    daemon: Daemon,
+    daemon: DaemonSpec,
     spec: &L,
-    adjacency: &[u64],
+    conflicts: &[u64],
     range: Range<u64>,
 ) -> Result<Chunk, CoreError>
 where
@@ -899,7 +944,7 @@ where
         let cfg = cursor.config();
         chunk.legit.push(spec.is_legitimate(cfg));
         chunk.initial.push(alg.is_initial(cfg));
-        let (mask, det) = gen.generate(alg, ix, daemon, adjacency, cfg, cursor.digits(), id)?;
+        let (mask, det) = gen.generate(alg, ix, daemon, conflicts, cfg, cursor.digits(), id)?;
         chunk.deterministic &= det;
         chunk.enabled.push(mask);
         chunk.counts.push(gen.row.len() as u32);
@@ -919,6 +964,7 @@ where
 mod tests {
     use super::*;
     use crate::algorithm::test_support::Infection;
+    use crate::scheduler::Daemon;
     use crate::{semantics, Predicate};
     use stab_graph::builders;
 

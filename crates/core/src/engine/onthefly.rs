@@ -23,7 +23,7 @@ use std::collections::HashMap;
 
 use crate::algorithm::Algorithm;
 use crate::config::Configuration;
-use crate::scheduler::Daemon;
+use crate::scheduler::DaemonSpec;
 use crate::space::SpaceIndexer;
 use crate::spec::Legitimacy;
 use crate::CoreError;
@@ -31,7 +31,7 @@ use crate::CoreError;
 use super::bitset::BitSet;
 use super::edgestore::{EdgeStorageBuilder, EdgeStoreKind};
 use super::explore::{
-    adjacency_masks, run_fingerprint, Chunk, Edge, MergeState, TransitionSystem, COMPRESSED_BATCH,
+    conflict_masks, run_fingerprint, Chunk, Edge, MergeState, TransitionSystem, COMPRESSED_BATCH,
 };
 use super::parallel;
 use super::quotient::{CanonScratch, GroupCanonicalizer};
@@ -334,7 +334,7 @@ fn merge_parallel_edges(row: &mut Vec<Edge>) {
 pub(super) fn explore_quotient_sweep<A, L>(
     alg: &A,
     ix: &SpaceIndexer<A::State>,
-    daemon: Daemon,
+    daemon: DaemonSpec,
     spec: &L,
     canon: GroupCanonicalizer,
     opts: &ExploreOptions<A::State>,
@@ -412,7 +412,7 @@ where
     // flat store the rows are produced by parallel chunks; a compressed
     // store streams bounded sequential batches instead, so peak memory is
     // the byte stream plus one batch of flat rows.
-    let adjacency = adjacency_masks(alg);
+    let conflicts = conflict_masks(alg, daemon);
     let table_ref = &table;
     let canon_ref = &canon;
     let explore_range = |range: std::ops::Range<u64>| -> Result<Chunk, CoreError> {
@@ -430,7 +430,7 @@ where
             ix.write_digits(full, &mut digits);
             chunk.legit.push(spec.is_legitimate(&cfg));
             chunk.initial.push(alg.is_initial(&cfg));
-            let (mask, det) = gen.generate(alg, ix, daemon, &adjacency, &cfg, &digits, full)?;
+            let (mask, det) = gen.generate(alg, ix, daemon, &conflicts, &cfg, &digits, full)?;
             chunk.deterministic &= det;
             chunk.enabled.push(mask);
             row.clear();
@@ -509,7 +509,7 @@ where
 pub(super) fn explore_reachable<A, L>(
     alg: &A,
     ix: &SpaceIndexer<A::State>,
-    daemon: Daemon,
+    daemon: DaemonSpec,
     spec: &L,
     seeds: &[Configuration<A::State>],
     canon: Option<GroupCanonicalizer>,
@@ -529,7 +529,7 @@ where
             limit: u32::MAX as u64,
         });
     }
-    let adjacency = adjacency_masks(alg);
+    let conflicts = conflict_masks(alg, daemon);
     let mut table = StateTable::default();
     let mut scratch = CanonScratch::default();
 
@@ -598,7 +598,7 @@ where
         let cfg = ix.decode(full);
         ix.write_digits(full, &mut digits);
         legit_flags.push(spec.is_legitimate(&cfg));
-        let (mask, det) = gen.generate(alg, ix, daemon, &adjacency, &cfg, &digits, full)?;
+        let (mask, det) = gen.generate(alg, ix, daemon, &conflicts, &cfg, &digits, full)?;
         deterministic &= det;
         enabled.push(mask);
         row.clear();

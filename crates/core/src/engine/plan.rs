@@ -70,14 +70,14 @@ use std::fmt;
 use std::mem::size_of;
 
 use crate::algorithm::Algorithm;
-use crate::scheduler::Daemon;
+use crate::scheduler::DaemonSpec;
 use crate::space::SpaceIndexer;
 use crate::spec::Legitimacy;
 use crate::CoreError;
 
 use super::edgestore::EdgeStoreKind;
 use super::equivariance;
-use super::explore::adjacency_masks;
+use super::explore::conflict_masks;
 use super::onthefly::{ExploreOptions, Quotient};
 use super::quotient::GroupCanonicalizer;
 use super::rowgen::RowGen;
@@ -220,7 +220,7 @@ impl Plan {
     pub fn compute<A, L>(
         alg: &A,
         ix: &SpaceIndexer<A::State>,
-        daemon: Daemon,
+        daemon: impl Into<DaemonSpec>,
         spec: &L,
         req: &PlanRequest,
     ) -> Result<Plan, CoreError>
@@ -228,6 +228,7 @@ impl Plan {
         A: Algorithm,
         L: Legitimacy<A::State>,
     {
+        let daemon = daemon.into();
         let total = ix.total();
         let (sampled_rows, est_edges_per_config) = estimate_out_degree(alg, ix, daemon, req)?;
         let est_full_edges = (est_edges_per_config * total as f64).ceil() as u64;
@@ -325,7 +326,7 @@ impl Plan {
 fn estimate_out_degree<A>(
     alg: &A,
     ix: &SpaceIndexer<A::State>,
-    daemon: Daemon,
+    daemon: DaemonSpec,
     req: &PlanRequest,
 ) -> Result<(u64, f64), CoreError>
 where
@@ -334,7 +335,7 @@ where
     let total = ix.total();
     let count = req.sample_rows.clamp(1, total);
     let stride = (total / count).max(1);
-    let adjacency = adjacency_masks(alg);
+    let conflicts = conflict_masks(alg, daemon);
     let mut gen = RowGen::new();
     let mut digits = Vec::new();
     let mut edges = 0u64;
@@ -342,7 +343,7 @@ where
         let full = i * stride;
         let cfg = ix.decode(full);
         ix.write_digits(full, &mut digits);
-        gen.generate(alg, ix, daemon, &adjacency, &cfg, &digits, full)?;
+        gen.generate(alg, ix, daemon, &conflicts, &cfg, &digits, full)?;
         edges += gen.row.len() as u64;
     }
     Ok((count, edges as f64 / count as f64))
@@ -372,7 +373,7 @@ where
 fn auto_quotient<A, L>(
     alg: &A,
     ix: &SpaceIndexer<A::State>,
-    daemon: Daemon,
+    daemon: DaemonSpec,
     spec: &L,
     decisions: &mut Vec<PlanDecision>,
 ) -> Result<(Quotient, u64), CoreError>
@@ -441,7 +442,7 @@ mod tests {
     use super::*;
     use crate::algorithm::test_support::Infection;
     use crate::engine::TransitionSystem;
-    use crate::{Configuration, Predicate};
+    use crate::{Configuration, Daemon, Predicate};
     use stab_graph::builders;
 
     fn all_ones(c: &Configuration<u8>) -> bool {

@@ -31,7 +31,7 @@
 use std::collections::HashSet;
 
 use stab_graph::trees::leaf_classes;
-use stab_graph::{Graph, NodeId, RingRotations};
+use stab_graph::{builders, Graph, NodeId, RingRotations};
 
 use crate::space::SpaceIndexer;
 use crate::{CoreError, LocalState};
@@ -285,26 +285,79 @@ impl GroupCanonicalizer {
     }
 
     /// The topology-derived full-automorphism quotient: the dihedral group
-    /// on rings (`Aut(ring) = D_N` exactly), the leaf-permutation subgroup
-    /// on stars and trees (for stars the full `Sym(leaves) = Aut`, for
-    /// trees the sound subgroup generated by same-parent leaf swaps).
+    /// on rings (`Aut(ring) = D_N` exactly), the reflection group on
+    /// builder-labelled grids (`Aut(grid) = C₂ × C₂`, or `D₄` when
+    /// square), and the leaf-permutation subgroup on stars and trees (for
+    /// stars the full `Sym(leaves) = Aut`, for trees the sound subgroup
+    /// generated by same-parent leaf swaps).
     ///
     /// # Errors
     ///
     /// [`CoreError::QuotientUnsupported`] if the topology is neither a
-    /// ring nor a graph with interchangeable leaves, or alphabets break
-    /// the symmetry.
+    /// ring, a grid with a nontrivial reflection, nor a graph with
+    /// interchangeable leaves, or alphabets break the symmetry.
     pub fn automorphism<S: LocalState>(g: &Graph, ix: &SpaceIndexer<S>) -> Result<Self, CoreError> {
         if g.is_ring() {
             return Self::ring_dihedral(g, ix);
         }
+        // Grids before leaf classes: a 1 × n grid is a path, whose leaves
+        // have distinct parents, so only the reflection group applies.
+        if let Some((rows, cols)) = builders::grid_dims(g) {
+            if rows * cols > 1 {
+                return Self::grid_reflections(ix, rows, cols);
+            }
+        }
         Self::leaf_permutation(g, ix).map_err(|e| CoreError::QuotientUnsupported {
             reason: format!(
                 "no topology-derived automorphism group for the {}-node graph \
-                 (not a ring; {e})",
+                 (not a ring or grid; {e})",
                 g.n()
             ),
         })
+    }
+
+    /// The reflection group of a row-major `rows × cols` grid
+    /// ([`stab_graph::builders::grid`]): the row flip, the column flip,
+    /// and — when the grid is square — the transpose, closed under
+    /// composition (order 4 for proper rectangles, 8 for squares, 2 for
+    /// degenerate `1 × n` paths).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::QuotientUnsupported`] if the dimensions do not match
+    /// the space, the grid is `1 × 1` (no nontrivial reflection), or
+    /// reflected nodes have unequal state alphabets.
+    pub fn grid_reflections<S: LocalState>(
+        ix: &SpaceIndexer<S>,
+        rows: usize,
+        cols: usize,
+    ) -> Result<Self, CoreError> {
+        let n = rows * cols;
+        if n != ix.n() {
+            return Err(CoreError::QuotientUnsupported {
+                reason: format!(
+                    "{rows}×{cols} grid dimensions do not match the {}-node space",
+                    ix.n()
+                ),
+            });
+        }
+        if n <= 1 {
+            return Err(CoreError::QuotientUnsupported {
+                reason: "a 1×1 grid has no nontrivial reflection".into(),
+            });
+        }
+        let at = |r: usize, c: usize| NodeId::new(r * cols + c);
+        let mut perms: Vec<Vec<NodeId>> = Vec::new();
+        if rows > 1 {
+            perms.push((0..n).map(|v| at(rows - 1 - v / cols, v % cols)).collect());
+        }
+        if cols > 1 {
+            perms.push((0..n).map(|v| at(v / cols, cols - 1 - v % cols)).collect());
+        }
+        if rows == cols && rows > 1 {
+            perms.push((0..n).map(|v| at(v % cols, v / cols)).collect());
+        }
+        Self::from_permutations(ix, &perms)
     }
 
     /// An explicit permutation set (e.g. from
@@ -938,6 +991,78 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn grid_reflections_tile_the_space() {
+        // 2×3 rectangle: C₂ × C₂, order 4.
+        let (g, ix) = space(builders::grid(2, 3), 2);
+        let canon = GroupCanonicalizer::automorphism(&g, &ix).unwrap();
+        assert_eq!(canon.group_order(), 4);
+        let mut scratch = CanonScratch::default();
+        let mut covered = 0u64;
+        for full in 0..ix.total() {
+            if canon.is_canonical(full, &mut scratch) {
+                let orbit = canon.orbit(full, &mut scratch);
+                assert!(canon.group_order().is_multiple_of(orbit));
+                covered += orbit;
+            }
+        }
+        assert_eq!(covered, ix.total(), "grid reflection orbits tile");
+        // 2×2 is a ring in grid labelling? No — grid labelling differs
+        // from ring labelling, but the *graph* is still a 4-cycle, so the
+        // dihedral strategy handles it.
+        let (g, ix) = space(builders::grid(2, 2), 2);
+        assert!(g.is_ring());
+        assert!(GroupCanonicalizer::automorphism(&g, &ix).is_ok());
+        // 3×3 square gains the transpose: D₄, order 8.
+        let (g, ix) = space(builders::grid(3, 3), 2);
+        let canon = GroupCanonicalizer::automorphism(&g, &ix).unwrap();
+        assert_eq!(canon.group_order(), 8);
+    }
+
+    #[test]
+    fn grid_canonical_is_least_over_reflections() {
+        let (g, ix) = space(builders::grid(2, 3), 2);
+        let canon = GroupCanonicalizer::automorphism(&g, &ix).unwrap();
+        let mut scratch = CanonScratch::default();
+        // Brute-force the four images of each configuration.
+        let reflect = |states: &[u8], fr: bool, fc: bool| -> Vec<u8> {
+            (0..6)
+                .map(|v| {
+                    let (mut r, mut c) = (v / 3, v % 3);
+                    if fr {
+                        r = 1 - r;
+                    }
+                    if fc {
+                        c = 2 - c;
+                    }
+                    states[r * 3 + c]
+                })
+                .collect()
+        };
+        for full in 0..ix.total() {
+            let c = canon.canonical(full, &mut scratch);
+            let states: Vec<u8> = ix.decode(full).states().to_vec();
+            let min = [(false, false), (true, false), (false, true), (true, true)]
+                .into_iter()
+                .map(|(fr, fc)| reflect(&states, fr, fc))
+                .min()
+                .unwrap();
+            let min_full = ix.encode(&crate::Configuration::from_vec(min));
+            assert_eq!(c, min_full, "reflection-orbit minimum of {full}");
+        }
+    }
+
+    #[test]
+    fn degenerate_grid_path_gets_the_reflection() {
+        let (g, ix) = space(builders::path(4), 2);
+        let canon = GroupCanonicalizer::automorphism(&g, &ix).unwrap();
+        assert_eq!(canon.group_order(), 2);
+        let mut scratch = CanonScratch::default();
+        let flip = ix.encode(&crate::Configuration::from_vec(vec![1u8, 0, 0, 0]));
+        let kept = ix.encode(&crate::Configuration::from_vec(vec![0u8, 0, 0, 1]));
+        assert_eq!(canon.canonical(flip, &mut scratch), kept);
     }
 
     #[test]

@@ -14,11 +14,9 @@ use stab_graph::NodeId;
 
 use crate::algorithm::Algorithm;
 use crate::config::Configuration;
-use crate::scheduler::{Daemon, DISTRIBUTED_ENUM_CAP};
+use crate::scheduler::{DaemonSpec, Distribution, DISTRIBUTED_ENUM_CAP};
 use crate::space::SpaceIndexer;
 use crate::CoreError;
-
-use super::explore::node_mask;
 
 /// One successor edge in full-space coordinates, before id mapping.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -65,20 +63,27 @@ impl RowGen {
     }
 
     /// Fills `self.row` with the successor edges of the configuration
-    /// `cfg` (mixed-radix index `id`, digits `digits`) under `daemon`, and
-    /// returns `(enabled bitmask, deterministic here)`.
+    /// `cfg` (mixed-radix index `id`, digits `digits`) under the lattice
+    /// point `spec`, and returns `(enabled bitmask, deterministic here)`.
+    ///
+    /// `conflicts[v]` must be the bitmask of nodes within the spec's
+    /// locality radius of `v` (all-zero for radius 0, the adjacency mask
+    /// for radius 1 — see `explore::conflict_masks`); two activated
+    /// processes "conflict" when one lies in the other's mask, which is
+    /// exactly the pairwise-spread constraint of
+    /// [`Distribution::KCentral`].
     ///
     /// # Errors
     ///
-    /// [`CoreError::TooManyEnabled`] from distributed-daemon enumeration
-    /// past [`DISTRIBUTED_ENUM_CAP`] simultaneously enabled processes.
+    /// [`CoreError::TooManyEnabled`] from subset-daemon enumeration past
+    /// [`DISTRIBUTED_ENUM_CAP`] simultaneously enabled processes.
     #[allow(clippy::too_many_arguments)]
     pub fn generate<A>(
         &mut self,
         alg: &A,
         ix: &SpaceIndexer<A::State>,
-        daemon: Daemon,
-        adjacency: &[u64],
+        spec: DaemonSpec,
+        conflicts: &[u64],
         cfg: &Configuration<A::State>,
         digits: &[u32],
         id: u64,
@@ -132,10 +137,11 @@ impl RowGen {
         // outcome): unlocks the O(1)-per-activation Gray-code subset walk.
         let all_certain = self.delta_spans.iter().all(|&(lo, hi)| hi - lo == 1);
 
-        match daemon {
-            Daemon::Central => {
-                // Single-mover activations: outcome states are pairwise
-                // distinct, so successors need no merging.
+        match spec.distribution {
+            // k = 1: single-mover activations regardless of radius (a
+            // singleton is trivially spread). Outcome states are pairwise
+            // distinct, so successors need no merging.
+            Distribution::KCentral { k: Some(1), .. } => {
                 let act_prob = 1.0 / k as f64;
                 for (i, &v) in self.enabled_nodes.iter().enumerate() {
                     let movers = 1u64 << v.index();
@@ -145,7 +151,7 @@ impl RowGen {
                     }
                 }
             }
-            Daemon::Synchronous => {
+            Distribution::Synchronous => {
                 let movers = enabled_mask;
                 self.product_branches(id, movers);
                 for bi in 0..self.branches.len() {
@@ -153,51 +159,53 @@ impl RowGen {
                     push_edge(&mut self.row, total, to, movers, p);
                 }
             }
-            Daemon::Distributed | Daemon::LocallyCentral => {
+            Distribution::KCentral { k: k_max, .. } => {
                 if k > DISTRIBUTED_ENUM_CAP {
                     return Err(CoreError::TooManyEnabled {
                         enabled: k,
                         cap: DISTRIBUTED_ENUM_CAP,
                     });
                 }
-                let independent_only = daemon == Daemon::LocallyCentral;
                 if all_certain {
                     // Gray-code subset walk: toggling one process in or out
-                    // updates the successor id, the mover mask, and the
-                    // locally-central conflict count in O(1) per subset.
+                    // updates the successor id, the mover mask, the subset
+                    // size and the radius-conflict count in O(1) per subset.
                     let mut movers = 0u64;
                     let mut delta = 0i64;
-                    let mut conflicts = 0i64;
+                    let mut conflict_count = 0i64;
+                    let mut size = 0u32;
                     for g in 1u64..(1u64 << k) {
                         let i = g.trailing_zeros() as usize;
                         let v = self.enabled_nodes[i];
                         let bit = 1u64 << v.index();
                         let d = self.deltas[self.delta_spans[i].0 as usize].0;
                         if movers & bit == 0 {
-                            conflicts += (adjacency[v.index()] & movers).count_ones() as i64;
+                            conflict_count += (conflicts[v.index()] & movers).count_ones() as i64;
                             movers |= bit;
                             delta += d;
+                            size += 1;
                         } else {
                             movers &= !bit;
                             delta -= d;
-                            conflicts -= (adjacency[v.index()] & movers).count_ones() as i64;
+                            size -= 1;
+                            conflict_count -= (conflicts[v.index()] & movers).count_ones() as i64;
                         }
-                        if independent_only && conflicts > 0 {
+                        if conflict_count > 0 || k_max.is_some_and(|m| size > m) {
                             continue;
                         }
                         push_edge(&mut self.row, total, id + delta, movers, 1.0);
                     }
                     // The uniform activation probability is only known once
-                    // the independent subsets are counted.
+                    // the allowed subsets are counted.
                     let act_prob = 1.0 / self.row.len() as f64;
                     for e in &mut self.row {
                         e.prob = act_prob;
                     }
                 } else {
                     enumerate_activations(
-                        daemon,
+                        k_max,
                         &self.enabled_nodes,
-                        adjacency,
+                        conflicts,
                         &mut self.activations,
                     )?;
                     let act_prob = 1.0 / self.activations.len() as f64;
@@ -278,13 +286,16 @@ fn merge_sorted_by_id(branches: &mut Vec<(i64, f64)>) {
     branches.truncate(write + 1);
 }
 
-/// Enumerates the daemon's activations over `enabled` as global node
-/// bitmasks, into `out` (cleared first). Matches [`Daemon::activations`]
-/// up to representation.
+/// Enumerates the subset-valued activations over `enabled` (at most
+/// `k_max` members, pairwise conflict-free under the radius masks) as
+/// global node bitmasks, into `out` (cleared first). Matches
+/// [`DaemonSpec::activations`] up to representation. Single-mover and
+/// synchronous distributions never reach here — `generate` routes them to
+/// their dedicated paths.
 fn enumerate_activations(
-    daemon: Daemon,
+    k_max: Option<u32>,
     enabled: &[NodeId],
-    adjacency: &[u64],
+    conflicts: &[u64],
     out: &mut Vec<u64>,
 ) -> Result<(), CoreError> {
     out.clear();
@@ -292,39 +303,31 @@ fn enumerate_activations(
     if k == 0 {
         return Ok(());
     }
-    match daemon {
-        Daemon::Central => {
-            out.extend(enabled.iter().map(|v| 1u64 << v.index()));
+    if k > DISTRIBUTED_ENUM_CAP {
+        return Err(CoreError::TooManyEnabled {
+            enabled: k,
+            cap: DISTRIBUTED_ENUM_CAP,
+        });
+    }
+    'subset: for local in 1u64..(1u64 << k) {
+        if k_max.is_some_and(|m| local.count_ones() > m) {
+            continue;
         }
-        Daemon::Synchronous => {
-            out.push(node_mask(enabled));
-        }
-        Daemon::Distributed | Daemon::LocallyCentral => {
-            if k > DISTRIBUTED_ENUM_CAP {
-                return Err(CoreError::TooManyEnabled {
-                    enabled: k,
-                    cap: DISTRIBUTED_ENUM_CAP,
-                });
+        let mut movers = 0u64;
+        let mut rest = local;
+        while rest != 0 {
+            let i = rest.trailing_zeros() as usize;
+            rest &= rest - 1;
+            let v = enabled[i];
+            if conflicts[v.index()] & movers != 0 {
+                continue 'subset;
             }
-            let independent_only = daemon == Daemon::LocallyCentral;
-            'subset: for local in 1u64..(1u64 << k) {
-                let mut movers = 0u64;
-                let mut rest = local;
-                while rest != 0 {
-                    let i = rest.trailing_zeros() as usize;
-                    rest &= rest - 1;
-                    let v = enabled[i];
-                    if independent_only && adjacency[v.index()] & movers != 0 {
-                        continue 'subset;
-                    }
-                    movers |= 1u64 << v.index();
-                }
-                // The incremental adjacency test above only checks each new
-                // member against *earlier* members, which is exactly
-                // pairwise independence.
-                out.push(movers);
-            }
+            movers |= 1u64 << v.index();
         }
+        // The incremental conflict test above only checks each new member
+        // against *earlier* members, which is exactly the pairwise
+        // constraint.
+        out.push(movers);
     }
     Ok(())
 }

@@ -11,8 +11,11 @@
 //!   states; steps activate a non-empty subset of enabled processes
 //!   ([`Activation`]), all of which read the *pre*-configuration and write
 //!   atomically ([`semantics`]).
-//! * **Schedulers** (a.k.a. daemons, [`Daemon`]) choose the activated subset:
-//!   central, distributed, synchronous or locally central, each with an
+//! * **Schedulers** (a.k.a. daemons, [`DaemonSpec`]) are points of the
+//!   composable (distribution × fairness × boundedness) lattice of the
+//!   Dubois–Tixeuil taxonomy; the paper's four daemons — central,
+//!   distributed, synchronous, locally central — are named points (and the
+//!   legacy [`Daemon`] enum still spells them). Each point has an
 //!   enumerated form (for exhaustive checking) and the *randomized* form of
 //!   Definition 6 (uniform choice, for Markov analysis and simulation).
 //! * **Fairness** ([`Fairness`]) ranges over unfair (the paper's "proper"),
@@ -85,7 +88,7 @@ pub use exec::Trace;
 pub use fairness::{Fairness, FairnessSet};
 pub use outcome::Outcomes;
 pub use restricted::Restricted;
-pub use scheduler::{Activation, Daemon};
+pub use scheduler::{Activation, Boundedness, Daemon, DaemonSpec, Distribution};
 pub use space::SpaceIndexer;
 pub use spec::{Legitimacy, Predicate};
 pub use transformer::{Coined, ProjectedLegitimacy, Transformed};

@@ -1,19 +1,88 @@
 //! Schedulers (daemons): who moves at each step.
 //!
 //! A scheduler picks a non-empty subset of the enabled processes to execute
-//! simultaneously (§2 of the paper). This module provides the four daemons
-//! of the self-stabilization literature used by the paper:
+//! simultaneously (§2 of the paper). The paper states every separation
+//! result *relative to a daemon*, and its four daemons are not isolated
+//! constructions: they are points in the composable daemon lattice of the
+//! Dubois–Tixeuil taxonomy. A [`DaemonSpec`] names a point of that lattice
+//! as a (distribution × fairness × boundedness) triple:
 //!
-//! * [`Daemon::Central`] — exactly one enabled process per step (Dijkstra);
-//! * [`Daemon::Distributed`] — any non-empty subset (Burns–Gouda–Miller);
-//! * [`Daemon::Synchronous`] — every enabled process, every step (Herman);
-//! * [`Daemon::LocallyCentral`] — any non-empty subset containing no two
-//!   neighbours (a common intermediate daemon, used by ablation studies).
+//! * **distribution** ([`Distribution`]) — which subsets of the enabled set
+//!   may be activated in one step: *k-central* (at most `k` processes, no
+//!   two within graph distance `radius` of each other) or *synchronous*
+//!   (always the full enabled set);
+//! * **fairness** ([`Fairness`]) — which infinite executions the daemon may
+//!   produce: unfair (the paper's "proper" daemon), weakly fair, strongly
+//!   fair, or Gouda-fair;
+//! * **boundedness** ([`Boundedness`]) — how many steps a continuously
+//!   enabled process may be overlooked before it must be activated. This is
+//!   a constraint on *executions*, not on single steps, so it never changes
+//!   a transition system; it participates in the refinement order and in
+//!   reports.
 //!
-//! Each daemon exists in two forms: **enumerated** ([`Daemon::activations`])
-//! for exhaustive model checking, and **randomized** ([`Daemon::sample`]) —
-//! the uniform choice of Definition 6 (Dasgupta–Ghosh–Xiao) that Theorem 7
-//! proves equivalent to Gouda's strong fairness.
+//! The four daemons of the self-stabilization literature used by the paper
+//! are named lattice points:
+//!
+//! * [`DaemonSpec::central`] — exactly one enabled process per step
+//!   (Dijkstra): `KCentral { k: Some(1), radius: 0 }`;
+//! * [`DaemonSpec::distributed`] — any non-empty subset
+//!   (Burns–Gouda–Miller): `KCentral { k: None, radius: 0 }`;
+//! * [`DaemonSpec::synchronous`] — every enabled process, every step
+//!   (Herman): [`Distribution::Synchronous`];
+//! * [`DaemonSpec::locally_central`] — any non-empty subset containing no
+//!   two neighbours: `KCentral { k: None, radius: 1 }`.
+//!
+//! The legacy [`Daemon`] enum still names these four points directly (every
+//! engine entry point accepts `impl Into<DaemonSpec>`, so `Daemon::Central`
+//! and `DaemonSpec::central()` are interchangeable), and its `activations`/
+//! `sample` methods are kept as *independent* reference implementations so
+//! the differential suites can pin the lattice path against the pre-lattice
+//! enumeration bit for bit.
+//!
+//! Each lattice point exists in two forms: **enumerated**
+//! ([`DaemonSpec::activations`]) for exhaustive model checking, and
+//! **randomized** ([`DaemonSpec::sample`]) — the uniform choice of
+//! Definition 6 (Dasgupta–Ghosh–Xiao) that Theorem 7 proves equivalent to
+//! Gouda's strong fairness.
+//!
+//! # Refinement
+//!
+//! [`DaemonSpec::refines`] is the lattice's partial order: `a.refines(b)`
+//! holds when every execution daemon `a` can produce is also an execution
+//! of daemon `b` (componentwise: `a`'s activation sets are contained in
+//! `b`'s, `a`'s fairness is at least as strong, `a`'s bound at least as
+//! tight). The checker uses it to propagate verdicts: a property holding
+//! for *all* executions under `b` holds under every `a` refining `b`, and a
+//! counterexample execution found under `a` disproves the property under
+//! every `b` that `a` refines.
+//!
+//! ```
+//! use stab_core::DaemonSpec;
+//! // central ⊑ locally-central ⊑ distributed
+//! assert!(DaemonSpec::central().refines(DaemonSpec::locally_central()));
+//! assert!(DaemonSpec::locally_central().refines(DaemonSpec::distributed()));
+//! assert!(!DaemonSpec::distributed().refines(DaemonSpec::central()));
+//! // synchronous is a sub-daemon of distributed but incomparable to central
+//! assert!(DaemonSpec::synchronous().refines(DaemonSpec::distributed()));
+//! assert!(!DaemonSpec::synchronous().refines(DaemonSpec::central()));
+//! assert!(!DaemonSpec::central().refines(DaemonSpec::synchronous()));
+//! ```
+//!
+//! # Quotients on non-ring topologies
+//!
+//! Lattice points interact with the symmetry machinery exactly as the four
+//! legacy daemons do: the per-run equivariance gate
+//! (`engine::ExploreOptions` with a quotient) re-validates, per
+//! `(algorithm, daemon)` pair, that the rows of the generated transition
+//! system commute with each group generator. This matters for the grid
+//! topology (`stab_graph::builders::grid`), whose automorphism group
+//! (row/column flips, plus the transpose on square grids) is discovered by
+//! `GroupCanonicalizer::automorphism`: a radius-constrained daemon is
+//! distance-invariant and thus automorphism-compatible, so the gate admits
+//! grid quotients for anonymous algorithms under every `KCentral` point,
+//! and rejects them for algorithms that break the flip symmetry — the same
+//! admit/reject behaviour the ring rotation gate shows on Herman vs
+//! Dijkstra.
 
 use std::fmt;
 
@@ -21,6 +90,7 @@ use rand::Rng;
 use stab_graph::{Graph, NodeId};
 
 use crate::error::CoreError;
+use crate::fairness::{Fairness, FairnessSet};
 
 /// Maximum number of enabled processes for which the distributed daemon's
 /// `2^k − 1` activations are enumerated.
@@ -110,7 +180,13 @@ impl fmt::Display for Activation {
     }
 }
 
-/// The scheduler family: how many (and which) enabled processes may move.
+/// The four classic daemons, as a closed enum.
+///
+/// These are shorthand for the corresponding [`DaemonSpec`] lattice points
+/// (every engine entry point accepts `impl Into<DaemonSpec>`); the enum is
+/// kept because sweep-style experiments iterate [`Daemon::ALL`] and because
+/// its [`Daemon::activations`]/[`Daemon::sample`] bodies serve as the
+/// independent pre-lattice reference for the differential suites.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Daemon {
     /// Exactly one enabled process moves per step.
@@ -142,10 +218,19 @@ impl Daemon {
         }
     }
 
+    /// The lattice point this daemon names (see [`DaemonSpec`]).
+    pub fn spec(self) -> DaemonSpec {
+        DaemonSpec::from(self)
+    }
+
     /// Enumerates every activation this daemon allows given the enabled set.
     ///
-    /// Returns an empty vector when `enabled` is empty (terminal
-    /// configuration — no step exists).
+    /// This is the *reference* enumeration for the four legacy lattice
+    /// points, kept deliberately independent of
+    /// [`DaemonSpec::activations`] (which generalizes it to every
+    /// `(k, radius)` pair) so the differential suites can pin the lattice
+    /// path against it bit for bit. Returns an empty vector when `enabled`
+    /// is empty (terminal configuration — no step exists).
     ///
     /// # Errors
     ///
@@ -162,44 +247,23 @@ impl Daemon {
         match self {
             Daemon::Central => Ok(enabled.iter().map(|&v| Activation::singleton(v)).collect()),
             Daemon::Synchronous => Ok(vec![Activation::new(enabled.to_vec())]),
-            Daemon::Distributed => Self::subsets(enabled, |_| true),
-            Daemon::LocallyCentral => Self::subsets(enabled, |nodes| is_independent(graph, nodes)),
+            Daemon::Distributed => subsets(enabled, |_| true),
+            Daemon::LocallyCentral => subsets(enabled, |nodes| is_independent(graph, nodes)),
         }
-    }
-
-    fn subsets(
-        enabled: &[NodeId],
-        keep: impl Fn(&[NodeId]) -> bool,
-    ) -> Result<Vec<Activation>, CoreError> {
-        let k = enabled.len();
-        if k > DISTRIBUTED_ENUM_CAP {
-            return Err(CoreError::TooManyEnabled {
-                enabled: k,
-                cap: DISTRIBUTED_ENUM_CAP,
-            });
-        }
-        let mut out = Vec::with_capacity((1usize << k) - 1);
-        for mask in 1u32..(1u32 << k) {
-            let nodes: Vec<NodeId> = (0..k)
-                .filter(|i| mask & (1 << i) != 0)
-                .map(|i| enabled[i])
-                .collect();
-            if keep(&nodes) {
-                out.push(Activation::new(nodes));
-            }
-        }
-        Ok(out)
     }
 
     /// Samples an activation according to the **randomized scheduler** of
     /// Definition 6: uniformly among the activations this daemon allows.
     ///
-    /// Central, distributed and synchronous sampling is exactly uniform and
-    /// allocation-light even for thousands of enabled processes. The
-    /// locally-central daemon uses rejection sampling with a singleton
-    /// fallback after 64 failures (every allowed activation keeps strictly
-    /// positive probability, which is all the probabilistic convergence
-    /// arguments require).
+    /// Like [`Daemon::activations`], this is the independent reference
+    /// implementation for the four legacy points; the generalized form is
+    /// [`DaemonSpec::sample`], whose random streams coincide with this one
+    /// on those points. Central, distributed and synchronous sampling is
+    /// exactly uniform and allocation-light even for thousands of enabled
+    /// processes. The locally-central daemon uses rejection sampling with a
+    /// singleton fallback after 64 failures (every allowed activation keeps
+    /// strictly positive probability, which is all the probabilistic
+    /// convergence arguments require).
     ///
     /// # Panics
     ///
@@ -273,6 +337,430 @@ impl fmt::Display for Daemon {
     }
 }
 
+/// Which subsets of the enabled set a daemon may activate in one step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Distribution {
+    /// At most `k` enabled processes move per step, no two of them within
+    /// graph distance `radius` of each other.
+    KCentral {
+        /// Maximum activation size; `None` allows any non-empty subset.
+        k: Option<u32>,
+        /// Activated processes must be pairwise at graph distance
+        /// `> radius`: `0` imposes nothing, `1` forbids activating two
+        /// neighbours (the locally-central constraint), larger radii spread
+        /// the activated set further apart.
+        radius: u32,
+    },
+    /// Every enabled process moves, every step.
+    Synchronous,
+}
+
+impl Distribution {
+    /// Whether every activation set this distribution allows (on any graph
+    /// and any enabled set) is also allowed by `other`.
+    pub fn refines(self, other: Distribution) -> bool {
+        match (self, other) {
+            (Distribution::Synchronous, Distribution::Synchronous) => true,
+            // The full enabled set is one of the unconstrained subsets, but
+            // violates any size or spacing constraint in general.
+            (Distribution::Synchronous, Distribution::KCentral { k, radius }) => {
+                k.is_none() && radius == 0
+            }
+            (Distribution::KCentral { .. }, Distribution::Synchronous) => false,
+            (
+                Distribution::KCentral { k: k1, radius: r1 },
+                Distribution::KCentral { k: k2, radius: r2 },
+            ) => {
+                let k1 = k1.map_or(u64::MAX, u64::from);
+                let k2 = k2.map_or(u64::MAX, u64::from);
+                // Singleton activations are trivially spread, so at k ≤ 1
+                // the radius imposes nothing and any radius is refined.
+                k1 <= k2 && (r1 >= r2 || k1 <= 1)
+            }
+        }
+    }
+}
+
+/// How long the daemon may overlook a continuously enabled process.
+///
+/// Boundedness constrains *executions* (no process stays enabled for more
+/// than `k` consecutive steps without being activated), not single steps,
+/// so it never changes the transition system the engine builds; it
+/// participates in [`DaemonSpec::refines`] and in reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Boundedness {
+    /// No bound: a process may be overlooked forever (modulo fairness).
+    Unbounded,
+    /// A continuously enabled process is activated within `k` steps.
+    EnabledBounded(u32),
+}
+
+impl Boundedness {
+    /// Whether every `self`-bounded execution is also `other`-bounded.
+    pub fn refines(self, other: Boundedness) -> bool {
+        match (self, other) {
+            (_, Boundedness::Unbounded) => true,
+            (Boundedness::Unbounded, Boundedness::EnabledBounded(_)) => false,
+            (Boundedness::EnabledBounded(a), Boundedness::EnabledBounded(b)) => a <= b,
+        }
+    }
+}
+
+/// A point of the daemon lattice: (distribution × fairness × boundedness).
+///
+/// The paper's four daemons are the named points [`DaemonSpec::central`],
+/// [`DaemonSpec::distributed`], [`DaemonSpec::synchronous`] and
+/// [`DaemonSpec::locally_central`]; the legacy [`Daemon`] enum converts
+/// into them losslessly and back via [`DaemonSpec::legacy`]:
+///
+/// ```
+/// use stab_core::{Daemon, DaemonSpec};
+/// for d in Daemon::ALL {
+///     let spec = DaemonSpec::from(d);
+///     assert_eq!(spec.legacy(), Some(d));
+///     assert_eq!(spec.name(), d.name());
+/// }
+/// assert_eq!(DaemonSpec::central(), DaemonSpec::from(Daemon::Central));
+/// assert_eq!(DaemonSpec::distributed(), DaemonSpec::from(Daemon::Distributed));
+/// assert_eq!(DaemonSpec::synchronous(), DaemonSpec::from(Daemon::Synchronous));
+/// assert_eq!(DaemonSpec::locally_central(), DaemonSpec::from(Daemon::LocallyCentral));
+/// ```
+///
+/// Points outside the legacy four compose freely:
+///
+/// ```
+/// use stab_core::{Boundedness, DaemonSpec, Distribution, Fairness};
+/// let d = DaemonSpec {
+///     distribution: Distribution::KCentral { k: Some(2), radius: 1 },
+///     fairness: Fairness::WeaklyFair,
+///     bound: Boundedness::EnabledBounded(3),
+/// };
+/// assert_eq!(d.name(), "2-central-r1+weakly-fair+b3");
+/// assert!(d.refines(DaemonSpec::distributed()));
+/// assert_eq!(d.legacy(), None);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DaemonSpec {
+    /// Which activation sets single steps may use.
+    pub distribution: Distribution,
+    /// Which infinite executions the daemon may produce.
+    pub fairness: Fairness,
+    /// How long a continuously enabled process may be overlooked.
+    pub bound: Boundedness,
+}
+
+impl DaemonSpec {
+    /// The paper's four daemons as lattice points, in [`Daemon::ALL`] order.
+    pub const LEGACY: [DaemonSpec; 4] = [
+        DaemonSpec::central(),
+        DaemonSpec::distributed(),
+        DaemonSpec::synchronous(),
+        DaemonSpec::locally_central(),
+    ];
+
+    /// Exactly one enabled process moves per step (Dijkstra).
+    pub const fn central() -> Self {
+        DaemonSpec {
+            distribution: Distribution::KCentral {
+                k: Some(1),
+                radius: 0,
+            },
+            fairness: Fairness::Unfair,
+            bound: Boundedness::Unbounded,
+        }
+    }
+
+    /// Any non-empty subset of enabled processes moves per step
+    /// (Burns–Gouda–Miller).
+    pub const fn distributed() -> Self {
+        DaemonSpec {
+            distribution: Distribution::KCentral { k: None, radius: 0 },
+            fairness: Fairness::Unfair,
+            bound: Boundedness::Unbounded,
+        }
+    }
+
+    /// Every enabled process moves, every step (Herman).
+    pub const fn synchronous() -> Self {
+        DaemonSpec {
+            distribution: Distribution::Synchronous,
+            fairness: Fairness::Unfair,
+            bound: Boundedness::Unbounded,
+        }
+    }
+
+    /// Any non-empty subset of pairwise non-adjacent enabled processes.
+    pub const fn locally_central() -> Self {
+        DaemonSpec {
+            distribution: Distribution::KCentral { k: None, radius: 1 },
+            fairness: Fairness::Unfair,
+            bound: Boundedness::Unbounded,
+        }
+    }
+
+    /// This point with a different fairness component.
+    #[must_use]
+    pub const fn with_fairness(mut self, fairness: Fairness) -> Self {
+        self.fairness = fairness;
+        self
+    }
+
+    /// This point with a different boundedness component.
+    #[must_use]
+    pub const fn with_bound(mut self, bound: Boundedness) -> Self {
+        self.bound = bound;
+        self
+    }
+
+    /// The legacy [`Daemon`] this point encodes, if it is one of the four.
+    ///
+    /// Only the exact encodings used by the named constructors round-trip;
+    /// behaviourally equivalent but distinct encodings (e.g. `k = Some(1)`
+    /// with a positive radius) return `None`.
+    pub fn legacy(&self) -> Option<Daemon> {
+        if self.fairness != Fairness::Unfair || self.bound != Boundedness::Unbounded {
+            return None;
+        }
+        match self.distribution {
+            Distribution::Synchronous => Some(Daemon::Synchronous),
+            Distribution::KCentral {
+                k: Some(1),
+                radius: 0,
+            } => Some(Daemon::Central),
+            Distribution::KCentral { k: None, radius: 0 } => Some(Daemon::Distributed),
+            Distribution::KCentral { k: None, radius: 1 } => Some(Daemon::LocallyCentral),
+            Distribution::KCentral { .. } => None,
+        }
+    }
+
+    /// Stable name for tables, reports and run fingerprints.
+    ///
+    /// The four legacy points keep their historical names (`"central"`,
+    /// `"distributed"`, `"synchronous"`, `"locally-central"`), so study
+    /// reports and exploration fingerprints are unchanged for them; other
+    /// points compose as `<distribution>[+<fairness>][+b<bound>]`.
+    pub fn name(&self) -> String {
+        if let Some(d) = self.legacy() {
+            return d.name().to_string();
+        }
+        let mut s = match self.distribution {
+            Distribution::Synchronous => "synchronous".to_string(),
+            Distribution::KCentral {
+                k: Some(1),
+                radius: _,
+            } => "central".to_string(),
+            Distribution::KCentral { k: None, radius: 0 } => "distributed".to_string(),
+            Distribution::KCentral { k: None, radius: 1 } => "locally-central".to_string(),
+            Distribution::KCentral { k: None, radius } => format!("distributed-r{radius}"),
+            Distribution::KCentral {
+                k: Some(k),
+                radius: 0,
+            } => format!("{k}-central"),
+            Distribution::KCentral { k: Some(k), radius } => format!("{k}-central-r{radius}"),
+        };
+        if self.fairness != Fairness::Unfair {
+            s.push('+');
+            s.push_str(self.fairness.name());
+        }
+        if let Boundedness::EnabledBounded(b) = self.bound {
+            s.push_str(&format!("+b{b}"));
+        }
+        s
+    }
+
+    /// The lattice refinement order: whether every execution this daemon
+    /// can produce is also an execution of `other`.
+    ///
+    /// Componentwise: `self`'s activation sets are contained in `other`'s
+    /// ([`Distribution::refines`]), `self`'s fairness is at least as strong
+    /// ([`Fairness::refines`]) and `self`'s bound at least as tight
+    /// ([`Boundedness::refines`]). A property quantified over all
+    /// executions that holds under `other` therefore holds under `self`,
+    /// and a counterexample under `self` disproves it under `other`.
+    pub fn refines(&self, other: DaemonSpec) -> bool {
+        self.distribution.refines(other.distribution)
+            && self.fairness.refines(other.fairness)
+            && self.bound.refines(other.bound)
+    }
+
+    /// The fairness assumptions at least as strong as this daemon's own:
+    /// the set of self-stabilization verdicts meaningful under it. For the
+    /// unfair legacy points this is every assumption, which is the checker
+    /// default.
+    pub fn implied_verdicts(&self) -> FairnessSet {
+        Fairness::ALL
+            .into_iter()
+            .filter(|f| f.refines(self.fairness))
+            .collect()
+    }
+
+    /// Enumerates every activation this lattice point allows given the
+    /// enabled set. On the four legacy points this reproduces
+    /// [`Daemon::activations`] exactly — same activations, same order.
+    ///
+    /// Returns an empty vector when `enabled` is empty (terminal
+    /// configuration — no step exists).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::TooManyEnabled`] if a subset-valued distribution would
+    /// enumerate more than `2^DISTRIBUTED_ENUM_CAP` subsets.
+    pub fn activations(
+        &self,
+        graph: &Graph,
+        enabled: &[NodeId],
+    ) -> Result<Vec<Activation>, CoreError> {
+        if enabled.is_empty() {
+            return Ok(Vec::new());
+        }
+        match self.distribution {
+            Distribution::Synchronous => Ok(vec![Activation::new(enabled.to_vec())]),
+            // k = 1: singletons trivially satisfy every spacing constraint,
+            // and the direct path has no enumeration cap (like the legacy
+            // central daemon).
+            Distribution::KCentral { k: Some(1), .. } => {
+                Ok(enabled.iter().map(|&v| Activation::singleton(v)).collect())
+            }
+            Distribution::KCentral { k, radius } => subsets(enabled, |nodes| {
+                k.is_none_or(|k| nodes.len() as u64 <= u64::from(k))
+                    && is_spread(graph, nodes, radius)
+            }),
+        }
+    }
+
+    /// Samples an activation according to the randomized scheduler of
+    /// Definition 6. On the four legacy points this consumes the random
+    /// stream exactly as [`Daemon::sample`] does, so seeded simulations are
+    /// reproducible across the enum/lattice boundary.
+    ///
+    /// Constrained points (`k` finite and above 1, or a positive radius)
+    /// use rejection sampling with a singleton fallback after 64 failures;
+    /// every allowed activation keeps strictly positive probability, which
+    /// is all the probabilistic convergence arguments require.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `enabled` is empty: terminal configurations have no steps.
+    pub fn sample<R: Rng + ?Sized>(
+        &self,
+        graph: &Graph,
+        enabled: &[NodeId],
+        rng: &mut R,
+    ) -> Activation {
+        assert!(
+            !enabled.is_empty(),
+            "cannot schedule in a terminal configuration"
+        );
+        match self.distribution {
+            Distribution::Synchronous => Activation::new(enabled.to_vec()),
+            Distribution::KCentral { k: Some(1), .. } => {
+                let i = rng.random_range(0..enabled.len());
+                Activation::singleton(enabled[i])
+            }
+            Distribution::KCentral { k: None, radius: 0 } => loop {
+                let nodes: Vec<NodeId> = enabled
+                    .iter()
+                    .copied()
+                    .filter(|_| rng.random::<bool>())
+                    .collect();
+                if !nodes.is_empty() {
+                    return Activation::new(nodes);
+                }
+            },
+            Distribution::KCentral { k, radius } => {
+                for _ in 0..64 {
+                    let nodes: Vec<NodeId> = enabled
+                        .iter()
+                        .copied()
+                        .filter(|_| rng.random::<bool>())
+                        .collect();
+                    if !nodes.is_empty()
+                        && k.is_none_or(|k| nodes.len() as u64 <= u64::from(k))
+                        && is_spread(graph, &nodes, radius)
+                    {
+                        return Activation::new(nodes);
+                    }
+                }
+                let i = rng.random_range(0..enabled.len());
+                Activation::singleton(enabled[i])
+            }
+        }
+    }
+
+    /// Number of activations this point allows for the given enabled set
+    /// (constrained points are counted by enumeration).
+    pub fn activation_count(&self, graph: &Graph, enabled: &[NodeId]) -> u128 {
+        let n = enabled.len() as u32;
+        if n == 0 {
+            return 0;
+        }
+        match self.distribution {
+            Distribution::Synchronous => 1,
+            Distribution::KCentral { k: Some(1), .. } => u128::from(n),
+            Distribution::KCentral { k: None, radius: 0 } => (1u128 << n) - 1,
+            Distribution::KCentral { .. } => self
+                .activations(graph, enabled)
+                .map(|v| v.len() as u128)
+                .unwrap_or(0),
+        }
+    }
+}
+
+impl From<Daemon> for DaemonSpec {
+    fn from(d: Daemon) -> Self {
+        match d {
+            Daemon::Central => DaemonSpec::central(),
+            Daemon::Distributed => DaemonSpec::distributed(),
+            Daemon::Synchronous => DaemonSpec::synchronous(),
+            Daemon::LocallyCentral => DaemonSpec::locally_central(),
+        }
+    }
+}
+
+impl PartialEq<Daemon> for DaemonSpec {
+    fn eq(&self, other: &Daemon) -> bool {
+        self.legacy() == Some(*other)
+    }
+}
+
+impl PartialEq<DaemonSpec> for Daemon {
+    fn eq(&self, other: &DaemonSpec) -> bool {
+        other.legacy() == Some(*self)
+    }
+}
+
+impl fmt::Display for DaemonSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+/// Enumerates the non-empty subsets of `enabled` passing `keep`, in the
+/// mask order both the legacy daemons and the lattice points share.
+fn subsets(
+    enabled: &[NodeId],
+    keep: impl Fn(&[NodeId]) -> bool,
+) -> Result<Vec<Activation>, CoreError> {
+    let k = enabled.len();
+    if k > DISTRIBUTED_ENUM_CAP {
+        return Err(CoreError::TooManyEnabled {
+            enabled: k,
+            cap: DISTRIBUTED_ENUM_CAP,
+        });
+    }
+    let mut out = Vec::with_capacity((1usize << k) - 1);
+    for mask in 1u32..(1u32 << k) {
+        let nodes: Vec<NodeId> = (0..k)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(|i| enabled[i])
+            .collect();
+        if keep(&nodes) {
+            out.push(Activation::new(nodes));
+        }
+    }
+    Ok(out)
+}
+
 /// Whether no two of `nodes` are adjacent in `graph`.
 fn is_independent(graph: &Graph, nodes: &[NodeId]) -> bool {
     for (i, &a) in nodes.iter().enumerate() {
@@ -283,6 +771,54 @@ fn is_independent(graph: &Graph, nodes: &[NodeId]) -> bool {
         }
     }
     true
+}
+
+/// Whether all of `nodes` are pairwise at graph distance `> radius`.
+///
+/// `radius == 0` imposes nothing; `radius == 1` is exactly independence.
+fn is_spread(graph: &Graph, nodes: &[NodeId], radius: u32) -> bool {
+    match radius {
+        0 => true,
+        1 => is_independent(graph, nodes),
+        _ => {
+            for (i, &a) in nodes.iter().enumerate() {
+                for &b in &nodes[i + 1..] {
+                    if within_distance(graph, a, b, radius) {
+                        return false;
+                    }
+                }
+            }
+            true
+        }
+    }
+}
+
+/// Whether `graph` has a path of length ≤ `radius` between `a` and `b`
+/// (bounded BFS from `a`).
+fn within_distance(graph: &Graph, a: NodeId, b: NodeId, radius: u32) -> bool {
+    if a == b {
+        return true;
+    }
+    let n = graph.n();
+    let mut dist = vec![u32::MAX; n];
+    dist[a.index()] = 0;
+    let mut queue = std::collections::VecDeque::from([a]);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v.index()];
+        if d >= radius {
+            continue;
+        }
+        for &w in graph.neighbors(v) {
+            if dist[w.index()] == u32::MAX {
+                dist[w.index()] = d + 1;
+                if w == b {
+                    return true;
+                }
+                queue.push_back(w);
+            }
+        }
+    }
+    false
 }
 
 #[cfg(test)]
@@ -357,6 +893,9 @@ mod tests {
         for d in Daemon::ALL {
             assert!(d.activations(&g, &[]).unwrap().is_empty());
             assert_eq!(d.activation_count(&g, &[]), 0);
+            let spec = DaemonSpec::from(d);
+            assert!(spec.activations(&g, &[]).unwrap().is_empty());
+            assert_eq!(spec.activation_count(&g, &[]), 0);
         }
     }
 
@@ -371,6 +910,18 @@ mod tests {
                 enabled: 30,
                 cap: DISTRIBUTED_ENUM_CAP
             }
+        );
+        let err = DaemonSpec::distributed()
+            .activations(&g, &enabled)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::TooManyEnabled { enabled: 30, .. }));
+        // The central point has no cap, like the legacy enum.
+        assert_eq!(
+            DaemonSpec::central()
+                .activations(&g, &enabled)
+                .unwrap()
+                .len(),
+            30
         );
     }
 
@@ -437,5 +988,159 @@ mod tests {
         assert_eq!(Daemon::Distributed.to_string(), "distributed");
         assert_eq!(Daemon::Synchronous.to_string(), "synchronous");
         assert_eq!(Daemon::LocallyCentral.to_string(), "locally-central");
+        // The lattice points reuse the legacy names verbatim, so report
+        // strings and run fingerprints are stable across the encoding.
+        for d in Daemon::ALL {
+            assert_eq!(DaemonSpec::from(d).to_string(), d.to_string());
+        }
+    }
+
+    #[test]
+    fn lattice_points_match_legacy_enumeration() {
+        let g = builders::ring(6);
+        let enabled = nodes(&[0, 1, 3, 4]);
+        for d in Daemon::ALL {
+            let legacy = d.activations(&g, &enabled).unwrap();
+            let lattice = DaemonSpec::from(d).activations(&g, &enabled).unwrap();
+            assert_eq!(legacy, lattice, "daemon {d}: order and support");
+        }
+    }
+
+    #[test]
+    fn lattice_points_match_legacy_sampling_streams() {
+        let g = builders::ring(6);
+        let enabled = nodes(&[0, 1, 3, 4]);
+        for d in Daemon::ALL {
+            let spec = DaemonSpec::from(d);
+            let mut r1 = rand::rngs::StdRng::seed_from_u64(7);
+            let mut r2 = rand::rngs::StdRng::seed_from_u64(7);
+            for _ in 0..200 {
+                assert_eq!(
+                    d.sample(&g, &enabled, &mut r1),
+                    spec.sample(&g, &enabled, &mut r2),
+                    "daemon {d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn k_central_limits_activation_size() {
+        let g = builders::ring(6);
+        let enabled = nodes(&[0, 1, 2, 3]);
+        let two_central = DaemonSpec {
+            distribution: Distribution::KCentral {
+                k: Some(2),
+                radius: 0,
+            },
+            ..DaemonSpec::distributed()
+        };
+        let acts = two_central.activations(&g, &enabled).unwrap();
+        // C(4,1) + C(4,2) = 4 + 6.
+        assert_eq!(acts.len(), 10);
+        assert!(acts.iter().all(|a| a.len() <= 2));
+        assert_eq!(two_central.activation_count(&g, &enabled), 10);
+    }
+
+    #[test]
+    fn radius_two_spreads_beyond_adjacency() {
+        // On an 8-ring, nodes 0 and 2 are at distance 2: allowed by the
+        // locally-central constraint (radius 1), rejected at radius 2.
+        let g = builders::ring(8);
+        let enabled = nodes(&[0, 2, 4]);
+        let r2 = DaemonSpec {
+            distribution: Distribution::KCentral { k: None, radius: 2 },
+            ..DaemonSpec::distributed()
+        };
+        let acts = r2.activations(&g, &enabled).unwrap();
+        assert!(acts.contains(&Activation::new(nodes(&[0, 4]))));
+        assert!(!acts.contains(&Activation::new(nodes(&[0, 2]))));
+        let r1 = DaemonSpec::locally_central();
+        assert!(r1
+            .activations(&g, &enabled)
+            .unwrap()
+            .contains(&Activation::new(nodes(&[0, 2]))));
+    }
+
+    #[test]
+    fn refinement_chain_of_named_points() {
+        let c = DaemonSpec::central();
+        let lc = DaemonSpec::locally_central();
+        let d = DaemonSpec::distributed();
+        let s = DaemonSpec::synchronous();
+        assert!(c.refines(lc) && lc.refines(d) && c.refines(d));
+        assert!(s.refines(d));
+        assert!(!d.refines(c) && !d.refines(lc) && !d.refines(s));
+        assert!(!s.refines(c) && !c.refines(s));
+        for p in DaemonSpec::LEGACY {
+            assert!(p.refines(p), "reflexive at {p}");
+        }
+    }
+
+    #[test]
+    fn fairness_and_bound_participate_in_refinement() {
+        let d = DaemonSpec::distributed();
+        let weakly = d.with_fairness(Fairness::WeaklyFair);
+        assert!(weakly.refines(d));
+        assert!(!d.refines(weakly));
+        let b3 = d.with_bound(Boundedness::EnabledBounded(3));
+        let b5 = d.with_bound(Boundedness::EnabledBounded(5));
+        assert!(b3.refines(b5) && b5.refines(d));
+        assert!(!d.refines(b5) && !b5.refines(b3));
+    }
+
+    #[test]
+    fn implied_verdicts_follow_fairness() {
+        assert_eq!(
+            DaemonSpec::distributed().implied_verdicts(),
+            FairnessSet::ALL
+        );
+        let weakly = DaemonSpec::distributed().with_fairness(Fairness::WeaklyFair);
+        let set = weakly.implied_verdicts();
+        assert!(!set.contains(Fairness::Unfair));
+        assert!(set.contains(Fairness::WeaklyFair));
+        assert!(set.contains(Fairness::StronglyFair));
+        assert!(set.contains(Fairness::Gouda));
+    }
+
+    #[test]
+    fn legacy_equality_bridges_enum_and_spec() {
+        for d in Daemon::ALL {
+            assert_eq!(DaemonSpec::from(d), d);
+            assert_eq!(d, DaemonSpec::from(d));
+        }
+        assert_ne!(DaemonSpec::central(), Daemon::Distributed);
+        let off_lattice = DaemonSpec::distributed().with_fairness(Fairness::Gouda);
+        for d in Daemon::ALL {
+            assert_ne!(off_lattice, d);
+        }
+    }
+
+    #[test]
+    fn composed_names_are_stable() {
+        let two = DaemonSpec {
+            distribution: Distribution::KCentral {
+                k: Some(2),
+                radius: 0,
+            },
+            ..DaemonSpec::distributed()
+        };
+        assert_eq!(two.name(), "2-central");
+        let spread = DaemonSpec {
+            distribution: Distribution::KCentral { k: None, radius: 2 },
+            ..DaemonSpec::distributed()
+        };
+        assert_eq!(spread.name(), "distributed-r2");
+        let full = DaemonSpec {
+            distribution: Distribution::KCentral {
+                k: Some(3),
+                radius: 1,
+            },
+            fairness: Fairness::StronglyFair,
+            bound: Boundedness::EnabledBounded(7),
+        };
+        assert_eq!(full.name(), "3-central-r1+strongly-fair+b7");
+        let sync_fair = DaemonSpec::synchronous().with_fairness(Fairness::WeaklyFair);
+        assert_eq!(sync_fair.name(), "synchronous+weakly-fair");
     }
 }

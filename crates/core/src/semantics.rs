@@ -14,7 +14,7 @@ use stab_graph::NodeId;
 
 use crate::algorithm::Algorithm;
 use crate::config::Configuration;
-use crate::scheduler::{Activation, Daemon};
+use crate::scheduler::{Activation, DaemonSpec};
 use crate::CoreError;
 
 /// One enumerated step: the activation that fired and the distribution
@@ -120,13 +120,15 @@ pub fn deterministic_successor<A: Algorithm>(
 
 /// Samples one step under the randomized form of `daemon` (Definition 6):
 /// samples an activation uniformly, then samples each activated process's
-/// outcome. Returns `None` if `cfg` is terminal.
+/// outcome. Returns `None` if `cfg` is terminal. Accepts any lattice point
+/// (`DaemonSpec` or a legacy `Daemon` value).
 pub fn sample_step<A: Algorithm, R: Rng + ?Sized>(
     alg: &A,
-    daemon: Daemon,
+    daemon: impl Into<DaemonSpec>,
     cfg: &Configuration<A::State>,
     rng: &mut R,
 ) -> Option<(Activation, Configuration<A::State>)> {
+    let daemon = daemon.into();
     let enabled = alg.enabled_nodes(cfg);
     if enabled.is_empty() {
         return None;
@@ -147,17 +149,19 @@ pub fn sample_step<A: Algorithm, R: Rng + ?Sized>(
 
 /// Every step the enumerated `daemon` allows from `cfg`: one entry per
 /// activation, each carrying its successor distribution. Terminal
-/// configurations yield an empty vector.
+/// configurations yield an empty vector. Accepts any lattice point
+/// (`DaemonSpec` or a legacy `Daemon` value).
 ///
 /// # Errors
 ///
-/// Propagates [`CoreError::TooManyEnabled`] from distributed-daemon
+/// Propagates [`CoreError::TooManyEnabled`] from subset-daemon
 /// enumeration.
 pub fn all_steps<A: Algorithm>(
     alg: &A,
-    daemon: Daemon,
+    daemon: impl Into<DaemonSpec>,
     cfg: &Configuration<A::State>,
 ) -> Result<Vec<Step<A::State>>, CoreError> {
+    let daemon = daemon.into();
     let enabled = alg.enabled_nodes(cfg);
     let activations = daemon.activations(alg.graph(), &enabled)?;
     Ok(activations
@@ -214,6 +218,7 @@ mod tests {
     use crate::action::{ActionId, ActionMask};
     use crate::algorithm::test_support::Infection;
     use crate::outcome::Outcomes;
+    use crate::scheduler::Daemon;
     use crate::view::View;
     use rand::SeedableRng;
     use stab_graph::{builders, Graph};

@@ -1,0 +1,298 @@
+//! Property-test battery for the daemon lattice (`stab_core::DaemonSpec`):
+//! enumeration/sampling agreement, refinement-order laws, semantic
+//! soundness of refinement (activation inclusion), and lossless
+//! round-tripping of the paper's four daemons through the lattice
+//! encoding — on randomly drawn lattice points, graphs and enabled sets.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use stab_core::{Activation, Boundedness, Daemon, DaemonSpec, Distribution, Fairness};
+use stab_graph::{builders, Graph, NodeId};
+
+/// Random lattice point: any distribution × fairness × boundedness
+/// (`k = 0` encodes an unconstrained size, `bound = 0` no bound).
+fn any_spec() -> impl Strategy<Value = DaemonSpec> {
+    (0usize..5, 0u32..5, 0u32..3, 0usize..4, 0u32..5).prop_map(
+        |(shape, k, radius, fairness, bound)| DaemonSpec {
+            distribution: if shape == 0 {
+                Distribution::Synchronous
+            } else {
+                Distribution::KCentral {
+                    k: (k > 0).then_some(k),
+                    radius,
+                }
+            },
+            fairness: Fairness::ALL[fairness],
+            bound: if bound == 0 {
+                Boundedness::Unbounded
+            } else {
+                Boundedness::EnabledBounded(bound)
+            },
+        },
+    )
+}
+
+/// Random small test graph (ring, path or star) with `n ≥ 3` nodes.
+fn any_graph() -> impl Strategy<Value = Graph> {
+    (3usize..7, 0usize..3).prop_map(|(n, shape)| match shape {
+        0 => builders::ring(n),
+        1 => builders::path(n),
+        _ => builders::star(n),
+    })
+}
+
+/// A non-empty enabled set drawn from `g`'s nodes.
+fn enabled_in(g: &Graph) -> Vec<NodeId> {
+    g.nodes().collect()
+}
+
+/// Selects a sub-slice of `all` by bitmask, never empty (falls back to
+/// the full set).
+fn subset(all: &[NodeId], mask: usize) -> Vec<NodeId> {
+    let picked: Vec<NodeId> = all
+        .iter()
+        .copied()
+        .enumerate()
+        .filter(|(i, _)| mask >> i & 1 == 1)
+        .map(|(_, v)| v)
+        .collect();
+    if picked.is_empty() {
+        all.to_vec()
+    } else {
+        picked
+    }
+}
+
+/// The distribution's step-level predicate, written independently of the
+/// enumeration code: size bound and pairwise spreading via BFS distance.
+fn allowed(d: Distribution, g: &Graph, enabled: &[NodeId], act: &Activation) -> bool {
+    match d {
+        Distribution::Synchronous => act.nodes() == enabled,
+        Distribution::KCentral { k, radius } => {
+            let within_k = k.is_none_or(|k| act.len() as u64 <= u64::from(k));
+            let spread = act.nodes().iter().enumerate().all(|(i, &a)| {
+                act.nodes()
+                    .iter()
+                    .skip(i + 1)
+                    .all(|&b| bfs_distance(g, a, b) > usize::try_from(radius).unwrap())
+            });
+            within_k && spread && !act.is_empty()
+        }
+    }
+}
+
+fn bfs_distance(g: &Graph, a: NodeId, b: NodeId) -> usize {
+    let mut dist = vec![usize::MAX; g.n()];
+    let mut queue = std::collections::VecDeque::from([a]);
+    dist[a.index()] = 0;
+    while let Some(v) = queue.pop_front() {
+        if v == b {
+            return dist[v.index()];
+        }
+        for &w in g.neighbors(v) {
+            if dist[w.index()] == usize::MAX {
+                dist[w.index()] = dist[v.index()] + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    usize::MAX
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `activations()` is exactly the brute-force filter of all non-empty
+    /// enabled subsets by the distribution's independently written
+    /// predicate, and `activation_count()` agrees with its length.
+    #[test]
+    fn enumeration_matches_the_predicate(
+        spec in any_spec(),
+        g in any_graph(),
+        mask in 1usize..64,
+    ) {
+        let enabled = subset(&enabled_in(&g), mask);
+        let acts = spec.activations(&g, &enabled).unwrap();
+        // Exactly the allowed subsets, each exactly once.
+        let mut seen = std::collections::HashSet::new();
+        for a in &acts {
+            prop_assert!(allowed(spec.distribution, &g, &enabled, a), "{a:?} not allowed");
+            prop_assert!(seen.insert(a.nodes().to_vec()), "{a:?} enumerated twice");
+        }
+        let total = 1usize << enabled.len();
+        for m in 1..total {
+            let cand = Activation::new(
+                enabled.iter().copied().enumerate()
+                    .filter(|(i, _)| m >> i & 1 == 1)
+                    .map(|(_, v)| v)
+                    .collect(),
+            );
+            prop_assert_eq!(
+                seen.contains(cand.nodes()),
+                allowed(spec.distribution, &g, &enabled, &cand),
+                "membership mismatch for {:?}", cand
+            );
+        }
+        prop_assert_eq!(spec.activation_count(&g, &enabled), acts.len() as u128);
+    }
+
+    /// Every sampled activation is one of the enumerated ones, and on
+    /// small enabled sets seeded sampling reaches every enumerated
+    /// activation: the supports coincide.
+    #[test]
+    fn sample_support_equals_activation_support(
+        spec in any_spec(),
+        g in any_graph(),
+        mask in 1usize..8,
+        seed in 0u64..1 << 48,
+    ) {
+        let enabled = subset(&enabled_in(&g)[..3], mask % 8);
+        let acts: std::collections::HashSet<Vec<NodeId>> = spec
+            .activations(&g, &enabled)
+            .unwrap()
+            .into_iter()
+            .map(|a| a.nodes().to_vec())
+            .collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut hit = std::collections::HashSet::new();
+        for _ in 0..600 {
+            let a = spec.sample(&g, &enabled, &mut rng);
+            prop_assert!(
+                acts.contains(a.nodes()),
+                "sampled {:?} outside the enumerated support", a
+            );
+            hit.insert(a.nodes().to_vec());
+        }
+        // ≤ 7 activations, each with probability ≥ 2^-3·(1/64 rejection
+        // floor): 600 draws miss one with negligible (and, seeded,
+        // reproducible) probability.
+        prop_assert_eq!(hit, acts, "sampling missed part of the support");
+    }
+
+    /// The refinement order is reflexive and transitive on random points
+    /// (antisymmetry fails by design: distinct encodings can be
+    /// behaviourally equal, e.g. `k = Some(1)` at different radii).
+    #[test]
+    fn refines_is_a_preorder(
+        a in any_spec(),
+        b in any_spec(),
+        c in any_spec(),
+    ) {
+        prop_assert!(a.refines(a), "reflexive at {a:?}");
+        if a.refines(b) && b.refines(c) {
+            prop_assert!(a.refines(c), "transitivity: {a:?} ⊑ {b:?} ⊑ {c:?}");
+        }
+    }
+
+    /// Semantic soundness of the distribution component: if `a` refines
+    /// `b`, every activation `a` allows is an activation `b` allows — on
+    /// every graph and enabled set (execution inclusion, one step at a
+    /// time).
+    #[test]
+    fn refinement_implies_activation_inclusion(
+        a in any_spec(),
+        b in any_spec(),
+        g in any_graph(),
+        mask in 1usize..64,
+    ) {
+        prop_assume!(a.refines(b));
+        let enabled = subset(&enabled_in(&g), mask);
+        let allowed_by_b: std::collections::HashSet<Vec<NodeId>> = b
+            .activations(&g, &enabled)
+            .unwrap()
+            .into_iter()
+            .map(|x| x.nodes().to_vec())
+            .collect();
+        for act in a.activations(&g, &enabled).unwrap() {
+            prop_assert!(
+                allowed_by_b.contains(act.nodes()),
+                "{:?} allowed by {:?} but not by the coarser {:?}", act, a, b
+            );
+        }
+    }
+
+    /// Fairness and boundedness refinement agree with the implied-verdict
+    /// set: a point's meaningful verdicts are exactly the fairness
+    /// assumptions at least as strong as its own.
+    #[test]
+    fn implied_verdicts_track_fairness_refinement(spec in any_spec()) {
+        let implied = spec.implied_verdicts();
+        for f in Fairness::ALL {
+            prop_assert_eq!(
+                implied.contains(f),
+                f.refines(spec.fairness),
+                "{:?} @ {:?}", spec, f
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The four legacy points (deterministic, not property-based)
+// ---------------------------------------------------------------------
+
+/// `Daemon → DaemonSpec → Daemon` is the identity, names are preserved,
+/// and the legacy points are pairwise distinct lattice points.
+#[test]
+fn legacy_points_round_trip() {
+    for d in Daemon::ALL {
+        let spec = DaemonSpec::from(d);
+        assert_eq!(spec.legacy(), Some(d), "{d} round trip");
+        assert_eq!(spec.name(), d.name(), "{d} name");
+        assert_eq!(spec, d, "{d} PartialEq<Daemon>");
+        assert_eq!(d.spec(), spec, "{d} Daemon::spec agrees with From");
+    }
+    for (i, a) in DaemonSpec::LEGACY.iter().enumerate() {
+        for b in &DaemonSpec::LEGACY[i + 1..] {
+            assert_ne!(a, b, "legacy points are distinct");
+        }
+    }
+}
+
+/// On the legacy points, the lattice enumeration reproduces the enum
+/// enumeration exactly — same activations in the same order — and seeded
+/// sampling consumes the random stream identically.
+#[test]
+fn legacy_points_enumerate_and_sample_identically() {
+    for g in [builders::ring(5), builders::path(4), builders::star(5)] {
+        let all: Vec<NodeId> = g.nodes().collect();
+        for d in Daemon::ALL {
+            let spec = DaemonSpec::from(d);
+            for mask in 1usize..1 << all.len().min(5) {
+                let enabled = subset(&all, mask);
+                assert_eq!(
+                    spec.activations(&g, &enabled).unwrap(),
+                    d.activations(&g, &enabled).unwrap(),
+                    "{d} activations on {enabled:?}"
+                );
+                assert_eq!(
+                    spec.activation_count(&g, &enabled),
+                    d.activation_count(&g, &enabled),
+                    "{d} count on {enabled:?}"
+                );
+                for seed in 0..8u64 {
+                    let a = spec.sample(&g, &enabled, &mut StdRng::seed_from_u64(seed));
+                    let b = d.sample(&g, &enabled, &mut StdRng::seed_from_u64(seed));
+                    assert_eq!(a, b, "{d} sample @ seed {seed} on {enabled:?}");
+                }
+            }
+        }
+    }
+}
+
+/// The named constructors match the refinement structure the paper uses:
+/// central ⊑ locally-central ⊑ distributed, synchronous ⊑ distributed,
+/// and the synchronous/central pair is incomparable.
+#[test]
+fn legacy_lattice_shape() {
+    let c = DaemonSpec::central();
+    let lc = DaemonSpec::locally_central();
+    let d = DaemonSpec::distributed();
+    let s = DaemonSpec::synchronous();
+    assert!(c.refines(lc) && lc.refines(d) && c.refines(d));
+    assert!(s.refines(d));
+    assert!(!s.refines(c) && !c.refines(s));
+    assert!(!d.refines(c) && !d.refines(lc) && !d.refines(s));
+}

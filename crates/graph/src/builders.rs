@@ -62,6 +62,61 @@ pub fn complete(n: usize) -> Graph {
     Graph::from_edges(n, &edges).expect("complete-graph edges are valid by construction")
 }
 
+/// A `rows × cols` grid (mesh) in row-major order: node `r·cols + c` is
+/// adjacent to its horizontal and vertical neighbours. Grids are the
+/// smallest topology whose automorphism group is neither trivial nor a
+/// ring group — row/column reflections, plus the transpose when square —
+/// so they exercise the engine's general automorphism quotient.
+///
+/// ```
+/// let g = stab_graph::builders::grid(2, 3);
+/// assert_eq!(g.n(), 6);
+/// assert_eq!(g.edge_count(), 7);
+/// ```
+///
+/// # Panics
+///
+/// Panics if either dimension is zero.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    assert!(rows >= 1 && cols >= 1, "a grid needs positive dimensions");
+    let mut edges = Vec::with_capacity(rows * (cols - 1) + (rows - 1) * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = r * cols + c;
+            if c + 1 < cols {
+                edges.push((v, v + 1));
+            }
+            if r + 1 < rows {
+                edges.push((v, v + cols));
+            }
+        }
+    }
+    Graph::from_edges(rows * cols, &edges).expect("grid edges are valid by construction")
+}
+
+/// The `(rows, cols)` dimensions of `g` when it is exactly a row-major
+/// [`grid`] as the builder labels it, `None` otherwise. Detection is by
+/// construction equality over the factor pairs of `n`, so it recognises
+/// the builder's labelling (the engine's quotient planner needs exactly
+/// that: reflection permutations are written against builder coordinates).
+/// Degenerate `1 × n` grids report as paths here too.
+///
+/// ```
+/// use stab_graph::builders;
+/// assert_eq!(builders::grid_dims(&builders::grid(3, 4)), Some((3, 4)));
+/// assert_eq!(builders::grid_dims(&builders::ring(6)), None);
+/// ```
+pub fn grid_dims(g: &Graph) -> Option<(usize, usize)> {
+    let n = g.n();
+    if n == 0 {
+        return None;
+    }
+    (1..=n)
+        .filter(|&r| n.is_multiple_of(r))
+        .map(|r| (r, n / r))
+        .find(|&(r, c)| grid(r, c) == *g)
+}
+
 /// A balanced binary tree with `n` nodes filled level by level
 /// (node `i` is adjacent to `2i + 1` and `2i + 2` when those exist).
 ///
@@ -189,6 +244,41 @@ mod tests {
         assert_eq!(g.edge_count(), 10);
         assert_eq!(metrics::diameter(&g), 1);
         assert!(complete(1).is_tree());
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(3, 4);
+        assert_eq!(g.n(), 12);
+        assert_eq!(g.edge_count(), 3 * 3 + 2 * 4);
+        assert_eq!(g.max_degree(), 4);
+        assert_eq!(metrics::diameter(&g), 5);
+        // Degenerate grids collapse to paths.
+        assert!(grid(1, 5).is_tree());
+        assert_eq!(metrics::diameter(&grid(1, 5)), 4);
+        assert!(grid(3, 1).is_tree());
+        // A single cell is a single node.
+        assert_eq!(grid(1, 1).n(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive dimensions")]
+    fn grid_zero_dimension_panics() {
+        let _ = grid(0, 3);
+    }
+
+    #[test]
+    fn grid_dims_recognises_builder_grids_only() {
+        assert_eq!(grid_dims(&grid(2, 3)), Some((2, 3)));
+        assert_eq!(grid_dims(&grid(3, 3)), Some((3, 3)));
+        assert_eq!(grid_dims(&path(4)), Some((1, 4)));
+        assert_eq!(grid_dims(&grid(1, 1)), Some((1, 1)));
+        // A 2×2 grid is labelled 0-1, 0-2, 1-3, 2-3 — the 4-cycle in a
+        // different labelling than ring(4), so only the former matches.
+        assert_eq!(grid_dims(&grid(2, 2)), Some((2, 2)));
+        assert_eq!(grid_dims(&ring(4)), None);
+        assert_eq!(grid_dims(&star(6)), None);
+        assert_eq!(grid_dims(&binary_tree(6)), None);
     }
 
     #[test]

@@ -41,6 +41,8 @@ pub enum GraphError {
     NotATree,
     /// The operation requires a ring (cycle graph).
     NotARing,
+    /// The operation requires a path (chain graph).
+    NotAPath,
 }
 
 impl fmt::Display for GraphError {
@@ -59,6 +61,7 @@ impl fmt::Display for GraphError {
             GraphError::NotConnected => write!(f, "graph is not connected"),
             GraphError::NotATree => write!(f, "graph is not a tree"),
             GraphError::NotARing => write!(f, "graph is not a ring"),
+            GraphError::NotAPath => write!(f, "graph is not a path"),
         }
     }
 }
@@ -88,6 +91,7 @@ mod tests {
             (GraphError::NotConnected, "graph is not connected"),
             (GraphError::NotATree, "graph is not a tree"),
             (GraphError::NotARing, "graph is not a ring"),
+            (GraphError::NotAPath, "graph is not a path"),
         ];
         for (err, msg) in cases {
             assert_eq!(err.to_string(), msg);

@@ -21,7 +21,7 @@ use std::collections::HashMap;
 use std::sync::OnceLock;
 
 use stab_core::engine::{BitSet, ExploreOptions, GroupCanonicalizer, TransitionSystem};
-use stab_core::{Algorithm, Configuration, Daemon, Legitimacy, LocalState, SpaceIndexer};
+use stab_core::{Algorithm, Configuration, DaemonSpec, Legitimacy, LocalState, SpaceIndexer};
 
 use crate::error::MarkovError;
 use crate::qstore::{QStorage, QStorageBuilder};
@@ -42,7 +42,7 @@ pub use crate::qstore::QMatrix;
 #[derive(Debug)]
 pub struct AbsorbingChain<S> {
     indexer: SpaceIndexer<S>,
-    daemon: Daemon,
+    daemon: DaemonSpec,
     /// Transient-state index per *explored* configuration id
     /// (`u32::MAX` = legitimate).
     transient_of: Vec<u32>,
@@ -90,7 +90,12 @@ impl<S: LocalState> AbsorbingChain<S> {
     /// # Errors
     ///
     /// Propagates enumeration errors ([`MarkovError::Core`]).
-    pub fn build<A, L>(alg: &A, daemon: Daemon, spec: &L, cap: u64) -> Result<Self, MarkovError>
+    pub fn build<A, L>(
+        alg: &A,
+        daemon: impl Into<DaemonSpec>,
+        spec: &L,
+        cap: u64,
+    ) -> Result<Self, MarkovError>
     where
         A: Algorithm<State = S> + Sync,
         L: Legitimacy<S> + Sync,
@@ -128,7 +133,7 @@ impl<S: LocalState> AbsorbingChain<S> {
     /// ```
     pub fn build_with<A, L>(
         alg: &A,
-        daemon: Daemon,
+        daemon: impl Into<DaemonSpec>,
         spec: &L,
         cap: u64,
         opts: &ExploreOptions<S>,
@@ -138,6 +143,7 @@ impl<S: LocalState> AbsorbingChain<S> {
         L: Legitimacy<S> + Sync,
         S: Sync,
     {
+        let daemon = daemon.into();
         let indexer = SpaceIndexer::new(alg, cap)?;
         let ts = TransitionSystem::explore_with(alg, &indexer, daemon, spec, opts)?;
         Ok(Self::from_transition_system(indexer, daemon, &ts))
@@ -152,9 +158,10 @@ impl<S: LocalState> AbsorbingChain<S> {
     /// afterwards.
     pub fn from_transition_system(
         indexer: SpaceIndexer<S>,
-        daemon: Daemon,
+        daemon: impl Into<DaemonSpec>,
         ts: &TransitionSystem,
     ) -> Self {
+        let daemon = daemon.into();
         let total = ts.n_configs();
         let dense = ts.traversal() == stab_core::engine::TraversalMode::Full
             && ts.quotient() == stab_core::engine::Quotient::None;
@@ -271,8 +278,8 @@ impl<S: LocalState> AbsorbingChain<S> {
         &self.orbit_of
     }
 
-    /// The daemon the chain was built under.
-    pub fn daemon(&self) -> Daemon {
+    /// The lattice point the chain was built under.
+    pub fn daemon(&self) -> DaemonSpec {
         self.daemon
     }
 
@@ -383,7 +390,7 @@ impl<S: LocalState> AbsorbingChain<S> {
 mod tests {
     use super::*;
     use stab_algorithms::{HermanRing, TokenCirculation, TwoProcessToggle};
-    use stab_core::{ProjectedLegitimacy, Transformed};
+    use stab_core::{Daemon, ProjectedLegitimacy, Transformed};
     use stab_graph::builders;
 
     #[test]

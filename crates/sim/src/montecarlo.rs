@@ -3,7 +3,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use stab_core::{Algorithm, Daemon, Legitimacy};
+use stab_core::{Algorithm, DaemonSpec, Legitimacy};
 
 use crate::init;
 use crate::run::run_once;
@@ -54,7 +54,12 @@ pub struct BatchResult {
 ///
 /// Parallel and deterministic: run `i` always uses the RNG stream
 /// `seed ⊕ i`, whatever the thread count.
-pub fn estimate<A, L>(alg: &A, daemon: Daemon, spec: &L, settings: &BatchSettings) -> BatchResult
+pub fn estimate<A, L>(
+    alg: &A,
+    daemon: impl Into<DaemonSpec>,
+    spec: &L,
+    settings: &BatchSettings,
+) -> BatchResult
 where
     A: Algorithm + Sync,
     L: Legitimacy<A::State> + Sync,
@@ -68,7 +73,7 @@ where
 /// (e.g. worst-case starts, or conditioned on illegitimacy).
 pub fn estimate_with<A, L, F>(
     alg: &A,
-    daemon: Daemon,
+    daemon: impl Into<DaemonSpec>,
     spec: &L,
     settings: &BatchSettings,
     make_initial: F,
@@ -78,6 +83,7 @@ where
     L: Legitimacy<A::State> + Sync,
     F: Fn(&A, &mut StdRng) -> stab_core::Configuration<A::State> + Sync,
 {
+    let daemon = daemon.into();
     assert!(settings.runs > 0, "at least one run required");
     let threads = settings.threads.max(1);
     let chunk = settings.runs.div_ceil(threads as u64);
@@ -144,7 +150,7 @@ where
 mod tests {
     use super::*;
     use stab_algorithms::{HermanRing, TokenCirculation, TwoProcessToggle};
-    use stab_core::{ProjectedLegitimacy, Transformed};
+    use stab_core::{Daemon, ProjectedLegitimacy, Transformed};
     use stab_graph::builders;
     use stab_markov::AbsorbingChain;
 

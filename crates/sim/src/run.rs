@@ -1,7 +1,7 @@
 //! Single simulation runs with step / move / round accounting.
 
 use rand::Rng;
-use stab_core::{Algorithm, Configuration, Daemon, Legitimacy};
+use stab_core::{Algorithm, Configuration, DaemonSpec, Legitimacy};
 use stab_graph::NodeId;
 
 /// Outcome of one run.
@@ -25,7 +25,7 @@ pub struct RunResult {
 /// simulate in `O(|activation| · Δ)` guard evaluations per step.
 pub fn run_once<A, L, R>(
     alg: &A,
-    daemon: Daemon,
+    daemon: impl Into<DaemonSpec>,
     spec: &L,
     initial: &Configuration<A::State>,
     rng: &mut R,
@@ -36,6 +36,7 @@ where
     L: Legitimacy<A::State>,
     R: Rng + ?Sized,
 {
+    let daemon = daemon.into();
     let g = alg.graph();
     let n = g.n();
     let mut cfg = initial.clone();
@@ -141,7 +142,7 @@ fn refresh<A: Algorithm>(alg: &A, cfg: &Configuration<A::State>, v: NodeId, flag
 /// Panics if `max_steps > 100_000`.
 pub fn run_recorded<A, L, R>(
     alg: &A,
-    daemon: Daemon,
+    daemon: impl Into<DaemonSpec>,
     spec: &L,
     initial: &Configuration<A::State>,
     rng: &mut R,
@@ -152,6 +153,7 @@ where
     L: Legitimacy<A::State>,
     R: Rng + ?Sized,
 {
+    let daemon = daemon.into();
     assert!(
         max_steps <= 100_000,
         "recorded runs are capped at 100k steps"
@@ -210,7 +212,7 @@ mod tests {
     use super::*;
     use rand::SeedableRng;
     use stab_algorithms::{HermanRing, TokenCirculation, TwoProcessToggle};
-    use stab_core::{ProjectedLegitimacy, Transformed};
+    use stab_core::{Daemon, ProjectedLegitimacy, Transformed};
     use stab_graph::builders;
 
     fn rng(seed: u64) -> rand::rngs::StdRng {

@@ -34,7 +34,7 @@
 //! assert!(verdicts.probabilistic.holds, "Theorem 7");
 //! // The report serializes; CI and bench bins consume the same object.
 //! let text = report.to_json_string();
-//! assert!(text.contains("study_report/v2"));
+//! assert!(text.contains("study_report/v3"));
 //! ```
 //!
 //! # What `run()` does
@@ -46,7 +46,7 @@
 //!    is recorded in the report; [`Study::options`] overrides the
 //!    planner wholesale, [`Study::byte_budget`] just moves the budget.
 //! 2. **Explore once** — a single
-//!    [`TransitionSystem`](stab_core::engine::TransitionSystem)
+//!    [`stab_core::engine::TransitionSystem`]
 //!    materialises the space; the checker borrows it through
 //!    [`ExploredSpace::from_transition_system`] and the Markov stage
 //!    through [`AbsorbingChain::from_transition_system`]. No stage
@@ -55,7 +55,7 @@
 //!    [`Study::expected_times`], [`Study::monte_carlo`]) contributes a
 //!    section to the [`StudyReport`]; unrequested stages cost nothing.
 //!
-//! The report is versioned (`study_report/v2`) and round-trips through
+//! The report is versioned (`study_report/v3`) and round-trips through
 //! JSON bit-for-bit, so the bench binaries and CI validate exactly the
 //! object users see.
 //!
@@ -96,7 +96,7 @@ use stab_checker::{analyze_space_budgeted, ExploredSpace, Verdict};
 use stab_core::engine::{
     Budget, ExploreMode, ExploreOptions, FaultPlan, Plan, PlanRequest, RunGuard, TransitionSystem,
 };
-use stab_core::{Algorithm, CoreError, Daemon, FairnessSet, Legitimacy, SpaceIndexer};
+use stab_core::{Algorithm, CoreError, DaemonSpec, FairnessSet, Legitimacy, SpaceIndexer};
 use stab_markov::{AbsorbingChain, MarkovError};
 use stab_sim::montecarlo::{estimate, BatchSettings};
 
@@ -156,7 +156,7 @@ impl McConfig {
 pub struct Study<'a, A: Algorithm, Sp = NoSpec> {
     alg: &'a A,
     spec: Sp,
-    daemon: Daemon,
+    daemon: DaemonSpec,
     cap: u64,
     verdicts: Option<FairnessSet>,
     expected: bool,
@@ -177,7 +177,7 @@ impl<'a, A: Algorithm> Study<'a, A, NoSpec> {
         Study {
             alg,
             spec: NoSpec,
-            daemon: Daemon::Distributed,
+            daemon: DaemonSpec::distributed(),
             cap: DEFAULT_CAP,
             verdicts: None,
             expected: false,
@@ -194,10 +194,11 @@ impl<'a, A: Algorithm> Study<'a, A, NoSpec> {
 }
 
 impl<'a, A: Algorithm, Sp> Study<'a, A, Sp> {
-    /// Selects the scheduler.
+    /// Selects the scheduler — any point of the daemon lattice; the
+    /// paper's four daemons convert via `impl Into<DaemonSpec>`.
     #[must_use]
-    pub fn daemon(mut self, daemon: Daemon) -> Self {
-        self.daemon = daemon;
+    pub fn daemon(mut self, daemon: impl Into<DaemonSpec>) -> Self {
+        self.daemon = daemon.into();
         self
     }
 

@@ -1,22 +1,28 @@
 //! The serializable record of one [`Study`](super::Study) run.
 //!
-//! [`StudyReport`] is versioned (`study_report/v2`) and round-trips
+//! [`StudyReport`] is versioned (`study_report/v3`) and round-trips
 //! through its JSON form bit-for-bit — bench binaries, CI validators and
 //! downstream consumers all read the same object users see in code.
 //!
-//! v2 adds the [`StatusSection`]: one [`Outcome`] per stage, so a study
+//! v2 added the [`StatusSection`]: one [`Outcome`] per stage, so a study
 //! interrupted by an exhausted [`Budget`](stab_core::engine::Budget)
 //! still produces a well-formed report — the starved stage reads
 //! `Degraded` with the budget's rendered reason, stages that never ran
 //! read `Skipped`, and `space` became optional because a degraded
 //! exploration has no counters to report.
+//!
+//! v3 replaces the flat daemon name with a structured `daemon` object —
+//! `{name, distribution: {kind, k, radius}, fairness, bound}` — so every
+//! point of the daemon lattice ([`DaemonSpec`]) serializes, not just the
+//! paper's four named daemons. `name` stays the legacy string for the
+//! four legacy encodings, so readers keyed on it keep working.
 
-use stab_core::{Daemon, Fairness};
+use stab_core::{Boundedness, DaemonSpec, Distribution, Fairness};
 
 use super::json::Json;
 
 /// The schema tag every serialized report carries.
-pub const SCHEMA: &str = "study_report/v2";
+pub const SCHEMA: &str = "study_report/v3";
 
 /// How one stage of a study ended.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -323,8 +329,9 @@ pub struct StudyReport {
     pub algorithm: String,
     /// Specification name.
     pub spec: String,
-    /// The scheduler studied.
-    pub daemon: Daemon,
+    /// The scheduler studied — a daemon-lattice point; the paper's four
+    /// daemons are the named legacy points.
+    pub daemon: DaemonSpec,
     /// What was decided before exploring, and why.
     pub plan: PlanSection,
     /// How each stage ended (complete / degraded / skipped).
@@ -366,7 +373,7 @@ impl StudyReport {
             ("schema", Json::Str(SCHEMA.to_string())),
             ("algorithm", Json::Str(self.algorithm.clone())),
             ("spec", Json::Str(self.spec.clone())),
-            ("daemon", Json::Str(self.daemon.name().to_string())),
+            ("daemon", daemon_to_json(self.daemon)),
             ("plan", self.plan.to_json()),
             ("status", self.status.to_json()),
             (
@@ -417,11 +424,7 @@ impl StudyReport {
         if schema != SCHEMA {
             return Err(format!("unsupported schema `{schema}` (want `{SCHEMA}`)"));
         }
-        let daemon_name = str_field(&v, "daemon")?;
-        let daemon = Daemon::ALL
-            .into_iter()
-            .find(|d| d.name() == daemon_name)
-            .ok_or_else(|| format!("unknown daemon `{daemon_name}`"))?;
+        let daemon = daemon_from_json(field(&v, "daemon")?)?;
         Ok(StudyReport {
             algorithm: str_field(&v, "algorithm")?.to_string(),
             spec: str_field(&v, "spec")?.to_string(),
@@ -435,6 +438,75 @@ impl StudyReport {
             timings_ms: Timings::from_json(field(&v, "timings_ms")?)?,
         })
     }
+}
+
+// ---- daemon (de)serialization ------------------------------------------
+
+fn daemon_to_json(d: DaemonSpec) -> Json {
+    let distribution = match d.distribution {
+        Distribution::Synchronous => obj(vec![("kind", Json::Str("synchronous".to_string()))]),
+        Distribution::KCentral { k, radius } => obj(vec![
+            ("kind", Json::Str("k-central".to_string())),
+            ("k", k.map_or(Json::Null, |k| u(u64::from(k)))),
+            ("radius", u(u64::from(radius))),
+        ]),
+    };
+    obj(vec![
+        ("name", Json::Str(d.name())),
+        ("distribution", distribution),
+        ("fairness", Json::Str(d.fairness.name().to_string())),
+        (
+            "bound",
+            match d.bound {
+                Boundedness::Unbounded => Json::Null,
+                Boundedness::EnabledBounded(b) => u(u64::from(b)),
+            },
+        ),
+    ])
+}
+
+fn u32_field(v: &Json, key: &str) -> Result<u32, String> {
+    u32::try_from(u64_field(v, key)?).map_err(|_| format!("field `{key}` exceeds u32"))
+}
+
+fn daemon_from_json(v: &Json) -> Result<DaemonSpec, String> {
+    let dist = field(v, "distribution")?;
+    let distribution = match str_field(dist, "kind")? {
+        "synchronous" => Distribution::Synchronous,
+        "k-central" => {
+            let k = match field(dist, "k")? {
+                Json::Null => None,
+                k => Some(
+                    k.as_u64()
+                        .and_then(|k| u32::try_from(k).ok())
+                        .ok_or("daemon `k` is not an unsigned integer or null")?,
+                ),
+            };
+            Distribution::KCentral {
+                k,
+                radius: u32_field(dist, "radius")?,
+            }
+        }
+        other => return Err(format!("unknown distribution kind `{other}`")),
+    };
+    let fairness_name = str_field(v, "fairness")?;
+    let fairness = Fairness::ALL
+        .into_iter()
+        .find(|f| f.name() == fairness_name)
+        .ok_or_else(|| format!("unknown fairness `{fairness_name}`"))?;
+    let bound = match field(v, "bound")? {
+        Json::Null => Boundedness::Unbounded,
+        b => Boundedness::EnabledBounded(
+            b.as_u64()
+                .and_then(|b| u32::try_from(b).ok())
+                .ok_or("daemon `bound` is not an unsigned integer or null")?,
+        ),
+    };
+    Ok(DaemonSpec {
+        distribution,
+        fairness,
+        bound,
+    })
 }
 
 // ---- field helpers -----------------------------------------------------
