@@ -15,7 +15,7 @@
 //!   edge-store tier were chosen by the auto-planner
 //!   (`stab_core::engine::Plan`) rather than hand-tuned. The one planned
 //!   row doubles as the serialized `StudyReport` showcase: its full
-//!   report is written to `STUDY_report.json` (schema `study_report/v3`)
+//!   report is written to `STUDY_report.json` (schema `study_report/v4`)
 //!   and validated by CI, which also asserts the planner's tier choice
 //!   matches the measured-cheaper tier of the flat/compressed pair.
 //!
@@ -30,20 +30,36 @@
 //! keeps the tens-of-ms signal measurable under CPU-steal noise larger
 //! than itself. The tracked target is **< 5%**.
 //!
+//! Since schema v7 every row carries `resident_bytes` (forward-store
+//! bytes resident in RAM at the end of the run) and `spilled_bytes`
+//! (bytes written to `WSR1` chunk files; zero off the disk tier), the
+//! PR 4 store pair grew into a flat/compressed/disk *trio* — the disk
+//! row runs the same full study (verdicts + chain) with the byte stream
+//! spilled and a pinned chunk cache, so `resident_bytes <
+//! spilled_bytes` on that row is the out-of-core signal CI asserts —
+//! and a standalone `--edge-store disk` mode sweeps an instance whose
+//! stream does not fit RAM budgets at all (the Herman N=19 acceptance
+//! run: 3^19 ≈ 1.16·10⁹ edges through a 32 MiB cache).
+//!
 //! Flags:
 //!
 //! * `--checkpoint-dir <dir>` — write the overhead row's frame chain to
 //!   `<dir>` and leave it behind (default: a temp directory, removed);
 //! * `--resume <dir>` — skip the bench entirely: cold-resume the frame
 //!   chain in `<dir>` (`TransitionSystem::resume`), print its counters
-//!   and content digest, and exit non-zero on a damaged chain.
+//!   and content digest, and exit non-zero on a damaged chain;
+//! * `--edge-store disk [--ring N]` — skip the bench: run the Herman
+//!   ring-`N` (default 19) *full sweep* on the disk tier, explore-only,
+//!   print the resident/spilled/peak accounting, and exit non-zero if
+//!   the peak resident set broke the plan's RAM ceiling.
 //!
 //! The *references* are unchanged: seed-faithful reimplementations for
 //! the PR 1 rows, the engine's own full sweep for mode rows, the
 //! flat-store run for compressed rows, `null` where the reference is
 //! infeasible on the runner.
 //!
-//! JSON schema (`bench_explore/v6`; v5 rows lacked
+//! JSON schema (`bench_explore/v7`; v6 rows lacked `resident_bytes` /
+//! `spilled_bytes`; v5 rows lacked
 //! `checkpoint_overhead_pct`; v4 rows lacked `planned` and timed
 //! chain/analyze including their own exploration; v3 rows lacked
 //! `edge_store` / `edge_bytes`; v2 rows lacked `group_order`; v1 rows
@@ -52,7 +68,7 @@
 //!
 //! ```json
 //! {
-//!   "schema": "bench_explore/v6",
+//!   "schema": "bench_explore/v7",
 //!   "threads": 8,
 //!   "results": [
 //!     {
@@ -66,6 +82,8 @@
 //!       "group_order": 30,
 //!       "edges": 395200,
 //!       "edge_bytes": 9489640,
+//!       "resident_bytes": 9489640,
+//!       "spilled_bytes": 0,
 //!       "explore_reference_ms": 3900.0,
 //!       "explore_engine_ms": 270.0,
 //!       "explore_speedup": 14.4,
@@ -82,13 +100,16 @@
 //! Invariants the CI smoke job asserts on every row:
 //! `configs <= represented <= configs × group_order`, `group_order = 1`
 //! outside quotient mode, `edge_bytes > 0`, `planned` boolean present;
-//! at least one ≥10⁶-edge case measures both stores with compressed
+//! at least one ≥10⁶-edge case measures both RAM stores with compressed
 //! bytes/edge strictly below flat; at least one ≥10⁷-edge compressed row
 //! has no flat reference; at least one row is `planned = true`; the
-//! planned row's tier equals the measured-cheaper tier of the store
-//! pair; exactly one row carries a non-null `checkpoint_overhead_pct`
-//! below the 5% target; and at least one grid-topology row is
-//! quotiented by a non-trivial automorphism group (`group_order > 1`).
+//! planned row's tier equals the measured-cheaper tier of the
+//! flat/compressed pair; exactly one row carries a non-null
+//! `checkpoint_overhead_pct` below the 5% target; at least one
+//! grid-topology row is quotiented by a non-trivial automorphism group
+//! (`group_order > 1`); `resident_bytes = edge_bytes` and
+//! `spilled_bytes = 0` off the disk tier; and the ≥10⁷-edge disk row
+//! keeps `resident_bytes < spilled_bytes` (the out-of-core signal).
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -98,7 +119,9 @@ use std::time::Instant;
 use stab_algorithms::{GreedyColoring, HermanRing, TokenCirculation};
 use stab_bench::Table;
 use stab_checker::ExploredSpace;
-use stab_core::engine::{EdgeStoreKind, ExploreMode, ExploreOptions, Quotient, TransitionSystem};
+use stab_core::engine::{
+    EdgeStoreKind, ExploreMode, ExploreOptions, Plan, PlanRequest, Quotient, TransitionSystem,
+};
 use stab_core::{
     semantics, Algorithm, Configuration, Daemon, FairnessSet, Legitimacy, SpaceIndexer,
 };
@@ -212,6 +235,8 @@ struct CaseResult {
     group_order: u64,
     edges: u64,
     edge_bytes: u64,
+    resident_bytes: u64,
+    spilled_bytes: u64,
     explore_reference_ms: Option<f64>,
     explore_engine_ms: f64,
     chain_reference_ms: Option<f64>,
@@ -300,6 +325,8 @@ fn case_from_report(
         group_order: space.group_order,
         edges: space.edges,
         edge_bytes: space.edge_bytes,
+        resident_bytes: space.resident_bytes,
+        spilled_bytes: space.spilled_bytes,
         explore_reference_ms,
         explore_engine_ms,
         chain_reference_ms,
@@ -377,12 +404,13 @@ where
     )
 }
 
-/// A store pair: the same options explored onto the flat store (the
-/// baseline row, null references) and onto the compressed store
-/// (referenced against the flat run, so the speedup isolates the store
-/// tradeoff — typically < 1×: the compressed tier pays encode/decode time
-/// for its 4–8× memory reduction).
-fn run_store_pair<A, L>(
+/// A store trio: the same options explored onto the flat store (the
+/// baseline row, null references), the compressed store and the disk
+/// store (both referenced against the flat run, so the speedup isolates
+/// the store tradeoff — typically < 1×: the non-flat tiers pay
+/// encode/decode time — and, on the disk tier, chunk-cache misses — for
+/// their memory reduction).
+fn run_store_trio<A, L>(
     name: &str,
     alg: &A,
     daemon: Daemon,
@@ -398,7 +426,11 @@ where
 {
     let mut rows = Vec::new();
     let mut reference: Option<(f64, Option<f64>)> = None;
-    for kind in [EdgeStoreKind::Flat, EdgeStoreKind::Compressed] {
+    for kind in [
+        EdgeStoreKind::Flat,
+        EdgeStoreKind::Compressed,
+        EdgeStoreKind::Disk,
+    ] {
         let kopts = opts.clone().with_edge_store(kind);
         let (report, explore_ms, chain_ms, analyze_ms) =
             measure_study(alg, daemon, spec, Some(&kopts), cap, reps, true);
@@ -412,7 +444,9 @@ where
             reference.map(|(e, _)| e),
             reference.and_then(|(_, c)| c),
         ));
-        reference = Some((explore_ms, chain_ms));
+        if reference.is_none() {
+            reference = Some((explore_ms, chain_ms));
+        }
     }
     rows
 }
@@ -535,7 +569,7 @@ where
 {
     // Unlike the timing rows, the showcase runs the *full* study —
     // verdicts and solved expected times — so the serialized report
-    // exercises every study_report/v3 section.
+    // exercises every study_report/v4 section.
     let report = Study::of(alg)
         .daemon(daemon)
         .spec(spec)
@@ -573,6 +607,64 @@ fn json_opt(x: Option<f64>) -> String {
     }
 }
 
+/// `--edge-store disk [--ring N]`: the out-of-core acceptance sweep.
+/// Explores the Herman ring-`N` *full* space (no quotient, so the
+/// stream really is 3^N edges) onto the disk tier, prints the
+/// resident/spilled/peak accounting next to the planner's own verdict
+/// for the instance, and exits non-zero if the peak resident set broke
+/// the plan's RAM ceiling (`disk_byte_budget`) — the bounded-memory
+/// acceptance gate for the spilled store.
+fn disk_sweep_main(n: usize) {
+    let alg = HermanRing::on_ring(&builders::ring(n)).expect("ring");
+    let spec = alg.legitimacy();
+    let ix = SpaceIndexer::new(&alg, BIG_CAP).expect("indexer");
+    let plan = Plan::compute(
+        &alg,
+        &ix,
+        Daemon::Synchronous,
+        &spec,
+        &PlanRequest::default(),
+    )
+    .expect("plan");
+    println!("# Out-of-core acceptance sweep: herman/N={n}/synchronous\n");
+    println!(
+        "planner: tier {} (est. analysis footprint: flat {} B, compressed {} B; \
+         RAM ceiling {} B)",
+        plan.edge_store.label(),
+        plan.est_analysis_flat_bytes,
+        plan.est_analysis_compressed_bytes,
+        plan.disk_byte_budget,
+    );
+    let opts = ExploreOptions::full().with_edge_store(EdgeStoreKind::Disk);
+    let start = Instant::now();
+    let ts = TransitionSystem::explore_with(&alg, &ix, Daemon::Synchronous, &spec, &opts)
+        .expect("disk sweep");
+    let secs = start.elapsed().as_secs_f64();
+    let peak = ts.peak_resident_edge_bytes();
+    println!(
+        "explored {} configs, {} edges in {secs:.1} s\n\
+         edge store: {} B total, {} B spilled, {} B resident (peak {} B)",
+        ts.n_configs(),
+        ts.n_edges(),
+        ts.edge_bytes(),
+        ts.spilled_edge_bytes(),
+        ts.resident_edge_bytes(),
+        peak,
+    );
+    if peak > plan.disk_byte_budget {
+        eprintln!(
+            "FAIL: peak resident {} B exceeds the plan's {} B RAM ceiling",
+            peak, plan.disk_byte_budget
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "peak resident set is {:.2}% of the {} B RAM ceiling",
+        peak as f64 / plan.disk_byte_budget as f64 * 100.0,
+        plan.disk_byte_budget
+    );
+}
+
 /// `--resume <dir>`: cold-resume a frame chain and report what it holds.
 /// Exit 0 with counters + digest on a valid chain, exit 1 with the typed
 /// refusal on a damaged or unfinished one.
@@ -597,6 +689,8 @@ fn resume_main(dir: &Path) {
 
 fn main() {
     let mut checkpoint_dir: Option<PathBuf> = None;
+    let mut disk_sweep = false;
+    let mut ring = 19usize;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -607,14 +701,30 @@ fn main() {
                 let dir: PathBuf = args.next().expect("--resume needs a path").into();
                 return resume_main(&dir);
             }
+            "--edge-store" => {
+                let tier = args.next().expect("--edge-store needs a tier");
+                assert_eq!(tier, "disk", "only the disk tier has a standalone sweep");
+                disk_sweep = true;
+            }
+            "--ring" => {
+                ring = args
+                    .next()
+                    .expect("--ring needs a size")
+                    .parse()
+                    .expect("--ring needs an integer");
+            }
             other => {
                 eprintln!(
                     "unknown argument {other:?} \
-                     (supported: --checkpoint-dir <dir>, --resume <dir>)"
+                     (supported: --checkpoint-dir <dir>, --resume <dir>, \
+                     --edge-store disk, --ring <N>)"
                 );
                 std::process::exit(2);
             }
         }
+    }
+    if disk_sweep {
+        return disk_sweep_main(ring);
     }
 
     let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
@@ -784,13 +894,15 @@ fn main() {
         true,
     ));
 
-    // ---- PR 4 rows: flat vs compressed edge store ------------------------
+    // ---- PR 4/PR 8 rows: flat vs compressed vs disk edge store -----------
 
-    // Store pair on a ≥10^6-edge instance both tiers handle: Herman N=15
-    // full sweep (3^15 ≈ 1.43·10^7 edges; 344 MB flat). The pair measures
-    // the compressed tier's bytes/edge against the flat 24 B/edge and the
-    // time it pays for them.
-    results.extend(run_store_pair(
+    // Store trio on a ≥10^6-edge instance every tier handles: Herman N=15
+    // full sweep (3^15 ≈ 1.43·10^7 edges; 344 MB flat). The trio measures
+    // the compressed tier's bytes/edge against the flat 24 B/edge, the
+    // time both non-flat tiers pay, and — on the disk row — the
+    // out-of-core accounting (≈ 72 MB spilled behind a 32 MiB cache, so
+    // `resident_bytes < spilled_bytes`).
+    results.extend(run_store_trio(
         "herman/N=15/synchronous",
         &herman15,
         Daemon::Synchronous,
@@ -890,7 +1002,7 @@ fn main() {
     ]);
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"schema\": \"bench_explore/v6\",");
+    let _ = writeln!(json, "  \"schema\": \"bench_explore/v7\",");
     let _ = writeln!(json, "  \"threads\": {threads},");
     let _ = writeln!(json, "  \"results\": [");
     for (i, r) in results.iter().enumerate() {
@@ -930,6 +1042,8 @@ fn main() {
         let _ = writeln!(json, "      \"group_order\": {},", r.group_order);
         let _ = writeln!(json, "      \"edges\": {},", r.edges);
         let _ = writeln!(json, "      \"edge_bytes\": {},", r.edge_bytes);
+        let _ = writeln!(json, "      \"resident_bytes\": {},", r.resident_bytes);
+        let _ = writeln!(json, "      \"spilled_bytes\": {},", r.spilled_bytes);
         let _ = writeln!(
             json,
             "      \"explore_reference_ms\": {},",

@@ -172,5 +172,5 @@ fn main() {
     println!("zig-zag varint successor deltas, varint activation masks and interned");
     println!("probability ids behind u64 offsets — the measured 3–6 B/edge is what");
     println!("moves the RAM ceiling from Herman N=15 (full) / N=17 (quotient) to the");
-    println!("N=17 full sweep and beyond (see BENCH_explore.json, schema v6).");
+    println!("N=17 full sweep and beyond (see BENCH_explore.json, schema v7).");
 }

@@ -13,11 +13,19 @@
 //! exp_resilience degraded --out d.json             # starved budget, still exit 0
 //! ```
 //!
+//! `reference` and `explore` also accept `--edge-store disk`: the same
+//! study forced onto the spilled edge tier (full sweep, no quotient), so
+//! the kill-and-resume drill covers the `WSR1` chunk files too — the
+//! checkpointed run spills next to its frames (`<dir>/spill`), the
+//! injected kill lands after a durable frame, and the resumed run must
+//! rebuild the spilled stream bit-for-bit before `diff` compares it
+//! against the uninterrupted disk-tier reference.
+//!
 //! The injected kill uses the deterministic fault plan
 //! (`FaultPlan::with_kill_after_frames`), so the process dies at an
 //! *exact* frame boundary instead of wherever a racy external SIGKILL
 //! lands; it still exits with the SIGKILL status (137) so the CI job
-//! treats it like the real thing. `diff` parses both `study_report/v3`
+//! treats it like the real thing. `diff` parses both `study_report/v4`
 //! documents, zeroes the wall-clock timings (the one part two runs can
 //! never share), and demands full structural equality.
 //!
@@ -30,7 +38,7 @@ use std::path::PathBuf;
 use std::time::Duration;
 
 use stab_algorithms::HermanRing;
-use stab_core::engine::{Budget, FaultPlan};
+use stab_core::engine::{Budget, EdgeStoreKind, ExploreOptions, FaultPlan};
 use stab_core::{CoreError, Daemon, FairnessSet};
 use stab_graph::builders;
 use weak_stabilization::study::{McConfig, Outcome, Study, StudyReport, Timings};
@@ -46,8 +54,9 @@ fn usage() -> ! {
         "usage: exp_resilience <command>\n\
          \n\
          commands:\n\
-         \x20 reference --out <file>\n\
-         \x20 explore --dir <dir> --out <file> [--kill-after-frames <k>]\n\
+         \x20 reference --out <file> [--edge-store disk]\n\
+         \x20 explore --dir <dir> --out <file> [--kill-after-frames <k>] \
+         [--edge-store disk]\n\
          \x20 diff <reference.json> <resumed.json>\n\
          \x20 degraded --out <file>"
     );
@@ -64,12 +73,30 @@ fn flag(args: &mut std::env::Args, name: &str) -> String {
 fn study<'a>(
     alg: &'a HermanRing,
     spec: &'a stab_algorithms::herman::SingleHermanToken,
+    disk: bool,
 ) -> Study<'a, HermanRing, &'a stab_algorithms::herman::SingleHermanToken> {
-    Study::of(alg)
+    let mut s = Study::of(alg)
         .daemon(Daemon::Synchronous)
         .spec(spec)
         .verdicts(FairnessSet::ALL)
-        .expected_times()
+        .expected_times();
+    if disk {
+        // Forced wholesale (full sweep, no quotient): the drill's point
+        // is the spilled stream, and both sides of the diff must run the
+        // very same options for the reports to be comparable.
+        s = s.options(ExploreOptions::full().with_edge_store(EdgeStoreKind::Disk));
+    }
+    s
+}
+
+/// Parses an `--edge-store` value: only the disk tier has a drill.
+fn disk_flag(args: &mut std::env::Args) -> bool {
+    let tier = flag(args, "--edge-store");
+    if tier != "disk" {
+        eprintln!("--edge-store only supports `disk` here (got {tier:?})");
+        usage()
+    }
+    true
 }
 
 /// Wall-clock noise is the one part of a report two runs can never
@@ -111,21 +138,22 @@ fn main() {
 
     match command.as_str() {
         "reference" => {
-            let mut out = None;
+            let (mut out, mut disk) = (None, false);
             while let Some(a) = args.next() {
                 match a.as_str() {
                     "--out" => out = Some(PathBuf::from(flag(&mut args, "--out"))),
+                    "--edge-store" => disk = disk_flag(&mut args),
                     _ => usage(),
                 }
             }
             let out = out.unwrap_or_else(|| usage());
-            let report = study(&alg, &spec).run().expect("uninterrupted study");
+            let report = study(&alg, &spec, disk).run().expect("uninterrupted study");
             assert_eq!(report.status.explore, Outcome::Complete);
             write_report(&report, &out);
         }
 
         "explore" => {
-            let (mut dir, mut out, mut kill_after) = (None, None, None);
+            let (mut dir, mut out, mut kill_after, mut disk) = (None, None, None, false);
             while let Some(a) = args.next() {
                 match a.as_str() {
                     "--dir" => dir = Some(PathBuf::from(flag(&mut args, "--dir"))),
@@ -137,6 +165,7 @@ fn main() {
                                 .expect("a frame count"),
                         );
                     }
+                    "--edge-store" => disk = disk_flag(&mut args),
                     _ => usage(),
                 }
             }
@@ -145,7 +174,7 @@ fn main() {
                 _ => usage(),
             };
             std::fs::create_dir_all(&dir).expect("checkpoint dir");
-            let mut s = study(&alg, &spec).checkpoint(&dir, CHECKPOINT_EVERY);
+            let mut s = study(&alg, &spec, disk).checkpoint(&dir, CHECKPOINT_EVERY);
             if let Some(k) = kill_after {
                 s = s.faults(FaultPlan::none().with_kill_after_frames(k));
             }
@@ -182,7 +211,7 @@ fn main() {
                 }
             }
             let out = out.unwrap_or_else(|| usage());
-            let report = study(&alg, &spec)
+            let report = study(&alg, &spec, false)
                 .monte_carlo(McConfig {
                     runs: 64,
                     max_steps: 100_000,

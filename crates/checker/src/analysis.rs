@@ -92,11 +92,11 @@ pub fn analyze_space_budgeted<S: LocalState>(
     budget: &Budget,
 ) -> Result<StabilizationReport, CoreError> {
     let states = u64::from(space.total());
-    budget.probe("verdicts", 0, 0)?;
+    budget.probe("verdicts", space.resident_edge_bytes(), 0)?;
     let reachable = space.reachable_from_initial();
-    budget.probe("verdicts", 0, states)?;
-    let can_reach = space.can_reach_legit();
-    budget.probe("verdicts", 0, states)?;
+    budget.probe("verdicts", space.resident_edge_bytes(), states)?;
+    let can_reach = space.can_reach_legit_budgeted(budget)?;
+    budget.probe("verdicts", space.resident_edge_bytes(), states)?;
 
     let closure = check_closure(space);
     let weak = check_weak(space, &can_reach);

@@ -3,8 +3,10 @@
 //!
 //! Tarjan walks the engine's edge store through zero-alloc row cursors
 //! ([`EdgeIter`]) — one live cursor per DFS frame — so it runs unchanged
-//! over the flat CSR and the compressed byte-stream tiers; the `alive`
-//! masks are bit-packed [`BitSet`]s, matching the engine's label sets.
+//! over the flat CSR, the compressed byte-stream, and the disk-spilled
+//! chunk tiers (a disk-tier cursor pins its chunk in the cache for the
+//! frame's lifetime); the `alive` masks are bit-packed [`BitSet`]s,
+//! matching the engine's label sets.
 
 use stab_core::engine::{BitSet, Budget, EdgeIter};
 use stab_core::{CoreError, LocalState};
@@ -23,9 +25,10 @@ pub fn sccs<S: LocalState>(space: &ExploredSpace<S>, alive: &BitSet) -> Vec<Vec<
 }
 
 /// [`sccs`] under a cooperative [`Budget`]: probes the `verdicts` stage at
-/// entry and every `PROBE_STRIDE` discovered nodes, so an exhausted
-/// wall-clock or state budget surfaces as
-/// [`CoreError::BudgetExhausted`] instead of an unbounded walk.
+/// entry and every `PROBE_STRIDE` discovered nodes — each probe carrying
+/// the store's resident-set bytes (the disk tier's cache-pressure
+/// figure) — so an exhausted wall-clock, byte, or state budget surfaces
+/// as [`CoreError::BudgetExhausted`] instead of an unbounded walk.
 ///
 /// # Errors
 ///
@@ -37,7 +40,7 @@ pub fn sccs_budgeted<S: LocalState>(
     budget: &Budget,
 ) -> Result<Vec<Vec<u32>>, CoreError> {
     let n = space.total() as usize;
-    budget.probe("verdicts", 0, 0)?;
+    budget.probe("verdicts", space.resident_edge_bytes(), 0)?;
     debug_assert_eq!(alive.len(), n);
     let mut index = vec![u32::MAX; n];
     let mut low = vec![0u32; n];
@@ -58,7 +61,7 @@ pub fn sccs_budgeted<S: LocalState>(
         low[start as usize] = next_index;
         next_index += 1;
         if next_index.is_multiple_of(PROBE_STRIDE) {
-            budget.probe("verdicts", 0, next_index as u64)?;
+            budget.probe("verdicts", space.resident_edge_bytes(), next_index as u64)?;
         }
         stack.push(start);
         on_stack.insert(start as usize);
@@ -75,7 +78,11 @@ pub fn sccs_budgeted<S: LocalState>(
                         low[w as usize] = next_index;
                         next_index += 1;
                         if next_index.is_multiple_of(PROBE_STRIDE) {
-                            budget.probe("verdicts", 0, next_index as u64)?;
+                            budget.probe(
+                                "verdicts",
+                                space.resident_edge_bytes(),
+                                next_index as u64,
+                            )?;
                         }
                         stack.push(w);
                         on_stack.insert(w as usize);

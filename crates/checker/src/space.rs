@@ -16,7 +16,7 @@
 //! dense ids only, so it runs unchanged over quotient and reachable-mode
 //! systems.
 
-use stab_core::engine::{BitSet, EdgeIter, EdgeStorage, ExploreOptions, TransitionSystem};
+use stab_core::engine::{BitSet, Budget, EdgeIter, EdgeStorage, ExploreOptions, TransitionSystem};
 use stab_core::{Algorithm, Configuration, CoreError, DaemonSpec, Legitimacy, SpaceIndexer};
 
 /// One transition edge of the explored space; re-exported from the engine.
@@ -278,10 +278,36 @@ impl<S: stab_core::LocalState> ExploredSpace<S> {
     }
 
     /// Backward-reachable set from the legitimate configurations
-    /// (configurations with *some* execution into `L`), over the engine's
-    /// precomputed reverse CSR.
+    /// (configurations with *some* execution into `L`) — unbudgeted
+    /// wrapper over [`ExploredSpace::can_reach_legit_budgeted`].
     pub fn can_reach_legit(&self) -> BitSet {
-        self.ts.backward_closure(self.ts.legit())
+        self.can_reach_legit_budgeted(&Budget::unlimited())
+            .expect("unlimited budget cannot trip")
+    }
+
+    /// [`ExploredSpace::can_reach_legit`] under a cooperative [`Budget`]:
+    /// the in-RAM tiers probe the `reverse` stage before materialising
+    /// the reverse CSR (whose bytes were previously unaccounted); the
+    /// disk tier streams forward fixpoint sweeps and never builds it.
+    ///
+    /// # Errors
+    ///
+    /// [`stab_core::CoreError::BudgetExhausted`] when a probe trips.
+    pub fn can_reach_legit_budgeted(
+        &self,
+        budget: &Budget,
+    ) -> Result<BitSet, stab_core::CoreError> {
+        self.ts.backward_closure_budgeted(self.ts.legit(), budget)
+    }
+
+    /// Resident-set bytes of the underlying edge store (the engine's
+    /// [`TransitionSystem::resident_edge_bytes`]), which analyses feed
+    /// their budget probes as the cache-pressure figure.
+    ///
+    /// [`TransitionSystem::resident_edge_bytes`]:
+    /// stab_core::engine::TransitionSystem::resident_edge_bytes
+    pub fn resident_edge_bytes(&self) -> u64 {
+        self.ts.resident_edge_bytes()
     }
 
     /// A shortest edge path from some configuration satisfying `start` to

@@ -1,9 +1,10 @@
-//! Differential tests of the compressed edge store against the flat
-//! store: for every algorithm in the zoo, under every daemon, and across
-//! the exploration modes (full sweep, rotation quotient, reachable-only
-//! BFS), the system explored onto the compressed byte stream must decode
-//! to exactly the flat system — labels, enabled masks, edges, reverse
-//! CSR — and every stabilization verdict must coincide.
+//! Differential tests of the compressed and disk edge stores against the
+//! flat store: for every algorithm in the zoo, under every daemon, and
+//! across the exploration modes (full sweep, rotation quotient,
+//! reachable-only BFS), the system explored onto the compressed byte
+//! stream — in RAM or spilled to `WSR1` chunk files — must decode to
+//! exactly the flat system — labels, enabled masks, edges, reverse CSR —
+//! and every stabilization verdict must coincide.
 
 use stab_algorithms::{
     DijkstraRing, GreedyColoring, HermanRing, TokenCirculation, TwoProcessToggle,
@@ -46,48 +47,50 @@ where
     L: Legitimacy<A::State> + Sync,
 {
     for daemon in Daemon::ALL {
-        let label = format!("{} under {daemon} ({what})", alg.name());
         let flat = ExploredSpace::explore_with(alg, daemon, spec, CAP, opts).expect("flat explore");
-        let copts = opts.clone().with_edge_store(EdgeStoreKind::Compressed);
-        let comp = ExploredSpace::explore_with(alg, daemon, spec, CAP, &copts).expect("compressed");
-
-        assert_eq!(
-            comp.edge_store().kind(),
-            EdgeStoreKind::Compressed,
-            "{label}: kind"
-        );
-        assert_eq!(comp.total(), flat.total(), "{label}: states");
-        assert_eq!(
-            comp.edge_store().n_edges(),
-            flat.edge_store().n_edges(),
-            "{label}: edges"
-        );
-        assert!(
-            comp.edge_store().edge_bytes() < flat.edge_store().edge_bytes(),
-            "{label}: compression"
-        );
-        for id in 0..flat.total() {
-            assert_eq!(comp.is_legit(id), flat.is_legit(id), "{label}: legit {id}");
-            assert_eq!(
-                comp.is_initial(id),
-                flat.is_initial(id),
-                "{label}: initial {id}"
-            );
-            assert_eq!(
-                comp.enabled_mask(id),
-                flat.enabled_mask(id),
-                "{label}: enabled {id}"
-            );
-            let a: Vec<_> = flat.edge_iter(id).collect();
-            let b: Vec<_> = comp.edge_iter(id).collect();
-            assert_eq!(a, b, "{label}: row {id}");
-        }
-
-        // Every analysis (Tarjan, closures, fair cycles) runs over the
-        // decoded cursors: the verdict sheets must be identical.
         let fr = analyze_space(&flat, alg.name(), spec.name());
-        let cr = analyze_space(&comp, alg.name(), spec.name());
-        assert_reports_equal(&fr, &cr, &label);
+        for kind in [EdgeStoreKind::Compressed, EdgeStoreKind::Disk] {
+            let label = format!("{} under {daemon} ({what}, {})", alg.name(), kind.label());
+            let copts = opts.clone().with_edge_store(kind);
+            let comp =
+                ExploredSpace::explore_with(alg, daemon, spec, CAP, &copts).expect("explore");
+
+            assert_eq!(comp.edge_store().kind(), kind, "{label}: kind");
+            assert_eq!(comp.total(), flat.total(), "{label}: states");
+            assert_eq!(
+                comp.edge_store().n_edges(),
+                flat.edge_store().n_edges(),
+                "{label}: edges"
+            );
+            if kind == EdgeStoreKind::Compressed {
+                assert!(
+                    comp.edge_store().edge_bytes() < flat.edge_store().edge_bytes(),
+                    "{label}: compression"
+                );
+            }
+            for id in 0..flat.total() {
+                assert_eq!(comp.is_legit(id), flat.is_legit(id), "{label}: legit {id}");
+                assert_eq!(
+                    comp.is_initial(id),
+                    flat.is_initial(id),
+                    "{label}: initial {id}"
+                );
+                assert_eq!(
+                    comp.enabled_mask(id),
+                    flat.enabled_mask(id),
+                    "{label}: enabled {id}"
+                );
+                let a: Vec<_> = flat.edge_iter(id).collect();
+                let b: Vec<_> = comp.edge_iter(id).collect();
+                assert_eq!(a, b, "{label}: row {id}");
+            }
+
+            // Every analysis (Tarjan, closures, fair cycles) runs over
+            // the decoded cursors — chunk-cached on the disk tier: the
+            // verdict sheets must be identical.
+            let cr = analyze_space(&comp, alg.name(), spec.name());
+            assert_reports_equal(&fr, &cr, &label);
+        }
     }
 }
 

@@ -1,6 +1,9 @@
-//! Two-tier edge storage for transition systems: the flat [`Csr<Edge>`]
-//! tier (24 bytes per edge, slice access) and a byte-packed compressed
-//! tier ([`CompressedEdges`]) for 10⁸+-edge systems.
+//! Three-tier edge storage for transition systems: the flat [`Csr<Edge>`]
+//! tier (24 bytes per edge, slice access), a byte-packed compressed
+//! tier ([`CompressedEdges`]) for 10⁸+-edge systems, and a disk-spilling
+//! tier ([`DiskEdges`]) whose compressed byte stream lives in CRC-framed
+//! chunk files behind a pinned-budget cache, for 10⁹+-edge systems whose
+//! compressed stream itself exceeds RAM.
 //!
 //! # Why a second tier
 //!
@@ -41,6 +44,9 @@ use std::collections::HashMap;
 
 use super::csr::Csr;
 use super::explore::Edge;
+use super::resilience::Budget;
+use super::spill::{SpillConfig, SpillCursor, SpillSink, SpillStore};
+use crate::error::CoreError;
 
 /// Variable-byte (LEB128) and zig-zag primitives shared by the compressed
 /// edge stream and `stab-markov`'s compressed `Q` store.
@@ -108,6 +114,11 @@ pub struct DeltaStreamWriter {
     prob_ids: HashMap<u64, u32>,
     n_items: u64,
     prev: i64,
+    /// Global byte offset of `stream[0]`: 0 for in-RAM streams, and the
+    /// number of already-spilled bytes once [`DeltaStreamWriter::drain`]
+    /// has handed prefixes of the stream to a chunk sink. `offsets` stay
+    /// global either way.
+    base: u64,
 }
 
 impl Default for DeltaStreamWriter {
@@ -126,6 +137,7 @@ impl DeltaStreamWriter {
             prob_ids: HashMap::new(),
             n_items: 0,
             prev: 0,
+            base: 0,
         }
     }
 
@@ -160,11 +172,34 @@ impl DeltaStreamWriter {
         vbyte::write(&mut self.stream, pid as u64);
     }
 
-    /// Closes the current row: records its end offset and re-bases the
-    /// delta encoding on the next row's index.
+    /// Closes the current row: records its end offset (global, i.e.
+    /// including any drained prefix) and re-bases the delta encoding on
+    /// the next row's index.
     pub fn end_row(&mut self) {
-        self.offsets.push(self.stream.len() as u64);
+        self.offsets.push(self.base + self.stream.len() as u64);
         self.prev = (self.offsets.len() - 1) as i64;
+    }
+
+    /// Bytes currently resident in the pending (undrained) stream tail.
+    pub fn pending_len(&self) -> usize {
+        self.stream.len()
+    }
+
+    /// Global byte offset at which the pending tail starts.
+    pub fn pending_base(&self) -> u64 {
+        self.base
+    }
+
+    /// Hands the pending stream bytes to a chunk sink and re-bases the
+    /// writer past them: returns `(start, bytes)` where `start` is the
+    /// global offset of `bytes[0]`. Only valid at a row boundary (right
+    /// after [`DeltaStreamWriter::end_row`]), so spilled chunks always
+    /// end on row boundaries.
+    pub fn drain(&mut self) -> (u64, Vec<u8>) {
+        let start = self.base;
+        let bytes = std::mem::take(&mut self.stream);
+        self.base += bytes.len() as u64;
+        (start, bytes)
     }
 
     /// Finalises into `(offsets, stream, probs, n_items)`.
@@ -198,6 +233,7 @@ impl DeltaStreamWriter {
             .map(|(i, p)| (p.to_bits(), i as u32))
             .collect();
         let prev = (offsets.len() - 1) as i64;
+        let base = offsets.last().unwrap() - stream.len() as u64;
         DeltaStreamWriter {
             offsets,
             stream,
@@ -205,6 +241,7 @@ impl DeltaStreamWriter {
             prob_ids,
             n_items,
             prev,
+            base,
         }
     }
 }
@@ -280,12 +317,44 @@ pub fn invert_target_rows<I>(
 where
     I: Iterator<Item = u32>,
 {
+    invert_target_rows_budgeted(n_rows, n_entries, row_targets, &Budget::unlimited())
+        .expect("unlimited budget cannot be exhausted")
+}
+
+/// Rows decoded between two budget probes of the inversion passes.
+const INVERT_PROBE_STRIDE: usize = 1 << 16;
+
+/// [`invert_target_rows`] under a cooperative [`Budget`]: the full
+/// reverse-CSR allocation (4 B/entry data + 4 B/row counts + cursor) is
+/// probed on the `reverse` stage up front, and both decoding passes
+/// re-probe every [`INVERT_PROBE_STRIDE`] rows — the chunk-blocked
+/// external inversion runs row-sequentially, so on the disk tier chunks
+/// rotate through the cache exactly once per pass.
+///
+/// # Errors
+///
+/// [`CoreError::BudgetExhausted`] when a probe trips; the partial CSR is
+/// discarded.
+pub fn invert_target_rows_budgeted<I>(
+    n_rows: usize,
+    n_entries: u64,
+    row_targets: impl Fn(usize) -> I,
+    budget: &Budget,
+) -> Result<Csr<u32>, CoreError>
+where
+    I: Iterator<Item = u32>,
+{
     assert!(
         n_entries <= u32::MAX as u64,
         "reverse CSR is u32-offset; {n_entries} entries exceed it"
     );
+    let full_bytes = n_entries * 4 + (n_rows as u64) * 8;
+    budget.probe("reverse", full_bytes, n_rows as u64)?;
     let mut counts = vec![0u32; n_rows];
     for i in 0..n_rows {
+        if i % INVERT_PROBE_STRIDE == 0 && i > 0 {
+            budget.probe("reverse", (n_rows as u64) * 4, i as u64)?;
+        }
         for t in row_targets(i) {
             counts[t as usize] += 1;
         }
@@ -300,12 +369,15 @@ where
     }
     let mut data = vec![0u32; n_entries as usize];
     for i in 0..n_rows {
+        if i % INVERT_PROBE_STRIDE == 0 && i > 0 {
+            budget.probe("reverse", full_bytes, i as u64)?;
+        }
         for t in row_targets(i) {
             data[cursor[t as usize] as usize] = i as u32;
             cursor[t as usize] += 1;
         }
     }
-    Csr::from_counts(&counts, data)
+    Ok(Csr::from_counts(&counts, data))
 }
 
 /// Which edge-store tier a run materialises.
@@ -318,15 +390,21 @@ pub enum EdgeStoreKind {
     /// The byte-packed delta stream: ~3–6 B/edge, u64 offsets, cursor
     /// access — for instances whose flat store exceeds RAM.
     Compressed,
+    /// The compressed stream spilled to CRC-framed chunk files behind a
+    /// pinned-budget cache: ~3–6 B/edge *on disk*, only offsets, the
+    /// probability table and the cached chunks resident — for instances
+    /// whose compressed stream itself exceeds RAM.
+    Disk,
 }
 
 impl EdgeStoreKind {
-    /// Stable lower-case label (`"flat"` / `"compressed"`) used by the
-    /// bench JSON schema.
+    /// Stable lower-case label (`"flat"` / `"compressed"` / `"disk"`)
+    /// used by the bench JSON schema.
     pub fn label(self) -> &'static str {
         match self {
             EdgeStoreKind::Flat => "flat",
             EdgeStoreKind::Compressed => "compressed",
+            EdgeStoreKind::Disk => "disk",
         }
     }
 }
@@ -478,7 +556,131 @@ impl Iterator for CompressedRow<'_> {
     }
 }
 
-/// Cursor over one row of either tier, yielding decoded [`Edge`]s by
+/// The disk tier: the compressed encoding of [`CompressedEdges`], but
+/// with the byte stream spilled to CRC-framed chunk files (see
+/// [`super::spill`]); only the u64 row offsets, the deduplicated
+/// probability table and a pinned-budget chunk cache stay resident.
+/// Chunks end on row boundaries, so every row decodes from exactly one
+/// cached chunk.
+#[derive(Debug)]
+pub struct DiskEdges {
+    /// Global byte offset of each row's encoding (`n_rows + 1` entries,
+    /// monotone) — resident.
+    offsets: Vec<u64>,
+    /// Deduplicated Definition 6 probabilities — resident.
+    probs: Vec<f64>,
+    /// Total edges across all rows.
+    n_edges: u64,
+    /// The spilled chunk files plus their cache.
+    store: SpillStore,
+}
+
+impl DiskEdges {
+    /// Number of distinct probabilities interned in the side table.
+    pub fn prob_table_len(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// The byte offsets delimiting each row's encoding.
+    pub fn offsets(&self) -> &[u64] {
+        &self.offsets
+    }
+
+    /// The deduplicated probability table.
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// Bytes currently resident in RAM: offsets + probability table +
+    /// cached chunks (the figure budget probes report as cache pressure).
+    pub fn resident_bytes(&self) -> u64 {
+        (self.offsets.len() * 8 + self.probs.len() * 8) as u64 + self.store.resident_bytes()
+    }
+
+    /// High-water mark of [`DiskEdges::resident_bytes`] across the
+    /// store's lifetime (cache peak, not current occupancy).
+    pub fn peak_resident_bytes(&self) -> u64 {
+        (self.offsets.len() * 8 + self.probs.len() * 8) as u64 + self.store.peak_resident_bytes()
+    }
+
+    /// Total payload bytes spilled to chunk files.
+    pub fn spilled_bytes(&self) -> u64 {
+        self.store.spilled_bytes()
+    }
+
+    /// The spill directory holding the chunk files.
+    pub fn spill_dir(&self) -> &std::path::Path {
+        self.store.dir()
+    }
+
+    /// Re-validates every chunk file's frame (magic, length, CRC32C)
+    /// against the recorded metadata.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::CheckpointCorrupt`] naming the first bad chunk — a
+    /// torn or bit-flipped spill file is refused, never decoded.
+    pub fn verify_chunks(&self) -> Result<(), CoreError> {
+        self.store.verify_chunks()
+    }
+}
+
+impl EdgeStore for DiskEdges {
+    fn n_rows(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    fn n_edges(&self) -> u64 {
+        self.n_edges
+    }
+
+    fn edge_bytes(&self) -> u64 {
+        // Total footprint (comparable across tiers): resident side
+        // tables plus the spilled stream bytes.
+        (self.offsets.len() * 8 + self.probs.len() * 8) as u64 + self.store.spilled_bytes()
+    }
+
+    fn kind(&self) -> EdgeStoreKind {
+        EdgeStoreKind::Disk
+    }
+
+    fn row_iter(&self, i: usize) -> EdgeIter<'_> {
+        EdgeIter::Disk(DiskRow {
+            cur: self.store.row_cursor(&self.offsets, i),
+            probs: &self.probs,
+        })
+    }
+
+    fn row_is_empty(&self, i: usize) -> bool {
+        self.offsets[i] == self.offsets[i + 1]
+    }
+}
+
+/// Decoding cursor over one disk-tier row: owns a pinned reference to
+/// the row's cached chunk, so the cache may rotate underneath it.
+#[derive(Debug, Clone)]
+pub struct DiskRow<'a> {
+    cur: SpillCursor,
+    probs: &'a [f64],
+}
+
+impl Iterator for DiskRow<'_> {
+    type Item = Edge;
+
+    #[inline]
+    fn next(&mut self) -> Option<Edge> {
+        if self.cur.done() {
+            return None;
+        }
+        Some(Edge {
+            to: self.cur.target(),
+            movers: self.cur.raw(),
+            prob: self.probs[self.cur.raw() as usize],
+        })
+    }
+}
+
+/// Cursor over one row of any tier, yielding decoded [`Edge`]s by
 /// value in `(to, movers)` order.
 #[derive(Debug, Clone)]
 pub enum EdgeIter<'a> {
@@ -486,6 +688,8 @@ pub enum EdgeIter<'a> {
     Flat(std::slice::Iter<'a, Edge>),
     /// Varint decode over the compressed tier.
     Compressed(CompressedRow<'a>),
+    /// Varint decode over a pinned chunk of the disk tier.
+    Disk(DiskRow<'a>),
 }
 
 impl Iterator for EdgeIter<'_> {
@@ -496,6 +700,7 @@ impl Iterator for EdgeIter<'_> {
         match self {
             EdgeIter::Flat(it) => it.next().copied(),
             EdgeIter::Compressed(it) => it.next(),
+            EdgeIter::Disk(it) => it.next(),
         }
     }
 }
@@ -503,22 +708,26 @@ impl Iterator for EdgeIter<'_> {
 /// The per-run edge store of a [`TransitionSystem`](super::TransitionSystem):
 /// whichever tier [`ExploreOptions::with_edge_store`](super::ExploreOptions::with_edge_store)
 /// selected.
+// One instance per run, so the Disk variant's inline size is moot.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 pub enum EdgeStorage {
     /// Flat `Csr<Edge>` tier.
     Flat(Csr<Edge>),
     /// Byte-packed compressed tier.
     Compressed(CompressedEdges),
+    /// Disk-spilled compressed tier.
+    Disk(DiskEdges),
 }
 
 impl EdgeStorage {
     /// Row `i` as a slice — **flat tier only**: `None` on the compressed
-    /// tier, whose rows exist only in decoded form (iterate
+    /// and disk tiers, whose rows exist only in decoded form (iterate
     /// [`EdgeStore::row_iter`] instead).
     pub fn try_row_slice(&self, i: usize) -> Option<&[Edge]> {
         match self {
             EdgeStorage::Flat(csr) => Some(csr.row(i)),
-            EdgeStorage::Compressed(_) => None,
+            EdgeStorage::Compressed(_) | EdgeStorage::Disk(_) => None,
         }
     }
 
@@ -537,20 +746,73 @@ impl EdgeStorage {
 
     /// The reverse adjacency as a `Csr<u32>` (row `j` = predecessors of
     /// `j`, ascending with multiplicity), built by decoding the stream
-    /// twice on the compressed tier.
+    /// twice on the compressed and disk tiers.
     ///
     /// # Panics
     ///
     /// Panics if the edge count exceeds `u32::MAX` — the reverse CSR is
     /// u32-offset (checked, never silently wrapped).
     pub fn invert_targets(&self) -> Csr<u32> {
+        self.invert_targets_budgeted(&Budget::unlimited())
+            .expect("unlimited budget cannot be exhausted")
+    }
+
+    /// [`EdgeStorage::invert_targets`] under a cooperative [`Budget`]:
+    /// the reverse-CSR allocation is probed on the `reverse` stage before
+    /// anything is built, and the chunk-blocked decoding passes re-probe
+    /// per row block, so an over-budget inversion surfaces as
+    /// [`CoreError::BudgetExhausted`] (a `Degraded` study outcome)
+    /// instead of an OOM.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::BudgetExhausted`] when a probe trips.
+    pub fn invert_targets_budgeted(&self, budget: &Budget) -> Result<Csr<u32>, CoreError> {
         match self {
-            EdgeStorage::Flat(csr) => csr.invert(|e| e.to),
-            EdgeStorage::Compressed(c) => {
-                invert_target_rows(EdgeStore::n_rows(c), c.n_edges(), |i| {
-                    c.row_iter(i).map(|e| e.to)
-                })
+            EdgeStorage::Flat(csr) => {
+                let full_bytes = csr.n_entries() as u64 * 4 + (Csr::n_rows(csr) as u64 + 1) * 4;
+                budget.probe("reverse", full_bytes, Csr::n_rows(csr) as u64)?;
+                Ok(csr.invert(|e| e.to))
             }
+            EdgeStorage::Compressed(c) => invert_target_rows_budgeted(
+                EdgeStore::n_rows(c),
+                c.n_edges(),
+                |i| c.row_iter(i).map(|e| e.to),
+                budget,
+            ),
+            EdgeStorage::Disk(d) => invert_target_rows_budgeted(
+                EdgeStore::n_rows(d),
+                d.n_edges(),
+                |i| d.row_iter(i).map(|e| e.to),
+                budget,
+            ),
+        }
+    }
+
+    /// Bytes currently resident in RAM: equal to
+    /// [`EdgeStore::edge_bytes`] on the in-RAM tiers; on the disk tier,
+    /// only the offsets, probability table and cached chunks.
+    pub fn resident_bytes(&self) -> u64 {
+        match self {
+            EdgeStorage::Flat(_) | EdgeStorage::Compressed(_) => self.edge_bytes(),
+            EdgeStorage::Disk(d) => d.resident_bytes(),
+        }
+    }
+
+    /// Bytes spilled to chunk files: zero on the in-RAM tiers.
+    pub fn spilled_bytes(&self) -> u64 {
+        match self {
+            EdgeStorage::Flat(_) | EdgeStorage::Compressed(_) => 0,
+            EdgeStorage::Disk(d) => d.spilled_bytes(),
+        }
+    }
+
+    /// High-water mark of [`EdgeStorage::resident_bytes`]: equal to it
+    /// on the in-RAM tiers, the cache's peak on the disk tier.
+    pub fn peak_resident_bytes(&self) -> u64 {
+        match self {
+            EdgeStorage::Flat(_) | EdgeStorage::Compressed(_) => self.edge_bytes(),
+            EdgeStorage::Disk(d) => d.peak_resident_bytes(),
         }
     }
 }
@@ -560,6 +822,7 @@ impl EdgeStore for EdgeStorage {
         match self {
             EdgeStorage::Flat(c) => EdgeStore::n_rows(c),
             EdgeStorage::Compressed(c) => EdgeStore::n_rows(c),
+            EdgeStorage::Disk(d) => EdgeStore::n_rows(d),
         }
     }
 
@@ -567,6 +830,7 @@ impl EdgeStore for EdgeStorage {
         match self {
             EdgeStorage::Flat(c) => EdgeStore::n_edges(c),
             EdgeStorage::Compressed(c) => c.n_edges(),
+            EdgeStorage::Disk(d) => d.n_edges(),
         }
     }
 
@@ -574,6 +838,7 @@ impl EdgeStore for EdgeStorage {
         match self {
             EdgeStorage::Flat(c) => EdgeStore::edge_bytes(c),
             EdgeStorage::Compressed(c) => c.edge_bytes(),
+            EdgeStorage::Disk(d) => EdgeStore::edge_bytes(d),
         }
     }
 
@@ -581,6 +846,7 @@ impl EdgeStore for EdgeStorage {
         match self {
             EdgeStorage::Flat(_) => EdgeStoreKind::Flat,
             EdgeStorage::Compressed(_) => EdgeStoreKind::Compressed,
+            EdgeStorage::Disk(_) => EdgeStoreKind::Disk,
         }
     }
 
@@ -588,6 +854,7 @@ impl EdgeStore for EdgeStorage {
         match self {
             EdgeStorage::Flat(c) => c.row_iter(i),
             EdgeStorage::Compressed(c) => c.row_iter(i),
+            EdgeStorage::Disk(d) => d.row_iter(i),
         }
     }
 
@@ -595,6 +862,7 @@ impl EdgeStore for EdgeStorage {
         match self {
             EdgeStorage::Flat(c) => EdgeStore::row_is_empty(c, i),
             EdgeStorage::Compressed(c) => c.row_is_empty(i),
+            EdgeStorage::Disk(d) => d.row_is_empty(i),
         }
     }
 }
@@ -646,6 +914,78 @@ impl CompressedEdgesBuilder {
     }
 }
 
+/// Incremental writer for the disk tier: identical encoding to
+/// [`CompressedEdgesBuilder`], but whenever the pending stream tail
+/// reaches the configured chunk size at a row boundary it is drained
+/// into a CRC-framed chunk file, so the builder's resident set stays
+/// bounded by one chunk regardless of system size.
+#[derive(Debug)]
+pub struct DiskEdgesBuilder {
+    w: DeltaStreamWriter,
+    sink: SpillSink,
+}
+
+impl DiskEdgesBuilder {
+    /// An empty builder spilling per `cfg` (a fresh self-cleaning
+    /// temporary directory when `cfg.dir` is `None`).
+    pub fn new(cfg: &SpillConfig) -> Self {
+        DiskEdgesBuilder {
+            w: DeltaStreamWriter::new(),
+            sink: SpillSink::create(cfg),
+        }
+    }
+
+    /// Appends the next row (edges sorted by `(to, movers)`), spilling a
+    /// chunk when the pending tail is large enough.
+    pub fn push_row(&mut self, edges: &[Edge]) {
+        for e in edges {
+            self.w.target(e.to);
+            self.w.raw(e.movers);
+            self.w.prob(e.prob);
+        }
+        self.w.end_row();
+        self.sink.maybe_spill(&mut self.w);
+    }
+
+    /// The underlying writer (checkpoint snapshot surface; its pending
+    /// tail starts at [`DeltaStreamWriter::pending_base`], earlier bytes
+    /// are read back through [`DiskEdgesBuilder::byte_range`]).
+    pub fn writer(&self) -> &DeltaStreamWriter {
+        &self.w
+    }
+
+    /// Rebuilds a builder around a restored writer; the restored stream
+    /// bytes are re-spilled as rows keep arriving.
+    pub fn from_writer(w: DeltaStreamWriter, cfg: &SpillConfig) -> Self {
+        DiskEdgesBuilder {
+            w,
+            sink: SpillSink::create(cfg),
+        }
+    }
+
+    /// Copies the global byte range `start..end` of the stream —
+    /// re-reading spilled chunks where needed — so checkpoint frames can
+    /// snapshot deltas that have already left RAM.
+    pub fn byte_range(&self, start: u64, end: u64) -> Vec<u8> {
+        self.sink.byte_range(&self.w, start, end)
+    }
+
+    /// Finalises: drains the pending tail into a last chunk and seals
+    /// the chunk set behind its cache.
+    pub fn finish(mut self) -> DiskEdges {
+        if self.w.pending_len() > 0 {
+            self.sink.spill(&mut self.w);
+        }
+        let (offsets, _stream, probs, n_edges) = self.w.into_parts();
+        DiskEdges {
+            offsets,
+            probs,
+            n_edges,
+            store: self.sink.finish(),
+        }
+    }
+}
+
 /// Tier-selected assembly used by the exploration paths: rows (or whole
 /// chunks of rows) are appended in id order and the selected store comes
 /// out of [`EdgeStorageBuilder::finish`].
@@ -660,11 +1000,21 @@ pub enum EdgeStorageBuilder {
     },
     /// Streams rows straight into the compressed encoding.
     Compressed(CompressedEdgesBuilder),
+    /// Streams rows into the compressed encoding, spilling chunks to
+    /// disk as they fill.
+    Disk(DiskEdgesBuilder),
 }
 
 impl EdgeStorageBuilder {
-    /// An empty builder of the selected tier.
+    /// An empty builder of the selected tier (the disk tier with its
+    /// default [`SpillConfig`]: a self-cleaning temporary directory).
     pub fn new(kind: EdgeStoreKind) -> Self {
+        Self::with_spill(kind, &SpillConfig::default())
+    }
+
+    /// An empty builder of the selected tier, spilling per `cfg` on the
+    /// disk tier (`cfg` is ignored by the in-RAM tiers).
+    pub fn with_spill(kind: EdgeStoreKind, cfg: &SpillConfig) -> Self {
         match kind {
             EdgeStoreKind::Flat => EdgeStorageBuilder::Flat {
                 counts: Vec::new(),
@@ -673,11 +1023,14 @@ impl EdgeStorageBuilder {
             EdgeStoreKind::Compressed => {
                 EdgeStorageBuilder::Compressed(CompressedEdgesBuilder::new())
             }
+            EdgeStoreKind::Disk => EdgeStorageBuilder::Disk(DiskEdgesBuilder::new(cfg)),
         }
     }
 
     /// Heap bytes currently held by the under-construction store — the
-    /// usage an exploration reports at each budget probe.
+    /// usage an exploration reports at each budget probe. On the disk
+    /// tier this is the *resident* set (offsets, probability table and
+    /// the pending chunk), not the spilled bytes.
     pub fn bytes_estimate(&self) -> u64 {
         match self {
             EdgeStorageBuilder::Flat { counts, edges } => {
@@ -686,6 +1039,10 @@ impl EdgeStorageBuilder {
             EdgeStorageBuilder::Compressed(b) => {
                 let (offsets, stream, probs, _) = b.writer().parts();
                 (stream.len() + offsets.len() * 8 + probs.len() * 8) as u64
+            }
+            EdgeStorageBuilder::Disk(b) => {
+                let (offsets, _, probs, _) = b.writer().parts();
+                (b.writer().pending_len() + offsets.len() * 8 + probs.len() * 8) as u64
             }
         }
     }
@@ -703,6 +1060,7 @@ impl EdgeStorageBuilder {
                 edges.extend_from_slice(row);
             }
             EdgeStorageBuilder::Compressed(b) => b.push_row(row),
+            EdgeStorageBuilder::Disk(b) => b.push_row(row),
         }
     }
 
@@ -710,18 +1068,15 @@ impl EdgeStorageBuilder {
     /// concatenated in `chunk_edges`) — the bulk path of the parallel
     /// full sweep.
     pub fn push_chunk(&mut self, chunk_counts: &[u32], chunk_edges: &[Edge]) {
-        match self {
-            EdgeStorageBuilder::Flat { counts, edges } => {
-                counts.extend_from_slice(chunk_counts);
-                edges.extend_from_slice(chunk_edges);
-            }
-            EdgeStorageBuilder::Compressed(b) => {
-                let mut base = 0usize;
-                for &c in chunk_counts {
-                    b.push_row(&chunk_edges[base..base + c as usize]);
-                    base += c as usize;
-                }
-            }
+        if let EdgeStorageBuilder::Flat { counts, edges } = self {
+            counts.extend_from_slice(chunk_counts);
+            edges.extend_from_slice(chunk_edges);
+            return;
+        }
+        let mut base = 0usize;
+        for &c in chunk_counts {
+            self.push_row(&chunk_edges[base..base + c as usize]);
+            base += c as usize;
         }
     }
 
@@ -730,14 +1085,15 @@ impl EdgeStorageBuilder {
     /// # Panics
     ///
     /// Panics on the flat tier past `u32::MAX` total edges
-    /// ([`Csr::from_counts`]'s checked offsets) — the compressed tier is
-    /// the supported representation at that scale.
+    /// ([`Csr::from_counts`]'s checked offsets) — the compressed tiers
+    /// are the supported representations at that scale.
     pub fn finish(self) -> EdgeStorage {
         match self {
             EdgeStorageBuilder::Flat { counts, edges } => {
                 EdgeStorage::Flat(Csr::from_counts(&counts, edges))
             }
             EdgeStorageBuilder::Compressed(b) => EdgeStorage::Compressed(b.finish()),
+            EdgeStorageBuilder::Disk(b) => EdgeStorage::Disk(b.finish()),
         }
     }
 }
@@ -827,22 +1183,38 @@ mod tests {
             .collect();
         let mut flat = EdgeStorageBuilder::new(EdgeStoreKind::Flat);
         let mut comp = EdgeStorageBuilder::new(EdgeStoreKind::Compressed);
+        // Tiny chunks and cache so even this 20-row system spans several
+        // spill files, exercises cross-chunk row cursors, and evicts.
+        let spill = SpillConfig {
+            chunk_bytes: 16,
+            cache_bytes: 32,
+            ..SpillConfig::default()
+        };
+        let mut disk = EdgeStorageBuilder::with_spill(EdgeStoreKind::Disk, &spill);
         for r in &rows {
             flat.push_row(r);
             comp.push_row(r);
+            disk.push_row(r);
         }
         let flat = flat.finish();
         let comp = comp.finish();
+        let disk = disk.finish();
         assert_eq!(flat.kind(), EdgeStoreKind::Flat);
         assert_eq!(comp.kind(), EdgeStoreKind::Compressed);
+        assert_eq!(disk.kind(), EdgeStoreKind::Disk);
         assert_eq!(flat.n_edges(), comp.n_edges());
+        assert_eq!(flat.n_edges(), disk.n_edges());
         for i in 0..rows.len() {
             let a: Vec<Edge> = flat.row_iter(i).collect();
             let b: Vec<Edge> = comp.row_iter(i).collect();
+            let c: Vec<Edge> = disk.row_iter(i).collect();
             assert_eq!(a, b, "row {i}");
+            assert_eq!(a, c, "row {i}");
         }
         // The compressed tier beats 24 B/edge even on this tiny system.
         assert!(comp.edge_bytes() < flat.edge_bytes());
+        // The disk tier keeps less than the full stream resident.
+        assert!(disk.resident_bytes() < disk.edge_bytes());
     }
 
     #[test]
@@ -855,7 +1227,11 @@ mod tests {
         ];
         let counts: Vec<u32> = rows.iter().map(|r| r.len() as u32).collect();
         let flat_edges: Vec<Edge> = rows.iter().flatten().copied().collect();
-        for kind in [EdgeStoreKind::Flat, EdgeStoreKind::Compressed] {
+        for kind in [
+            EdgeStoreKind::Flat,
+            EdgeStoreKind::Compressed,
+            EdgeStoreKind::Disk,
+        ] {
             let mut by_row = EdgeStorageBuilder::new(kind);
             for r in &rows {
                 by_row.push_row(r);
@@ -880,13 +1256,20 @@ mod tests {
         ];
         let mut flat = EdgeStorageBuilder::new(EdgeStoreKind::Flat);
         let mut comp = EdgeStorageBuilder::new(EdgeStoreKind::Compressed);
+        let mut disk = EdgeStorageBuilder::new(EdgeStoreKind::Disk);
         for r in &rows {
             flat.push_row(r);
             comp.push_row(r);
+            disk.push_row(r);
         }
-        let (flat, comp) = (flat.finish(), comp.finish());
-        let (ra, rb) = (flat.invert_targets(), comp.invert_targets());
+        let (flat, comp, disk) = (flat.finish(), comp.finish(), disk.finish());
+        let (ra, rb, rc) = (
+            flat.invert_targets(),
+            comp.invert_targets(),
+            disk.invert_targets(),
+        );
         assert_eq!(ra, rb);
+        assert_eq!(ra, rc);
         assert_eq!(rb.row(2), &[0, 1, 2]);
     }
 

@@ -96,9 +96,10 @@ use super::onthefly::{self, ExploreMode, ExploreOptions, Quotient, StateIds, Tra
 use super::parallel;
 use super::quotient::GroupCanonicalizer;
 use super::resilience::{
-    self, Checkpointer, FinalMeta, Fnv, LabelBits, Replay, RunGuard, SnapshotSource,
+    self, Budget, Checkpointer, FinalMeta, Fnv, LabelBits, Replay, RunGuard, SnapshotSource,
 };
 use super::rowgen::RowGen;
+use super::spill::SpillConfig;
 
 /// Configurations per sequential batch when streaming a compressed store:
 /// bounds the transient flat rows to one batch while the byte stream
@@ -321,7 +322,8 @@ impl TransitionSystem {
             "configuration ids must fit in u32"
         );
         let conflicts = conflict_masks(alg, daemon);
-        let mut merge = MergeState::new(kind, total as usize);
+        let spill = opts.effective_spill();
+        let mut merge = MergeState::new(kind, total as usize, &spill);
         let mut ck = match &opts.checkpoint {
             Some(cfg) => Some(Checkpointer::open(
                 cfg,
@@ -331,7 +333,7 @@ impl TransitionSystem {
             )?),
             None => None,
         };
-        let sequential = kind == EdgeStoreKind::Compressed || ck.is_some() || guard.is_active();
+        let sequential = kind != EdgeStoreKind::Flat || ck.is_some() || guard.is_active();
         if !sequential {
             let chunks = parallel::map_chunks(total, |range| {
                 explore_chunk(alg, ix, daemon, spec, &conflicts, range)
@@ -348,7 +350,7 @@ impl TransitionSystem {
                         return replay.into_transition_system(dir);
                     }
                     start = replay.cursor;
-                    merge = MergeState::from_replay(kind, total as usize, replay);
+                    merge = MergeState::from_replay(kind, total as usize, replay, &spill);
                 }
             }
             while start < total {
@@ -583,10 +585,52 @@ impl TransitionSystem {
     }
 
     /// The reverse CSR: row `j` lists the predecessors of `j` (with
-    /// multiplicity, ascending). Built once on first use — from the
-    /// decoded stream on the compressed tier.
+    /// multiplicity, ascending). Built once on first use — streamed row
+    /// by row on the non-flat tiers, never from a decoded flat copy.
+    ///
+    /// Unbudgeted convenience wrapper over
+    /// [`TransitionSystem::reverse_budgeted`]; analyses that run under
+    /// a byte budget must use the budgeted form, which turns "the
+    /// reverse CSR would not fit" into a typed
+    /// [`CoreError::BudgetExhausted`] (the degraded-study path)
+    /// instead of an OOM kill.
     pub fn reverse(&self) -> &Csr<u32> {
-        self.reverse.get_or_init(|| self.forward.invert_targets())
+        self.reverse_budgeted(&Budget::unlimited())
+            .expect("unlimited budget cannot trip")
+    }
+
+    /// Budget-probed reverse CSR: probes stage `"reverse"` with the
+    /// full materialised size *before* allocating and again at block
+    /// strides while filling, so a too-small byte budget surfaces as
+    /// [`CoreError::BudgetExhausted`] before peak memory doubles
+    /// (previously the `OnceLock` init bypassed every probe).
+    pub fn reverse_budgeted(&self, budget: &Budget) -> Result<&Csr<u32>, CoreError> {
+        if let Some(r) = self.reverse.get() {
+            return Ok(r);
+        }
+        let r = self.forward.invert_targets_budgeted(budget)?;
+        Ok(self.reverse.get_or_init(|| r))
+    }
+
+    /// Resident-set bytes of the forward store (full footprint on the
+    /// in-RAM tiers; offsets + probability table + pinned chunk cache
+    /// on the disk tier) — the cache-pressure figure analyses feed
+    /// their [`Budget`] probes.
+    pub fn resident_edge_bytes(&self) -> u64 {
+        self.forward.resident_bytes()
+    }
+
+    /// Bytes of the forward store spilled to chunk files — zero on the
+    /// in-RAM tiers.
+    pub fn spilled_edge_bytes(&self) -> u64 {
+        self.forward.spilled_bytes()
+    }
+
+    /// High-water mark of [`TransitionSystem::resident_edge_bytes`]:
+    /// the figure the out-of-core acceptance gate compares against the
+    /// plan's byte budget.
+    pub fn peak_resident_edge_bytes(&self) -> u64 {
+        self.forward.peak_resident_bytes()
     }
 
     /// Bitmask of processes enabled in configuration `id`.
@@ -689,20 +733,61 @@ impl TransitionSystem {
     }
 
     /// The backward-reachable closure of `seeds` (configurations with some
-    /// path *into* `seeds`), over the precomputed reverse CSR.
+    /// path *into* `seeds`) — unbudgeted wrapper over
+    /// [`TransitionSystem::backward_closure_budgeted`].
     pub fn backward_closure(&self, seeds: &BitSet) -> BitSet {
-        let reverse = self.reverse();
-        let mut seen = seeds.clone();
-        let mut stack: Vec<u32> = seeds.ones().map(|i| i as u32).collect();
-        while let Some(id) = stack.pop() {
-            for &p in reverse.row(id as usize) {
-                if !seen.get(p as usize) {
-                    seen.insert(p as usize);
-                    stack.push(p);
+        self.backward_closure_budgeted(seeds, &Budget::unlimited())
+            .expect("unlimited budget cannot trip")
+    }
+
+    /// Budget-probed backward closure. The in-RAM tiers run the usual
+    /// BFS over the (budget-probed) reverse CSR; the disk tier never
+    /// materialises a reverse CSR at all — it iterates streaming
+    /// forward sweeps to the fixpoint (mark a row once some successor
+    /// is marked), rotating chunks through the pinned cache, with one
+    /// `"reverse"` probe per sweep carrying the resident-set bytes as
+    /// the cache-pressure figure.
+    pub fn backward_closure_budgeted(
+        &self,
+        seeds: &BitSet,
+        budget: &Budget,
+    ) -> Result<BitSet, CoreError> {
+        if self.edge_store_kind() != EdgeStoreKind::Disk {
+            let reverse = self.reverse_budgeted(budget)?;
+            let mut seen = seeds.clone();
+            let mut stack: Vec<u32> = seeds.ones().map(|i| i as u32).collect();
+            while let Some(id) = stack.pop() {
+                for &p in reverse.row(id as usize) {
+                    if !seen.get(p as usize) {
+                        seen.insert(p as usize);
+                        stack.push(p);
+                    }
                 }
             }
+            return Ok(seen);
         }
-        seen
+        let mut seen = seeds.clone();
+        let mut sweeps = 0u64;
+        loop {
+            sweeps += 1;
+            budget.probe("reverse", self.resident_edge_bytes(), sweeps)?;
+            let mut changed = false;
+            for id in 0..self.n_configs() {
+                if seen.get(id as usize) {
+                    continue;
+                }
+                for e in self.edge_iter(id) {
+                    if seen.get(e.to as usize) {
+                        seen.insert(id as usize);
+                        changed = true;
+                        break;
+                    }
+                }
+            }
+            if !changed {
+                return Ok(seen);
+            }
+        }
     }
 }
 
@@ -799,9 +884,9 @@ pub(super) struct MergeState {
 }
 
 impl MergeState {
-    pub(super) fn new(kind: EdgeStoreKind, total: usize) -> Self {
+    pub(super) fn new(kind: EdgeStoreKind, total: usize, spill: &SpillConfig) -> Self {
         MergeState {
-            builder: EdgeStorageBuilder::new(kind),
+            builder: EdgeStorageBuilder::with_spill(kind, spill),
             enabled: Vec::with_capacity(total),
             legit: BitSet::new(total),
             initial: BitSet::new(total),
@@ -864,7 +949,12 @@ impl MergeState {
 
     /// Rebuilds the accumulator from a checkpoint replay so the sweep
     /// continues from `replay.cursor` as if it had never stopped.
-    pub(super) fn from_replay(kind: EdgeStoreKind, total: usize, replay: Replay) -> Self {
+    pub(super) fn from_replay(
+        kind: EdgeStoreKind,
+        total: usize,
+        replay: Replay,
+        spill: &SpillConfig,
+    ) -> Self {
         debug_assert_eq!(replay.tier, kind);
         let base = replay.cursor as usize;
         let mut legit = BitSet::new(total);
@@ -880,7 +970,7 @@ impl MergeState {
             }
         }
         MergeState {
-            builder: replay.builder.into_builder(),
+            builder: replay.builder.into_builder(kind, spill),
             enabled: replay.enabled,
             legit,
             initial,

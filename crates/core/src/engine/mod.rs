@@ -68,16 +68,18 @@ pub mod plan;
 pub mod quotient;
 pub mod resilience;
 mod rowgen;
+pub mod spill;
 
 pub use bitset::BitSet;
 pub use csr::Csr;
 pub use cursor::ConfigCursor;
 pub use edgestore::{
-    CompressedEdges, CompressedEdgesBuilder, EdgeIter, EdgeStorage, EdgeStorageBuilder, EdgeStore,
-    EdgeStoreKind,
+    CompressedEdges, CompressedEdgesBuilder, DiskEdges, DiskEdgesBuilder, EdgeIter, EdgeStorage,
+    EdgeStorageBuilder, EdgeStore, EdgeStoreKind,
 };
 pub use explore::{explore_count, node_mask, Edge, TransitionSystem};
 pub use onthefly::{ExploreMode, ExploreOptions, Quotient, TraversalMode};
-pub use plan::{Plan, PlanDecision, PlanRequest, DEFAULT_BYTE_BUDGET};
+pub use plan::{Plan, PlanDecision, PlanRequest, DEFAULT_BYTE_BUDGET, DEFAULT_DISK_BYTE_BUDGET};
 pub use quotient::{least_rotation, CanonScratch, GroupCanonicalizer};
 pub use resilience::{Budget, CheckpointConfig, FaultPlan, RunGuard};
+pub use spill::{SpillConfig, SpillStore};

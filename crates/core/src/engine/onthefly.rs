@@ -39,6 +39,7 @@ use super::resilience::{
     CheckpointConfig, Checkpointer, FinalMeta, LabelBits, RunGuard, SnapshotSource,
 };
 use super::rowgen::RowGen;
+use super::spill::SpillConfig;
 
 /// How to traverse the configuration space.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -133,6 +134,12 @@ pub struct ExploreOptions<S> {
     /// re-run with the same options resumes from the frames on disk, and
     /// [`TransitionSystem::resume`] reconstructs a completed run.
     pub checkpoint: Option<CheckpointConfig>,
+    /// Disk-tier spill placement and budgets (chunk size, pinned cache
+    /// bytes); ignored by the in-RAM tiers. With no explicit directory
+    /// a checkpointed run spills next to its frames
+    /// (`<checkpoint-dir>/spill`) and an unanchored run uses a
+    /// self-cleaning temp directory.
+    pub spill: SpillConfig,
 }
 
 impl<S> ExploreOptions<S> {
@@ -144,6 +151,7 @@ impl<S> ExploreOptions<S> {
             max_states: u32::MAX as u64,
             edge_store: EdgeStoreKind::Flat,
             checkpoint: None,
+            spill: SpillConfig::default(),
         }
     }
 
@@ -155,6 +163,7 @@ impl<S> ExploreOptions<S> {
             max_states: u32::MAX as u64,
             edge_store: EdgeStoreKind::Flat,
             checkpoint: None,
+            spill: SpillConfig::default(),
         }
     }
 
@@ -214,6 +223,31 @@ impl<S> ExploreOptions<S> {
     ) -> Self {
         self.checkpoint = Some(CheckpointConfig::new(dir, every_n_states));
         self
+    }
+
+    /// Overrides the disk-tier spill configuration (directory, chunk
+    /// size, pinned-cache bytes). An explicit directory is treated as
+    /// user-owned: stale chunks are pruned on reuse but the directory
+    /// itself survives the run.
+    #[must_use]
+    pub fn with_spill(mut self, spill: SpillConfig) -> Self {
+        self.spill = spill;
+        self
+    }
+
+    /// The spill configuration a run actually uses: an explicit
+    /// directory wins; otherwise a checkpointed run anchors its spill
+    /// at `<checkpoint-dir>/spill` (so a resumed run re-spills into
+    /// the same place [`TransitionSystem::resume`] reads), and an
+    /// unanchored run gets a per-process self-cleaning temp dir.
+    pub(super) fn effective_spill(&self) -> SpillConfig {
+        let mut spill = self.spill.clone();
+        if spill.dir.is_none() {
+            if let Some(ck) = &self.checkpoint {
+                spill.dir = Some(ck.dir.join("spill"));
+            }
+        }
+        spill
     }
 }
 
@@ -347,6 +381,7 @@ where
 {
     let total = ix.total();
     let kind = opts.edge_store;
+    let spill = opts.effective_spill();
     let quotient = opts.quotient;
     let mut ck = match &opts.checkpoint {
         Some(cfg) => Some(Checkpointer::open(
@@ -375,7 +410,7 @@ where
             let (full_of, orbit): (Vec<u64>, Vec<u64>) = r.table.iter().copied().unzip();
             let t = StateTable::from_parts(full_of, orbit);
             start = r.cursor;
-            restored = Some(MergeState::from_replay(kind, t.len(), r));
+            restored = Some(MergeState::from_replay(kind, t.len(), r, &spill));
             t
         }
         None => {
@@ -455,10 +490,10 @@ where
         }
         Ok(chunk)
     };
-    let mut merge = restored.unwrap_or_else(|| MergeState::new(kind, n_reps));
+    let mut merge = restored.unwrap_or_else(|| MergeState::new(kind, n_reps, &spill));
     // Checkpointed or guarded runs take the sequential path regardless of
     // tier, so frames and probes see a deterministic prefix.
-    let sequential = kind == EdgeStoreKind::Compressed || ck.is_some() || guard.is_active();
+    let sequential = kind != EdgeStoreKind::Flat || ck.is_some() || guard.is_active();
     if !sequential {
         for chunk in parallel::map_chunks(n_reps as u64, explore_range)? {
             merge.absorb(chunk);
@@ -552,7 +587,8 @@ where
     let mut gen = RowGen::new();
     let mut digits = Vec::new();
     let mut row: Vec<Edge> = Vec::new();
-    let mut builder = EdgeStorageBuilder::new(opts.edge_store);
+    let spill = opts.effective_spill();
+    let mut builder = EdgeStorageBuilder::with_spill(opts.edge_store, &spill);
     let mut enabled: Vec<u64> = Vec::new();
     let mut legit_flags: Vec<bool> = Vec::new();
     let mut deterministic = true;
@@ -583,7 +619,7 @@ where
             enabled = r.enabled;
             legit_flags = r.legit;
             deterministic = r.deterministic;
-            builder = r.builder.into_builder();
+            builder = r.builder.into_builder(opts.edge_store, &spill);
         }
     }
 
@@ -885,36 +921,44 @@ mod tests {
         for daemon in Daemon::ALL {
             for opts in &mode_opts {
                 let flat = TransitionSystem::explore_with(&alg, &ix, daemon, &spec, opts).unwrap();
-                let comp = TransitionSystem::explore_with(
-                    &alg,
-                    &ix,
-                    daemon,
-                    &spec,
-                    &opts.clone().with_edge_store(EdgeStoreKind::Compressed),
-                )
-                .unwrap();
-                assert_eq!(comp.edge_store_kind(), EdgeStoreKind::Compressed);
-                assert_eq!(comp.n_configs(), flat.n_configs());
-                assert_eq!(comp.n_edges(), flat.n_edges());
-                assert_eq!(comp.legit(), flat.legit());
-                assert_eq!(comp.initial(), flat.initial());
-                for id in 0..flat.n_configs() {
-                    assert_eq!(comp.full_index_of(id), flat.full_index_of(id));
-                    assert_eq!(comp.enabled_mask(id), flat.enabled_mask(id));
-                    assert_eq!(comp.edge_row_is_empty(id), flat.edge_row_is_empty(id));
-                    let a: Vec<Edge> = flat.edge_iter(id).collect();
-                    let b: Vec<Edge> = comp.edge_iter(id).collect();
-                    assert_eq!(a, b, "row {id} under {daemon} with {:?}", opts.quotient);
+                for kind in [EdgeStoreKind::Compressed, EdgeStoreKind::Disk] {
+                    let comp = TransitionSystem::explore_with(
+                        &alg,
+                        &ix,
+                        daemon,
+                        &spec,
+                        &opts.clone().with_edge_store(kind),
+                    )
+                    .unwrap();
+                    assert_eq!(comp.edge_store_kind(), kind);
+                    assert_eq!(comp.n_configs(), flat.n_configs());
+                    assert_eq!(comp.n_edges(), flat.n_edges());
+                    assert_eq!(comp.legit(), flat.legit());
+                    assert_eq!(comp.initial(), flat.initial());
+                    for id in 0..flat.n_configs() {
+                        assert_eq!(comp.full_index_of(id), flat.full_index_of(id));
+                        assert_eq!(comp.enabled_mask(id), flat.enabled_mask(id));
+                        assert_eq!(comp.edge_row_is_empty(id), flat.edge_row_is_empty(id));
+                        let a: Vec<Edge> = flat.edge_iter(id).collect();
+                        let b: Vec<Edge> = comp.edge_iter(id).collect();
+                        assert_eq!(a, b, "row {id} under {daemon} with {:?}", opts.quotient);
+                    }
+                    // The reverse CSR decodes to the same predecessor
+                    // lists, and the streaming closure agrees with it.
+                    assert_eq!(comp.reverse(), flat.reverse());
+                    assert_eq!(comp.backward_closure(flat.legit()), {
+                        flat.backward_closure(flat.legit())
+                    });
+                    if kind == EdgeStoreKind::Compressed {
+                        // The compressed tier actually compresses.
+                        assert!(
+                            comp.edge_bytes() < flat.edge_bytes(),
+                            "{} vs {} bytes",
+                            comp.edge_bytes(),
+                            flat.edge_bytes()
+                        );
+                    }
                 }
-                // The reverse CSR decodes to the same predecessor lists.
-                assert_eq!(comp.reverse(), flat.reverse());
-                // And the compressed tier actually compresses.
-                assert!(
-                    comp.edge_bytes() < flat.edge_bytes(),
-                    "{} vs {} bytes",
-                    comp.edge_bytes(),
-                    flat.edge_bytes()
-                );
             }
         }
     }
@@ -947,9 +991,14 @@ mod tests {
                 ExploreOptions::full()
                     .with_ring_quotient()
                     .with_edge_store(EdgeStoreKind::Compressed),
+                ExploreOptions::full().with_edge_store(EdgeStoreKind::Disk),
+                ExploreOptions::full()
+                    .with_ring_quotient()
+                    .with_edge_store(EdgeStoreKind::Disk),
                 ExploreOptions::reachable(seeds.clone()),
                 ExploreOptions::reachable(vec![seeds[1].clone()])
                     .with_edge_store(EdgeStoreKind::Compressed),
+                ExploreOptions::reachable(seeds.clone()).with_edge_store(EdgeStoreKind::Disk),
                 ExploreOptions::reachable(seeds).with_ring_quotient(),
             ]
         }

@@ -20,14 +20,23 @@
 //!    reject. The first sound group with order > 1 wins; if none is
 //!    sound, the plan records why each candidate was rejected and falls
 //!    back to [`Quotient::None`].
-//! 3. **Edge-store auto-selection** — if the *estimated full-sweep* flat
-//!    store fits the byte budget ([`PlanRequest::byte_budget`], default
-//!    [`DEFAULT_BYTE_BUDGET`]), the flat tier is chosen (fastest while
-//!    RAM lasts); otherwise the compressed tier. The full-sweep estimate
-//!    is used deliberately even when a quotient was selected: quotient
-//!    folding merges parallel edges nonuniformly, so the post-quotient
-//!    edge count is not reliably predictable from the group order alone,
-//!    and the planner prefers to err toward the memory-frugal tier.
+//! 3. **Edge-store auto-selection** — a three-way ladder over
+//!    *analysis-time* footprints, not bare store sizes: the verdict
+//!    passes materialize a reverse CSR and the Markov stage mirrors the
+//!    edges into a `QStorage` of the same tier, so the resident peak is
+//!    store + reverse + Q (≈ 2× the store alone). If the estimated flat
+//!    analysis footprint fits the byte budget
+//!    ([`PlanRequest::byte_budget`], default [`DEFAULT_BYTE_BUDGET`]),
+//!    the flat tier is chosen (fastest while RAM lasts); else the
+//!    compressed tier, unless even *its* analysis footprint exceeds the
+//!    RAM ceiling ([`PlanRequest::disk_byte_budget`], default
+//!    [`DEFAULT_DISK_BYTE_BUDGET`]) — then the edge stream spills to
+//!    `WSR1` disk chunks ([`EdgeStoreKind::Disk`]) and the analyses run
+//!    streaming. The full-sweep estimate is used deliberately even when
+//!    a quotient was selected: quotient folding merges parallel edges
+//!    nonuniformly, so the post-quotient edge count is not reliably
+//!    predictable from the group order alone, and the planner prefers to
+//!    err toward the memory-frugal tier.
 //!
 //! Every decision — auto or forced — is recorded as a [`PlanDecision`]
 //! with its reason, so reports built on a plan (the facade `Study`, the
@@ -82,18 +91,37 @@ use super::onthefly::{ExploreOptions, Quotient};
 use super::quotient::GroupCanonicalizer;
 use super::rowgen::RowGen;
 
-/// Default byte budget for the edge-store decision: 32 MiB of flat
-/// edges (≈ 1.4 × 10⁶ edges at 24 B each). Conservative on purpose — the
+/// Default byte budget for the flat-tier decision: 32 MiB of
+/// analysis-time flat footprint. Conservative on purpose — the
 /// compressed tier costs little time (it has even been measured *faster*
 /// on large sweeps, writing 4–6× fewer bytes) while the flat tier's
 /// failure mode is exhausting RAM.
 pub const DEFAULT_BYTE_BUDGET: u64 = 32 << 20;
+
+/// Default RAM ceiling for the disk-tier decision: when even the
+/// *compressed* analysis footprint (stream + reverse CSR + Q mirror) is
+/// estimated past 4 GiB, the planner spills the edge stream to `WSR1`
+/// disk chunks. Distinct from [`DEFAULT_BYTE_BUDGET`] because the two
+/// budgets answer different questions: `byte_budget` is how much RAM we
+/// *happily spend for speed* (flat is an optimization), the ceiling is
+/// how much the machine *has* (beyond it the run must go out-of-core).
+pub const DEFAULT_DISK_BYTE_BUDGET: u64 = 4 << 30;
 
 /// Default number of successor rows sampled for the edge estimate.
 pub const DEFAULT_SAMPLE_ROWS: u64 = 64;
 
 /// Flat-tier cost per stored edge (`size_of::<Edge>()`).
 const FLAT_BYTES_PER_EDGE: u64 = 24;
+
+/// Estimated compressed-stream cost per stored edge (measured ≈ 5 B on
+/// ring sweeps; 6 errs toward the memory-frugal tier).
+const COMPRESSED_BYTES_PER_EDGE: u64 = 6;
+
+/// Reverse-CSR cost per edge (`u32` target per entry).
+const REVERSE_BYTES_PER_EDGE: u64 = 4;
+
+/// Flat `QStorage` cost per entry (`(u32, f64)` target/probability pair).
+const Q_FLAT_BYTES_PER_ENTRY: u64 = 16;
 
 /// What the planner may decide, and within which budget.
 ///
@@ -102,9 +130,13 @@ const FLAT_BYTES_PER_EDGE: u64 = 24;
 /// plan, so reports show the complete configuration either way).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PlanRequest {
-    /// Byte budget for the flat edge store; estimated full-sweep stores
-    /// above it select the compressed tier.
+    /// Byte budget for the flat tier; estimated full-sweep *analysis*
+    /// footprints (store + reverse CSR + Q mirror) above it select the
+    /// compressed tier.
     pub byte_budget: u64,
+    /// RAM ceiling for the compressed tier; estimated compressed
+    /// analysis footprints above it select the disk tier.
+    pub disk_byte_budget: u64,
     /// Number of rows sampled for the edge estimate.
     pub sample_rows: u64,
     /// Forced quotient (`None` = auto-select through the equivariance
@@ -118,6 +150,7 @@ impl Default for PlanRequest {
     fn default() -> Self {
         PlanRequest {
             byte_budget: DEFAULT_BYTE_BUDGET,
+            disk_byte_budget: DEFAULT_DISK_BYTE_BUDGET,
             sample_rows: DEFAULT_SAMPLE_ROWS,
             quotient: None,
             edge_store: None,
@@ -130,6 +163,13 @@ impl PlanRequest {
     #[must_use]
     pub fn with_byte_budget(mut self, byte_budget: u64) -> Self {
         self.byte_budget = byte_budget;
+        self
+    }
+
+    /// Replaces the disk-tier RAM ceiling.
+    #[must_use]
+    pub fn with_disk_byte_budget(mut self, disk_byte_budget: u64) -> Self {
+        self.disk_byte_budget = disk_byte_budget;
         self
     }
 
@@ -191,8 +231,18 @@ pub struct Plan {
     pub est_full_edges: u64,
     /// Estimated flat-store bytes of the full sweep (edges + offsets).
     pub est_full_flat_bytes: u64,
-    /// The byte budget the store decision was made against.
+    /// Estimated *analysis-time* flat footprint: store + reverse CSR +
+    /// mirrored flat `QStorage`. This — not the bare store — is what the
+    /// flat decision compares against the budget (plans that merely fit
+    /// the store used to exceed budget ≈ 2× once analyses ran).
+    pub est_analysis_flat_bytes: u64,
+    /// Estimated analysis-time compressed footprint: edge stream +
+    /// reverse CSR + mirrored compressed `QStorage`.
+    pub est_analysis_compressed_bytes: u64,
+    /// The byte budget the flat-tier decision was made against.
     pub byte_budget: u64,
+    /// The RAM ceiling the disk-tier decision was made against.
+    pub disk_byte_budget: u64,
     /// The selected quotient ([`Quotient::None`] when no sound group was
     /// found or none was wanted).
     pub quotient: Quotient,
@@ -232,8 +282,21 @@ impl Plan {
         let total = ix.total();
         let (sampled_rows, est_edges_per_config) = estimate_out_degree(alg, ix, daemon, req)?;
         let est_full_edges = (est_edges_per_config * total as f64).ceil() as u64;
-        let est_full_flat_bytes =
-            est_full_edges * FLAT_BYTES_PER_EDGE + (total + 1) * size_of::<u32>() as u64;
+        let row_overhead = (total + 1) * size_of::<u32>() as u64;
+        let est_full_flat_bytes = est_full_edges * FLAT_BYTES_PER_EDGE + row_overhead;
+        // Analysis-time corrections: verdict passes materialize the
+        // reverse CSR and the Markov stage mirrors the edges into a
+        // `QStorage` of the same tier, so the resident peak is
+        // store + reverse + Q — comparing the bare store against the
+        // budget under-counted by ≈ 2×.
+        let est_reverse_bytes = est_full_edges * REVERSE_BYTES_PER_EDGE + row_overhead;
+        let est_analysis_flat_bytes = est_full_flat_bytes
+            + est_reverse_bytes
+            + est_full_edges * Q_FLAT_BYTES_PER_ENTRY
+            + row_overhead;
+        let est_compressed_store_bytes =
+            est_full_edges * COMPRESSED_BYTES_PER_EDGE + (total + 1) * size_of::<u64>() as u64;
+        let est_analysis_compressed_bytes = 2 * est_compressed_store_bytes + est_reverse_bytes;
 
         let mut decisions = Vec::new();
         let (quotient, group_order) = match req.quotient {
@@ -262,28 +325,45 @@ impl Plan {
                 kind
             }
             None => {
-                let kind = if est_full_flat_bytes <= req.byte_budget {
-                    EdgeStoreKind::Flat
+                let (kind, reason) = if est_analysis_flat_bytes <= req.byte_budget {
+                    (
+                        EdgeStoreKind::Flat,
+                        format!(
+                            "estimated analysis-time flat footprint ≈ {est_analysis_flat_bytes} \
+                             bytes (store + reverse CSR + Q mirror over {est_full_edges} edges) \
+                             within the {}-byte budget",
+                            req.byte_budget,
+                        ),
+                    )
+                } else if est_analysis_compressed_bytes <= req.disk_byte_budget {
+                    (
+                        EdgeStoreKind::Compressed,
+                        format!(
+                            "estimated analysis-time flat footprint ≈ {est_analysis_flat_bytes} \
+                             bytes (store + reverse CSR + Q mirror over {est_full_edges} edges) \
+                             exceeds the {}-byte budget; compressed footprint ≈ \
+                             {est_analysis_compressed_bytes} bytes stays within the {}-byte RAM \
+                             ceiling",
+                            req.byte_budget, req.disk_byte_budget,
+                        ),
+                    )
                 } else {
-                    EdgeStoreKind::Compressed
+                    (
+                        EdgeStoreKind::Disk,
+                        format!(
+                            "estimated analysis-time compressed footprint ≈ \
+                             {est_analysis_compressed_bytes} bytes (stream + reverse CSR + Q \
+                             mirror over {est_full_edges} edges) exceeds the {}-byte RAM \
+                             ceiling; spilling the edge stream to disk chunks",
+                            req.disk_byte_budget,
+                        ),
+                    )
                 };
                 decisions.push(PlanDecision {
                     setting: "edge_store",
                     choice: kind.label().to_string(),
                     auto: true,
-                    reason: format!(
-                        "estimated full-sweep flat store ≈ {} bytes ({} edges × {} B + offsets) \
-                         {} the {}-byte budget",
-                        est_full_flat_bytes,
-                        est_full_edges,
-                        FLAT_BYTES_PER_EDGE,
-                        if kind == EdgeStoreKind::Flat {
-                            "within"
-                        } else {
-                            "exceeds"
-                        },
-                        req.byte_budget,
-                    ),
+                    reason,
                 });
                 kind
             }
@@ -295,7 +375,10 @@ impl Plan {
             est_edges_per_config,
             est_full_edges,
             est_full_flat_bytes,
+            est_analysis_flat_bytes,
+            est_analysis_compressed_bytes,
             byte_budget: req.byte_budget,
+            disk_byte_budget: req.disk_byte_budget,
             quotient,
             group_order,
             est_explored_configs,
@@ -491,6 +574,63 @@ mod tests {
             .unwrap();
         assert!(store.auto);
         assert!(store.reason.contains("exceeds"));
+        // The corrected (analysis-time) figure is what the decision
+        // records — it must dominate the bare store estimate.
+        assert!(plan.est_analysis_flat_bytes > plan.est_full_flat_bytes);
+        assert!(store
+            .reason
+            .contains(&plan.est_analysis_flat_bytes.to_string()));
+    }
+
+    #[test]
+    fn tiny_ram_ceiling_selects_disk() {
+        let (alg, spec) = infection();
+        let ix = SpaceIndexer::new(&alg, 1 << 20).unwrap();
+        let req = PlanRequest::default()
+            .with_byte_budget(8)
+            .with_disk_byte_budget(8);
+        let plan = Plan::compute(&alg, &ix, Daemon::Central, &spec, &req).unwrap();
+        assert_eq!(plan.edge_store, EdgeStoreKind::Disk);
+        let store = plan
+            .decisions
+            .iter()
+            .find(|d| d.setting == "edge_store")
+            .unwrap();
+        assert!(store.auto);
+        assert!(store.reason.contains("spilling"));
+        assert!(store
+            .reason
+            .contains(&plan.est_analysis_compressed_bytes.to_string()));
+        // The planned options must actually run on the disk tier.
+        let opts = plan.options::<u8>();
+        assert_eq!(opts.edge_store, EdgeStoreKind::Disk);
+        let planned = TransitionSystem::explore_with(&alg, &ix, Daemon::Central, &spec, &opts);
+        assert!(planned.is_ok());
+    }
+
+    #[test]
+    fn analysis_budget_boundary_is_exact() {
+        let (alg, spec) = infection();
+        let ix = SpaceIndexer::new(&alg, 1 << 20).unwrap();
+        let probe =
+            Plan::compute(&alg, &ix, Daemon::Central, &spec, &PlanRequest::default()).unwrap();
+        // Budget exactly at the flat analysis estimate: flat still fits.
+        let req = PlanRequest::default().with_byte_budget(probe.est_analysis_flat_bytes);
+        let plan = Plan::compute(&alg, &ix, Daemon::Central, &spec, &req).unwrap();
+        assert_eq!(plan.edge_store, EdgeStoreKind::Flat);
+        // One byte below, with the ceiling at the compressed estimate:
+        // compressed fits exactly.
+        let req = PlanRequest::default()
+            .with_byte_budget(probe.est_analysis_flat_bytes - 1)
+            .with_disk_byte_budget(probe.est_analysis_compressed_bytes);
+        let plan = Plan::compute(&alg, &ix, Daemon::Central, &spec, &req).unwrap();
+        assert_eq!(plan.edge_store, EdgeStoreKind::Compressed);
+        // One byte below the compressed estimate: spill.
+        let req = PlanRequest::default()
+            .with_byte_budget(probe.est_analysis_flat_bytes - 1)
+            .with_disk_byte_budget(probe.est_analysis_compressed_bytes - 1);
+        let plan = Plan::compute(&alg, &ix, Daemon::Central, &spec, &req).unwrap();
+        assert_eq!(plan.edge_store, EdgeStoreKind::Disk);
     }
 
     #[test]

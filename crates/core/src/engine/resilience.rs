@@ -64,15 +64,20 @@ use rand::{Rng, SeedableRng};
 
 use super::bitset::BitSet;
 use super::edgestore::{
-    CompressedEdgesBuilder, DeltaStreamWriter, EdgeStorageBuilder, EdgeStoreKind,
+    CompressedEdgesBuilder, DeltaStreamWriter, DiskEdgesBuilder, EdgeStorageBuilder, EdgeStoreKind,
 };
 use super::explore::{Edge, TransitionSystem};
 use super::onthefly::{Quotient, StateIds, StateTable, TraversalMode};
 use super::quotient::{GroupCanonicalizer, Strategy};
+use super::spill::SpillConfig;
 use crate::error::CoreError;
 
 /// Frame magic: **W**eak **S**tabilization **R**esilience, version 1.
 const MAGIC: &[u8; 4] = b"WSR1";
+
+/// Frame-format constants shared with [`super::spill`]'s chunk reader.
+pub(crate) const FRAME_MAGIC: [u8; 4] = *MAGIC;
+pub(crate) const FRAME_HEADER_LEN: usize = HEADER_LEN;
 /// Fixed header size preceding every frame payload.
 const HEADER_LEN: usize = 33;
 
@@ -631,7 +636,10 @@ const SMALL_FLUSH: usize = 1 << 19;
 /// buffer's and the first error surfaces from [`FrameSink::finish`]. A
 /// frame torn before the final header patch still carries the zeroed
 /// placeholder length, so the loader's exact-length check rejects it.
-struct FrameSink {
+///
+/// Shared with [`super::spill`], which writes the disk tier's chunk
+/// files in the same frame format (kind byte 2).
+pub(crate) struct FrameSink {
     tmp: PathBuf,
     committed: PathBuf,
     f: fs::File,
@@ -649,6 +657,19 @@ impl FrameSink {
     fn create(dir: &Path, seq: u64, fingerprint: u64, kind: u8) -> Result<Self, CoreError> {
         let tmp = dir.join(format!("ckpt-{seq:06}.tmp"));
         let committed = dir.join(frame_name(seq));
+        Self::create_at(tmp, committed, fingerprint, seq, kind)
+    }
+
+    /// [`FrameSink::create`] for arbitrary staging/committed paths — the
+    /// spill tier's chunk files reuse the frame format under their own
+    /// naming scheme.
+    pub(crate) fn create_at(
+        tmp: PathBuf,
+        committed: PathBuf,
+        fingerprint: u64,
+        seq: u64,
+        kind: u8,
+    ) -> Result<Self, CoreError> {
         let mut header = [0u8; HEADER_LEN];
         header[0..4].copy_from_slice(MAGIC);
         header[4..12].copy_from_slice(&fingerprint.to_le_bytes());
@@ -697,7 +718,7 @@ impl FrameSink {
         self.u64(v.to_bits());
     }
 
-    fn raw(&mut self, bytes: &[u8]) {
+    pub(crate) fn raw(&mut self, bytes: &[u8]) {
         if bytes.len() >= DIRECT_WRITE {
             self.flush_small();
             if self.err.is_some() {
@@ -736,7 +757,12 @@ impl FrameSink {
     /// Patches the header's payload-length and CRC32C fields, optionally
     /// fsyncs, and renames the frame into place. `durable` is reserved
     /// for the final frame — see the module docs for the fsync policy.
-    fn finish(mut self, durable: bool) -> Result<(), CoreError> {
+    ///
+    /// A durable commit fsyncs the **containing directory** after the
+    /// rename as well: renaming only updates the directory entry, and an
+    /// un-synced directory can lose the entry across a crash — the frame
+    /// file's own `sync_all` does not cover it.
+    pub(crate) fn finish(mut self, durable: bool) -> Result<(), CoreError> {
         self.flush_small();
         let commit = |sink: &mut FrameSink| -> std::io::Result<()> {
             if let Some(e) = sink.err.take() {
@@ -750,7 +776,13 @@ impl FrameSink {
             if durable {
                 sink.f.sync_all()?;
             }
-            fs::rename(&sink.tmp, &sink.committed)
+            fs::rename(&sink.tmp, &sink.committed)?;
+            if durable {
+                if let Some(dir) = sink.committed.parent() {
+                    fs::File::open(dir)?.sync_all()?;
+                }
+            }
+            Ok(())
         };
         commit(&mut self).map_err(|e| io_err(&self.committed, e))
     }
@@ -1034,6 +1066,7 @@ impl Checkpointer {
         e.u8(match self.tier {
             EdgeStoreKind::Flat => 0,
             EdgeStoreKind::Compressed => 1,
+            EdgeStoreKind::Disk => 2,
         });
         e.u8(src.deterministic as u8);
         // Interned-table delta (the quotient sweep's first frame carries
@@ -1093,6 +1126,26 @@ impl Checkpointer {
                 // The interned-probability table is tiny and append-only
                 // in practice, but interning order is not a row-boundary
                 // invariant — persist it whole and let replay overwrite.
+                e.u64(probs.len() as u64);
+                for &p in probs {
+                    e.f64(p);
+                }
+                e.u64(n_items);
+            }
+            EdgeStorageBuilder::Disk(b) => {
+                debug_assert_eq!(self.tier, EdgeStoreKind::Disk);
+                // Same frame layout as the compressed tier — the
+                // checkpoint chain, not the spill directory, is the
+                // durability surface, so the delta's stream bytes are
+                // read back from already-spilled chunks where needed.
+                let (offsets, _, probs, n_items) = b.writer().parts();
+                e.u64(rows as u64);
+                for &o in &offsets[from + 1..to + 1] {
+                    e.u64(o);
+                }
+                let bytes = b.byte_range(offsets[from], offsets[to]);
+                e.u64(bytes.len() as u64);
+                e.raw(&bytes);
                 e.u64(probs.len() as u64);
                 for &p in probs {
                     e.f64(p);
@@ -1236,7 +1289,10 @@ impl ReplayBuilder {
                 counts: Vec::new(),
                 edges: Vec::new(),
             },
-            EdgeStoreKind::Compressed => ReplayBuilder::Compressed {
+            // The disk tier replays through the compressed accumulator —
+            // the chain carries the stream bytes; they are re-spilled to
+            // chunks as the resumed builder fills back up.
+            EdgeStoreKind::Compressed | EdgeStoreKind::Disk => ReplayBuilder::Compressed {
                 offsets: vec![0],
                 stream: Vec::new(),
                 probs: Vec::new(),
@@ -1245,8 +1301,14 @@ impl ReplayBuilder {
         }
     }
 
-    /// Converts into the live builder the exploration loop appends to.
-    pub(super) fn into_builder(self) -> EdgeStorageBuilder {
+    /// Converts into the live builder the exploration loop appends to
+    /// (`tier`/`spill` route the compressed accumulator back to a
+    /// disk-spilling builder when the chain was a disk-tier run).
+    pub(super) fn into_builder(
+        self,
+        tier: EdgeStoreKind,
+        spill: &SpillConfig,
+    ) -> EdgeStorageBuilder {
         match self {
             ReplayBuilder::Flat { counts, edges } => EdgeStorageBuilder::Flat { counts, edges },
             ReplayBuilder::Compressed {
@@ -1254,9 +1316,14 @@ impl ReplayBuilder {
                 stream,
                 probs,
                 n_items,
-            } => EdgeStorageBuilder::Compressed(CompressedEdgesBuilder::from_writer(
-                DeltaStreamWriter::from_parts(offsets, stream, probs, n_items),
-            )),
+            } => {
+                let w = DeltaStreamWriter::from_parts(offsets, stream, probs, n_items);
+                if tier == EdgeStoreKind::Disk {
+                    EdgeStorageBuilder::Disk(DiskEdgesBuilder::from_writer(w, spill))
+                } else {
+                    EdgeStorageBuilder::Compressed(CompressedEdgesBuilder::from_writer(w))
+                }
+            }
         }
     }
 }
@@ -1416,7 +1483,11 @@ impl Replay {
             });
         };
         let n = self.cursor as usize;
-        let forward = self.builder.into_builder().finish();
+        let spill = SpillConfig {
+            dir: Some(dir.join("spill")),
+            ..SpillConfig::default()
+        };
+        let forward = self.builder.into_builder(self.tier, &spill).finish();
         let mut legit = BitSet::new(n);
         for (i, &l) in self.legit.iter().enumerate() {
             if l {
@@ -1470,6 +1541,7 @@ fn decode_payload(payload: &[u8], kind: u8) -> Result<DeltaFrame, String> {
     let tier = match d.u8()? {
         0 => EdgeStoreKind::Flat,
         1 => EdgeStoreKind::Compressed,
+        2 => EdgeStoreKind::Disk,
         t => return Err(format!("unknown edge-store tier {t}")),
     };
     let deterministic = d.u8()? != 0;
@@ -1518,7 +1590,10 @@ fn decode_payload(payload: &[u8], kind: u8) -> Result<DeltaFrame, String> {
             }
             BuilderDelta::Flat { counts, edges }
         }
-        EdgeStoreKind::Compressed => {
+        // The disk tier shares the compressed tier's frame layout: the
+        // checkpoint chain carries the stream bytes themselves, so a
+        // resume never depends on (and re-creates) the spill directory.
+        EdgeStoreKind::Compressed | EdgeStoreKind::Disk => {
             let n_offsets = d.count(8)?;
             if n_offsets != rows {
                 return Err(format!(
@@ -1956,6 +2031,61 @@ mod tests {
         let replay = ck.take_replay().unwrap();
         assert_eq!(replay.cursor, 4);
         assert!(replay.complete.is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Kill-point battery over *every* frame of the synthetic chain,
+    /// including the durable final commit (frame 3): the kill fires
+    /// after `FrameSink::finish` returns, i.e. after the fsync → rename
+    /// → **directory fsync** sequence, so surviving this battery means
+    /// every frame the writer reported durable really is reloadable.
+    /// The last arm simulates the pre-fix failure mode — a final-frame
+    /// rename lost because the directory entry was never synced — and
+    /// asserts the loader degrades to the previous snapshot instead of
+    /// resuming a wrong state.
+    #[test]
+    fn kill_point_battery_covers_durable_rename_and_dir_fsync() {
+        for k in 1u64..=3 {
+            let dir = tmp_dir("battery");
+            let res = write_synthetic_chain(&dir, &FaultPlan::none().with_kill_after_frames(k));
+            assert_eq!(res.unwrap_err(), CoreError::Interrupted { after_frames: k });
+            assert_eq!(list_frames(&dir).len(), k as usize, "kill at {k}");
+            let (fp, replay) = load_chain(&dir).unwrap();
+            assert_eq!(fp, 0xFEED);
+            assert_eq!(replay.frames, k);
+            assert_eq!(replay.cursor, 2 * k);
+            if k == 3 {
+                // The kill landed *after* the durable final frame: the
+                // chain is complete and the run resumes to the full
+                // system — the death cost nothing.
+                assert!(replay.complete.is_some());
+                let ts = replay.into_transition_system(&dir).unwrap();
+                assert_eq!(ts.n_configs(), 6);
+            } else {
+                assert!(replay.complete.is_none());
+                assert!(matches!(
+                    resume_from_dir(&dir),
+                    Err(CoreError::CheckpointIncomplete { .. })
+                ));
+            }
+            fs::remove_dir_all(&dir).unwrap();
+        }
+        // Lost-rename simulation: without the directory fsync a crash
+        // can forget the final frame's directory entry even though the
+        // writer reported success. The loader must fall back to the
+        // frame-2 prefix, never fabricate a complete chain.
+        let dir = tmp_dir("battery-lost");
+        write_synthetic_chain(&dir, &FaultPlan::none()).unwrap();
+        let frames = list_frames(&dir);
+        fs::remove_file(&frames[2]).unwrap();
+        let (_, replay) = load_chain(&dir).unwrap();
+        assert_eq!(replay.frames, 2);
+        assert_eq!(replay.cursor, 4);
+        assert!(replay.complete.is_none());
+        assert!(matches!(
+            resume_from_dir(&dir),
+            Err(CoreError::CheckpointIncomplete { .. })
+        ));
         fs::remove_dir_all(&dir).unwrap();
     }
 

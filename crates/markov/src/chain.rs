@@ -20,7 +20,9 @@
 use std::collections::HashMap;
 use std::sync::OnceLock;
 
-use stab_core::engine::{BitSet, ExploreOptions, GroupCanonicalizer, TransitionSystem};
+use stab_core::engine::{
+    BitSet, EdgeStoreKind, ExploreOptions, GroupCanonicalizer, TransitionSystem,
+};
 use stab_core::{Algorithm, Configuration, DaemonSpec, Legitimacy, LocalState, SpaceIndexer};
 
 use crate::error::MarkovError;
@@ -348,27 +350,53 @@ impl<S: LocalState> AbsorbingChain<S> {
     }
 
     /// Whether every transient state reaches absorption with probability 1
-    /// (backward closure of the absorbing state over the inverted `Q`
-    /// CSR; every stored edge has positive probability) — the
-    /// precondition for finite expected hitting times. Computed once,
-    /// lazily; builds that never ask never pay for it.
+    /// (backward closure of the absorbing mass; every stored edge has
+    /// positive probability) — the precondition for finite expected
+    /// hitting times. Computed once, lazily; builds that never ask never
+    /// pay for it.
+    ///
+    /// The in-RAM tiers run a BFS over the inverted `Q` CSR; the disk
+    /// tier never materialises the reverse at all — it iterates streaming
+    /// forward fixpoint sweeps (mark a row once some successor is
+    /// marked), rotating spill chunks through the pinned cache, so the
+    /// resident set stays the cache plus one bitset.
     pub fn almost_surely_absorbing(&self) -> Result<(), MarkovError> {
         let outcome = self.absorbing.get_or_init(|| {
             let n = self.n_transient();
-            let reverse = self.q.invert_targets();
             let mut can = BitSet::new(n);
-            let mut stack: Vec<u32> = Vec::new();
-            for (i, &a) in self.absorb.iter().enumerate() {
-                if a > 0.0 {
-                    can.insert(i);
-                    stack.push(i as u32);
+            if self.q.kind() == EdgeStoreKind::Disk {
+                for (i, &a) in self.absorb.iter().enumerate() {
+                    if a > 0.0 {
+                        can.insert(i);
+                    }
                 }
-            }
-            while let Some(i) = stack.pop() {
-                for &p in reverse.row(i as usize) {
-                    if !can.get(p as usize) {
-                        can.insert(p as usize);
-                        stack.push(p);
+                loop {
+                    let mut changed = false;
+                    for i in 0..n {
+                        if !can.get(i) && self.q.row_iter(i).any(|(j, _)| can.get(j as usize)) {
+                            can.insert(i);
+                            changed = true;
+                        }
+                    }
+                    if !changed {
+                        break;
+                    }
+                }
+            } else {
+                let reverse = self.q.invert_targets();
+                let mut stack: Vec<u32> = Vec::new();
+                for (i, &a) in self.absorb.iter().enumerate() {
+                    if a > 0.0 {
+                        can.insert(i);
+                        stack.push(i as u32);
+                    }
+                }
+                while let Some(i) = stack.pop() {
+                    for &p in reverse.row(i as usize) {
+                        if !can.get(p as usize) {
+                            can.insert(p as usize);
+                            stack.push(p);
+                        }
                     }
                 }
             }

@@ -86,6 +86,13 @@ pub fn gauss_seidel<M: QRows>(
 /// converging iteration with a typed error instead of spinning to
 /// `max_iter`.
 ///
+/// The sweep order is block-structured by construction: rows were
+/// appended to the store in ascending index order, so on the disk tier
+/// consecutive rows share a spill chunk and each sweep rotates every
+/// chunk through the pinned cache exactly once. The per-sweep probe
+/// carries [`QRows::resident_bytes`] — the cache-pressure figure — so a
+/// byte budget observes the cache, not the spilled stream.
+///
 /// # Errors
 ///
 /// As [`gauss_seidel`], plus
@@ -105,7 +112,7 @@ pub fn gauss_seidel_budgeted<M: QRows>(
     let mut x = b.to_vec();
     let mut residual = f64::INFINITY;
     for sweep in 0..max_iter {
-        budget.probe("solver", 0, sweep as u64)?;
+        budget.probe("solver", q.resident_bytes(), sweep as u64)?;
         residual = 0.0;
         for i in 0..n {
             let mut acc = b[i];

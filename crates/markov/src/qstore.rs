@@ -8,17 +8,25 @@
 //! the previous column — rows are sorted by column) plus a varint index
 //! into a deduplicated probability table, delimited by u64 byte offsets.
 //!
+//! The disk tier ([`DiskQ`]) goes one step further: the same compressed
+//! byte stream is spilled to `WSR1` chunk files through the engine's
+//! shared spill machinery (`stab_core::engine::spill`), and rows decode
+//! out of a pinned-budget chunk cache. Only the u64 offsets, the
+//! probability table, and the cache stay resident.
+//!
 //! [`AbsorbingChain`](crate::AbsorbingChain) picks the tier matching the
 //! transition system it was built from, so a run selected with
 //! `ExploreOptions::with_edge_store(EdgeStoreKind::Compressed)` keeps its
 //! memory profile through the whole Markov pipeline: the solvers
 //! ([`crate::linalg`]) iterate rows through the [`QRows`] trait and never
 //! materialise a flat copy. The tradeoff is deliberate: Gauss–Seidel
-//! sweeps re-decode the stream each iteration, paying time for the 2–4×
-//! memory reduction that lets 10⁸-entry chains fit at all.
+//! sweeps re-decode the stream (and, on the disk tier, re-fault chunks
+//! through the cache) each iteration, paying time for the memory
+//! reduction that lets 10⁹-entry chains fit at all.
 
 use stab_core::engine::edgestore::{invert_target_rows, DeltaStreamReader, DeltaStreamWriter};
-use stab_core::engine::{Csr, EdgeStoreKind};
+use stab_core::engine::spill::{SpillCursor, SpillSink, SpillStore};
+use stab_core::engine::{Csr, EdgeStoreKind, SpillConfig};
 
 /// The flat `Q` tier: row `i` holds `(j, Q_ij)` entries sorted by `j`.
 pub type QMatrix = Csr<(u32, f64)>;
@@ -36,6 +44,13 @@ pub trait QRows {
     /// Cursor over row `i`'s `(column, probability)` entries, ascending
     /// by column.
     fn row_iter(&self, i: usize) -> Self::Row<'_>;
+    /// Resident-set bytes backing the rows (the cache-pressure figure the
+    /// solvers feed their `Budget` probes). In-RAM tiers report 0 — their
+    /// footprint was already accounted at build time; the disk tier
+    /// reports offsets + probability table + pinned chunk cache.
+    fn resident_bytes(&self) -> u64 {
+        0
+    }
 }
 
 impl QRows for QMatrix {
@@ -93,14 +108,73 @@ impl QRows for CompressedQ {
     }
 }
 
+/// The disk `Q` tier: the compressed byte stream spilled to `WSR1`
+/// chunk files, rows decoded out of a pinned-budget chunk cache. `Q` is
+/// working state (never checkpointed), so the spill always lives in a
+/// self-cleaning per-process temp directory sized by the engine's
+/// default chunk/cache budgets.
+#[derive(Debug)]
+pub struct DiskQ {
+    offsets: Vec<u64>,
+    probs: Vec<f64>,
+    n_entries: u64,
+    store: SpillStore,
+}
+
+/// Zero-alloc decoding cursor over one disk-tier `Q` row (the chunk is
+/// pinned by the cursor, so eviction under it is safe).
+#[derive(Debug, Clone)]
+pub struct DiskQRow<'a> {
+    cur: SpillCursor,
+    probs: &'a [f64],
+}
+
+impl Iterator for DiskQRow<'_> {
+    type Item = (u32, f64);
+
+    #[inline]
+    fn next(&mut self) -> Option<(u32, f64)> {
+        if self.cur.done() {
+            return None;
+        }
+        let j = self.cur.target();
+        Some((j, self.probs[self.cur.raw() as usize]))
+    }
+}
+
+impl QRows for DiskQ {
+    type Row<'a> = DiskQRow<'a>;
+
+    fn n_rows(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    fn row_iter(&self, i: usize) -> DiskQRow<'_> {
+        DiskQRow {
+            cur: self.store.row_cursor(&self.offsets, i),
+            probs: &self.probs,
+        }
+    }
+
+    fn resident_bytes(&self) -> u64 {
+        (self.offsets.len() * std::mem::size_of::<u64>()
+            + self.probs.len() * std::mem::size_of::<f64>()) as u64
+            + self.store.resident_bytes()
+    }
+}
+
 /// The per-run `Q` store of an [`AbsorbingChain`](crate::AbsorbingChain):
 /// whichever tier matches the transition system's edge store.
+// One instance per chain, so the Disk variant's inline size is moot.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 pub enum QStorage {
     /// Flat CSR tier.
     Flat(QMatrix),
     /// Byte-packed compressed tier.
     Compressed(CompressedQ),
+    /// Chunk-spilled disk tier.
+    Disk(DiskQ),
 }
 
 /// Cursor over one row of either `Q` tier.
@@ -110,6 +184,8 @@ pub enum QRowIter<'a> {
     Flat(std::iter::Copied<std::slice::Iter<'a, (u32, f64)>>),
     /// Varint decode over the compressed tier.
     Compressed(CompressedQRow<'a>),
+    /// Varint decode out of the disk tier's chunk cache.
+    Disk(DiskQRow<'a>),
 }
 
 impl Iterator for QRowIter<'_> {
@@ -120,6 +196,7 @@ impl Iterator for QRowIter<'_> {
         match self {
             QRowIter::Flat(it) => it.next(),
             QRowIter::Compressed(it) => it.next(),
+            QRowIter::Disk(it) => it.next(),
         }
     }
 }
@@ -130,6 +207,7 @@ impl QStorage {
         match self {
             QStorage::Flat(_) => EdgeStoreKind::Flat,
             QStorage::Compressed(_) => EdgeStoreKind::Compressed,
+            QStorage::Disk(_) => EdgeStoreKind::Disk,
         }
     }
 
@@ -138,6 +216,7 @@ impl QStorage {
         match self {
             QStorage::Flat(q) => QMatrix::n_rows(q),
             QStorage::Compressed(q) => QRows::n_rows(q),
+            QStorage::Disk(q) => QRows::n_rows(q),
         }
     }
 
@@ -147,6 +226,7 @@ impl QStorage {
         match self {
             QStorage::Flat(q) => q.n_entries() as u64,
             QStorage::Compressed(q) => q.n_entries,
+            QStorage::Disk(q) => q.n_entries,
         }
     }
 
@@ -163,6 +243,23 @@ impl QStorage {
                     + q.offsets.len() * std::mem::size_of::<u64>()
                     + q.probs.len() * std::mem::size_of::<f64>()) as u64
             }
+            // Total comparable footprint: resident side tables plus the
+            // spilled stream (which other tiers hold in RAM).
+            QStorage::Disk(q) => {
+                (q.offsets.len() * std::mem::size_of::<u64>()
+                    + q.probs.len() * std::mem::size_of::<f64>()) as u64
+                    + q.store.spilled_bytes()
+            }
+        }
+    }
+
+    /// Resident-set bytes (see [`QRows::resident_bytes`]): equals
+    /// [`QStorage::q_bytes`] minus the spilled stream on the disk tier,
+    /// 0 on the in-RAM tiers.
+    pub fn resident_q_bytes(&self) -> u64 {
+        match self {
+            QStorage::Flat(_) | QStorage::Compressed(_) => 0,
+            QStorage::Disk(q) => QRows::resident_bytes(q),
         }
     }
 
@@ -172,6 +269,7 @@ impl QStorage {
         match self {
             QStorage::Flat(q) => QRowIter::Flat(q.row(i).iter().copied()),
             QStorage::Compressed(q) => QRowIter::Compressed(QRows::row_iter(q, i)),
+            QStorage::Disk(q) => QRowIter::Disk(QRows::row_iter(q, i)),
         }
     }
 
@@ -195,6 +293,9 @@ impl QStorage {
             QStorage::Compressed(q) => invert_target_rows(QRows::n_rows(q), q.n_entries, |i| {
                 QRows::row_iter(q, i).map(|(j, _)| j)
             }),
+            QStorage::Disk(q) => invert_target_rows(QRows::n_rows(q), q.n_entries, |i| {
+                QRows::row_iter(q, i).map(|(j, _)| j)
+            }),
         }
     }
 }
@@ -208,6 +309,10 @@ impl QRows for QStorage {
 
     fn row_iter(&self, i: usize) -> QRowIter<'_> {
         QStorage::row_iter(self, i)
+    }
+
+    fn resident_bytes(&self) -> u64 {
+        QStorage::resident_q_bytes(self)
     }
 }
 
@@ -226,6 +331,14 @@ pub enum QStorageBuilder {
     /// `(column delta, prob id)` through the engine's shared
     /// [`DeltaStreamWriter`].
     Compressed(DeltaStreamWriter),
+    /// Streams the compressed encoding and spills sealed chunks to a
+    /// temp directory as the pending tail crosses the chunk size.
+    Disk {
+        /// The shared delta encoder (its pending tail is what spills).
+        w: DeltaStreamWriter,
+        /// The chunk writer.
+        sink: SpillSink,
+    },
 }
 
 impl QStorageBuilder {
@@ -237,6 +350,12 @@ impl QStorageBuilder {
                 entries: Vec::new(),
             },
             EdgeStoreKind::Compressed => QStorageBuilder::Compressed(DeltaStreamWriter::new()),
+            // `Q` is never checkpointed, so the spill is always a
+            // self-cleaning temp directory with the default budgets.
+            EdgeStoreKind::Disk => QStorageBuilder::Disk {
+                w: DeltaStreamWriter::new(),
+                sink: SpillSink::create(&SpillConfig::default()),
+            },
         }
     }
 
@@ -256,6 +375,14 @@ impl QStorageBuilder {
                 }
                 w.end_row();
             }
+            QStorageBuilder::Disk { w, sink } => {
+                for &(j, p) in row {
+                    w.target(j);
+                    w.prob(p);
+                }
+                w.end_row();
+                sink.maybe_spill(w);
+            }
         }
     }
 
@@ -272,6 +399,19 @@ impl QStorageBuilder {
                     stream,
                     probs,
                     n_entries,
+                })
+            }
+            QStorageBuilder::Disk { mut w, mut sink } => {
+                if w.pending_len() > 0 {
+                    sink.spill(&mut w);
+                }
+                let (offsets, stream, probs, n_entries) = w.into_parts();
+                debug_assert!(stream.is_empty(), "disk builder spills its whole stream");
+                QStorage::Disk(DiskQ {
+                    offsets,
+                    probs,
+                    n_entries,
+                    store: sink.finish(),
                 })
             }
         }
@@ -300,21 +440,37 @@ mod tests {
         ];
         let flat = build(EdgeStoreKind::Flat, &rows);
         let comp = build(EdgeStoreKind::Compressed, &rows);
+        let disk = build(EdgeStoreKind::Disk, &rows);
         assert_eq!(flat.n_rows(), comp.n_rows());
+        assert_eq!(flat.n_rows(), disk.n_rows());
         assert_eq!(flat.n_entries(), comp.n_entries());
+        assert_eq!(flat.n_entries(), disk.n_entries());
         for (i, row) in rows.iter().enumerate() {
             assert_eq!(&flat.row_vec(i), row);
             assert_eq!(&comp.row_vec(i), row, "row {i}");
+            assert_eq!(&disk.row_vec(i), row, "row {i}");
         }
         assert_eq!(flat.invert_targets(), comp.invert_targets());
+        assert_eq!(flat.invert_targets(), disk.invert_targets());
         assert!(comp.q_bytes() < flat.q_bytes());
+        // The disk tier spills its whole stream; the resident set is the
+        // side tables plus whatever the cache pins — for a stream smaller
+        // than the cache budget that is everything, so resident may equal
+        // (never exceed) the total footprint.
+        assert!(disk.resident_q_bytes() <= disk.q_bytes());
+        match &disk {
+            QStorage::Disk(q) => assert!(q.store.spilled_bytes() > 0, "disk Q must spill"),
+            _ => unreachable!(),
+        }
     }
 
     #[test]
     fn kinds_are_reported() {
         let flat = build(EdgeStoreKind::Flat, &[vec![(0, 1.0)]]);
         let comp = build(EdgeStoreKind::Compressed, &[vec![(0, 1.0)]]);
+        let disk = build(EdgeStoreKind::Disk, &[vec![(0, 1.0)]]);
         assert_eq!(flat.kind(), EdgeStoreKind::Flat);
         assert_eq!(comp.kind(), EdgeStoreKind::Compressed);
+        assert_eq!(disk.kind(), EdgeStoreKind::Disk);
     }
 }

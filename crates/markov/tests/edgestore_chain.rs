@@ -1,9 +1,10 @@
-//! Differential tests of the compressed `Q` store against the flat store:
-//! chains built over the compressed edge tier must produce bit-identical
-//! structure (transient sets, `Q` rows, absorption vectors) and
-//! numerically identical quantitative results — expected hitting times,
-//! absorption probabilities, and stabilization-time CDFs — across the
-//! zoo, including quotient and reachable modes.
+//! Differential tests of the compressed and disk `Q` stores against the
+//! flat store: chains built over the compressed or spilled edge tier
+//! must produce bit-identical structure (transient sets, `Q` rows,
+//! absorption vectors) and numerically identical quantitative results —
+//! expected hitting times, absorption probabilities, and
+//! stabilization-time CDFs — across the zoo, including quotient and
+//! reachable modes.
 
 use stab_algorithms::{DijkstraRing, HermanRing, TokenCirculation, TwoProcessToggle};
 use stab_core::engine::{EdgeStoreKind, ExploreOptions};
@@ -21,12 +22,23 @@ where
     A::State: LocalState + Sync,
     L: Legitimacy<A::State> + Sync,
 {
-    let label = format!("{} under {daemon}", alg.name());
     let flat = AbsorbingChain::build_with(alg, daemon, spec, CAP, opts).expect("flat chain");
-    let copts = opts.clone().with_edge_store(EdgeStoreKind::Compressed);
-    let comp = AbsorbingChain::build_with(alg, daemon, spec, CAP, &copts).expect("compressed");
+    for kind in [EdgeStoreKind::Compressed, EdgeStoreKind::Disk] {
+        let label = format!("{} under {daemon} ({})", alg.name(), kind.label());
+        let copts = opts.clone().with_edge_store(kind);
+        let comp = AbsorbingChain::build_with(alg, daemon, spec, CAP, &copts).expect("chain");
+        tier_differential(&flat, &comp, kind, &label);
+    }
+}
 
-    assert_eq!(comp.q().kind(), EdgeStoreKind::Compressed, "{label}: tier");
+/// Pins one non-flat chain statewise and numerically to the flat one.
+fn tier_differential<S: LocalState>(
+    flat: &AbsorbingChain<S>,
+    comp: &AbsorbingChain<S>,
+    kind: EdgeStoreKind,
+    label: &str,
+) {
+    assert_eq!(comp.q().kind(), kind, "{label}: tier");
     assert_eq!(comp.n_transient(), flat.n_transient(), "{label}: transient");
     assert_eq!(comp.n_explored(), flat.n_explored(), "{label}: explored");
     assert_eq!(
@@ -35,12 +47,20 @@ where
         "{label}: represented"
     );
     assert_eq!(comp.q().n_entries(), flat.q().n_entries(), "{label}: nnz");
-    assert!(
-        comp.q().q_bytes() < flat.q().q_bytes() || flat.q().n_entries() < 8,
-        "{label}: Q compression ({} vs {} bytes)",
-        comp.q().q_bytes(),
-        flat.q().q_bytes()
-    );
+    if kind == EdgeStoreKind::Compressed {
+        assert!(
+            comp.q().q_bytes() < flat.q().q_bytes() || flat.q().n_entries() < 8,
+            "{label}: Q compression ({} vs {} bytes)",
+            comp.q().q_bytes(),
+            flat.q().q_bytes()
+        );
+    } else {
+        // The spilled rows are not part of the resident figure.
+        assert!(
+            comp.q().resident_q_bytes() <= comp.q().q_bytes(),
+            "{label}: Q residency"
+        );
+    }
     // Q decodes row-for-row to the flat entries (probabilities are
     // interned exactly, by bit pattern, so this is equality — not
     // approximation).

@@ -110,7 +110,7 @@ fn main() {
     // The whole run is one versioned, serializable record.
     let json = quantitative.to_json_string();
     println!(
-        "\nStudyReport round-trips through {} bytes of study_report/v3 JSON ✓",
+        "\nStudyReport round-trips through {} bytes of study_report/v4 JSON ✓",
         json.len()
     );
     assert_eq!(

@@ -34,7 +34,7 @@
 //! assert!(verdicts.probabilistic.holds, "Theorem 7");
 //! // The report serializes; CI and bench bins consume the same object.
 //! let text = report.to_json_string();
-//! assert!(text.contains("study_report/v3"));
+//! assert!(text.contains("study_report/v4"));
 //! ```
 //!
 //! # What `run()` does
@@ -55,7 +55,7 @@
 //!    [`Study::expected_times`], [`Study::monte_carlo`]) contributes a
 //!    section to the [`StudyReport`]; unrequested stages cost nothing.
 //!
-//! The report is versioned (`study_report/v3`) and round-trips through
+//! The report is versioned (`study_report/v4`) and round-trips through
 //! JSON bit-for-bit, so the bench binaries and CI validate exactly the
 //! object users see.
 //!
@@ -425,7 +425,10 @@ where
             est_edges_per_config: plan.est_edges_per_config,
             est_full_edges: plan.est_full_edges,
             est_full_flat_bytes: plan.est_full_flat_bytes,
+            est_analysis_flat_bytes: plan.est_analysis_flat_bytes,
+            est_analysis_compressed_bytes: plan.est_analysis_compressed_bytes,
             byte_budget: plan.byte_budget,
+            disk_byte_budget: plan.disk_byte_budget,
             quotient: opts.quotient.label().to_string(),
             group_order: plan.group_order,
             edge_store: opts.edge_store.label().to_string(),
@@ -461,6 +464,8 @@ where
                     group_order: ts.group_order(),
                     edges: ts.n_edges(),
                     edge_bytes: ts.edge_bytes(),
+                    resident_bytes: ts.resident_edge_bytes(),
+                    spilled_bytes: ts.spilled_edge_bytes(),
                     legitimate: ts.legit_count(),
                     deterministic: ts.deterministic(),
                 }),

@@ -1,6 +1,6 @@
 //! The serializable record of one [`Study`](super::Study) run.
 //!
-//! [`StudyReport`] is versioned (`study_report/v3`) and round-trips
+//! [`StudyReport`] is versioned (`study_report/v4`) and round-trips
 //! through its JSON form bit-for-bit — bench binaries, CI validators and
 //! downstream consumers all read the same object users see in code.
 //!
@@ -22,7 +22,7 @@ use stab_core::{Boundedness, DaemonSpec, Distribution, Fairness};
 use super::json::Json;
 
 /// The schema tag every serialized report carries.
-pub const SCHEMA: &str = "study_report/v3";
+pub const SCHEMA: &str = "study_report/v4";
 
 /// How one stage of a study ended.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -122,14 +122,21 @@ pub struct PlanSection {
     pub est_full_edges: u64,
     /// Estimated full-sweep flat-store bytes.
     pub est_full_flat_bytes: u64,
-    /// The byte budget the tier decision was made against.
+    /// Estimated analysis-time flat footprint (store + reverse CSR +
+    /// Q mirror) — what the flat-tier decision actually compares.
+    pub est_analysis_flat_bytes: u64,
+    /// Estimated analysis-time compressed footprint.
+    pub est_analysis_compressed_bytes: u64,
+    /// The byte budget the flat-tier decision was made against.
     pub byte_budget: u64,
+    /// The RAM ceiling the disk-tier decision was made against.
+    pub disk_byte_budget: u64,
     /// Selected quotient label (`"none"` / `"ring-rotation"` /
     /// `"ring-dihedral"` / `"automorphism"`).
     pub quotient: String,
     /// Selected group order (1 without a quotient).
     pub group_order: u64,
-    /// Selected edge-store label (`"flat"` / `"compressed"`).
+    /// Selected edge-store label (`"flat"` / `"compressed"` / `"disk"`).
     pub edge_store: String,
     /// Every decision, with rationale.
     pub decisions: Vec<DecisionRecord>,
@@ -161,6 +168,13 @@ pub struct SpaceSection {
     pub edges: u64,
     /// Forward edge-store heap bytes.
     pub edge_bytes: u64,
+    /// Forward edge-store bytes resident in RAM at the end of the run
+    /// (equal to `edge_bytes` on the in-RAM tiers; offsets, probability
+    /// table and cached chunks on the disk tier).
+    pub resident_bytes: u64,
+    /// Forward edge-store bytes spilled to chunk files (zero on the
+    /// in-RAM tiers).
+    pub spilled_bytes: u64,
     /// Legitimate explored configurations.
     pub legitimate: u64,
     /// Whether the determinism audit passed everywhere.
@@ -574,7 +588,13 @@ impl PlanSection {
             ("est_edges_per_config", Json::Num(self.est_edges_per_config)),
             ("est_full_edges", u(self.est_full_edges)),
             ("est_full_flat_bytes", u(self.est_full_flat_bytes)),
+            ("est_analysis_flat_bytes", u(self.est_analysis_flat_bytes)),
+            (
+                "est_analysis_compressed_bytes",
+                u(self.est_analysis_compressed_bytes),
+            ),
             ("byte_budget", u(self.byte_budget)),
+            ("disk_byte_budget", u(self.disk_byte_budget)),
             ("quotient", Json::Str(self.quotient.clone())),
             ("group_order", u(self.group_order)),
             ("edge_store", Json::Str(self.edge_store.clone())),
@@ -593,7 +613,10 @@ impl PlanSection {
             est_edges_per_config: f64_field(v, "est_edges_per_config")?,
             est_full_edges: u64_field(v, "est_full_edges")?,
             est_full_flat_bytes: u64_field(v, "est_full_flat_bytes")?,
+            est_analysis_flat_bytes: u64_field(v, "est_analysis_flat_bytes")?,
+            est_analysis_compressed_bytes: u64_field(v, "est_analysis_compressed_bytes")?,
             byte_budget: u64_field(v, "byte_budget")?,
+            disk_byte_budget: u64_field(v, "disk_byte_budget")?,
             quotient: str_field(v, "quotient")?.to_string(),
             group_order: u64_field(v, "group_order")?,
             edge_store: str_field(v, "edge_store")?.to_string(),
@@ -659,6 +682,8 @@ impl SpaceSection {
             ("group_order", u(self.group_order)),
             ("edges", u(self.edges)),
             ("edge_bytes", u(self.edge_bytes)),
+            ("resident_bytes", u(self.resident_bytes)),
+            ("spilled_bytes", u(self.spilled_bytes)),
             ("legitimate", u(self.legitimate)),
             ("deterministic", Json::Bool(self.deterministic)),
         ])
@@ -671,6 +696,8 @@ impl SpaceSection {
             group_order: u64_field(v, "group_order")?,
             edges: u64_field(v, "edges")?,
             edge_bytes: u64_field(v, "edge_bytes")?,
+            resident_bytes: u64_field(v, "resident_bytes")?,
+            spilled_bytes: u64_field(v, "spilled_bytes")?,
             legitimate: u64_field(v, "legitimate")?,
             deterministic: bool_field(v, "deterministic")?,
         })

@@ -1,5 +1,5 @@
 //! Study-level resilience: an exhausted budget degrades the report
-//! (exit 0, `study_report/v3` status section) instead of failing, and an
+//! (exit 0, `study_report/v4` status section) instead of failing, and an
 //! interrupted-then-resumed checkpointed study reproduces the
 //! uninterrupted report bit-for-bit.
 
@@ -75,7 +75,7 @@ fn exhausted_budget_degrades_the_study_instead_of_failing_it() {
     assert!(report.monte_carlo.is_some());
 
     let text = report.to_json_string();
-    assert!(text.contains("study_report/v3"));
+    assert!(text.contains("study_report/v4"));
     assert!(text.contains("degraded"));
     assert_eq!(StudyReport::from_json_str(&text).unwrap(), report);
 }
