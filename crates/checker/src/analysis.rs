@@ -174,6 +174,7 @@ fn check_probabilistic<S: LocalState>(
 ) -> Verdict {
     match reachable.and_not(can_reach).ones().next() {
         Some(id) => Verdict::fail(Witness::NoPathToLegitimate {
+            // lint: cast-ok(bitset bits are bounded by the u32 config count)
             config: space.render(id as u32),
         }),
         None => Verdict::pass(),

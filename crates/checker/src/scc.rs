@@ -52,6 +52,7 @@ pub fn sccs_budgeted<S: LocalState>(
     // Explicit DFS stack: (node, edge cursor). The cursor decodes the
     // node's row lazily and resumes where the frame left off.
     let mut call: Vec<(u32, EdgeIter<'_>)> = Vec::new();
+    // lint: cast-ok(config counts are bounded by the u32 id width)
     for start in 0..n as u32 {
         if !alive.get(start as usize) || index[start as usize] != u32::MAX {
             continue;

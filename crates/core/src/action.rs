@@ -39,6 +39,7 @@ impl ActionId {
     #[inline]
     pub fn new(index: usize) -> Self {
         assert!(index < Self::MAX_ACTIONS, "at most 8 actions are supported");
+        // lint: cast-ok(asserted above to be below 8)
         ActionId(index as u8)
     }
 
@@ -137,6 +138,7 @@ impl ActionMask {
         if self.0 == 0 {
             None
         } else {
+            // lint: cast-ok(trailing_zeros of a u8 is at most 8)
             Some(ActionId(self.0.trailing_zeros() as u8))
         }
     }

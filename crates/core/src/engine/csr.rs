@@ -9,6 +9,8 @@
 //! friendly — the layout every analysis (Tarjan, reachability, Gauss–
 //! Seidel) actually wants.
 
+use crate::error::CoreError;
+
 /// A flat row-major sparse structure: row `i` is
 /// `data[offsets[i] .. offsets[i + 1]]`.
 #[derive(Debug, Clone, PartialEq)]
@@ -18,27 +20,65 @@ pub struct Csr<E> {
 }
 
 impl<E> Csr<E> {
-    /// Assembles a CSR from per-row counts and the concatenated row data
-    /// (row-major, already in row order).
+    /// Fallible [`Csr::from_counts`]: the offset accumulation is
+    /// `checked_add`, so a total past the u32 offset width surfaces as
+    /// [`CoreError::OffsetOverflow`] instead of wrapping or aborting —
+    /// the form planners and budgeted builders want.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::OffsetOverflow`] when `Σ counts` exceeds
+    /// `u32::MAX`.
     ///
     /// # Panics
     ///
-    /// Panics if `data.len() != Σ counts` or the total exceeds `u32::MAX`.
-    pub fn from_counts(counts: &[u32], data: Vec<E>) -> Self {
+    /// Panics if `data.len() != Σ counts` — a caller logic error, not a
+    /// size condition.
+    pub fn try_from_counts(counts: &[u32], data: Vec<E>) -> Result<Self, CoreError> {
         let mut offsets = Vec::with_capacity(counts.len() + 1);
-        let mut acc: u64 = 0;
+        let mut acc: u32 = 0;
         offsets.push(0);
         for &c in counts {
-            acc += c as u64;
-            assert!(acc <= u32::MAX as u64, "CSR size exceeds u32 offsets");
-            offsets.push(acc as u32);
+            acc = acc.checked_add(c).ok_or(CoreError::OffsetOverflow {
+                what: "CSR offset",
+                value: acc as u128 + c as u128,
+            })?;
+            offsets.push(acc);
         }
         assert_eq!(
             acc as usize,
             data.len(),
             "row counts do not match data length"
         );
-        Csr { offsets, data }
+        Ok(Csr { offsets, data })
+    }
+
+    /// Assembles a CSR from per-row counts and the concatenated row data
+    /// (row-major, already in row order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != Σ counts` or the total exceeds `u32::MAX`
+    /// (use [`Csr::try_from_counts`] to get the overflow as a typed
+    /// error instead).
+    pub fn from_counts(counts: &[u32], data: Vec<E>) -> Self {
+        Self::try_from_counts(counts, data).expect("CSR size exceeds u32 offsets")
+    }
+
+    /// Fallible [`Csr::from_rows`]: oversized rows and oversized totals
+    /// surface as [`CoreError::OffsetOverflow`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::OffsetOverflow`] when a single row exceeds
+    /// `u32::MAX` entries or `Σ` row lengths exceeds `u32::MAX`.
+    pub fn try_from_rows(rows: Vec<Vec<E>>) -> Result<Self, CoreError> {
+        let counts: Vec<u32> = rows
+            .iter()
+            .map(|r| super::ids::try_id(r.len(), "CSR row length"))
+            .collect::<Result<_, _>>()?;
+        let data: Vec<E> = rows.into_iter().flatten().collect();
+        Self::try_from_counts(&counts, data)
     }
 
     /// Builds a CSR from nested rows (convenience for tests and small
@@ -115,6 +155,7 @@ impl<E> Csr<E> {
         for i in 0..n {
             for e in self.row(i) {
                 let j = key(e) as usize;
+                // lint: cast-ok(row index is bounded by the u32 offset width)
                 data[cursor[j] as usize] = i as u32;
                 cursor[j] += 1;
             }
@@ -159,6 +200,26 @@ mod tests {
         // The running total is checked against u32::MAX *before* the
         // data-length comparison, so overflow can never wrap silently.
         let _ = Csr::<u8>::from_counts(&[u32::MAX, 1], vec![]);
+    }
+
+    #[test]
+    fn try_from_counts_surfaces_overflow_as_typed_error() {
+        let e = Csr::<u8>::try_from_counts(&[u32::MAX, 1], vec![]).unwrap_err();
+        assert!(matches!(
+            e,
+            CoreError::OffsetOverflow {
+                what: "CSR offset",
+                ..
+            }
+        ));
+        assert!(e.to_string().contains("4294967296"));
+    }
+
+    #[test]
+    fn try_from_rows_round_trips_small_rows() {
+        let csr = Csr::try_from_rows(vec![vec![1u32], vec![], vec![2, 3]]).unwrap();
+        assert_eq!(csr.row(0), &[1]);
+        assert_eq!(csr.row(2), &[2, 3]);
     }
 
     #[test]

@@ -44,6 +44,7 @@ use std::collections::HashMap;
 
 use super::csr::Csr;
 use super::explore::Edge;
+use super::ids;
 use super::resilience::Budget;
 use super::spill::{SpillConfig, SpillCursor, SpillSink, SpillStore};
 use crate::error::CoreError;
@@ -69,7 +70,7 @@ pub mod vbyte {
     #[inline]
     pub fn write(buf: &mut Vec<u8>, mut v: u64) {
         loop {
-            let byte = (v & 0x7f) as u8;
+            let byte = (v & 0x7f) as u8; // lint: cast-ok(masked to 7 bits)
             v >>= 7;
             if v == 0 {
                 buf.push(byte);
@@ -163,7 +164,7 @@ impl DeltaStreamWriter {
         let pid = match self.prob_ids.entry(prob.to_bits()) {
             std::collections::hash_map::Entry::Occupied(e) => *e.get(),
             std::collections::hash_map::Entry::Vacant(e) => {
-                let id = self.probs.len() as u32;
+                let id = ids::id_u32(self.probs.len(), "interned probability ids fit u32");
                 self.probs.push(prob);
                 e.insert(id);
                 id
@@ -230,7 +231,12 @@ impl DeltaStreamWriter {
         let prob_ids = probs
             .iter()
             .enumerate()
-            .map(|(i, p)| (p.to_bits(), i as u32))
+            .map(|(i, p)| {
+                (
+                    p.to_bits(),
+                    ids::id_u32(i, "interned probability ids fit u32"),
+                )
+            })
             .collect();
         let prev = (offsets.len() - 1) as i64;
         let base = offsets.last().unwrap() - stream.len() as u64;
@@ -285,7 +291,7 @@ impl<'a> DeltaStreamReader<'a> {
     #[inline]
     pub fn target(&mut self) -> u32 {
         self.prev += vbyte::unzigzag(vbyte::read(self.stream, &mut self.pos));
-        self.prev as u32
+        ids::delta_target(self.prev, "corrupt compressed delta stream")
     }
 
     /// Decodes a raw payload varint.
@@ -373,6 +379,7 @@ where
             budget.probe("reverse", full_bytes, i as u64)?;
         }
         for t in row_targets(i) {
+            // lint: cast-ok(row index is bounded by the u32 id width)
             data[cursor[t as usize] as usize] = i as u32;
             cursor[t as usize] += 1;
         }
@@ -1225,6 +1232,7 @@ mod tests {
             vec![],
             vec![edge(2, 4, 1.0)],
         ];
+        // lint: cast-ok(four-row test fixture)
         let counts: Vec<u32> = rows.iter().map(|r| r.len() as u32).collect();
         let flat_edges: Vec<Edge> = rows.iter().flatten().copied().collect();
         for kind in [

@@ -92,6 +92,7 @@ use super::csr::Csr;
 use super::cursor::ConfigCursor;
 use super::edgestore::{EdgeIter, EdgeStorage, EdgeStorageBuilder, EdgeStore, EdgeStoreKind};
 use super::equivariance;
+use super::ids;
 use super::onthefly::{self, ExploreMode, ExploreOptions, Quotient, StateIds, TraversalMode};
 use super::parallel;
 use super::quotient::GroupCanonicalizer;
@@ -452,7 +453,7 @@ impl TransitionSystem {
     /// quotient system; reached states in a reachable-mode system).
     #[inline]
     pub fn n_configs(&self) -> u32 {
-        self.forward.n_rows() as u32
+        ids::id_u32(self.forward.n_rows(), "explored rows fit the u32 id width")
     }
 
     /// Total number of stored edges (u64 — representable past 2³² on the
@@ -522,6 +523,7 @@ impl TransitionSystem {
             Some(c) => c.canonical_owned(full),
         };
         match &self.states {
+            // lint: cast-ok(dense totals are capped at the u32 id width by Plan)
             StateIds::Dense { total } => (full < *total).then_some(full as u32),
             StateIds::Interned(table) => table.lookup(full),
         }
@@ -720,7 +722,10 @@ impl TransitionSystem {
     /// The forward-reachable closure of `seeds`.
     pub fn forward_closure(&self, seeds: &BitSet) -> BitSet {
         let mut seen = seeds.clone();
-        let mut stack: Vec<u32> = seeds.ones().map(|i| i as u32).collect();
+        let mut stack: Vec<u32> = seeds
+            .ones()
+            .map(|i| ids::id_u32(i, "seed ids fit the u32 id width"))
+            .collect();
         while let Some(id) = stack.pop() {
             for e in self.edge_iter(id) {
                 if !seen.get(e.to as usize) {
@@ -755,7 +760,10 @@ impl TransitionSystem {
         if self.edge_store_kind() != EdgeStoreKind::Disk {
             let reverse = self.reverse_budgeted(budget)?;
             let mut seen = seeds.clone();
-            let mut stack: Vec<u32> = seeds.ones().map(|i| i as u32).collect();
+            let mut stack: Vec<u32> = seeds
+                .ones()
+                .map(|i| ids::id_u32(i, "seed ids fit the u32 id width"))
+                .collect();
             while let Some(id) = stack.pop() {
                 for &p in reverse.row(id as usize) {
                     if !seen.get(p as usize) {
@@ -1037,9 +1045,11 @@ where
         let (mask, det) = gen.generate(alg, ix, daemon, conflicts, cfg, cursor.digits(), id)?;
         chunk.deterministic &= det;
         chunk.enabled.push(mask);
-        chunk.counts.push(gen.row.len() as u32);
+        chunk
+            .counts
+            .push(ids::id_u32(gen.row.len(), "per-row edge count fits u32"));
         chunk.edges.extend(gen.row.iter().map(|e| Edge {
-            to: e.to as u32,
+            to: ids::id_u32_wide(e.to, "target config ids fit the u32 id width"),
             movers: e.movers,
             prob: e.prob,
         }));
@@ -1082,12 +1092,14 @@ mod tests {
                 for (act, dist) in semantics::all_steps(&alg, daemon, &cfg).unwrap() {
                     let movers = node_mask(act.nodes());
                     for (_, next) in dist {
+                        // lint: cast-ok(tiny test space, ids stay below u32)
                         expect.push((ix.encode(&next) as u32, movers));
                     }
                 }
                 expect.sort_unstable();
                 expect.dedup();
                 let got: Vec<(u32, u64)> = ts
+                    // lint: cast-ok(tiny test space, ids stay below u32)
                     .edges(idv as u32)
                     .unwrap()
                     .iter()
@@ -1095,6 +1107,7 @@ mod tests {
                     .collect();
                 assert_eq!(got, expect, "config {cfg:?} under {daemon}");
                 assert_eq!(
+                    // lint: cast-ok(tiny test space, ids stay below u32)
                     ts.enabled_mask(idv as u32),
                     node_mask(&alg.enabled_nodes(&cfg)),
                 );
@@ -1127,6 +1140,7 @@ mod tests {
         assert_eq!(ts.legit_count(), 1);
         assert!(ts.deterministic());
         let legit_id = ix.encode(&crate::Configuration::from_vec(vec![1, 1, 1]));
+        // lint: cast-ok(tiny test space, ids stay below u32)
         assert!(ts.is_legit(legit_id as u32));
         // Everything is initial (I = C).
         assert!(ts.initial().is_full());

@@ -1,0 +1,125 @@
+//! Checked narrowing helpers for the engine's typed id widths.
+//!
+//! The exploration engine stores configuration ids, edge targets,
+//! probability-pool indices and CSR offsets as `u32` — a deliberate
+//! memory/format decision (the durable frame and spill formats encode
+//! them as 4-byte fields, and [`Plan`](crate::engine::Plan) caps
+//! reachable exploration at the id width). Every narrowing from the
+//! host-width `usize`/`u64`/`i64` world into those ids goes through
+//! this module instead of a bare `as` cast, so overflow is either
+//! routed to [`CoreError::OffsetOverflow`] (fallible constructors) or
+//! aborts with a named invariant (per-edge fast paths where the bound
+//! was already enforced upstream) — never silently wrapped.
+//!
+//! The `stab-lint` cast audit enforces the discipline: a raw narrowing
+//! `as` in the engine must either call through here or carry a
+//! `// lint: cast-ok(<reason>)` annotation.
+
+use crate::CoreError;
+
+/// Fallibly narrows a count or byte offset into a `u32` id, naming
+/// `what` in the error.
+///
+/// ```
+/// use stab_core::engine::ids;
+/// assert_eq!(ids::try_u32(7, "config id").unwrap(), 7);
+/// assert!(ids::try_u32(1 << 33, "config id").is_err());
+/// ```
+///
+/// # Errors
+///
+/// Returns [`CoreError::OffsetOverflow`] when `value` exceeds
+/// `u32::MAX`.
+#[inline]
+pub fn try_u32(value: u64, what: &'static str) -> Result<u32, CoreError> {
+    u32::try_from(value).map_err(|_| CoreError::OffsetOverflow {
+        what,
+        value: value as u128,
+    })
+}
+
+/// [`try_u32`] for host-width indices (lengths, `Vec` sizes).
+///
+/// # Errors
+///
+/// Returns [`CoreError::OffsetOverflow`] when `index` exceeds
+/// `u32::MAX`.
+#[inline]
+pub fn try_id(index: usize, what: &'static str) -> Result<u32, CoreError> {
+    try_u32(index as u64, what)
+}
+
+/// Narrows an in-bounds index into a `u32` id, aborting with the named
+/// invariant if it does not fit.
+///
+/// For per-edge fast paths where the bound is already enforced upstream
+/// (interning fails at the id width, `Plan` rejects caps above it), so
+/// an overflow here is a logic error, not an input error. The check is
+/// a single compare — cheap enough for hot loops — and turns silent
+/// wrapping into a loud, named failure.
+#[inline]
+/// [`id_u32`] for `u64` values (full-space indices, delta cursors).
+pub fn id_u32_wide(value: u64, invariant: &'static str) -> u32 {
+    u32::try_from(value).unwrap_or_else(|_| panic!("{invariant}: {value} exceeds u32"))
+}
+
+pub fn id_u32(index: usize, invariant: &'static str) -> u32 {
+    u32::try_from(index).unwrap_or_else(|_| panic!("{invariant}: {index} exceeds u32"))
+}
+
+/// Narrows a delta-stream cursor's running `i64` target back to the
+/// `u32` id it was encoded from, aborting if the stream is corrupt
+/// enough to leave the range.
+///
+/// Zigzag delta decoding accumulates into `i64` (deltas may be
+/// negative); a well-formed stream's partial sums are exactly the
+/// original `u32` targets, so leaving `[0, u32::MAX]` means the stream
+/// bytes are corrupt.
+#[inline]
+pub fn delta_target(acc: i64, invariant: &'static str) -> u32 {
+    u32::try_from(acc).unwrap_or_else(|_| panic!("{invariant}: accumulated target {acc}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn try_u32_round_trips_and_overflows() {
+        assert_eq!(try_id(0usize, "config id"), Ok(0));
+        assert_eq!(try_u32(u32::MAX as u64, "config id"), Ok(u32::MAX));
+        let e = try_u32(u32::MAX as u64 + 1, "csr offset").unwrap_err();
+        assert_eq!(
+            e,
+            CoreError::OffsetOverflow {
+                what: "csr offset",
+                value: u32::MAX as u128 + 1,
+            }
+        );
+        assert!(e.to_string().contains("csr offset"));
+    }
+
+    #[test]
+    fn id_u32_passes_in_range() {
+        assert_eq!(id_u32(42, "test id"), 42);
+        assert_eq!(id_u32(u32::MAX as usize, "test id"), u32::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "interned ids stay below u32::MAX")]
+    fn id_u32_names_the_invariant_on_overflow() {
+        id_u32(u32::MAX as usize + 1, "interned ids stay below u32::MAX");
+    }
+
+    #[test]
+    fn delta_target_accepts_the_u32_range() {
+        assert_eq!(delta_target(0, "t"), 0);
+        assert_eq!(delta_target(u32::MAX as i64, "t"), u32::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "corrupt delta stream")]
+    fn delta_target_rejects_negatives() {
+        delta_target(-1, "corrupt delta stream");
+    }
+}

@@ -62,6 +62,7 @@ pub mod cursor;
 pub mod edgestore;
 mod equivariance;
 pub mod explore;
+pub mod ids;
 pub mod onthefly;
 pub mod parallel;
 pub mod plan;

@@ -33,6 +33,7 @@ use super::edgestore::{EdgeStorageBuilder, EdgeStoreKind};
 use super::explore::{
     conflict_masks, run_fingerprint, Chunk, Edge, MergeState, TransitionSystem, COMPRESSED_BATCH,
 };
+use super::ids;
 use super::parallel;
 use super::quotient::{CanonScratch, GroupCanonicalizer};
 use super::resilience::{
@@ -287,7 +288,7 @@ impl StateTable {
         match self.ids.get(&full) {
             Some(&id) => id,
             None => {
-                let id = self.full_of.len() as u32;
+                let id = ids::id_u32(self.full_of.len(), "interned state ids fit u32");
                 self.full_of.push(full);
                 self.orbit.push(orbit());
                 self.ids.insert(full, id);
@@ -331,7 +332,7 @@ impl StateTable {
         let ids = full_of
             .iter()
             .enumerate()
-            .map(|(i, &f)| (f, i as u32))
+            .map(|(i, &f)| (f, ids::id_u32(i, "interned state ids fit u32")))
             .collect();
         StateTable {
             full_of,
@@ -460,6 +461,7 @@ where
         // repeat would otherwise pay a fresh canonicalization.
         let mut memo: HashMap<u64, u32> = HashMap::new();
         for id in range {
+            // lint: cast-ok(chunk ranges stay within the u32 representative count)
             let full = table_ref.full_of(id as u32);
             let cfg = ix.decode(full);
             ix.write_digits(full, &mut digits);
@@ -485,7 +487,9 @@ where
             }
             row.sort_unstable_by_key(|e| (e.to, e.movers));
             merge_parallel_edges(&mut row);
-            chunk.counts.push(row.len() as u32);
+            chunk
+                .counts
+                .push(ids::id_u32(row.len(), "per-row edge count fits u32"));
             chunk.edges.extend_from_slice(&row);
         }
         Ok(chunk)
@@ -628,7 +632,7 @@ where
     let mut memo: HashMap<u64, u32> = HashMap::new();
     while next < table.len() {
         guard.probe("explore", builder.bytes_estimate(), next as u64)?;
-        let id = next as u32;
+        let id = ids::id_u32(next, "interned state ids fit u32");
         next += 1;
         let full = table.full_of(id);
         let cfg = ix.decode(full);

@@ -281,6 +281,7 @@ impl Plan {
         let daemon = daemon.into();
         let total = ix.total();
         let (sampled_rows, est_edges_per_config) = estimate_out_degree(alg, ix, daemon, req)?;
+        // lint: cast-ok(sizing estimate, not an id; ceil of a non-negative count)
         let est_full_edges = (est_edges_per_config * total as f64).ceil() as u64;
         let row_overhead = (total + 1) * size_of::<u32>() as u64;
         let est_full_flat_bytes = est_full_edges * FLAT_BYTES_PER_EDGE + row_overhead;

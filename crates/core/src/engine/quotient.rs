@@ -496,6 +496,7 @@ impl GroupCanonicalizer {
             self.pos_weights
                 .iter()
                 .zip(&self.pos_radix)
+                // lint: cast-ok(a digit is strictly below its radix, which fits u32)
                 .map(|(&w, &r)| ((full / w) % r) as u32),
         );
     }
@@ -730,11 +731,13 @@ fn period(d: &[u32]) -> usize {
 
 /// Node-space permutation as `u32` images.
 fn node_perm(perm: &[NodeId]) -> Vec<u32> {
+    // lint: cast-ok(node indices are bounded by the node count, far below u32)
     perm.iter().map(|v| v.index() as u32).collect()
 }
 
 /// The transposition of nodes `a` and `b`.
 fn transposition(n: usize, a: NodeId, b: NodeId) -> Vec<u32> {
+    // lint: cast-ok(node counts stay far below u32)
     let mut perm: Vec<u32> = (0..n as u32).collect();
     perm.swap(a.index(), b.index());
     perm
@@ -742,6 +745,7 @@ fn transposition(n: usize, a: NodeId, b: NodeId) -> Vec<u32> {
 
 /// BFS closure of `generators` under composition (identity included).
 fn close_under_composition(n: usize, generators: &[Vec<u32>]) -> Result<Vec<Vec<u32>>, CoreError> {
+    // lint: cast-ok(node counts stay far below u32)
     let identity: Vec<u32> = (0..n as u32).collect();
     let mut seen: HashSet<Vec<u32>> = HashSet::new();
     let mut group: Vec<Vec<u32>> = Vec::new();

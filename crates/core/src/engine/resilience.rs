@@ -53,6 +53,11 @@
 //! and the quotient/traversal modes so
 //! `TransitionSystem::resume` can reconstruct a bit-identical system.
 
+// This module owns the workspace's only `unsafe` (the SSE 4.2 CRC path);
+// unsafe operations inside `unsafe fn` bodies still need their own
+// explicitly justified blocks.
+#![deny(unsafe_op_in_unsafe_fn)]
+
 use std::cell::Cell;
 use std::fs;
 use std::io::{Seek as _, SeekFrom, Write as _};
@@ -90,15 +95,19 @@ const HEADER_LEN: usize = 33;
 // with bit-identical results.
 // ---------------------------------------------------------------------------
 
+/// The Castagnoli polynomial, reflected form — the workspace's single
+/// defining site (`stab-lint`'s constant audit holds it to one).
+const CRC32C_POLY: u32 = 0x82F6_3B78;
+
 const CRC_TABLES: [[u32; 256]; 8] = {
     let mut tables = [[0u32; 256]; 8];
     let mut i = 0;
     while i < 256 {
-        let mut c = i as u32;
+        let mut c = i as u32; // lint: cast-ok(table index < 256)
         let mut k = 0;
         while k < 8 {
             c = if c & 1 != 0 {
-                0x82F6_3B78 ^ (c >> 1)
+                CRC32C_POLY ^ (c >> 1)
             } else {
                 c >> 1
             };
@@ -135,6 +144,7 @@ fn crc_update_sw(mut c: u32, data: &[u8]) -> u32 {
             ^ CRC_TABLES[0][(hi >> 24) as usize];
     }
     for &b in chunks.remainder() {
+        // lint: cast-ok(u8 widens losslessly into u32)
         c = CRC_TABLES[0][((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
     }
     c
@@ -151,7 +161,7 @@ const CRC_LANE: usize = 8192;
 /// log2(8·CRC_LANE) times.
 const CRC_SHIFT_LANE: [u32; 32] = {
     let mut mat = [0u32; 32];
-    mat[0] = 0x82F6_3B78;
+    mat[0] = CRC32C_POLY;
     let mut i = 1;
     while i < 32 {
         mat[i] = 1u32 << (i - 1);
@@ -205,6 +215,9 @@ fn crc_shift_lane(c: u32) -> u32 {
 /// the linearity of CRC: `state(A‖B, s) = state(B, 0) ⊕ shift(state(A, s))`.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "sse4.2")]
+// SAFETY: callers must ensure SSE 4.2 is available — `crc_update` is the
+// only caller and runtime-detects it; the pointer reads below stay
+// inside `data`.
 unsafe fn crc_update_hw(c: u32, data: &[u8]) -> u32 {
     use std::arch::x86_64::{_mm_crc32_u64, _mm_crc32_u8};
     let mut c = c;
@@ -215,18 +228,31 @@ unsafe fn crc_update_hw(c: u32, data: &[u8]) -> u32 {
         let pd = rest[2 * CRC_LANE..].as_ptr() as *const u64;
         let (mut ca, mut cb, mut cd) = (c as u64, 0u64, 0u64);
         for i in 0..CRC_LANE / 8 {
-            ca = _mm_crc32_u64(ca, pa.add(i).read_unaligned());
-            cb = _mm_crc32_u64(cb, pb.add(i).read_unaligned());
-            cd = _mm_crc32_u64(cd, pd.add(i).read_unaligned());
+            // SAFETY: lane `i` reads bytes `8i..8i+8` of its CRC_LANE
+            // window and `rest` holds ≥ 3·CRC_LANE bytes, so every read
+            // is in bounds; `read_unaligned` has no alignment demand,
+            // and the intrinsic is available per this function's
+            // target-feature contract.
+            unsafe {
+                ca = _mm_crc32_u64(ca, pa.add(i).read_unaligned());
+                cb = _mm_crc32_u64(cb, pb.add(i).read_unaligned());
+                cd = _mm_crc32_u64(cd, pd.add(i).read_unaligned());
+            }
         }
+        // lint: cast-ok(crc32 of a u64 lane occupies the low 32 bits)
         c = cd as u32 ^ crc_shift_lane(cb as u32 ^ crc_shift_lane(ca as u32));
         rest = &rest[3 * CRC_LANE..];
     }
     let mut crc = c as u64;
     let mut chunks = rest.chunks_exact(8);
     for w in &mut chunks {
-        crc = _mm_crc32_u64(crc, u64::from_le_bytes(w.try_into().unwrap()));
+        let mut word = [0u8; 8];
+        word.copy_from_slice(w);
+        // Safe call: the intrinsic takes plain values and this function
+        // carries the matching #[target_feature].
+        crc = _mm_crc32_u64(crc, u64::from_le_bytes(word));
     }
+    // lint: cast-ok(crc32 of a u64 lane occupies the low 32 bits)
     let mut c = crc as u32;
     for &b in chunks.remainder() {
         c = _mm_crc32_u8(c, b);
@@ -1068,10 +1094,10 @@ impl Checkpointer {
             EdgeStoreKind::Compressed => 1,
             EdgeStoreKind::Disk => 2,
         });
-        e.u8(src.deterministic as u8);
-        // Interned-table delta (the quotient sweep's first frame carries
-        // the whole pass-1 table; later frames carry nothing; BFS frames
-        // carry the rows interned since the last frame).
+        e.u8(src.deterministic as u8); // lint: cast-ok(bool is 0 or 1)
+                                       // Interned-table delta (the quotient sweep's first frame carries
+                                       // the whole pass-1 table; later frames carry nothing; BFS frames
+                                       // carry the rows interned since the last frame).
         match src.table {
             Some(t) => {
                 let (full_of, orbit) = t.parts();
@@ -1830,6 +1856,7 @@ mod tests {
         // ragged tails, so the interleaved hardware path, its
         // single-chain remainder, and the table walk must all agree.
         for n in [4099usize, 3 * CRC_LANE - 1, 3 * CRC_LANE, 100_003] {
+            // lint: cast-ok(test sizes stay far below both id widths)
             let data: Vec<u8> = (0..n as u32).map(|i| (i * 31 % 251) as u8).collect();
             assert_eq!(
                 crc_update_sw(0xFFFF_FFFF, &data) ^ 0xFFFF_FFFF,

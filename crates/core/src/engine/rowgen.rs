@@ -120,12 +120,15 @@ impl RowGen {
             }
             let weight = ix.weight(v) as i64;
             let digit = digits[v.index()] as i64;
-            let start = self.deltas.len() as u32;
+            let start = super::ids::id_u32(self.deltas.len(), "per-row delta spans fit u32");
             for (p, state) in outcomes.entries() {
                 let delta = (ix.digit_of(v, state) as i64 - digit) * weight;
                 self.deltas.push((delta, *p));
             }
-            self.delta_spans.push((start, self.deltas.len() as u32));
+            self.delta_spans.push((
+                start,
+                super::ids::id_u32(self.deltas.len(), "per-row delta spans fit u32"),
+            ));
         }
 
         self.row.clear();

@@ -27,6 +27,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, Weak};
 
 use super::edgestore::{vbyte, DeltaStreamWriter};
+use super::ids;
 use super::resilience::{crc32c, FrameSink, FRAME_HEADER_LEN, FRAME_MAGIC};
 use crate::error::CoreError;
 
@@ -245,7 +246,7 @@ impl SpillSink {
             let c = &self.chunks[idx];
             let bytes = read_chunk(&self.dir, c)
                 .unwrap_or_else(|e| panic!("spill chunk read-back failed: {e}"));
-            let take_end = end.min(c.start + c.len);
+            let take_end = end.min(chunk_end(c));
             out.extend_from_slice(&bytes[(pos - c.start) as usize..(take_end - c.start) as usize]);
             pos = take_end;
         }
@@ -273,13 +274,29 @@ impl SpillSink {
     }
 }
 
+/// Checked end offset of a chunk's global byte range (`start + len`).
+/// Chunk metadata is produced by [`SpillSink::spill`] from real byte
+/// counts, so an overflowing sum means in-memory corruption — refuse it
+/// rather than wrap into a bogus range.
+fn chunk_end(c: &ChunkMeta) -> u64 {
+    c.start.checked_add(c.len).unwrap_or_else(|| {
+        panic!(
+            "{}",
+            CoreError::OffsetOverflow {
+                what: "spill chunk end offset",
+                value: c.start as u128 + c.len as u128,
+            }
+        )
+    })
+}
+
 /// Index of the chunk whose range contains global byte `pos`.
 fn chunk_index(chunks: &[ChunkMeta], pos: u64) -> usize {
     let idx = chunks.partition_point(|c| c.start <= pos);
     assert!(idx > 0, "byte {pos} precedes the first spilled chunk");
     let c = &chunks[idx - 1];
     assert!(
-        pos < c.start + c.len,
+        pos < chunk_end(c),
         "byte {pos} falls in a gap after chunk {}",
         c.seq
     );
@@ -448,7 +465,13 @@ impl SpillStore {
                 });
             }
             read_chunk(&self.dir, meta)?;
-            expected_start = meta.start + meta.len;
+            expected_start = meta
+                .start
+                .checked_add(meta.len)
+                .ok_or(CoreError::OffsetOverflow {
+                    what: "spill chunk end offset",
+                    value: meta.start as u128 + meta.len as u128,
+                })?;
         }
         Ok(())
     }
@@ -478,7 +501,7 @@ impl SpillCursor {
     #[inline]
     pub fn target(&mut self) -> u32 {
         self.prev += vbyte::unzigzag(vbyte::read(&self.bytes, &mut self.pos));
-        self.prev as u32
+        ids::delta_target(self.prev, "corrupt spill delta stream")
     }
 
     /// Decodes a raw payload varint.
@@ -518,6 +541,7 @@ mod tests {
 
     fn demo_rows(n: usize) -> Vec<Vec<u32>> {
         (0..n)
+            // lint: cast-ok(test targets stay below the tiny row count n)
             .map(|i| (0..i % 5).map(|j| ((i * 13 + j * 7) % n) as u32).collect())
             .collect()
     }

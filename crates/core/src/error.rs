@@ -117,6 +117,17 @@ pub enum CoreError {
         /// The analysis that requires determinism.
         context: &'static str,
     },
+    /// An index or byte-offset computation exceeded the width of the
+    /// engine's typed ids (u32 configuration/edge ids, u32 CSR offsets)
+    /// or overflowed its arithmetic. Raised by the checked conversions
+    /// in [`engine::ids`](crate::engine::ids) and the `try_` CSR
+    /// constructors instead of silently wrapping.
+    OffsetOverflow {
+        /// What was being converted (`"config id"`, `"csr offset"`, …).
+        what: &'static str,
+        /// The value that did not fit (saturating render).
+        value: u128,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -176,6 +187,10 @@ impl fmt::Display for CoreError {
             CoreError::DeterminismRequired { context } => {
                 write!(f, "{context} requires a deterministic algorithm")
             }
+            CoreError::OffsetOverflow { what, value } => write!(
+                f,
+                "{what} {value} exceeds the engine's typed-id width (u32)"
+            ),
         }
     }
 }
@@ -240,6 +255,13 @@ mod tests {
             context: "synchronous symmetry checking",
         };
         assert!(e.to_string().contains("deterministic"));
+        let e = CoreError::OffsetOverflow {
+            what: "csr offset",
+            value: 1 << 33,
+        };
+        assert!(e.to_string().contains("csr offset"));
+        assert!(e.to_string().contains("8589934592"));
+        assert!(e.to_string().contains("u32"));
     }
 
     #[test]

@@ -315,6 +315,7 @@ impl Daemon {
     /// (locally-central depends on the graph, so it is counted by
     /// enumeration there).
     pub fn activation_count(self, graph: &Graph, enabled: &[NodeId]) -> u128 {
+        // lint: cast-ok(enabled sets are bounded by the node count, far below u32)
         let k = enabled.len() as u32;
         if k == 0 {
             return 0;
@@ -690,6 +691,7 @@ impl DaemonSpec {
     /// Number of activations this point allows for the given enabled set
     /// (constrained points are counted by enumeration).
     pub fn activation_count(&self, graph: &Graph, enabled: &[NodeId]) -> u128 {
+        // lint: cast-ok(enabled sets are bounded by the node count, far below u32)
         let n = enabled.len() as u32;
         if n == 0 {
             return 0;

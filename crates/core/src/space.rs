@@ -128,6 +128,7 @@ impl<S: LocalState> SpaceIndexer<S> {
         digits.clear();
         let mut rest = idx;
         for alphabet in &self.per_node {
+            // lint: cast-ok(a digit is strictly below its alphabet size, which fits u32)
             digits.push((rest % alphabet.len() as u64) as u32);
             rest /= alphabet.len() as u64;
         }

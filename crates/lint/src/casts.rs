@@ -1,0 +1,338 @@
+//! Pass 1: the lossy-cast audit.
+//!
+//! Flags every `as` cast in scope whose target cannot hold every value
+//! of its source — unless the line (or the line above, for rustfmt'd
+//! casts) carries a `// lint: cast-ok(<reason>)` annotation with a
+//! non-empty reason. The pass is token-based, not type-inferred, so it
+//! errs on the side of flagging:
+//!
+//! * a cast to a **narrow target** (`u8`, `u16`, `u32`, `i8`, `i16`,
+//!   `i32`, `f32`) is flagged unless the source is *provably* lossless —
+//!   an in-range integer literal (`3 as u32`) or a chained cast from a
+//!   primitive that widens without losing sign (`x as u8 as u32`);
+//! * a cast to a **wide integer target** (`u64`, `u128`, `usize`,
+//!   `i64`, `i128`, `isize`) is flagged only when the source is visibly
+//!   lossy: a float literal, a float-rounding method tail
+//!   (`.ceil() as usize`), or a chained cast from a signed primitive
+//!   (`… as i64 as u64` — a sign-losing reinterpretation).
+//!
+//! Width model: this workspace targets 64-bit platforms only (the
+//! engine's id arithmetic already assumes it), so `usize`/`isize` count
+//! as 64-bit. Integer→`f64` casts are out of scope: they lose low-bit
+//! precision past 2⁵³ but never magnitude, and the statistics paths
+//! that use them are approximate by contract.
+
+use crate::lexer::{Lexed, Token, TokenKind};
+use crate::{Diagnostic, PassId, SourceFile};
+
+/// Integer/float width + signedness for the 64-bit model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Prim {
+    signed: bool,
+    bits: u16,
+    float: bool,
+}
+
+fn prim(name: &str) -> Option<Prim> {
+    let p = |signed, bits, float| Prim {
+        signed,
+        bits,
+        float,
+    };
+    Some(match name {
+        "u8" => p(false, 8, false),
+        "u16" => p(false, 16, false),
+        "u32" => p(false, 32, false),
+        "u64" | "usize" => p(false, 64, false),
+        "u128" => p(false, 128, false),
+        "i8" => p(true, 8, false),
+        "i16" => p(true, 16, false),
+        "i32" => p(true, 32, false),
+        "i64" | "isize" => p(true, 64, false),
+        "i128" => p(true, 128, false),
+        "f32" => p(true, 24, true),
+        "f64" => p(true, 53, true),
+        _ => return None,
+    })
+}
+
+fn is_narrow_target(name: &str) -> bool {
+    matches!(name, "u8" | "u16" | "u32" | "i8" | "i16" | "i32" | "f32")
+}
+
+fn is_wide_int_target(name: &str) -> bool {
+    matches!(name, "u64" | "u128" | "usize" | "i64" | "i128" | "isize")
+}
+
+/// `source as target` is lossless for every source value.
+fn widens_losslessly(source: Prim, target: Prim) -> bool {
+    if source.float || target.float {
+        // Float sources truncate; float targets hold only `bits` of
+        // mantissa — treat any float involvement as lossy here (the
+        // narrow-set rule already catches `f32`; `f64` targets are out
+        // of scope and never reach this).
+        return false;
+    }
+    if source.signed == target.signed {
+        return target.bits >= source.bits;
+    }
+    if source.signed {
+        // signed → unsigned loses the negative half.
+        return false;
+    }
+    // unsigned → signed needs one spare bit.
+    target.bits > source.bits
+}
+
+/// Whether an integer literal value fits the target primitive.
+fn literal_fits(lit: &str, target: Prim) -> bool {
+    let norm = crate::lexer::normalize_num(lit);
+    if norm.contains('.') || norm.contains('e') {
+        return false;
+    }
+    let Ok(v) = norm.parse::<u128>() else {
+        return false;
+    };
+    if target.float {
+        return v < (1u128 << target.bits);
+    }
+    let max = if target.signed {
+        (1u128 << (target.bits - 1)) - 1
+    } else if target.bits == 128 {
+        u128::MAX
+    } else {
+        (1u128 << target.bits) - 1
+    };
+    v <= max
+}
+
+/// Method tails that produce floats, making `) as <int>` a truncation.
+const FLOAT_TAILS: &[&str] = &[
+    "ceil", "floor", "round", "trunc", "sqrt", "powi", "powf", "ln", "log2", "log10", "exp",
+];
+
+/// The annotation marker looked up in comments.
+pub const CAST_OK: &str = "lint: cast-ok(";
+
+/// Extracts the cast-ok reason from a comment string, if the marker is
+/// present. `Some(Err(()))` means the marker is malformed (no closing
+/// paren or empty reason).
+fn cast_ok_reason(comment: &str) -> Option<Result<String, ()>> {
+    let start = comment.find(CAST_OK)?;
+    let rest = &comment[start + CAST_OK.len()..];
+    match rest.find(')') {
+        Some(end) => {
+            let reason = rest[..end].trim();
+            if reason.is_empty() {
+                Some(Err(()))
+            } else {
+                Some(Ok(reason.to_string()))
+            }
+        }
+        None => Some(Err(())),
+    }
+}
+
+/// The annotation state of a source line: the comment on the cast's own
+/// line wins, then the line directly above (annotation-only lines).
+fn annotation_for(lexed: &Lexed, line: u32) -> Option<Result<String, ()>> {
+    if let Some(r) = cast_ok_reason(&lexed.comment_on_line(line)) {
+        return Some(r);
+    }
+    if line > 1 {
+        return cast_ok_reason(&lexed.comment_on_line(line - 1));
+    }
+    None
+}
+
+/// Runs the cast audit over one file.
+pub fn audit(file: &SourceFile) -> Vec<Diagnostic> {
+    let toks = &file.lexed.tokens;
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if !(toks[i].kind == TokenKind::Ident && toks[i].text == "as") {
+            continue;
+        }
+        // Target type: the identifier right after `as`. Pointer and
+        // reference casts (`as *const T`, `as &T`) and non-primitive
+        // targets (`use x as y`, `as Box<..>`) are out of scope.
+        let Some(target_tok) = toks.get(i + 1) else {
+            continue;
+        };
+        if target_tok.kind != TokenKind::Ident {
+            continue;
+        }
+        let target_name = target_tok.text.as_str();
+        let Some(target) = prim(target_name) else {
+            continue;
+        };
+
+        let lossy_reason = classify(toks, i, target_name, target);
+        let Some(why) = lossy_reason else {
+            continue;
+        };
+
+        match annotation_for(&file.lexed, toks[i].line) {
+            Some(Ok(_reason)) => {} // annotated with a reason: accepted
+            Some(Err(())) => out.push(Diagnostic {
+                pass: PassId::Cast,
+                file: file.rel_path.clone(),
+                line: toks[i].line,
+                message: format!(
+                    "malformed `lint: cast-ok(..)` annotation on `as {target_name}` — \
+                     the reason inside the parentheses must be non-empty"
+                ),
+            }),
+            None => out.push(Diagnostic {
+                pass: PassId::Cast,
+                file: file.rel_path.clone(),
+                line: toks[i].line,
+                message: format!(
+                    "{why} `as {target_name}` cast — use a checked conversion \
+                     (`try_from` / `stab_core::engine::ids`) or annotate the line \
+                     with `// lint: cast-ok(<reason>)`"
+                ),
+            }),
+        }
+    }
+    out
+}
+
+/// Classifies the cast ending at token `i` (`as`): `Some(kind)` when it
+/// must be annotated, `None` when it is allowed.
+fn classify(toks: &[Token], i: usize, target_name: &str, target: Prim) -> Option<&'static str> {
+    let prev = i.checked_sub(1).map(|j| &toks[j]);
+
+    // Chained cast from a known primitive: `x as <prim> as <target>`.
+    if let Some(p) = prev {
+        if p.kind == TokenKind::Ident {
+            if let Some(source) = prim(&p.text) {
+                let chained =
+                    i >= 2 && toks[i - 2].kind == TokenKind::Ident && toks[i - 2].text == "as";
+                if chained {
+                    if widens_losslessly(source, target) {
+                        return None;
+                    }
+                    return Some(if source.signed && !target.signed {
+                        "sign-losing"
+                    } else {
+                        "narrowing"
+                    });
+                }
+            }
+        }
+        // In-range integer literal source: `3 as u32`, `0xFF as u8`.
+        if p.kind == TokenKind::Num {
+            if literal_fits(&p.text, target) {
+                return None;
+            }
+            let norm = crate::lexer::normalize_num(&p.text);
+            if norm.contains('.') || norm.contains('e') {
+                return Some("float-truncating");
+            }
+            return Some("narrowing");
+        }
+    }
+
+    if is_narrow_target(target_name) {
+        return Some("narrowing");
+    }
+    if is_wide_int_target(target_name) {
+        // Float-rounding tail: `.ceil() as usize`.
+        if i >= 4
+            && toks[i - 1].kind == TokenKind::Punct
+            && toks[i - 1].text == ")"
+            && toks[i - 2].kind == TokenKind::Punct
+            && toks[i - 2].text == "("
+            && toks[i - 3].kind == TokenKind::Ident
+            && FLOAT_TAILS.contains(&toks[i - 3].text.as_str())
+            && toks[i - 4].kind == TokenKind::Punct
+            && toks[i - 4].text == "."
+        {
+            return Some("float-truncating");
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn audit_str(src: &str) -> Vec<Diagnostic> {
+        audit(&SourceFile::from_text("t.rs", src))
+    }
+
+    #[test]
+    fn narrow_targets_need_annotation() {
+        let d = audit_str("fn f(x: usize) -> u32 { x as u32 }\n");
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("narrowing"));
+    }
+
+    #[test]
+    fn annotated_narrow_cast_passes() {
+        let d = audit_str(
+            "fn f(x: usize) -> u32 { x as u32 } // lint: cast-ok(ids interned below 2^32)\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn annotation_on_previous_line_counts() {
+        let d =
+            audit_str("// lint: cast-ok(bounded by MAX_ACTIONS)\nfn f(x: u32) -> u8 { x as u8 }\n");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn empty_reason_is_malformed() {
+        let d = audit_str("fn f(x: usize) -> u32 { x as u32 } // lint: cast-ok( )\n");
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("malformed"));
+    }
+
+    #[test]
+    fn in_range_literals_pass() {
+        assert!(audit_str("const A: u8 = 255 as u8;\n").is_empty());
+        assert!(audit_str("const B: u32 = 0xFFFF_FFFF as u32;\n").is_empty());
+        assert!(!audit_str("const C: u8 = 256 as u8;\n").is_empty());
+    }
+
+    #[test]
+    fn chained_widening_passes_chained_sign_flip_flags() {
+        // The outer cast of a lossless chain passes; the inner literal
+        // cast is in range, so the whole expression is clean.
+        assert!(audit_str("fn f() -> u32 { 7 as u8 as u32 }\n").is_empty());
+        // An unannotated inner narrowing still flags on its own.
+        let d = audit_str("fn f(x: usize) -> u32 { x as u8 as u32 }\n");
+        assert_eq!(d.len(), 1, "{d:?}");
+        let d = audit_str("fn f(x: i64) -> u64 { x as i64 as u64 }\n");
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("sign-losing"));
+    }
+
+    #[test]
+    fn float_tail_into_wide_int_flags() {
+        let d = audit_str("fn f(x: f64) -> usize { (x).ceil() as usize }\n");
+        // tokens: ... ceil ( ) as usize — matches the float-tail shape.
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("float-truncating"));
+    }
+
+    #[test]
+    fn plain_widening_is_silent() {
+        assert!(audit_str("fn f(x: u32) -> u64 { x as u64 }\n").is_empty());
+        assert!(audit_str("fn f(x: u32) -> usize { x as usize }\n").is_empty());
+    }
+
+    #[test]
+    fn casts_inside_strings_and_comments_ignored() {
+        assert!(audit_str("// x as u8\nconst S: &str = \"y as u8\";\n").is_empty());
+    }
+
+    #[test]
+    fn use_renames_are_not_casts() {
+        assert!(audit_str("use std::io::Result as IoResult;\n").is_empty());
+    }
+}

@@ -1,0 +1,164 @@
+//! Pass 4: framing-constant consistency.
+//!
+//! The durable formats survive process death, so their identifying
+//! constants must exist exactly once each — a second literal site is a
+//! fork waiting to drift (the CRC tables and the shift-lane matrix once
+//! carried two copies of the Castagnoli polynomial; this pass is why
+//! they no longer do). Audited families:
+//!
+//! * the `WSR1` checkpoint/chunk frame magic (string or byte-string
+//!   literal);
+//! * the CRC32C polynomial `0x82F63B78` (numeric literal, any base or
+//!   separator style);
+//! * the `study_report/vN` schema string (any version: every literal
+//!   starting `study_report/` counts, so a stale `v3` site is caught
+//!   alongside a duplicated `v4`).
+//!
+//! Comments and doc comments never count — the tokenizer strips them —
+//! so prose may reference the constants freely.
+
+use crate::lexer::TokenKind;
+use crate::{Diagnostic, PassId, SourceFile};
+
+/// One audited constant family.
+struct Family {
+    name: &'static str,
+    /// Matches a literal token belonging to the family.
+    matches: fn(TokenKind, &str) -> bool,
+}
+
+/// Normalised decimal rendering of the CRC32C (Castagnoli) polynomial.
+const CRC32C_POLY_DECIMAL: &str = "2197175160";
+
+const FAMILIES: &[Family] = &[
+    Family {
+        name: "WSR1 frame magic",
+        matches: |kind, text| {
+            matches!(kind, TokenKind::Str | TokenKind::ByteStr) && text.contains("WSR1")
+        },
+    },
+    Family {
+        name: "CRC32C polynomial 0x82F63B78",
+        matches: |kind, text| {
+            kind == TokenKind::Num && crate::lexer::normalize_num(text) == CRC32C_POLY_DECIMAL
+        },
+    },
+    Family {
+        name: "study_report/vN schema string",
+        matches: |kind, text| kind == TokenKind::Str && text.starts_with("study_report/"),
+    },
+];
+
+/// Runs the constant-consistency audit over the given files (one
+/// diagnostic per family with ≠ 1 defining site, listing every site).
+pub fn audit(files: &[SourceFile]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for fam in FAMILIES {
+        let mut sites: Vec<(String, u32)> = Vec::new();
+        for f in files {
+            for t in &f.lexed.tokens {
+                if (fam.matches)(t.kind, &t.text) {
+                    sites.push((f.rel_path.clone(), t.line));
+                }
+            }
+        }
+        if sites.len() == 1 {
+            continue;
+        }
+        let (file, line) = sites
+            .first()
+            .cloned()
+            .unwrap_or_else(|| ("<workspace>".into(), 0));
+        let listing: Vec<String> = sites.iter().map(|(f, l)| format!("{f}:{l}")).collect();
+        out.push(Diagnostic {
+            pass: PassId::Constant,
+            file,
+            line,
+            message: format!(
+                "`{}` must have exactly one defining site, found {}: [{}] — \
+                 reference the named constant instead of repeating the literal",
+                fam.name,
+                sites.len(),
+                listing.join(", ")
+            ),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn files(srcs: &[(&str, &str)]) -> Vec<SourceFile> {
+        srcs.iter()
+            .map(|(p, s)| SourceFile::from_text(p, s))
+            .collect()
+    }
+
+    const CLEAN: &[(&str, &str)] = &[
+        (
+            "a.rs",
+            "const MAGIC: &[u8; 4] = b\"WSR1\";\npub const POLY: u32 = 0x82F6_3B78;\n",
+        ),
+        ("b.rs", "pub const SCHEMA: &str = \"study_report/v4\";\n"),
+    ];
+
+    #[test]
+    fn single_sites_are_clean() {
+        assert!(audit(&files(CLEAN)).is_empty());
+    }
+
+    #[test]
+    fn duplicate_magic_is_flagged_with_both_sites() {
+        let mut fs = files(CLEAN);
+        fs.push(SourceFile::from_text(
+            "c.rs",
+            "fn check(h: &[u8]) -> bool { h.starts_with(b\"WSR1\") }\n",
+        ));
+        let d = audit(&fs);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("a.rs:1"));
+        assert!(d[0].message.contains("c.rs:1"));
+    }
+
+    #[test]
+    fn polynomial_matches_across_bases() {
+        let mut fs = files(CLEAN);
+        fs.push(SourceFile::from_text(
+            "c.rs",
+            "const P2: u32 = 2197175160;\n",
+        ));
+        let d = audit(&fs);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("CRC32C"));
+    }
+
+    #[test]
+    fn stale_schema_versions_count_as_sites() {
+        let mut fs = files(CLEAN);
+        fs.push(SourceFile::from_text(
+            "c.rs",
+            "const OLD: &str = \"study_report/v3\";\n",
+        ));
+        let d = audit(&fs);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("study_report"));
+    }
+
+    #[test]
+    fn comment_mentions_do_not_count() {
+        let mut fs = files(CLEAN);
+        fs.push(SourceFile::from_text(
+            "c.rs",
+            "// frames start with b\"WSR1\" and use 0x82F63B78; schema \"study_report/v4\"\n",
+        ));
+        assert!(audit(&fs).is_empty());
+    }
+
+    #[test]
+    fn missing_constant_is_flagged() {
+        let d = audit(&files(&[("a.rs", "fn f() {}\n")]));
+        assert_eq!(d.len(), 3, "every family reports zero sites: {d:?}");
+    }
+}

@@ -1,0 +1,509 @@
+//! A hand-rolled, comment- and string-aware Rust tokenizer.
+//!
+//! The source passes need exactly four things a regex cannot deliver
+//! reliably: (1) casts, calls and index expressions recognised as *token
+//! sequences*, never inside comments or string literals; (2) string and
+//! numeric literal *values* for the framing-constant pass; (3) comment
+//! text, by line, for the `// lint: cast-ok(..)` and `// SAFETY:`
+//! annotation grammars; (4) line numbers for every token. This lexer
+//! produces all four from raw source text with no dependencies — it is a
+//! lexer, not a parser: the passes layer lightweight token-pattern
+//! matching on top (see `casts`, `panics`, `unsafety`, `constants`).
+//!
+//! Handled literal forms: `"…"` with escapes, `r"…"`/`r#"…"#` raw strings
+//! (any hash depth), `b"…"`/`br#"…"#` byte strings, `'c'` char literals
+//! (including `'\''` and `'\\'`), lifetimes (`'a`, distinguished from
+//! chars), line comments, nested block comments, and numeric literals
+//! with `_` separators, base prefixes and type suffixes.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// The token text. For string-like literals this is the *content*
+    /// (delimiters and raw-string hashes stripped, escapes left as
+    /// written); for everything else the exact source slice.
+    pub text: String,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+}
+
+/// Token classification — only as fine-grained as the passes need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`as`, `fn`, `unsafe`, `impl`, names …).
+    Ident,
+    /// Numeric literal (int or float, any base, suffix attached).
+    Num,
+    /// String literal (`"…"`, `r"…"`, `r#"…"#`); text is the content.
+    Str,
+    /// Byte-string literal (`b"…"`, `br#"…"#`); text is the content.
+    ByteStr,
+    /// Char or byte literal (`'x'`, `b'x'`); text is the content.
+    Char,
+    /// Lifetime (`'a`); text includes the quote.
+    Lifetime,
+    /// A single punctuation character (`.`, `!`, `[`, `(`, `#`, …).
+    Punct,
+}
+
+/// A comment's text, keyed by the 1-based line it starts on. Block
+/// comments spanning several lines are recorded once per line they
+/// cover, so per-line annotation lookups need no span arithmetic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line this (piece of a) comment sits on.
+    pub line: u32,
+    /// The comment text without its `//` / `/*` markers.
+    pub text: String,
+}
+
+/// The lexer's full output for one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All comment pieces, in source order (non-decreasing lines).
+    pub comments: Vec<Comment>,
+}
+
+impl Lexed {
+    /// All comment text on `line`, concatenated (usually zero or one
+    /// piece; block comments may contribute more).
+    pub fn comment_on_line(&self, line: u32) -> String {
+        let mut out = String::new();
+        for c in &self.comments {
+            if c.line == line {
+                if !out.is_empty() {
+                    out.push(' ');
+                }
+                out.push_str(&c.text);
+            }
+        }
+        out
+    }
+
+    /// Whether any comment piece in `lo..=hi` (inclusive line range)
+    /// contains `needle`.
+    pub fn comment_in_range_contains(&self, lo: u32, hi: u32, needle: &str) -> bool {
+        self.comments
+            .iter()
+            .any(|c| c.line >= lo && c.line <= hi && c.text.contains(needle))
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Lexes `src` into tokens and comments. Never fails: unterminated
+/// literals simply run to end of file (the workspace compiles, so real
+/// inputs are well-formed; fixtures are kept well-formed too).
+pub fn lex(src: &str) -> Lexed {
+    let bytes: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let n = bytes.len();
+
+    macro_rules! push_tok {
+        ($kind:expr, $text:expr, $line:expr) => {
+            out.tokens.push(Token {
+                kind: $kind,
+                text: $text,
+                line: $line,
+            })
+        };
+    }
+
+    while i < n {
+        let c = bytes[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment.
+        if c == '/' && i + 1 < n && bytes[i + 1] == '/' {
+            let start = i + 2;
+            let mut j = start;
+            while j < n && bytes[j] != '\n' {
+                j += 1;
+            }
+            out.comments.push(Comment {
+                line,
+                text: bytes[start..j].iter().collect(),
+            });
+            i = j;
+            continue;
+        }
+        // Block comment (nested).
+        if c == '/' && i + 1 < n && bytes[i + 1] == '*' {
+            let mut depth = 1usize;
+            let mut j = i + 2;
+            let mut piece = String::new();
+            let mut piece_line = line;
+            while j < n && depth > 0 {
+                if bytes[j] == '/' && j + 1 < n && bytes[j + 1] == '*' {
+                    depth += 1;
+                    piece.push_str("/*");
+                    j += 2;
+                } else if bytes[j] == '*' && j + 1 < n && bytes[j + 1] == '/' {
+                    depth -= 1;
+                    if depth > 0 {
+                        piece.push_str("*/");
+                    }
+                    j += 2;
+                } else if bytes[j] == '\n' {
+                    out.comments.push(Comment {
+                        line: piece_line,
+                        text: std::mem::take(&mut piece),
+                    });
+                    line += 1;
+                    piece_line = line;
+                    j += 1;
+                } else {
+                    piece.push(bytes[j]);
+                    j += 1;
+                }
+            }
+            out.comments.push(Comment {
+                line: piece_line,
+                text: piece,
+            });
+            i = j;
+            continue;
+        }
+        // Raw / byte / byte-raw string heads: r" r#" b" br" br#" b' .
+        if c == 'r' || c == 'b' {
+            let (is_byte, rest) = if c == 'b' { (true, i + 1) } else { (false, i) };
+            let mut j = rest;
+            let raw = j < n && bytes[j] == 'r' && (is_byte || j == i);
+            if raw {
+                j += 1;
+            }
+            let mut hashes = 0usize;
+            while raw && j < n && bytes[j] == '#' {
+                hashes += 1;
+                j += 1;
+            }
+            let is_str = j < n && bytes[j] == '"' && (raw || is_byte);
+            let is_char = is_byte && !raw && j < n && bytes[j] == '\'';
+            if is_str {
+                // Scan to the closing quote (+ matching hashes for raw).
+                let content_start = j + 1;
+                let mut k = content_start;
+                let start_line = line;
+                loop {
+                    if k >= n {
+                        break;
+                    }
+                    if bytes[k] == '\n' {
+                        line += 1;
+                        k += 1;
+                        continue;
+                    }
+                    if !raw && bytes[k] == '\\' {
+                        k += 2;
+                        continue;
+                    }
+                    if bytes[k] == '"' {
+                        let mut h = 0usize;
+                        while h < hashes && k + 1 + h < n && bytes[k + 1 + h] == '#' {
+                            h += 1;
+                        }
+                        if h == hashes {
+                            break;
+                        }
+                    }
+                    k += 1;
+                }
+                let text: String = bytes[content_start..k.min(n)].iter().collect();
+                push_tok!(
+                    if is_byte {
+                        TokenKind::ByteStr
+                    } else {
+                        TokenKind::Str
+                    },
+                    text,
+                    start_line
+                );
+                i = (k + 1 + hashes).min(n);
+                continue;
+            }
+            if is_char {
+                let (text, next) = scan_char_body(&bytes, j + 1);
+                push_tok!(TokenKind::Char, text, line);
+                i = next;
+                continue;
+            }
+            // Fall through: plain identifier starting with r/b.
+        }
+        // Plain string literal.
+        if c == '"' {
+            let start_line = line;
+            let mut k = i + 1;
+            let mut text = String::new();
+            while k < n {
+                if bytes[k] == '\\' && k + 1 < n {
+                    text.push(bytes[k]);
+                    text.push(bytes[k + 1]);
+                    k += 2;
+                    continue;
+                }
+                if bytes[k] == '"' {
+                    break;
+                }
+                if bytes[k] == '\n' {
+                    line += 1;
+                }
+                text.push(bytes[k]);
+                k += 1;
+            }
+            push_tok!(TokenKind::Str, text, start_line);
+            i = k + 1;
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            // A lifetime is 'ident not followed by a closing quote.
+            if i + 1 < n && is_ident_start(bytes[i + 1]) {
+                let mut k = i + 2;
+                while k < n && is_ident_continue(bytes[k]) {
+                    k += 1;
+                }
+                if k < n && bytes[k] == '\'' && k == i + 2 {
+                    // 'x' — a one-char char literal.
+                    push_tok!(TokenKind::Char, bytes[i + 1].to_string(), line);
+                    i = k + 1;
+                    continue;
+                }
+                if k < n && bytes[k] == '\'' {
+                    // Multi-char between quotes can only be a char literal
+                    // in malformed code; treat as lifetime-then-junk. Real
+                    // sources never hit this.
+                }
+                let text: String = bytes[i..k].iter().collect();
+                push_tok!(TokenKind::Lifetime, text, line);
+                i = k;
+                continue;
+            }
+            let (text, next) = scan_char_body(&bytes, i + 1);
+            push_tok!(TokenKind::Char, text, line);
+            i = next;
+            continue;
+        }
+        // Numeric literal.
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut k = i + 1;
+            if c == '0' && k < n && (bytes[k] == 'x' || bytes[k] == 'o' || bytes[k] == 'b') {
+                k += 1;
+                while k < n && (bytes[k].is_ascii_alphanumeric() || bytes[k] == '_') {
+                    k += 1;
+                }
+            } else {
+                while k < n && (bytes[k].is_ascii_alphanumeric() || bytes[k] == '_') {
+                    k += 1;
+                }
+                // Decimal point: only if followed by a digit (so `1.max(2)`
+                // and `0..4` stay method calls / ranges).
+                if k < n && bytes[k] == '.' && k + 1 < n && bytes[k + 1].is_ascii_digit() {
+                    k += 1;
+                    while k < n && (bytes[k].is_ascii_alphanumeric() || bytes[k] == '_') {
+                        k += 1;
+                    }
+                }
+                // Exponent sign: 1e-9.
+                if k < n
+                    && (bytes[k] == '+' || bytes[k] == '-')
+                    && (bytes[k - 1] == 'e' || bytes[k - 1] == 'E')
+                {
+                    k += 1;
+                    while k < n && (bytes[k].is_ascii_alphanumeric() || bytes[k] == '_') {
+                        k += 1;
+                    }
+                }
+            }
+            let text: String = bytes[start..k].iter().collect();
+            push_tok!(TokenKind::Num, text, line);
+            i = k;
+            continue;
+        }
+        // Identifier / keyword.
+        if is_ident_start(c) {
+            let start = i;
+            let mut k = i + 1;
+            while k < n && is_ident_continue(bytes[k]) {
+                k += 1;
+            }
+            let text: String = bytes[start..k].iter().collect();
+            push_tok!(TokenKind::Ident, text, line);
+            i = k;
+            continue;
+        }
+        // Everything else: single punctuation character.
+        push_tok!(TokenKind::Punct, c.to_string(), line);
+        i += 1;
+    }
+    out
+}
+
+/// Scans a char-literal body starting right after the opening quote;
+/// returns (content, index past the closing quote).
+fn scan_char_body(bytes: &[char], start: usize) -> (String, usize) {
+    let n = bytes.len();
+    let mut k = start;
+    let mut text = String::new();
+    while k < n {
+        if bytes[k] == '\\' && k + 1 < n {
+            text.push(bytes[k]);
+            text.push(bytes[k + 1]);
+            k += 2;
+            continue;
+        }
+        if bytes[k] == '\'' {
+            return (text, k + 1);
+        }
+        text.push(bytes[k]);
+        k += 1;
+    }
+    (text, n)
+}
+
+/// Normalises a numeric-literal token to a comparable value string:
+/// strips `_` separators and any type suffix, lower-cases, and renders
+/// hex/octal/binary integers in decimal. Floats pass through stripped.
+pub fn normalize_num(text: &str) -> String {
+    let stripped: String = text.chars().filter(|&c| c != '_').collect();
+    let lower = stripped.to_lowercase();
+    // Peel a type suffix (u8..u128, i8..i128, usize, isize, f32, f64).
+    let body = peel_suffix(&lower);
+    if let Some(hex) = body.strip_prefix("0x") {
+        if let Ok(v) = u128::from_str_radix(hex, 16) {
+            return v.to_string();
+        }
+    }
+    if let Some(oct) = body.strip_prefix("0o") {
+        if let Ok(v) = u128::from_str_radix(oct, 8) {
+            return v.to_string();
+        }
+    }
+    if let Some(bin) = body.strip_prefix("0b") {
+        if let Ok(v) = u128::from_str_radix(bin, 2) {
+            return v.to_string();
+        }
+    }
+    body.to_string()
+}
+
+fn peel_suffix(s: &str) -> &str {
+    for suf in [
+        "usize", "isize", "u128", "i128", "u64", "i64", "u32", "i32", "u16", "i16", "u8", "i8",
+        "f64", "f32",
+    ] {
+        if let Some(body) = s.strip_suffix(suf) {
+            // Don't peel the suffix off a bare hex digit run that happens
+            // to end in e.g. "f32" — only peel when something remains and
+            // hex bodies keep their prefix.
+            if !body.is_empty() && body != "0x" && body != "0o" && body != "0b" {
+                return body;
+            }
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_separated() {
+        let lx = lex("let x = \"as u8 // not a comment\"; // real: as u8\n");
+        assert!(lx
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Str && t.text.contains("as u8")));
+        // The `as` inside the string is not an Ident token.
+        assert_eq!(
+            lx.tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Ident && t.text == "as")
+                .count(),
+            0
+        );
+        assert!(lx.comment_on_line(1).contains("real: as u8"));
+    }
+
+    #[test]
+    fn raw_and_byte_strings_lex() {
+        let lx = lex(r##"let a = r#"raw "quoted" body"#; let b = b"WSR1";"##);
+        assert!(lx
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Str && t.text == "raw \"quoted\" body"));
+        assert!(lx
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::ByteStr && t.text == "WSR1"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let lx = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(lx
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Lifetime && t.text == "'a"));
+        assert!(lx
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Char && t.text == "x"));
+    }
+
+    #[test]
+    fn escaped_quote_chars_lex() {
+        let lx = lex(r"let q = '\''; let b = '\\';");
+        let chars: Vec<&str> = lx
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Char)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(chars, vec![r"\'", r"\\"]);
+    }
+
+    #[test]
+    fn numbers_normalize_across_bases() {
+        assert_eq!(normalize_num("0x82F6_3B78"), "2197175160");
+        assert_eq!(normalize_num("2197175160u32"), "2197175160");
+        assert_eq!(normalize_num("0b1010"), "10");
+        assert_eq!(normalize_num("1e-9"), "1e-9");
+        assert_eq!(normalize_num("1_000_000"), "1000000");
+    }
+
+    #[test]
+    fn block_comments_cover_their_lines() {
+        let lx = lex("/* one\ntwo SAFETY: ok\nthree */ fn f() {}\n");
+        assert!(lx.comment_on_line(2).contains("SAFETY: ok"));
+        assert!(lx.comment_in_range_contains(1, 3, "SAFETY:"));
+        assert!(lx.tokens.iter().any(|t| t.text == "fn" && t.line == 3));
+    }
+
+    #[test]
+    fn line_numbers_track_tokens() {
+        let lx = lex("a\nb\n  c d\n");
+        let lines: Vec<u32> = lx.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 3, 3]);
+    }
+}

@@ -1,0 +1,271 @@
+//! `stab-lint`: the workspace's dependency-free static-analysis harness.
+//!
+//! Two pass families, both wired into CI as hard gates:
+//!
+//! * **Source passes** ([`run_source`]) over the workspace's own Rust
+//!   source, built on a hand-rolled comment/string-aware tokenizer
+//!   ([`lexer`]) — no `syn`, no crates-io:
+//!   1. [`casts`] — lossy-cast audit: narrowing / sign-losing `as` casts
+//!      in `crates/core`, `crates/markov`, `crates/checker` must carry a
+//!      `// lint: cast-ok(<reason>)` annotation;
+//!   2. [`panics`] — panic-freedom audit of the durable write paths:
+//!      no `unwrap` / `expect` / `panic!` / slice-index in functions
+//!      reachable from `FrameSink` / `SpillSink`, modulo the reasoned
+//!      allowlist in `crates/lint/panic_allowlist.txt`;
+//!   3. [`unsafety`] — every `unsafe` needs an attached `// SAFETY:`
+//!      comment and a `#![deny(unsafe_op_in_unsafe_fn)]` module policy
+//!      header;
+//!   4. [`constants`] — the `WSR1` frame magic, the CRC32C polynomial
+//!      and the `study_report/vN` schema string must each have exactly
+//!      one defining site.
+//! * **Spec pass** ([`specs`]) — pre-exploration well-formedness audit
+//!   of every algorithm-zoo member via
+//!   [`stab_checker::structure::audit_spec`]: guard determinism,
+//!   probability-row sums, no silent stutters, read-closure and guard
+//!   purity, all checked on sampled configurations without exploring.
+//!
+//! Run it as `cargo run -p stab-lint -- --source --specs`; both passes
+//! exit non-zero on findings. The annotation and allowlist grammars are
+//! documented in the README's "Static analysis" section.
+
+pub mod casts;
+pub mod constants;
+pub mod lexer;
+pub mod panics;
+pub mod specs;
+pub mod unsafety;
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One finding of a source pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The pass that produced the finding.
+    pub pass: PassId,
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line of the finding (0 for file-level findings).
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file,
+            self.line,
+            self.pass.label(),
+            self.message
+        )
+    }
+}
+
+/// The four source passes plus the spec pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PassId {
+    /// Lossy-cast audit.
+    Cast,
+    /// Panic-freedom audit of the durable write paths.
+    Panic,
+    /// `unsafe` hygiene audit.
+    Unsafe,
+    /// Framing-constant single-definition audit.
+    Constant,
+    /// Algorithm-spec well-formedness audit.
+    Spec,
+}
+
+impl PassId {
+    /// Stable lower-case label used in diagnostics and fixture tests.
+    pub fn label(self) -> &'static str {
+        match self {
+            PassId::Cast => "cast",
+            PassId::Panic => "panic",
+            PassId::Unsafe => "unsafe",
+            PassId::Constant => "constant",
+            PassId::Spec => "spec",
+        }
+    }
+}
+
+/// A source file loaded for analysis.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path (used in diagnostics).
+    pub rel_path: String,
+    /// Raw contents.
+    pub text: String,
+    /// Lexed form.
+    pub lexed: lexer::Lexed,
+}
+
+impl SourceFile {
+    /// Loads and lexes one file. `root` anchors the relative path shown
+    /// in diagnostics.
+    pub fn load(root: &Path, path: &Path) -> std::io::Result<SourceFile> {
+        let text = std::fs::read_to_string(path)?;
+        let rel_path = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let lexed = lexer::lex(&text);
+        Ok(SourceFile {
+            rel_path,
+            text,
+            lexed,
+        })
+    }
+
+    /// Builds a source file from in-memory text (fixture tests).
+    pub fn from_text(rel_path: &str, text: &str) -> SourceFile {
+        SourceFile {
+            rel_path: rel_path.to_string(),
+            text: text.to_string(),
+            lexed: lexer::lex(text),
+        }
+    }
+}
+
+/// Recursively collects `.rs` files under `dir`, sorted for
+/// deterministic diagnostics.
+pub fn rust_files_under(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&d) else {
+            continue;
+        };
+        for e in entries.flatten() {
+            let p = e.path();
+            if p.is_dir() {
+                stack.push(p);
+            } else if p.extension().is_some_and(|x| x == "rs") {
+                out.push(p);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// The workspace root, derived from this crate's manifest directory
+/// (`crates/lint` → two levels up).
+pub fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+/// Runs all four source passes over the workspace rooted at `root` and
+/// returns every finding (empty = clean).
+///
+/// Scopes follow ISSUE 9's contract:
+/// * cast pass — `crates/core/src`, `crates/markov/src`,
+///   `crates/checker/src`;
+/// * panic pass — the durable write paths in
+///   `crates/core/src/engine/{resilience,spill,edgestore}.rs`, with the
+///   allowlist at `crates/lint/panic_allowlist.txt`;
+/// * unsafe + constants passes — every crate's `src` tree plus the
+///   facade's `src`, excluding the linter's own sources (which must
+///   mention the audited literals to recognise them).
+pub fn run_source(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
+    let mut diags = Vec::new();
+
+    // ---- cast pass --------------------------------------------------
+    let mut cast_files = Vec::new();
+    for sub in ["crates/core/src", "crates/markov/src", "crates/checker/src"] {
+        for p in rust_files_under(&root.join(sub)) {
+            cast_files.push(SourceFile::load(root, &p)?);
+        }
+    }
+    for f in &cast_files {
+        diags.extend(casts::audit(f));
+    }
+
+    // ---- panic pass -------------------------------------------------
+    let panic_paths = [
+        "crates/core/src/engine/resilience.rs",
+        "crates/core/src/engine/spill.rs",
+        "crates/core/src/engine/edgestore.rs",
+    ];
+    let mut panic_files = Vec::new();
+    for p in panic_paths {
+        panic_files.push(SourceFile::load(root, &root.join(p))?);
+    }
+    let allowlist_path = root.join("crates/lint/panic_allowlist.txt");
+    let allowlist = match std::fs::read_to_string(&allowlist_path) {
+        Ok(text) => panics::Allowlist::parse(&text, &mut diags),
+        Err(_) => panics::Allowlist::default(),
+    };
+    diags.extend(panics::audit(&panic_files, &allowlist));
+
+    // ---- unsafe + constants passes over every src tree --------------
+    let mut all_src = Vec::new();
+    let crates_dir = root.join("crates");
+    if let Ok(entries) = std::fs::read_dir(&crates_dir) {
+        let mut crate_dirs: Vec<PathBuf> = entries
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        crate_dirs.sort();
+        for c in crate_dirs {
+            // The linter's own sources are excluded: its family
+            // definitions and fixtures must mention the audited
+            // literals to recognise them.
+            if c.file_name().is_some_and(|n| n == "lint") {
+                continue;
+            }
+            for p in rust_files_under(&c.join("src")) {
+                all_src.push(SourceFile::load(root, &p)?);
+            }
+        }
+    }
+    for p in rust_files_under(&root.join("src")) {
+        all_src.push(SourceFile::load(root, &p)?);
+    }
+    for f in &all_src {
+        diags.extend(unsafety::audit(f));
+    }
+    diags.extend(constants::audit(&all_src));
+
+    Ok(diags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_root_holds_the_manifest() {
+        assert!(workspace_root().join("Cargo.toml").is_file());
+    }
+
+    #[test]
+    fn rust_files_are_sorted_and_rs_only() {
+        let files = rust_files_under(&workspace_root().join("crates/lint/src"));
+        assert!(files.iter().all(|p| p.extension().unwrap() == "rs"));
+        let mut sorted = files.clone();
+        sorted.sort();
+        assert_eq!(files, sorted);
+    }
+
+    #[test]
+    fn diagnostics_render_with_pass_label() {
+        let d = Diagnostic {
+            pass: PassId::Cast,
+            file: "x.rs".into(),
+            line: 7,
+            message: "m".into(),
+        };
+        assert_eq!(d.to_string(), "x.rs:7: [cast] m");
+    }
+}

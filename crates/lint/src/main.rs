@@ -1,0 +1,95 @@
+//! The `stab-lint` command-line entry point.
+//!
+//! ```text
+//! stab-lint [--source] [--specs] [--root <dir>]
+//! ```
+//!
+//! With no pass flags, both pass families run. Exit status is the number
+//! of passes that produced findings (0 = clean), so CI can use it as a
+//! hard gate while humans still get every diagnostic on stderr.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut run_source = false;
+    let mut run_specs = false;
+    let mut root: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--source" => run_source = true,
+            "--specs" => run_specs = true,
+            "--root" => match args.next() {
+                Some(d) => root = Some(PathBuf::from(d)),
+                None => {
+                    eprintln!("stab-lint: --root needs a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: stab-lint [--source] [--specs] [--root <dir>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("stab-lint: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if !run_source && !run_specs {
+        run_source = true;
+        run_specs = true;
+    }
+    let root = root.unwrap_or_else(stab_lint::workspace_root);
+
+    let mut failed_passes = 0u8;
+
+    if run_source {
+        match stab_lint::run_source(&root) {
+            Ok(diags) if diags.is_empty() => {
+                eprintln!("stab-lint: source passes clean ({})", root.display());
+            }
+            Ok(diags) => {
+                for d in &diags {
+                    eprintln!("{d}");
+                }
+                eprintln!("stab-lint: {} source finding(s)", diags.len());
+                failed_passes += 1;
+            }
+            Err(e) => {
+                eprintln!(
+                    "stab-lint: cannot read workspace at {}: {e}",
+                    root.display()
+                );
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if run_specs {
+        let reports = stab_lint::specs::audit_zoo();
+        let diags = stab_lint::specs::diagnostics(&reports);
+        for r in &reports {
+            eprintln!(
+                "stab-lint: spec {} — {}/{} configs, {} finding(s)",
+                r.algorithm,
+                r.configs_sampled,
+                r.total_configs,
+                r.findings.len()
+            );
+        }
+        if diags.is_empty() {
+            eprintln!("stab-lint: spec pass clean ({} algorithms)", reports.len());
+        } else {
+            for d in &diags {
+                eprintln!("{d}");
+            }
+            eprintln!("stab-lint: {} spec finding(s)", diags.len());
+            failed_passes += 1;
+        }
+    }
+
+    ExitCode::from(failed_passes)
+}

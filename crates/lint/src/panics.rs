@@ -1,0 +1,485 @@
+//! Pass 2: the panic-freedom audit of the durable write paths.
+//!
+//! The checkpoint / spill machinery must never abort mid-write with an
+//! unlocalised panic: a torn frame is exactly the corruption the `WSR1`
+//! framing exists to prevent, and PR 6's sticky-error `FrameSink` was
+//! built so I/O failures surface as typed `CheckpointIo` errors instead.
+//! This pass enforces that discipline statically:
+//!
+//! * **Roots** — every method defined directly inside an
+//!   `impl … FrameSink` or `impl … SpillSink` block in the audited
+//!   files (`engine/resilience.rs`, `engine/spill.rs`,
+//!   `engine/edgestore.rs`).
+//! * **Closure** — roots plus every function in those files transitively
+//!   callable from them (call edges are matched by name, an
+//!   over-approximation that can only widen the audited set).
+//! * **Findings** — inside the closure: `.unwrap()` / `.expect(..)`
+//!   calls, `panic!` / `unreachable!` / `todo!` / `unimplemented!`
+//!   macro invocations, `assert!` / `assert_eq!` / `assert_ne!`
+//!   contract checks, and slice/array index expressions (`x[..]`), each
+//!   of which can abort a write in progress.
+//!
+//! Deliberate sites are carried by `crates/lint/panic_allowlist.txt`:
+//! one entry per line, `file::function kind reason…`. Every entry must
+//! carry a reason and must match at least one finding — stale entries
+//! are themselves findings, so the allowlist cannot rot.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::TokenKind;
+use crate::{Diagnostic, PassId, SourceFile};
+
+/// The kinds of abort site the pass recognises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AbortKind {
+    /// `.unwrap()`.
+    Unwrap,
+    /// `.expect(..)`.
+    Expect,
+    /// `panic!` / `unreachable!` / `todo!` / `unimplemented!`.
+    Panic,
+    /// `assert!` / `assert_eq!` / `assert_ne!`.
+    Assert,
+    /// Slice or array index expression.
+    Index,
+}
+
+impl AbortKind {
+    /// Stable label used in diagnostics and the allowlist grammar.
+    pub fn label(self) -> &'static str {
+        match self {
+            AbortKind::Unwrap => "unwrap",
+            AbortKind::Expect => "expect",
+            AbortKind::Panic => "panic",
+            AbortKind::Assert => "assert",
+            AbortKind::Index => "index",
+        }
+    }
+
+    fn parse(s: &str) -> Option<AbortKind> {
+        Some(match s {
+            "unwrap" => AbortKind::Unwrap,
+            "expect" => AbortKind::Expect,
+            "panic" => AbortKind::Panic,
+            "assert" => AbortKind::Assert,
+            "index" => AbortKind::Index,
+            _ => return None,
+        })
+    }
+}
+
+/// The reasoned allowlist: `(file_stem::fn, kind) → reason`.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    entries: BTreeMap<(String, AbortKind), String>,
+}
+
+impl Allowlist {
+    /// Parses the allowlist text. Malformed lines (missing kind or
+    /// reason) are reported into `diags` rather than silently dropped.
+    pub fn parse(text: &str, diags: &mut Vec<Diagnostic>) -> Allowlist {
+        let mut entries = BTreeMap::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.splitn(3, char::is_whitespace);
+            let key = parts.next().unwrap_or_default();
+            let kind = parts.next().and_then(AbortKind::parse);
+            let reason = parts.next().map(str::trim).unwrap_or_default();
+            match kind {
+                Some(k) if key.contains("::") && !reason.is_empty() => {
+                    entries.insert((key.to_string(), k), reason.to_string());
+                }
+                _ => diags.push(Diagnostic {
+                    pass: PassId::Panic,
+                    file: "crates/lint/panic_allowlist.txt".into(),
+                    line: (idx + 1) as u32,
+                    message: format!(
+                        "malformed allowlist entry `{line}` — expected \
+                         `file::function kind reason…` with a non-empty reason"
+                    ),
+                }),
+            }
+        }
+        Allowlist { entries }
+    }
+
+    fn contains(&self, key: &str, kind: AbortKind) -> bool {
+        self.entries.contains_key(&(key.to_string(), kind))
+    }
+}
+
+/// One function item extracted from a file's token stream.
+#[derive(Debug)]
+struct FnItem {
+    name: String,
+    file_stem: String,
+    /// Token index range of the body (exclusive of the braces).
+    body: std::ops::Range<usize>,
+    /// Defined directly inside an `impl` block naming a root type.
+    is_root: bool,
+    /// Index of the file in the input slice.
+    file_idx: usize,
+}
+
+const ROOT_TYPES: &[&str] = &["FrameSink", "SpillSink"];
+
+/// Extracts function items (with impl-membership) from one file.
+fn extract_fns(file_idx: usize, file: &SourceFile) -> Vec<FnItem> {
+    let toks = &file.lexed.tokens;
+    let stem = file
+        .rel_path
+        .rsplit('/')
+        .next()
+        .unwrap_or(&file.rel_path)
+        .trim_end_matches(".rs")
+        .to_string();
+    let mut out = Vec::new();
+    let mut depth: i64 = 0;
+    // Stack of (depth-at-body, is_root_impl) for enclosing impl blocks.
+    let mut impl_stack: Vec<(i64, bool)> = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.kind == TokenKind::Punct && t.text == "{" {
+            depth += 1;
+            i += 1;
+            continue;
+        }
+        if t.kind == TokenKind::Punct && t.text == "}" {
+            depth -= 1;
+            while impl_stack.last().is_some_and(|&(d, _)| d > depth) {
+                impl_stack.pop();
+            }
+            i += 1;
+            continue;
+        }
+        if t.kind == TokenKind::Ident && t.text == "impl" {
+            // Header runs to the first `{` (none of the audited files
+            // put braces in impl headers).
+            let mut j = i + 1;
+            let mut is_root = false;
+            while j < toks.len() && !(toks[j].kind == TokenKind::Punct && toks[j].text == "{") {
+                if toks[j].kind == TokenKind::Ident && ROOT_TYPES.contains(&toks[j].text.as_str()) {
+                    is_root = true;
+                }
+                j += 1;
+            }
+            impl_stack.push((depth + 1, is_root));
+            depth += 1;
+            i = j + 1;
+            continue;
+        }
+        if t.kind == TokenKind::Ident && t.text == "fn" {
+            let Some(name_tok) = toks.get(i + 1) else {
+                break;
+            };
+            if name_tok.kind != TokenKind::Ident {
+                // `fn(..)` pointer type, not an item.
+                i += 1;
+                continue;
+            }
+            let name = name_tok.text.clone();
+            // Signature runs to the body `{` or a bodyless `;`.
+            let mut j = i + 2;
+            let mut body = None;
+            while j < toks.len() {
+                if toks[j].kind == TokenKind::Punct {
+                    if toks[j].text == ";" {
+                        break;
+                    }
+                    if toks[j].text == "{" {
+                        // Match the body's closing brace.
+                        let mut d = 1i64;
+                        let start = j + 1;
+                        let mut k = start;
+                        while k < toks.len() && d > 0 {
+                            if toks[k].kind == TokenKind::Punct {
+                                if toks[k].text == "{" {
+                                    d += 1;
+                                } else if toks[k].text == "}" {
+                                    d -= 1;
+                                }
+                            }
+                            k += 1;
+                        }
+                        body = Some(start..k.saturating_sub(1));
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            if let Some(body) = body {
+                let is_root = impl_stack
+                    .last()
+                    .is_some_and(|&(d, root)| root && d == depth);
+                out.push(FnItem {
+                    name,
+                    file_stem: stem.clone(),
+                    body,
+                    is_root,
+                    file_idx,
+                });
+                // Continue scanning *inside* the body (nested fns, and
+                // depth bookkeeping must still see its braces): resume
+                // right after the body's opening brace.
+                i = j + 1;
+                depth += 1;
+                continue;
+            }
+            i = j + 1;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Runs the panic-freedom audit over the durable-write-path files.
+pub fn audit(files: &[SourceFile], allowlist: &Allowlist) -> Vec<Diagnostic> {
+    let mut fns: Vec<FnItem> = Vec::new();
+    for (idx, f) in files.iter().enumerate() {
+        fns.extend(extract_fns(idx, f));
+    }
+    let names: BTreeSet<&str> = fns.iter().map(|f| f.name.as_str()).collect();
+
+    // Call edges by name: caller index → callee names.
+    let mut callees: Vec<BTreeSet<String>> = Vec::with_capacity(fns.len());
+    for f in &fns {
+        let toks = &files[f.file_idx].lexed.tokens;
+        let mut set = BTreeSet::new();
+        for i in f.body.clone() {
+            let t = &toks[i];
+            if t.kind == TokenKind::Ident
+                && names.contains(t.text.as_str())
+                && toks
+                    .get(i + 1)
+                    .is_some_and(|n| n.kind == TokenKind::Punct && n.text == "(")
+            {
+                set.insert(t.text.clone());
+            }
+        }
+        callees.push(set);
+    }
+
+    // Reachability closure from the root methods, by name.
+    let mut reachable: BTreeSet<String> = fns
+        .iter()
+        .filter(|f| f.is_root)
+        .map(|f| f.name.clone())
+        .collect();
+    loop {
+        let mut grew = false;
+        for (f, calls) in fns.iter().zip(&callees) {
+            if reachable.contains(&f.name) {
+                for c in calls {
+                    grew |= reachable.insert(c.clone());
+                }
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+
+    let mut diags = Vec::new();
+    let mut used_allow: BTreeSet<(String, AbortKind)> = BTreeSet::new();
+    for f in &fns {
+        if !reachable.contains(&f.name) {
+            continue;
+        }
+        let toks = &files[f.file_idx].lexed.tokens;
+        let key = format!("{}::{}", f.file_stem, f.name);
+        for i in f.body.clone() {
+            let t = &toks[i];
+            let finding = match (t.kind, t.text.as_str()) {
+                (TokenKind::Ident, "unwrap") | (TokenKind::Ident, "expect")
+                    if i > 0
+                        && toks[i - 1].kind == TokenKind::Punct
+                        && toks[i - 1].text == "."
+                        && toks
+                            .get(i + 1)
+                            .is_some_and(|n| n.kind == TokenKind::Punct && n.text == "(") =>
+                {
+                    Some(if t.text == "unwrap" {
+                        AbortKind::Unwrap
+                    } else {
+                        AbortKind::Expect
+                    })
+                }
+                (TokenKind::Ident, "panic" | "unreachable" | "todo" | "unimplemented")
+                    if toks
+                        .get(i + 1)
+                        .is_some_and(|n| n.kind == TokenKind::Punct && n.text == "!") =>
+                {
+                    Some(AbortKind::Panic)
+                }
+                (TokenKind::Ident, "assert" | "assert_eq" | "assert_ne")
+                    if toks
+                        .get(i + 1)
+                        .is_some_and(|n| n.kind == TokenKind::Punct && n.text == "!") =>
+                {
+                    Some(AbortKind::Assert)
+                }
+                (TokenKind::Punct, "[")
+                    if i > 0
+                        && (toks[i - 1].kind == TokenKind::Ident
+                            && !is_keyword_before_bracket(&toks[i - 1].text)
+                            || toks[i - 1].kind == TokenKind::Punct
+                                && (toks[i - 1].text == ")" || toks[i - 1].text == "]")) =>
+                {
+                    Some(AbortKind::Index)
+                }
+                _ => None,
+            };
+            let Some(kind) = finding else {
+                continue;
+            };
+            if allowlist.contains(&key, kind) {
+                used_allow.insert((key.clone(), kind));
+                continue;
+            }
+            diags.push(Diagnostic {
+                pass: PassId::Panic,
+                file: files[f.file_idx].rel_path.clone(),
+                line: t.line,
+                message: format!(
+                    "`{}` in `{key}`, reachable from a FrameSink/SpillSink write path — \
+                     return a typed error, or add `{key} {} <reason>` to \
+                     crates/lint/panic_allowlist.txt",
+                    kind.label(),
+                    kind.label()
+                ),
+            });
+        }
+    }
+
+    // Stale allowlist entries are findings too.
+    for (key, kind) in allowlist.entries.keys() {
+        if !used_allow.contains(&(key.clone(), *kind)) {
+            diags.push(Diagnostic {
+                pass: PassId::Panic,
+                file: "crates/lint/panic_allowlist.txt".into(),
+                line: 0,
+                message: format!(
+                    "stale allowlist entry `{key} {}` matches no finding — remove it",
+                    kind.label()
+                ),
+            });
+        }
+    }
+    diags
+}
+
+/// Identifiers that may directly precede `[` without forming an index
+/// expression (statement-position keywords before array literals).
+fn is_keyword_before_bracket(ident: &str) -> bool {
+    matches!(
+        ident,
+        "return" | "break" | "in" | "else" | "match" | "mut" | "dyn" | "const" | "let"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str, allow: &str) -> Vec<Diagnostic> {
+        let files = vec![SourceFile::from_text("engine/resilience.rs", src)];
+        let mut diags = Vec::new();
+        let allowlist = Allowlist::parse(allow, &mut diags);
+        diags.extend(audit(&files, &allowlist));
+        diags
+    }
+
+    const SINK: &str = r#"
+struct FrameSink;
+impl FrameSink {
+    fn write(&mut self) { helper(); }
+}
+fn helper() { let v = vec![1]; let _ = v.first().unwrap(); }
+fn unrelated() { let v: Vec<u8> = vec![]; let _ = v[0]; }
+"#;
+
+    #[test]
+    fn reachable_unwrap_is_flagged_unreachable_is_not() {
+        let d = run(SINK, "");
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("unwrap"));
+        assert!(d[0].message.contains("resilience::helper"));
+    }
+
+    #[test]
+    fn allowlisted_finding_passes() {
+        let d = run(
+            SINK,
+            "resilience::helper unwrap first element exists by construction\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn stale_entries_are_findings() {
+        let d = run(
+            SINK,
+            "resilience::helper unwrap ok\nresilience::gone index was removed\n",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("stale"));
+    }
+
+    #[test]
+    fn malformed_entries_are_findings() {
+        let d = run(
+            SINK,
+            "resilience::helper unwrap ok\nnot-a-key unwrap reason\n",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("malformed"));
+    }
+
+    #[test]
+    fn index_panic_and_assert_kinds_fire() {
+        let src = r#"
+struct SpillSink;
+impl SpillSink {
+    fn spill(&mut self) {
+        let v = [1, 2];
+        let _ = v[0];
+        assert!(true);
+        panic!("boom");
+    }
+}
+"#;
+        let d = run(src, "");
+        let kinds: Vec<&str> = d
+            .iter()
+            .map(|x| {
+                if x.message.contains("`index`") {
+                    "index"
+                } else if x.message.contains("`assert`") {
+                    "assert"
+                } else {
+                    "panic"
+                }
+            })
+            .collect();
+        assert_eq!(d.len(), 3, "{d:?}");
+        assert!(kinds.contains(&"index") && kinds.contains(&"assert") && kinds.contains(&"panic"));
+    }
+
+    #[test]
+    fn macro_brackets_and_attributes_are_not_indexing() {
+        let src = r#"
+struct FrameSink;
+impl FrameSink {
+    #[inline]
+    fn write(&mut self) { let _v = vec![1, 2]; let _a = [0u8; 4]; }
+}
+"#;
+        let d = run(src, "");
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

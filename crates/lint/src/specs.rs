@@ -1,0 +1,121 @@
+//! The spec well-formedness pass: instantiate every algorithm-zoo
+//! member on a small canonical topology and run
+//! [`stab_checker::structure::audit_spec`] over it.
+//!
+//! The instances are deliberately tiny — spec defects of the kind the
+//! audit targets (overlapping guards, drifting probability rows, silent
+//! stutters, neighbourhood leaks, impure guards) are structural, not
+//! size-dependent, so a 4–7 node instance exercises every rule arm
+//! while keeping the full lint run under a second.
+
+use stab_algorithms::{
+    CenterFinding, CenterLeader, DijkstraFourState, DijkstraRing, DijkstraThreeState,
+    FairnessGadget, GreedyColoring, HermanRing, ParentLeader, TokenCirculation, TwoProcessToggle,
+};
+use stab_checker::structure::{audit_spec, SpecAudit};
+use stab_graph::builders;
+
+use crate::{Diagnostic, PassId};
+
+/// Configuration-sample budget per zoo member: enough to cover every
+/// instance below exhaustively except the two tree protocols, which get
+/// an even-stride sample (deterministic, so CI runs agree).
+pub const SPEC_SAMPLES: u64 = 4096;
+
+/// Audits the whole zoo, returning one report per member.
+pub fn audit_zoo() -> Vec<SpecAudit> {
+    let mut reports = Vec::new();
+    let mut push = |r: SpecAudit| reports.push(r);
+
+    push(audit_spec(&FairnessGadget::new(), SPEC_SAMPLES));
+    push(audit_spec(&TwoProcessToggle::new(), SPEC_SAMPLES));
+    let ring5 = builders::ring(5);
+    push(audit_spec(
+        &HermanRing::on_ring(&ring5).expect("ring(5) is an odd ring"),
+        SPEC_SAMPLES,
+    ));
+    let ring4 = builders::ring(4);
+    push(audit_spec(
+        &DijkstraRing::on_ring(&ring4).expect("ring(4) is a ring"),
+        SPEC_SAMPLES,
+    ));
+    push(audit_spec(
+        &DijkstraThreeState::on_ring(&ring5).expect("ring(5) is a ring"),
+        SPEC_SAMPLES,
+    ));
+    let path4 = builders::path(4);
+    push(audit_spec(
+        &DijkstraFourState::on_path(&path4).expect("path(4) is a chain"),
+        SPEC_SAMPLES,
+    ));
+    push(audit_spec(
+        &TokenCirculation::on_ring(&ring5).expect("ring(5) is a ring"),
+        SPEC_SAMPLES,
+    ));
+    push(audit_spec(
+        &GreedyColoring::new(&path4).expect("path(4) is connected"),
+        SPEC_SAMPLES,
+    ));
+    let tree = builders::figure2_tree();
+    push(audit_spec(
+        &CenterFinding::on_tree(&tree).expect("figure2_tree is a tree"),
+        SPEC_SAMPLES,
+    ));
+    push(audit_spec(
+        &CenterLeader::on_tree(&tree).expect("figure2_tree is a tree"),
+        SPEC_SAMPLES,
+    ));
+    push(audit_spec(
+        &ParentLeader::on_tree(&tree).expect("figure2_tree is a tree"),
+        SPEC_SAMPLES,
+    ));
+    reports
+}
+
+/// Flattens zoo audit reports into lint diagnostics (one per finding,
+/// filed under the algorithm's name rather than a source path).
+pub fn diagnostics(reports: &[SpecAudit]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for r in reports {
+        for f in &r.findings {
+            out.push(Diagnostic {
+                pass: PassId::Spec,
+                file: format!("spec:{}", r.algorithm),
+                line: 0,
+                message: f.to_string(),
+            });
+        }
+        if r.suppressed > 0 {
+            out.push(Diagnostic {
+                pass: PassId::Spec,
+                file: format!("spec:{}", r.algorithm),
+                line: 0,
+                message: format!("{} further findings suppressed", r.suppressed),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn whole_zoo_audits_clean() {
+        for r in audit_zoo() {
+            assert!(
+                r.is_clean(),
+                "{} has spec findings: {:?}",
+                r.algorithm,
+                r.findings
+            );
+            assert!(r.configs_sampled > 0, "{} sampled nothing", r.algorithm);
+        }
+    }
+
+    #[test]
+    fn zoo_covers_eleven_members() {
+        assert_eq!(audit_zoo().len(), 11);
+    }
+}

@@ -1,0 +1,131 @@
+//! Pass 3: the `unsafe` hygiene audit.
+//!
+//! Two rules, applied to every file in the workspace's `src` trees:
+//!
+//! 1. **Attached justification** — every `unsafe` keyword (block, fn,
+//!    impl or trait) must have a comment containing `SAFETY:` on its own
+//!    line or within the five lines above it. The window tolerates a
+//!    multi-line justification above an `unsafe fn` signature with
+//!    attributes in between.
+//! 2. **Module policy header** — any file containing `unsafe` must open
+//!    with a `#![deny(unsafe_op_in_unsafe_fn)]` (or stricter
+//!    `#![forbid(unsafe_code)]`) inner attribute, so unsafe operations
+//!    inside `unsafe fn` bodies still require explicit, individually
+//!    justified `unsafe { … }` blocks.
+//!
+//! Files with no `unsafe` tokens are exempt from both rules — the audit
+//! never asks clean modules to carry policy boilerplate.
+
+use crate::lexer::TokenKind;
+use crate::{Diagnostic, PassId, SourceFile};
+
+/// How many lines above an `unsafe` token a `SAFETY:` comment may sit.
+const SAFETY_WINDOW: u32 = 5;
+
+/// Runs the unsafe audit over one file.
+pub fn audit(file: &SourceFile) -> Vec<Diagnostic> {
+    let toks = &file.lexed.tokens;
+    let mut out = Vec::new();
+    let unsafe_lines: Vec<u32> = toks
+        .iter()
+        .filter(|t| t.kind == TokenKind::Ident && t.text == "unsafe")
+        .map(|t| t.line)
+        .collect();
+    if unsafe_lines.is_empty() {
+        return out;
+    }
+
+    // Rule 2: the module policy header.
+    let has_policy = policy_header_present(&file.text);
+    if !has_policy {
+        out.push(Diagnostic {
+            pass: PassId::Unsafe,
+            file: file.rel_path.clone(),
+            line: 1,
+            message: "file contains `unsafe` but no `#![deny(unsafe_op_in_unsafe_fn)]` \
+                      (or `#![forbid(unsafe_code)]`) module policy header"
+                .into(),
+        });
+    }
+
+    // Rule 1: every unsafe token needs a nearby SAFETY: comment.
+    for &line in &unsafe_lines {
+        let lo = line.saturating_sub(SAFETY_WINDOW);
+        if !file.lexed.comment_in_range_contains(lo, line, "SAFETY:") {
+            out.push(Diagnostic {
+                pass: PassId::Unsafe,
+                file: file.rel_path.clone(),
+                line,
+                message: "`unsafe` without an attached `// SAFETY:` comment \
+                          (same line or the 5 lines above)"
+                    .into(),
+            });
+        }
+    }
+    out
+}
+
+/// Whether the file declares the unsafe-op policy as an inner attribute.
+fn policy_header_present(text: &str) -> bool {
+    text.lines().any(|l| {
+        let l = l.trim();
+        l.starts_with("#![deny(unsafe_op_in_unsafe_fn)")
+            || l.starts_with("#![forbid(unsafe_code)")
+            || l.starts_with("#![deny(unsafe_code)")
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        audit(&SourceFile::from_text("m.rs", src))
+    }
+
+    #[test]
+    fn clean_files_need_no_policy() {
+        assert!(run("fn f() {}\n").is_empty());
+    }
+
+    #[test]
+    fn documented_unsafe_with_policy_passes() {
+        let src = "#![deny(unsafe_op_in_unsafe_fn)]\n\
+                   fn f() {\n\
+                   // SAFETY: bounds checked above.\n\
+                   unsafe { g() }\n\
+                   }\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn missing_safety_comment_is_flagged() {
+        let src = "#![deny(unsafe_op_in_unsafe_fn)]\nfn f() { unsafe { g() } }\n";
+        let d = run(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("SAFETY:"));
+    }
+
+    #[test]
+    fn missing_policy_header_is_flagged() {
+        let src = "// SAFETY: fine.\nfn f() { unsafe { g() } }\n";
+        let d = run(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("unsafe_op_in_unsafe_fn"));
+    }
+
+    #[test]
+    fn safety_window_reaches_over_attributes() {
+        let src = "#![deny(unsafe_op_in_unsafe_fn)]\n\
+                   // SAFETY: callers uphold the target-feature contract.\n\
+                   #[target_feature(enable = \"sse4.2\")]\n\
+                   #[inline]\n\
+                   unsafe fn g() {}\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn unsafe_in_strings_and_comments_is_ignored() {
+        assert!(run("// unsafe in a comment\nconst S: &str = \"unsafe\";\n").is_empty());
+    }
+}

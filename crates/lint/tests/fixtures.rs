@@ -1,0 +1,112 @@
+//! Fixture battery for the four source passes: every bad fixture under
+//! `tests/fixtures/` must produce exactly one diagnostic from its pass,
+//! every good fixture must pass clean, and the real workspace must lint
+//! clean end to end. The fixtures live outside any `src` tree, so
+//! [`stab_lint::run_source`] never sees them.
+
+use std::path::PathBuf;
+
+use stab_lint::{casts, constants, panics, unsafety, PassId, SourceFile};
+
+fn fixture(name: &str) -> SourceFile {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    SourceFile::load(&dir, &dir.join(name)).expect("fixture exists")
+}
+
+#[test]
+fn cast_bad_yields_exactly_one_cast_diagnostic() {
+    let d = casts::audit(&fixture("cast_bad.rs"));
+    assert_eq!(d.len(), 1, "{d:?}");
+    assert_eq!(d[0].pass, PassId::Cast);
+    assert_eq!(d[0].file, "cast_bad.rs");
+    assert!(d[0].message.contains("u32"), "{}", d[0].message);
+}
+
+#[test]
+fn cast_good_passes_clean() {
+    let d = casts::audit(&fixture("cast_good.rs"));
+    assert!(d.is_empty(), "{d:?}");
+}
+
+#[test]
+fn panic_bad_yields_exactly_one_panic_diagnostic() {
+    let mut diags = Vec::new();
+    let allow = panics::Allowlist::parse("", &mut diags);
+    diags.extend(panics::audit(&[fixture("panic_bad.rs")], &allow));
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].pass, PassId::Panic);
+    assert!(diags[0].message.contains("unwrap"), "{}", diags[0].message);
+    assert!(
+        diags[0].message.contains("panic_bad::encode"),
+        "the unreachable `unrelated` unwrap must not be flagged: {}",
+        diags[0].message
+    );
+}
+
+#[test]
+fn panic_good_passes_clean() {
+    let mut diags = Vec::new();
+    let allow = panics::Allowlist::parse("", &mut diags);
+    diags.extend(panics::audit(&[fixture("panic_good.rs")], &allow));
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn unsafe_without_safety_comment_yields_exactly_one_diagnostic() {
+    let d = unsafety::audit(&fixture("unsafe_bad.rs"));
+    assert_eq!(d.len(), 1, "{d:?}");
+    assert_eq!(d[0].pass, PassId::Unsafe);
+    assert!(d[0].message.contains("SAFETY"), "{}", d[0].message);
+}
+
+#[test]
+fn unsafe_without_policy_header_yields_exactly_one_diagnostic() {
+    let d = unsafety::audit(&fixture("unsafe_bad_policy.rs"));
+    assert_eq!(d.len(), 1, "{d:?}");
+    assert_eq!(d[0].pass, PassId::Unsafe);
+    assert!(
+        d[0].message.contains("unsafe_op_in_unsafe_fn"),
+        "{}",
+        d[0].message
+    );
+}
+
+#[test]
+fn unsafe_good_passes_clean() {
+    let d = unsafety::audit(&fixture("unsafe_good.rs"));
+    assert!(d.is_empty(), "{d:?}");
+}
+
+#[test]
+fn duplicated_frame_magic_yields_exactly_one_diagnostic() {
+    let files = [fixture("constants_base.rs"), fixture("constants_bad.rs")];
+    let d = constants::audit(&files);
+    assert_eq!(d.len(), 1, "{d:?}");
+    assert_eq!(d[0].pass, PassId::Constant);
+    assert!(d[0].message.contains("WSR1"), "{}", d[0].message);
+    assert!(
+        d[0].message.contains("constants_base.rs") && d[0].message.contains("constants_bad.rs"),
+        "both sites must be listed: {}",
+        d[0].message
+    );
+}
+
+#[test]
+fn single_constant_sites_pass_clean() {
+    let d = constants::audit(&[fixture("constants_base.rs")]);
+    assert!(d.is_empty(), "{d:?}");
+}
+
+#[test]
+fn workspace_source_passes_are_clean() {
+    let diags = stab_lint::run_source(&stab_lint::workspace_root()).expect("workspace readable");
+    assert!(
+        diags.is_empty(),
+        "the committed workspace must lint clean:\n{}",
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

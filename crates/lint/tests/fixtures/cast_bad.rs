@@ -1,0 +1,5 @@
+// Bad: one unannotated narrowing cast — the cast pass must emit exactly
+// one diagnostic for the `as u32` below.
+pub fn shrink(x: u64) -> u32 {
+    x as u32
+}

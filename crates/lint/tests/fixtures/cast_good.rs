@@ -1,0 +1,14 @@
+// Good: the narrowing cast carries a reasoned annotation, the widening
+// cast is lossless, and the in-range literal chain needs nothing.
+pub fn shrink(x: u64) -> u32 {
+    // lint: cast-ok(callers pass ids already bounded by the u32 width)
+    x as u32
+}
+
+pub fn widen(x: u32) -> u64 {
+    x as u64
+}
+
+pub fn literal() -> u32 {
+    7 as u8 as u32
+}

@@ -1,0 +1,5 @@
+// Bad when audited next to `constants_base.rs`: this re-spells the
+// frame magic as a second literal site — exactly one diagnostic.
+pub fn is_frame(header: &[u8]) -> bool {
+    header.starts_with(b"WSR1")
+}

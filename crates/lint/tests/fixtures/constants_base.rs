@@ -1,0 +1,5 @@
+// Good on its own: exactly one defining site per audited constant
+// family.
+pub const FRAME_MAGIC: &[u8; 4] = b"WSR1";
+pub const CRC32C_POLY: u32 = 0x82F6_3B78;
+pub const REPORT_SCHEMA: &str = "study_report/v4";

@@ -1,0 +1,19 @@
+// Bad: the sink's write path reaches a helper that unwraps — the panic
+// pass must emit exactly one diagnostic (for `encode`, not `unrelated`).
+pub struct FrameSink {
+    out: Vec<u8>,
+}
+
+impl FrameSink {
+    pub fn write(&mut self, bytes: &[u8]) {
+        self.out.push(encode(bytes));
+    }
+}
+
+fn encode(bytes: &[u8]) -> u8 {
+    *bytes.first().unwrap()
+}
+
+pub fn unrelated(bytes: &[u8]) -> u8 {
+    *bytes.first().unwrap()
+}

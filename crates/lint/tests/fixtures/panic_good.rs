@@ -1,0 +1,24 @@
+// Good: the durable write path surfaces truncation as a typed error
+// instead of aborting, so the panic pass has nothing to say.
+pub struct SpillSink {
+    out: Vec<u8>,
+}
+
+pub enum IoError {
+    Truncated,
+}
+
+impl SpillSink {
+    pub fn spill(&mut self, bytes: &[u8]) -> Result<(), IoError> {
+        let b = decode(bytes)?;
+        self.out.push(b);
+        Ok(())
+    }
+}
+
+fn decode(bytes: &[u8]) -> Result<u8, IoError> {
+    match bytes.first() {
+        Some(b) => Ok(*b),
+        None => Err(IoError::Truncated),
+    }
+}

@@ -1,0 +1,7 @@
+#![deny(unsafe_op_in_unsafe_fn)]
+// Bad: the policy header is present but the `unsafe` block below has no
+// attached SAFETY comment — exactly one diagnostic.
+
+pub fn read_first(p: *const u8) -> u8 {
+    unsafe { *p }
+}

@@ -1,0 +1,9 @@
+// Bad: every `unsafe` carries a SAFETY comment, but the file is missing
+// the `#![deny(unsafe_op_in_unsafe_fn)]` policy header — exactly one
+// diagnostic.
+
+// SAFETY: callers guarantee `p` is valid for reads.
+pub unsafe fn read_first(p: *const u8) -> u8 {
+    // SAFETY: the caller's contract is forwarded from the enclosing fn.
+    unsafe { *p }
+}

@@ -1,0 +1,9 @@
+#![deny(unsafe_op_in_unsafe_fn)]
+// Good: policy header plus an attached SAFETY comment on every
+// `unsafe` token.
+
+// SAFETY: callers guarantee `p` is valid for reads.
+pub unsafe fn read_first(p: *const u8) -> u8 {
+    // SAFETY: the caller's contract is forwarded from the enclosing fn.
+    unsafe { *p }
+}

@@ -1,0 +1,125 @@
+//! Spec-pass conformance: the real algorithm zoo audits clean, and a
+//! deliberately broken gadget trips every rule of
+//! [`stab_checker::structure::audit_spec`] — including a probability-row
+//! drift small enough (5e-10) to slip past `Outcomes::weighted`'s 1e-9
+//! construction check but not the audit's ulp-scaled bound.
+
+use std::cell::Cell;
+
+use stab_core::{ActionId, ActionMask, Algorithm, Outcomes, View};
+use stab_graph::{builders, Graph};
+
+/// One spec defect per ring node, selected by `View::node`:
+///
+/// * node 0 — two enabled actions with different distributions
+///   (guard overlap);
+/// * node 1 — an action that certainly rewrites `me` to itself
+///   (silent stutter);
+/// * node 2 — a probability row summing to `1 - 5e-10`
+///   (bad probability row);
+/// * node 3 — a guard that flips between evaluations (impure guard);
+/// * node 4 — outcomes that change between calls, which the audit's
+///   non-neighbour perturbation exposes (read leak).
+struct BrokenGadget {
+    g: Graph,
+    flip: Cell<bool>,
+    calls: Cell<u64>,
+}
+
+impl BrokenGadget {
+    fn new() -> Self {
+        BrokenGadget {
+            g: builders::ring(5),
+            flip: Cell::new(false),
+            calls: Cell::new(0),
+        }
+    }
+}
+
+impl Algorithm for BrokenGadget {
+    type State = u8;
+
+    fn graph(&self) -> &Graph {
+        &self.g
+    }
+
+    fn name(&self) -> String {
+        "broken-gadget".into()
+    }
+
+    fn state_space(&self, _v: stab_graph::NodeId) -> Vec<u8> {
+        vec![0, 1]
+    }
+
+    fn enabled_actions<V: View<u8>>(&self, v: &V) -> ActionMask {
+        match v.node().index() {
+            0 => ActionMask::single(ActionId::A1).with(ActionId::A2),
+            3 => {
+                let was = self.flip.get();
+                self.flip.set(!was);
+                ActionMask::when(was, ActionId::A1)
+            }
+            _ => ActionMask::single(ActionId::A1),
+        }
+    }
+
+    fn apply<V: View<u8>>(&self, v: &V, a: ActionId) -> Outcomes<u8> {
+        match v.node().index() {
+            0 if a == ActionId::A2 => Outcomes::weighted(vec![(0.5, 0), (0.5, 1)]),
+            0 => Outcomes::certain(1 - *v.me()),
+            1 => Outcomes::certain(*v.me()),
+            2 => Outcomes::weighted(vec![(0.5, 0), (0.5 - 5e-10, 1)]),
+            4 => {
+                let k = self.calls.get();
+                self.calls.set(k + 1);
+                if k.is_multiple_of(2) {
+                    Outcomes::weighted(vec![(0.25, 0), (0.75, 1)])
+                } else {
+                    Outcomes::weighted(vec![(0.75, 0), (0.25, 1)])
+                }
+            }
+            _ => Outcomes::certain(1 - *v.me()),
+        }
+    }
+}
+
+#[test]
+fn whole_zoo_audits_clean() {
+    for report in stab_lint::specs::audit_zoo() {
+        assert!(
+            report.is_clean(),
+            "{} must audit clean: {:?}",
+            report.algorithm,
+            report.findings
+        );
+    }
+}
+
+#[test]
+fn broken_gadget_trips_every_spec_rule() {
+    let audit = stab_checker::structure::audit_spec(&BrokenGadget::new(), 4096);
+    assert!(!audit.is_clean());
+    assert_eq!(audit.total_configs, 32);
+    assert_eq!(audit.configs_sampled, 32);
+
+    let kinds: std::collections::BTreeSet<&str> = audit.findings.iter().map(|f| f.kind()).collect();
+    for expected in [
+        "guard-overlap",
+        "silent-stutter",
+        "bad-probability-row",
+        "impure-guard",
+        "read-leak",
+    ] {
+        assert!(kinds.contains(expected), "missing {expected}: {kinds:?}");
+    }
+}
+
+#[test]
+fn probability_drift_slips_construction_but_not_the_audit() {
+    // The broken row builds without panicking (its error is inside
+    // `Outcomes::weighted`'s 1e-9 construction tolerance)…
+    let row = Outcomes::weighted(vec![(0.5, 0u8), (0.5 - 5e-10, 1)]);
+    let sum: f64 = row.entries().iter().map(|(p, _)| p).sum();
+    // …yet sits far outside the audit's ulp-scaled bound.
+    assert!((sum - 1.0).abs() > 4.0 * f64::EPSILON * row.entries().len() as f64);
+}

@@ -20,6 +20,7 @@
 use std::collections::HashMap;
 use std::sync::OnceLock;
 
+use stab_core::engine::ids;
 use stab_core::engine::{
     BitSet, EdgeStoreKind, ExploreOptions, GroupCanonicalizer, TransitionSystem,
 };
@@ -183,7 +184,7 @@ impl<S: LocalState> AbsorbingChain<S> {
                 map.insert(ts.full_index_of(id), id);
             }
             if !ts.is_legit(id) {
-                transient_of[id as usize] = full_of.len() as u32;
+                transient_of[id as usize] = ids::id_u32(full_of.len(), "transient ids fit u32");
                 full_of.push(ts.full_index_of(id));
                 orbit_of.push(ts.orbit_size(id));
             }
@@ -312,6 +313,7 @@ impl<S: LocalState> AbsorbingChain<S> {
             full = canon.canonical_owned(full);
         }
         match &self.ids {
+            // lint: cast-ok(dense id maps only exist when the full space fits u32)
             IdMap::Dense => Some(full as u32),
             IdMap::Interned(map) => map.get(&full).copied(),
         }
@@ -388,6 +390,7 @@ impl<S: LocalState> AbsorbingChain<S> {
                 for (i, &a) in self.absorb.iter().enumerate() {
                     if a > 0.0 {
                         can.insert(i);
+                        // lint: cast-ok(row indices are bounded by the u32 id width)
                         stack.push(i as u32);
                     }
                 }
@@ -402,6 +405,7 @@ impl<S: LocalState> AbsorbingChain<S> {
             }
             match (0..n).find(|&i| !can.get(i)) {
                 None => Ok(()),
+                // lint: cast-ok(row indices are bounded by the u32 id width)
                 Some(t) => Err(t as u32),
             }
         });
