@@ -72,6 +72,7 @@ impl GreedyColoring {
         for i in 0..view.degree() {
             used[*view.neighbor(PortId::new(i)) as usize] = true;
         }
+        // lint: cast-ok(zoo topologies bound node degrees far below u8::MAX)
         (0u8..=view.degree() as u8)
             .find(|&c| !used[c as usize])
             .expect("a palette of Δ+1 colors always has a free one")
@@ -94,6 +95,7 @@ impl Algorithm for GreedyColoring {
     }
 
     fn state_space(&self, node: NodeId) -> Vec<u8> {
+        // lint: cast-ok(zoo topologies bound node degrees far below u8::MAX)
         (0..=self.g.degree(node) as u8).collect()
     }
 

@@ -53,6 +53,7 @@ impl DijkstraRing {
     ///
     /// Returns [`GraphError::NotARing`] if `g` is not a ring.
     pub fn on_ring(g: &Graph) -> Result<Self, GraphError> {
+        // lint: cast-ok(counter values are u8 by protocol; rings beyond 255 nodes are out of scope)
         Self::with_k(g, g.n() as u8)
     }
 

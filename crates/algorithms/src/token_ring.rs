@@ -105,6 +105,7 @@ impl TokenCirculation {
         let mut states = vec![0u8; self.g.n()];
         let mut v = holder;
         for i in 0..self.g.n() {
+            // lint: cast-ok(value is reduced mod m, and m is u8-valued by construction)
             states[v.index()] = (i % self.m as usize) as u8;
             v = self.orient.successor(&self.g, v);
         }

@@ -171,6 +171,7 @@ where
                 .iter()
                 .fold(0u64, |m, v| m | (1u64 << v.index()));
             for (_, next) in dist {
+                // lint: cast-ok(encoded configuration ids fit the u32 id width the engine interns)
                 out.push((ix.encode(&next) as u32, movers));
             }
         }
@@ -195,6 +196,7 @@ where
     let mut config_of = Vec::new();
     for id in 0..total {
         if !spec.is_legitimate(&ix.decode(id)) {
+            // lint: cast-ok(transient count is bounded by the u32 configuration-id width)
             transient_of[id as usize] = config_of.len() as u32;
             config_of.push(id);
         }

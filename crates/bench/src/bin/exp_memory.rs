@@ -26,6 +26,7 @@ const CAP: u64 = 1 << 26;
 
 fn bits(x: u64) -> u32 {
     // Bits to store a value in [0, x): ceil(log2(x)).
+    // lint: cast-ok(a u64 bit count is at most 64)
     (64 - (x - 1).leading_zeros() as u64).max(1) as u32
 }
 

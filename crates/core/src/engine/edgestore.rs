@@ -177,6 +177,7 @@ impl DeltaStreamWriter {
     /// including any drained prefix) and re-bases the delta encoding on
     /// the next row's index.
     pub fn end_row(&mut self) {
+        // lint: arith-ok(byte offsets grow by in-memory buffer lengths; u64 outlives addressable memory)
         self.offsets.push(self.base + self.stream.len() as u64);
         self.prev = (self.offsets.len() - 1) as i64;
     }
@@ -199,6 +200,7 @@ impl DeltaStreamWriter {
     pub fn drain(&mut self) -> (u64, Vec<u8>) {
         let start = self.base;
         let bytes = std::mem::take(&mut self.stream);
+        // lint: arith-ok(base advances by a drained in-memory buffer length; u64 outlives addressable memory)
         self.base += bytes.len() as u64;
         (start, bytes)
     }
@@ -1045,10 +1047,12 @@ impl EdgeStorageBuilder {
             }
             EdgeStorageBuilder::Compressed(b) => {
                 let (offsets, stream, probs, _) = b.writer().parts();
+                // lint: arith-ok(approximate size accounting over resident buffer lengths)
                 (stream.len() + offsets.len() * 8 + probs.len() * 8) as u64
             }
             EdgeStorageBuilder::Disk(b) => {
                 let (offsets, _, probs, _) = b.writer().parts();
+                // lint: arith-ok(approximate size accounting over resident buffer lengths)
                 (b.writer().pending_len() + offsets.len() * 8 + probs.len() * 8) as u64
             }
         }
@@ -1082,7 +1086,9 @@ impl EdgeStorageBuilder {
         }
         let mut base = 0usize;
         for &c in chunk_counts {
+            // lint: arith-ok(base plus per-chunk counts stays within the slice the counts describe)
             self.push_row(&chunk_edges[base..base + c as usize]);
+            // lint: arith-ok(cursor stays within chunk_edges.len, itself a valid usize)
             base += c as usize;
         }
     }

@@ -908,15 +908,18 @@ impl MergeState {
         self.enabled.extend_from_slice(&chunk.enabled);
         for (i, &l) in chunk.legit.iter().enumerate() {
             if l {
+                // lint: arith-ok(chunk-local index added to a state count bounded by the explored set)
                 self.legit.insert(self.base + i);
             }
         }
         for (i, &l) in chunk.initial.iter().enumerate() {
             if l {
+                // lint: arith-ok(chunk-local index added to a state count bounded by the explored set)
                 self.initial.insert(self.base + i);
             }
         }
         self.deterministic &= chunk.deterministic;
+        // lint: arith-ok(state cursor advances by chunk sizes summing to the explored state count)
         self.base += chunk.counts.len();
     }
 

@@ -249,6 +249,7 @@ impl RowGen {
             self.branches_next.clear();
             for &(base, p) in &self.branches {
                 for &(delta, q) in &self.deltas[lo as usize..hi as usize] {
+                    // lint: arith-ok(delta-composed targets are range-checked by ids::delta_target at materialization)
                     self.branches_next.push((base + delta, p * q));
                 }
             }

@@ -22,7 +22,7 @@
 //! precision past 2⁵³ but never magnitude, and the statistics paths
 //! that use them are approximate by contract.
 
-use crate::lexer::{Lexed, Token, TokenKind};
+use crate::lexer::{Token, TokenKind};
 use crate::{Diagnostic, PassId, SourceFile};
 
 /// Integer/float width + signedness for the 64-bit model.
@@ -111,39 +111,9 @@ const FLOAT_TAILS: &[&str] = &[
     "ceil", "floor", "round", "trunc", "sqrt", "powi", "powf", "ln", "log2", "log10", "exp",
 ];
 
-/// The annotation marker looked up in comments.
+/// The annotation marker looked up in comments (via the shared
+/// [`crate::annotation_for`] helper).
 pub const CAST_OK: &str = "lint: cast-ok(";
-
-/// Extracts the cast-ok reason from a comment string, if the marker is
-/// present. `Some(Err(()))` means the marker is malformed (no closing
-/// paren or empty reason).
-fn cast_ok_reason(comment: &str) -> Option<Result<String, ()>> {
-    let start = comment.find(CAST_OK)?;
-    let rest = &comment[start + CAST_OK.len()..];
-    match rest.find(')') {
-        Some(end) => {
-            let reason = rest[..end].trim();
-            if reason.is_empty() {
-                Some(Err(()))
-            } else {
-                Some(Ok(reason.to_string()))
-            }
-        }
-        None => Some(Err(())),
-    }
-}
-
-/// The annotation state of a source line: the comment on the cast's own
-/// line wins, then the line directly above (annotation-only lines).
-fn annotation_for(lexed: &Lexed, line: u32) -> Option<Result<String, ()>> {
-    if let Some(r) = cast_ok_reason(&lexed.comment_on_line(line)) {
-        return Some(r);
-    }
-    if line > 1 {
-        return cast_ok_reason(&lexed.comment_on_line(line - 1));
-    }
-    None
-}
 
 /// Runs the cast audit over one file.
 pub fn audit(file: &SourceFile) -> Vec<Diagnostic> {
@@ -172,7 +142,7 @@ pub fn audit(file: &SourceFile) -> Vec<Diagnostic> {
             continue;
         };
 
-        match annotation_for(&file.lexed, toks[i].line) {
+        match crate::annotation_for(&file.lexed, toks[i].line, CAST_OK) {
             Some(Ok(_reason)) => {} // annotated with a reason: accepted
             Some(Err(())) => out.push(Diagnostic {
                 pass: PassId::Cast,

@@ -1,0 +1,190 @@
+//! Pass SL008: the error-hygiene micro-pass for durable paths.
+//!
+//! The resilience and spill layers return `io::Result` from every
+//! durable operation precisely so that corruption is surfaced, not
+//! swallowed. Two idioms defeat that design silently: `let _ = fallible();`
+//! and `fallible().ok();` — both compile clean while discarding the
+//! error. In a checkpoint/spill file this turns a failed write into a
+//! truncated frame discovered only at resume time.
+//!
+//! This pass flags, in the audited durable files only:
+//!
+//! * `let _ = <expr>;` where the expression contains a call
+//!   (`ident(…)`) — binding a call's result to the wildcard;
+//! * `.ok()` immediately followed by `;` — discarding a `Result` by
+//!   converting to an unused `Option`.
+//!
+//! Deliberate best-effort sites (cleanup on drop paths, advisory
+//! unlinks) escape with `// lint: discard-ok(<reason>)` on the line or
+//! the line above. Test modules are exempt.
+
+use crate::lexer::TokenKind;
+use crate::resolve::Resolved;
+use crate::{Diagnostic, PassId, SourceFile};
+
+/// The annotation marker looked up in comments.
+pub const DISCARD_OK: &str = "lint: discard-ok(";
+
+/// The durable-path files this pass audits.
+pub const DISCARD_PATHS: &[&str] = &[
+    "crates/core/src/engine/resilience.rs",
+    "crates/core/src/engine/spill.rs",
+];
+
+/// Runs the discard audit over one file.
+pub fn audit(file: &SourceFile, resolved: &Resolved, file_idx: usize) -> Vec<Diagnostic> {
+    let toks = &file.lexed.tokens;
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        // `let _ = <expr containing a call>;`
+        if t.kind == TokenKind::Ident
+            && t.text == "let"
+            && toks.get(i + 1).is_some_and(|n| n.text == "_")
+            && toks.get(i + 2).is_some_and(|n| n.text == "=")
+            && toks.get(i + 3).is_none_or(|n| n.text != "=")
+        {
+            if resolved.in_test_tokens(file_idx, i) {
+                i += 1;
+                continue;
+            }
+            // Scan the initializer to the statement's `;` at depth 0,
+            // looking for any call.
+            let mut j = i + 3;
+            let mut depth = 0i64;
+            let mut has_call = false;
+            while j < toks.len() {
+                match (toks[j].kind, toks[j].text.as_str()) {
+                    (TokenKind::Punct, "(" | "[" | "{") => depth += 1,
+                    (TokenKind::Punct, ")" | "]" | "}") => depth -= 1,
+                    (TokenKind::Punct, ";") if depth == 0 => break,
+                    (TokenKind::Ident, _) if toks.get(j + 1).is_some_and(|n| n.text == "(") => {
+                        has_call = true;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            if has_call {
+                push(file, t.line, "binds a call result to `_`", &mut out);
+            }
+            i = j;
+            continue;
+        }
+        // `.ok();` — Result discarded via Option conversion.
+        if t.kind == TokenKind::Ident
+            && t.text == "ok"
+            && i > 0
+            && toks[i - 1].text == "."
+            && toks.get(i + 1).is_some_and(|n| n.text == "(")
+            && toks.get(i + 2).is_some_and(|n| n.text == ")")
+            && toks.get(i + 3).is_some_and(|n| n.text == ";")
+            && !resolved.in_test_tokens(file_idx, i)
+        {
+            push(file, t.line, "discards a `Result` via `.ok()`", &mut out);
+        }
+        i += 1;
+    }
+    out
+}
+
+fn push(file: &SourceFile, line: u32, what: &str, out: &mut Vec<Diagnostic>) {
+    match crate::annotation_for(&file.lexed, line, DISCARD_OK) {
+        Some(Ok(_reason)) => {}
+        Some(Err(())) => out.push(Diagnostic {
+            pass: PassId::Discard,
+            file: file.rel_path.clone(),
+            line,
+            message: format!(
+                "malformed `lint: discard-ok(..)` annotation on a statement that {what} \
+                 — the reason inside the parentheses must be non-empty"
+            ),
+        }),
+        None => out.push(Diagnostic {
+            pass: PassId::Discard,
+            file: file.rel_path.clone(),
+            line,
+            message: format!(
+                "durable-path statement {what} — handle or propagate the error \
+                 (`?`, `map_err`), or annotate with `// lint: discard-ok(<reason>)` \
+                 if the operation is genuinely best-effort"
+            ),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resolve;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let files = vec![SourceFile::from_text("engine/resilience.rs", src)];
+        let r = resolve::resolve(&files);
+        audit(&files[0], &r, 0)
+    }
+
+    #[test]
+    fn wildcard_bind_of_call_is_flagged() {
+        let d = run("fn f() { let _ = std::fs::remove_file(p); }\n");
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(
+            d[0].message.contains("binds a call result"),
+            "{}",
+            d[0].message
+        );
+    }
+
+    #[test]
+    fn wildcard_bind_of_non_call_passes() {
+        let d = run("fn f(rows: u64) { let _ = rows; }\n");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn ok_discard_is_flagged() {
+        let d = run("fn f(w: &mut W) { w.flush().ok(); }\n");
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("`.ok()`"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn ok_with_use_passes() {
+        let d = run("fn f(w: &mut W) -> Option<()> { w.flush().ok() }\n");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn annotated_discard_passes() {
+        let d = run("fn f(p: &Path) {\n\
+             // lint: discard-ok(cleanup on drop path is best-effort by design)\n\
+             let _ = std::fs::remove_file(p);\n}\n");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn malformed_annotation_is_flagged() {
+        let d = run("fn f(p: &Path) {\n\
+             // lint: discard-ok()\n\
+             let _ = std::fs::remove_file(p);\n}\n");
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("malformed"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn test_modules_are_exempt() {
+        let d = run("#[cfg(test)]\nmod tests {\n\
+             fn f(w: &mut W) { let _ = w.flush(); w.sync().ok(); }\n}\n");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn let_underscore_eq_eq_comparison_passes() {
+        // `let _ = a == b();` is still a discard of a bool, but the
+        // guard here is only against misparsing `let _ ==`; the inner
+        // call still flags it.
+        let d = run("fn f() { let _ = compute(); }\n");
+        assert_eq!(d.len(), 1);
+    }
+}

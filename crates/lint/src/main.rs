@@ -1,12 +1,15 @@
 //! The `stab-lint` command-line entry point.
 //!
 //! ```text
-//! stab-lint [--source] [--specs] [--root <dir>]
+//! stab-lint [--source] [--specs] [--root <dir>] [--format text|json]
 //! ```
 //!
 //! With no pass flags, both pass families run. Exit status is the number
-//! of passes that produced findings (0 = clean), so CI can use it as a
-//! hard gate while humans still get every diagnostic on stderr.
+//! of pass families that produced findings (0 = clean), so CI can use it
+//! as a hard gate while humans still get every diagnostic on stderr.
+//! `--format json` additionally writes the combined findings as a JSON
+//! document to **stdout** (human progress stays on stderr), for upload
+//! as a CI artifact.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -15,6 +18,7 @@ fn main() -> ExitCode {
     let mut run_source = false;
     let mut run_specs = false;
     let mut root: Option<PathBuf> = None;
+    let mut json = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -28,8 +32,18 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--format" => match args.next().as_deref() {
+                Some("json") => json = true,
+                Some("text") => json = false,
+                _ => {
+                    eprintln!("stab-lint: --format needs `text` or `json`");
+                    return ExitCode::from(2);
+                }
+            },
             "--help" | "-h" => {
-                eprintln!("usage: stab-lint [--source] [--specs] [--root <dir>]");
+                eprintln!(
+                    "usage: stab-lint [--source] [--specs] [--root <dir>] [--format text|json]"
+                );
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -45,6 +59,7 @@ fn main() -> ExitCode {
     let root = root.unwrap_or_else(stab_lint::workspace_root);
 
     let mut failed_passes = 0u8;
+    let mut all_diags: Vec<stab_lint::Diagnostic> = Vec::new();
 
     if run_source {
         match stab_lint::run_source(&root) {
@@ -57,6 +72,7 @@ fn main() -> ExitCode {
                 }
                 eprintln!("stab-lint: {} source finding(s)", diags.len());
                 failed_passes += 1;
+                all_diags.extend(diags);
             }
             Err(e) => {
                 eprintln!(
@@ -88,7 +104,13 @@ fn main() -> ExitCode {
             }
             eprintln!("stab-lint: {} spec finding(s)", diags.len());
             failed_passes += 1;
+            all_diags.extend(diags);
         }
+    }
+
+    if json {
+        stab_lint::sort_diagnostics(&mut all_diags);
+        print!("{}", stab_lint::render_json(&all_diags));
     }
 
     ExitCode::from(failed_passes)

@@ -1,33 +1,52 @@
-//! Pass 2: the panic-freedom audit of the durable write paths.
+//! Pass SL002: interprocedural panic reachability over the durable
+//! write paths.
 //!
 //! The checkpoint / spill machinery must never abort mid-write with an
 //! unlocalised panic: a torn frame is exactly the corruption the `WSR1`
 //! framing exists to prevent, and PR 6's sticky-error `FrameSink` was
 //! built so I/O failures surface as typed `CheckpointIo` errors instead.
-//! This pass enforces that discipline statically:
+//! PR 9's version of this pass closed over call edges *within* the
+//! three durable-path files; this version walks the **workspace call
+//! graph** ([`crate::callgraph`]) instead, so a helper in `spill.rs`
+//! that is only ever invoked from `explore.rs` — across a crate
+//! boundary — is audited too, and every finding reports the **shortest
+//! call chain** from a root:
 //!
-//! * **Roots** — every method defined directly inside an
-//!   `impl … FrameSink` or `impl … SpillSink` block in the audited
-//!   files (`engine/resilience.rs`, `engine/spill.rs`,
-//!   `engine/edgestore.rs`).
-//! * **Closure** — roots plus every function in those files transitively
-//!   callable from them (call edges are matched by name, an
-//!   over-approximation that can only widen the audited set).
-//! * **Findings** — inside the closure: `.unwrap()` / `.expect(..)`
-//!   calls, `panic!` / `unreachable!` / `todo!` / `unimplemented!`
-//!   macro invocations, `assert!` / `assert_eq!` / `assert_ne!`
-//!   contract checks, and slice/array index expressions (`x[..]`), each
-//!   of which can abort a write in progress.
+//! * **Roots** ([`default_roots`]) — the public entry points of the
+//!   reproduction: `Study::run`, `TransitionSystem::{explore,
+//!   explore_with, explore_guarded, resume}`, `AbsorbingChain::{build,
+//!   build_with, from_transition_system}`, the Gauss–Seidel / dense
+//!   solvers and the `expected_*` hitting-time surfaces — plus, keeping
+//!   the PR 9 guarantee intact, every method defined directly inside an
+//!   `impl FrameSink` / `impl SpillSink` block.
+//! * **Closure** — everything transitively callable from a root in the
+//!   over-approximate name-matched call graph. Over-connection can only
+//!   *widen* the audited set.
+//! * **Findings** — abort sites (`.unwrap()` / `.expect(..)`,
+//!   `panic!`-family macros, `assert!`-family macros, slice/array index
+//!   expressions) inside reachable functions of the **audited files**
+//!   (the durable write paths), each reported with its shortest chain.
 //!
 //! Deliberate sites are carried by `crates/lint/panic_allowlist.txt`:
 //! one entry per line, `file::function kind reason…`. Every entry must
 //! carry a reason and must match at least one finding — stale entries
-//! are themselves findings, so the allowlist cannot rot.
+//! are themselves findings, so the allowlist cannot rot. Test modules
+//! are exempt: test code may abort freely.
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use crate::callgraph::{CallGraph, Reach};
 use crate::lexer::TokenKind;
+use crate::resolve::Resolved;
 use crate::{Diagnostic, PassId, SourceFile};
+
+/// The workspace-relative durable-write-path files whose abort sites
+/// the pass reports.
+pub const DURABLE_PATHS: &[&str] = &[
+    "crates/core/src/engine/resilience.rs",
+    "crates/core/src/engine/spill.rs",
+    "crates/core/src/engine/edgestore.rs",
+];
 
 /// The kinds of abort site the pass recognises.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -95,6 +114,7 @@ impl Allowlist {
                 _ => diags.push(Diagnostic {
                     pass: PassId::Panic,
                     file: "crates/lint/panic_allowlist.txt".into(),
+                    // lint: cast-ok(allowlist line numbers fit u32)
                     line: (idx + 1) as u32,
                     message: format!(
                         "malformed allowlist entry `{line}` — expected \
@@ -111,230 +131,62 @@ impl Allowlist {
     }
 }
 
-/// One function item extracted from a file's token stream.
-#[derive(Debug)]
-struct FnItem {
-    name: String,
-    file_stem: String,
-    /// Token index range of the body (exclusive of the braces).
-    body: std::ops::Range<usize>,
-    /// Defined directly inside an `impl` block naming a root type.
-    is_root: bool,
-    /// Index of the file in the input slice.
-    file_idx: usize,
+/// The default root set: public entry points plus the PR 9 sink impls.
+pub fn default_roots(resolved: &Resolved) -> Vec<usize> {
+    const SINK_TYPES: &[&str] = &["FrameSink", "SpillSink"];
+    const TYPED_ROOTS: &[(&str, &str)] = &[
+        ("Study", "run"),
+        ("TransitionSystem", "explore"),
+        ("TransitionSystem", "explore_with"),
+        ("TransitionSystem", "explore_guarded"),
+        ("TransitionSystem", "resume"),
+        ("AbsorbingChain", "build"),
+        ("AbsorbingChain", "build_with"),
+        ("AbsorbingChain", "from_transition_system"),
+    ];
+    const FREE_ROOTS: &[&str] = &["gauss_seidel", "gauss_seidel_budgeted", "solve_dense"];
+    let mut roots = Vec::new();
+    for (idx, it) in resolved.items.iter().enumerate() {
+        if it.in_test {
+            continue;
+        }
+        let ty = it.self_type.as_deref();
+        let is_root = ty.is_some_and(|t| SINK_TYPES.contains(&t))
+            || ty.is_some_and(|t| TYPED_ROOTS.contains(&(t, it.name.as_str())))
+            || (it.is_pub && FREE_ROOTS.contains(&it.name.as_str()))
+            || (it.is_pub && it.name.starts_with("expected_"));
+        if is_root {
+            roots.push(idx);
+        }
+    }
+    roots
 }
 
-const ROOT_TYPES: &[&str] = &["FrameSink", "SpillSink"];
-
-/// Extracts function items (with impl-membership) from one file.
-fn extract_fns(file_idx: usize, file: &SourceFile) -> Vec<FnItem> {
-    let toks = &file.lexed.tokens;
-    let stem = file
-        .rel_path
-        .rsplit('/')
-        .next()
-        .unwrap_or(&file.rel_path)
-        .trim_end_matches(".rs")
-        .to_string();
-    let mut out = Vec::new();
-    let mut depth: i64 = 0;
-    // Stack of (depth-at-body, is_root_impl) for enclosing impl blocks.
-    let mut impl_stack: Vec<(i64, bool)> = Vec::new();
-    let mut i = 0;
-    while i < toks.len() {
-        let t = &toks[i];
-        if t.kind == TokenKind::Punct && t.text == "{" {
-            depth += 1;
-            i += 1;
-            continue;
-        }
-        if t.kind == TokenKind::Punct && t.text == "}" {
-            depth -= 1;
-            while impl_stack.last().is_some_and(|&(d, _)| d > depth) {
-                impl_stack.pop();
-            }
-            i += 1;
-            continue;
-        }
-        if t.kind == TokenKind::Ident && t.text == "impl" {
-            // Header runs to the first `{` (none of the audited files
-            // put braces in impl headers).
-            let mut j = i + 1;
-            let mut is_root = false;
-            while j < toks.len() && !(toks[j].kind == TokenKind::Punct && toks[j].text == "{") {
-                if toks[j].kind == TokenKind::Ident && ROOT_TYPES.contains(&toks[j].text.as_str()) {
-                    is_root = true;
-                }
-                j += 1;
-            }
-            impl_stack.push((depth + 1, is_root));
-            depth += 1;
-            i = j + 1;
-            continue;
-        }
-        if t.kind == TokenKind::Ident && t.text == "fn" {
-            let Some(name_tok) = toks.get(i + 1) else {
-                break;
-            };
-            if name_tok.kind != TokenKind::Ident {
-                // `fn(..)` pointer type, not an item.
-                i += 1;
-                continue;
-            }
-            let name = name_tok.text.clone();
-            // Signature runs to the body `{` or a bodyless `;`.
-            let mut j = i + 2;
-            let mut body = None;
-            while j < toks.len() {
-                if toks[j].kind == TokenKind::Punct {
-                    if toks[j].text == ";" {
-                        break;
-                    }
-                    if toks[j].text == "{" {
-                        // Match the body's closing brace.
-                        let mut d = 1i64;
-                        let start = j + 1;
-                        let mut k = start;
-                        while k < toks.len() && d > 0 {
-                            if toks[k].kind == TokenKind::Punct {
-                                if toks[k].text == "{" {
-                                    d += 1;
-                                } else if toks[k].text == "}" {
-                                    d -= 1;
-                                }
-                            }
-                            k += 1;
-                        }
-                        body = Some(start..k.saturating_sub(1));
-                        break;
-                    }
-                }
-                j += 1;
-            }
-            if let Some(body) = body {
-                let is_root = impl_stack
-                    .last()
-                    .is_some_and(|&(d, root)| root && d == depth);
-                out.push(FnItem {
-                    name,
-                    file_stem: stem.clone(),
-                    body,
-                    is_root,
-                    file_idx,
-                });
-                // Continue scanning *inside* the body (nested fns, and
-                // depth bookkeeping must still see its braces): resume
-                // right after the body's opening brace.
-                i = j + 1;
-                depth += 1;
-                continue;
-            }
-            i = j + 1;
-            continue;
-        }
-        i += 1;
-    }
-    out
-}
-
-/// Runs the panic-freedom audit over the durable-write-path files.
-pub fn audit(files: &[SourceFile], allowlist: &Allowlist) -> Vec<Diagnostic> {
-    let mut fns: Vec<FnItem> = Vec::new();
-    for (idx, f) in files.iter().enumerate() {
-        fns.extend(extract_fns(idx, f));
-    }
-    let names: BTreeSet<&str> = fns.iter().map(|f| f.name.as_str()).collect();
-
-    // Call edges by name: caller index → callee names.
-    let mut callees: Vec<BTreeSet<String>> = Vec::with_capacity(fns.len());
-    for f in &fns {
-        let toks = &files[f.file_idx].lexed.tokens;
-        let mut set = BTreeSet::new();
-        for i in f.body.clone() {
-            let t = &toks[i];
-            if t.kind == TokenKind::Ident
-                && names.contains(t.text.as_str())
-                && toks
-                    .get(i + 1)
-                    .is_some_and(|n| n.kind == TokenKind::Punct && n.text == "(")
-            {
-                set.insert(t.text.clone());
-            }
-        }
-        callees.push(set);
-    }
-
-    // Reachability closure from the root methods, by name.
-    let mut reachable: BTreeSet<String> = fns
-        .iter()
-        .filter(|f| f.is_root)
-        .map(|f| f.name.clone())
-        .collect();
-    loop {
-        let mut grew = false;
-        for (f, calls) in fns.iter().zip(&callees) {
-            if reachable.contains(&f.name) {
-                for c in calls {
-                    grew |= reachable.insert(c.clone());
-                }
-            }
-        }
-        if !grew {
-            break;
-        }
-    }
-
+/// Runs the panic-reachability audit.
+///
+/// `resolved`/`graph` span the whole workspace; `audited` selects the
+/// files whose abort sites are reported (the durable write paths in
+/// production, every fixture file in tests); `roots` are item indices
+/// (usually [`default_roots`]).
+pub fn audit(
+    files: &[SourceFile],
+    resolved: &Resolved,
+    graph: &CallGraph,
+    roots: &[usize],
+    audited: &dyn Fn(&str) -> bool,
+    allowlist: &Allowlist,
+) -> Vec<Diagnostic> {
+    let reach = graph.bfs(roots);
     let mut diags = Vec::new();
     let mut used_allow: BTreeSet<(String, AbortKind)> = BTreeSet::new();
-    for f in &fns {
-        if !reachable.contains(&f.name) {
+    for (idx, it) in resolved.items.iter().enumerate() {
+        if it.in_test || !reach.reached(idx) || !audited(&files[it.file_idx].rel_path) {
             continue;
         }
-        let toks = &files[f.file_idx].lexed.tokens;
-        let key = format!("{}::{}", f.file_stem, f.name);
-        for i in f.body.clone() {
-            let t = &toks[i];
-            let finding = match (t.kind, t.text.as_str()) {
-                (TokenKind::Ident, "unwrap") | (TokenKind::Ident, "expect")
-                    if i > 0
-                        && toks[i - 1].kind == TokenKind::Punct
-                        && toks[i - 1].text == "."
-                        && toks
-                            .get(i + 1)
-                            .is_some_and(|n| n.kind == TokenKind::Punct && n.text == "(") =>
-                {
-                    Some(if t.text == "unwrap" {
-                        AbortKind::Unwrap
-                    } else {
-                        AbortKind::Expect
-                    })
-                }
-                (TokenKind::Ident, "panic" | "unreachable" | "todo" | "unimplemented")
-                    if toks
-                        .get(i + 1)
-                        .is_some_and(|n| n.kind == TokenKind::Punct && n.text == "!") =>
-                {
-                    Some(AbortKind::Panic)
-                }
-                (TokenKind::Ident, "assert" | "assert_eq" | "assert_ne")
-                    if toks
-                        .get(i + 1)
-                        .is_some_and(|n| n.kind == TokenKind::Punct && n.text == "!") =>
-                {
-                    Some(AbortKind::Assert)
-                }
-                (TokenKind::Punct, "[")
-                    if i > 0
-                        && (toks[i - 1].kind == TokenKind::Ident
-                            && !is_keyword_before_bracket(&toks[i - 1].text)
-                            || toks[i - 1].kind == TokenKind::Punct
-                                && (toks[i - 1].text == ")" || toks[i - 1].text == "]")) =>
-                {
-                    Some(AbortKind::Index)
-                }
-                _ => None,
-            };
-            let Some(kind) = finding else {
+        let toks = &files[it.file_idx].lexed.tokens;
+        let key = resolved.allow_key(idx);
+        for i in it.body.clone() {
+            let Some(kind) = abort_site(toks, i) else {
                 continue;
             };
             if allowlist.contains(&key, kind) {
@@ -343,13 +195,13 @@ pub fn audit(files: &[SourceFile], allowlist: &Allowlist) -> Vec<Diagnostic> {
             }
             diags.push(Diagnostic {
                 pass: PassId::Panic,
-                file: files[f.file_idx].rel_path.clone(),
-                line: t.line,
+                file: files[it.file_idx].rel_path.clone(),
+                line: toks[i].line,
                 message: format!(
-                    "`{}` in `{key}`, reachable from a FrameSink/SpillSink write path — \
-                     return a typed error, or add `{key} {} <reason>` to \
-                     crates/lint/panic_allowlist.txt",
+                    "`{}` in `{key}`, reachable via {} — return a typed error, or add \
+                     `{key} {} <reason>` to crates/lint/panic_allowlist.txt",
                     kind.label(),
+                    render_chain(resolved, &reach, idx),
                     kind.label()
                 ),
             });
@@ -373,6 +225,61 @@ pub fn audit(files: &[SourceFile], allowlist: &Allowlist) -> Vec<Diagnostic> {
     diags
 }
 
+/// Renders the shortest call chain to item `idx` as `a -> b -> c`.
+fn render_chain(resolved: &Resolved, reach: &Reach, idx: usize) -> String {
+    let names: Vec<String> = reach
+        .chain(idx)
+        .into_iter()
+        .map(|i| resolved.display(i))
+        .collect();
+    names.join(" -> ")
+}
+
+/// Classifies the token at `i` as an abort site, if it is one.
+fn abort_site(toks: &[crate::lexer::Token], i: usize) -> Option<AbortKind> {
+    let t = &toks[i];
+    match (t.kind, t.text.as_str()) {
+        (TokenKind::Ident, "unwrap") | (TokenKind::Ident, "expect")
+            if i > 0
+                && toks[i - 1].kind == TokenKind::Punct
+                && toks[i - 1].text == "."
+                && toks
+                    .get(i + 1)
+                    .is_some_and(|n| n.kind == TokenKind::Punct && n.text == "(") =>
+        {
+            Some(if t.text == "unwrap" {
+                AbortKind::Unwrap
+            } else {
+                AbortKind::Expect
+            })
+        }
+        (TokenKind::Ident, "panic" | "unreachable" | "todo" | "unimplemented")
+            if toks
+                .get(i + 1)
+                .is_some_and(|n| n.kind == TokenKind::Punct && n.text == "!") =>
+        {
+            Some(AbortKind::Panic)
+        }
+        (TokenKind::Ident, "assert" | "assert_eq" | "assert_ne")
+            if toks
+                .get(i + 1)
+                .is_some_and(|n| n.kind == TokenKind::Punct && n.text == "!") =>
+        {
+            Some(AbortKind::Assert)
+        }
+        (TokenKind::Punct, "[")
+            if i > 0
+                && (toks[i - 1].kind == TokenKind::Ident
+                    && !is_keyword_before_bracket(&toks[i - 1].text)
+                    || toks[i - 1].kind == TokenKind::Punct
+                        && (toks[i - 1].text == ")" || toks[i - 1].text == "]")) =>
+        {
+            Some(AbortKind::Index)
+        }
+        _ => None,
+    }
+}
+
 /// Identifiers that may directly precede `[` without forming an index
 /// expression (statement-position keywords before array literals).
 fn is_keyword_before_bracket(ident: &str) -> bool {
@@ -385,12 +292,24 @@ fn is_keyword_before_bracket(ident: &str) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::callgraph::CallGraph;
+    use crate::resolve;
 
     fn run(src: &str, allow: &str) -> Vec<Diagnostic> {
         let files = vec![SourceFile::from_text("engine/resilience.rs", src)];
+        let resolved = resolve::resolve(&files);
+        let graph = CallGraph::build(&files, &resolved);
+        let roots = default_roots(&resolved);
         let mut diags = Vec::new();
         let allowlist = Allowlist::parse(allow, &mut diags);
-        diags.extend(audit(&files, &allowlist));
+        diags.extend(audit(
+            &files,
+            &resolved,
+            &graph,
+            &roots,
+            &|_| true,
+            &allowlist,
+        ));
         diags
     }
 
@@ -399,8 +318,8 @@ struct FrameSink;
 impl FrameSink {
     fn write(&mut self) { helper(); }
 }
-fn helper() { let v = vec![1]; let _ = v.first().unwrap(); }
-fn unrelated() { let v: Vec<u8> = vec![]; let _ = v[0]; }
+fn helper() { let v = vec![1]; let _x = v.first().unwrap(); }
+fn unrelated() { let v: Vec<u8> = vec![]; let _x = v.len(); }
 "#;
 
     #[test]
@@ -409,6 +328,38 @@ fn unrelated() { let v: Vec<u8> = vec![]; let _ = v[0]; }
         assert_eq!(d.len(), 1, "{d:?}");
         assert!(d[0].message.contains("unwrap"));
         assert!(d[0].message.contains("resilience::helper"));
+    }
+
+    #[test]
+    fn findings_carry_the_shortest_chain() {
+        let d = run(SINK, "");
+        assert!(
+            d[0].message
+                .contains("FrameSink::write -> resilience::helper"),
+            "{}",
+            d[0].message
+        );
+    }
+
+    #[test]
+    fn entry_point_roots_reach_across_items() {
+        let src = r#"
+struct TransitionSystem;
+impl TransitionSystem {
+    pub fn explore(&self) { stage_one(); }
+}
+fn stage_one() { stage_two(); }
+fn stage_two() { panic!("abort mid-path"); }
+"#;
+        let d = run(src, "");
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(
+            d[0].message.contains(
+                "TransitionSystem::explore -> resilience::stage_one -> resilience::stage_two"
+            ),
+            "{}",
+            d[0].message
+        );
     }
 
     #[test]
@@ -447,7 +398,7 @@ struct SpillSink;
 impl SpillSink {
     fn spill(&mut self) {
         let v = [1, 2];
-        let _ = v[0];
+        let _x = v[0];
         assert!(true);
         panic!("boom");
     }
@@ -477,6 +428,22 @@ struct FrameSink;
 impl FrameSink {
     #[inline]
     fn write(&mut self) { let _v = vec![1, 2]; let _a = [0u8; 4]; }
+}
+"#;
+        let d = run(src, "");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn test_modules_are_exempt() {
+        let src = r#"
+struct FrameSink;
+impl FrameSink {
+    fn write(&mut self) {}
+}
+#[cfg(test)]
+mod tests {
+    fn write() { let v = vec![1]; let _x = v[0]; }
 }
 "#;
         let d = run(src, "");

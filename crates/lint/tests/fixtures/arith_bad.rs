@@ -1,0 +1,5 @@
+// Bad: a raw addition on a chunk offset — the arith pass must emit
+// exactly one diagnostic.
+pub fn chunk_end(chunk_offset: u64, len: u64) -> u64 {
+    chunk_offset + len
+}

@@ -1,0 +1,14 @@
+// Good: offset arithmetic is either checked or carries a reasoned
+// annotation, and untracked operands stay silent.
+pub fn chunk_end(chunk_offset: u64, len: u64) -> Option<u64> {
+    chunk_offset.checked_add(len)
+}
+
+pub fn rebase(base: u64, len: u64) -> u64 {
+    // lint: arith-ok(base advances by verified chunk lengths)
+    base + len
+}
+
+pub fn plain(x: u64, y: u64) -> u64 {
+    x + y
+}

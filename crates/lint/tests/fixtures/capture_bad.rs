@@ -1,0 +1,13 @@
+// Bad: the fork-join worker smuggles a RefCell across the join
+// boundary — the capture pass must emit exactly one diagnostic.
+use std::cell::RefCell;
+
+pub fn tally(total: u64) -> u64 {
+    let shared = RefCell::new(0u64);
+    let chunks = parallel::map_chunks(total, |range: std::ops::Range<u64>| {
+        *shared.borrow_mut() += range.end - range.start;
+        Ok::<u64, ()>(0)
+    });
+    let _ = chunks;
+    shared.into_inner()
+}

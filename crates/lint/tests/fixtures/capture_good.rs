@@ -1,0 +1,25 @@
+// Good: workers only read shared state and keep their mutation local;
+// per-chunk results are merged after the join. Mirrors the engine's
+// real `map_chunks` call sites, including a let-bound worker.
+pub fn sum(total: u64, data: &[u64]) -> u64 {
+    let chunks = parallel::map_chunks(total, |range: std::ops::Range<u64>| {
+        let mut local = 0u64;
+        for i in range {
+            local += data[i as usize];
+        }
+        Ok::<u64, ()>(local)
+    });
+    chunks.unwrap().into_iter().sum()
+}
+
+pub fn sum_named(total: u64, data: &[u64]) -> u64 {
+    let worker = |range: std::ops::Range<u64>| {
+        let mut local = 0u64;
+        for i in range {
+            local += data[i as usize];
+        }
+        Ok::<u64, ()>(local)
+    };
+    let chunks = parallel::map_chunks(total, worker);
+    chunks.unwrap().into_iter().sum()
+}

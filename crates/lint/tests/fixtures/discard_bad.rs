@@ -1,0 +1,5 @@
+// Bad: a durable-path write result is bound to `_` — the discard pass
+// must emit exactly one diagnostic.
+pub fn persist(path: &std::path::Path, bytes: &[u8]) {
+    let _ = std::fs::write(path, bytes);
+}

@@ -1,0 +1,14 @@
+// Good: errors are propagated, annotated, or the discarded value is
+// not a call result at all.
+pub fn persist(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    std::fs::write(path, bytes)
+}
+
+pub fn cleanup(path: &std::path::Path) {
+    // lint: discard-ok(unlink on the cleanup path is best-effort)
+    let _ = std::fs::remove_file(path);
+}
+
+pub fn ignore_value(rows: u64) {
+    let _ = rows;
+}

@@ -1,0 +1,15 @@
+// Minicrate module 1: the durable sink whose write path crosses a file
+// boundary before it reaches the aborting helper in `helpers.rs`.
+pub struct FrameSink {
+    out: Vec<u8>,
+}
+
+impl FrameSink {
+    pub fn write(&mut self, bytes: &[u8]) {
+        self.out.push(mid(bytes));
+    }
+}
+
+fn mid(bytes: &[u8]) -> u8 {
+    leaf(bytes)
+}

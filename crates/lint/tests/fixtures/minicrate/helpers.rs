@@ -1,0 +1,9 @@
+// Minicrate module 2: the helper the call graph must connect across
+// the file boundary, plus an island no root reaches.
+pub fn leaf(bytes: &[u8]) -> u8 {
+    *bytes.first().unwrap()
+}
+
+pub fn island(bytes: &[u8]) -> u8 {
+    *bytes.first().unwrap()
+}

@@ -196,7 +196,9 @@ fn write_string(out: &mut String, s: &str) {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
+            // lint: cast-ok(char scalar values are at most 0x10FFFF, lossless into u32)
             c if (c as u32) < 0x20 => {
+                // lint: cast-ok(char scalar values are at most 0x10FFFF, lossless into u32)
                 let _ = write!(out, "\\u{:04x}", c as u32);
             }
             c => out.push(c),
